@@ -1,0 +1,78 @@
+//! E7 / Table II "RT" column: runtime of one proposed-model line
+//! evaluation vs one sign-off analysis of the same line. The paper reports
+//! the analytical models ≥ 2.1× faster than PrimeTime; a closed form vs a
+//! transient engine lands orders of magnitude apart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pi_core::coefficients::builtin;
+use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
+use pi_golden::signoff::line_delay;
+use pi_tech::units::Length;
+use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+fn setup() -> (Technology, pi_core::CalibratedModels, LineSpec, BufferingPlan) {
+    let tech = Technology::new(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 8,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    (tech, models, spec, plan)
+}
+
+fn bench_proposed_model(c: &mut Criterion) {
+    let (tech, models, spec, plan) = setup();
+    let evaluator = LineEvaluator::new(&models, &tech);
+    c.bench_function("proposed_model_line_delay_5mm", |b| {
+        b.iter(|| black_box(evaluator.timing(black_box(&spec), black_box(&plan)).delay));
+    });
+}
+
+fn bench_classic_models(c: &mut Criterion) {
+    let (tech, _, spec, plan) = setup();
+    let bak = pi_wire::BakogluModel::new(tech.devices(), tech.global_layer());
+    let pam = pi_wire::PamunuwaModel::new(
+        tech.devices(),
+        tech.global_layer(),
+        DesignStyle::SingleSpacing,
+    );
+    let buf = pi_wire::ClassicBuffering {
+        count: plan.count,
+        wn: plan.wn,
+    };
+    c.bench_function("bakoglu_line_delay_5mm", |b| {
+        b.iter(|| black_box(bak.line_delay(black_box(spec.length), black_box(buf))));
+    });
+    c.bench_function("pamunuwa_line_delay_5mm", |b| {
+        b.iter(|| black_box(pam.line_delay(black_box(spec.length), black_box(buf))));
+    });
+}
+
+fn bench_signoff(c: &mut Criterion) {
+    let (tech, _, spec, plan) = setup();
+    let mut group = c.benchmark_group("signoff");
+    group.sample_size(10);
+    group.bench_function("golden_line_delay_5mm", |b| {
+        b.iter(|| {
+            black_box(
+                line_delay(black_box(&tech), black_box(&spec), black_box(&plan))
+                    .expect("sign-off")
+                    .delay,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_proposed_model,
+    bench_classic_models,
+    bench_signoff
+);
+criterion_main!(benches);

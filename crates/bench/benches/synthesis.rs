@@ -1,0 +1,41 @@
+//! NoC-synthesis benches: full topology synthesis of the DVOPD testcase
+//! under each link model, plus a single link-cost query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pi_core::coefficients::builtin;
+use pi_core::line::LineEvaluator;
+use pi_cosi::model::{LinkCostModel, OriginalLinkModel, ProposedLinkModel};
+use pi_cosi::synthesis::{synthesize, SynthesisConfig};
+use pi_cosi::testcases::dvopd;
+use pi_tech::units::{Freq, Length};
+use pi_tech::{DesignStyle, TechNode, Technology};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let tech = Technology::new(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let clock = Freq::ghz(2.25);
+    let config = SynthesisConfig::at_clock(clock);
+    let spec = dvopd();
+
+    let original = OriginalLinkModel::new(&tech, clock, 0.25);
+    c.bench_function("synthesize_dvopd_original", |b| {
+        b.iter(|| black_box(synthesize(&spec, &original, &config).expect("synthesis")));
+    });
+
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, 0.25);
+    let mut group = c.benchmark_group("proposed");
+    group.sample_size(10);
+    group.bench_function("synthesize_dvopd_proposed", |b| {
+        b.iter(|| black_box(synthesize(&spec, &proposed, &config).expect("synthesis")));
+    });
+    group.bench_function("proposed_link_cost_3mm_128b", |b| {
+        b.iter(|| black_box(proposed.link_cost(Length::mm(3.0), 128).expect("feasible")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

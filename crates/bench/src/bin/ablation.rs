@@ -1,0 +1,155 @@
+//! Ablation benches for the design choices DESIGN.md calls out: remove one
+//! modeling improvement at a time and measure how far the prediction
+//! drifts from sign-off.
+//!
+//! Ablations:
+//!
+//! 1. constant drive resistance (ρ1 = 0, anchored at a 100 ps slew);
+//! 2. constant intrinsic delay (p1 = p2 = 0, anchored at 100 ps);
+//! 3. bulk-copper wire resistance (no scattering, no barrier);
+//! 4. switch-factor sweep (0 / 1 / 1.51);
+//! 5. no slew propagation (every stage sees the boundary slew).
+
+use pi_bench::{pct, TextTable};
+use pi_core::calibrate::CalibratedModels;
+use pi_core::coefficients::builtin;
+use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
+use pi_core::repeater_model::Transition;
+use pi_golden::flow::relative_error;
+use pi_golden::signoff::line_delay;
+use pi_tech::units::{Length, Time};
+use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+use pi_wire::parasitics::naive_resistance_per_meter;
+use pi_wire::WireRc;
+
+const ANCHOR_SLEW_PS: f64 = 100.0;
+
+fn anchored_constant_rd(models: &CalibratedModels) -> CalibratedModels {
+    let mut m = models.clone();
+    for rm in [&mut m.inverter, &mut m.buffer] {
+        for edge in [&mut rm.rise, &mut rm.fall] {
+            let s = Time::ps(ANCHOR_SLEW_PS).si();
+            edge.resistance.rho0 += edge.resistance.rho1 * s;
+            edge.resistance.rho1 = 0.0;
+        }
+    }
+    m
+}
+
+fn anchored_constant_intrinsic(models: &CalibratedModels) -> CalibratedModels {
+    let mut m = models.clone();
+    for rm in [&mut m.inverter, &mut m.buffer] {
+        for edge in [&mut rm.rise, &mut rm.fall] {
+            let i = edge.intrinsic.eval(Time::ps(ANCHOR_SLEW_PS));
+            edge.intrinsic.p0 = i.si();
+            edge.intrinsic.p1 = 0.0;
+            edge.intrinsic.p2 = 0.0;
+        }
+    }
+    m
+}
+
+fn frozen_slew(models: &CalibratedModels, slew: Time) -> CalibratedModels {
+    let mut m = models.clone();
+    for rm in [&mut m.inverter, &mut m.buffer] {
+        for edge in [&mut rm.rise, &mut rm.fall] {
+            edge.slew.g0 = slew.si();
+            edge.slew.g1 = 0.0;
+            edge.slew.g2 = 0.0;
+        }
+    }
+    m
+}
+
+fn main() {
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let base = builtin(node);
+    let spec = LineSpec::global(Length::mm(10.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 14,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+
+    let golden = line_delay(&tech, &spec, &plan)
+        .expect("sign-off analysis")
+        .delay;
+
+    let eval_delay = |models: &CalibratedModels| {
+        let ev = LineEvaluator::new(models, &tech);
+        ev.timing(&spec, &plan).delay
+    };
+
+    println!(
+        "Ablation study — 10 mm line, 65 nm, SS, {} x INVD20-class repeaters",
+        plan.count
+    );
+    println!("sign-off reference: {:.0} ps\n", golden.as_ps());
+
+    let mut table = TextTable::new(vec!["variant", "delay [ps]", "error vs sign-off"]);
+    let full = eval_delay(&base);
+    table.row(vec![
+        "full proposed model".to_owned(),
+        format!("{:.0}", full.as_ps()),
+        pct(relative_error(full, golden)),
+    ]);
+
+    let d = eval_delay(&anchored_constant_rd(&base));
+    table.row(vec![
+        "A1: constant drive resistance".to_owned(),
+        format!("{:.0}", d.as_ps()),
+        pct(relative_error(d, golden)),
+    ]);
+
+    let d = eval_delay(&anchored_constant_intrinsic(&base));
+    table.row(vec![
+        "A2: constant intrinsic delay".to_owned(),
+        format!("{:.0}", d.as_ps()),
+        pct(relative_error(d, golden)),
+    ]);
+
+    // A3: bulk wire resistance.
+    {
+        let ev = LineEvaluator::new(&base, &tech);
+        let mut rc = WireRc::from_layer(tech.global_layer(), spec.style);
+        rc.r_per_m = naive_resistance_per_meter(tech.global_layer());
+        let d = ev.timing_with_rc(&spec, &plan, &rc).delay;
+        table.row(vec![
+            "A3: bulk-copper wire resistance".to_owned(),
+            format!("{:.0}", d.as_ps()),
+            pct(relative_error(d, golden)),
+        ]);
+    }
+
+    // A4: switch-factor sweep.
+    for sf in [0.0, 1.0, 1.51, 2.0] {
+        let ev = LineEvaluator::new(&base, &tech);
+        let rc = WireRc::from_layer(tech.global_layer(), spec.style).with_switch_factor(sf);
+        let d = ev.timing_with_rc(&spec, &plan, &rc).delay;
+        table.row(vec![
+            format!("A4: switch factor {sf}"),
+            format!("{:.0}", d.as_ps()),
+            pct(relative_error(d, golden)),
+        ]);
+    }
+
+    let d = eval_delay(&frozen_slew(&base, spec.input_slew));
+    table.row(vec![
+        "A5: no slew propagation (300 ps everywhere)".to_owned(),
+        format!("{:.0}", d.as_ps()),
+        pct(relative_error(d, golden)),
+    ]);
+
+    print!("{}", table.render());
+    println!(
+        "\nreading the table: the switch factor (A4) and stage-to-stage slew \
+         propagation (A5) dominate accuracy — freezing the boundary slew or \
+         zeroing the Miller factor moves the prediction by tens of percent, \
+         while the slew-dependent r_d/intrinsic terms (A1/A2) are few-percent \
+         corrections anchored at {ANCHOR_SLEW_PS:.0} ps. Transition polarity \
+         of the reference input: {}.",
+        Transition::Rise.label()
+    );
+}

@@ -1,0 +1,78 @@
+//! Regenerates the §IV leakage-power and repeater-area model validation:
+//! the linear predictive models must match the library reference values
+//! within the paper's bounds (< 11% leakage, < 8% area) over the
+//! characterized drive range (the INVD4…INVD20-class cells).
+
+use pi_bench::TextTable;
+use pi_core::coefficients::builtin;
+use pi_regress::max_abs_relative_error;
+use pi_tech::{RepeaterKind, TechNode, Technology};
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "tech",
+        "kind",
+        "max leakage err",
+        "max area err",
+        "leak bound",
+        "area bound",
+    ]);
+    let mut all_ok = true;
+
+    for node in TechNode::ALL {
+        let tech = Technology::new(node);
+        let models = builtin(node);
+        for kind in [RepeaterKind::Inverter, RepeaterKind::Buffer] {
+            let cells: Vec<_> = tech
+                .library()
+                .iter()
+                .filter(|c| c.kind() == kind)
+                .collect();
+            let lib_leak: Vec<f64> = cells
+                .iter()
+                .map(|c| c.leakage_power(tech.devices()).si())
+                .collect();
+            let pred_leak: Vec<f64> = cells
+                .iter()
+                .map(|c| {
+                    models
+                        .leakage
+                        .repeater(kind, c.wn(), tech.devices().beta_ratio)
+                        .si()
+                })
+                .collect();
+            let lib_area: Vec<f64> = cells
+                .iter()
+                .map(|c| c.layout_area(tech.layout()).si())
+                .collect();
+            let pred_area: Vec<f64> = cells
+                .iter()
+                .map(|c| models.area.repeater(kind, c.wn()).si())
+                .collect();
+            let leak_err = max_abs_relative_error(&lib_leak, &pred_leak);
+            let area_err = max_abs_relative_error(&lib_area, &pred_area);
+            let leak_ok = leak_err < 0.11;
+            let area_ok = area_err < 0.08;
+            all_ok &= leak_ok && area_ok;
+            table.row(vec![
+                node.name().to_owned(),
+                kind.to_string(),
+                format!("{:.1}%", leak_err * 100.0),
+                format!("{:.1}%", area_err * 100.0),
+                if leak_ok { "< 11% OK" } else { "VIOLATED" }.to_owned(),
+                if area_ok { "< 8% OK" } else { "VIOLATED" }.to_owned(),
+            ]);
+        }
+    }
+
+    println!("Leakage and area model validation against library values");
+    print!("{}", table.render());
+    println!(
+        "\npaper's bounds: leakage model within 11%, area model within 8% \
+         of the library values — {}",
+        if all_ok { "all satisfied" } else { "NOT satisfied" }
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Guard-band study (extension): how much clock derating must NoC
+//! synthesis apply so the manufactured network meets timing under process
+//! variation?
+//!
+//! For each guard band g, the DVOPD testcase is synthesized against a
+//! clock g× faster than the target, then its Monte-Carlo timing yield is
+//! evaluated at the *target* clock under nominal D2D+WID variation.
+
+use pi_bench::TextTable;
+use pi_core::coefficients::builtin;
+use pi_core::line::LineEvaluator;
+use pi_core::variation::VariationModel;
+use pi_cosi::model::ProposedLinkModel;
+use pi_cosi::net_yield::network_timing_yield;
+use pi_cosi::synthesis::{synthesize, SynthesisConfig};
+use pi_cosi::testcases::dvopd;
+use pi_tech::units::Freq;
+use pi_tech::{DesignStyle, TechNode, Technology};
+
+const SAMPLES: usize = 500;
+const SEED: u64 = 77;
+
+fn main() {
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let target = Freq::ghz(2.25);
+    let variation = VariationModel::nominal();
+    let spec = dvopd();
+
+    println!(
+        "Guard-band sweep — {} @ {node}, target {} GHz, sigma_d2d {:.0}% + sigma_wid {:.0}%, {} samples",
+        spec.name,
+        target.as_ghz(),
+        variation.sigma_d2d * 100.0,
+        variation.sigma_wid * 100.0,
+        SAMPLES
+    );
+    let mut table = TextTable::new(vec![
+        "guard band",
+        "design clock [GHz]",
+        "relays",
+        "link dyn [mW]",
+        "network yield",
+        "weakest link yield",
+    ]);
+
+    for derate in [1.0, 0.95, 0.9, 0.85, 0.8, 0.7] {
+        let design_clock = Freq::hz(target.si() / derate);
+        let model = ProposedLinkModel::new(
+            &evaluator,
+            DesignStyle::SingleSpacing,
+            design_clock,
+            0.25,
+        );
+        let net = match synthesize(&spec, &model, &SynthesisConfig::at_clock(design_clock)) {
+            Ok(n) => n,
+            Err(e) => {
+                println!("  derate {derate}: synthesis failed ({e})");
+                continue;
+            }
+        };
+        let y = network_timing_yield(
+            &net,
+            &evaluator,
+            DesignStyle::SingleSpacing,
+            &variation,
+            target,
+            SAMPLES,
+            SEED,
+        );
+        let link_dyn: f64 = net
+            .channels
+            .iter()
+            .map(|c| c.cost.power.dynamic.as_mw())
+            .sum();
+        table.row(vec![
+            format!("{:.0}%", (1.0 - derate) * 100.0),
+            format!("{:.2}", design_clock.as_ghz()),
+            format!("{}", net.relay_count()),
+            format!("{link_dyn:.0}"),
+            format!("{:.1}%", y.yield_fraction * 100.0),
+            format!("{:.1}%", y.limiting_channel().1 * 100.0),
+        ]);
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\nreading the table: links synthesized exactly at the target period \
+         have no slack, so a handful of critical links collapse the whole \
+         network's yield; a 10-20% guard band restores it, at the cost of \
+         more relays and link power — the trade variation-aware synthesis \
+         automates."
+    );
+}

@@ -1,0 +1,80 @@
+//! Regenerates the §III-D staggering study: setting the Miller factor to
+//! zero by staggered repeater insertion trades a small delay increase for
+//! a significant power reduction during buffering optimization.
+//!
+//! The paper reports that "power can be reduced by 20% at the cost of just
+//! above 2% degradation in delay" for the 90/65/45 nm technologies.
+
+use pi_bench::{pct, TextTable};
+use pi_core::buffering::{BufferingObjective, SearchSpace};
+use pi_core::coefficients::builtin;
+use pi_core::line::{LineEvaluator, LineSpec};
+use pi_tech::units::Length;
+use pi_tech::{DesignStyle, TechNode, Technology};
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "tech",
+        "L [mm]",
+        "delay wc [ps]",
+        "delay stag [ps]",
+        "ddelay",
+        "power wc [mW]",
+        "power stag [mW]",
+        "dpower",
+    ]);
+
+    for node in TechNode::VALIDATED {
+        let tech = Technology::new(node);
+        let models = builtin(node);
+        let evaluator = LineEvaluator::new(&models, &tech);
+        let clock = pi_bench::table3_clock(node);
+        for l in [3.0, 5.0, 10.0] {
+            let spec = LineSpec::global(Length::mm(l), DesignStyle::SingleSpacing);
+            // Power-weighted objective under a deadline, as in link design.
+            let objective = BufferingObjective {
+                delay_weight: 0.3,
+                activity: 0.25,
+                clock,
+            };
+            let space = SearchSpace::for_length(spec.length);
+            let wc = evaluator
+                .optimize_buffering(&spec, &objective, &space)
+                .expect("search space non-empty");
+            let stag = evaluator
+                .optimize_buffering(&spec, &objective, &SearchSpace::for_length(spec.length).staggered())
+                .expect("search space non-empty");
+            // Staggering lets the optimizer hit the same delay with fewer /
+            // smaller repeaters; compare at (approximately) iso-delay by
+            // re-running the staggered search under the worst-case delay
+            // as a deadline.
+            let iso = evaluator
+                .optimize_with_deadline(
+                    &spec,
+                    wc.timing.delay * 1.03,
+                    &objective,
+                    &SearchSpace::for_length(spec.length).staggered(),
+                )
+                .unwrap_or(stag);
+            let d_delay = (iso.timing.delay - wc.timing.delay) / wc.timing.delay;
+            let d_power = (iso.power.total() - wc.power.total()) / wc.power.total();
+            table.row(vec![
+                node.name().to_owned(),
+                format!("{l:.0}"),
+                format!("{:.0}", wc.timing.delay.as_ps()),
+                format!("{:.0}", iso.timing.delay.as_ps()),
+                pct(d_delay),
+                format!("{:.2}", wc.power.total().as_mw()),
+                format!("{:.2}", iso.power.total().as_mw()),
+                pct(d_power),
+            ]);
+        }
+    }
+
+    println!("Staggered repeater insertion (Miller factor 0) vs worst-case coupling");
+    print!("{}", table.render());
+    println!(
+        "\npaper's shape: ~20% power reduction for ~2% delay degradation \
+         across 90/65/45 nm"
+    );
+}

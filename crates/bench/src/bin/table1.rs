@@ -1,0 +1,74 @@
+//! Regenerates **Table I**: fitting coefficients for the predictive models
+//! across six technologies.
+//!
+//! By default prints the shipped coefficient table; pass `--recalibrate`
+//! to rerun the full characterization + regression pipeline (slow) and
+//! print freshly fitted values alongside the shipped ones.
+
+use pi_bench::TextTable;
+use pi_core::calibrate::{calibrate, CalibrationGrid};
+use pi_core::coefficients;
+use pi_core::repeater_model::{EdgeModel, Transition};
+use pi_tech::{RepeaterKind, TechNode, Technology};
+
+fn edge_cells(e: &EdgeModel) -> Vec<String> {
+    vec![
+        format!("{:.2}", e.intrinsic.p0 * 1e12),
+        format!("{:.3}", e.intrinsic.p1),
+        format!("{:.2}", e.intrinsic.p2 * 1e-6),
+        format!("{:.0}", e.resistance.rho0),
+        format!("{:.2}", e.resistance.rho1 * 1e-12),
+        format!("{:.2}", e.slew.g0 * 1e12),
+        format!("{:.3}", e.slew.g1 * 1e6),
+        format!("{:.0}", e.slew.g2 * 1e-3),
+    ]
+}
+
+fn print_models(title: &str, models: &[pi_core::CalibratedModels]) {
+    println!("== {title} ==");
+    println!(
+        "columns: p0 [ps]  p1 [-]  p2 [1/µs]  rho0 [Ω·µm]  rho1 [Ω·µm/ps]  \
+         g0 [ps]  g1 [µm]  g2 [ps/fF]  kappa [fF/µm]"
+    );
+    for kind in [RepeaterKind::Inverter, RepeaterKind::Buffer] {
+        let mut table = TextTable::new(vec![
+            "tech", "edge", "p0", "p1", "p2", "rho0", "rho1", "g0", "g1", "g2", "kappa",
+        ]);
+        for m in models {
+            let r = m.repeater(kind);
+            for tr in Transition::BOTH {
+                let mut cells = vec![m.node.name().to_owned(), tr.label().to_owned()];
+                cells.extend(edge_cells(r.edge(tr)));
+                cells.push(format!("{:.3}", r.input_cap.kappa * 1e15 / 1e0));
+                table.row(cells);
+            }
+        }
+        println!("\n-- {kind} coefficients --");
+        print!("{}", table.render());
+    }
+    println!();
+}
+
+fn main() {
+    let recalibrate = std::env::args().any(|a| a == "--recalibrate");
+
+    let shipped = coefficients::builtin_all();
+    print_models("Table I (shipped coefficients)", &shipped);
+
+    if recalibrate {
+        let grid = CalibrationGrid::standard();
+        let mut fresh = Vec::new();
+        for node in TechNode::ALL {
+            eprintln!("recalibrating {node} ...");
+            let tech = Technology::new(node);
+            match calibrate(&tech, &grid) {
+                Ok(m) => fresh.push(m),
+                Err(e) => {
+                    eprintln!("{node}: calibration failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        print_models("Table I (freshly recalibrated)", &fresh);
+    }
+}

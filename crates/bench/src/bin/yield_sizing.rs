@@ -1,0 +1,102 @@
+//! Yield-driven sizing study (extension, and a nod to the task's titular
+//! paper "Novel sizing algorithm for yield improvement under process
+//! variation"): starting from the nominal power-optimal buffering of a
+//! link, upsize repeaters until the Monte-Carlo timing yield reaches 95%,
+//! and report what the yield costs in power.
+
+use pi_bench::TextTable;
+use pi_core::buffering::{BufferingObjective, SearchSpace};
+use pi_core::coefficients::builtin;
+use pi_core::line::{LineEvaluator, LineSpec};
+use pi_core::variation::VariationModel;
+use pi_tech::units::{Freq, Length};
+use pi_tech::{DesignStyle, TechNode, Technology};
+
+const SAMPLES: usize = 800;
+const SEED: u64 = 4;
+const TARGET: f64 = 0.95;
+
+fn main() {
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let clock = Freq::ghz(2.0);
+    let variation = VariationModel::nominal();
+
+    println!(
+        "Yield-driven sizing — {node} @ {} GHz, target yield {:.0}%, \
+         sigma_d2d {:.0}% + sigma_wid {:.0}%, {} samples",
+        clock.as_ghz(),
+        TARGET * 100.0,
+        variation.sigma_d2d * 100.0,
+        variation.sigma_wid * 100.0,
+        SAMPLES
+    );
+    let mut table = TextTable::new(vec![
+        "L [mm]",
+        "nominal plan",
+        "nominal yield",
+        "sized plan",
+        "sized yield",
+        "power cost",
+    ]);
+
+    for l in [4.0, 6.0, 8.0, 10.0] {
+        let spec = LineSpec::global(Length::mm(l), DesignStyle::SingleSpacing);
+        let deadline = clock.period();
+        // Nominal design: minimum power meeting the deadline (no margin).
+        let Some(base) = evaluator.optimize_with_deadline(
+            &spec,
+            deadline,
+            &BufferingObjective::balanced(clock),
+            &SearchSpace::for_length(spec.length),
+        ) else {
+            println!("  {l} mm: infeasible at this clock");
+            continue;
+        };
+        let y0 = evaluator.timing_yield(&spec, &base.plan, &variation, deadline, SAMPLES, SEED);
+        let sized = evaluator.size_for_yield(
+            &spec,
+            &base.plan,
+            &variation,
+            deadline,
+            TARGET,
+            SAMPLES,
+            SEED,
+        );
+        match sized {
+            Some(s) => {
+                let p0 = evaluator.power(&spec, &base.plan, 0.25, clock).total();
+                let p1 = evaluator.power(&spec, &s.plan, 0.25, clock).total();
+                table.row(vec![
+                    format!("{l:.0}"),
+                    format!("{}x{:.1}um", base.plan.count, base.plan.wn.as_um()),
+                    format!("{:.1}%", y0 * 100.0),
+                    format!("{}x{:.1}um", s.plan.count, s.plan.wn.as_um()),
+                    format!("{:.1}%", s.achieved_yield * 100.0),
+                    format!("{:+.1}%", (p1 / p0 - 1.0) * 100.0),
+                ]);
+            }
+            None => {
+                table.row(vec![
+                    format!("{l:.0}"),
+                    format!("{}x{:.1}um", base.plan.count, base.plan.wn.as_um()),
+                    format!("{:.1}%", y0 * 100.0),
+                    "unreachable".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                ]);
+            }
+        }
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\nreading the table: zero-margin power-optimal links yield poorly \
+         under variation; targeted repeater upsizing recovers {:.0}% yield \
+         for a modest power premium — sizing margin in exactly the places \
+         the statistics demand, instead of blanket guard-banding.",
+        TARGET * 100.0
+    );
+}

@@ -1,0 +1,184 @@
+//! Shared harness utilities for the table/figure regeneration binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | binary       | artifact |
+//! |--------------|----------|
+//! | `table1`     | Table I — fitting coefficients across six technologies |
+//! | `fig1`       | Fig. 1 — intrinsic delay vs input slew and inverter size |
+//! | `table2`     | Table II — delay-model accuracy vs sign-off (+ RT ratio) |
+//! | `table3`     | Table III — model impact on NoC synthesis |
+//! | `staggering` | §III-D — staggered insertion power/delay tradeoff |
+//! | `accuracy`   | §IV — leakage (< 11%) and area (< 8%) model validation |
+//! | `ablation`   | design-choice ablations called out in DESIGN.md |
+//! | `guardband`  | extension — NoC timing yield vs synthesis guard band |
+//! | `yield_sizing` | extension — sizing for yield improvement under variation |
+//!
+//! `table2` and `table3` accept `--csv` for machine-readable output.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// A plain-text table builder for evaluation reports.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<D: Display>(&mut self, cells: Vec<D>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells that
+    /// contain commas or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numeric-looking cells, left-align the rest.
+                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                    line.push_str(&" ".repeat(widths[i] - cell.len()));
+                    line.push_str(cell);
+                } else {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(widths[i] - cell.len()));
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a signed fraction as a percentage string, e.g. `-12.3%`.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:+.1}%", fraction * 100.0)
+}
+
+/// The clock frequency Table III uses per node: 1.5 / 2.25 / 3.0 GHz for
+/// 90 / 65 / 45 nm.
+#[must_use]
+pub fn table3_clock(node: pi_tech::TechNode) -> pi_tech::units::Freq {
+    use pi_tech::units::Freq;
+    use pi_tech::TechNode;
+    match node {
+        TechNode::N90 => Freq::ghz(1.5),
+        TechNode::N65 => Freq::ghz(2.25),
+        _ => Freq::ghz(3.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha".to_string(), "1".to_string()]);
+        t.row(vec!["b".to_string(), "1234".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].ends_with("1234"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one".to_string()]);
+    }
+
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["plain".to_string(), "with,comma".to_string()]);
+        t.row(vec!["with\"quote".to_string(), "x".to_string()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.07), "-7.0%");
+    }
+
+    #[test]
+    fn table3_clocks_match_paper() {
+        use pi_tech::TechNode;
+        assert!((table3_clock(TechNode::N90).as_ghz() - 1.5).abs() < 1e-12);
+        assert!((table3_clock(TechNode::N65).as_ghz() - 2.25).abs() < 1e-12);
+        assert!((table3_clock(TechNode::N45).as_ghz() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Repeater-area models (§III-C).
+//!
+//! For **existing** technologies, repeater area is fitted linearly against
+//! library layout areas: `a_r = δ0 + δ1 · w_n`. For **future** technologies
+//! (no library yet), the paper derives area from quantities available early
+//! in process development — feature size, contact pitch and row height —
+//! via the fingered-layout construction
+//! `N_f = (w_p + w_n)/(h_row − 4·p_contact)`,
+//! `w_cell = (N_f + 1)·p_contact`, `a_r = h_row · w_cell`.
+
+use pi_regress::{linear_fit, LinearFit, RegressError};
+use pi_tech::library::{LayoutRules, BUFFER_STAGE1_FRACTION};
+use pi_tech::units::{Area, Length};
+use pi_tech::{RepeaterKind, Technology};
+
+/// Linear area model for one repeater kind: `a_r = δ0 + δ1 · w_n[µm]`,
+/// areas in m².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindAreaFit {
+    /// Intercept (m²).
+    pub d0: f64,
+    /// Slope (m² per µm of nMOS width).
+    pub d1: f64,
+    /// Goodness of the fit against the library.
+    pub r_squared: f64,
+}
+
+impl From<LinearFit> for KindAreaFit {
+    fn from(f: LinearFit) -> Self {
+        KindAreaFit {
+            d0: f.intercept,
+            d1: f.slope,
+            r_squared: f.r_squared,
+        }
+    }
+}
+
+/// Fitted area models plus the layout rules needed for the future-node
+/// closed form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Linear fit for inverters.
+    pub inverter: KindAreaFit,
+    /// Linear fit for buffers.
+    pub buffer: KindAreaFit,
+    rules: LayoutRules,
+}
+
+impl AreaModel {
+    /// Fits the linear models against the technology's library cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a regression error on degenerate libraries.
+    pub fn fit(tech: &Technology) -> Result<Self, RegressError> {
+        let rules = *tech.layout();
+        let fit_kind = |kind: RepeaterKind| -> Result<KindAreaFit, RegressError> {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for cell in tech.library().iter().filter(|c| c.kind() == kind) {
+                xs.push(cell.wn().as_um());
+                ys.push(cell.layout_area(&rules).si());
+            }
+            Ok(linear_fit(&xs, &ys)?.into())
+        };
+        Ok(AreaModel {
+            inverter: fit_kind(RepeaterKind::Inverter)?,
+            buffer: fit_kind(RepeaterKind::Buffer)?,
+            rules,
+        })
+    }
+
+    /// Predicted repeater area from the linear (existing-technology) model.
+    #[must_use]
+    pub fn repeater(&self, kind: RepeaterKind, wn: Length) -> Area {
+        let f = match kind {
+            RepeaterKind::Inverter => &self.inverter,
+            RepeaterKind::Buffer => &self.buffer,
+        };
+        Area::m2((f.d0 + f.d1 * wn.as_um()).max(0.0))
+    }
+
+    /// The layout rules the model was fitted with.
+    #[must_use]
+    pub fn rules(&self) -> &LayoutRules {
+        &self.rules
+    }
+
+    /// Future-technology closed form: area from row height and contact
+    /// pitch only (continuous finger count; no library needed).
+    #[must_use]
+    pub fn future_node(rules: &LayoutRules, kind: RepeaterKind, wn: Length, beta: f64) -> Area {
+        let wp = wn * beta;
+        let total = match kind {
+            RepeaterKind::Inverter => wp + wn,
+            RepeaterKind::Buffer => (wp + wn) * (1.0 + BUFFER_STAGE1_FRACTION),
+        };
+        let fingers = (total / rules.max_finger_width()).max(1.0);
+        let cell_width = rules.contact_pitch * (fingers + 1.0);
+        rules.row_height * cell_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_tech::TechNode;
+
+    fn model(node: TechNode) -> (Technology, AreaModel) {
+        let t = Technology::new(node);
+        let m = AreaModel::fit(&t).unwrap();
+        (t, m)
+    }
+
+    #[test]
+    fn linear_model_matches_library_within_paper_bound() {
+        // The paper validates its linear area model to < 8% max error.
+        for node in TechNode::ALL {
+            let (t, m) = model(node);
+            let mut max_err: f64 = 0.0;
+            for cell in t.library() {
+                let lib = cell.layout_area(t.layout());
+                let pred = m.repeater(cell.kind(), cell.wn());
+                max_err = max_err.max(((pred - lib) / lib).abs());
+            }
+            assert!(max_err < 0.08, "{node}: max area error {max_err}");
+        }
+    }
+
+    #[test]
+    fn area_grows_with_size() {
+        let (_, m) = model(TechNode::N65);
+        let a4 = m.repeater(RepeaterKind::Inverter, Length::um(1.2));
+        let a32 = m.repeater(RepeaterKind::Inverter, Length::um(9.6));
+        assert!(a32 > a4);
+    }
+
+    #[test]
+    fn buffer_larger_than_inverter() {
+        let (_, m) = model(TechNode::N90);
+        let wn = Length::um(4.0);
+        assert!(m.repeater(RepeaterKind::Buffer, wn) > m.repeater(RepeaterKind::Inverter, wn));
+    }
+
+    #[test]
+    fn future_node_formula_tracks_library_for_large_cells() {
+        // The continuous finger formula should land close to the quantized
+        // library area for large repeaters (quantization matters less).
+        let (t, _) = model(TechNode::N32);
+        let rules = t.layout();
+        for cell in t.library().iter().filter(|c| c.drive() >= 16) {
+            let lib = cell.layout_area(rules);
+            let pred = AreaModel::future_node(rules, cell.kind(), cell.wn(), 2.0);
+            let err = ((pred - lib) / lib).abs();
+            assert!(err < 0.15, "{}: err {err}", cell.name());
+        }
+    }
+
+    #[test]
+    fn fit_quality_is_high() {
+        let (_, m) = model(TechNode::N45);
+        assert!(m.inverter.r_squared > 0.98, "r² = {}", m.inverter.r_squared);
+        assert!(m.buffer.r_squared > 0.98);
+    }
+}

@@ -1,0 +1,494 @@
+//! Buffering optimization (§III-D).
+//!
+//! Delay-optimal repeater insertion produces impractically large repeaters,
+//! so the paper exhaustively searches the (repeater count × library size)
+//! space for the combination minimizing a *weighted combination of delay
+//! and power*, with binary search used to bound the count range. Staggered
+//! insertion (switch factor 0) is supported as a variant.
+
+use pi_tech::units::{Freq, Length, Time};
+use pi_tech::{RepeaterKind, TechNode};
+
+use crate::line::{BufferingPlan, LineEvaluator, LineSpec, LineTiming};
+use crate::power::PowerBreakdown;
+
+/// Objective for the buffering search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferingObjective {
+    /// Weight on (normalized) delay in `[0, 1]`; the remainder weighs
+    /// (normalized) power. `1.0` reproduces delay-optimal buffering.
+    pub delay_weight: f64,
+    /// Switching-activity factor used for the power term.
+    pub activity: f64,
+    /// Clock frequency used for the power term.
+    pub clock: Freq,
+}
+
+impl BufferingObjective {
+    /// Pure delay minimization.
+    #[must_use]
+    pub fn delay_optimal() -> Self {
+        BufferingObjective {
+            delay_weight: 1.0,
+            activity: 0.25,
+            clock: Freq::ghz(1.0),
+        }
+    }
+
+    /// A balanced delay/power objective at the given clock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pi_core::buffering::{BufferingObjective, SearchSpace};
+    /// use pi_core::coefficients::builtin;
+    /// use pi_core::line::{LineEvaluator, LineSpec};
+    /// use pi_tech::units::{Freq, Length};
+    /// use pi_tech::{DesignStyle, TechNode, Technology};
+    ///
+    /// let tech = Technology::new(TechNode::N65);
+    /// let models = builtin(TechNode::N65);
+    /// let evaluator = LineEvaluator::new(&models, &tech);
+    /// let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    /// let best = evaluator
+    ///     .optimize_buffering(
+    ///         &spec,
+    ///         &BufferingObjective::balanced(Freq::ghz(2.0)),
+    ///         &SearchSpace::for_length(spec.length),
+    ///     )
+    ///     .expect("non-empty space");
+    /// assert!(best.plan.count >= 1);
+    /// ```
+    #[must_use]
+    pub fn balanced(clock: Freq) -> Self {
+        BufferingObjective {
+            delay_weight: 0.5,
+            activity: 0.25,
+            clock,
+        }
+    }
+}
+
+/// Outcome of a buffering search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferingResult {
+    /// The chosen plan.
+    pub plan: BufferingPlan,
+    /// Timing under the chosen plan.
+    pub timing: LineTiming,
+    /// Power under the chosen plan.
+    pub power: PowerBreakdown,
+    /// Normalized objective value of the plan.
+    pub cost: f64,
+}
+
+/// Search-space bounds for the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Repeater kinds to consider.
+    pub kinds: Vec<RepeaterKind>,
+    /// Library drive strengths to consider.
+    pub drives: Vec<u32>,
+    /// Maximum repeater count (defaults scale with line length).
+    pub max_count: usize,
+    /// Whether to use staggered insertion.
+    pub staggered: bool,
+}
+
+impl SearchSpace {
+    /// Default space for a line of the given length: inverters at the
+    /// standard library drives, up to ~4 repeaters per millimeter.
+    #[must_use]
+    pub fn for_length(length: Length) -> Self {
+        let max_count = ((length.as_mm() * 4.0).ceil() as usize).clamp(4, 96);
+        SearchSpace {
+            kinds: vec![RepeaterKind::Inverter],
+            drives: pi_tech::library::STANDARD_DRIVES.to_vec(),
+            max_count,
+            staggered: false,
+        }
+    }
+
+    /// Same space but with staggered insertion.
+    #[must_use]
+    pub fn staggered(mut self) -> Self {
+        self.staggered = true;
+        self
+    }
+}
+
+impl<'a> LineEvaluator<'a> {
+    /// Exhaustively searches the buffering space for the plan minimizing
+    /// the weighted delay/power objective. Delay and power are normalized
+    /// by the best achievable value of each metric over the space, so the
+    /// weight is scale-free.
+    ///
+    /// Returns `None` only for an empty search space.
+    #[must_use]
+    pub fn optimize_buffering(
+        &self,
+        spec: &LineSpec,
+        objective: &BufferingObjective,
+        space: &SearchSpace,
+    ) -> Option<BufferingResult> {
+        let unit = self.tech().layout().unit_nmos_width;
+        let mut candidates = Vec::new();
+        for &kind in &space.kinds {
+            for &drive in &space.drives {
+                for count in 1..=space.max_count {
+                    let plan = BufferingPlan {
+                        kind,
+                        count,
+                        wn: unit * f64::from(drive),
+                        staggered: space.staggered,
+                    };
+                    let timing = self.worst_timing(spec, &plan);
+                    let power = self.power(spec, &plan, objective.activity, objective.clock);
+                    candidates.push((plan, timing, power));
+                }
+            }
+        }
+        let d_min = candidates
+            .iter()
+            .map(|(_, t, _)| t.delay.si())
+            .fold(f64::INFINITY, f64::min);
+        let p_min = candidates
+            .iter()
+            .map(|(_, _, p)| p.total().si())
+            .fold(f64::INFINITY, f64::min);
+        let w = objective.delay_weight;
+        candidates
+            .into_iter()
+            .map(|(plan, timing, power)| {
+                let cost = w * timing.delay.si() / d_min + (1.0 - w) * power.total().si() / p_min;
+                BufferingResult {
+                    plan,
+                    timing,
+                    power,
+                    cost,
+                }
+            })
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+    }
+
+    /// Minimum-power buffering subject to a delay deadline. Returns `None`
+    /// if no plan in the space meets the deadline (the line is infeasible
+    /// at this length/clock — the signal COSI uses to insert relay hops).
+    #[must_use]
+    pub fn optimize_with_deadline(
+        &self,
+        spec: &LineSpec,
+        deadline: Time,
+        objective: &BufferingObjective,
+        space: &SearchSpace,
+    ) -> Option<BufferingResult> {
+        let unit = self.tech().layout().unit_nmos_width;
+        let mut best: Option<BufferingResult> = None;
+        for &kind in &space.kinds {
+            for &drive in &space.drives {
+                for count in 1..=space.max_count {
+                    let plan = BufferingPlan {
+                        kind,
+                        count,
+                        wn: unit * f64::from(drive),
+                        staggered: space.staggered,
+                    };
+                    let timing = self.worst_timing(spec, &plan);
+                    if timing.delay > deadline {
+                        continue;
+                    }
+                    let power = self.power(spec, &plan, objective.activity, objective.clock);
+                    let cost = power.total().si();
+                    if best.as_ref().is_none_or(|b| cost < b.cost) {
+                        best = Some(BufferingResult {
+                            plan,
+                            timing,
+                            power,
+                            cost,
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Longest line (to 1% precision, by binary search) for which some plan
+    /// meets the deadline. This is the "maximum feasible wire length" that
+    /// bounds link lengths during NoC synthesis — the quantity the original
+    /// model is "very optimistic" about (§IV).
+    #[must_use]
+    pub fn max_feasible_length(
+        &self,
+        style: pi_tech::DesignStyle,
+        deadline: Time,
+        objective: &BufferingObjective,
+    ) -> Length {
+        self.max_feasible_length_opts(style, deadline, objective, false)
+    }
+
+    /// [`LineEvaluator::max_feasible_length`] with staggered repeater
+    /// insertion as an option (staggering extends the reach by removing
+    /// Miller amplification from the delay).
+    #[must_use]
+    pub fn max_feasible_length_opts(
+        &self,
+        style: pi_tech::DesignStyle,
+        deadline: Time,
+        objective: &BufferingObjective,
+        staggered: bool,
+    ) -> Length {
+        let feasible = |len: Length| {
+            let spec = LineSpec::global(len, style);
+            let mut space = SearchSpace::for_length(len);
+            space.staggered = staggered;
+            self.optimize_with_deadline(&spec, deadline, objective, &space)
+                .is_some()
+        };
+        let mut lo = Length::mm(0.1);
+        if !feasible(lo) {
+            return Length::ZERO;
+        }
+        let mut hi = Length::mm(0.2);
+        while feasible(hi) && hi.as_mm() < 100.0 {
+            lo = hi;
+            hi *= 2.0;
+        }
+        for _ in 0..12 {
+            let mid = lo.lerp(hi, 0.5);
+            if feasible(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// A tapered buffering solution: a uniform body plus an upsized first
+/// repeater absorbing the slow boundary slew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaperedResult {
+    /// The uniform body plan.
+    pub plan: BufferingPlan,
+    /// nMOS width of the first repeater.
+    pub first_wn: Length,
+    /// Timing with the taper.
+    pub timing: crate::line::LineTiming,
+    /// Delay improvement over the uniform plan.
+    pub delay_gain: Time,
+}
+
+impl<'a> LineEvaluator<'a> {
+    /// Takes the optimizer's best uniform plan and sweeps the first-stage
+    /// size upward, returning the taper that minimizes delay. The first
+    /// stage is the only one driven by the slow boundary slew, so this
+    /// recovers most of the boundary penalty at the cost of one larger
+    /// cell.
+    ///
+    /// Returns `None` if the space is empty.
+    #[must_use]
+    pub fn optimize_tapered(
+        &self,
+        spec: &LineSpec,
+        objective: &BufferingObjective,
+        space: &SearchSpace,
+    ) -> Option<TaperedResult> {
+        let base = self.optimize_buffering(spec, objective, space)?;
+        let unit = self.tech().layout().unit_nmos_width;
+        let base_delay = base.timing.delay;
+        let mut best_first = base.plan.wn;
+        let mut best_timing = base.timing.clone();
+        for &drive in &space.drives {
+            let first = unit * f64::from(drive);
+            if first <= base.plan.wn {
+                continue;
+            }
+            let t = self.timing_tapered(spec, &base.plan, first);
+            if t.delay < best_timing.delay {
+                best_timing = t;
+                best_first = first;
+            }
+        }
+        Some(TaperedResult {
+            plan: base.plan,
+            first_wn: best_first,
+            delay_gain: base_delay - best_timing.delay,
+            timing: best_timing,
+        })
+    }
+}
+
+/// Convenience: the delay-optimal plan for a line (used by Table II, which
+/// evaluates uniformly buffered lines).
+#[must_use]
+pub fn delay_optimal_plan(
+    evaluator: &LineEvaluator<'_>,
+    spec: &LineSpec,
+) -> Option<BufferingResult> {
+    evaluator.optimize_buffering(
+        spec,
+        &BufferingObjective::delay_optimal(),
+        &SearchSpace::for_length(spec.length),
+    )
+}
+
+/// Identifier helper so downstream reports can name a node's evaluator.
+#[must_use]
+pub fn node_of(evaluator: &LineEvaluator<'_>) -> TechNode {
+    evaluator.tech().node()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coefficients::builtin;
+    use pi_tech::{DesignStyle, TechNode, Technology};
+
+    fn setup() -> (Technology, crate::calibrate::CalibratedModels) {
+        (Technology::new(TechNode::N65), builtin(TechNode::N65))
+    }
+
+    #[test]
+    fn delay_optimal_beats_arbitrary_plans_on_delay() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+        let best = delay_optimal_plan(&ev, &spec).unwrap();
+        // Compare against a handful of heuristic plans.
+        for (count, wn_um) in [(2usize, 1.2), (5, 2.4), (10, 4.8), (20, 9.6)] {
+            let plan = BufferingPlan {
+                kind: RepeaterKind::Inverter,
+                count,
+                wn: Length::um(wn_um),
+                staggered: false,
+            };
+            let d = ev.worst_timing(&spec, &plan).delay;
+            assert!(
+                best.timing.delay <= d + Time::ps(1.0),
+                "plan {count}x{wn_um}µm beat the optimizer"
+            );
+        }
+    }
+
+    #[test]
+    fn power_weighting_reduces_power_versus_delay_optimal() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        let space = SearchSpace::for_length(spec.length);
+        let clock = Freq::ghz(2.0);
+        let mut fast_obj = BufferingObjective::delay_optimal();
+        fast_obj.clock = clock; // same clock so the powers are comparable
+        let fast = ev.optimize_buffering(&spec, &fast_obj, &space).unwrap();
+        let mut obj = BufferingObjective::balanced(clock);
+        obj.delay_weight = 0.3;
+        let frugal = ev.optimize_buffering(&spec, &obj, &space).unwrap();
+        assert!(frugal.power.total() < fast.power.total());
+        assert!(frugal.timing.delay >= fast.timing.delay);
+    }
+
+    #[test]
+    fn deadline_optimizer_respects_deadline() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(4.0), DesignStyle::SingleSpacing);
+        let space = SearchSpace::for_length(spec.length);
+        let obj = BufferingObjective::balanced(Freq::ghz(2.0));
+        let deadline = Time::ps(600.0);
+        let r = ev
+            .optimize_with_deadline(&spec, deadline, &obj, &space)
+            .unwrap();
+        assert!(r.timing.delay <= deadline);
+    }
+
+    #[test]
+    fn impossible_deadline_is_infeasible() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(10.0), DesignStyle::SingleSpacing);
+        let space = SearchSpace::for_length(spec.length);
+        let obj = BufferingObjective::balanced(Freq::ghz(2.0));
+        assert!(ev
+            .optimize_with_deadline(&spec, Time::ps(10.0), &obj, &space)
+            .is_none());
+    }
+
+    #[test]
+    fn max_feasible_length_monotone_in_deadline() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let obj = BufferingObjective::balanced(Freq::ghz(2.0));
+        let short = ev.max_feasible_length(DesignStyle::SingleSpacing, Time::ps(300.0), &obj);
+        let long = ev.max_feasible_length(DesignStyle::SingleSpacing, Time::ps(700.0), &obj);
+        assert!(long > short);
+        assert!(short.as_mm() > 0.2, "short = {} mm", short.as_mm());
+    }
+
+    #[test]
+    fn staggered_reach_exceeds_worst_case_reach() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let obj = BufferingObjective::balanced(Freq::ghz(2.0));
+        let normal = ev.max_feasible_length(DesignStyle::SingleSpacing, Time::ps(400.0), &obj);
+        let staggered =
+            ev.max_feasible_length_opts(DesignStyle::SingleSpacing, Time::ps(400.0), &obj, true);
+        assert!(staggered > normal);
+    }
+
+    #[test]
+    fn staggered_space_allows_longer_lines() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(6.0), DesignStyle::SingleSpacing);
+        let obj = BufferingObjective::delay_optimal();
+        let normal = ev
+            .optimize_buffering(&spec, &obj, &SearchSpace::for_length(spec.length))
+            .unwrap();
+        let staggered = ev
+            .optimize_buffering(&spec, &obj, &SearchSpace::for_length(spec.length).staggered())
+            .unwrap();
+        assert!(staggered.timing.delay < normal.timing.delay);
+    }
+
+    #[test]
+    fn tapering_never_hurts_delay() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(6.0), DesignStyle::SingleSpacing);
+        let obj = BufferingObjective::balanced(Freq::ghz(2.0));
+        let space = SearchSpace::for_length(spec.length);
+        let base = ev.optimize_buffering(&spec, &obj, &space).unwrap();
+        let tapered = ev.optimize_tapered(&spec, &obj, &space).unwrap();
+        assert!(tapered.timing.delay <= base.timing.delay);
+        assert!(tapered.delay_gain.si() >= 0.0);
+        assert!(tapered.first_wn >= tapered.plan.wn);
+    }
+
+    #[test]
+    fn tapering_helps_when_body_is_small() {
+        // Force a small uniform body: the slow 300 ps boundary slew then
+        // costs the first stage dearly, and an upsized first repeater must
+        // recover measurable delay.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(6.0), DesignStyle::SingleSpacing);
+        let plan = crate::line::BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 8,
+            wn: t.layout().unit_nmos_width * 8.0,
+            staggered: false,
+        };
+        let uniform = ev.timing(&spec, &plan).delay;
+        let tapered = ev
+            .timing_tapered(&spec, &plan, t.layout().unit_nmos_width * 32.0)
+            .delay;
+        assert!(
+            tapered < uniform - Time::ps(3.0),
+            "uniform {} ps vs tapered {} ps",
+            uniform.as_ps(),
+            tapered.as_ps()
+        );
+    }
+}

@@ -1,0 +1,493 @@
+//! Model calibration: characterization + regression (§III-E).
+//!
+//! This module reproduces the paper's methodology end to end: it sweeps a
+//! grid of (repeater size × input slew × load capacitance) points through
+//! the transient simulator, then extracts the model coefficients by the
+//! exact sequence of regressions the paper describes:
+//!
+//! 1. per (size, slew): **linear fit** of delay vs. load → intercept
+//!    `i(s_i)` and slope `r_d(s_i, w)`;
+//! 2. intrinsic delay: **quadratic fit** of the (size-averaged) intercepts
+//!    over input slew;
+//! 3. drive resistance: per size, **linear fit** of `r_d` over slew →
+//!    `r_d0(w)`, `r_d1(w)`; then **zero-intercept fits** of those against
+//!    `1/w` → ρ0, ρ1;
+//! 4. output slew: **multiple linear regression** of `s_o` on
+//!    `[s_i/w, c_l]`;
+//! 5. input capacitance: **zero-intercept fit** of cell input capacitance
+//!    against total device width;
+//! 6. leakage and area: **linear fits** over the library cells (see
+//!    [`crate::power`] and [`crate::area`]).
+
+use std::fmt;
+
+use pi_regress::{
+    linear_fit, linear_fit_zero_intercept, multi_linear_fit, poly_fit, RegressError,
+};
+use pi_spice::cmos::characterize_repeater;
+use pi_spice::SimError;
+use pi_tech::units::{Cap, Length, Time};
+use pi_tech::{RepeaterKind, TechNode, Technology};
+
+use crate::area::AreaModel;
+use crate::power::LeakageModel;
+use crate::repeater_model::{
+    DriveResistance, EdgeModel, InputCap, IntrinsicDelay, OutputSlew, RepeaterModel, Transition,
+};
+
+/// Error produced by the calibration pipeline.
+#[derive(Debug)]
+pub enum CalibrateError {
+    /// The underlying transient simulation failed.
+    Sim(SimError),
+    /// A regression failed (degenerate grid).
+    Fit(RegressError),
+    /// The grid was too small for the regressions.
+    GridTooSmall(&'static str),
+}
+
+impl fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrateError::Sim(e) => write!(f, "characterization failed: {e}"),
+            CalibrateError::Fit(e) => write!(f, "coefficient fit failed: {e}"),
+            CalibrateError::GridTooSmall(what) => {
+                write!(f, "calibration grid too small: need more {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibrateError::Sim(e) => Some(e),
+            CalibrateError::Fit(e) => Some(e),
+            CalibrateError::GridTooSmall(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for CalibrateError {
+    fn from(e: SimError) -> Self {
+        CalibrateError::Sim(e)
+    }
+}
+
+impl From<RegressError> for CalibrateError {
+    fn from(e: RegressError) -> Self {
+        CalibrateError::Fit(e)
+    }
+}
+
+/// The characterization grid: which sizes, input slews and loads to sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationGrid {
+    /// Library drive strengths to characterize (mapped to nMOS widths via
+    /// the technology's unit width).
+    pub drives: Vec<u32>,
+    /// Input slews (10–90%).
+    pub slews: Vec<Time>,
+    /// Lumped loads, as multiples of the characterized cell's input
+    /// capacitance (the Liberty convention: load indices scale with the
+    /// cell drive, so every size is fitted over a comparable window).
+    pub load_factors: Vec<f64>,
+}
+
+impl CalibrationGrid {
+    /// The standard grid used to produce the shipped Table I coefficients:
+    /// 5 sizes × 5 slews × 5 loads.
+    #[must_use]
+    pub fn standard() -> Self {
+        CalibrationGrid {
+            drives: vec![4, 8, 16, 24, 32],
+            slews: [20.0, 60.0, 120.0, 200.0, 320.0]
+                .iter()
+                .map(|&ps| Time::ps(ps))
+                .collect(),
+            load_factors: vec![2.0, 6.0, 15.0, 30.0, 60.0],
+        }
+    }
+
+    /// A reduced 3×3×3 grid for fast calibration in tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        CalibrationGrid {
+            drives: vec![4, 12, 32],
+            slews: [30.0, 120.0, 300.0].iter().map(|&ps| Time::ps(ps)).collect(),
+            load_factors: vec![3.0, 15.0, 45.0],
+        }
+    }
+
+    /// Validates the grid supports all regressions (≥3 slews for the
+    /// quadratic fit, ≥2 sizes and loads for the linear fits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalibrateError::GridTooSmall`] naming the deficient axis.
+    pub fn validate(&self) -> Result<(), CalibrateError> {
+        if self.slews.len() < 3 {
+            return Err(CalibrateError::GridTooSmall("input slews (need ≥ 3)"));
+        }
+        if self.drives.len() < 2 {
+            return Err(CalibrateError::GridTooSmall("repeater sizes (need ≥ 2)"));
+        }
+        if self.load_factors.len() < 2 {
+            return Err(CalibrateError::GridTooSmall("load factors (need ≥ 2)"));
+        }
+        Ok(())
+    }
+}
+
+/// One raw characterization observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawPoint {
+    /// nMOS width of the characterized repeater.
+    pub wn: Length,
+    /// Input slew applied.
+    pub input_slew: Time,
+    /// Lumped load driven.
+    pub load: Cap,
+    /// Measured 50%–50% delay.
+    pub delay: Time,
+    /// Measured 10%–90% output slew.
+    pub output_slew: Time,
+}
+
+/// Runs the characterization grid for one repeater kind and output
+/// transition, producing the raw data the fits consume.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn characterize_grid(
+    tech: &Technology,
+    kind: RepeaterKind,
+    transition: Transition,
+    grid: &CalibrationGrid,
+) -> Result<Vec<RawPoint>, CalibrateError> {
+    let devices = tech.devices();
+    let unit = tech.layout().unit_nmos_width;
+    let rising = matches!(transition, Transition::Rise);
+    let mut points =
+        Vec::with_capacity(grid.drives.len() * grid.slews.len() * grid.load_factors.len());
+    for &drive in &grid.drives {
+        let wn = unit * f64::from(drive);
+        // Load unit: the input capacitance of a same-size inverter (the
+        // output stage is size `wn` for both repeater kinds).
+        let load_unit = devices.inverter_cin(wn);
+        for &slew in &grid.slews {
+            for &factor in &grid.load_factors {
+                let load = Cap::from_si(load_unit.si() * factor);
+                let m = characterize_repeater(devices, kind, wn, slew, load, rising)?;
+                points.push(RawPoint {
+                    wn,
+                    input_slew: slew,
+                    load,
+                    delay: m.delay,
+                    output_slew: m.output_slew,
+                });
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Fits an [`EdgeModel`] from raw characterization data, following the
+/// paper's regression sequence.
+///
+/// # Errors
+///
+/// Returns an error if the data is degenerate for any of the fits.
+pub fn fit_edge_model(
+    tech: &Technology,
+    kind: RepeaterKind,
+    transition: Transition,
+    points: &[RawPoint],
+) -> Result<EdgeModel, CalibrateError> {
+    let beta = tech.devices().beta_ratio;
+    // Conducting-device width for this transition.
+    let width_of = |wn: Length| match transition {
+        Transition::Rise => wn * beta,
+        Transition::Fall => wn,
+    };
+
+    // Unique sizes and slews present in the data (in insertion order).
+    let mut sizes: Vec<Length> = Vec::new();
+    let mut slews: Vec<Time> = Vec::new();
+    for p in points {
+        if !sizes.iter().any(|s| (*s - p.wn).abs().si() < 1e-12) {
+            sizes.push(p.wn);
+        }
+        if !slews.iter().any(|s| (*s - p.input_slew).abs().si() < 1e-18) {
+            slews.push(p.input_slew);
+        }
+    }
+    if sizes.len() < 2 || slews.len() < 3 {
+        return Err(CalibrateError::GridTooSmall(
+            "distinct sizes/slews in raw data",
+        ));
+    }
+
+    // Step 1: delay vs load per (size, slew) → intercept i, slope r_d.
+    let mut intercepts_by_slew: Vec<Vec<f64>> = vec![Vec::new(); slews.len()];
+    let mut rd_by_size_slew: Vec<Vec<f64>> = vec![vec![f64::NAN; slews.len()]; sizes.len()];
+    for (si_idx, &slew) in slews.iter().enumerate() {
+        for (sz_idx, &wn) in sizes.iter().enumerate() {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for p in points {
+                if (p.wn - wn).abs().si() < 1e-12 && (p.input_slew - slew).abs().si() < 1e-18 {
+                    xs.push(p.load.si());
+                    ys.push(p.delay.si());
+                }
+            }
+            let fit = linear_fit(&xs, &ys)?;
+            intercepts_by_slew[si_idx].push(fit.intercept);
+            rd_by_size_slew[sz_idx][si_idx] = fit.slope;
+        }
+    }
+
+    // Step 2: intrinsic delay — quadratic in slew on size-averaged
+    // intercepts (the paper's Fig. 1 shows size-independence).
+    let slew_xs: Vec<f64> = slews.iter().map(|s| s.si()).collect();
+    let mean_intercepts: Vec<f64> = intercepts_by_slew
+        .iter()
+        .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+        .collect();
+    let quad = poly_fit(&slew_xs, &mean_intercepts, 2)?;
+    let intrinsic = IntrinsicDelay {
+        p0: quad.coeffs[0],
+        p1: quad.coeffs[1],
+        p2: quad.coeffs[2],
+    };
+
+    // Step 3: drive resistance — r_d linear in slew per size, then both
+    // coefficients ∝ 1/w with zero intercept.
+    let mut inv_w = Vec::with_capacity(sizes.len());
+    let mut rd0s = Vec::with_capacity(sizes.len());
+    let mut rd1s = Vec::with_capacity(sizes.len());
+    for (sz_idx, &wn) in sizes.iter().enumerate() {
+        let fit = linear_fit(&slew_xs, &rd_by_size_slew[sz_idx])?;
+        inv_w.push(1.0 / width_of(wn).as_um());
+        rd0s.push(fit.intercept);
+        rd1s.push(fit.slope);
+    }
+    let rho0 = linear_fit_zero_intercept(&inv_w, &rd0s)?.slope;
+    let rho1 = linear_fit_zero_intercept(&inv_w, &rd1s)?.slope;
+    let resistance = DriveResistance { rho0, rho1 };
+
+    // Step 4: output slew — s_o on [s_i/w, c_l] with intercept.
+    let rows_owned: Vec<[f64; 2]> = points
+        .iter()
+        .map(|p| [p.input_slew.si() / width_of(p.wn).as_um(), p.load.si()])
+        .collect();
+    let rows: Vec<&[f64]> = rows_owned.iter().map(|r| &r[..]).collect();
+    let slew_obs: Vec<f64> = points.iter().map(|p| p.output_slew.si()).collect();
+    let so_fit = multi_linear_fit(&rows, &slew_obs, true)?;
+    let slew_model = OutputSlew {
+        g0: so_fit.coeffs[0],
+        g1: so_fit.coeffs[1],
+        g2: so_fit.coeffs[2],
+    };
+
+    Ok(EdgeModel {
+        kind,
+        transition,
+        intrinsic,
+        resistance,
+        slew: slew_model,
+    })
+}
+
+/// Fits the input-capacitance coefficient κ from the library cells of one
+/// kind (zero-intercept fit of `c_i` against `w_p + w_n`).
+///
+/// # Errors
+///
+/// Returns an error if the library has no cells of this kind.
+pub fn fit_input_cap(tech: &Technology, kind: RepeaterKind) -> Result<InputCap, CalibrateError> {
+    let devices = tech.devices();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for cell in tech.library().iter().filter(|c| c.kind() == kind) {
+        // For buffers the input stage is the scaled-down first inverter,
+        // but κ is defined against the *first-stage* device widths.
+        let scale = match kind {
+            RepeaterKind::Inverter => 1.0,
+            RepeaterKind::Buffer => pi_tech::library::BUFFER_STAGE1_FRACTION,
+        };
+        let total_w = (cell.wn() + cell.wp()) * scale;
+        xs.push(total_w.as_um());
+        ys.push(cell.input_cap(devices).si());
+    }
+    let fit = linear_fit_zero_intercept(&xs, &ys)?;
+    Ok(InputCap { kappa: fit.slope })
+}
+
+/// Calibrates one repeater kind (both transitions + input capacitance).
+///
+/// # Errors
+///
+/// Propagates simulation and regression failures.
+pub fn calibrate_repeater(
+    tech: &Technology,
+    kind: RepeaterKind,
+    grid: &CalibrationGrid,
+) -> Result<RepeaterModel, CalibrateError> {
+    grid.validate()?;
+    let rise_pts = characterize_grid(tech, kind, Transition::Rise, grid)?;
+    let fall_pts = characterize_grid(tech, kind, Transition::Fall, grid)?;
+    let rise = fit_edge_model(tech, kind, Transition::Rise, &rise_pts)?;
+    let fall = fit_edge_model(tech, kind, Transition::Fall, &fall_pts)?;
+    let input_cap = fit_input_cap(tech, kind)?;
+    Ok(RepeaterModel {
+        rise,
+        fall,
+        input_cap,
+        beta_ratio: tech.devices().beta_ratio,
+    })
+}
+
+/// The full set of calibrated models for one technology node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedModels {
+    /// Node the models belong to.
+    pub node: TechNode,
+    /// Inverter timing models.
+    pub inverter: RepeaterModel,
+    /// Buffer timing models.
+    pub buffer: RepeaterModel,
+    /// Fitted leakage-power model.
+    pub leakage: LeakageModel,
+    /// Fitted / analytic area models.
+    pub area: AreaModel,
+}
+
+impl CalibratedModels {
+    /// The timing model for a repeater kind.
+    #[must_use]
+    pub fn repeater(&self, kind: RepeaterKind) -> &RepeaterModel {
+        match kind {
+            RepeaterKind::Inverter => &self.inverter,
+            RepeaterKind::Buffer => &self.buffer,
+        }
+    }
+}
+
+/// Runs the complete calibration for a technology.
+///
+/// This is the expensive path (hundreds of transient simulations); library
+/// users normally load the shipped coefficients via
+/// [`crate::coefficients::builtin`] instead.
+///
+/// # Errors
+///
+/// Propagates simulation and regression failures.
+pub fn calibrate(
+    tech: &Technology,
+    grid: &CalibrationGrid,
+) -> Result<CalibratedModels, CalibrateError> {
+    Ok(CalibratedModels {
+        node: tech.node(),
+        inverter: calibrate_repeater(tech, RepeaterKind::Inverter, grid)?,
+        buffer: calibrate_repeater(tech, RepeaterKind::Buffer, grid)?,
+        leakage: LeakageModel::fit(tech)?,
+        area: AreaModel::fit(tech)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::new(TechNode::N65)
+    }
+
+    #[test]
+    fn grid_validation_catches_thin_axes() {
+        let mut g = CalibrationGrid::fast();
+        g.slews.truncate(2);
+        assert!(matches!(
+            g.validate(),
+            Err(CalibrateError::GridTooSmall(_))
+        ));
+        assert!(CalibrationGrid::fast().validate().is_ok());
+        assert!(CalibrationGrid::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn characterized_grid_has_full_cardinality() {
+        let g = CalibrationGrid {
+            drives: vec![8, 24],
+            slews: vec![Time::ps(40.0), Time::ps(120.0), Time::ps(280.0)],
+            load_factors: vec![4.0, 25.0],
+        };
+        let pts =
+            characterize_grid(&tech(), RepeaterKind::Inverter, Transition::Fall, &g).unwrap();
+        assert_eq!(pts.len(), 2 * 3 * 2);
+        assert!(pts.iter().all(|p| p.output_slew.si() > 0.0));
+    }
+
+    #[test]
+    fn fitted_inverter_model_is_physical() {
+        let t = tech();
+        let g = CalibrationGrid::fast();
+        let pts = characterize_grid(&t, RepeaterKind::Inverter, Transition::Fall, &g).unwrap();
+        let m = fit_edge_model(&t, RepeaterKind::Inverter, Transition::Fall, &pts).unwrap();
+        // Drive resistance positive and slew-dependent.
+        assert!(m.resistance.rho0 > 0.0, "rho0 = {}", m.resistance.rho0);
+        assert!(m.resistance.rho1 > 0.0, "rho1 = {}", m.resistance.rho1);
+        // Output slew improves with size and worsens with load.
+        assert!(m.slew.g1 > 0.0);
+        assert!(m.slew.g2 > 0.0);
+        // The model reproduces its own calibration points reasonably.
+        // Relative error is measured against max(|delay|, 10 ps): points
+        // with near-zero delay (huge slew into a tiny load) are fitted in
+        // absolute terms, as the paper's tables do.
+        // The grid corner (huge driver, tiny load, very slow input) is the
+        // model form's known weak spot — the paper's own Fig. 1 shows the
+        // size-independence of intrinsic delay is only approximate there —
+        // so the worst-case bound is loose while the mean must be tight.
+        let beta = t.devices().beta_ratio;
+        let mut worst: f64 = 0.0;
+        let mut total = 0.0;
+        for p in &pts {
+            let pred = m.delay(p.input_slew, p.load, p.wn, beta);
+            let denom = p.delay.abs().max(Time::ps(10.0));
+            let err = (pred - p.delay).abs() / denom;
+            worst = worst.max(err);
+            total += err;
+        }
+        let mean = total / pts.len() as f64;
+        assert!(mean < 0.15, "mean self-reproduction error {mean}");
+        assert!(worst < 0.80, "worst self-reproduction error {worst}");
+    }
+
+    #[test]
+    fn input_cap_kappa_close_to_gate_cap() {
+        let t = tech();
+        let k = fit_input_cap(&t, RepeaterKind::Inverter).unwrap();
+        let cg = t.devices().nmos.cgate_per_um.si();
+        assert!(
+            (k.kappa - cg).abs() / cg < 0.05,
+            "kappa = {} vs cg = {}",
+            k.kappa,
+            cg
+        );
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_data() {
+        let t = tech();
+        let pts = vec![RawPoint {
+            wn: Length::um(1.0),
+            input_slew: Time::ps(50.0),
+            load: Cap::ff(10.0),
+            delay: Time::ps(20.0),
+            output_slew: Time::ps(30.0),
+        }];
+        assert!(fit_edge_model(&t, RepeaterKind::Inverter, Transition::Fall, &pts).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Shipped model coefficients for all six technology nodes — the library's
+//! **Table I**.
+//!
+//! These constants were produced by running the full calibration pipeline
+//! ([`crate::calibrate::calibrate`]) with the standard grid; regenerate
+//! them with `cargo run -p pi-core --release --bin gen_coefficients`.
+//! A regression test asserts that re-running the calibration reproduces
+//! these values, so the constants and the pipeline cannot drift apart.
+//!
+//! Layout of each edge-coefficient row: `[p0, p1, p2, rho0, rho1, g0, g1,
+//! g2]` — intrinsic-delay quadratic (s, –, 1/s), drive resistance (Ω·µm,
+//! Ω·µm/s) and output slew (s, s·µm/s, s/F).
+
+use pi_tech::{RepeaterKind, TechNode, Technology};
+
+use crate::area::AreaModel;
+use crate::calibrate::CalibratedModels;
+use crate::power::LeakageModel;
+use crate::repeater_model::{
+    DriveResistance, EdgeModel, InputCap, IntrinsicDelay, OutputSlew, RepeaterModel, Transition,
+};
+
+/// `[p0, p1, p2, rho0, rho1, g0, g1, g2]` for one transition.
+pub type EdgeCoeffs = [f64; 8];
+
+/// Coefficients for one repeater kind: rise and fall rows plus κ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindCoeffs {
+    /// Rise-transition row.
+    pub rise: EdgeCoeffs,
+    /// Fall-transition row.
+    pub fall: EdgeCoeffs,
+    /// Input-capacitance coefficient κ (F/µm).
+    pub kappa: f64,
+}
+
+/// Full shipped coefficient set for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCoeffs {
+    /// Technology node.
+    pub node: TechNode,
+    /// Inverter coefficients.
+    pub inverter: KindCoeffs,
+    /// Buffer coefficients.
+    pub buffer: KindCoeffs,
+}
+
+include!("coefficients_data.rs");
+
+/// The shipped coefficient table (Table I), one entry per node in
+/// [`TechNode::ALL`] order.
+#[must_use]
+pub fn table() -> &'static [NodeCoeffs; 6] {
+    &RAW
+}
+
+/// The shipped coefficients for one node.
+#[must_use]
+pub fn node_coeffs(node: TechNode) -> &'static NodeCoeffs {
+    RAW.iter()
+        .find(|c| c.node == node)
+        .expect("all six nodes are shipped")
+}
+
+fn edge_model(kind: RepeaterKind, transition: Transition, c: &EdgeCoeffs) -> EdgeModel {
+    EdgeModel {
+        kind,
+        transition,
+        intrinsic: IntrinsicDelay {
+            p0: c[0],
+            p1: c[1],
+            p2: c[2],
+        },
+        resistance: DriveResistance {
+            rho0: c[3],
+            rho1: c[4],
+        },
+        slew: OutputSlew {
+            g0: c[5],
+            g1: c[6],
+            g2: c[7],
+        },
+    }
+}
+
+fn repeater_model(kind: RepeaterKind, kc: &KindCoeffs, beta_ratio: f64) -> RepeaterModel {
+    RepeaterModel {
+        rise: edge_model(kind, Transition::Rise, &kc.rise),
+        fall: edge_model(kind, Transition::Fall, &kc.fall),
+        input_cap: InputCap { kappa: kc.kappa },
+        beta_ratio,
+    }
+}
+
+/// Builds the complete calibrated-model set for a node from the shipped
+/// timing coefficients (leakage and area fits are cheap and recomputed from
+/// the technology description).
+///
+/// # Examples
+///
+/// ```
+/// use pi_core::coefficients::builtin;
+/// use pi_tech::TechNode;
+///
+/// let models = builtin(TechNode::N65);
+/// assert_eq!(models.node, TechNode::N65);
+/// assert!(models.inverter.fall.resistance.rho0 > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Never panics for the built-in nodes.
+#[must_use]
+pub fn builtin(node: TechNode) -> CalibratedModels {
+    let tech = Technology::new(node);
+    let kc = node_coeffs(node);
+    let beta = tech.devices().beta_ratio;
+    CalibratedModels {
+        node,
+        inverter: repeater_model(RepeaterKind::Inverter, &kc.inverter, beta),
+        buffer: repeater_model(RepeaterKind::Buffer, &kc.buffer, beta),
+        leakage: LeakageModel::fit(&tech).expect("built-in library fits"),
+        area: AreaModel::fit(&tech).expect("built-in library fits"),
+    }
+}
+
+/// Calibrated models for every shipped node, in [`TechNode::ALL`] order.
+#[must_use]
+pub fn builtin_all() -> Vec<CalibratedModels> {
+    TechNode::ALL.iter().map(|&n| builtin(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_present_in_table() {
+        for node in TechNode::ALL {
+            assert_eq!(node_coeffs(node).node, node);
+        }
+    }
+
+    #[test]
+    fn builtin_models_have_positive_resistance() {
+        for m in builtin_all() {
+            for kind in [RepeaterKind::Inverter, RepeaterKind::Buffer] {
+                let r = m.repeater(kind);
+                for tr in Transition::BOTH {
+                    let e = r.edge(tr);
+                    assert!(
+                        e.resistance.rho0 > 0.0,
+                        "{} {kind} {}: rho0",
+                        m.node,
+                        tr.label()
+                    );
+                    assert!(e.slew.g2 > 0.0, "{} {kind}: g2", m.node);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drive_resistance_grows_along_the_lp_detour() {
+        // The 45 nm low-power node has weaker drive than 65 nm HP, so its
+        // rho0 (per conducting µm) should be larger.
+        let r65 = builtin(TechNode::N65).inverter.fall.resistance.rho0;
+        let r45 = builtin(TechNode::N45).inverter.fall.resistance.rho0;
+        assert!(r45 > r65);
+    }
+
+    #[test]
+    fn buffer_intrinsic_delay_exceeds_inverter() {
+        for m in builtin_all() {
+            let si = pi_tech::units::Time::ps(100.0);
+            let i_inv = m.inverter.fall.intrinsic.eval(si);
+            let i_buf = m.buffer.fall.intrinsic.eval(si);
+            assert!(i_buf > i_inv, "{}: buffer has an extra stage", m.node);
+        }
+    }
+
+    #[test]
+    fn kappa_matches_gate_capacitance_scale() {
+        for node in TechNode::ALL {
+            let tech = Technology::new(node);
+            let kappa = node_coeffs(node).inverter.kappa;
+            let cg = tech.devices().nmos.cgate_per_um.si();
+            assert!(
+                (kappa - cg).abs() / cg < 0.10,
+                "{node}: kappa {kappa} vs cg {cg}"
+            );
+        }
+    }
+}

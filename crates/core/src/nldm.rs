@@ -1,0 +1,401 @@
+//! NLDM-style lookup-table timing model.
+//!
+//! Liberty libraries store delay and output slew as 2-D tables indexed by
+//! input slew × load capacitance, evaluated by bilinear interpolation.
+//! This module builds such tables from the same characterization data the
+//! closed-form models are regressed from, providing the "accurate but
+//! complex" alternative the paper argues system-level designers should not
+//! need: comparing [`NldmLibrary`] against the closed forms quantifies how
+//! much accuracy the five-coefficient models actually give up.
+
+use std::collections::BTreeMap;
+
+use pi_tech::units::{Cap, Length, Time};
+use pi_tech::{RepeaterKind, TechNode, Technology};
+
+use crate::calibrate::{characterize_grid, CalibrateError, CalibrationGrid, RawPoint};
+use crate::line::{BufferingPlan, LineSpec, LineTiming, StageTiming};
+use crate::repeater_model::Transition;
+
+/// A 2-D lookup table over (input slew, load capacitance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2d {
+    slews: Vec<f64>,  // seconds, ascending
+    loads: Vec<f64>,  // farads, ascending
+    values: Vec<f64>, // row-major [slew][load], seconds
+}
+
+impl Table2d {
+    /// Builds a table from axes and row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axes are not strictly ascending or the value count
+    /// does not match.
+    #[must_use]
+    pub fn new(slews: Vec<f64>, loads: Vec<f64>, values: Vec<f64>) -> Self {
+        assert!(
+            slews.windows(2).all(|w| w[1] > w[0]),
+            "slew axis must be strictly ascending"
+        );
+        assert!(
+            loads.windows(2).all(|w| w[1] > w[0]),
+            "load axis must be strictly ascending"
+        );
+        assert_eq!(values.len(), slews.len() * loads.len(), "value count");
+        Table2d {
+            slews,
+            loads,
+            values,
+        }
+    }
+
+    fn bracket(axis: &[f64], x: f64) -> (usize, f64) {
+        // Index of the lower breakpoint and the interpolation fraction;
+        // clamped extrapolation outside the table (Liberty semantics vary,
+        // clamping is the conservative choice).
+        if x <= axis[0] {
+            return (0, 0.0);
+        }
+        let last = axis.len() - 1;
+        if x >= axis[last] {
+            return (last - 1, 1.0);
+        }
+        for i in 0..last {
+            if x <= axis[i + 1] {
+                let f = (x - axis[i]) / (axis[i + 1] - axis[i]);
+                return (i, f);
+            }
+        }
+        unreachable!("axis brackets cover the range")
+    }
+
+    /// Bilinear lookup.
+    #[must_use]
+    pub fn lookup(&self, slew: Time, load: Cap) -> Time {
+        let (i, fi) = Self::bracket(&self.slews, slew.si());
+        let (j, fj) = Self::bracket(&self.loads, load.si());
+        let cols = self.loads.len();
+        let v00 = self.values[i * cols + j];
+        let v01 = self.values[i * cols + j + 1];
+        let v10 = self.values[(i + 1) * cols + j];
+        let v11 = self.values[(i + 1) * cols + j + 1];
+        let v0 = v00 + (v01 - v00) * fj;
+        let v1 = v10 + (v11 - v10) * fj;
+        Time::s(v0 + (v1 - v0) * fi)
+    }
+
+    /// The slew axis (seconds).
+    #[must_use]
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slews
+    }
+
+    /// The load axis (farads).
+    #[must_use]
+    pub fn load_axis(&self) -> &[f64] {
+        &self.loads
+    }
+}
+
+/// Delay + output-slew tables of one cell for one output transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTables {
+    /// Delay table.
+    pub delay: Table2d,
+    /// Output-slew table.
+    pub output_slew: Table2d,
+}
+
+/// Key identifying a characterized cell variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CellKey {
+    kind_is_buffer: bool,
+    rise: bool,
+    /// nMOS width in integer nanometers (table key).
+    wn_nm: u64,
+}
+
+/// A table-based timing library for one technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NldmLibrary {
+    node: TechNode,
+    cells: BTreeMap<CellKey, CellTables>,
+    /// Characterized nMOS widths, ascending (shared by both kinds).
+    sizes: Vec<Length>,
+    /// Input capacitance per µm of nMOS width (from the device data).
+    cin_per_wn: f64,
+    beta_ratio: f64,
+}
+
+impl NldmLibrary {
+    /// Characterizes a full table library over the grid (both kinds, both
+    /// transitions, every drive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn characterize(tech: &Technology, grid: &CalibrationGrid) -> Result<Self, CalibrateError> {
+        grid.validate()?;
+        let mut cells = BTreeMap::new();
+        let mut sizes: Vec<Length> = Vec::new();
+        for kind in [RepeaterKind::Inverter, RepeaterKind::Buffer] {
+            for transition in Transition::BOTH {
+                let points = characterize_grid(tech, kind, transition, grid)?;
+                for (key, tables) in build_tables(kind, transition, &points) {
+                    if !sizes
+                        .iter()
+                        .any(|s| (s.as_nm() as u64) == key.wn_nm)
+                    {
+                        sizes.push(Length::nm(key.wn_nm as f64));
+                    }
+                    cells.insert(key, tables);
+                }
+            }
+        }
+        sizes.sort_by(|a, b| a.partial_cmp(b).expect("finite sizes"));
+        let d = tech.devices();
+        let cin_per_wn = d.nmos.cgate_per_um.si() + d.pmos.cgate_per_um.si() * d.beta_ratio;
+        Ok(NldmLibrary {
+            node: tech.node(),
+            cells,
+            sizes,
+            cin_per_wn,
+            beta_ratio: d.beta_ratio,
+        })
+    }
+
+    /// The node the library was characterized for.
+    #[must_use]
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// The characterized sizes.
+    #[must_use]
+    pub fn sizes(&self) -> &[Length] {
+        &self.sizes
+    }
+
+    /// Nearest characterized size to `wn`.
+    #[must_use]
+    pub fn nearest_size(&self, wn: Length) -> Length {
+        *self
+            .sizes
+            .iter()
+            .min_by(|a, b| {
+                (**a - wn)
+                    .abs()
+                    .partial_cmp(&(**b - wn).abs())
+                    .expect("finite sizes")
+            })
+            .expect("library has at least one size")
+    }
+
+    fn tables(&self, kind: RepeaterKind, transition: Transition, wn: Length) -> &CellTables {
+        let snapped = self.nearest_size(wn);
+        let key = CellKey {
+            kind_is_buffer: kind == RepeaterKind::Buffer,
+            rise: transition == Transition::Rise,
+            wn_nm: snapped.as_nm().round() as u64,
+        };
+        self.cells.get(&key).expect("characterized cell")
+    }
+
+    /// Table-interpolated stage delay.
+    #[must_use]
+    pub fn delay(
+        &self,
+        kind: RepeaterKind,
+        transition: Transition,
+        wn: Length,
+        input_slew: Time,
+        load: Cap,
+    ) -> Time {
+        self.tables(kind, transition, wn).delay.lookup(input_slew, load)
+    }
+
+    /// Table-interpolated output slew.
+    #[must_use]
+    pub fn output_slew(
+        &self,
+        kind: RepeaterKind,
+        transition: Transition,
+        wn: Length,
+        input_slew: Time,
+        load: Cap,
+    ) -> Time {
+        self.tables(kind, transition, wn)
+            .output_slew
+            .lookup(input_slew, load)
+    }
+
+    /// Input capacitance of a repeater (first-stage gates).
+    #[must_use]
+    pub fn cin(&self, kind: RepeaterKind, wn: Length) -> Cap {
+        let scale = match kind {
+            RepeaterKind::Inverter => 1.0,
+            RepeaterKind::Buffer => pi_tech::library::BUFFER_STAGE1_FRACTION,
+        };
+        Cap::from_si(self.cin_per_wn * wn.as_um() * scale)
+    }
+
+    /// Buffered-line timing using table lookups per stage — the same
+    /// evaluation loop as [`crate::line::LineEvaluator::timing`], with the
+    /// closed forms replaced by tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no repeaters or the technology node differs.
+    #[must_use]
+    pub fn line_timing(
+        &self,
+        tech: &Technology,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+    ) -> LineTiming {
+        assert_eq!(self.node, tech.node(), "library/technology node mismatch");
+        assert!(plan.count > 0, "a buffered line needs at least one repeater");
+        let layer = tech.layer(spec.tier);
+        let mut rc = pi_wire::WireRc::from_layer(layer, spec.style);
+        if plan.staggered && rc.neighbors_switch {
+            rc = rc.with_switch_factor(pi_wire::MILLER_BEST);
+        }
+        let seg_len = spec.length / plan.count as f64;
+        let ci_next = self.cin(plan.kind, plan.wn);
+        let seg_cg = rc.total_cg(seg_len);
+        let seg_cc = rc.total_cc(seg_len);
+        let seg_rw = rc.total_r(seg_len);
+        let sf = rc.switch_factor;
+        let load: Cap = seg_cg + seg_cc * sf + ci_next;
+        let wire_cc_coeff = if rc.neighbors_switch { 0.5 * sf } else { 0.4 };
+        let wire_delay = Time::s(
+            seg_rw.as_ohm()
+                * (0.4 * seg_cg.si() + wire_cc_coeff * seg_cc.si() + 0.7 * ci_next.si()),
+        );
+
+        let mut stages = Vec::with_capacity(plan.count);
+        let mut slew = spec.input_slew;
+        let mut transition = spec.input_transition;
+        for _ in 0..plan.count {
+            let out_transition = transition.through(plan.kind);
+            let repeater_delay = self.delay(plan.kind, out_transition, plan.wn, slew, load);
+            let output_slew = self.output_slew(plan.kind, out_transition, plan.wn, slew, load);
+            stages.push(StageTiming {
+                input_slew: slew,
+                transition: out_transition,
+                repeater_delay,
+                wire_delay,
+                output_slew,
+            });
+            slew = output_slew;
+            transition = out_transition;
+        }
+        let delay = stages.iter().map(StageTiming::delay).sum();
+        LineTiming { delay, stages }
+    }
+}
+
+fn build_tables(
+    kind: RepeaterKind,
+    transition: Transition,
+    points: &[RawPoint],
+) -> Vec<(CellKey, CellTables)> {
+    // Group points by size, then build the (slew × load) grids.
+    let mut by_size: BTreeMap<u64, Vec<&RawPoint>> = BTreeMap::new();
+    for p in points {
+        by_size
+            .entry(p.wn.as_nm().round() as u64)
+            .or_default()
+            .push(p);
+    }
+    let mut out = Vec::with_capacity(by_size.len());
+    for (wn_nm, pts) in by_size {
+        let mut slews: Vec<f64> = pts.iter().map(|p| p.input_slew.si()).collect();
+        slews.sort_by(f64::total_cmp);
+        slews.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+        let mut loads: Vec<f64> = pts.iter().map(|p| p.load.si()).collect();
+        loads.sort_by(f64::total_cmp);
+        loads.dedup_by(|a, b| (*a - *b).abs() < 1e-21);
+        let cols = loads.len();
+        let mut delays = vec![f64::NAN; slews.len() * cols];
+        let mut oslews = vec![f64::NAN; slews.len() * cols];
+        for p in &pts {
+            let i = slews
+                .iter()
+                .position(|&s| (s - p.input_slew.si()).abs() < 1e-18)
+                .expect("slew on axis");
+            let j = loads
+                .iter()
+                .position(|&l| (l - p.load.si()).abs() < 1e-21)
+                .expect("load on axis");
+            delays[i * cols + j] = p.delay.si();
+            oslews[i * cols + j] = p.output_slew.si();
+        }
+        assert!(
+            delays.iter().all(|v| v.is_finite()),
+            "characterization grid must be complete"
+        );
+        let key = CellKey {
+            kind_is_buffer: kind == RepeaterKind::Buffer,
+            rise: transition == Transition::Rise,
+            wn_nm,
+        };
+        out.push((
+            key,
+            CellTables {
+                delay: Table2d::new(slews.clone(), loads.clone(), delays),
+                output_slew: Table2d::new(slews, loads, oslews),
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_table() -> Table2d {
+        // values = slew_index * 10 + load_index, easy to verify.
+        Table2d::new(
+            vec![1e-11, 2e-11, 4e-11],
+            vec![1e-14, 2e-14],
+            vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0],
+        )
+    }
+
+    #[test]
+    fn lookup_exact_on_grid_points() {
+        let t = square_table();
+        assert_eq!(t.lookup(Time::s(2e-11), Cap::f(1e-14)).si(), 10.0);
+        assert_eq!(t.lookup(Time::s(4e-11), Cap::f(2e-14)).si(), 21.0);
+    }
+
+    #[test]
+    fn lookup_interpolates_bilinearly() {
+        let t = square_table();
+        // Midpoint between (1e-11,1e-14)=0 and (2e-11,2e-14)=11.
+        let v = t.lookup(Time::s(1.5e-11), Cap::f(1.5e-14)).si();
+        assert!((v - 5.5).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn lookup_clamps_out_of_range() {
+        let t = square_table();
+        assert_eq!(t.lookup(Time::s(1e-13), Cap::f(1e-16)).si(), 0.0);
+        assert_eq!(t.lookup(Time::s(1.0), Cap::f(1.0)).si(), 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_axis_rejected() {
+        let _ = Table2d::new(vec![2.0, 1.0], vec![1.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count")]
+    fn wrong_value_count_rejected() {
+        let _ = Table2d::new(vec![1.0, 2.0], vec![1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Power models (§III-C).
+//!
+//! Leakage: both subthreshold and gate components depend linearly on device
+//! width, so the paper fits `p_sn = σ0n + σ1n·w_n` and
+//! `p_sp = σ0p + σ1p·w_p` by linear regression and averages over output
+//! states: `p_s = (p_sn + p_sp)/2`.
+//!
+//! Dynamic: the standard `p_d = α · c_l · V_dd² · f`.
+
+use pi_regress::{linear_fit, RegressError};
+use pi_tech::device::MosPolarity;
+use pi_tech::library::BUFFER_STAGE1_FRACTION;
+use pi_tech::units::{Cap, Freq, Length, Power, Volt};
+use pi_tech::{RepeaterKind, Technology};
+
+/// Fitted linear leakage model for one technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageModel {
+    /// nMOS intercept (W).
+    pub n0: f64,
+    /// nMOS slope (W per µm of width).
+    pub n1: f64,
+    /// pMOS intercept (W).
+    pub p0: f64,
+    /// pMOS slope (W per µm of width).
+    pub p1: f64,
+}
+
+impl LeakageModel {
+    /// Fits the leakage model against the device-level leakage of a size
+    /// sweep (the "library values").
+    ///
+    /// # Errors
+    ///
+    /// Returns a regression error on degenerate inputs (cannot happen with
+    /// the built-in technologies).
+    pub fn fit(tech: &Technology) -> Result<Self, RegressError> {
+        let devices = tech.devices();
+        let vdd = devices.vdd;
+        let unit = tech.layout().unit_nmos_width;
+        let sweep: Vec<f64> = [2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0]
+            .iter()
+            .map(|d| (unit * *d).as_um())
+            .collect();
+        let leak_n: Vec<f64> = sweep
+            .iter()
+            .map(|&w| (vdd * devices.nmos.leakage_of_width(Length::um(w), vdd)).si())
+            .collect();
+        let fit_n = linear_fit(&sweep, &leak_n)?;
+        let sweep_p: Vec<f64> = sweep.iter().map(|w| w * devices.beta_ratio).collect();
+        let leak_p: Vec<f64> = sweep_p
+            .iter()
+            .map(|&w| (vdd * devices.pmos.leakage_of_width(Length::um(w), vdd)).si())
+            .collect();
+        let fit_p = linear_fit(&sweep_p, &leak_p)?;
+        Ok(LeakageModel {
+            n0: fit_n.intercept,
+            n1: fit_n.slope,
+            p0: fit_p.intercept,
+            p1: fit_p.slope,
+        })
+    }
+
+    /// Predicted leakage power of a single device of the given width.
+    #[must_use]
+    pub fn device(&self, polarity: MosPolarity, width: Length) -> Power {
+        let w = width.as_um();
+        let p = match polarity {
+            MosPolarity::Nmos => self.n0 + self.n1 * w,
+            MosPolarity::Pmos => self.p0 + self.p1 * w,
+        };
+        Power::w(p.max(0.0))
+    }
+
+    /// Predicted leakage power of a repeater, averaged over output states:
+    /// `p_s = (p_sn + p_sp)/2`, with the buffer's first stage included.
+    #[must_use]
+    pub fn repeater(&self, kind: RepeaterKind, wn: Length, beta_ratio: f64) -> Power {
+        let wp = wn * beta_ratio;
+        let stage = |wn: Length, wp: Length| {
+            (self.device(MosPolarity::Nmos, wn) + self.device(MosPolarity::Pmos, wp)) * 0.5
+        };
+        match kind {
+            RepeaterKind::Inverter => stage(wn, wp),
+            RepeaterKind::Buffer => {
+                stage(wn, wp)
+                    + stage(wn * BUFFER_STAGE1_FRACTION, wp * BUFFER_STAGE1_FRACTION)
+            }
+        }
+    }
+}
+
+/// Dynamic switching power `p_d = α · c_l · V_dd² · f`.
+#[must_use]
+pub fn dynamic_power(activity: f64, load: Cap, vdd: Volt, clock: Freq) -> Power {
+    let v = vdd.as_v();
+    Power::w(activity * load.si() * v * v * clock.si())
+}
+
+/// The standard NoC link-efficiency metric: energy per transported bit
+/// per millimeter, from the link's dynamic power at full utilization.
+///
+/// `dynamic` is the per-bit-line switching power at activity α and clock
+/// `f`; a fully utilized line moves `α·f` useful bit-toggles per second,
+/// so `energy/bit = dynamic / (α·f)` and this normalizes by distance.
+#[must_use]
+pub fn energy_per_bit_mm(
+    dynamic: Power,
+    activity: f64,
+    clock: Freq,
+    length: pi_tech::units::Length,
+) -> pi_tech::units::Energy {
+    let toggles_per_s = activity * clock.si();
+    pi_tech::units::Energy::j(dynamic.si() / toggles_per_s / length.as_mm())
+}
+
+/// Dynamic and leakage power of a component, with the usual accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Switching (dynamic) component.
+    pub dynamic: Power,
+    /// Static (leakage) component.
+    pub leakage: Power,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    #[must_use]
+    pub fn total(&self) -> Power {
+        self.dynamic + self.leakage
+    }
+}
+
+impl std::ops::Add for PowerBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        PowerBreakdown {
+            dynamic: self.dynamic + rhs.dynamic,
+            leakage: self.leakage + rhs.leakage,
+        }
+    }
+}
+
+impl std::iter::Sum for PowerBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(PowerBreakdown::default(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_tech::TechNode;
+
+    fn model(node: TechNode) -> (Technology, LeakageModel) {
+        let t = Technology::new(node);
+        let m = LeakageModel::fit(&t).unwrap();
+        (t, m)
+    }
+
+    #[test]
+    fn leakage_slopes_positive() {
+        let (_, m) = model(TechNode::N65);
+        assert!(m.n1 > 0.0 && m.p1 > 0.0);
+    }
+
+    #[test]
+    fn leakage_model_matches_library_within_paper_bound() {
+        // The paper validates its linear leakage model to < 11% max error
+        // against library values.
+        for node in TechNode::ALL {
+            let (t, m) = model(node);
+            let devices = t.devices();
+            let mut max_err: f64 = 0.0;
+            for cell in t.library().iter().filter(|c| c.kind() == RepeaterKind::Inverter) {
+                let lib = cell.leakage_power(devices);
+                let pred = m.repeater(RepeaterKind::Inverter, cell.wn(), devices.beta_ratio);
+                max_err = max_err.max(((pred - lib) / lib).abs());
+            }
+            assert!(max_err < 0.11, "{node}: max leakage error {max_err}");
+        }
+    }
+
+    #[test]
+    fn leakage_45nm_lp_much_lower_than_65nm() {
+        let (t65, m65) = model(TechNode::N65);
+        let (t45, m45) = model(TechNode::N45);
+        let w65 = t65.layout().unit_nmos_width * 16.0;
+        let w45 = t45.layout().unit_nmos_width * 16.0;
+        let l65 = m65.repeater(RepeaterKind::Inverter, w65, 2.0);
+        let l45 = m45.repeater(RepeaterKind::Inverter, w45, 2.0);
+        assert!(l45.si() < l65.si() * 0.4);
+    }
+
+    #[test]
+    fn buffer_leaks_more_than_inverter() {
+        let (t, m) = model(TechNode::N90);
+        let wn = t.layout().unit_nmos_width * 12.0;
+        assert!(m.repeater(RepeaterKind::Buffer, wn, 2.0) > m.repeater(RepeaterKind::Inverter, wn, 2.0));
+    }
+
+    #[test]
+    fn dynamic_power_formula() {
+        // 0.5 activity, 100 fF, 1 V, 2 GHz → 0.5·1e-13·1·2e9 = 100 µW.
+        let p = dynamic_power(0.5, Cap::ff(100.0), Volt::v(1.0), Freq::ghz(2.0));
+        assert!((p.as_uw() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_quadratic_in_vdd() {
+        let base = dynamic_power(0.3, Cap::ff(50.0), Volt::v(1.0), Freq::ghz(1.0));
+        let bumped = dynamic_power(0.3, Cap::ff(50.0), Volt::v(1.1), Freq::ghz(1.0));
+        assert!((bumped.si() / base.si() - 1.21).abs() < 1e-9);
+    }
+
+
+    #[test]
+    fn energy_per_bit_normalizes_power() {
+        use pi_tech::units::Length;
+        // 100 µW at α = 0.25 and 2 GHz over 5 mm:
+        // 1e-4 / (0.25·2e9) / 5 = 40 fJ/bit/mm.
+        let e = energy_per_bit_mm(Power::uw(100.0), 0.25, Freq::ghz(2.0), Length::mm(5.0));
+        assert!((e.as_fj() - 40.0).abs() < 1e-9);
+    }
+    #[test]
+    fn breakdown_sums_components() {
+        let a = PowerBreakdown {
+            dynamic: Power::uw(10.0),
+            leakage: Power::uw(2.0),
+        };
+        let b = PowerBreakdown {
+            dynamic: Power::uw(5.0),
+            leakage: Power::uw(1.0),
+        };
+        let s: PowerBreakdown = [a, b].into_iter().sum();
+        assert!((s.total().as_uw() - 18.0).abs() < 1e-9);
+        assert!((s.dynamic.as_uw() - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,374 @@
+//! The paper's closed-form repeater timing model (§III-A).
+//!
+//! A repeater stage's delay decomposes as `d_r = i(s_i) + r_d(s_i, w) · c_l`:
+//!
+//! - the **intrinsic delay** `i` is independent of repeater size but depends
+//!   *quadratically* on input slew: `i(s_i) = p0 + p1·s_i + p2·s_i²`;
+//! - the **drive resistance** is linear in input slew with both intercept
+//!   and slope inversely proportional to size:
+//!   `r_d(s_i, w) = (ρ0 + ρ1·s_i) / w`;
+//! - the **output slew** feeding the next stage is
+//!   `s_o(c_l, s_i, w) = γ0 + γ1·s_i/w + γ2·c_l`;
+//! - the **input capacitance** is `c_i = κ·(w_p + w_n)`.
+//!
+//! All coefficients come from regression against characterization data
+//! (see [`mod@crate::calibrate`]). Rise and fall transitions have identical
+//! functional forms with different coefficients; per the paper, the size
+//! `w` is the pMOS width for rise transitions and the nMOS width for fall
+//! transitions.
+
+use pi_tech::units::{Cap, Length, Res, Time};
+use pi_tech::RepeaterKind;
+
+/// Signal transition direction at the *output* of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transition {
+    /// Output rises (driven by the pMOS pull-up).
+    Rise,
+    /// Output falls (driven by the nMOS pull-down).
+    Fall,
+}
+
+impl Transition {
+    /// Both transitions, in the order used by coefficient tables.
+    pub const BOTH: [Transition; 2] = [Transition::Rise, Transition::Fall];
+
+    /// The opposite transition.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        match self {
+            Transition::Rise => Transition::Fall,
+            Transition::Fall => Transition::Rise,
+        }
+    }
+
+    /// Output transition of a stage given its input transition.
+    #[must_use]
+    pub fn through(self, kind: RepeaterKind) -> Self {
+        match kind {
+            RepeaterKind::Inverter => self.complement(),
+            RepeaterKind::Buffer => self,
+        }
+    }
+
+    /// Short label used in coefficient tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Transition::Rise => "rise",
+            Transition::Fall => "fall",
+        }
+    }
+}
+
+/// Quadratic intrinsic-delay model `i(s_i) = p0 + p1·s_i + p2·s_i²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntrinsicDelay {
+    /// Constant term (seconds).
+    pub p0: f64,
+    /// Linear slew coefficient (dimensionless).
+    pub p1: f64,
+    /// Quadratic slew coefficient (1/seconds).
+    pub p2: f64,
+}
+
+impl IntrinsicDelay {
+    /// Intrinsic delay at the given input slew.
+    #[must_use]
+    pub fn eval(&self, input_slew: Time) -> Time {
+        let s = input_slew.si();
+        Time::s(self.p0 + self.p1 * s + self.p2 * s * s)
+    }
+}
+
+/// Slew- and size-dependent drive resistance
+/// `r_d(s_i, w) = (ρ0 + ρ1·s_i) / w[µm]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriveResistance {
+    /// Size-normalized intercept (Ω·µm).
+    pub rho0: f64,
+    /// Size-normalized slew slope (Ω·µm / s).
+    pub rho1: f64,
+}
+
+impl DriveResistance {
+    /// Drive resistance for a device of width `w` at the given input slew.
+    ///
+    /// `w` is the pMOS width for rise transitions and the nMOS width for
+    /// fall transitions (the conducting device).
+    #[must_use]
+    pub fn eval(&self, input_slew: Time, w: Length) -> Res {
+        Res::ohm((self.rho0 + self.rho1 * input_slew.si()) / w.as_um())
+    }
+}
+
+/// Output-slew model `s_o = γ0 + γ1·s_i/w[µm] + γ2·c_l`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputSlew {
+    /// Constant term (seconds).
+    pub g0: f64,
+    /// Input-slew-over-size coefficient (µm).
+    pub g1: f64,
+    /// Load coefficient (seconds per farad).
+    pub g2: f64,
+}
+
+impl OutputSlew {
+    /// Output slew for the given input slew, conducting-device width and
+    /// load capacitance.
+    #[must_use]
+    pub fn eval(&self, input_slew: Time, w: Length, load: Cap) -> Time {
+        Time::s(self.g0 + self.g1 * input_slew.si() / w.as_um() + self.g2 * load.si())
+    }
+}
+
+/// Input-capacitance model `c_i = κ·(w_p + w_n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputCap {
+    /// Capacitance per unit total device width (F/µm).
+    pub kappa: f64,
+}
+
+impl InputCap {
+    /// Input capacitance for the given pMOS and nMOS widths.
+    #[must_use]
+    pub fn eval(&self, wp: Length, wn: Length) -> Cap {
+        Cap::from_si(self.kappa * (wp.as_um() + wn.as_um()))
+    }
+}
+
+/// Complete timing model of one repeater kind for one output transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeModel {
+    /// Repeater kind the model was characterized for.
+    pub kind: RepeaterKind,
+    /// Output transition modeled.
+    pub transition: Transition,
+    /// Intrinsic-delay coefficients.
+    pub intrinsic: IntrinsicDelay,
+    /// Drive-resistance coefficients.
+    pub resistance: DriveResistance,
+    /// Output-slew coefficients.
+    pub slew: OutputSlew,
+}
+
+impl EdgeModel {
+    /// Width of the conducting output device for this transition, given the
+    /// cell's nMOS width and the β (P/N) ratio.
+    #[must_use]
+    pub fn conducting_width(&self, wn: Length, beta_ratio: f64) -> Length {
+        match self.transition {
+            Transition::Rise => wn * beta_ratio,
+            Transition::Fall => wn,
+        }
+    }
+
+    /// Stage delay `i(s_i) + r_d(s_i, w) · c_l`.
+    #[must_use]
+    pub fn delay(&self, input_slew: Time, load: Cap, wn: Length, beta_ratio: f64) -> Time {
+        let w = self.conducting_width(wn, beta_ratio);
+        self.intrinsic.eval(input_slew) + self.resistance.eval(input_slew, w) * load
+    }
+
+    /// Output slew of the stage.
+    #[must_use]
+    pub fn output_slew(&self, input_slew: Time, load: Cap, wn: Length, beta_ratio: f64) -> Time {
+        let w = self.conducting_width(wn, beta_ratio);
+        self.slew.eval(input_slew, w, load)
+    }
+}
+
+/// Rise/fall model pair for one repeater kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeaterModel {
+    /// Model for rising outputs.
+    pub rise: EdgeModel,
+    /// Model for falling outputs.
+    pub fall: EdgeModel,
+    /// Input-capacitance model (transition-independent).
+    pub input_cap: InputCap,
+    /// β = w_p / w_n ratio of the library.
+    pub beta_ratio: f64,
+}
+
+impl RepeaterModel {
+    /// The edge model for a given output transition.
+    #[must_use]
+    pub fn edge(&self, transition: Transition) -> &EdgeModel {
+        match transition {
+            Transition::Rise => &self.rise,
+            Transition::Fall => &self.fall,
+        }
+    }
+
+    /// Repeater kind this model describes.
+    #[must_use]
+    pub fn kind(&self) -> RepeaterKind {
+        self.rise.kind
+    }
+
+    /// Input capacitance of a repeater with nMOS width `wn`.
+    #[must_use]
+    pub fn cin(&self, wn: Length) -> Cap {
+        self.input_cap.eval(wn * self.beta_ratio, wn)
+    }
+
+    /// Worst-case (max over transitions) stage delay.
+    #[must_use]
+    pub fn worst_delay(&self, input_slew: Time, load: Cap, wn: Length) -> Time {
+        let r = self.rise.delay(input_slew, load, wn, self.beta_ratio);
+        let f = self.fall.delay(input_slew, load, wn, self.beta_ratio);
+        r.max(f)
+    }
+
+    /// Average (over transitions) stage delay, the usual single-number
+    /// summary for symmetric signals.
+    #[must_use]
+    pub fn average_delay(&self, input_slew: Time, load: Cap, wn: Length) -> Time {
+        let r = self.rise.delay(input_slew, load, wn, self.beta_ratio);
+        let f = self.fall.delay(input_slew, load, wn, self.beta_ratio);
+        (r + f) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(transition: Transition) -> EdgeModel {
+        EdgeModel {
+            kind: RepeaterKind::Inverter,
+            transition,
+            intrinsic: IntrinsicDelay {
+                p0: 5e-12,
+                p1: 0.05,
+                p2: 1e-1,
+            },
+            resistance: DriveResistance {
+                rho0: 800.0,
+                rho1: 2.0e12,
+            },
+            slew: OutputSlew {
+                g0: 4e-12,
+                g1: 0.4e-6,
+                g2: 1.2e3,
+            },
+        }
+    }
+
+    fn model() -> RepeaterModel {
+        RepeaterModel {
+            rise: edge(Transition::Rise),
+            fall: edge(Transition::Fall),
+            input_cap: InputCap { kappa: 0.85e-15 },
+            beta_ratio: 2.0,
+        }
+    }
+
+    #[test]
+    fn transition_propagation_through_kinds() {
+        assert_eq!(
+            Transition::Rise.through(RepeaterKind::Inverter),
+            Transition::Fall
+        );
+        assert_eq!(
+            Transition::Rise.through(RepeaterKind::Buffer),
+            Transition::Rise
+        );
+        assert_eq!(Transition::Fall.complement(), Transition::Rise);
+    }
+
+    #[test]
+    fn intrinsic_delay_is_quadratic_in_slew() {
+        let i = IntrinsicDelay {
+            p0: 1e-12,
+            p1: 0.1,
+            p2: 2e-1,
+        };
+        let at = |ps: f64| i.eval(Time::ps(ps)).as_ps();
+        // Second difference of a quadratic is constant.
+        let d1 = at(100.0) - 2.0 * at(50.0) + at(0.0);
+        let d2 = at(200.0) - 2.0 * at(150.0) + at(100.0);
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!(at(100.0) > at(0.0));
+    }
+
+    #[test]
+    fn drive_resistance_scales_inversely_with_size() {
+        let r = DriveResistance {
+            rho0: 1000.0,
+            rho1: 0.0,
+        };
+        let r2 = r.eval(Time::ps(50.0), Length::um(2.0));
+        let r8 = r.eval(Time::ps(50.0), Length::um(8.0));
+        assert!((r2 / r8 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drive_resistance_increases_with_slew() {
+        let r = DriveResistance {
+            rho0: 800.0,
+            rho1: 2.0e12,
+        };
+        let fast = r.eval(Time::ps(20.0), Length::um(4.0));
+        let slow = r.eval(Time::ps(200.0), Length::um(4.0));
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn rise_uses_pmos_width() {
+        let m = model();
+        let wn = Length::um(3.0);
+        let w_rise = m.rise.conducting_width(wn, m.beta_ratio);
+        let w_fall = m.fall.conducting_width(wn, m.beta_ratio);
+        assert!((w_rise.as_um() - 6.0).abs() < 1e-12);
+        assert!((w_fall.as_um() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_composes_intrinsic_and_load_terms() {
+        let m = model();
+        let d0 = m
+            .fall
+            .delay(Time::ps(50.0), Cap::ZERO, Length::um(4.0), 2.0);
+        let dl = m
+            .fall
+            .delay(Time::ps(50.0), Cap::ff(100.0), Length::um(4.0), 2.0);
+        let intrinsic = m.fall.intrinsic.eval(Time::ps(50.0));
+        assert!((d0 - intrinsic).abs() < Time::fs(1.0));
+        let rd = m.fall.resistance.eval(Time::ps(50.0), Length::um(4.0));
+        let expected = intrinsic + rd * Cap::ff(100.0);
+        assert!((dl - expected).abs() < Time::fs(1.0));
+    }
+
+    #[test]
+    fn output_slew_improves_with_size() {
+        let m = model();
+        let small = m
+            .rise
+            .output_slew(Time::ps(120.0), Cap::ff(50.0), Length::um(2.0), 2.0);
+        let large = m
+            .rise
+            .output_slew(Time::ps(120.0), Cap::ff(50.0), Length::um(8.0), 2.0);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn input_cap_linear_in_total_width() {
+        let m = model();
+        let c1 = m.cin(Length::um(1.0));
+        let c4 = m.cin(Length::um(4.0));
+        assert!((c4 / c1 - 4.0).abs() < 1e-12);
+        // κ = 0.85 fF/µm over (2+1) µm total width.
+        assert!((c1.as_ff() - 2.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_delay_at_least_average() {
+        let m = model();
+        let si = Time::ps(80.0);
+        let cl = Cap::ff(60.0);
+        let wn = Length::um(4.0);
+        assert!(m.worst_delay(si, cl, wn) >= m.average_delay(si, cl, wn));
+    }
+}

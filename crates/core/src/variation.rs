@@ -1,0 +1,535 @@
+//! Process-variation analysis of buffered lines (Monte Carlo).
+//!
+//! The corner models of `pi-tech` capture die-to-die extremes; this module
+//! samples the *statistical* picture: die-to-die (D2D) drive variation
+//! shared by every repeater on a line, plus within-die (WID) random
+//! variation independent per repeater. The result is a line-delay
+//! distribution and a parametric-yield estimate against a clock deadline —
+//! the quantity variation-aware sizing optimizes.
+//!
+//! Physically, drive-strength variation scales each repeater's drive
+//! resistance by `1/g` (stronger device, lower resistance) and its intrinsic
+//! delay similarly; wire parasitics are left nominal (interconnect
+//! variation is tracked separately in practice).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pi_tech::units::Time;
+
+use crate::line::{BufferingPlan, LineEvaluator, LineSpec, StageTiming};
+
+/// Gaussian variation magnitudes (fractions of nominal drive strength).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// σ of the die-to-die drive factor (shared by all repeaters).
+    pub sigma_d2d: f64,
+    /// σ of the within-die drive factor (independent per repeater).
+    pub sigma_wid: f64,
+}
+
+impl VariationModel {
+    /// A representative nanometer-era variation budget: 8 % D2D + 5 % WID.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pi_core::coefficients::builtin;
+    /// use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
+    /// use pi_core::variation::VariationModel;
+    /// use pi_tech::units::Length;
+    /// use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+    ///
+    /// let tech = Technology::new(TechNode::N65);
+    /// let models = builtin(TechNode::N65);
+    /// let evaluator = LineEvaluator::new(&models, &tech);
+    /// let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    /// let plan = BufferingPlan {
+    ///     kind: RepeaterKind::Inverter,
+    ///     count: 8,
+    ///     wn: Length::um(6.0),
+    ///     staggered: false,
+    /// };
+    /// let dist = evaluator.delay_distribution(
+    ///     &spec,
+    ///     &plan,
+    ///     &VariationModel::nominal(),
+    ///     200,
+    ///     42,
+    /// );
+    /// assert!(dist.std_dev().as_ps() > 0.0);
+    /// ```
+    #[must_use]
+    pub fn nominal() -> Self {
+        VariationModel {
+            sigma_d2d: 0.08,
+            sigma_wid: 0.05,
+        }
+    }
+
+    /// No variation (useful as a control in tests).
+    #[must_use]
+    pub fn none() -> Self {
+        VariationModel {
+            sigma_d2d: 0.0,
+            sigma_wid: 0.0,
+        }
+    }
+}
+
+/// A sampled line-delay distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayDistribution {
+    samples: Vec<Time>,
+}
+
+impl DelayDistribution {
+    /// The raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Time] {
+        &self.samples
+    }
+
+    /// Sample mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is empty.
+    #[must_use]
+    pub fn mean(&self) -> Time {
+        assert!(!self.samples.is_empty(), "empty distribution");
+        let sum: f64 = self.samples.iter().map(|t| t.si()).sum();
+        Time::s(sum / self.samples.len() as f64)
+    }
+
+    /// Sample standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution has fewer than two samples.
+    #[must_use]
+    pub fn std_dev(&self) -> Time {
+        assert!(self.samples.len() >= 2, "need ≥ 2 samples");
+        let mean = self.mean().si();
+        let var: f64 = self
+            .samples
+            .iter()
+            .map(|t| (t.si() - mean).powi(2))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        Time::s(var.sqrt())
+    }
+
+    /// Parametric timing yield: the fraction of samples meeting `deadline`.
+    #[must_use]
+    pub fn yield_at(&self, deadline: Time) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let ok = self.samples.iter().filter(|t| **t <= deadline).count();
+        ok as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty distribution or `q` outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Time {
+        assert!(!self.samples.is_empty(), "empty distribution");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.si().total_cmp(&b.si()));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Standard-normal sample via Box–Muller (rand ships no distributions in
+/// the offline set).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Drive factor sample, floored so a pathological tail cannot produce a
+/// non-positive drive.
+fn drive_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    (1.0 + sigma * standard_normal(rng)).max(0.2)
+}
+
+impl LineEvaluator<'_> {
+    /// Samples the line-delay distribution under the variation model.
+    ///
+    /// Deterministic for a given `seed`. Each sample draws one shared D2D
+    /// drive factor and one WID factor per repeater; a repeater's delay
+    /// contribution is its nominal stage delay with the drive-dependent
+    /// terms scaled by `1/g` (the wire term is unscaled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero or the plan has no repeaters.
+    #[must_use]
+    pub fn delay_distribution(
+        &self,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+        variation: &VariationModel,
+        samples: usize,
+        seed: u64,
+    ) -> DelayDistribution {
+        assert!(samples > 0, "need at least one sample");
+        let nominal = self.timing(spec, plan);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let g_d2d = drive_factor(&mut rng, variation.sigma_d2d);
+            let mut total = Time::ZERO;
+            for stage in &nominal.stages {
+                let g = g_d2d * drive_factor(&mut rng, variation.sigma_wid);
+                total += scaled_stage_delay(stage, g);
+            }
+            out.push(total);
+        }
+        DelayDistribution { samples: out }
+    }
+
+    /// Timing yield of the line against a clock deadline under variation.
+    #[must_use]
+    pub fn timing_yield(
+        &self,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+        variation: &VariationModel,
+        deadline: Time,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        self.delay_distribution(spec, plan, variation, samples, seed)
+            .yield_at(deadline)
+    }
+}
+
+/// One stage's delay with its drive-dependent parts scaled by `1/g`.
+fn scaled_stage_delay(stage: &StageTiming, g: f64) -> Time {
+    stage.repeater_delay / g + stage.wire_delay
+}
+
+/// Outcome of the yield-driven sizing pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldSizing {
+    /// The selected plan.
+    pub plan: BufferingPlan,
+    /// Its sampled timing yield at the deadline.
+    pub achieved_yield: f64,
+    /// Upsizing steps taken from the starting plan.
+    pub steps: usize,
+}
+
+impl LineEvaluator<'_> {
+    /// Yield-driven sizing: starting from `plan`, greedily upsizes the
+    /// repeaters through the library drive strengths (and then adds
+    /// repeaters) until the Monte-Carlo timing yield at `deadline` reaches
+    /// `target_yield`, or the search space is exhausted.
+    ///
+    /// This is the classic "sizing for yield improvement under process
+    /// variation" loop: nominal-delay slack is bought exactly where the
+    /// statistical distribution needs it, instead of blanket
+    /// guard-banding.
+    ///
+    /// Returns `None` if no plan in range reaches the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_yield` is outside `(0, 1]` or `samples` is zero.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // the sizing problem has this many knobs
+    pub fn size_for_yield(
+        &self,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+        variation: &VariationModel,
+        deadline: Time,
+        target_yield: f64,
+        samples: usize,
+        seed: u64,
+    ) -> Option<YieldSizing> {
+        assert!(
+            target_yield > 0.0 && target_yield <= 1.0,
+            "target yield must be in (0, 1]"
+        );
+        let unit = self.tech().layout().unit_nmos_width;
+        let drives = pi_tech::library::STANDARD_DRIVES;
+        // Start from the smallest drive not below the given plan's width.
+        let start_idx = drives
+            .iter()
+            .position(|&d| unit * f64::from(d) >= plan.wn * 0.999)
+            .unwrap_or(drives.len() - 1);
+
+        let mut current = *plan;
+        let mut steps = 0usize;
+        // Phase 1: upsize through the library.
+        for &d in &drives[start_idx..] {
+            current.wn = unit * f64::from(d);
+            let y = self.timing_yield(spec, &current, variation, deadline, samples, seed);
+            if y >= target_yield {
+                return Some(YieldSizing {
+                    plan: current,
+                    achieved_yield: y,
+                    steps,
+                });
+            }
+            steps += 1;
+        }
+        // Phase 2: add repeaters at the maximum drive.
+        let max_count = (plan.count + 1).max((spec.length.as_mm() * 4.0).ceil() as usize);
+        for count in (current.count + 1)..=max_count {
+            current.count = count;
+            let y = self.timing_yield(spec, &current, variation, deadline, samples, seed);
+            if y >= target_yield {
+                return Some(YieldSizing {
+                    plan: current,
+                    achieved_yield: y,
+                    steps,
+                });
+            }
+            steps += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coefficients::builtin;
+    use pi_tech::units::Length;
+    use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+    fn setup() -> (Technology, crate::CalibratedModels) {
+        (Technology::new(TechNode::N65), builtin(TechNode::N65))
+    }
+
+    fn spec_plan() -> (LineSpec, BufferingPlan) {
+        (
+            LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing),
+            BufferingPlan {
+                kind: RepeaterKind::Inverter,
+                count: 12,
+                wn: Length::um(6.0),
+                staggered: false,
+            },
+        )
+    }
+
+    #[test]
+    fn zero_variation_reproduces_nominal() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let dist = ev.delay_distribution(&spec, &plan, &VariationModel::none(), 16, 1);
+        let nominal = ev.timing(&spec, &plan).delay;
+        for s in dist.samples() {
+            assert!((*s - nominal).abs() < Time::fs(1.0));
+        }
+        assert_eq!(dist.yield_at(nominal + Time::ps(1.0)), 1.0);
+    }
+
+    #[test]
+    fn distribution_is_deterministic_by_seed() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let v = VariationModel::nominal();
+        let a = ev.delay_distribution(&spec, &plan, &v, 64, 42);
+        let b = ev.delay_distribution(&spec, &plan, &v, 64, 42);
+        assert_eq!(a, b);
+        let c = ev.delay_distribution(&spec, &plan, &v, 64, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_close_to_nominal_and_spread_positive() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let dist =
+            ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 600, 7);
+        let nominal = ev.timing(&spec, &plan).delay;
+        let mean = dist.mean();
+        assert!(
+            ((mean - nominal) / nominal).abs() < 0.05,
+            "mean {} vs nominal {}",
+            mean.as_ps(),
+            nominal.as_ps()
+        );
+        assert!(dist.std_dev().as_ps() > 1.0);
+    }
+
+    #[test]
+    fn d2d_variation_spreads_more_than_wid() {
+        // Within-die randomness averages out over the stages of a line;
+        // die-to-die shifts every stage together. Same σ ⇒ larger total
+        // spread for D2D.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let d2d_only = VariationModel {
+            sigma_d2d: 0.08,
+            sigma_wid: 0.0,
+        };
+        let wid_only = VariationModel {
+            sigma_d2d: 0.0,
+            sigma_wid: 0.08,
+        };
+        let s_d2d = ev
+            .delay_distribution(&spec, &plan, &d2d_only, 500, 11)
+            .std_dev();
+        let s_wid = ev
+            .delay_distribution(&spec, &plan, &wid_only, 500, 11)
+            .std_dev();
+        assert!(
+            s_d2d.si() > s_wid.si() * 2.0,
+            "d2d σ {} ps vs wid σ {} ps",
+            s_d2d.as_ps(),
+            s_wid.as_ps()
+        );
+    }
+
+    #[test]
+    fn yield_monotone_in_deadline() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let dist =
+            ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 400, 3);
+        let median = dist.quantile(0.5);
+        let y_tight = dist.yield_at(median * 0.9);
+        let y_median = dist.yield_at(median);
+        let y_loose = dist.yield_at(median * 1.2);
+        assert!(y_tight < y_median);
+        assert!(y_median <= y_loose);
+        assert!((0.4..0.6).contains(&y_median), "median yield {y_median}");
+        assert!(y_loose > 0.95);
+    }
+
+    #[test]
+    fn bigger_repeaters_improve_yield_at_tight_deadline() {
+        // The yield-aware upsizing intuition: at a deadline near the
+        // nominal delay, stronger repeaters buy timing slack that absorbs
+        // variation.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        let small = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 12,
+            wn: Length::um(4.8),
+            staggered: false,
+        };
+        let big = BufferingPlan {
+            wn: Length::um(9.6),
+            ..small
+        };
+        let v = VariationModel::nominal();
+        // Deadline set at the small plan's nominal delay.
+        let deadline = ev.timing(&spec, &small).delay;
+        let y_small = ev.timing_yield(&spec, &small, &v, deadline, 500, 5);
+        let y_big = ev.timing_yield(&spec, &big, &v, deadline, 500, 5);
+        assert!(
+            y_big > y_small + 0.2,
+            "yield small {y_small} vs big {y_big}"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let dist =
+            ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 300, 9);
+        assert!(dist.quantile(0.1) <= dist.quantile(0.5));
+        assert!(dist.quantile(0.5) <= dist.quantile(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let _ = ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 0, 1);
+    }
+
+    #[test]
+    fn yield_sizing_reaches_the_target() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        // Start from a small plan whose yield at the deadline is poor.
+        let start = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 12,
+            wn: t.layout().unit_nmos_width * 8.0,
+            staggered: false,
+        };
+        let v = VariationModel::nominal();
+        let deadline = Time::ps(560.0);
+        let y0 = ev.timing_yield(&spec, &start, &v, deadline, 400, 7);
+        assert!(y0 < 0.5, "starting yield {y0} should be poor");
+        let sized = ev
+            .size_for_yield(&spec, &start, &v, deadline, 0.95, 400, 7)
+            .expect("target reachable");
+        assert!(sized.achieved_yield >= 0.95);
+        assert!(sized.plan.wn > start.wn || sized.plan.count > start.count);
+        assert!(sized.steps > 0);
+    }
+
+    #[test]
+    fn yield_sizing_is_a_noop_when_already_passing() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(4.0), DesignStyle::SingleSpacing);
+        let start = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 8,
+            wn: t.layout().unit_nmos_width * 24.0,
+            staggered: false,
+        };
+        let v = VariationModel::nominal();
+        // A very loose deadline: already yielding.
+        let deadline = Time::ps(1200.0);
+        let sized = ev
+            .size_for_yield(&spec, &start, &v, deadline, 0.95, 300, 7)
+            .expect("already passing");
+        assert_eq!(sized.steps, 0);
+        assert_eq!(sized.plan.count, start.count);
+    }
+
+    #[test]
+    fn impossible_yield_target_returns_none() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(10.0), DesignStyle::SingleSpacing);
+        let start = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 4,
+            wn: t.layout().unit_nmos_width * 8.0,
+            staggered: false,
+        };
+        // 50 ps for 10 mm is physically unreachable.
+        let sized = ev.size_for_yield(
+            &spec,
+            &start,
+            &VariationModel::nominal(),
+            Time::ps(50.0),
+            0.9,
+            100,
+            7,
+        );
+        assert!(sized.is_none());
+    }
+}

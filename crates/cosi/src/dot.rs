@@ -1,0 +1,121 @@
+//! Graphviz (DOT) export of synthesized networks.
+//!
+//! `dot -Kneato -n -Tsvg network.dot -o network.svg` renders the topology
+//! at its true floorplan coordinates: cores as boxes, relay routers as
+//! circles, channels as edges labeled with bandwidth and length.
+
+use std::fmt::Write as _;
+
+use crate::spec::CommSpec;
+use crate::synthesis::{Network, NodeKind};
+
+/// Renders the network as a DOT graph with floorplan-pinned positions
+/// (`pos="x,y!"`, in points at 72 pt/mm scaling divided by `MM_SCALE`).
+#[must_use]
+pub fn to_dot(network: &Network, spec: &CommSpec) -> String {
+    const PT_PER_MM: f64 = 36.0;
+    let mut out = String::from("digraph noc {\n");
+    let _ = writeln!(out, "    label=\"{} ({})\";", spec.name, network.model_name);
+    out.push_str("    node [fontsize=10];\n");
+    for (idx, node) in network.nodes.iter().enumerate() {
+        let x = node.position.x.as_mm() * PT_PER_MM;
+        let y = node.position.y.as_mm() * PT_PER_MM;
+        match node.kind {
+            NodeKind::CoreInterface(core) => {
+                let _ = writeln!(
+                    out,
+                    "    n{idx} [shape=box, label=\"{}\", pos=\"{x:.0},{y:.0}!\"];",
+                    spec.cores[core].name
+                );
+            }
+            NodeKind::Relay => {
+                let _ = writeln!(
+                    out,
+                    "    n{idx} [shape=circle, label=\"R{idx}\", style=filled, \
+                     fillcolor=lightgray, pos=\"{x:.0},{y:.0}!\"];"
+                );
+            }
+        }
+    }
+    for c in &network.channels {
+        let _ = writeln!(
+            out,
+            "    n{} -> n{} [label=\"{:.0} Gb/s\\n{:.1} mm\"];",
+            c.from,
+            c.to,
+            c.bandwidth_gbps,
+            c.length.as_mm()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InfeasibleLink, LinkCost, LinkCostModel};
+    use crate::synthesis::{synthesize, SynthesisConfig};
+    use crate::testcases::dvopd;
+    use pi_core::power::PowerBreakdown;
+    use pi_tech::units::{Area, Freq, Length, Power, Time};
+
+    #[derive(Debug)]
+    struct StubModel;
+
+    impl LinkCostModel for StubModel {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn max_length(&self) -> Length {
+            Length::mm(6.0)
+        }
+        fn link_cost(&self, _length: Length, n_bits: usize) -> Result<LinkCost, InfeasibleLink> {
+            Ok(LinkCost {
+                delay: Time::ps(100.0),
+                power: PowerBreakdown {
+                    dynamic: Power::uw(n_bits as f64),
+                    leakage: Power::ZERO,
+                },
+                wire_area: Area::ZERO,
+                repeater_area: Area::ZERO,
+                repeaters_per_bit: 1,
+                plan: pi_core::line::BufferingPlan {
+                    kind: pi_tech::RepeaterKind::Inverter,
+                    count: 1,
+                    wn: Length::um(4.0),
+                    staggered: false,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let spec = dvopd();
+        let net = synthesize(&spec, &StubModel, &SynthesisConfig::at_clock(Freq::ghz(2.25)))
+            .expect("synthesis");
+        let dot = to_dot(&net, &spec);
+        assert!(dot.starts_with("digraph noc {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every core name appears.
+        for core in &spec.cores {
+            assert!(dot.contains(&core.name), "missing {}", core.name);
+        }
+        // Edge count matches channel count.
+        assert_eq!(dot.matches(" -> ").count(), net.channels.len());
+        // Positions are pinned.
+        assert!(dot.contains("!\""));
+    }
+
+    #[test]
+    fn relays_render_as_circles() {
+        let spec = dvopd();
+        let net = synthesize(&spec, &StubModel, &SynthesisConfig::at_clock(Freq::ghz(2.25)))
+            .expect("synthesis");
+        if net.relay_count() > 0 {
+            let dot = to_dot(&net, &spec);
+            assert!(dot.contains("shape=circle"));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Link-implementation design-space exploration.
+//!
+//! COSI's value is exploring architectural alternatives early; the link
+//! *implementation style* (minimum pitch, shielding, double spacing,
+//! staggered repeaters) is one of the axes. This module synthesizes the
+//! same spec once per style under the proposed models and ranks the
+//! results, so a designer sees the whole frontier instead of one point.
+
+use pi_core::line::LineEvaluator;
+use pi_tech::units::Freq;
+use pi_tech::DesignStyle;
+
+use crate::model::ProposedLinkModel;
+use crate::report::{evaluate, NetworkReport};
+use crate::router::RouterParams;
+use crate::spec::CommSpec;
+use crate::synthesis::{synthesize, Network, SynthesisConfig, SynthesisError};
+
+/// One link-implementation choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StyleChoice {
+    /// Wiring design style.
+    pub style: DesignStyle,
+    /// Staggered repeater insertion.
+    pub staggered: bool,
+}
+
+impl StyleChoice {
+    /// The candidates explored by default: minimum pitch, minimum pitch
+    /// with staggering, shielded, and double spacing.
+    #[must_use]
+    pub fn candidates() -> Vec<StyleChoice> {
+        vec![
+            StyleChoice {
+                style: DesignStyle::SingleSpacing,
+                staggered: false,
+            },
+            StyleChoice {
+                style: DesignStyle::SingleSpacing,
+                staggered: true,
+            },
+            StyleChoice {
+                style: DesignStyle::Shielded,
+                staggered: false,
+            },
+            StyleChoice {
+                style: DesignStyle::DoubleSpacing,
+                staggered: false,
+            },
+        ]
+    }
+
+    /// Short label for reports, e.g. `SS+stag`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.staggered {
+            format!("{}+stag", self.style.code())
+        } else {
+            self.style.code().to_owned()
+        }
+    }
+}
+
+/// Result of exploring one style choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyleResult {
+    /// The choice explored.
+    pub choice: StyleChoice,
+    /// The synthesized network.
+    pub network: Network,
+    /// Its evaluation report.
+    pub report: NetworkReport,
+}
+
+/// Synthesizes `spec` once per style candidate with the proposed link
+/// models and returns the results **sorted by total power** (cheapest
+/// first). Styles for which synthesis fails (e.g. infeasible at the
+/// clock) are skipped.
+///
+/// # Errors
+///
+/// Returns an error only if *every* candidate fails, carrying the last
+/// failure.
+pub fn explore_link_styles(
+    evaluator: &LineEvaluator<'_>,
+    spec: &CommSpec,
+    config: &SynthesisConfig,
+    activity: f64,
+) -> Result<Vec<StyleResult>, SynthesisError> {
+    let clock: Freq = config.clock;
+    let routers = RouterParams::for_tech(evaluator.tech());
+    let mut results = Vec::new();
+    let mut last_err = None;
+    for choice in StyleChoice::candidates() {
+        let model = ProposedLinkModel::with_staggering(
+            evaluator,
+            choice.style,
+            clock,
+            activity,
+            choice.staggered,
+        );
+        let mut cfg = *config;
+        cfg.style = choice.style;
+        match synthesize(spec, &model, &cfg) {
+            Ok(network) => {
+                let report = evaluate(&spec.name, &network, &routers, clock);
+                results.push(StyleResult {
+                    choice,
+                    network,
+                    report,
+                });
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if results.is_empty() {
+        return Err(last_err.unwrap_or(SynthesisError::NoFeasibleLink));
+    }
+    results.sort_by(|a, b| {
+        a.report
+            .total_power()
+            .si()
+            .total_cmp(&b.report.total_power().si())
+    });
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcases::dvopd;
+    use pi_core::coefficients::builtin;
+    use pi_tech::{TechNode, Technology};
+
+    #[test]
+    fn candidate_labels_are_distinct() {
+        let labels: Vec<String> = StyleChoice::candidates()
+            .iter()
+            .map(StyleChoice::label)
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn exploration_returns_sorted_frontier() {
+        let tech = Technology::new(TechNode::N65);
+        let models = builtin(TechNode::N65);
+        let evaluator = LineEvaluator::new(&models, &tech);
+        let config = SynthesisConfig::at_clock(Freq::ghz(2.25));
+        let results = explore_link_styles(&evaluator, &dvopd(), &config, 0.25).unwrap();
+        assert!(results.len() >= 2, "most styles should be feasible");
+        for pair in results.windows(2) {
+            assert!(pair[0].report.total_power() <= pair[1].report.total_power());
+        }
+    }
+
+    #[test]
+    fn staggered_choice_extends_reach() {
+        let tech = Technology::new(TechNode::N65);
+        let models = builtin(TechNode::N65);
+        let evaluator = LineEvaluator::new(&models, &tech);
+        let clock = Freq::ghz(2.25);
+        use crate::model::LinkCostModel;
+        let plain = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, 0.25);
+        let stag = ProposedLinkModel::with_staggering(
+            &evaluator,
+            DesignStyle::SingleSpacing,
+            clock,
+            0.25,
+            true,
+        );
+        assert!(stag.max_length() > plain.max_length());
+        assert!(stag.staggered());
+    }
+}

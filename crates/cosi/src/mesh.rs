@@ -1,0 +1,340 @@
+//! Regular-mesh baseline topology.
+//!
+//! Application-specific synthesis (the COSI approach) is motivated by its
+//! advantage over regular topologies: a mesh pays for links and router
+//! ports that the application's traffic never exercises, and every flow
+//! detours through XY hops. This module builds the standard 2-D mesh with
+//! XY routing over the same [`CommSpec`], so the two can be compared under
+//! identical link models.
+
+use std::collections::HashMap;
+
+use pi_tech::units::Length;
+
+use crate::model::LinkCostModel;
+use crate::spec::{CommSpec, Point};
+use crate::synthesis::{Channel, NetNode, Network, NodeKind, SynthesisConfig, SynthesisError};
+
+/// Mesh dimensions chosen for a spec: near-square grid covering the die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshDims {
+    /// Columns (x direction).
+    pub cols: usize,
+    /// Rows (y direction).
+    pub rows: usize,
+}
+
+impl MeshDims {
+    /// Picks a near-square grid with at least as many tiles as cores.
+    #[must_use]
+    pub fn for_spec(spec: &CommSpec) -> Self {
+        let n = spec.cores.len().max(1);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        MeshDims { cols, rows }
+    }
+
+    /// Total routers in the mesh.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+}
+
+/// Builds a 2-D mesh network with XY (dimension-ordered) routing for the
+/// spec's flows, evaluating every used link with `model`.
+///
+/// Mesh links that carry no traffic are assumed power-gated and are not
+/// materialized as channels; unused routers likewise contribute nothing.
+///
+/// # Errors
+///
+/// Fails if the spec is invalid, the mesh pitch exceeds the model's
+/// feasible link length, or a used link is rejected by the model.
+pub fn mesh_network(
+    spec: &CommSpec,
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+) -> Result<Network, SynthesisError> {
+    spec.validate()?;
+    let dims = MeshDims::for_spec(spec);
+    let (die_w, die_h) = spec.die;
+    let pitch_x = die_w / dims.cols as f64;
+    let pitch_y = die_h / dims.rows as f64;
+    let max_len = model.max_length();
+    if max_len.si() <= 0.0 || pitch_x.max(pitch_y) > max_len {
+        return Err(SynthesisError::NoFeasibleLink);
+    }
+
+    // Nodes: core interfaces first (synthesis convention), then one relay
+    // per mesh tile.
+    let mut nodes: Vec<NetNode> = spec
+        .cores
+        .iter()
+        .enumerate()
+        .map(|(i, c)| NetNode {
+            kind: NodeKind::CoreInterface(i),
+            position: c.position,
+        })
+        .collect();
+    let router_base = nodes.len();
+    let router_pos = |col: usize, row: usize| Point {
+        x: pitch_x * (col as f64 + 0.5),
+        y: pitch_y * (row as f64 + 0.5),
+    };
+    for row in 0..dims.rows {
+        for col in 0..dims.cols {
+            nodes.push(NetNode {
+                kind: NodeKind::Relay,
+                position: router_pos(col, row),
+            });
+        }
+    }
+    let router_at = |col: usize, row: usize| router_base + row * dims.cols + col;
+    let tile_of = |p: Point| {
+        let col = ((p.x / pitch_x).floor() as usize).min(dims.cols - 1);
+        let row = ((p.y / pitch_y).floor() as usize).min(dims.rows - 1);
+        (col, row)
+    };
+
+    // Route each flow: NI → local router → XY hops → remote router → NI.
+    let mut channel_bw: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut flow_paths: Vec<Vec<(usize, usize)>> = Vec::with_capacity(spec.flows.len());
+    for flow in &spec.flows {
+        let src_pos = spec.cores[flow.src].position;
+        let dst_pos = spec.cores[flow.dst].position;
+        let (mut col, mut row) = tile_of(src_pos);
+        let (dcol, drow) = tile_of(dst_pos);
+        let mut path_nodes = vec![flow.src, router_at(col, row)];
+        // X first, then Y (deadlock-free dimension order).
+        while col != dcol {
+            col = if dcol > col { col + 1 } else { col - 1 };
+            path_nodes.push(router_at(col, row));
+        }
+        while row != drow {
+            row = if drow > row { row + 1 } else { row - 1 };
+            path_nodes.push(router_at(col, row));
+        }
+        path_nodes.push(flow.dst);
+        let mut segs = Vec::with_capacity(path_nodes.len() - 1);
+        for pair in path_nodes.windows(2) {
+            let key = (pair[0], pair[1]);
+            *channel_bw.entry(key).or_insert(0.0) += flow.bandwidth_gbps;
+            segs.push(key);
+        }
+        flow_paths.push(segs);
+    }
+
+    // Materialize the used channels.
+    let capacity_gbps = spec.data_width as f64 * config.clock.as_ghz();
+    let mut keys: Vec<(usize, usize)> = channel_bw.keys().copied().collect();
+    keys.sort_unstable();
+    let mut channel_index = HashMap::new();
+    let mut channels = Vec::with_capacity(keys.len());
+    for key in keys {
+        let bw = channel_bw[&key];
+        let length = nodes[key.0].position.manhattan(&nodes[key.1].position);
+        let lanes = ((bw / capacity_gbps).ceil() as usize).max(1);
+        let n_bits = lanes * spec.data_width;
+        let cost = model.link_cost(length.max(Length::um(50.0)), n_bits)?;
+        channel_index.insert(key, channels.len());
+        channels.push(Channel {
+            from: key.0,
+            to: key.1,
+            length,
+            bandwidth_gbps: bw,
+            lanes,
+            n_bits,
+            cost,
+        });
+    }
+    let routes = flow_paths
+        .iter()
+        .map(|segs| segs.iter().map(|k| channel_index[k]).collect())
+        .collect();
+
+    Ok(Network {
+        model_name: format!("{}+mesh", model.name()),
+        nodes,
+        channels,
+        routes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InfeasibleLink, LinkCost};
+    use crate::spec::{Core, Flow};
+    use crate::synthesis::{synthesize, SynthesisConfig};
+    use crate::testcases::dvopd;
+    use pi_core::power::PowerBreakdown;
+    use pi_tech::units::{Area, Freq, Power, Time};
+
+    #[derive(Debug)]
+    struct StubModel {
+        reach: Length,
+    }
+
+    impl LinkCostModel for StubModel {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn max_length(&self) -> Length {
+            self.reach
+        }
+        fn link_cost(&self, length: Length, n_bits: usize) -> Result<LinkCost, InfeasibleLink> {
+            if length > self.reach {
+                return Err(InfeasibleLink {
+                    length,
+                    max_length: self.reach,
+                });
+            }
+            Ok(LinkCost {
+                delay: Time::ps(100.0),
+                // Power proportional to wire: bits × length, the first-order
+                // truth the topology comparison rests on.
+                power: PowerBreakdown {
+                    dynamic: Power::w(1e-3 * n_bits as f64 * length.as_mm()),
+                    leakage: Power::ZERO,
+                },
+                wire_area: Area::ZERO,
+                repeater_area: Area::ZERO,
+                repeaters_per_bit: 1,
+                plan: pi_core::line::BufferingPlan {
+                    kind: pi_tech::RepeaterKind::Inverter,
+                    count: 1,
+                    wn: Length::um(4.0),
+                    staggered: false,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn mesh_dims_cover_all_cores() {
+        let spec = dvopd();
+        let dims = MeshDims::for_spec(&spec);
+        assert!(dims.tiles() >= spec.cores.len());
+        assert!(dims.cols.abs_diff(dims.rows) <= 1, "near-square");
+    }
+
+    #[test]
+    fn mesh_routes_every_flow() {
+        let spec = dvopd();
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.25));
+        let net = mesh_network(
+            &spec,
+            &StubModel {
+                reach: Length::mm(6.0),
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(net.routes.len(), spec.flows.len());
+        for (f, route) in net.routes.iter().enumerate() {
+            assert!(!route.is_empty(), "flow {f} unrouted");
+            // NI hop at each end at minimum.
+            assert!(net.hops(f) >= 2);
+        }
+    }
+
+    #[test]
+    fn mesh_hops_exceed_custom_synthesis() {
+        let spec = dvopd();
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.25));
+        let model = StubModel {
+            reach: Length::mm(6.0),
+        };
+        let mesh = mesh_network(&spec, &model, &cfg).unwrap();
+        let custom = synthesize(&spec, &model, &cfg).unwrap();
+        assert!(
+            mesh.average_hops() > custom.average_hops(),
+            "mesh {} vs custom {}",
+            mesh.average_hops(),
+            custom.average_hops()
+        );
+    }
+
+    #[test]
+    fn mesh_pays_more_latency_and_router_silicon() {
+        // Which topology wins on *power* depends on traffic locality and
+        // link sharing (shared mesh links amortize activity-based wire
+        // power). What is structural: the mesh detours every flow through
+        // XY hops — more latency cycles — and engages far more router
+        // silicon than the application-specific topology.
+        use crate::report::evaluate;
+        use crate::router::RouterParams;
+        use pi_tech::{TechNode, Technology};
+
+        let spec = dvopd();
+        let clock = Freq::ghz(2.25);
+        let cfg = SynthesisConfig::at_clock(clock);
+        let model = StubModel {
+            reach: Length::mm(6.0),
+        };
+        let routers = RouterParams::for_tech(&Technology::new(TechNode::N65));
+        let mesh = mesh_network(&spec, &model, &cfg).unwrap();
+        let custom = synthesize(&spec, &model, &cfg).unwrap();
+        let mesh_report = evaluate(&spec.name, &mesh, &routers, clock);
+        let custom_report = evaluate(&spec.name, &custom, &routers, clock);
+        assert!(mesh_report.avg_latency_cycles > custom_report.avg_latency_cycles);
+        assert!(
+            mesh_report.router_area > custom_report.router_area,
+            "mesh routers {} mm² vs custom {} mm²",
+            mesh_report.router_area.as_mm2(),
+            custom_report.router_area.as_mm2()
+        );
+        assert!(mesh_report.router_dynamic > custom_report.router_dynamic);
+    }
+
+    #[test]
+    fn mesh_rejects_infeasible_pitch() {
+        let spec = dvopd(); // 12 mm die → ~2.4 mm pitch on a 5-col grid
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.25));
+        let err = mesh_network(
+            &spec,
+            &StubModel {
+                reach: Length::mm(0.5),
+            },
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, SynthesisError::NoFeasibleLink);
+    }
+
+    #[test]
+    fn single_tile_flows_stay_local() {
+        // Two adjacent cores in the same tile: NI → router → NI.
+        let spec = CommSpec {
+            name: "tiny".into(),
+            cores: vec![
+                Core {
+                    name: "a".into(),
+                    position: Point::mm(1.0, 1.0),
+                },
+                Core {
+                    name: "b".into(),
+                    position: Point::mm(1.2, 1.2),
+                },
+            ],
+            flows: vec![Flow {
+                src: 0,
+                dst: 1,
+                bandwidth_gbps: 4.0,
+            }],
+            data_width: 128,
+            die: (Length::mm(4.0), Length::mm(4.0)),
+        };
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.0));
+        let net = mesh_network(
+            &spec,
+            &StubModel {
+                reach: Length::mm(5.0),
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(net.hops(0), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Network-level parametric timing yield under process variation.
+//!
+//! A synthesized NoC works only if *every* link meets the clock on the
+//! manufactured die. Die-to-die variation shifts all links together
+//! (one shared drive factor per sample); within-die variation is drawn
+//! independently per repeater. Links synthesized right at the deadline
+//! have no slack, so an un-guard-banded network's yield collapses — the
+//! motivation for synthesizing against a derated clock, which this module
+//! lets one quantify.
+
+use pi_core::line::{LineEvaluator, LineSpec, LineTiming};
+use pi_core::variation::VariationModel;
+use pi_tech::units::{Freq, Time};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::synthesis::Network;
+
+/// Result of a network yield analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkYield {
+    /// Fraction of sampled dies on which every link met the period.
+    pub yield_fraction: f64,
+    /// Monte-Carlo samples drawn.
+    pub samples: usize,
+    /// Per-channel pass fraction (same order as `network.channels`).
+    pub channel_yield: Vec<f64>,
+}
+
+impl NetworkYield {
+    /// Index and pass-fraction of the yield-limiting channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no channels.
+    #[must_use]
+    pub fn limiting_channel(&self) -> (usize, f64) {
+        self.channel_yield
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("network has channels")
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn drive_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    (1.0 + sigma * standard_normal(rng)).max(0.2)
+}
+
+/// Samples the timing yield of a synthesized network: on each sampled die,
+/// one shared die-to-die drive factor plus independent within-die factors
+/// per repeater per channel; the die passes if every channel's sampled
+/// delay is at most the clock period.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero, the network has no channels, or the
+/// evaluator's node differs from the one the network was synthesized for
+/// (lengths are reinterpreted under the evaluator's technology).
+#[must_use]
+pub fn network_timing_yield(
+    network: &Network,
+    evaluator: &LineEvaluator<'_>,
+    style: pi_tech::DesignStyle,
+    variation: &VariationModel,
+    clock: Freq,
+    samples: usize,
+    seed: u64,
+) -> NetworkYield {
+    assert!(samples > 0, "need at least one sample");
+    assert!(!network.channels.is_empty(), "network has no channels");
+    let period = clock.period();
+
+    // Precompute nominal per-stage timings per channel once.
+    let nominal: Vec<LineTiming> = network
+        .channels
+        .iter()
+        .map(|c| {
+            let spec = LineSpec::global(
+                c.length.max(pi_tech::units::Length::um(50.0)),
+                style,
+            );
+            evaluator.timing(&spec, &c.cost.plan)
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pass_all = 0usize;
+    let mut pass_channel = vec![0usize; network.channels.len()];
+    for _ in 0..samples {
+        let g_d2d = drive_factor(&mut rng, variation.sigma_d2d);
+        let mut all_ok = true;
+        for (k, timing) in nominal.iter().enumerate() {
+            let mut delay = Time::ZERO;
+            for stage in &timing.stages {
+                let g = g_d2d * drive_factor(&mut rng, variation.sigma_wid);
+                delay += stage.repeater_delay / g + stage.wire_delay;
+            }
+            if delay <= period {
+                pass_channel[k] += 1;
+            } else {
+                all_ok = false;
+            }
+        }
+        if all_ok {
+            pass_all += 1;
+        }
+    }
+
+    NetworkYield {
+        yield_fraction: pass_all as f64 / samples as f64,
+        samples,
+        channel_yield: pass_channel
+            .into_iter()
+            .map(|p| p as f64 / samples as f64)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProposedLinkModel;
+    use crate::synthesis::{synthesize, SynthesisConfig};
+    use crate::testcases::dvopd;
+    use pi_core::coefficients::builtin;
+    use pi_tech::{DesignStyle, TechNode, Technology};
+
+    struct Setup {
+        tech: Technology,
+        models: pi_core::CalibratedModels,
+        clock: Freq,
+    }
+
+    fn setup() -> Setup {
+        Setup {
+            tech: Technology::new(TechNode::N65),
+            models: builtin(TechNode::N65),
+            clock: Freq::ghz(2.25),
+        }
+    }
+
+    fn synthesized(s: &Setup, derate: f64) -> Network {
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        // Synthesize against a derated (faster) clock to build guard band,
+        // then evaluate yield at the real clock.
+        let design_clock = Freq::hz(s.clock.si() / derate);
+        let model =
+            ProposedLinkModel::new(&ev, DesignStyle::SingleSpacing, design_clock, 0.25);
+        synthesize(&dvopd(), &model, &SynthesisConfig::at_clock(design_clock)).expect("synthesis")
+    }
+
+    #[test]
+    fn yield_is_deterministic_and_bounded() {
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let net = synthesized(&s, 1.0);
+        let v = VariationModel::nominal();
+        let a = network_timing_yield(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, 200, 3);
+        let b = network_timing_yield(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, 200, 3);
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a.yield_fraction));
+        for y in &a.channel_yield {
+            assert!((0.0..=1.0).contains(y));
+        }
+        // Network yield cannot exceed its weakest channel's yield.
+        assert!(a.yield_fraction <= a.limiting_channel().1 + 1e-12);
+    }
+
+    #[test]
+    fn guard_banding_buys_yield() {
+        // Links designed exactly at the period have ~no margin; designing
+        // against a 15% faster clock (guard band) must raise yield
+        // dramatically at the true clock.
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let v = VariationModel::nominal();
+        let tight = synthesized(&s, 1.0);
+        let banded = synthesized(&s, 0.85);
+        let y_tight =
+            network_timing_yield(&tight, &ev, DesignStyle::SingleSpacing, &v, s.clock, 300, 9)
+                .yield_fraction;
+        let y_banded =
+            network_timing_yield(&banded, &ev, DesignStyle::SingleSpacing, &v, s.clock, 300, 9)
+                .yield_fraction;
+        assert!(
+            y_banded > y_tight + 0.2,
+            "tight {y_tight} vs guard-banded {y_banded}"
+        );
+        assert!(y_banded > 0.8, "guard-banded yield {y_banded}");
+    }
+
+    #[test]
+    fn zero_variation_gives_full_yield_on_feasible_network() {
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let net = synthesized(&s, 1.0);
+        let y = network_timing_yield(
+            &net,
+            &ev,
+            DesignStyle::SingleSpacing,
+            &VariationModel::none(),
+            s.clock,
+            50,
+            1,
+        );
+        assert!(
+            (y.yield_fraction - 1.0).abs() < 1e-12,
+            "every link was designed to meet the period"
+        );
+    }
+}

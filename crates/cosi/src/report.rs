@@ -1,0 +1,310 @@
+//! Network evaluation reports — the rows of Table III.
+
+use std::fmt;
+
+use pi_core::power::PowerBreakdown;
+use pi_tech::units::{Area, Freq, Power, Time};
+
+use crate::router::RouterParams;
+use crate::synthesis::{Network, NodeKind};
+
+/// Aggregate metrics of a synthesized network, as estimated by the model
+/// that synthesized it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    /// Design name.
+    pub design: String,
+    /// Link model that produced the network.
+    pub model: String,
+    /// Link dynamic power.
+    pub link_dynamic: Power,
+    /// Link leakage power.
+    pub link_leakage: Power,
+    /// Router dynamic power.
+    pub router_dynamic: Power,
+    /// Router leakage power.
+    pub router_leakage: Power,
+    /// Bus routing area.
+    pub wire_area: Area,
+    /// Repeater cell area.
+    pub repeater_area: Area,
+    /// Router silicon area.
+    pub router_area: Area,
+    /// Worst link delay.
+    pub max_link_delay: Time,
+    /// Mean hops per flow.
+    pub avg_hops: f64,
+    /// Worst-case hops of any flow.
+    pub max_hops: usize,
+    /// Mean end-to-end flow latency in clock cycles (router pipeline +
+    /// one cycle of wire per hop).
+    pub avg_latency_cycles: f64,
+    /// Worst-case flow latency in clock cycles.
+    pub max_latency_cycles: usize,
+    /// Relay routers inserted.
+    pub relay_count: usize,
+    /// Physical channels synthesized.
+    pub channel_count: usize,
+    /// Highest channel bandwidth utilization (carried / capacity).
+    pub max_utilization: f64,
+}
+
+impl NetworkReport {
+    /// Total (link + router) dynamic power.
+    #[must_use]
+    pub fn total_dynamic(&self) -> Power {
+        self.link_dynamic + self.router_dynamic
+    }
+
+    /// Total (link + router) leakage power.
+    #[must_use]
+    pub fn total_leakage(&self) -> Power {
+        self.link_leakage + self.router_leakage
+    }
+
+    /// Total power.
+    #[must_use]
+    pub fn total_power(&self) -> Power {
+        self.total_dynamic() + self.total_leakage()
+    }
+
+    /// Total area (wire + repeater + router).
+    #[must_use]
+    pub fn total_area(&self) -> Area {
+        self.wire_area + self.repeater_area + self.router_area
+    }
+}
+
+impl fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} / {} model:", self.design, self.model)?;
+        writeln!(
+            f,
+            "  dynamic {:.2} mW (links {:.2} + routers {:.2})",
+            self.total_dynamic().as_mw(),
+            self.link_dynamic.as_mw(),
+            self.router_dynamic.as_mw()
+        )?;
+        writeln!(
+            f,
+            "  leakage {:.2} mW (links {:.2} + routers {:.2})",
+            self.total_leakage().as_mw(),
+            self.link_leakage.as_mw(),
+            self.router_leakage.as_mw()
+        )?;
+        writeln!(
+            f,
+            "  area {:.3} mm² (wire {:.3} + repeater {:.3} + router {:.3})",
+            self.total_area().as_mm2(),
+            self.wire_area.as_mm2(),
+            self.repeater_area.as_mm2(),
+            self.router_area.as_mm2()
+        )?;
+        writeln!(f, "  max link delay {:.0} ps", self.max_link_delay.as_ps())?;
+        writeln!(
+            f,
+            "  hops avg {:.2} / max {}; {} relays, {} channels",
+            self.avg_hops, self.max_hops, self.relay_count, self.channel_count
+        )?;
+        writeln!(
+            f,
+            "  flow latency avg {:.1} / max {} cycles",
+            self.avg_latency_cycles, self.max_latency_cycles
+        )?;
+        write!(
+            f,
+            "  peak channel utilization {:.1}%",
+            self.max_utilization * 100.0
+        )
+    }
+}
+
+/// Builds the report for a synthesized network.
+#[must_use]
+pub fn evaluate(
+    design: &str,
+    network: &Network,
+    routers: &RouterParams,
+    clock: Freq,
+) -> NetworkReport {
+    let link_power: PowerBreakdown = network.channels.iter().map(|c| c.cost.power).sum();
+    let wire_area: Area = network
+        .channels
+        .iter()
+        .map(|c| c.cost.wire_area)
+        .fold(Area::ZERO, |a, b| a + b);
+    let repeater_area: Area = network
+        .channels
+        .iter()
+        .map(|c| c.cost.repeater_area)
+        .fold(Area::ZERO, |a, b| a + b);
+    let max_link_delay = network
+        .channels
+        .iter()
+        .map(|c| c.cost.delay)
+        .fold(Time::ZERO, Time::max);
+
+    // Router power: every node that switches traffic (relays always; core
+    // interfaces act as 1-port NIs whose cost we fold in as well).
+    let mut router_dynamic = Power::ZERO;
+    let mut router_leakage = Power::ZERO;
+    let mut router_area = Area::ZERO;
+    for (idx, node) in network.nodes.iter().enumerate() {
+        let mut ports = network.ports_of(idx);
+        if ports == 0 {
+            continue;
+        }
+        if matches!(node.kind, NodeKind::CoreInterface(_)) {
+            ports += 1; // local port
+        }
+        let gbps: f64 = network
+            .channels
+            .iter()
+            .filter(|c| c.from == idx || c.to == idx)
+            .map(|c| c.bandwidth_gbps)
+            .sum::<f64>()
+            / 2.0; // each bit enters and leaves once
+        let p = routers.power(ports, gbps, clock);
+        router_dynamic += p.dynamic;
+        router_leakage += p.leakage;
+        router_area += routers.area(ports);
+    }
+
+    // Channel capacity = bus width × clock; utilization per channel.
+    let max_utilization = network
+        .channels
+        .iter()
+        .map(|c| {
+            let capacity_gbps = c.n_bits as f64 * clock.as_ghz();
+            c.bandwidth_gbps / capacity_gbps
+        })
+        .fold(0.0f64, f64::max);
+
+    let cycles_per_hop = u64::from(routers.latency_cycles) as usize + 1;
+    let avg_latency_cycles = network.average_hops() * cycles_per_hop as f64;
+    let max_latency_cycles = network.max_hops() * cycles_per_hop;
+
+    NetworkReport {
+        design: design.to_owned(),
+        model: network.model_name.clone(),
+        link_dynamic: link_power.dynamic,
+        link_leakage: link_power.leakage,
+        router_dynamic,
+        router_leakage,
+        wire_area,
+        repeater_area,
+        router_area,
+        max_link_delay,
+        avg_hops: network.average_hops(),
+        max_hops: network.max_hops(),
+        avg_latency_cycles,
+        max_latency_cycles,
+        relay_count: network.relay_count(),
+        channel_count: network.channels.len(),
+        max_utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinkCost;
+    use crate::spec::Point;
+    use crate::synthesis::{Channel, NetNode};
+    use pi_tech::{TechNode, Technology};
+
+    fn tiny_network() -> Network {
+        let cost = LinkCost {
+            delay: Time::ps(200.0),
+            power: PowerBreakdown {
+                dynamic: Power::mw(1.0),
+                leakage: Power::uw(100.0),
+            },
+            wire_area: Area::mm2(0.01),
+            repeater_area: Area::mm2(0.002),
+            repeaters_per_bit: 4,
+            plan: pi_core::line::BufferingPlan {
+                kind: pi_tech::RepeaterKind::Inverter,
+                count: 4,
+                wn: pi_tech::units::Length::um(6.0),
+                staggered: false,
+            },
+        };
+        Network {
+            model_name: "stub".into(),
+            nodes: vec![
+                NetNode {
+                    kind: NodeKind::CoreInterface(0),
+                    position: Point::mm(0.0, 0.0),
+                },
+                NetNode {
+                    kind: NodeKind::Relay,
+                    position: Point::mm(2.0, 0.0),
+                },
+                NetNode {
+                    kind: NodeKind::CoreInterface(1),
+                    position: Point::mm(4.0, 0.0),
+                },
+            ],
+            channels: vec![
+                Channel {
+                    from: 0,
+                    to: 1,
+                    length: pi_tech::units::Length::mm(2.0),
+                    bandwidth_gbps: 10.0,
+                    lanes: 1,
+                    n_bits: 128,
+                    cost,
+                },
+                Channel {
+                    from: 1,
+                    to: 2,
+                    length: pi_tech::units::Length::mm(2.0),
+                    bandwidth_gbps: 10.0,
+                    lanes: 1,
+                    n_bits: 128,
+                    cost,
+                },
+            ],
+            routes: vec![vec![0, 1]],
+        }
+    }
+
+    #[test]
+    fn report_sums_link_power() {
+        let net = tiny_network();
+        let routers = RouterParams::for_tech(&Technology::new(TechNode::N65));
+        let r = evaluate("T", &net, &routers, Freq::ghz(2.25));
+        assert!((r.link_dynamic.as_mw() - 2.0).abs() < 1e-9);
+        assert!((r.link_leakage.as_mw() - 0.2).abs() < 1e-9);
+        assert_eq!(r.channel_count, 2);
+        assert_eq!(r.relay_count, 1);
+        assert!((r.avg_hops - 2.0).abs() < 1e-12);
+        // 3 router-latency cycles + 1 wire cycle, per hop.
+        assert!((r.avg_latency_cycles - 8.0).abs() < 1e-12);
+        assert_eq!(r.max_latency_cycles, 8);
+        // 10 Gbit/s over 128 b × 2.25 GHz = 288 Gbit/s capacity.
+        assert!((r.max_utilization - 10.0 / 288.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_includes_router_costs() {
+        let net = tiny_network();
+        let routers = RouterParams::for_tech(&Technology::new(TechNode::N65));
+        let r = evaluate("T", &net, &routers, Freq::ghz(2.25));
+        assert!(r.router_dynamic.si() > 0.0);
+        assert!(r.router_leakage.si() > 0.0);
+        assert!(r.router_area.si() > 0.0);
+        assert!(r.total_power() > r.link_dynamic);
+    }
+
+    #[test]
+    fn display_mentions_key_metrics() {
+        let net = tiny_network();
+        let routers = RouterParams::for_tech(&Technology::new(TechNode::N65));
+        let r = evaluate("T", &net, &routers, Freq::ghz(2.25));
+        let s = r.to_string();
+        assert!(s.contains("dynamic"));
+        assert!(s.contains("hops"));
+    }
+}

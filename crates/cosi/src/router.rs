@@ -1,0 +1,121 @@
+//! Router (switch) cost model.
+//!
+//! COSI-style synthesis needs a first-order router abstraction: per-port
+//! energy, leakage and area, a port-count limit and a per-hop pipeline
+//! latency. Values scale with technology from 90 nm anchors following
+//! constant-field scaling (energy ∝ C·V², area ∝ feature², leakage per µm
+//! trends from the device data).
+
+use pi_core::power::{dynamic_power, PowerBreakdown};
+use pi_tech::units::{Area, Cap, Energy, Freq, Power};
+use pi_tech::{TechNode, Technology};
+
+/// First-order router cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterParams {
+    /// Switching energy per bit traversing one port pair.
+    pub energy_per_bit: Energy,
+    /// Leakage power per port.
+    pub leakage_per_port: Power,
+    /// Silicon area per port (buffers + crossbar share).
+    pub area_per_port: Area,
+    /// Maximum ports a single router supports.
+    pub max_ports: usize,
+    /// Pipeline latency through the router, in clock cycles.
+    pub latency_cycles: u32,
+}
+
+impl RouterParams {
+    /// Router parameters for a technology node.
+    #[must_use]
+    pub fn for_tech(tech: &Technology) -> Self {
+        let node = tech.node();
+        // 90 nm anchors for a 128-bit wormhole router (per port):
+        // ~0.35 pJ/bit switching, ~1.2 mW leakage, ~0.06 mm² area.
+        let feature = node.feature_size().as_nm();
+        let scale = feature / 90.0;
+        // Energy ∝ C·V²: capacitance scales with feature, voltage per node.
+        let v = tech.vdd().as_v();
+        let v90 = 1.2;
+        let energy = Energy::pj(0.35) * scale * (v * v) / (v90 * v90);
+        // Leakage tracks the node's device leakage per µm relative to 90 nm.
+        let leak_ratio = tech.devices().nmos.ileak_per_um.si() / 200e-9;
+        let leakage = Power::mw(1.2) * scale * leak_ratio;
+        let area = Area::mm2(0.06) * (scale * scale);
+        RouterParams {
+            energy_per_bit: energy,
+            leakage_per_port: leakage,
+            area_per_port: area,
+            max_ports: 16,
+            latency_cycles: 3,
+        }
+    }
+
+    /// Power of a router with `ports` ports forwarding `gbps` Gbit/s of
+    /// aggregate traffic.
+    #[must_use]
+    pub fn power(&self, ports: usize, gbps: f64, _clock: Freq) -> PowerBreakdown {
+        let bits_per_s = gbps * 1e9;
+        PowerBreakdown {
+            dynamic: Power::w(self.energy_per_bit.si() * bits_per_s),
+            leakage: self.leakage_per_port * ports as f64,
+        }
+    }
+
+    /// Area of a router with `ports` ports.
+    #[must_use]
+    pub fn area(&self, ports: usize) -> Area {
+        self.area_per_port * ports as f64
+    }
+
+    /// Convenience: dynamic power of an equivalent capacitive load switched
+    /// at the clock (used in ablation studies).
+    #[must_use]
+    pub fn equivalent_dynamic(&self, activity: f64, load: Cap, tech: &Technology, clock: Freq) -> Power {
+        dynamic_power(activity, load, tech.vdd(), clock)
+    }
+
+    /// The node anchors were written for — useful in assertions.
+    #[must_use]
+    pub fn anchor_node() -> TechNode {
+        TechNode::N90
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_energy_shrinks_with_scaling() {
+        let e90 = RouterParams::for_tech(&Technology::new(TechNode::N90)).energy_per_bit;
+        let e45 = RouterParams::for_tech(&Technology::new(TechNode::N45)).energy_per_bit;
+        let e16 = RouterParams::for_tech(&Technology::new(TechNode::N16)).energy_per_bit;
+        assert!(e45 < e90);
+        assert!(e16 < e45);
+    }
+
+    #[test]
+    fn router_leakage_low_on_lp_node() {
+        let l65 = RouterParams::for_tech(&Technology::new(TechNode::N65)).leakage_per_port;
+        let l45 = RouterParams::for_tech(&Technology::new(TechNode::N45)).leakage_per_port;
+        assert!(l45.si() < l65.si() * 0.3, "LP node routers leak less");
+    }
+
+    #[test]
+    fn power_scales_with_traffic_and_ports() {
+        let p = RouterParams::for_tech(&Technology::new(TechNode::N65));
+        let clock = Freq::ghz(2.25);
+        let light = p.power(4, 10.0, clock);
+        let heavy = p.power(4, 40.0, clock);
+        assert!((heavy.dynamic.si() / light.dynamic.si() - 4.0).abs() < 1e-9);
+        let wide = p.power(8, 10.0, clock);
+        assert!((wide.leakage.si() / light.leakage.si() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_linear_in_ports() {
+        let p = RouterParams::for_tech(&Technology::new(TechNode::N90));
+        assert!((p.area(6) / p.area(3) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! SoC communication specifications: cores, positions and point-to-point
+//! flows with bandwidth requirements — the input of communication
+//! synthesis.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use pi_tech::units::Length;
+
+/// A position on the die floorplan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate from the die origin.
+    pub x: Length,
+    /// Vertical coordinate from the die origin.
+    pub y: Length,
+}
+
+impl Point {
+    /// Creates a point from millimeter coordinates.
+    #[must_use]
+    pub fn mm(x: f64, y: f64) -> Self {
+        Point {
+            x: Length::mm(x),
+            y: Length::mm(y),
+        }
+    }
+
+    /// Manhattan (routed-wire) distance to another point.
+    #[must_use]
+    pub fn manhattan(&self, other: &Point) -> Length {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Linear interpolation toward another point.
+    #[must_use]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x.lerp(other.x, t),
+            y: self.y.lerp(other.y, t),
+        }
+    }
+}
+
+/// A computation core (or IP block) on the SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Core {
+    /// Instance name.
+    pub name: String,
+    /// Position of the core's network-interface attachment point.
+    pub position: Point,
+}
+
+/// A point-to-point communication requirement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Index of the producing core.
+    pub src: usize,
+    /// Index of the consuming core.
+    pub dst: usize,
+    /// Required bandwidth in Gbit/s.
+    pub bandwidth_gbps: f64,
+}
+
+/// A complete communication specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommSpec {
+    /// Design name (e.g. `VPROC`).
+    pub name: String,
+    /// The cores, with floorplan positions.
+    pub cores: Vec<Core>,
+    /// The required flows.
+    pub flows: Vec<Flow>,
+    /// Link data width in bits (the testcases use 128).
+    pub data_width: usize,
+    /// Die dimensions.
+    pub die: (Length, Length),
+}
+
+/// Validation error for a communication spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A flow references a core index that does not exist.
+    UnknownCore {
+        /// Index of the offending flow.
+        flow: usize,
+        /// The out-of-range core index.
+        core: usize,
+    },
+    /// A flow has non-positive bandwidth.
+    BadBandwidth {
+        /// Index of the offending flow.
+        flow: usize,
+    },
+    /// A flow connects a core to itself.
+    SelfLoop {
+        /// Index of the offending flow.
+        flow: usize,
+    },
+    /// A core lies outside the die outline.
+    OffDie {
+        /// Index of the offending core.
+        core: usize,
+    },
+    /// Two cores share a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownCore { flow, core } => {
+                write!(f, "flow {flow} references unknown core {core}")
+            }
+            SpecError::BadBandwidth { flow } => {
+                write!(f, "flow {flow} has non-positive bandwidth")
+            }
+            SpecError::SelfLoop { flow } => write!(f, "flow {flow} is a self loop"),
+            SpecError::OffDie { core } => write!(f, "core {core} lies outside the die"),
+            SpecError::DuplicateName(name) => write!(f, "duplicate core name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl CommSpec {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let mut names = HashSet::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            if !names.insert(core.name.as_str()) {
+                return Err(SpecError::DuplicateName(core.name.clone()));
+            }
+            let (w, h) = self.die;
+            if core.position.x.si() < 0.0
+                || core.position.y.si() < 0.0
+                || core.position.x > w
+                || core.position.y > h
+            {
+                return Err(SpecError::OffDie { core: i });
+            }
+        }
+        for (i, flow) in self.flows.iter().enumerate() {
+            if flow.src >= self.cores.len() {
+                return Err(SpecError::UnknownCore {
+                    flow: i,
+                    core: flow.src,
+                });
+            }
+            if flow.dst >= self.cores.len() {
+                return Err(SpecError::UnknownCore {
+                    flow: i,
+                    core: flow.dst,
+                });
+            }
+            if flow.src == flow.dst {
+                return Err(SpecError::SelfLoop { flow: i });
+            }
+            if flow.bandwidth_gbps <= 0.0 {
+                return Err(SpecError::BadBandwidth { flow: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of all flow bandwidths in Gbit/s.
+    #[must_use]
+    pub fn total_bandwidth_gbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.bandwidth_gbps).sum()
+    }
+
+    /// Manhattan distance between a flow's endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow indexes cores outside this spec (validate first).
+    #[must_use]
+    pub fn flow_distance(&self, flow: &Flow) -> Length {
+        self.cores[flow.src]
+            .position
+            .manhattan(&self.cores[flow.dst].position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_core_spec() -> CommSpec {
+        CommSpec {
+            name: "T".into(),
+            cores: vec![
+                Core {
+                    name: "a".into(),
+                    position: Point::mm(0.0, 0.0),
+                },
+                Core {
+                    name: "b".into(),
+                    position: Point::mm(3.0, 4.0),
+                },
+            ],
+            flows: vec![Flow {
+                src: 0,
+                dst: 1,
+                bandwidth_gbps: 10.0,
+            }],
+            data_width: 128,
+            die: (Length::mm(10.0), Length::mm(10.0)),
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::mm(1.0, 2.0);
+        let b = Point::mm(4.0, 6.0);
+        assert!((a.manhattan(&b).as_mm() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = Point::mm(0.0, 0.0);
+        let b = Point::mm(2.0, 4.0);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.x.as_mm() - 1.0).abs() < 1e-12);
+        assert!((m.y.as_mm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert!(two_core_spec().validate().is_ok());
+        assert!((two_core_spec().total_bandwidth_gbps() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut s = two_core_spec();
+        s.flows[0].dst = 0;
+        assert_eq!(s.validate(), Err(SpecError::SelfLoop { flow: 0 }));
+    }
+
+    #[test]
+    fn unknown_core_rejected() {
+        let mut s = two_core_spec();
+        s.flows[0].dst = 9;
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::UnknownCore { flow: 0, core: 9 })
+        ));
+    }
+
+    #[test]
+    fn off_die_core_rejected() {
+        let mut s = two_core_spec();
+        s.cores[1].position = Point::mm(50.0, 0.0);
+        assert_eq!(s.validate(), Err(SpecError::OffDie { core: 1 }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = two_core_spec();
+        s.cores[1].name = "a".into();
+        assert!(matches!(s.validate(), Err(SpecError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn zero_bandwidth_rejected() {
+        let mut s = two_core_spec();
+        s.flows[0].bandwidth_gbps = 0.0;
+        assert_eq!(s.validate(), Err(SpecError::BadBandwidth { flow: 0 }));
+    }
+
+    #[test]
+    fn flow_distance_matches_core_positions() {
+        let s = two_core_spec();
+        assert!((s.flow_distance(&s.flows[0]).as_mm() - 7.0).abs() < 1e-12);
+    }
+}

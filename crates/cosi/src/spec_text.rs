@@ -1,0 +1,341 @@
+//! Plain-text format for communication specs.
+//!
+//! A minimal line-oriented format so users can feed their own SoCs to the
+//! synthesis flow without a serialization framework:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! design MYSOC
+//! die 12 12                 # width height, millimeters
+//! width 128                 # link data width, bits
+//! core cpu0    1.0  1.5     # name x y (millimeters)
+//! core dram    10.0 6.0
+//! flow cpu0 dram 12.5       # src dst bandwidth (Gbit/s)
+//! ```
+//!
+//! [`parse_spec`] and [`write_spec`] round-trip losslessly.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use pi_tech::units::Length;
+
+use crate::spec::{CommSpec, Core, Flow, Point, SpecError};
+
+/// Error produced when parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseSpecError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `flow` line referenced an undeclared core name.
+    UnknownCore {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown name.
+        name: String,
+    },
+    /// A required header (`design`, `die`, `width`) is missing.
+    MissingHeader(&'static str),
+    /// The assembled spec failed semantic validation.
+    Invalid(SpecError),
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpecError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseSpecError::UnknownCore { line, name } => {
+                write!(f, "line {line}: unknown core `{name}`")
+            }
+            ParseSpecError::MissingHeader(h) => write!(f, "missing `{h}` header"),
+            ParseSpecError::Invalid(e) => write!(f, "invalid spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl From<SpecError> for ParseSpecError {
+    fn from(e: SpecError) -> Self {
+        ParseSpecError::Invalid(e)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+fn parse_f64(token: &str, line: usize, what: &str) -> Result<f64, ParseSpecError> {
+    token.parse::<f64>().map_err(|_| ParseSpecError::Syntax {
+        line,
+        message: format!("expected a number for {what}, got `{token}`"),
+    })
+}
+
+/// Parses a communication spec from the text format.
+///
+/// # Examples
+///
+/// ```
+/// let text = "design T\ndie 8 8\nwidth 64\ncore a 1 1\ncore b 6 6\nflow a b 10\n";
+/// let spec = pi_cosi::spec_text::parse_spec(text)?;
+/// assert_eq!(spec.cores.len(), 2);
+/// # Ok::<(), pi_cosi::spec_text::ParseSpecError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseSpecError`] describing the first problem, with its line
+/// number where applicable. The assembled spec is also semantically
+/// validated ([`CommSpec::validate`]).
+pub fn parse_spec(text: &str) -> Result<CommSpec, ParseSpecError> {
+    let mut name: Option<String> = None;
+    let mut die: Option<(Length, Length)> = None;
+    let mut width: Option<usize> = None;
+    let mut cores: Vec<Core> = Vec::new();
+    let mut flows: Vec<Flow> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "design" => {
+                if tokens.len() != 2 {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "usage: design <name>".into(),
+                    });
+                }
+                name = Some(tokens[1].to_owned());
+            }
+            "die" => {
+                if tokens.len() != 3 {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "usage: die <width_mm> <height_mm>".into(),
+                    });
+                }
+                let w = parse_f64(tokens[1], line_no, "die width")?;
+                let h = parse_f64(tokens[2], line_no, "die height")?;
+                die = Some((Length::mm(w), Length::mm(h)));
+            }
+            "width" => {
+                if tokens.len() != 2 {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "usage: width <bits>".into(),
+                    });
+                }
+                width = Some(tokens[1].parse().map_err(|_| ParseSpecError::Syntax {
+                    line: line_no,
+                    message: format!("expected an integer bit width, got `{}`", tokens[1]),
+                })?);
+            }
+            "core" => {
+                if tokens.len() != 4 {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "usage: core <name> <x_mm> <y_mm>".into(),
+                    });
+                }
+                let x = parse_f64(tokens[2], line_no, "core x")?;
+                let y = parse_f64(tokens[3], line_no, "core y")?;
+                index.insert(tokens[1].to_owned(), cores.len());
+                cores.push(Core {
+                    name: tokens[1].to_owned(),
+                    position: Point::mm(x, y),
+                });
+            }
+            "flow" => {
+                if tokens.len() != 4 {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "usage: flow <src> <dst> <gbps>".into(),
+                    });
+                }
+                let src = *index.get(tokens[1]).ok_or_else(|| {
+                    ParseSpecError::UnknownCore {
+                        line: line_no,
+                        name: tokens[1].to_owned(),
+                    }
+                })?;
+                let dst = *index.get(tokens[2]).ok_or_else(|| {
+                    ParseSpecError::UnknownCore {
+                        line: line_no,
+                        name: tokens[2].to_owned(),
+                    }
+                })?;
+                let bw = parse_f64(tokens[3], line_no, "flow bandwidth")?;
+                flows.push(Flow {
+                    src,
+                    dst,
+                    bandwidth_gbps: bw,
+                });
+            }
+            other => {
+                return Err(ParseSpecError::Syntax {
+                    line: line_no,
+                    message: format!(
+                        "unknown directive `{other}` (design, die, width, core, flow)"
+                    ),
+                });
+            }
+        }
+    }
+
+    let spec = CommSpec {
+        name: name.ok_or(ParseSpecError::MissingHeader("design"))?,
+        cores,
+        flows,
+        data_width: width.ok_or(ParseSpecError::MissingHeader("width"))?,
+        die: die.ok_or(ParseSpecError::MissingHeader("die"))?,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Writes a spec in the text format accepted by [`parse_spec`].
+#[must_use]
+pub fn write_spec(spec: &CommSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "design {}", spec.name);
+    let _ = writeln!(
+        out,
+        "die {} {}",
+        spec.die.0.as_mm(),
+        spec.die.1.as_mm()
+    );
+    let _ = writeln!(out, "width {}", spec.data_width);
+    for core in &spec.cores {
+        let _ = writeln!(
+            out,
+            "core {} {} {}",
+            core.name,
+            core.position.x.as_mm(),
+            core.position.y.as_mm()
+        );
+    }
+    for flow in &spec.flows {
+        let _ = writeln!(
+            out,
+            "flow {} {} {}",
+            spec.cores[flow.src].name, spec.cores[flow.dst].name, flow.bandwidth_gbps
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcases::{dvopd, vproc};
+
+    const SAMPLE: &str = "
+# a tiny SoC
+design TINY
+die 8 8
+width 64
+core cpu  1.0 1.0
+core mem  6.0 6.0   # memory controller
+flow cpu mem 10.5
+flow mem cpu 4.0
+";
+
+    #[test]
+    fn parses_sample() {
+        let s = parse_spec(SAMPLE).unwrap();
+        assert_eq!(s.name, "TINY");
+        assert_eq!(s.cores.len(), 2);
+        assert_eq!(s.flows.len(), 2);
+        assert_eq!(s.data_width, 64);
+        assert!((s.flows[0].bandwidth_gbps - 10.5).abs() < 1e-12);
+        assert_eq!(s.flows[1].src, 1);
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let original = parse_spec(SAMPLE).unwrap();
+        let text = write_spec(&original);
+        let reparsed = parse_spec(&text).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn testcases_roundtrip() {
+        for spec in [vproc(), dvopd()] {
+            let reparsed = parse_spec(&write_spec(&spec)).unwrap();
+            assert_eq!(spec.name, reparsed.name);
+            assert_eq!(spec.cores.len(), reparsed.cores.len());
+            assert_eq!(spec.flows.len(), reparsed.flows.len());
+            for (a, b) in spec.flows.iter().zip(&reparsed.flows) {
+                assert_eq!(a.src, b.src);
+                assert_eq!(a.dst, b.dst);
+                assert!((a.bandwidth_gbps - b.bandwidth_gbps).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let bad = "design X\ndie 8 8\nwidth 64\ncore a 1 1\nflow a ghost 5.0\n";
+        match parse_spec(bad) {
+            Err(ParseSpecError::UnknownCore { line, name }) => {
+                assert_eq!(line, 5);
+                assert_eq!(name, "ghost");
+            }
+            other => panic!("expected UnknownCore, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_headers_detected() {
+        assert!(matches!(
+            parse_spec("core a 1 1\n"),
+            Err(ParseSpecError::MissingHeader("design"))
+        ));
+        assert!(matches!(
+            parse_spec("design X\nwidth 8\n"),
+            Err(ParseSpecError::MissingHeader("die"))
+        ));
+    }
+
+    #[test]
+    fn bad_numbers_are_syntax_errors() {
+        let bad = "design X\ndie eight 8\n";
+        assert!(matches!(
+            parse_spec(bad),
+            Err(ParseSpecError::Syntax { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(matches!(
+            parse_spec("banana\n"),
+            Err(ParseSpecError::Syntax { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn semantic_validation_applies() {
+        // Core outside the die.
+        let bad = "design X\ndie 2 2\nwidth 8\ncore a 5 5\ncore b 1 1\nflow a b 1.0\n";
+        assert!(matches!(parse_spec(bad), Err(ParseSpecError::Invalid(_))));
+    }
+}

@@ -1,0 +1,591 @@
+//! Constraint-driven NoC topology synthesis.
+//!
+//! The algorithm mirrors COSI-OCC's structure: every flow must be carried
+//! by a chain of point-to-point buffered links, each no longer than the
+//! link model's **maximum feasible length** at the target clock; relay
+//! routers are inserted where a flow exceeds it, nearby relays are merged
+//! (grid clustering), and flows between the same pair of nodes share
+//! channels. The link model is a parameter — running the same algorithm
+//! with the original and the proposed models is exactly the experiment of
+//! Table III.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pi_tech::units::{Freq, Length};
+use pi_tech::DesignStyle;
+
+use crate::model::{InfeasibleLink, LinkCost, LinkCostModel};
+use crate::spec::{CommSpec, Point, SpecError};
+
+/// Synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisConfig {
+    /// Target clock frequency.
+    pub clock: Freq,
+    /// Switching-activity factor for power estimates.
+    pub activity: f64,
+    /// Wiring design style for all links.
+    pub style: DesignStyle,
+    /// Maximum ports per router / network interface.
+    pub max_router_ports: usize,
+    /// Fraction of the feasible length actually used when segmenting
+    /// (slack for relay-placement snapping).
+    pub length_margin: f64,
+}
+
+impl SynthesisConfig {
+    /// Default configuration at the given clock.
+    #[must_use]
+    pub fn at_clock(clock: Freq) -> Self {
+        SynthesisConfig {
+            clock,
+            activity: 0.25,
+            style: DesignStyle::SingleSpacing,
+            max_router_ports: 16,
+            length_margin: 0.85,
+        }
+    }
+}
+
+/// What a network node is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Network interface of a core (index into the spec's cores).
+    CoreInterface(usize),
+    /// Relay router inserted to satisfy the wire-length constraint.
+    Relay,
+}
+
+/// One node of the synthesized network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetNode {
+    /// Role of the node.
+    pub kind: NodeKind,
+    /// Floorplan position.
+    pub position: Point,
+}
+
+/// One synthesized physical channel (a buffered bus between two nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Routed (Manhattan) length.
+    pub length: Length,
+    /// Aggregate bandwidth carried, Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// Parallel lanes (each `data_width` bits) needed for the bandwidth.
+    pub lanes: usize,
+    /// Total bus width in bits.
+    pub n_bits: usize,
+    /// Cost as estimated by the synthesis model.
+    pub cost: LinkCost,
+}
+
+/// A synthesized network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Name of the link model that drove synthesis.
+    pub model_name: String,
+    /// All nodes (core interfaces first, relays after).
+    pub nodes: Vec<NetNode>,
+    /// All physical channels.
+    pub channels: Vec<Channel>,
+    /// Channel indices traversed by each flow, in spec order.
+    pub routes: Vec<Vec<usize>>,
+}
+
+impl Network {
+    /// Number of relay routers inserted.
+    #[must_use]
+    pub fn relay_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Relay)
+            .count()
+    }
+
+    /// Port count (degree) of a node.
+    #[must_use]
+    pub fn ports_of(&self, node: usize) -> usize {
+        self.channels
+            .iter()
+            .filter(|c| c.from == node || c.to == node)
+            .count()
+    }
+
+    /// Hop count of a flow: the number of links its data traverses.
+    #[must_use]
+    pub fn hops(&self, flow: usize) -> usize {
+        self.routes[flow].len()
+    }
+
+    /// Mean hop count over all flows.
+    #[must_use]
+    pub fn average_hops(&self) -> f64 {
+        if self.routes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.routes.iter().map(Vec::len).sum();
+        total as f64 / self.routes.len() as f64
+    }
+
+    /// Largest hop count over all flows.
+    #[must_use]
+    pub fn max_hops(&self) -> usize {
+        self.routes.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Synthesis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The input spec is inconsistent.
+    Spec(SpecError),
+    /// No positive feasible link length exists at this clock.
+    NoFeasibleLink,
+    /// A link the algorithm committed to was rejected by the model.
+    Link(InfeasibleLink),
+    /// A node would need more ports than the router supports.
+    PortOverflow {
+        /// Node index.
+        node: usize,
+        /// Ports required.
+        ports: usize,
+        /// Ports available.
+        max: usize,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Spec(e) => write!(f, "invalid spec: {e}"),
+            SynthesisError::NoFeasibleLink => {
+                f.write_str("no feasible link length at the target clock")
+            }
+            SynthesisError::Link(e) => write!(f, "link rejected: {e}"),
+            SynthesisError::PortOverflow { node, ports, max } => {
+                write!(f, "node {node} needs {ports} ports but routers have {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<SpecError> for SynthesisError {
+    fn from(e: SpecError) -> Self {
+        SynthesisError::Spec(e)
+    }
+}
+
+impl From<InfeasibleLink> for SynthesisError {
+    fn from(e: InfeasibleLink) -> Self {
+        SynthesisError::Link(e)
+    }
+}
+
+/// Synthesizes a network for `spec` under `config` using `model` for every
+/// link-cost and feasibility decision.
+///
+/// # Errors
+///
+/// Returns an error if the spec is invalid, no link is feasible at the
+/// clock, or a router would exceed its port budget.
+pub fn synthesize(
+    spec: &CommSpec,
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+) -> Result<Network, SynthesisError> {
+    spec.validate()?;
+    let max_len = model.max_length();
+    if max_len.si() <= 0.0 {
+        return Err(SynthesisError::NoFeasibleLink);
+    }
+    let budget = max_len * config.length_margin;
+
+    // Core interfaces.
+    let mut nodes: Vec<NetNode> = spec
+        .cores
+        .iter()
+        .enumerate()
+        .map(|(i, c)| NetNode {
+            kind: NodeKind::CoreInterface(i),
+            position: c.position,
+        })
+        .collect();
+
+    // Relay routers are deduplicated on a grid half the budget wide, so
+    // nearby flows share them (the merging step of constraint-driven
+    // synthesis).
+    let cell = budget.si() * 0.5;
+    let mut relay_at: HashMap<(i64, i64), usize> = HashMap::new();
+    let mut relay_for = |nodes: &mut Vec<NetNode>, p: Point| -> usize {
+        let key = ((p.x.si() / cell).round() as i64, (p.y.si() / cell).round() as i64);
+        *relay_at.entry(key).or_insert_with(|| {
+            let snapped = Point {
+                x: Length::from_si(key.0 as f64 * cell),
+                y: Length::from_si(key.1 as f64 * cell),
+            };
+            nodes.push(NetNode {
+                kind: NodeKind::Relay,
+                position: snapped,
+            });
+            nodes.len() - 1
+        })
+    };
+
+    // Route each flow: a straight chain of relays every ≤ budget.
+    let mut channel_bw: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut flow_paths: Vec<Vec<(usize, usize)>> = Vec::with_capacity(spec.flows.len());
+    for flow in &spec.flows {
+        let src_pos = spec.cores[flow.src].position;
+        let dst_pos = spec.cores[flow.dst].position;
+        let dist = src_pos.manhattan(&dst_pos);
+        let mut path_nodes: Vec<usize> = vec![flow.src];
+        if dist > budget {
+            let segs = (dist / budget).ceil() as usize;
+            for k in 1..segs {
+                let p = src_pos.lerp(&dst_pos, k as f64 / segs as f64);
+                let relay = relay_for(&mut nodes, p);
+                if *path_nodes.last().expect("path has src") != relay {
+                    path_nodes.push(relay);
+                }
+            }
+        }
+        path_nodes.push(flow.dst);
+
+        // Snapping can stretch a segment past the feasible length; split
+        // such segments with exact-midpoint relays until all fit.
+        let mut i = 0;
+        while i + 1 < path_nodes.len() {
+            let a = nodes[path_nodes[i]].position;
+            let b = nodes[path_nodes[i + 1]].position;
+            if a.manhattan(&b) > max_len {
+                let relay = relay_for(&mut nodes, a.lerp(&b, 0.5));
+                if relay == path_nodes[i] || relay == path_nodes[i + 1] {
+                    // Degenerate snap: give up splitting (length ≈ max_len).
+                    i += 1;
+                } else {
+                    path_nodes.insert(i + 1, relay);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        let mut segments = Vec::with_capacity(path_nodes.len() - 1);
+        for pair in path_nodes.windows(2) {
+            let key = (pair[0], pair[1]);
+            *channel_bw.entry(key).or_insert(0.0) += flow.bandwidth_gbps;
+            segments.push(key);
+        }
+        flow_paths.push(segments);
+    }
+
+    // Materialize channels, sizing lanes by bandwidth.
+    let capacity_gbps = spec.data_width as f64 * config.clock.as_ghz();
+    let mut keys: Vec<(usize, usize)> = channel_bw.keys().copied().collect();
+    keys.sort_unstable();
+    let mut channel_index: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut channels = Vec::with_capacity(keys.len());
+    for key in keys {
+        let bw = channel_bw[&key];
+        let length = nodes[key.0].position.manhattan(&nodes[key.1].position);
+        let lanes = ((bw / capacity_gbps).ceil() as usize).max(1);
+        let n_bits = lanes * spec.data_width;
+        let cost = model.link_cost(length.max(Length::um(50.0)), n_bits)?;
+        channel_index.insert(key, channels.len());
+        channels.push(Channel {
+            from: key.0,
+            to: key.1,
+            length,
+            bandwidth_gbps: bw,
+            lanes,
+            n_bits,
+            cost,
+        });
+    }
+
+    let routes: Vec<Vec<usize>> = flow_paths
+        .iter()
+        .map(|segs| segs.iter().map(|k| channel_index[k]).collect())
+        .collect();
+
+    let network = Network {
+        model_name: model.name().to_owned(),
+        nodes,
+        channels,
+        routes,
+    };
+
+    // Port-budget check.
+    for node in 0..network.nodes.len() {
+        let mut ports = network.ports_of(node);
+        if matches!(network.nodes[node].kind, NodeKind::CoreInterface(_)) {
+            ports += 1; // the local core port
+        }
+        if ports > config.max_router_ports {
+            return Err(SynthesisError::PortOverflow {
+                node,
+                ports,
+                max: config.max_router_ports,
+            });
+        }
+    }
+
+    Ok(network)
+}
+
+/// Counts the channels of `network` that `other` considers infeasible at
+/// its clock — the paper's observation that the original model's long
+/// links are "actually not implementable" when checked with accurate
+/// models.
+#[must_use]
+pub fn infeasible_under(network: &Network, other: &dyn LinkCostModel) -> usize {
+    network
+        .channels
+        .iter()
+        .filter(|c| other.link_cost(c.length, c.n_bits).is_err())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinkCost;
+    use pi_core::power::PowerBreakdown;
+    use pi_tech::units::{Area, Power, Time};
+
+    /// A stub model with a configurable reach, for algorithm-level tests.
+    #[derive(Debug)]
+    struct StubModel {
+        reach: Length,
+    }
+
+    impl LinkCostModel for StubModel {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn max_length(&self) -> Length {
+            self.reach
+        }
+        fn link_cost(&self, length: Length, n_bits: usize) -> Result<LinkCost, InfeasibleLink> {
+            if length > self.reach {
+                return Err(InfeasibleLink {
+                    length,
+                    max_length: self.reach,
+                });
+            }
+            Ok(LinkCost {
+                delay: Time::ps(100.0),
+                power: PowerBreakdown {
+                    dynamic: Power::uw(n_bits as f64),
+                    leakage: Power::uw(0.1 * n_bits as f64),
+                },
+                wire_area: Area::um2(1.0),
+                repeater_area: Area::um2(1.0),
+                repeaters_per_bit: 1,
+                plan: pi_core::line::BufferingPlan {
+                    kind: pi_tech::RepeaterKind::Inverter,
+                    count: 1,
+                    wn: Length::um(4.0),
+                    staggered: false,
+                },
+            })
+        }
+    }
+
+    use crate::spec::{Core, Flow};
+    use pi_tech::units::Freq;
+
+    fn line_spec(dist_mm: f64) -> CommSpec {
+        CommSpec {
+            name: "L".into(),
+            cores: vec![
+                Core {
+                    name: "a".into(),
+                    position: Point::mm(0.0, 0.0),
+                },
+                Core {
+                    name: "b".into(),
+                    position: Point::mm(dist_mm, 0.0),
+                },
+            ],
+            flows: vec![Flow {
+                src: 0,
+                dst: 1,
+                bandwidth_gbps: 10.0,
+            }],
+            data_width: 128,
+            die: (Length::mm(20.0), Length::mm(20.0)),
+        }
+    }
+
+    #[test]
+    fn short_flow_gets_direct_link() {
+        let net = synthesize(
+            &line_spec(2.0),
+            &StubModel {
+                reach: Length::mm(5.0),
+            },
+            &SynthesisConfig::at_clock(Freq::ghz(2.0)),
+        )
+        .unwrap();
+        assert_eq!(net.relay_count(), 0);
+        assert_eq!(net.channels.len(), 1);
+        assert_eq!(net.hops(0), 1);
+    }
+
+    #[test]
+    fn long_flow_gets_relays() {
+        let net = synthesize(
+            &line_spec(12.0),
+            &StubModel {
+                reach: Length::mm(4.0),
+            },
+            &SynthesisConfig::at_clock(Freq::ghz(2.0)),
+        )
+        .unwrap();
+        assert!(net.relay_count() >= 2, "relays = {}", net.relay_count());
+        assert!(net.hops(0) >= 3);
+        // Every channel respects the reach.
+        for c in &net.channels {
+            assert!(c.length <= Length::mm(4.0) + Length::um(1.0));
+        }
+    }
+
+    #[test]
+    fn shorter_reach_means_more_hops() {
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.0));
+        let long = synthesize(
+            &line_spec(12.0),
+            &StubModel {
+                reach: Length::mm(8.0),
+            },
+            &cfg,
+        )
+        .unwrap();
+        let short = synthesize(
+            &line_spec(12.0),
+            &StubModel {
+                reach: Length::mm(3.0),
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert!(short.average_hops() > long.average_hops());
+    }
+
+    #[test]
+    fn parallel_flows_share_relays_and_channels() {
+        let mut spec = line_spec(12.0);
+        // A second flow in the same direction between the same cores.
+        spec.flows.push(Flow {
+            src: 0,
+            dst: 1,
+            bandwidth_gbps: 5.0,
+        });
+        let net = synthesize(
+            &spec,
+            &StubModel {
+                reach: Length::mm(4.0),
+            },
+            &SynthesisConfig::at_clock(Freq::ghz(2.0)),
+        )
+        .unwrap();
+        // Both flows use the same channels (shared bandwidth).
+        assert_eq!(net.routes[0], net.routes[1]);
+        let total_bw: f64 = net.channels.iter().map(|c| c.bandwidth_gbps).sum::<f64>()
+            / net.channels.len() as f64;
+        assert!((total_bw - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_beyond_capacity_adds_lanes() {
+        let mut spec = line_spec(2.0);
+        // Capacity at 128 b × 2 GHz = 256 Gbit/s; ask for more.
+        spec.flows[0].bandwidth_gbps = 300.0;
+        let net = synthesize(
+            &spec,
+            &StubModel {
+                reach: Length::mm(5.0),
+            },
+            &SynthesisConfig::at_clock(Freq::ghz(2.0)),
+        )
+        .unwrap();
+        assert_eq!(net.channels[0].lanes, 2);
+        assert_eq!(net.channels[0].n_bits, 256);
+    }
+
+    #[test]
+    fn port_overflow_is_reported() {
+        // A star of 6 flows into one core with a 4-port router budget.
+        let mut spec = line_spec(2.0);
+        spec.cores.push(Core {
+            name: "hub".into(),
+            position: Point::mm(5.0, 5.0),
+        });
+        let hub = spec.cores.len() - 1;
+        spec.flows.clear();
+        for i in 0..6 {
+            spec.cores.push(Core {
+                name: format!("leaf{i}"),
+                position: Point::mm(4.0 + 0.3 * f64::from(i), 4.0),
+            });
+            spec.flows.push(Flow {
+                src: spec.cores.len() - 1,
+                dst: hub,
+                bandwidth_gbps: 5.0,
+            });
+        }
+        let mut cfg = SynthesisConfig::at_clock(Freq::ghz(2.0));
+        cfg.max_router_ports = 4;
+        let err = synthesize(
+            &spec,
+            &StubModel {
+                reach: Length::mm(5.0),
+            },
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SynthesisError::PortOverflow { ports: 7, max: 4, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_reach_is_an_error() {
+        let err = synthesize(
+            &line_spec(2.0),
+            &StubModel {
+                reach: Length::ZERO,
+            },
+            &SynthesisConfig::at_clock(Freq::ghz(2.0)),
+        )
+        .unwrap_err();
+        assert_eq!(err, SynthesisError::NoFeasibleLink);
+    }
+
+    #[test]
+    fn infeasible_under_flags_overlong_channels() {
+        let net = synthesize(
+            &line_spec(12.0),
+            &StubModel {
+                reach: Length::mm(8.0),
+            },
+            &SynthesisConfig::at_clock(Freq::ghz(2.0)),
+        )
+        .unwrap();
+        // Check the 8 mm-reach network against a 3 mm-reach model.
+        let strict = StubModel {
+            reach: Length::mm(3.0),
+        };
+        assert!(infeasible_under(&net, &strict) > 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The two SoC testcases of the paper's NoC study (Table III).
+//!
+//! The original VPROC (42-core video processor) and DVOPD (dual video
+//! object plane decoder, 26 cores) specifications are not public; these
+//! synthetic equivalents preserve what the experiment depends on — the
+//! core counts, 128-bit data widths, a video-pipeline-shaped communication
+//! structure (chained stages plus shared-memory traffic) and a large die —
+//! and are generated deterministically from a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pi_tech::units::Length;
+
+use crate::spec::{CommSpec, Core, Flow, Point};
+
+/// Die edge of the VPROC testcase (mm).
+const VPROC_DIE_MM: f64 = 16.0;
+/// Die edge of the DVOPD testcase (mm).
+const DVOPD_DIE_MM: f64 = 12.0;
+
+fn grid_positions(count: usize, die_mm: f64, rng: &mut StdRng) -> Vec<Point> {
+    // Cores sit near the sites of a regular grid, with deterministic
+    // jitter so channels are not all axis-aligned.
+    let cols = (count as f64).sqrt().ceil() as usize;
+    let rows = count.div_ceil(cols);
+    let dx = die_mm / cols as f64;
+    let dy = die_mm / rows as f64;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let col = i % cols;
+        let row = i / cols;
+        let jx: f64 = rng.random_range(-0.15..0.15) * dx;
+        let jy: f64 = rng.random_range(-0.15..0.15) * dy;
+        let x = (dx * (col as f64 + 0.5) + jx).clamp(0.0, die_mm);
+        let y = (dy * (row as f64 + 0.5) + jy).clamp(0.0, die_mm);
+        out.push(Point::mm(x, y));
+    }
+    out
+}
+
+/// The VPROC testcase: a 42-core video processor with 128-bit data widths.
+///
+/// Structure: four parallel processing pipelines (capture → filter →
+/// transform → encode chains) that fan in to a bitstream assembler, plus
+/// heavy traffic between every pipeline stage and two shared memory
+/// controllers, and a low-bandwidth control star from a host processor.
+#[must_use]
+pub fn vproc() -> CommSpec {
+    let mut rng = StdRng::seed_from_u64(0x56_5052_4f43); // "VPROC"
+    let count = 42;
+    let positions = grid_positions(count, VPROC_DIE_MM, &mut rng);
+    let cores: Vec<Core> = positions
+        .into_iter()
+        .enumerate()
+        .map(|(i, position)| Core {
+            name: format!("vproc_core{i:02}"),
+            position,
+        })
+        .collect();
+
+    // Core roles by index:
+    //  0..=31  : four pipelines of eight stages (0..8, 8..16, 16..24, 24..32)
+    //  32, 33  : shared memory controllers
+    //  34      : bitstream assembler
+    //  35      : host / control processor
+    //  36..=41 : peripheral cores (display, audio, dma, io x3)
+    let mut flows = Vec::new();
+    for pipe in 0..4usize {
+        let base = pipe * 8;
+        for stage in 0..7 {
+            flows.push(Flow {
+                src: base + stage,
+                dst: base + stage + 1,
+                bandwidth_gbps: rng.random_range(6.0..12.0),
+            });
+        }
+        // Pipeline tail into the assembler.
+        flows.push(Flow {
+            src: base + 7,
+            dst: 34,
+            bandwidth_gbps: rng.random_range(4.0..8.0),
+        });
+        // Stage 0 fetches frames from a memory controller; stage 4 spills.
+        flows.push(Flow {
+            src: 32 + (pipe % 2),
+            dst: base,
+            bandwidth_gbps: rng.random_range(8.0..14.0),
+        });
+        flows.push(Flow {
+            src: base + 4,
+            dst: 32 + (pipe % 2),
+            bandwidth_gbps: rng.random_range(3.0..6.0),
+        });
+    }
+    // Assembler writes the bitstream out through memory controller 0.
+    flows.push(Flow {
+        src: 34,
+        dst: 32,
+        bandwidth_gbps: 10.0,
+    });
+    // Host control star (low bandwidth) to one core of each pipeline and
+    // the peripherals.
+    for &dst in &[0usize, 8, 16, 24, 34, 36, 37, 38] {
+        flows.push(Flow {
+            src: 35,
+            dst,
+            bandwidth_gbps: rng.random_range(0.5..1.5),
+        });
+    }
+    // Peripherals exchange data with memory controller 1.
+    for src in 36..42 {
+        flows.push(Flow {
+            src,
+            dst: 33,
+            bandwidth_gbps: rng.random_range(1.0..4.0),
+        });
+    }
+
+    let spec = CommSpec {
+        name: "VPROC".into(),
+        cores,
+        flows,
+        data_width: 128,
+        die: (Length::mm(VPROC_DIE_MM), Length::mm(VPROC_DIE_MM)),
+    };
+    debug_assert!(spec.validate().is_ok());
+    spec
+}
+
+/// The DVOPD testcase: a dual video object plane decoder with 26 cores and
+/// 128-bit data widths — two parallel decoder pipelines sharing a memory
+/// controller and a display unit.
+#[must_use]
+pub fn dvopd() -> CommSpec {
+    let mut rng = StdRng::seed_from_u64(0x44_564f_5044); // "DVOPD"
+    let count = 26;
+    let positions = grid_positions(count, DVOPD_DIE_MM, &mut rng);
+    let cores: Vec<Core> = positions
+        .into_iter()
+        .enumerate()
+        .map(|(i, position)| Core {
+            name: format!("dvopd_core{i:02}"),
+            position,
+        })
+        .collect();
+
+    // Core roles:
+    //  0..=11  : decoder pipeline A (vld, inv-scan, ac/dc, iquant, idct,
+    //            up-samp, vop-reconstr, padding, vop-mem, smoothing, ...)
+    //  12..=23 : decoder pipeline B (same stages)
+    //  24      : shared memory controller
+    //  25      : display/compositor
+    let mut flows = Vec::new();
+    for base in [0usize, 12] {
+        for stage in 0..11 {
+            flows.push(Flow {
+                src: base + stage,
+                dst: base + stage + 1,
+                bandwidth_gbps: rng.random_range(4.0..10.0),
+            });
+        }
+        // Stream input from memory; reconstructed planes to display.
+        flows.push(Flow {
+            src: 24,
+            dst: base,
+            bandwidth_gbps: rng.random_range(6.0..10.0),
+        });
+        flows.push(Flow {
+            src: base + 11,
+            dst: 25,
+            bandwidth_gbps: rng.random_range(6.0..10.0),
+        });
+        // Reference-frame traffic with the shared memory.
+        flows.push(Flow {
+            src: base + 6,
+            dst: 24,
+            bandwidth_gbps: rng.random_range(3.0..7.0),
+        });
+        flows.push(Flow {
+            src: 24,
+            dst: base + 6,
+            bandwidth_gbps: rng.random_range(3.0..7.0),
+        });
+    }
+    // Display refresh from memory.
+    flows.push(Flow {
+        src: 24,
+        dst: 25,
+        bandwidth_gbps: 8.0,
+    });
+
+    let spec = CommSpec {
+        name: "DVOPD".into(),
+        cores,
+        flows,
+        data_width: 128,
+        die: (Length::mm(DVOPD_DIE_MM), Length::mm(DVOPD_DIE_MM)),
+    };
+    debug_assert!(spec.validate().is_ok());
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vproc_matches_paper_shape() {
+        let s = vproc();
+        assert_eq!(s.cores.len(), 42);
+        assert_eq!(s.data_width, 128);
+        assert!(s.validate().is_ok());
+        assert!(s.flows.len() > 40, "pipelines + memory + control flows");
+    }
+
+    #[test]
+    fn dvopd_matches_paper_shape() {
+        let s = dvopd();
+        assert_eq!(s.cores.len(), 26);
+        assert_eq!(s.data_width, 128);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn testcases_are_deterministic() {
+        assert_eq!(vproc(), vproc());
+        assert_eq!(dvopd(), dvopd());
+    }
+
+    #[test]
+    fn testcases_have_long_global_flows() {
+        // The study is about *global* interconnect: the specs must contain
+        // flows spanning several millimeters.
+        for spec in [vproc(), dvopd()] {
+            let longest = spec
+                .flows
+                .iter()
+                .map(|f| spec.flow_distance(f).as_mm())
+                .fold(0.0f64, f64::max);
+            assert!(longest > 5.0, "{}: longest flow {longest} mm", spec.name);
+        }
+    }
+
+    #[test]
+    fn all_cores_participate() {
+        for spec in [vproc(), dvopd()] {
+            for i in 0..spec.cores.len() {
+                let used = spec.flows.iter().any(|f| f.src == i || f.dst == i);
+                assert!(used, "{}: core {i} unused", spec.name);
+            }
+        }
+    }
+}

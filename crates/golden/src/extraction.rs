@@ -1,0 +1,134 @@
+//! Placement and parasitic extraction.
+//!
+//! Substitutes for the paper's SOC Encounter flow (§IV): repeaters are
+//! placed at equal distances along the line, and each wire segment is
+//! extracted to a distributed RC description — using the *physical*
+//! parasitics (scattering/barrier-corrected resistance, unweighted coupling
+//! capacitance), since extraction reflects layout reality rather than any
+//! model's switch-factor assumption.
+
+use pi_core::line::{BufferingPlan, LineSpec};
+use pi_tech::units::{Cap, Length, Res};
+use pi_tech::Technology;
+use pi_wire::WireRc;
+
+/// Uniform placement of a buffering plan along a line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Distance from the line start to each repeater input.
+    pub positions: Vec<Length>,
+    /// Length of each wire segment (identical by construction).
+    pub seg_len: Length,
+}
+
+/// Places the plan's repeaters at equal distances along the line, the
+/// first at the line input.
+///
+/// # Panics
+///
+/// Panics if the plan has no repeaters.
+#[must_use]
+pub fn place_uniform(spec: &LineSpec, plan: &BufferingPlan) -> Placement {
+    assert!(plan.count > 0, "a buffered line needs at least one repeater");
+    let seg_len = spec.length / plan.count as f64;
+    let positions = (0..plan.count).map(|i| seg_len * i as f64).collect();
+    Placement { positions, seg_len }
+}
+
+/// Extracted parasitics of one wire segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractedSegment {
+    /// Physical length of the segment.
+    pub length: Length,
+    /// Total segment resistance (scattering + barrier included).
+    pub r: Res,
+    /// Total segment ground capacitance.
+    pub cg: Cap,
+    /// Total segment coupling capacitance (both neighbours, unweighted).
+    pub cc: Cap,
+    /// Whether the coupled neighbours are switching signal wires (false
+    /// when the style shields the net).
+    pub neighbors_switch: bool,
+}
+
+/// SPEF-like extracted view of a placed, buffered line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedLine {
+    /// One entry per repeater stage, in line order.
+    pub segments: Vec<ExtractedSegment>,
+    /// The placement that produced this extraction.
+    pub placement: Placement,
+}
+
+/// Extracts a placed line to distributed-RC segment descriptions.
+#[must_use]
+pub fn extract(tech: &Technology, spec: &LineSpec, plan: &BufferingPlan) -> ExtractedLine {
+    let placement = place_uniform(spec, plan);
+    let layer = tech.layer(spec.tier);
+    // Extraction reports physical parasitics; switch factors are an
+    // analysis-side concept.
+    let rc = WireRc::from_layer(layer, spec.style);
+    let seg = ExtractedSegment {
+        length: placement.seg_len,
+        r: rc.total_r(placement.seg_len),
+        cg: rc.total_cg(placement.seg_len),
+        cc: rc.total_cc(placement.seg_len),
+        neighbors_switch: rc.neighbors_switch,
+    };
+    ExtractedLine {
+        segments: vec![seg; plan.count],
+        placement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_tech::{DesignStyle, RepeaterKind, TechNode};
+
+    fn plan(count: usize) -> BufferingPlan {
+        BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count,
+            wn: Length::um(6.0),
+            staggered: false,
+        }
+    }
+
+    #[test]
+    fn placement_is_uniform_and_starts_at_origin() {
+        let spec = LineSpec::global(Length::mm(6.0), DesignStyle::SingleSpacing);
+        let p = place_uniform(&spec, &plan(6));
+        assert_eq!(p.positions.len(), 6);
+        assert!((p.seg_len.as_mm() - 1.0).abs() < 1e-12);
+        assert_eq!(p.positions[0], Length::ZERO);
+        assert!((p.positions[5].as_mm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extraction_conserves_totals() {
+        let tech = Technology::new(TechNode::N65);
+        let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+        let ex = extract(&tech, &spec, &plan(8));
+        let total_r: f64 = ex.segments.iter().map(|s| s.r.as_ohm()).sum();
+        let rc = WireRc::from_layer(tech.global_layer(), DesignStyle::SingleSpacing);
+        assert!((total_r - rc.total_r(Length::mm(5.0)).as_ohm()).abs() < 1e-6);
+        let total_cc: f64 = ex.segments.iter().map(|s| s.cc.as_ff()).sum();
+        assert!((total_cc - rc.total_cc(Length::mm(5.0)).as_ff()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shielded_extraction_marks_quiet_neighbors() {
+        let tech = Technology::new(TechNode::N65);
+        let spec = LineSpec::global(Length::mm(3.0), DesignStyle::Shielded);
+        let ex = extract(&tech, &spec, &plan(4));
+        assert!(ex.segments.iter().all(|s| !s.neighbors_switch));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repeater")]
+    fn zero_count_placement_rejected() {
+        let spec = LineSpec::global(Length::mm(1.0), DesignStyle::SingleSpacing);
+        let _ = place_uniform(&spec, &plan(0));
+    }
+}

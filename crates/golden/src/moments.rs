@@ -1,0 +1,310 @@
+//! Moment-based interconnect delay metrics: Elmore and D2M.
+//!
+//! PrimeTime-class tools compute interconnect delay from circuit moments
+//! (AWE and its successors). This module provides the first two moments of
+//! a driver + distributed-RC stage and the classic delay metrics built on
+//! them — the Elmore bound and the D2M two-moment metric — as a fast,
+//! independent cross-check on the transient sign-off engine and a
+//! reference point for "how accurate is cheap" discussions.
+
+use pi_tech::units::{Cap, Res, Time};
+
+/// A resistively driven RC chain: resistance `rs[i]` feeds node `i`, which
+/// carries capacitance `cs[i]` to ground. Node `n-1` is the far end.
+///
+/// # Examples
+///
+/// ```
+/// use pi_golden::moments::RcChain;
+/// use pi_tech::units::{Cap, Res};
+///
+/// let stage = RcChain::uniform_stage(
+///     Res::ohm(400.0),
+///     Res::ohm(500.0),
+///     Cap::ff(250.0),
+///     Cap::ff(20.0),
+///     12,
+/// );
+/// // ln2·m1 ≤ D2M ≤ m1 always holds on a chain.
+/// assert!(stage.d2m_delay() >= stage.elmore_delay());
+/// assert!(stage.d2m_delay() <= stage.elmore_bound());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcChain {
+    rs: Vec<f64>, // ohms
+    cs: Vec<f64>, // farads
+}
+
+impl RcChain {
+    /// Builds a chain from explicit per-segment values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty, differ in length, or contain
+    /// non-positive resistances / negative capacitances.
+    #[must_use]
+    pub fn new(rs: Vec<f64>, cs: Vec<f64>) -> Self {
+        assert!(!rs.is_empty(), "an RC chain needs at least one segment");
+        assert_eq!(rs.len(), cs.len(), "segment counts must match");
+        assert!(rs.iter().all(|&r| r > 0.0), "resistances must be positive");
+        assert!(cs.iter().all(|&c| c >= 0.0), "capacitances must be non-negative");
+        RcChain { rs, cs }
+    }
+
+    /// A uniformly discretized stage: driver resistance `rd`, wire totals
+    /// `r_wire`/`c_wire` split over `segments` π-segments, and a lumped
+    /// `receiver` capacitance at the far end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    #[must_use]
+    pub fn uniform_stage(rd: Res, r_wire: Res, c_wire: Cap, receiver: Cap, segments: usize) -> Self {
+        assert!(segments > 0, "need at least one wire segment");
+        let n = segments as f64;
+        let mut rs = Vec::with_capacity(segments + 1);
+        let mut cs = Vec::with_capacity(segments + 1);
+        // Driver feeds the near-end node carrying the first half-segment cap.
+        rs.push(rd.as_ohm());
+        cs.push(c_wire.si() / (2.0 * n));
+        for i in 0..segments {
+            rs.push(r_wire.as_ohm() / n);
+            let end_cap = if i + 1 == segments {
+                c_wire.si() / (2.0 * n) + receiver.si()
+            } else {
+                c_wire.si() / n
+            };
+            cs.push(end_cap);
+        }
+        RcChain { rs, cs }
+    }
+
+    /// Number of nodes in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rs.len()
+    }
+
+    /// `true` if the chain has no nodes (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rs.is_empty()
+    }
+
+    /// Cumulative resistance from the source to node `i`.
+    fn r_to(&self, i: usize) -> f64 {
+        self.rs[..=i].iter().sum()
+    }
+
+    /// First moment `m1` (the Elmore delay) at node `i`:
+    /// `m1_i = Σ_j C_j · R(path ∩ path_j)`. For a chain the shared path
+    /// resistance is `R_to(min(i, j))`.
+    #[must_use]
+    pub fn m1(&self, i: usize) -> f64 {
+        let mut acc = 0.0;
+        for (j, &c) in self.cs.iter().enumerate() {
+            acc += c * self.r_to(i.min(j));
+        }
+        acc
+    }
+
+    /// Second moment `m2` at node `i`: `m2_i = Σ_j C_j · R(shared) · m1_j`.
+    #[must_use]
+    pub fn m2(&self, i: usize) -> f64 {
+        let m1s: Vec<f64> = (0..self.len()).map(|j| self.m1(j)).collect();
+        let mut acc = 0.0;
+        for (j, &c) in self.cs.iter().enumerate() {
+            acc += c * self.r_to(i.min(j)) * m1s[j];
+        }
+        acc
+    }
+
+    /// Elmore 50% delay *estimate* at the far end: `ln 2 · m1` (exact for
+    /// a single pole; an underestimate at the far end of distributed
+    /// lines).
+    #[must_use]
+    pub fn elmore_delay(&self) -> Time {
+        Time::s(std::f64::consts::LN_2 * self.m1(self.len() - 1))
+    }
+
+    /// The Elmore *bound*: the raw first moment `m1`, a provable upper
+    /// bound on the 50% step-response delay of any RC network.
+    #[must_use]
+    pub fn elmore_bound(&self) -> Time {
+        Time::s(self.m1(self.len() - 1))
+    }
+
+    /// D2M two-moment delay metric at the far end:
+    /// `ln 2 · m1² / √m2` (Alpert et al.). Since `√m2 ≤ m1` on a chain,
+    /// D2M always lies between the `ln 2 · m1` estimate and the `m1`
+    /// bound, and is markedly more accurate than either at far-end nodes.
+    #[must_use]
+    pub fn d2m_delay(&self) -> Time {
+        let n = self.len() - 1;
+        let m1 = self.m1(n);
+        let m2 = self.m2(n);
+        Time::s(std::f64::consts::LN_2 * m1 * m1 / m2.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_spice::circuit::{Circuit, GROUND};
+    use pi_spice::cmos::add_rc_ladder;
+    use pi_spice::transient::{transient, TransientSpec};
+    use pi_spice::waveform::Pwl;
+    use pi_tech::units::Volt;
+
+    #[test]
+    fn single_lump_elmore_is_rc_ln2() {
+        let chain = RcChain::new(vec![1000.0], vec![100e-15]);
+        let d = chain.elmore_delay();
+        assert!((d.as_ps() - 0.693 * 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn moments_monotone_along_the_chain() {
+        let chain = RcChain::uniform_stage(
+            Res::ohm(500.0),
+            Res::ohm(400.0),
+            Cap::ff(200.0),
+            Cap::ff(15.0),
+            8,
+        );
+        for i in 1..chain.len() {
+            assert!(chain.m1(i) > chain.m1(i - 1));
+            assert!(chain.m2(i) > chain.m2(i - 1));
+        }
+    }
+
+    #[test]
+    fn d2m_between_elmore_estimate_and_bound() {
+        // √m2 ≤ m1 on a chain, so ln2·m1 ≤ D2M ≤ m1.
+        let chain = RcChain::uniform_stage(
+            Res::ohm(300.0),
+            Res::ohm(600.0),
+            Cap::ff(300.0),
+            Cap::ff(20.0),
+            10,
+        );
+        assert!(chain.d2m_delay() >= chain.elmore_delay());
+        assert!(chain.d2m_delay() <= chain.elmore_bound());
+    }
+
+    #[test]
+    fn metrics_bracket_transient_for_step_input() {
+        // Simulate the same stage with the transient engine under a fast
+        // ramp and verify Elmore bounds from above while D2M lands close.
+        let rd = Res::ohm(400.0);
+        let rw = Res::ohm(500.0);
+        let cw = Cap::ff(250.0);
+        let rx = Cap::ff(20.0);
+        let chain = RcChain::uniform_stage(rd, rw, cw, rx, 12);
+
+        let mut c = Circuit::new();
+        let src = c.node();
+        let near = c.node();
+        let far = c.node();
+        c.vsource(
+            src,
+            GROUND,
+            Pwl::ramp_up(Time::ps(1.0), Time::ps(1.0), Volt::v(1.0)),
+        );
+        c.resistor(src, near, rd);
+        add_rc_ladder(&mut c, near, far, rw, cw, 12);
+        c.capacitor(far, GROUND, rx);
+        let spec = TransientSpec::new(Time::ps(2500.0), Time::ps(0.5), vec![far]);
+        let sim = transient(&c, &spec).expect("transient");
+        let t50 = sim
+            .trace(far)
+            .t50(Volt::v(1.0), true)
+            .expect("far end settles")
+            - Time::ps(1.5);
+
+        let estimate = chain.elmore_delay();
+        let bound = chain.elmore_bound();
+        let d2m = chain.d2m_delay();
+        assert!(
+            bound >= t50 * 0.98,
+            "Elmore bound {} ps must exceed the simulated {} ps",
+            bound.as_ps(),
+            t50.as_ps()
+        );
+        let d2m_err = ((d2m - t50) / t50).abs();
+        let est_err = ((estimate - t50) / t50).abs();
+        assert!(d2m_err < 0.25, "D2M error {:.1}%", d2m_err * 100.0);
+        assert!(est_err < 0.30, "ln2·m1 error {:.1}%", est_err * 100.0);
+        assert!(d2m >= estimate && d2m <= bound);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_chain_rejected() {
+        let _ = RcChain::new(vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_resistance_rejected() {
+        let _ = RcChain::new(vec![0.0], vec![1e-15]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// On any chain: ln2·m1 ≤ D2M ≤ m1, and moments are positive.
+            #[test]
+            fn metric_ordering_holds_on_random_chains(
+                seed in 0u64..1000,
+                n in 2usize..20,
+            ) {
+                let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 1000) as f64 / 1000.0
+                };
+                let rs: Vec<f64> = (0..n).map(|_| 10.0 + 990.0 * next()).collect();
+                let cs: Vec<f64> = (0..n).map(|_| 1e-15 * (1.0 + 99.0 * next())).collect();
+                let chain = RcChain::new(rs, cs);
+                let est = chain.elmore_delay();
+                let d2m = chain.d2m_delay();
+                let bound = chain.elmore_bound();
+                prop_assert!(est.si() > 0.0);
+                prop_assert!(d2m >= est - Time::fs(1.0));
+                prop_assert!(d2m <= bound + Time::fs(1.0));
+            }
+
+            /// Scaling every resistance by k scales all metrics by k.
+            #[test]
+            fn metrics_scale_linearly_with_resistance(
+                k in 1.5f64..10.0,
+            ) {
+                let base = RcChain::uniform_stage(
+                    Res::ohm(300.0),
+                    Res::ohm(500.0),
+                    Cap::ff(200.0),
+                    Cap::ff(10.0),
+                    8,
+                );
+                let scaled = RcChain::uniform_stage(
+                    Res::ohm(300.0 * k),
+                    Res::ohm(500.0 * k),
+                    Cap::ff(200.0),
+                    Cap::ff(10.0),
+                    8,
+                );
+                let r_m1 = scaled.m1(8) / base.m1(8);
+                prop_assert!((r_m1 - k).abs() < 1e-9 * k);
+                let r_d2m = scaled.d2m_delay().si() / base.d2m_delay().si();
+                prop_assert!((r_d2m - k).abs() < 1e-6 * k);
+            }
+        }
+    }
+}

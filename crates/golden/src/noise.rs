@@ -1,0 +1,215 @@
+//! Crosstalk noise (glitch) analysis.
+//!
+//! Delay is only half of signal integrity: a *quiet* victim whose
+//! neighbours switch receives a capacitively coupled voltage bump. If the
+//! bump at a receiver input crosses the switching threshold, the logic
+//! downstream can capture a wrong value. This module measures the
+//! worst-case glitch on a held victim stage with both neighbours switching
+//! (the merged-aggressor equivalent used throughout the sign-off engine)
+//! and classifies it against a noise margin.
+
+use pi_core::line::{BufferingPlan, LineSpec};
+use pi_spice::circuit::{Circuit, GROUND};
+use pi_spice::cmos::{add_repeater, add_unequal_rc_ladders, inverts};
+use pi_spice::transient::{transient, SimError, TransientSpec};
+use pi_spice::waveform::Pwl;
+use pi_tech::units::{Time, Volt};
+use pi_tech::Technology;
+
+use crate::extraction::extract;
+
+/// Result of a glitch simulation on a quiet victim stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlitchResult {
+    /// Peak deviation of the victim's far end from its held value.
+    pub peak: Volt,
+    /// Victim's held logic level (low or high rail).
+    pub held_high: bool,
+    /// Peak expressed as a fraction of the supply.
+    pub peak_fraction: f64,
+}
+
+impl GlitchResult {
+    /// Whether the glitch stays under a noise margin expressed as a
+    /// fraction of V_dd (typically 0.3–0.4 for static CMOS receivers).
+    #[must_use]
+    pub fn passes(&self, margin_fraction: f64) -> bool {
+        self.peak_fraction <= margin_fraction
+    }
+}
+
+/// Simulates the worst-case coupling glitch on one quiet victim stage of a
+/// buffered line: the victim repeater holds a static level while both
+/// neighbours (merged-aggressor equivalent) switch toward the victim's
+/// held rail — the polarity that pushes the bump *into* the victim's
+/// noise margin.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the plan has no repeaters.
+pub fn victim_glitch(
+    tech: &Technology,
+    spec: &LineSpec,
+    plan: &BufferingPlan,
+    held_high: bool,
+) -> Result<GlitchResult, SimError> {
+    assert!(plan.count > 0, "a buffered line needs at least one repeater");
+    let extracted = extract(tech, spec, plan);
+    let seg = extracted.segments[0];
+    let devices = tech.devices();
+    let vdd = devices.vdd;
+
+    let mut c = Circuit::new();
+    let vdd_node = c.node();
+    c.rail(vdd_node, vdd);
+
+    // Victim: a driven repeater holding its output; input pinned so the
+    // output sits at the held rail.
+    let v_input = c.node();
+    let v_near = c.node();
+    let v_far = c.node();
+    add_repeater(&mut c, devices, plan.kind, plan.wn, v_input, v_near, vdd_node);
+    // An inverting stage holds its output high for a low input.
+    let pin = if held_high ^ inverts(plan.kind) {
+        vdd
+    } else {
+        Volt::ZERO
+    };
+    c.vsource(v_input, GROUND, Pwl::dc(pin));
+
+    // Merged-neighbour aggressor. Margin erosion for a held-high victim
+    // comes from *falling* neighbours pulling it below V_dd (and
+    // symmetrically for a held-low victim), so the aggressor transitions
+    // away from the victim's held rail.
+    let a_input = c.node();
+    let a_near = c.node();
+    let a_far = c.node();
+    add_repeater(&mut c, devices, plan.kind, plan.wn * 2.0, a_input, a_near, vdd_node);
+    add_unequal_rc_ladders(
+        &mut c,
+        v_near,
+        v_far,
+        a_near,
+        a_far,
+        seg.r,
+        seg.cg,
+        seg.r / 2.0,
+        seg.cg * 2.0,
+        seg.cc,
+        12,
+    );
+    let receiver = devices.inverter_cin(plan.wn);
+    c.capacitor(v_far, GROUND, receiver);
+    c.capacitor(a_far, GROUND, receiver * 2.0);
+
+    // Aggressor output must transition AWAY from the victim's held level.
+    let aggressor_out_rising = !held_high;
+    let aggressor_in_rising = if inverts(plan.kind) {
+        !aggressor_out_rising
+    } else {
+        aggressor_out_rising
+    };
+    let ramp = spec.input_slew / 0.8;
+    let t_start = Time::ps(5.0);
+    c.vsource(
+        a_input,
+        GROUND,
+        Pwl::ramp(t_start, ramp, vdd, aggressor_in_rising),
+    );
+
+    // Window sized like a stage analysis.
+    let r_drive = vdd.as_v() / (devices.nmos.idsat_per_um.si() * plan.wn.as_um());
+    let c_total = seg.cg + seg.cc + receiver;
+    let tau = Time::s((r_drive + seg.r.as_ohm()) * c_total.si());
+    let t_stop = t_start + ramp + tau * 25.0 + Time::ps(50.0);
+    let dt = Time::ps((ramp.as_ps() / 60.0).min(tau.as_ps() / 15.0).max(0.02))
+        .max(t_stop / 5000.0);
+    let ts = TransientSpec::new(t_stop, dt, vec![v_far]);
+    let result = transient(&c, &ts)?;
+    let trace = result.trace(v_far);
+
+    let held = if held_high { vdd } else { Volt::ZERO };
+    let mut peak = 0.0f64;
+    for i in 0..trace.len() {
+        let (_, v) = trace.sample(i);
+        peak = peak.max((v - held).abs().as_v());
+    }
+    Ok(GlitchResult {
+        peak: Volt::v(peak),
+        held_high,
+        peak_fraction: peak / vdd.as_v(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_tech::units::Length;
+    use pi_tech::{DesignStyle, RepeaterKind, TechNode};
+
+    fn plan(count: usize, wn_um: f64) -> BufferingPlan {
+        BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count,
+            wn: Length::um(wn_um),
+            staggered: false,
+        }
+    }
+
+    #[test]
+    fn glitch_exists_but_is_bounded_with_adequate_buffering() {
+        let tech = Technology::new(TechNode::N65);
+        let spec = LineSpec::global(Length::mm(4.0), DesignStyle::SingleSpacing);
+        // 8 repeaters → 0.5 mm segments: a sane design point.
+        let g = victim_glitch(&tech, &spec, &plan(8, 6.0), true).unwrap();
+        assert!(g.peak.as_v() > 0.01, "some glitch must couple through");
+        assert!(
+            g.passes(0.4),
+            "bump {:.2} V ({:.0}% of vdd) exceeds the margin",
+            g.peak.as_v(),
+            g.peak_fraction * 100.0
+        );
+    }
+
+    #[test]
+    fn longer_unbuffered_spans_produce_bigger_glitches() {
+        let tech = Technology::new(TechNode::N65);
+        let spec = LineSpec::global(Length::mm(6.0), DesignStyle::SingleSpacing);
+        let tight = victim_glitch(&tech, &spec, &plan(12, 6.0), true).unwrap();
+        let sparse = victim_glitch(&tech, &spec, &plan(2, 6.0), true).unwrap();
+        assert!(
+            sparse.peak > tight.peak,
+            "sparse {:.3} V vs tight {:.3} V",
+            sparse.peak.as_v(),
+            tight.peak.as_v()
+        );
+    }
+
+    #[test]
+    fn stronger_holders_suppress_the_glitch() {
+        let tech = Technology::new(TechNode::N65);
+        let spec = LineSpec::global(Length::mm(6.0), DesignStyle::SingleSpacing);
+        let weak = victim_glitch(&tech, &spec, &plan(6, 2.4), true).unwrap();
+        let strong = victim_glitch(&tech, &spec, &plan(6, 9.6), true).unwrap();
+        assert!(strong.peak < weak.peak);
+    }
+
+    #[test]
+    fn glitch_polarities_are_comparable() {
+        // A held-high victim bumped by falling neighbours and a held-low
+        // victim bumped by rising neighbours stress complementary devices;
+        // the bumps differ (nMOS vs pMOS holder strength) but must be the
+        // same order of magnitude.
+        let tech = Technology::new(TechNode::N65);
+        let ss = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+        let g_high = victim_glitch(&tech, &ss, &plan(8, 6.0), true).unwrap();
+        let g_low = victim_glitch(&tech, &ss, &plan(8, 6.0), false).unwrap();
+        assert!(g_high.peak.as_v() > 0.0 && g_low.peak.as_v() > 0.0);
+        let ratio = g_high.peak.as_v() / g_low.peak.as_v();
+        assert!((0.3..3.0).contains(&ratio), "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,648 @@
+//! Least-squares regression used to fit the predictive interconnect models.
+//!
+//! The paper derives every model coefficient by "linear and quadratic
+//! regressions" over SPICE/Liberty characterization data. This crate
+//! provides exactly those tools: [`linear_fit`] (simple linear regression,
+//! optionally through the origin — the paper's "linear regression with zero
+//! intercept"), [`poly_fit`] (polynomial least squares, used at degree 2 for
+//! the intrinsic-delay model) and [`multi_linear_fit`] (multiple linear
+//! regression, used for the output-slew model).
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), pi_regress::RegressError> {
+//! use pi_regress::linear_fit;
+//!
+//! let xs = [1.0, 2.0, 3.0, 4.0];
+//! let ys = [3.1, 4.9, 7.1, 8.9];
+//! let fit = linear_fit(&xs, &ys)?;
+//! assert!((fit.slope - 2.0).abs() < 0.1);
+//! assert!(fit.r_squared > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod solve;
+
+use std::fmt;
+
+pub use solve::solve_dense;
+
+/// Error produced by the regression routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressError {
+    /// Fewer observations than model parameters.
+    NotEnoughPoints {
+        /// Observations required for the requested model.
+        needed: usize,
+        /// Observations provided.
+        actual: usize,
+    },
+    /// The normal-equation matrix is singular (e.g. a degenerate design
+    /// matrix with perfectly collinear predictors).
+    Singular,
+    /// Input slices have inconsistent lengths.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for RegressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressError::NotEnoughPoints { needed, actual } => {
+                write!(f, "regression needs {needed} points, got {actual}")
+            }
+            RegressError::Singular => f.write_str("design matrix is singular"),
+            RegressError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressError {}
+
+/// Result of a simple linear regression `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted intercept (zero when fitted through the origin).
+    pub intercept: f64,
+    /// Fitted slope.
+    pub slope: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Result of a polynomial regression `y ≈ Σ coeffs[k] · x^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Polynomial coefficients, constant term first.
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+impl PolyFit {
+    /// Evaluates the fitted polynomial at `x` (Horner's scheme).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+}
+
+/// Result of a multiple linear regression
+/// `y ≈ coeffs[0] + coeffs[1]·x1 + … + coeffs[p]·xp` (when fitted with an
+/// intercept) or `y ≈ coeffs[0]·x1 + …` (without).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFit {
+    /// Fitted coefficients; includes the intercept first if one was fitted.
+    pub coeffs: Vec<f64>,
+    /// Whether `coeffs[0]` is an intercept.
+    pub has_intercept: bool,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+impl MultiFit {
+    /// Evaluates the fitted model on a predictor vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have the number of predictors the model was
+    /// fitted with.
+    #[must_use]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let (intercept, betas) = if self.has_intercept {
+            (self.coeffs[0], &self.coeffs[1..])
+        } else {
+            (0.0, &self.coeffs[..])
+        };
+        assert_eq!(x.len(), betas.len(), "predictor count mismatch");
+        intercept + betas.iter().zip(x).map(|(b, v)| b * v).sum::<f64>()
+    }
+}
+
+fn check_same_len(x: usize, y: usize) -> Result<(), RegressError> {
+    if x == y {
+        Ok(())
+    } else {
+        Err(RegressError::DimensionMismatch {
+            expected: x,
+            actual: y,
+        })
+    }
+}
+
+fn r_squared_from(ys: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
+    let n = ys.len() as f64;
+    let mean = ys.iter().sum::<f64>() / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = ys
+        .iter()
+        .enumerate()
+        .map(|(i, y)| (y - predicted(i)).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON * n {
+        // Degenerate (constant) response: perfect if residuals vanish.
+        if ss_res <= f64::EPSILON * n {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Fits `y ≈ intercept + slope · x` by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns an error if fewer than two points are given, the lengths differ,
+/// or all `x` values coincide.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, RegressError> {
+    check_same_len(xs.len(), ys.len())?;
+    if xs.len() < 2 {
+        return Err(RegressError::NotEnoughPoints {
+            needed: 2,
+            actual: xs.len(),
+        });
+    }
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return Err(RegressError::Singular);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let r2 = r_squared_from(ys, |i| intercept + slope * xs[i]);
+    Ok(LinearFit {
+        intercept,
+        slope,
+        r_squared: r2,
+    })
+}
+
+/// Fits `y ≈ slope · x` (regression through the origin) by least squares —
+/// the paper's "linear regression with zero intercept", used for the
+/// size-dependence of drive resistance and input capacitance.
+///
+/// # Errors
+///
+/// Returns an error on empty input, mismatched lengths, or all-zero `x`.
+pub fn linear_fit_zero_intercept(xs: &[f64], ys: &[f64]) -> Result<LinearFit, RegressError> {
+    check_same_len(xs.len(), ys.len())?;
+    if xs.is_empty() {
+        return Err(RegressError::NotEnoughPoints {
+            needed: 1,
+            actual: 0,
+        });
+    }
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx < 1e-300 {
+        return Err(RegressError::Singular);
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let slope = sxy / sxx;
+    let r2 = r_squared_from(ys, |i| slope * xs[i]);
+    Ok(LinearFit {
+        intercept: 0.0,
+        slope,
+        r_squared: r2,
+    })
+}
+
+/// Fits a degree-`degree` polynomial by least squares.
+///
+/// # Errors
+///
+/// Returns an error with fewer than `degree + 1` points, mismatched lengths,
+/// or a singular Vandermonde system.
+pub fn poly_fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit, RegressError> {
+    check_same_len(xs.len(), ys.len())?;
+    let p = degree + 1;
+    if xs.len() < p {
+        return Err(RegressError::NotEnoughPoints {
+            needed: p,
+            actual: xs.len(),
+        });
+    }
+    // Normal equations on the Vandermonde design matrix.
+    let mut ata = vec![0.0; p * p];
+    let mut atb = vec![0.0; p];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut powers = Vec::with_capacity(p);
+        let mut v = 1.0;
+        for _ in 0..p {
+            powers.push(v);
+            v *= x;
+        }
+        for i in 0..p {
+            atb[i] += powers[i] * y;
+            for j in 0..p {
+                ata[i * p + j] += powers[i] * powers[j];
+            }
+        }
+    }
+    let coeffs = solve_dense(&ata, &atb, p)?;
+    let fit = PolyFit {
+        coeffs,
+        r_squared: 0.0,
+    };
+    let r2 = r_squared_from(ys, |i| fit.eval(xs[i]));
+    Ok(PolyFit {
+        r_squared: r2,
+        ..fit
+    })
+}
+
+/// Fits a multiple linear regression over `rows` predictor vectors.
+///
+/// Each element of `rows` is one observation's predictor vector; all rows
+/// must have the same length. When `with_intercept` is true an intercept
+/// column is prepended.
+///
+/// # Errors
+///
+/// Returns an error with fewer observations than parameters, inconsistent
+/// row lengths, or collinear predictors.
+pub fn multi_linear_fit(
+    rows: &[&[f64]],
+    ys: &[f64],
+    with_intercept: bool,
+) -> Result<MultiFit, RegressError> {
+    check_same_len(rows.len(), ys.len())?;
+    let Some(first) = rows.first() else {
+        return Err(RegressError::NotEnoughPoints {
+            needed: 1,
+            actual: 0,
+        });
+    };
+    let k = first.len();
+    let p = k + usize::from(with_intercept);
+    if rows.len() < p {
+        return Err(RegressError::NotEnoughPoints {
+            needed: p,
+            actual: rows.len(),
+        });
+    }
+    let mut ata = vec![0.0; p * p];
+    let mut atb = vec![0.0; p];
+    let mut design_row = vec![0.0; p];
+    for (row, &y) in rows.iter().zip(ys) {
+        check_same_len(k, row.len())?;
+        let mut idx = 0;
+        if with_intercept {
+            design_row[0] = 1.0;
+            idx = 1;
+        }
+        design_row[idx..].copy_from_slice(row);
+        for i in 0..p {
+            atb[i] += design_row[i] * y;
+            for j in 0..p {
+                ata[i * p + j] += design_row[i] * design_row[j];
+            }
+        }
+    }
+    let coeffs = solve_dense(&ata, &atb, p)?;
+    let fit = MultiFit {
+        coeffs,
+        has_intercept: with_intercept,
+        r_squared: 0.0,
+    };
+    let r2 = r_squared_from(ys, |i| fit.eval(rows[i]));
+    Ok(MultiFit {
+        r_squared: r2,
+        ..fit
+    })
+}
+
+/// Residual diagnostics of a fitted model against its data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitDiagnostics {
+    /// Residual standard deviation (root mean squared residual, with the
+    /// fitted-parameter degrees of freedom removed).
+    pub residual_std: f64,
+    /// Largest absolute residual.
+    pub max_abs_residual: f64,
+    /// Standard error of the slope (simple linear fits only; 0 otherwise).
+    pub slope_std_err: f64,
+}
+
+/// Computes residual diagnostics for a simple linear fit.
+///
+/// # Errors
+///
+/// Returns an error on mismatched lengths or fewer than three points
+/// (no residual degrees of freedom).
+pub fn linear_fit_diagnostics(
+    xs: &[f64],
+    ys: &[f64],
+    fit: &LinearFit,
+) -> Result<FitDiagnostics, RegressError> {
+    check_same_len(xs.len(), ys.len())?;
+    if xs.len() < 3 {
+        return Err(RegressError::NotEnoughPoints {
+            needed: 3,
+            actual: xs.len(),
+        });
+    }
+    let n = xs.len() as f64;
+    let mut ss_res = 0.0;
+    let mut max_abs: f64 = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let r = y - fit.eval(x);
+        ss_res += r * r;
+        max_abs = max_abs.max(r.abs());
+    }
+    let dof = n - 2.0;
+    let residual_std = (ss_res / dof).sqrt();
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    let slope_std_err = if sxx > 0.0 {
+        residual_std / sxx.sqrt()
+    } else {
+        0.0
+    };
+    Ok(FitDiagnostics {
+        residual_std,
+        max_abs_residual: max_abs,
+        slope_std_err,
+    })
+}
+
+/// Mean of the absolute relative errors `|pred − obs| / |obs|`, a metric the
+/// paper reports for model-accuracy tables.
+///
+/// Observations with magnitude below `f64::EPSILON` are skipped.
+#[must_use]
+pub fn mean_abs_relative_error(observed: &[f64], predicted: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&o, &p) in observed.iter().zip(predicted) {
+        if o.abs() > f64::EPSILON {
+            total += ((p - o) / o).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Maximum absolute relative error, as used for the paper's "< 11%" and
+/// "< 8%" leakage/area validation claims.
+#[must_use]
+pub fn max_abs_relative_error(observed: &[f64], predicted: &[f64]) -> f64 {
+    observed
+        .iter()
+        .zip(predicted)
+        .filter(|(o, _)| o.abs() > f64::EPSILON)
+        .map(|(o, p)| ((p - o) / o).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-10);
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn linear_fit_noisy_data_has_high_r2() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..200).map(|i| f64::from(i) / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.5 + 0.8 * x + rng.random_range(-0.05..0.05))
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.8).abs() < 0.02);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn linear_fit_rejects_single_point() {
+        assert!(matches!(
+            linear_fit(&[1.0], &[2.0]),
+            Err(RegressError::NotEnoughPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn linear_fit_rejects_constant_x() {
+        assert_eq!(
+            linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(RegressError::Singular)
+        );
+    }
+
+    #[test]
+    fn zero_intercept_fit_passes_through_origin() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let ys = [2.1, 3.9, 8.1, 15.9];
+        let fit = linear_fit_zero_intercept(&xs, &ys).unwrap();
+        assert_eq!(fit.intercept, 0.0);
+        assert!((fit.slope - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_parabola() {
+        let xs: Vec<f64> = (0..20).map(|i| f64::from(i) * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 0.5 * x + 0.25 * x * x).collect();
+        let fit = poly_fit(&xs, &ys, 2).unwrap();
+        assert!((fit.coeffs[0] - 1.0).abs() < 1e-8);
+        assert!((fit.coeffs[1] + 0.5).abs() < 1e-8);
+        assert!((fit.coeffs[2] - 0.25).abs() < 1e-8);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn poly_fit_needs_degree_plus_one_points() {
+        assert!(matches!(
+            poly_fit(&[0.0, 1.0], &[0.0, 1.0], 2),
+            Err(RegressError::NotEnoughPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_fit_recovers_plane() {
+        let rows_owned: Vec<[f64; 2]> = (0..25)
+            .map(|i| [f64::from(i % 5), f64::from(i / 5)])
+            .collect();
+        let ys: Vec<f64> = rows_owned
+            .iter()
+            .map(|r| 2.0 + 3.0 * r[0] - 1.5 * r[1])
+            .collect();
+        let rows: Vec<&[f64]> = rows_owned.iter().map(|r| &r[..]).collect();
+        let fit = multi_linear_fit(&rows, &ys, true).unwrap();
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-8);
+        assert!((fit.coeffs[1] - 3.0).abs() < 1e-8);
+        assert!((fit.coeffs[2] + 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn multi_fit_without_intercept() {
+        let rows_owned: Vec<[f64; 2]> = vec![[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 3.0]];
+        let ys: Vec<f64> = rows_owned
+            .iter()
+            .map(|r| 4.0 * r[0] + 5.0 * r[1])
+            .collect();
+        let rows: Vec<&[f64]> = rows_owned.iter().map(|r| &r[..]).collect();
+        let fit = multi_linear_fit(&rows, &ys, false).unwrap();
+        assert!(!fit.has_intercept);
+        assert!((fit.coeffs[0] - 4.0).abs() < 1e-9);
+        assert!((fit.coeffs[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_fit_rejects_collinear_predictors() {
+        let rows_owned: Vec<[f64; 2]> = vec![[1.0, 2.0], [2.0, 4.0], [3.0, 6.0], [4.0, 8.0]];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<&[f64]> = rows_owned.iter().map(|r| &r[..]).collect();
+        assert_eq!(
+            multi_linear_fit(&rows, &ys, false),
+            Err(RegressError::Singular)
+        );
+    }
+
+    #[test]
+    fn relative_error_metrics() {
+        let obs = [100.0, 200.0];
+        let pred = [110.0, 180.0];
+        assert!((mean_abs_relative_error(&obs, &pred) - 0.10).abs() < 1e-12);
+        assert!((max_abs_relative_error(&obs, &pred) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_observations() {
+        let obs = [0.0, 10.0];
+        let pred = [5.0, 11.0];
+        assert!((mean_abs_relative_error(&obs, &pred) - 0.1).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn linear_fit_is_exact_on_lines(
+            a in -100.0f64..100.0,
+            b in -100.0f64..100.0,
+            n in 3usize..30,
+        ) {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+            let fit = linear_fit(&xs, &ys).unwrap();
+            prop_assert!((fit.intercept - a).abs() < 1e-6 * (1.0 + a.abs()));
+            prop_assert!((fit.slope - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+
+        #[test]
+        fn r_squared_at_most_one(
+            seed in 0u64..1000,
+            n in 5usize..50,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let ys: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let fit = linear_fit(&xs, &ys).unwrap();
+            prop_assert!(fit.r_squared <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn poly_eval_horner_matches_naive(
+            c0 in -10.0f64..10.0,
+            c1 in -10.0f64..10.0,
+            c2 in -10.0f64..10.0,
+            x in -10.0f64..10.0,
+        ) {
+            let fit = PolyFit { coeffs: vec![c0, c1, c2], r_squared: 1.0 };
+            let naive = c0 + c1 * x + c2 * x * x;
+            prop_assert!((fit.eval(x) - naive).abs() < 1e-9 * (1.0 + naive.abs()));
+        }
+
+        #[test]
+        fn zero_intercept_residual_orthogonal_to_x(
+            seed in 0u64..1000,
+        ) {
+            // Least squares through the origin makes residuals orthogonal
+            // to the predictor.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (1..20).map(f64::from).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + rng.random_range(-1.0..1.0)).collect();
+            let fit = linear_fit_zero_intercept(&xs, &ys).unwrap();
+            let dot: f64 = xs.iter().zip(&ys).map(|(x, y)| x * (y - fit.slope * x)).sum();
+            prop_assert!(dot.abs() < 1e-6 * xs.iter().map(|x| x * x).sum::<f64>());
+        }
+    }
+
+    #[test]
+    fn diagnostics_zero_on_exact_fit() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        let d = linear_fit_diagnostics(&xs, &ys, &fit).unwrap();
+        assert!(d.residual_std < 1e-10);
+        assert!(d.max_abs_residual < 1e-10);
+        assert!(d.slope_std_err < 1e-10);
+    }
+
+    #[test]
+    fn diagnostics_capture_noise_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..400).map(|i| f64::from(i) / 20.0).collect();
+        let sigma = 0.5;
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * x + rng.random_range(-sigma..sigma))
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        let d = linear_fit_diagnostics(&xs, &ys, &fit).unwrap();
+        // Uniform(−σ, σ) has std σ/√3 ≈ 0.289.
+        assert!((d.residual_std - sigma / 3f64.sqrt()).abs() < 0.05);
+        // Residuals are noise plus the (small) fit deviation from truth.
+        assert!(d.max_abs_residual <= sigma * 1.2);
+        // The slope estimate should be within ~4 standard errors of truth.
+        assert!((fit.slope - 2.0).abs() < 4.0 * d.slope_std_err);
+    }
+
+    #[test]
+    fn diagnostics_need_three_points() {
+        let fit = LinearFit { intercept: 0.0, slope: 1.0, r_squared: 1.0 };
+        assert!(matches!(
+            linear_fit_diagnostics(&[0.0, 1.0], &[0.0, 1.0], &fit),
+            Err(RegressError::NotEnoughPoints { .. })
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! Small dense linear-system solver used by the normal-equation fits.
+
+use crate::RegressError;
+
+/// Solves `A x = b` for a small dense system by Gaussian elimination with
+/// partial pivoting. `a` is row-major, `n x n`; `b` has length `n`.
+///
+/// # Errors
+///
+/// Returns [`RegressError::Singular`] if the matrix is singular to working
+/// precision, and [`RegressError::DimensionMismatch`] if the inputs are
+/// inconsistent.
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, RegressError> {
+    if a.len() != n * n || b.len() != n {
+        return Err(RegressError::DimensionMismatch {
+            expected: n * n,
+            actual: a.len(),
+        });
+    }
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = m[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = m[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(RegressError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let inv = 1.0 / m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [3.0, -4.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // First pivot is zero without row exchange.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let b = [2.0, 5.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        let a = [2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let b = [8.0, -11.0, -3.0];
+        let x = solve_dense(&a, &b, 3).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        let b = [1.0, 2.0];
+        assert_eq!(solve_dense(&a, &b, 2), Err(RegressError::Singular));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0];
+        assert!(matches!(
+            solve_dense(&a, &b, 2),
+            Err(RegressError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,358 @@
+//! Netlist representation.
+//!
+//! A [`Circuit`] is a flat list of elements over integer-identified nodes.
+//! Node 0 is ground. Supported elements cover everything the
+//! characterization and sign-off flows need: resistors, (coupling)
+//! capacitors, independent voltage sources with piecewise-linear waveforms,
+//! and MOSFETs evaluated through the alpha-power-law model of
+//! [`pi_tech::device`].
+
+use pi_tech::device::MosParams;
+use pi_tech::units::{Cap, Length, Res, Time, Volt};
+
+use crate::waveform::{CurrentPwl, Pwl};
+
+/// Identifier of a circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) usize);
+
+/// The ground (reference) node.
+pub const GROUND: Node = Node(0);
+
+impl Node {
+    /// Crate-internal constructor from a raw index.
+    pub(crate) fn from_index(index: usize) -> Self {
+        Node(index)
+    }
+
+    /// Raw index of the node (0 = ground).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` for the ground node.
+    #[must_use]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A MOSFET instance.
+#[derive(Debug, Clone)]
+pub struct Mosfet {
+    /// Device parameters (polarity included).
+    pub params: MosParams,
+    /// Drawn channel width.
+    pub width: Length,
+    /// Gate terminal.
+    pub gate: Node,
+    /// Drain terminal.
+    pub drain: Node,
+    /// Source terminal.
+    pub source: Node,
+}
+
+/// One circuit element.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance value.
+        value: Res,
+    },
+    /// Linear capacitor between two nodes (used both for grounded and
+    /// coupling capacitances).
+    Capacitor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance value.
+        value: Cap,
+    },
+    /// Independent voltage source with a piecewise-linear waveform,
+    /// positive terminal `p`, negative terminal `n`.
+    VSource {
+        /// Positive terminal.
+        p: Node,
+        /// Negative terminal.
+        n: Node,
+        /// Source waveform.
+        waveform: Pwl,
+    },
+    /// Independent current source pushing conventional current from `from`
+    /// through itself into `to` (i.e. injecting current into `to`).
+    ISource {
+        /// Terminal the current is drawn from.
+        from: Node,
+        /// Terminal the current is injected into.
+        to: Node,
+        /// Source waveform (amperes over time).
+        waveform: CurrentPwl,
+    },
+    /// MOSFET device.
+    Mosfet(Mosfet),
+}
+
+/// A flat netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_count: usize, // includes ground
+    elements: Vec<Element>,
+    labels: Vec<(usize, String)>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    #[must_use]
+    pub fn new() -> Self {
+        Circuit {
+            node_count: 1,
+            elements: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh node.
+    pub fn node(&mut self) -> Node {
+        let n = Node(self.node_count);
+        self.node_count += 1;
+        n
+    }
+
+    /// Allocates a fresh node with a human-readable label (used by the
+    /// SPICE-deck exporter; labels do not affect simulation).
+    pub fn node_labeled(&mut self, label: &str) -> Node {
+        let n = self.node();
+        self.labels.push((n.index(), label.to_owned()));
+        n
+    }
+
+    /// The label of a node, if one was assigned.
+    #[must_use]
+    pub fn label_of(&self, node: Node) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(i, _)| *i == node.index())
+            .map(|(_, l)| l.as_str())
+    }
+
+    /// Allocates `count` fresh nodes.
+    pub fn nodes(&mut self, count: usize) -> Vec<Node> {
+        (0..count).map(|_| self.node()).collect()
+    }
+
+    /// Number of nodes including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The elements of the circuit.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of independent voltage sources.
+    #[must_use]
+    pub fn source_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. }))
+            .count()
+    }
+
+    fn check_node(&self, n: Node) {
+        assert!(
+            n.0 < self.node_count,
+            "node {} not allocated by this circuit (have {})",
+            n.0,
+            self.node_count
+        );
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not belong to this circuit, or if the value is
+    /// not positive (a zero-ohm resistor would make the MNA matrix
+    /// singular; model shorts by merging nodes instead).
+    pub fn resistor(&mut self, a: Node, b: Node, value: Res) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(
+            value.as_ohm() > 0.0,
+            "resistor value must be positive, got {value}"
+        );
+        self.elements.push(Element::Resistor { a, b, value });
+    }
+
+    /// Adds a capacitor (grounded or coupling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not belong to this circuit or the value is
+    /// negative. Zero-value capacitors are accepted and ignored by the
+    /// stamper.
+    pub fn capacitor(&mut self, a: Node, b: Node, value: Cap) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(
+            value.si() >= 0.0,
+            "capacitor value must be non-negative, got {value}"
+        );
+        self.elements.push(Element::Capacitor { a, b, value });
+    }
+
+    /// Adds an independent voltage source driving `p` relative to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not belong to this circuit.
+    pub fn vsource(&mut self, p: Node, n: Node, waveform: Pwl) {
+        self.check_node(p);
+        self.check_node(n);
+        self.elements.push(Element::VSource { p, n, waveform });
+    }
+
+    /// Adds a constant-voltage rail from `p` to ground and returns nothing;
+    /// shorthand for a DC [`Circuit::vsource`].
+    pub fn rail(&mut self, p: Node, voltage: Volt) {
+        self.vsource(p, GROUND, Pwl::dc(voltage));
+    }
+
+    /// Adds an independent current source injecting `waveform` into `to`
+    /// (drawn from `from`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not belong to this circuit.
+    pub fn isource(&mut self, from: Node, to: Node, waveform: CurrentPwl) {
+        self.check_node(from);
+        self.check_node(to);
+        self.elements.push(Element::ISource { from, to, waveform });
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a terminal does not belong to this circuit or the width is
+    /// not positive.
+    pub fn mosfet(&mut self, params: MosParams, width: Length, gate: Node, drain: Node, source: Node) {
+        self.check_node(gate);
+        self.check_node(drain);
+        self.check_node(source);
+        assert!(width.si() > 0.0, "device width must be positive");
+        self.elements.push(Element::Mosfet(Mosfet {
+            params,
+            width,
+            gate,
+            drain,
+            source,
+        }));
+    }
+
+    /// Largest time at which any source waveform still changes; useful as a
+    /// lower bound for the transient stop time.
+    #[must_use]
+    pub fn last_source_event(&self) -> Time {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::VSource { waveform, .. } => Some(waveform.last_event()),
+                Element::ISource { waveform, .. } => Some(waveform.last_event()),
+                _ => None,
+            })
+            .fold(Time::ZERO, Time::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_allocated_sequentially() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(c.node_count(), 3);
+        assert!(GROUND.is_ground());
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn batch_node_allocation() {
+        let mut c = Circuit::new();
+        let ns = c.nodes(5);
+        assert_eq!(ns.len(), 5);
+        assert_eq!(c.node_count(), 6);
+    }
+
+    #[test]
+    fn source_count_counts_only_sources() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.rail(a, Volt::v(1.0));
+        c.resistor(a, GROUND, Res::ohm(100.0));
+        assert_eq!(c.source_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn foreign_node_rejected() {
+        let mut c = Circuit::new();
+        c.resistor(Node(7), GROUND, Res::ohm(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_resistor_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.resistor(a, GROUND, Res::ohm(0.0));
+    }
+
+
+
+    #[test]
+    fn labels_attach_to_nodes() {
+        let mut c = Circuit::new();
+        let out = c.node_labeled("out");
+        let plain = c.node();
+        assert_eq!(c.label_of(out), Some("out"));
+        assert_eq!(c.label_of(plain), None);
+        assert_eq!(c.label_of(GROUND), None);
+    }
+
+    #[test]
+    fn current_sources_are_tracked() {
+        use crate::waveform::CurrentPwl;
+        use pi_tech::units::Current;
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.isource(GROUND, a, CurrentPwl::dc(Current::ua(100.0)));
+        assert_eq!(c.elements().len(), 1);
+        assert_eq!(c.source_count(), 0, "isources have no branch unknowns");
+    }
+
+    #[test]
+    fn last_source_event_tracks_waveforms() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        c.vsource(a, GROUND, Pwl::ramp_up(Time::ps(100.0), Time::ps(50.0), Volt::v(1.0)));
+        c.rail(b, Volt::v(1.0));
+        assert!((c.last_source_event().as_ps() - 150.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,679 @@
+//! CMOS testbench builders and repeater characterization.
+//!
+//! These helpers assemble the circuits used throughout the workspace:
+//! inverters/buffers with their parasitic gate and drain capacitances,
+//! distributed RC wire ladders (with optional coupling to an aggressor),
+//! and the slew/load characterization testbench that produces the raw data
+//! the predictive models are regressed from.
+
+use pi_tech::device::DeviceSuite;
+use pi_tech::library::BUFFER_STAGE1_FRACTION;
+use pi_tech::units::{Cap, Energy, Length, Res, Time};
+use pi_tech::RepeaterKind;
+
+use crate::circuit::{Circuit, Node, GROUND};
+use crate::transient::{transient, SimError, TransientSpec};
+use crate::waveform::{delay_50, Pwl};
+
+/// Adds a static-CMOS inverter between `input` and `output`.
+///
+/// The devices' gate capacitance is attached to `input` and their drain
+/// junction capacitance to `output`, so the circuit sees realistic loading
+/// without the MOSFET element needing internal state.
+pub fn add_inverter(
+    c: &mut Circuit,
+    devices: &DeviceSuite,
+    wn: Length,
+    input: Node,
+    output: Node,
+    vdd_node: Node,
+) {
+    let wp = devices.wp_for(wn);
+    c.mosfet(devices.nmos, wn, input, output, GROUND);
+    c.mosfet(devices.pmos, wp, input, output, vdd_node);
+    c.capacitor(input, GROUND, devices.inverter_cin(wn));
+    c.capacitor(output, GROUND, devices.inverter_cout(wn));
+}
+
+/// Adds a two-stage (non-inverting) buffer between `input` and `output`.
+///
+/// The first stage is [`BUFFER_STAGE1_FRACTION`] of the second-stage size,
+/// matching the library convention.
+pub fn add_buffer(
+    c: &mut Circuit,
+    devices: &DeviceSuite,
+    wn: Length,
+    input: Node,
+    output: Node,
+    vdd_node: Node,
+) {
+    let internal = c.node();
+    add_inverter(
+        c,
+        devices,
+        wn * BUFFER_STAGE1_FRACTION,
+        input,
+        internal,
+        vdd_node,
+    );
+    add_inverter(c, devices, wn, internal, output, vdd_node);
+}
+
+/// Adds a repeater of the given kind; see [`add_inverter`] / [`add_buffer`].
+pub fn add_repeater(
+    c: &mut Circuit,
+    devices: &DeviceSuite,
+    kind: RepeaterKind,
+    wn: Length,
+    input: Node,
+    output: Node,
+    vdd_node: Node,
+) {
+    match kind {
+        RepeaterKind::Inverter => add_inverter(c, devices, wn, input, output, vdd_node),
+        RepeaterKind::Buffer => add_buffer(c, devices, wn, input, output, vdd_node),
+    }
+}
+
+/// Whether a repeater kind inverts its input.
+#[must_use]
+pub fn inverts(kind: RepeaterKind) -> bool {
+    matches!(kind, RepeaterKind::Inverter)
+}
+
+/// Adds a distributed RC line of `segments` π-segments between `from` and
+/// `to`, returning the internal junction nodes (excluding the endpoints).
+///
+/// `total_r`/`total_c` are the lumped totals of the wire; each segment gets
+/// `R/n` with `C/2n` at either end (caps of adjacent segments merge).
+///
+/// # Panics
+///
+/// Panics if `segments` is zero.
+pub fn add_rc_ladder(
+    c: &mut Circuit,
+    from: Node,
+    to: Node,
+    total_r: Res,
+    total_c: Cap,
+    segments: usize,
+) -> Vec<Node> {
+    assert!(segments > 0, "an RC ladder needs at least one segment");
+    let n = segments as f64;
+    let r_seg = total_r / n;
+    let c_half = total_c / (2.0 * n);
+    let mut internals = Vec::with_capacity(segments - 1);
+    let mut prev = from;
+    c.capacitor(from, GROUND, c_half);
+    for i in 0..segments {
+        let next = if i + 1 == segments { to } else { c.node() };
+        c.resistor(prev, next, r_seg);
+        let cap_here = if i + 1 == segments { c_half } else { c_half * 2.0 };
+        c.capacitor(next, GROUND, cap_here);
+        if i + 1 != segments {
+            internals.push(next);
+        }
+        prev = next;
+    }
+    internals
+}
+
+/// Adds a distributed RC line whose ground capacitance is `total_cg` and
+/// whose coupling capacitance `total_cc` terminates on `aggressor` (e.g. a
+/// neighbour net driven by its own source, or a quiet shield node).
+///
+/// # Panics
+///
+/// Panics if `segments` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn add_coupled_rc_ladder(
+    c: &mut Circuit,
+    from: Node,
+    to: Node,
+    aggressor: Node,
+    total_r: Res,
+    total_cg: Cap,
+    total_cc: Cap,
+    segments: usize,
+) -> Vec<Node> {
+    assert!(segments > 0, "an RC ladder needs at least one segment");
+    let n = segments as f64;
+    let r_seg = total_r / n;
+    let cg_half = total_cg / (2.0 * n);
+    let cc_half = total_cc / (2.0 * n);
+    let mut internals = Vec::with_capacity(segments - 1);
+    let mut prev = from;
+    c.capacitor(from, GROUND, cg_half);
+    c.capacitor(from, aggressor, cc_half);
+    for i in 0..segments {
+        let next = if i + 1 == segments { to } else { c.node() };
+        c.resistor(prev, next, r_seg);
+        let scale = if i + 1 == segments { 1.0 } else { 2.0 };
+        c.capacitor(next, GROUND, cg_half * scale);
+        c.capacitor(next, aggressor, cc_half * scale);
+        if i + 1 != segments {
+            internals.push(next);
+        }
+        prev = next;
+    }
+    internals
+}
+
+/// Adds two parallel distributed RC lines (victim and aggressor) with
+/// node-to-node coupling between corresponding junctions — the physical
+/// structure of neighbouring bus bits.
+///
+/// Each line carries `total_r` and `total_cg`; `total_cc` couples the
+/// lines, conserved across the `segments + 1` junction pairs.
+///
+/// # Panics
+///
+/// Panics if `segments` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn add_parallel_rc_ladders(
+    c: &mut Circuit,
+    v_from: Node,
+    v_to: Node,
+    a_from: Node,
+    a_to: Node,
+    total_r: Res,
+    total_cg: Cap,
+    total_cc: Cap,
+    segments: usize,
+) {
+    add_unequal_rc_ladders(
+        c, v_from, v_to, a_from, a_to, total_r, total_cg, total_r, total_cg, total_cc, segments,
+    );
+}
+
+/// [`add_parallel_rc_ladders`] with independent victim / aggressor wire
+/// values. The main use is the *merged-aggressor equivalence*: a victim's
+/// two identical neighbours are electrically exactly one aggressor line
+/// with doubled capacitance, halved resistance and a doubled driver.
+///
+/// # Panics
+///
+/// Panics if `segments` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn add_unequal_rc_ladders(
+    c: &mut Circuit,
+    v_from: Node,
+    v_to: Node,
+    a_from: Node,
+    a_to: Node,
+    v_r: Res,
+    v_cg: Cap,
+    a_r: Res,
+    a_cg: Cap,
+    total_cc: Cap,
+    segments: usize,
+) {
+    assert!(segments > 0, "an RC ladder needs at least one segment");
+    let n = segments as f64;
+    let v_r_seg = v_r / n;
+    let a_r_seg = a_r / n;
+    let v_cg_half = v_cg / (2.0 * n);
+    let a_cg_half = a_cg / (2.0 * n);
+    let cc_node = total_cc / (n + 1.0);
+
+    let mut v_prev = v_from;
+    let mut a_prev = a_from;
+    c.capacitor(v_from, GROUND, v_cg_half);
+    c.capacitor(a_from, GROUND, a_cg_half);
+    c.capacitor(v_from, a_from, cc_node);
+    for i in 0..segments {
+        let (v_next, a_next) = if i + 1 == segments {
+            (v_to, a_to)
+        } else {
+            (c.node(), c.node())
+        };
+        c.resistor(v_prev, v_next, v_r_seg);
+        c.resistor(a_prev, a_next, a_r_seg);
+        let scale = if i + 1 == segments { 1.0 } else { 2.0 };
+        c.capacitor(v_next, GROUND, v_cg_half * scale);
+        c.capacitor(a_next, GROUND, a_cg_half * scale);
+        c.capacitor(v_next, a_next, cc_node);
+        v_prev = v_next;
+        a_prev = a_next;
+    }
+}
+
+/// Delay and output slew of one characterized stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMeasurement {
+    /// 50%-to-50% input-to-output delay.
+    pub delay: Time,
+    /// 10%–90% output transition time.
+    pub output_slew: Time,
+}
+
+/// Characterizes one repeater driving a lumped capacitive load.
+///
+/// The input is an ideal ramp with a 10–90% transition time of
+/// `input_slew`; `rising_output` selects the output transition measured
+/// (the input direction is derived from the repeater's polarity).
+///
+/// This is the per-point "SPICE run" of the paper's calibration
+/// methodology (§III-E).
+///
+/// # Errors
+///
+/// Propagates simulator errors; returns [`SimError::InvalidSpec`] if the
+/// output never completes its transition within the simulation window.
+pub fn characterize_repeater(
+    devices: &DeviceSuite,
+    kind: RepeaterKind,
+    wn: Length,
+    input_slew: Time,
+    load: Cap,
+    rising_output: bool,
+) -> Result<StageMeasurement, SimError> {
+    let vdd = devices.vdd;
+    let mut c = Circuit::new();
+    let vdd_node = c.node();
+    let input = c.node();
+    let output = c.node();
+    c.rail(vdd_node, vdd);
+    add_repeater(&mut c, devices, kind, wn, input, output, vdd_node);
+    c.capacitor(output, GROUND, load);
+
+    let input_rising = if inverts(kind) {
+        !rising_output
+    } else {
+        rising_output
+    };
+    // A linear ramp's 10–90% slew is 0.8× its 0–100% ramp time.
+    let ramp = input_slew / 0.8;
+    let t_start = Time::ps(2.0);
+    c.vsource(input, GROUND, Pwl::ramp(t_start, ramp, vdd, input_rising));
+
+    // Conservative time-constant estimate to size the simulation window.
+    let wn_um = wn.as_um();
+    let r_eff = vdd.as_v() / (devices.nmos.idsat_per_um.si() * wn_um);
+    let c_total = load + devices.inverter_cout(wn) + Cap::ff(1.0);
+    let tau = Time::s(r_eff * c_total.si());
+    let t_stop = t_start + ramp + tau * 20.0 + Time::ps(30.0);
+    let dt_fine = Time::ps((ramp.as_ps() / 80.0).min(tau.as_ps() / 12.0).max(0.01));
+    // Bound the step count for very long windows.
+    let dt = dt_fine.max(t_stop / 6000.0);
+
+    let spec = TransientSpec::new(t_stop, dt, vec![input, output]);
+    let result = transient(&c, &spec)?;
+    let tr_in = result.trace(input);
+    let tr_out = result.trace(output);
+
+    let delay = delay_50(tr_in, tr_out, vdd, input_rising, rising_output)
+        .ok_or_else(|| SimError::InvalidSpec("output did not cross 50%".into()))?;
+    let output_slew = tr_out
+        .slew_10_90(vdd, rising_output)
+        .ok_or_else(|| SimError::InvalidSpec("output transition incomplete".into()))?;
+    Ok(StageMeasurement { delay, output_slew })
+}
+
+/// Measures the energy drawn from the supply rail while a repeater drives
+/// one complete output transition into `load`.
+///
+/// For a **rising** output the rail delivers the `C·V_dd²` charging energy
+/// of the total switched capacitance plus any short-circuit overhead; for a
+/// **falling** output the rail only supplies the short-circuit and
+/// first-stage currents. This is the simulation-side reference the
+/// closed-form dynamic-power model is validated against.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_switching_energy(
+    devices: &DeviceSuite,
+    kind: RepeaterKind,
+    wn: Length,
+    input_slew: Time,
+    load: Cap,
+    rising_output: bool,
+) -> Result<Energy, SimError> {
+    let vdd = devices.vdd;
+    let mut c = Circuit::new();
+    let vdd_node = c.node();
+    let input = c.node();
+    let output = c.node();
+    // The rail is the FIRST source added, so its current trace is index 0.
+    c.rail(vdd_node, vdd);
+    add_repeater(&mut c, devices, kind, wn, input, output, vdd_node);
+    c.capacitor(output, GROUND, load);
+
+    let input_rising = if inverts(kind) {
+        !rising_output
+    } else {
+        rising_output
+    };
+    let ramp = input_slew / 0.8;
+    let t_start = Time::ps(2.0);
+    c.vsource(input, GROUND, Pwl::ramp(t_start, ramp, vdd, input_rising));
+
+    let wn_um = wn.as_um();
+    let r_eff = vdd.as_v() / (devices.nmos.idsat_per_um.si() * wn_um);
+    let c_total = load + devices.inverter_cout(wn) + Cap::ff(1.0);
+    let tau = Time::s(r_eff * c_total.si());
+    // Long settle window so the rail charge integral converges.
+    let t_stop = t_start + ramp + tau * 40.0 + Time::ps(50.0);
+    let dt = Time::ps((ramp.as_ps() / 80.0).min(tau.as_ps() / 15.0).max(0.01))
+        .max(t_stop / 8000.0);
+
+    let spec = TransientSpec::new(t_stop, dt, vec![output]);
+    let result = transient(&c, &spec)?;
+    if result.trace(output).final_value().as_v() < vdd.as_v() * 0.9 && rising_output {
+        return Err(SimError::InvalidSpec(
+            "output did not settle at the rail".into(),
+        ));
+    }
+    Ok(result.source_current(0).energy(vdd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_tech::units::Volt;
+    use pi_tech::{TechNode, Technology};
+
+    fn devices() -> DeviceSuite {
+        *Technology::new(TechNode::N65).devices()
+    }
+
+    #[test]
+    fn inverter_characterization_produces_positive_metrics() {
+        let d = devices();
+        let m = characterize_repeater(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(4.0),
+            Time::ps(50.0),
+            Cap::ff(20.0),
+            true,
+        )
+        .unwrap();
+        assert!(m.delay.as_ps() > 0.0, "delay = {}", m.delay.as_ps());
+        assert!(m.delay.as_ps() < 200.0, "delay = {}", m.delay.as_ps());
+        assert!(m.output_slew.as_ps() > 0.0);
+    }
+
+    #[test]
+    fn delay_increases_with_load() {
+        let d = devices();
+        let mut last = Time::ZERO;
+        for load_ff in [5.0, 20.0, 60.0, 120.0] {
+            let m = characterize_repeater(
+                &d,
+                RepeaterKind::Inverter,
+                Length::um(4.0),
+                Time::ps(60.0),
+                Cap::ff(load_ff),
+                true,
+            )
+            .unwrap();
+            assert!(m.delay > last, "load {load_ff} fF");
+            last = m.delay;
+        }
+    }
+
+    #[test]
+    fn delay_decreases_with_size() {
+        let d = devices();
+        let small = characterize_repeater(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(2.0),
+            Time::ps(60.0),
+            Cap::ff(50.0),
+            true,
+        )
+        .unwrap();
+        let large = characterize_repeater(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(8.0),
+            Time::ps(60.0),
+            Cap::ff(50.0),
+            true,
+        )
+        .unwrap();
+        assert!(large.delay < small.delay);
+    }
+
+    #[test]
+    fn output_slew_increases_with_load() {
+        let d = devices();
+        let fast = characterize_repeater(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(4.0),
+            Time::ps(60.0),
+            Cap::ff(10.0),
+            false,
+        )
+        .unwrap();
+        let slow = characterize_repeater(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(4.0),
+            Time::ps(60.0),
+            Cap::ff(100.0),
+            false,
+        )
+        .unwrap();
+        assert!(slow.output_slew > fast.output_slew);
+    }
+
+    #[test]
+    fn buffer_has_larger_delay_than_inverter() {
+        let d = devices();
+        let inv = characterize_repeater(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(60.0),
+            Cap::ff(40.0),
+            true,
+        )
+        .unwrap();
+        let buf = characterize_repeater(
+            &d,
+            RepeaterKind::Buffer,
+            Length::um(6.0),
+            Time::ps(60.0),
+            Cap::ff(40.0),
+            true,
+        )
+        .unwrap();
+        assert!(buf.delay > inv.delay, "two stages must be slower than one");
+    }
+
+    #[test]
+    fn rc_ladder_node_bookkeeping() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        let internals = add_rc_ladder(&mut c, a, b, Res::ohm(500.0), Cap::ff(100.0), 8);
+        assert_eq!(internals.len(), 7);
+        // 8 resistors and 9 capacitors.
+        let resistors = c
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, crate::circuit::Element::Resistor { .. }))
+            .count();
+        assert_eq!(resistors, 8);
+    }
+
+    #[test]
+    fn rc_ladder_elmore_close_to_distributed_ideal() {
+        // Delay of a distributed RC line ≈ 0.38 RC (vs 0.69 RC lumped);
+        // a discretized ladder driven by an ideal step should land near it.
+        let mut c = Circuit::new();
+        let drive = c.node();
+        let far = c.node();
+        c.vsource(
+            drive,
+            GROUND,
+            Pwl::ramp_up(Time::ps(1.0), Time::ps(1.0), Volt::v(1.0)),
+        );
+        add_rc_ladder(&mut c, drive, far, Res::kohm(1.0), Cap::ff(200.0), 16);
+        // τ = RC = 200 ps.
+        let spec = TransientSpec::new(Time::ps(1200.0), Time::ps(0.5), vec![far]);
+        let r = transient(&c, &spec).unwrap();
+        let t50 = r.trace(far).t50(Volt::v(1.0), true).unwrap() - Time::ps(1.5);
+        let ratio = t50.as_ps() / 200.0;
+        assert!(
+            (0.30..0.48).contains(&ratio),
+            "t50/RC = {ratio}, expected ≈ 0.38"
+        );
+    }
+
+    #[test]
+    fn coupled_ladder_wires_coupling_to_aggressor() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        let agg = c.node();
+        add_coupled_rc_ladder(
+            &mut c,
+            a,
+            b,
+            agg,
+            Res::ohm(400.0),
+            Cap::ff(50.0),
+            Cap::ff(80.0),
+            4,
+        );
+        let coupling_total: f64 = c
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                crate::circuit::Element::Capacitor { a: x, b: y, value }
+                    if *y == agg || *x == agg =>
+                {
+                    Some(value.as_ff())
+                }
+                _ => None,
+            })
+            .sum();
+        assert!((coupling_total - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn ladder_rejects_zero_segments() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        add_rc_ladder(&mut c, a, b, Res::ohm(1.0), Cap::ff(1.0), 0);
+    }
+
+    #[test]
+    fn rising_switching_energy_close_to_cv2() {
+        // Rail energy for a rising output = C_sw * Vdd^2 (half stored, half
+        // dissipated) plus short-circuit overhead. With the explicit output
+        // parasitics included, the measurement must land slightly above the
+        // load-only C*V^2 and below ~1.8x of the total-cap value.
+        let d = devices();
+        let vdd = d.vdd.as_v();
+        let load = Cap::ff(120.0);
+        let e = measure_switching_energy(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(60.0),
+            load,
+            true,
+        )
+        .unwrap();
+        let c_switched = load + d.inverter_cout(Length::um(6.0));
+        let ideal = c_switched.si() * vdd * vdd;
+        let ratio = e.si() / ideal;
+        assert!(
+            (0.9..1.8).contains(&ratio),
+            "measured/ideal = {ratio} (e = {} fJ, ideal = {} fJ)",
+            e.as_fj(),
+            ideal * 1e15
+        );
+    }
+
+    #[test]
+    fn falling_transition_draws_much_less_rail_energy() {
+        let d = devices();
+        let rise = measure_switching_energy(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(60.0),
+            Cap::ff(120.0),
+            true,
+        )
+        .unwrap();
+        let fall = measure_switching_energy(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(60.0),
+            Cap::ff(120.0),
+            false,
+        )
+        .unwrap();
+        assert!(
+            fall.si() < rise.si() * 0.35,
+            "fall {} fJ vs rise {} fJ",
+            fall.as_fj(),
+            rise.as_fj()
+        );
+    }
+
+    #[test]
+    fn switching_energy_grows_with_load() {
+        let d = devices();
+        let small = measure_switching_energy(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(60.0),
+            Cap::ff(40.0),
+            true,
+        )
+        .unwrap();
+        let large = measure_switching_energy(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(60.0),
+            Cap::ff(160.0),
+            true,
+        )
+        .unwrap();
+        assert!(large.si() > small.si() * 1.8);
+    }
+
+    #[test]
+    fn slower_inputs_increase_short_circuit_energy() {
+        let d = devices();
+        let fast = measure_switching_energy(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(25.0),
+            Cap::ff(80.0),
+            true,
+        )
+        .unwrap();
+        let slow = measure_switching_energy(
+            &d,
+            RepeaterKind::Inverter,
+            Length::um(6.0),
+            Time::ps(300.0),
+            Cap::ff(80.0),
+            true,
+        )
+        .unwrap();
+        assert!(
+            slow > fast,
+            "slow {} fJ should exceed fast {} fJ (short-circuit current)",
+            slow.as_fj(),
+            fast.as_fj()
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! A compact MNA transient circuit simulator for repeater characterization.
+//!
+//! This crate substitutes for the HSPICE + BSIM infrastructure of the
+//! original flow. It provides:
+//!
+//! - a flat [`Circuit`] netlist (resistors, capacitors, PWL voltage sources,
+//!   alpha-power-law MOSFETs) — see [`circuit`];
+//! - backward-Euler transient analysis with damped Newton iteration over a
+//!   dense-LU MNA formulation — see [`mod@transient`];
+//! - waveform measurements (50% delay, 10–90% slew) — see [`waveform`];
+//! - CMOS testbench builders and the repeater characterization routine that
+//!   produces the raw `(input slew, load) → (delay, output slew)` data the
+//!   predictive models are fitted from — see [`cmos`].
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), pi_spice::SimError> {
+//! use pi_spice::cmos::characterize_repeater;
+//! use pi_tech::units::{Cap, Length, Time};
+//! use pi_tech::{RepeaterKind, TechNode, Technology};
+//!
+//! let tech = Technology::new(TechNode::N65);
+//! let m = characterize_repeater(
+//!     tech.devices(),
+//!     RepeaterKind::Inverter,
+//!     Length::um(4.0),
+//!     Time::ps(60.0),
+//!     Cap::ff(30.0),
+//!     true,
+//! )?;
+//! assert!(m.delay.as_ps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod circuit;
+pub mod cmos;
+pub mod netlist;
+pub mod solver;
+pub mod transient;
+pub mod waveform;
+
+pub use circuit::{Circuit, Element, Mosfet, Node, GROUND};
+pub use cmos::{measure_switching_energy, StageMeasurement};
+pub use netlist::to_spice_deck;
+pub use solver::DenseSolver;
+pub use transient::{
+    dc_operating_point, dc_sweep, transient, Integrator, SimError, TransientResult,
+    TransientSpec,
+};
+pub use waveform::{delay_50, CurrentPwl, CurrentTrace, Pwl, Trace};

@@ -1,0 +1,228 @@
+//! SPICE-deck export.
+//!
+//! Dumps a [`Circuit`] as a SPICE-compatible netlist so testbenches built
+//! with this crate can be cross-checked in an external simulator (devices
+//! are emitted with an alpha-power-law `.model` comment block, since the
+//! compact model here is not BSIM).
+
+use std::fmt::Write as _;
+
+use crate::circuit::{Circuit, Element};
+use crate::waveform::Pwl;
+use pi_tech::device::MosPolarity;
+use pi_tech::units::Time;
+
+fn node_name_for(circuit: &Circuit, index: usize) -> String {
+    if index == 0 {
+        return "0".to_owned();
+    }
+    match circuit.label_of(crate::circuit::Node::from_index(index)) {
+        Some(label) => label.to_owned(),
+        None => format!("n{index}"),
+    }
+}
+
+fn pwl_spec(w: &Pwl) -> String {
+    // Sample the waveform at its breakpoints; DC sources collapse.
+    let last = w.last_event();
+    if last == Time::ZERO {
+        return format!("DC {:.6}", w.at(Time::ZERO).as_v());
+    }
+    // Reconstruct a PWL(...) spec from start/end values around each event.
+    let mut out = String::from("PWL(");
+    let _ = write!(out, "0 {:.6} ", w.at(Time::ZERO).as_v());
+    let _ = write!(
+        out,
+        "{:.6e} {:.6}",
+        last.si(),
+        w.at(last).as_v()
+    );
+    out.push(')');
+    out
+}
+
+/// Renders the circuit as a SPICE deck.
+///
+/// # Examples
+///
+/// ```
+/// use pi_spice::circuit::{Circuit, GROUND};
+/// use pi_spice::netlist::to_spice_deck;
+/// use pi_tech::units::{Res, Volt};
+///
+/// let mut c = Circuit::new();
+/// let a = c.node();
+/// c.rail(a, Volt::v(1.0));
+/// c.resistor(a, GROUND, Res::kohm(1.0));
+/// let deck = to_spice_deck(&c, "divider");
+/// assert!(deck.contains("R1"));
+/// ```
+///
+/// Node 0 is ground; other nodes are `n<k>`. Voltage sources reproduce DC
+/// values exactly and ramps as two-point PWL specs. MOSFETs are emitted as
+/// `M` cards referencing per-polarity `.model` lines that carry the
+/// alpha-power-law parameters as comments.
+#[must_use]
+pub fn to_spice_deck(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+    let _ = writeln!(
+        out,
+        "* exported by pi-spice ({} nodes, {} elements)",
+        circuit.node_count(),
+        circuit.elements().len()
+    );
+    let (mut nr, mut nc, mut nv, mut nm, mut ni) = (0usize, 0usize, 0usize, 0usize, 0usize);
+    let mut models: Vec<String> = Vec::new();
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor { a, b, value } => {
+                nr += 1;
+                let _ = writeln!(
+                    out,
+                    "R{nr} {} {} {:.6e}",
+                    node_name_for(circuit, a.index()),
+                    node_name_for(circuit, b.index()),
+                    value.as_ohm()
+                );
+            }
+            Element::Capacitor { a, b, value } => {
+                nc += 1;
+                let _ = writeln!(
+                    out,
+                    "C{nc} {} {} {:.6e}",
+                    node_name_for(circuit, a.index()),
+                    node_name_for(circuit, b.index()),
+                    value.si()
+                );
+            }
+            Element::VSource { p, n, waveform } => {
+                nv += 1;
+                let _ = writeln!(
+                    out,
+                    "V{nv} {} {} {}",
+                    node_name_for(circuit, p.index()),
+                    node_name_for(circuit, n.index()),
+                    pwl_spec(waveform)
+                );
+            }
+            Element::ISource { from, to, waveform } => {
+                ni += 1;
+                let _ = writeln!(
+                    out,
+                    "I{ni} {} {} DC {:.6e}",
+                    node_name_for(circuit, from.index()),
+                    node_name_for(circuit, to.index()),
+                    waveform.at(Time::ZERO).si()
+                );
+            }
+            Element::Mosfet(m) => {
+                nm += 1;
+                let (model_name, bulk) = match m.params.polarity {
+                    MosPolarity::Nmos => ("apl_nmos", "0".to_owned()),
+                    MosPolarity::Pmos => ("apl_pmos", node_name_for(circuit, m.source.index())),
+                };
+                let _ = writeln!(
+                    out,
+                    "M{nm} {} {} {} {} {} W={:.4e}",
+                    node_name_for(circuit, m.drain.index()),
+                    node_name_for(circuit, m.gate.index()),
+                    node_name_for(circuit, m.source.index()),
+                    bulk,
+                    model_name,
+                    m.width.si()
+                );
+                let model_line = format!(
+                    ".model {model_name} * alpha-power: vth={:.3} alpha={:.3} \
+                     idsat={:.4e}A/um kappa={:.3} lambda={:.3}",
+                    m.params.vth.as_v(),
+                    m.params.alpha,
+                    m.params.idsat_per_um.si(),
+                    m.params.kappa,
+                    m.params.lambda
+                );
+                if !models.contains(&model_line) {
+                    models.push(model_line);
+                }
+            }
+        }
+    }
+    for m in models {
+        let _ = writeln!(out, "{m}");
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::GROUND;
+    use crate::cmos::add_inverter;
+    use pi_tech::units::{Cap, Length, Res, Volt};
+    use pi_tech::{TechNode, Technology};
+
+    #[test]
+    fn deck_contains_all_elements() {
+        let tech = Technology::new(TechNode::N65);
+        let mut c = Circuit::new();
+        let vdd = c.node();
+        let input = c.node();
+        let output = c.node();
+        c.rail(vdd, tech.vdd());
+        add_inverter(&mut c, tech.devices(), Length::um(4.0), input, output, vdd);
+        c.vsource(
+            input,
+            GROUND,
+            Pwl::ramp_up(Time::ps(2.0), Time::ps(50.0), tech.vdd()),
+        );
+        c.capacitor(output, GROUND, Cap::ff(30.0));
+        let deck = to_spice_deck(&c, "inverter testbench");
+        assert!(deck.starts_with("* inverter testbench"));
+        assert!(deck.contains("M1 "));
+        assert!(deck.contains("M2 "));
+        assert!(deck.contains("V1 n1 0 DC 1.000000"));
+        assert!(deck.contains("PWL("));
+        assert!(deck.contains(".model apl_nmos"));
+        assert!(deck.contains(".model apl_pmos"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn ground_is_node_zero() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.resistor(a, GROUND, Res::ohm(100.0));
+        c.rail(a, Volt::v(1.0));
+        let deck = to_spice_deck(&c, "t");
+        assert!(deck.contains("R1 n1 0 1.000000e2"));
+    }
+
+
+    #[test]
+    fn labeled_nodes_appear_in_the_deck() {
+        let mut c = Circuit::new();
+        let vin = c.node_labeled("vin");
+        c.rail(vin, Volt::v(1.0));
+        c.resistor(vin, GROUND, Res::kohm(2.0));
+        let deck = to_spice_deck(&c, "labeled");
+        assert!(deck.contains("R1 vin 0"), "{deck}");
+        assert!(deck.contains("V1 vin 0 DC"));
+    }
+    #[test]
+    fn model_lines_are_deduplicated() {
+        let tech = Technology::new(TechNode::N90);
+        let mut c = Circuit::new();
+        let vdd = c.node();
+        let a = c.node();
+        let b = c.node();
+        let d = c.node();
+        c.rail(vdd, tech.vdd());
+        add_inverter(&mut c, tech.devices(), Length::um(2.0), a, b, vdd);
+        add_inverter(&mut c, tech.devices(), Length::um(4.0), b, d, vdd);
+        let deck = to_spice_deck(&c, "chain");
+        assert_eq!(deck.matches(".model apl_nmos").count(), 1);
+        assert_eq!(deck.matches(".model apl_pmos").count(), 1);
+        assert_eq!(deck.matches("\nM").count(), 4);
+    }
+}

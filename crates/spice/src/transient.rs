@@ -1,0 +1,870 @@
+//! Transient (time-domain) analysis.
+//!
+//! Fixed-step backward-Euler integration with Newton–Raphson iteration for
+//! the nonlinear devices, over a dense-LU MNA formulation. This is the
+//! "SPICE" the characterization and sign-off flows are built on: small
+//! circuits, unconditionally stable integration, and robust (damped) Newton
+//! convergence matter more than large-circuit scalability here.
+
+use std::collections::HashMap;
+
+use pi_tech::units::{Time, Volt};
+
+use crate::circuit::{Circuit, Element, Mosfet, Node};
+use crate::solver::DenseSolver;
+use crate::waveform::{CurrentTrace, Trace};
+
+/// Minimum conductance tied from every node to ground, keeping the MNA
+/// matrix nonsingular for nodes that would otherwise float at DC.
+const GMIN: f64 = 1e-9;
+
+/// Absolute Newton convergence tolerance on node voltages (volts).
+const NEWTON_TOL: f64 = 1e-6;
+
+/// Maximum Newton iterations per timestep.
+const NEWTON_MAX_ITERS: usize = 200;
+
+/// Per-iteration clamp on the Newton voltage update (volts); damping that
+/// keeps the exponential subthreshold model from overshooting.
+const NEWTON_MAX_STEP: f64 = 0.1;
+
+/// Finite-difference step for device linearization (volts).
+const FD_STEP: f64 = 1e-5;
+
+/// Errors produced by the analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA matrix was singular.
+    Singular,
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// Simulation time at which convergence failed (`None` for DC).
+        at: Option<Time>,
+    },
+    /// The analysis specification was invalid.
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Singular => f.write_str("singular MNA matrix"),
+            SimError::NoConvergence { at: Some(t) } => {
+                write!(f, "newton iteration did not converge at t = {} ps", t.as_ps())
+            }
+            SimError::NoConvergence { at: None } => {
+                f.write_str("newton iteration did not converge at the DC operating point")
+            }
+            SimError::InvalidSpec(msg) => write!(f, "invalid analysis spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Time-integration method for the transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order implicit Euler: unconditionally stable, strongly
+    /// damped; the robust default for switching waveforms.
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal rule: more accurate per step on smooth
+    /// waveforms (no numerical damping), the classic SPICE default.
+    Trapezoidal,
+}
+
+/// Specification of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientSpec {
+    /// Stop time.
+    pub t_stop: Time,
+    /// Fixed timestep.
+    pub dt: Time,
+    /// Nodes whose voltage traces should be recorded.
+    pub record: Vec<Node>,
+    /// Integration method.
+    pub integrator: Integrator,
+}
+
+impl TransientSpec {
+    /// Creates a spec recording the given nodes (backward Euler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` or `t_stop` is not positive, or `dt > t_stop`.
+    #[must_use]
+    pub fn new(t_stop: Time, dt: Time, record: Vec<Node>) -> Self {
+        assert!(dt.si() > 0.0 && t_stop.si() > 0.0, "times must be positive");
+        assert!(dt <= t_stop, "dt must not exceed t_stop");
+        TransientSpec {
+            t_stop,
+            dt,
+            record,
+            integrator: Integrator::default(),
+        }
+    }
+
+    /// Switches the spec to the trapezoidal integrator.
+    #[must_use]
+    pub fn trapezoidal(mut self) -> Self {
+        self.integrator = Integrator::Trapezoidal;
+        self
+    }
+}
+
+/// Result of a transient run: recorded traces by node plus the branch
+/// currents of every voltage source.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    traces: HashMap<usize, Trace>,
+    source_currents: Vec<CurrentTrace>,
+    steps: usize,
+}
+
+impl TransientResult {
+    /// The recorded trace for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not listed in [`TransientSpec::record`].
+    #[must_use]
+    pub fn trace(&self, node: Node) -> &Trace {
+        self.traces
+            .get(&node.index())
+            .expect("node was not recorded; list it in TransientSpec::record")
+    }
+
+    /// Branch current delivered by the `index`-th voltage source (in the
+    /// order sources were added to the circuit); positive current flows
+    /// *out of* the source's positive terminal into the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn source_current(&self, index: usize) -> &CurrentTrace {
+        &self.source_currents[index]
+    }
+
+    /// Number of timesteps taken.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// MNA assembly workspace shared between DC and transient analyses.
+struct Mna<'c> {
+    circuit: &'c Circuit,
+    /// Number of unknowns: (nodes − 1) voltages + one current per source.
+    dim: usize,
+    node_offset: usize, // always 0; voltages come first
+    source_rows: Vec<usize>,
+    /// Static stamps: resistors, gmin, source incidence. Caps are added
+    /// separately because their conductance depends on the timestep.
+    base_matrix: Vec<f64>,
+    solver: DenseSolver,
+}
+
+impl<'c> Mna<'c> {
+    fn new(circuit: &'c Circuit) -> Self {
+        let nv = circuit.node_count() - 1;
+        let ns = circuit.source_count();
+        let dim = nv + ns;
+        let mut base = vec![0.0; dim * dim];
+        // gmin on every node voltage row.
+        for i in 0..nv {
+            base[i * dim + i] += GMIN;
+        }
+        let mut source_rows = Vec::with_capacity(ns);
+        let mut next_source_row = nv;
+        for e in circuit.elements() {
+            match e {
+                Element::Resistor { a, b, value } => {
+                    let g = 1.0 / value.as_ohm();
+                    stamp_conductance(&mut base, dim, *a, *b, g);
+                }
+                Element::VSource { p, n, .. } => {
+                    let row = next_source_row;
+                    next_source_row += 1;
+                    source_rows.push(row);
+                    if let Some(i) = unknown_index(*p) {
+                        base[i * dim + row] += 1.0;
+                        base[row * dim + i] += 1.0;
+                    }
+                    if let Some(i) = unknown_index(*n) {
+                        base[i * dim + row] -= 1.0;
+                        base[row * dim + i] -= 1.0;
+                    }
+                }
+                Element::Capacitor { .. } | Element::Mosfet(_) | Element::ISource { .. } => {}
+            }
+        }
+        Mna {
+            circuit,
+            dim,
+            node_offset: 0,
+            source_rows,
+            base_matrix: base,
+            solver: DenseSolver::new(dim),
+        }
+    }
+
+    fn voltage(&self, x: &[f64], node: Node) -> f64 {
+        match unknown_index(node) {
+            Some(i) => x[self.node_offset + i],
+            None => 0.0,
+        }
+    }
+
+    /// One damped Newton solve of the (possibly companion-augmented) system.
+    ///
+    /// `cap_gstamp`: capacitor conductances already merged into a matrix
+    /// copy source; `rhs_extra` fills source values and capacitor history
+    /// currents.
+    fn newton_solve(
+        &mut self,
+        matrix_with_caps: &[f64],
+        fill_rhs: &dyn Fn(&mut [f64]),
+        x: &mut [f64],
+        at: Option<Time>,
+    ) -> Result<(), SimError> {
+        let dim = self.dim;
+        let mut a = vec![0.0; dim * dim];
+        let mut b = vec![0.0; dim];
+        for iter in 0..NEWTON_MAX_ITERS {
+            // Tighten the damping if the iteration is struggling (limit
+            // cycles around sharp device-curve corners).
+            let max_step = match iter {
+                0..=59 => NEWTON_MAX_STEP,
+                60..=119 => NEWTON_MAX_STEP / 4.0,
+                _ => NEWTON_MAX_STEP / 16.0,
+            };
+            a.copy_from_slice(matrix_with_caps);
+            b.iter_mut().for_each(|v| *v = 0.0);
+            fill_rhs(&mut b);
+            // Independent current sources inject directly into the RHS.
+            let t_now = at.unwrap_or(Time::ZERO);
+            for e in self.circuit.elements() {
+                if let Element::ISource { from, to, waveform } = e {
+                    let i = waveform.at(t_now).si();
+                    if let Some(k) = unknown_index(*to) {
+                        b[k] += i;
+                    }
+                    if let Some(k) = unknown_index(*from) {
+                        b[k] -= i;
+                    }
+                }
+            }
+            // Linearize and stamp every MOSFET at the current iterate.
+            for e in self.circuit.elements() {
+                if let Element::Mosfet(m) = e {
+                    self.stamp_mosfet(&mut a, &mut b, x, m);
+                }
+            }
+            self.solver.factor(&a).map_err(|_| SimError::Singular)?;
+            self.solver.solve(&mut b);
+            // Damped update toward the linearized solution.
+            let mut max_delta = 0.0f64;
+            for i in 0..dim {
+                let delta = b[i] - x[i];
+                let clamped = if i < self.node_offset + (self.circuit.node_count() - 1) {
+                    delta.clamp(-max_step, max_step)
+                } else {
+                    delta // branch currents are not damped
+                };
+                x[i] += clamped;
+                max_delta = max_delta.max(delta.abs());
+            }
+            if max_delta < NEWTON_TOL {
+                return Ok(());
+            }
+        }
+        Err(SimError::NoConvergence { at })
+    }
+
+    fn stamp_mosfet(&self, a: &mut [f64], b: &mut [f64], x: &[f64], m: &Mosfet) {
+        let dim = self.dim;
+        let vg = self.voltage(x, m.gate);
+        let vd = self.voltage(x, m.drain);
+        let vs = self.voltage(x, m.source);
+        let i0 = mos_drain_current(m, vg, vd, vs);
+        let di_dvg = (mos_drain_current(m, vg + FD_STEP, vd, vs) - i0) / FD_STEP;
+        let di_dvd = (mos_drain_current(m, vg, vd + FD_STEP, vs) - i0) / FD_STEP;
+        let di_dvs = (mos_drain_current(m, vg, vd, vs + FD_STEP) - i0) / FD_STEP;
+        // Current leaving the drain node, entering the source node:
+        // i(v) ≈ i0 + Σ ∂i/∂vk · (vk − vk0)
+        let const_part = i0 - di_dvg * vg - di_dvd * vd - di_dvs * vs;
+        let stamps = [(m.gate, di_dvg), (m.drain, di_dvd), (m.source, di_dvs)];
+        if let Some(d) = unknown_index(m.drain) {
+            for (node, g) in stamps {
+                if let Some(k) = unknown_index(node) {
+                    a[d * dim + k] += g;
+                }
+            }
+            b[d] -= const_part;
+        }
+        if let Some(s) = unknown_index(m.source) {
+            for (node, g) in stamps {
+                if let Some(k) = unknown_index(node) {
+                    a[s * dim + k] -= g;
+                }
+            }
+            b[s] += const_part;
+        }
+    }
+}
+
+/// Node voltage from the unknown vector (0 for ground).
+fn voltage_of(x: &[f64], node: Node) -> f64 {
+    match unknown_index(node) {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Index of a node voltage among the unknowns (`None` for ground).
+fn unknown_index(node: Node) -> Option<usize> {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+fn stamp_conductance(a: &mut [f64], dim: usize, p: Node, q: Node, g: f64) {
+    if let Some(i) = unknown_index(p) {
+        a[i * dim + i] += g;
+        if let Some(j) = unknown_index(q) {
+            a[i * dim + j] -= g;
+            a[j * dim + i] -= g;
+            a[j * dim + j] += g;
+        }
+    } else if let Some(j) = unknown_index(q) {
+        a[j * dim + j] += g;
+    }
+}
+
+/// Signed drain-terminal current (amperes leaving the drain node) of a
+/// MOSFET at the given node voltages, handling both polarities and
+/// source/drain symmetry.
+fn mos_drain_current(m: &Mosfet, vg: f64, vd: f64, vs: f64) -> f64 {
+    use pi_tech::device::MosPolarity;
+    let w = m.width;
+    match m.params.polarity {
+        MosPolarity::Nmos => {
+            if vd >= vs {
+                m.params.ids(w, Volt::v(vg - vs), Volt::v(vd - vs)).si()
+            } else {
+                -m.params.ids(w, Volt::v(vg - vd), Volt::v(vs - vd)).si()
+            }
+        }
+        MosPolarity::Pmos => {
+            if vs >= vd {
+                // Conventional current flows source→drain: enters the drain.
+                -m.params.ids(w, Volt::v(vs - vg), Volt::v(vs - vd)).si()
+            } else {
+                m.params.ids(w, Volt::v(vd - vg), Volt::v(vd - vs)).si()
+            }
+        }
+    }
+}
+
+/// Computes the DC operating point with all sources at their `t = 0` values
+/// and capacitors open.
+///
+/// Returns the node voltages indexed by node id (entry 0 = ground = 0 V).
+///
+/// # Errors
+///
+/// Returns an error if the system is singular or Newton fails to converge.
+pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<Volt>, SimError> {
+    let mut mna = Mna::new(circuit);
+    let dim = mna.dim;
+    let matrix = mna.base_matrix.clone();
+    let mut x = vec![0.0; dim];
+    // Seed rail-connected behaviour: start sources at their DC value.
+    let source_rows = mna.source_rows.clone();
+    let source_values: Vec<f64> = circuit
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::VSource { waveform, .. } => Some(waveform.at(Time::ZERO).as_v()),
+            _ => None,
+        })
+        .collect();
+    let fill = move |b: &mut [f64]| {
+        for (row, v) in source_rows.iter().zip(&source_values) {
+            b[*row] = *v;
+        }
+    };
+    mna.newton_solve(&matrix, &fill, &mut x, None)?;
+    let mut out = vec![Volt::ZERO; circuit.node_count()];
+    for (idx, v) in out.iter_mut().enumerate().skip(1) {
+        *v = Volt::v(x[idx - 1]);
+    }
+    Ok(out)
+}
+
+/// Sweeps the `source_index`-th voltage source (in circuit order) from
+/// `from` to `to` in `steps` equal increments, solving the DC operating
+/// point at each value with the previous solution as the Newton seed
+/// (source-stepping continuation).
+///
+/// Returns `(swept value, node voltages)` pairs; node voltages are indexed
+/// by node id with entry 0 = ground.
+///
+/// # Errors
+///
+/// Returns an error if the source index is out of range, the system is
+/// singular, or Newton fails at some step.
+///
+/// # Panics
+///
+/// Panics if `steps` is zero.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source_index: usize,
+    from: Volt,
+    to: Volt,
+    steps: usize,
+) -> Result<Vec<(Volt, Vec<Volt>)>, SimError> {
+    assert!(steps > 0, "need at least one sweep step");
+    let n_sources = circuit.source_count();
+    if source_index >= n_sources {
+        return Err(SimError::InvalidSpec(format!(
+            "source index {source_index} out of range ({n_sources} sources)"
+        )));
+    }
+    let mut mna = Mna::new(circuit);
+    let dim = mna.dim;
+    let matrix = mna.base_matrix.clone();
+    let source_rows = mna.source_rows.clone();
+    let base_values: Vec<f64> = circuit
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::VSource { waveform, .. } => Some(waveform.at(Time::ZERO).as_v()),
+            _ => None,
+        })
+        .collect();
+
+    let mut x = vec![0.0; dim];
+    let mut out = Vec::with_capacity(steps + 1);
+    for k in 0..=steps {
+        let swept = from.lerp(to, k as f64 / steps as f64);
+        let rows = &source_rows;
+        let base = &base_values;
+        let fill = move |b: &mut [f64]| {
+            for (i, (row, v)) in rows.iter().zip(base).enumerate() {
+                b[*row] = if i == source_index { swept.as_v() } else { *v };
+            }
+        };
+        mna.newton_solve(&matrix, &fill, &mut x, None)?;
+        let mut volts = vec![Volt::ZERO; circuit.node_count()];
+        for (idx, v) in volts.iter_mut().enumerate().skip(1) {
+            *v = Volt::v(x[idx - 1]);
+        }
+        out.push((swept, volts));
+    }
+    Ok(out)
+}
+
+/// Runs a transient analysis from the DC operating point.
+///
+/// # Errors
+///
+/// Returns an error if the spec is invalid, the system is singular, or
+/// Newton fails to converge at any timestep.
+pub fn transient(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResult, SimError> {
+    for n in &spec.record {
+        if n.index() >= circuit.node_count() {
+            return Err(SimError::InvalidSpec(format!(
+                "record node {} not in circuit",
+                n.index()
+            )));
+        }
+    }
+    let dc = dc_operating_point(circuit)?;
+    let mut mna = Mna::new(circuit);
+    let dim = mna.dim;
+    let dt = spec.dt.si();
+
+    // Timestep-dependent matrix: base + capacitor companion conductances.
+    // Companion conductance: C/h for backward Euler, 2C/h for trapezoidal.
+    let geq_factor = match spec.integrator {
+        Integrator::BackwardEuler => 1.0,
+        Integrator::Trapezoidal => 2.0,
+    };
+    let mut matrix = mna.base_matrix.clone();
+    let caps: Vec<(Node, Node, f64)> = circuit
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::Capacitor { a, b, value } if value.si() > 0.0 => Some((*a, *b, value.si())),
+            _ => None,
+        })
+        .collect();
+    for (a, b, c) in &caps {
+        stamp_conductance(&mut matrix, dim, *a, *b, geq_factor * c / dt);
+    }
+
+    let source_rows = mna.source_rows.clone();
+    let waveforms: Vec<_> = circuit
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::VSource { waveform, .. } => Some(waveform.clone()),
+            _ => None,
+        })
+        .collect();
+
+    // State vector: previous node voltages by node id (incl. ground), and
+    // for the trapezoidal rule the previous capacitor branch currents
+    // (zero at the DC operating point).
+    let mut v_prev: Vec<f64> = dc.iter().map(|v| v.as_v()).collect();
+    let mut i_cap_prev: Vec<f64> = vec![0.0; caps.len()];
+    let mut x = vec![0.0; dim];
+    for (idx, v) in v_prev.iter().enumerate().skip(1) {
+        x[idx - 1] = *v;
+    }
+
+    let mut traces: HashMap<usize, Trace> = spec
+        .record
+        .iter()
+        .map(|n| (n.index(), Trace::new()))
+        .collect();
+    let record = |traces: &mut HashMap<usize, Trace>, t: f64, v: &[f64]| {
+        for (idx, tr) in traces.iter_mut() {
+            tr.push(Time::s(t), Volt::v(v[*idx]));
+        }
+    };
+    record(&mut traces, 0.0, &v_prev);
+    // Branch currents: the MNA unknown at a source row is the current
+    // flowing from the + terminal *into* the source, so the delivered
+    // current is its negation.
+    let mut source_currents: Vec<CurrentTrace> =
+        source_rows.iter().map(|_| CurrentTrace::new()).collect();
+    let record_currents =
+        |currents: &mut Vec<CurrentTrace>, rows: &[usize], t: f64, x: &[f64]| {
+            for (tr, row) in currents.iter_mut().zip(rows) {
+                tr.push(Time::s(t), -x[*row]);
+            }
+        };
+
+    let steps = (spec.t_stop.si() / dt).ceil() as usize;
+    for step in 1..=steps {
+        let t = step as f64 * dt;
+        let v_hist = v_prev.clone();
+        let i_hist = i_cap_prev.clone();
+        let caps_ref = &caps;
+        let rows = &source_rows;
+        let wfs = &waveforms;
+        let integrator = spec.integrator;
+        let fill = move |b: &mut [f64]| {
+            for (row, wf) in rows.iter().zip(wfs) {
+                b[*row] = wf.at(Time::s(t)).as_v();
+            }
+            // Companion history current for each capacitor.
+            for (k, (a, bb, c)) in caps_ref.iter().enumerate() {
+                let dv_prev = v_hist[a.index()] - v_hist[bb.index()];
+                let hist = match integrator {
+                    Integrator::BackwardEuler => c / dt * dv_prev,
+                    // i_n+1 = 2C/h (v_n+1 − v_n) − i_n ⇒ history source
+                    // 2C/h·v_n + i_n.
+                    Integrator::Trapezoidal => 2.0 * c / dt * dv_prev + i_hist[k],
+                };
+                if let Some(i) = unknown_index(*a) {
+                    b[i] += hist;
+                }
+                if let Some(j) = unknown_index(*bb) {
+                    b[j] -= hist;
+                }
+            }
+        };
+        mna.newton_solve(&matrix, &fill, &mut x, Some(Time::s(t)))?;
+        // Update capacitor branch currents for the trapezoidal history.
+        if spec.integrator == Integrator::Trapezoidal {
+            for (k, (a, bb, c)) in caps.iter().enumerate() {
+                let v_new = voltage_of(&x, *a) - voltage_of(&x, *bb);
+                let v_old = v_prev[a.index()] - v_prev[bb.index()];
+                i_cap_prev[k] = 2.0 * c / dt * (v_new - v_old) - i_cap_prev[k];
+            }
+        }
+        v_prev[1..circuit.node_count()].copy_from_slice(&x[..circuit.node_count() - 1]);
+        record(&mut traces, t, &v_prev);
+        record_currents(&mut source_currents, &source_rows, t, &x);
+    }
+
+    Ok(TransientResult {
+        traces,
+        source_currents,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::GROUND;
+    use crate::waveform::Pwl;
+    use pi_tech::units::{Cap, Res};
+
+    #[test]
+    fn dc_voltage_divider() {
+        let mut c = Circuit::new();
+        let top = c.node();
+        let mid = c.node();
+        c.rail(top, Volt::v(1.0));
+        c.resistor(top, mid, Res::kohm(1.0));
+        c.resistor(mid, GROUND, Res::kohm(1.0));
+        let v = dc_operating_point(&c).unwrap();
+        assert!((v[mid.index()].as_v() - 0.5).abs() < 1e-5);
+        assert!((v[top.index()].as_v() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_step_response_follows_exponential() {
+        // 1 kΩ / 100 fF low-pass driven by a fast step: v(t) = 1 − e^(−t/τ).
+        let mut c = Circuit::new();
+        let drive = c.node();
+        let out = c.node();
+        c.vsource(
+            drive,
+            GROUND,
+            Pwl::ramp_up(Time::ps(1.0), Time::ps(1.0), Volt::v(1.0)),
+        );
+        c.resistor(drive, out, Res::kohm(1.0));
+        c.capacitor(out, GROUND, Cap::ff(100.0));
+        let spec = TransientSpec::new(Time::ps(600.0), Time::ps(0.25), vec![out]);
+        let r = transient(&c, &spec).unwrap();
+        let tr = r.trace(out);
+        // After one time constant (100 ps) from the step, expect ~63.2%.
+        let t63 = tr
+            .crossing(Volt::v(1.0 - (-1.0f64).exp()), true, Time::ZERO)
+            .unwrap();
+        assert!(
+            (t63.as_ps() - 102.0).abs() < 6.0,
+            "t63 = {} ps",
+            t63.as_ps()
+        );
+    }
+
+    #[test]
+    fn coupling_cap_bumps_quiet_neighbor() {
+        // Aggressor ramp couples into a resistively held victim.
+        let mut c = Circuit::new();
+        let agg = c.node();
+        let vic = c.node();
+        c.vsource(
+            agg,
+            GROUND,
+            Pwl::ramp_up(Time::ps(10.0), Time::ps(50.0), Volt::v(1.0)),
+        );
+        c.resistor(vic, GROUND, Res::kohm(1.0));
+        c.capacitor(agg, vic, Cap::ff(50.0));
+        let spec = TransientSpec::new(Time::ps(400.0), Time::ps(0.5), vec![vic]);
+        let r = transient(&c, &spec).unwrap();
+        let tr = r.trace(vic);
+        let peak = (0..tr.len())
+            .map(|i| tr.sample(i).1.as_v())
+            .fold(0.0f64, f64::max);
+        assert!(peak > 0.05, "coupling bump too small: {peak} V");
+        // And it decays back to ~0 at the end.
+        assert!(tr.final_value().as_v().abs() < 0.02);
+    }
+
+
+    #[test]
+    fn current_source_drives_a_resistor() {
+        use crate::waveform::CurrentPwl;
+        use pi_tech::units::Current;
+        // 1 mA into 1 kΩ → 1 V at DC.
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.isource(GROUND, n, CurrentPwl::dc(Current::ma(1.0)));
+        c.resistor(n, GROUND, Res::kohm(1.0));
+        let v = dc_operating_point(&c).unwrap();
+        assert!((v[n.index()].as_v() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn current_pulse_charges_a_capacitor() {
+        use crate::waveform::CurrentPwl;
+        use pi_tech::units::Current;
+        // 100 µA for 100 ps into 10 fF → ΔV = I·t/C = 1.0 V, then holds
+        // (gmin discharge is negligible over the window).
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.isource(
+            GROUND,
+            n,
+            CurrentPwl::pulse(Time::ps(10.0), Time::ps(110.0), Current::ua(100.0)),
+        );
+        c.capacitor(n, GROUND, Cap::ff(10.0));
+        let spec = TransientSpec::new(Time::ps(200.0), Time::ps(0.2), vec![n]);
+        let r = transient(&c, &spec).unwrap();
+        let v_end = r.trace(n).final_value().as_v();
+        assert!((v_end - 1.0).abs() < 0.03, "v_end = {v_end}");
+    }
+
+    #[test]
+    fn invalid_record_node_is_reported() {
+        let c = Circuit::new();
+        let spec = TransientSpec {
+            t_stop: Time::ps(10.0),
+            dt: Time::ps(1.0),
+            record: vec![Node(5)],
+            integrator: Integrator::default(),
+        };
+        assert!(matches!(
+            transient(&c, &spec),
+            Err(SimError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must not exceed")]
+    fn spec_validates_dt() {
+        let _ = TransientSpec::new(Time::ps(1.0), Time::ps(2.0), vec![]);
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler_on_coarse_steps() {
+        // RC step response with a deliberately coarse step: the 2nd-order
+        // trapezoidal rule must track the analytic exponential much closer
+        // than backward Euler.
+        let build = || {
+            let mut c = Circuit::new();
+            let drive = c.node();
+            let out = c.node();
+            c.vsource(
+                drive,
+                GROUND,
+                Pwl::ramp_up(Time::ps(1.0), Time::ps(1.0), Volt::v(1.0)),
+            );
+            c.resistor(drive, out, Res::kohm(1.0));
+            c.capacitor(out, GROUND, Cap::ff(100.0)); // tau = 100 ps
+            (c, out)
+        };
+        let coarse = Time::ps(20.0); // tau / 5: coarse on purpose
+        let (c, out) = build();
+        let be = transient(&c, &TransientSpec::new(Time::ps(400.0), coarse, vec![out])).unwrap();
+        let (c, out2) = build();
+        let tr = transient(
+            &c,
+            &TransientSpec::new(Time::ps(400.0), coarse, vec![out2]).trapezoidal(),
+        )
+        .unwrap();
+        // Compare against the analytic value at t = 202 ps (100 ps = 2 tau
+        // after the step completes at 2 ps): v = 1 − e^-2.
+        let analytic = 1.0 - (-2.0f64).exp();
+        let sample = |r: &TransientResult, n| {
+            let trace = r.trace(n);
+            // t = 202 ps is sample index 202/20 ≈ 10 — use crossing search.
+            let mut best = f64::NAN;
+            for i in 0..trace.len() {
+                let (t, v) = trace.sample(i);
+                if (t.as_ps() - 200.0).abs() < 1e-6 {
+                    best = v.as_v();
+                }
+            }
+            best
+        };
+        let be_err = (sample(&be, out) - analytic).abs();
+        let tr_err = (sample(&tr, out2) - analytic).abs();
+        assert!(
+            tr_err < be_err,
+            "trapezoidal err {tr_err} should beat backward-Euler err {be_err}"
+        );
+    }
+
+    #[test]
+    fn integrators_agree_at_fine_steps() {
+        let build = || {
+            let mut c = Circuit::new();
+            let drive = c.node();
+            let out = c.node();
+            c.vsource(
+                drive,
+                GROUND,
+                Pwl::ramp_up(Time::ps(1.0), Time::ps(1.0), Volt::v(1.0)),
+            );
+            c.resistor(drive, out, Res::kohm(1.0));
+            c.capacitor(out, GROUND, Cap::ff(100.0));
+            (c, out)
+        };
+        let dt = Time::ps(0.25);
+        let (c, out) = build();
+        let be = transient(&c, &TransientSpec::new(Time::ps(500.0), dt, vec![out])).unwrap();
+        let (c, out2) = build();
+        let tr = transient(
+            &c,
+            &TransientSpec::new(Time::ps(500.0), dt, vec![out2]).trapezoidal(),
+        )
+        .unwrap();
+        let t_be = be.trace(out).t50(Volt::v(1.0), true).unwrap();
+        let t_tr = tr.trace(out2).t50(Volt::v(1.0), true).unwrap();
+        assert!(
+            (t_be - t_tr).abs() < Time::ps(1.0),
+            "BE {} ps vs TR {} ps",
+            t_be.as_ps(),
+            t_tr.as_ps()
+        );
+    }
+
+    #[test]
+    fn dc_sweep_inverter_vtc_is_monotone_and_crosses_midrail() {
+        use pi_spice_cmos_shim::*;
+        let tech = Technology::new(TechNode::N65);
+        let d = tech.devices();
+        let mut c = Circuit::new();
+        let vdd_node = c.node();
+        let input = c.node();
+        let output = c.node();
+        c.rail(vdd_node, d.vdd);
+        c.vsource(input, GROUND, Pwl::dc(Volt::ZERO));
+        crate::cmos::add_inverter(&mut c, d, pi_tech::units::Length::um(4.0), input, output, vdd_node);
+        // Sweep the input source (index 1; the rail is index 0).
+        let vtc = dc_sweep(&c, 1, Volt::ZERO, d.vdd, 50).unwrap();
+        // Output must fall monotonically (within tolerance) as input rises.
+        for w in vtc.windows(2) {
+            let v0 = w[0].1[output.index()].as_v();
+            let v1 = w[1].1[output.index()].as_v();
+            assert!(v1 <= v0 + 1e-3, "VTC not monotone: {v0} -> {v1}");
+        }
+        // Switching threshold (out == in) near mid-rail for beta = 2.
+        let vm = vtc
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.1[output.index()].as_v() - a.0.as_v()).abs();
+                let db = (b.1[output.index()].as_v() - b.0.as_v()).abs();
+                da.total_cmp(&db)
+            })
+            .unwrap()
+            .0;
+        let mid = d.vdd.as_v() / 2.0;
+        assert!(
+            (vm.as_v() - mid).abs() < 0.15 * d.vdd.as_v(),
+            "switching threshold {} V vs mid-rail {} V",
+            vm.as_v(),
+            mid
+        );
+    }
+
+    #[test]
+    fn dc_sweep_rejects_bad_source_index() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.rail(a, Volt::v(1.0));
+        assert!(matches!(
+            dc_sweep(&c, 3, Volt::ZERO, Volt::v(1.0), 4),
+            Err(SimError::InvalidSpec(_))
+        ));
+    }
+
+    mod pi_spice_cmos_shim {
+        pub use pi_tech::{TechNode, Technology};
+    }
+}

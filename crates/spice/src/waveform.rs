@@ -1,0 +1,475 @@
+//! Source waveforms and recorded traces with the standard EDA measurements
+//! (50% delay, 10–90% slew).
+
+use pi_tech::units::{Current, Energy, Time, Volt};
+
+/// Piecewise-linear voltage waveform: a sorted list of `(time, value)`
+/// breakpoints, held constant before the first and after the last.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pwl {
+    points: Vec<(Time, Volt)>,
+}
+
+impl Pwl {
+    /// Creates a waveform from breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or the times are not strictly increasing.
+    #[must_use]
+    pub fn new(points: Vec<(Time, Volt)>) -> Self {
+        assert!(!points.is_empty(), "a PWL waveform needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "PWL breakpoints must be strictly increasing in time"
+            );
+        }
+        Pwl { points }
+    }
+
+    /// A constant (DC) waveform.
+    #[must_use]
+    pub fn dc(value: Volt) -> Self {
+        Pwl {
+            points: vec![(Time::ZERO, value)],
+        }
+    }
+
+    /// A rising ramp: 0 V until `start`, then linear to `high` over
+    /// `transition` (the 0–100% ramp time).
+    #[must_use]
+    pub fn ramp_up(start: Time, transition: Time, high: Volt) -> Self {
+        Pwl::new(vec![(start, Volt::ZERO), (start + transition, high)])
+    }
+
+    /// A falling ramp: `high` until `start`, then linear to 0 V over
+    /// `transition`.
+    #[must_use]
+    pub fn ramp_down(start: Time, transition: Time, high: Volt) -> Self {
+        Pwl::new(vec![(start, high), (start + transition, Volt::ZERO)])
+    }
+
+    /// A ramp in the given direction; rising when `rising` is true.
+    #[must_use]
+    pub fn ramp(start: Time, transition: Time, high: Volt, rising: bool) -> Self {
+        if rising {
+            Pwl::ramp_up(start, transition, high)
+        } else {
+            Pwl::ramp_down(start, transition, high)
+        }
+    }
+
+    /// Value of the waveform at time `t`.
+    #[must_use]
+    pub fn at(&self, t: Time) -> Volt {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            if t <= t1 {
+                let frac = (t - t0) / (t1 - t0);
+                return v0.lerp(v1, frac);
+            }
+        }
+        unreachable!("PWL breakpoints cover the queried time")
+    }
+
+    /// Time of the last breakpoint (after which the waveform is constant).
+    #[must_use]
+    pub fn last_event(&self) -> Time {
+        self.points[self.points.len() - 1].0
+    }
+}
+
+/// Piecewise-linear *current* waveform, the `CurrentPwl` counterpart of
+/// [`Pwl`] for independent current sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentPwl {
+    points: Vec<(Time, Current)>,
+}
+
+impl CurrentPwl {
+    /// Creates a waveform from breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or times are not strictly increasing.
+    #[must_use]
+    pub fn new(points: Vec<(Time, Current)>) -> Self {
+        assert!(!points.is_empty(), "a PWL waveform needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "PWL breakpoints must be strictly increasing in time"
+            );
+        }
+        CurrentPwl { points }
+    }
+
+    /// A constant (DC) current.
+    #[must_use]
+    pub fn dc(value: Current) -> Self {
+        CurrentPwl {
+            points: vec![(Time::ZERO, value)],
+        }
+    }
+
+    /// A rectangular pulse of `amplitude` between `start` and `stop`
+    /// (instant edges are approximated with 1 fs ramps).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < stop`.
+    #[must_use]
+    pub fn pulse(start: Time, stop: Time, amplitude: Current) -> Self {
+        assert!(start < stop, "pulse needs start < stop");
+        let eps = Time::fs(1.0);
+        CurrentPwl::new(vec![
+            (start, Current::ZERO),
+            (start + eps, amplitude),
+            (stop, amplitude),
+            (stop + eps, Current::ZERO),
+        ])
+    }
+
+    /// Value at time `t`.
+    #[must_use]
+    pub fn at(&self, t: Time) -> Current {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            if t <= t1 {
+                let frac = (t - t0) / (t1 - t0);
+                return v0.lerp(v1, frac);
+            }
+        }
+        unreachable!("PWL breakpoints cover the queried time")
+    }
+
+    /// Time of the last breakpoint.
+    #[must_use]
+    pub fn last_event(&self) -> Time {
+        self.points[self.points.len() - 1].0
+    }
+}
+
+/// A recorded voltage trace at one node, sampled on the transient
+/// timestep grid.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    times: Vec<f64>,  // seconds
+    values: Vec<f64>, // volts
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample. Intended for the simulator; times must arrive in
+    /// increasing order.
+    pub fn push(&mut self, t: Time, v: Volt) {
+        debug_assert!(
+            self.times.last().is_none_or(|&last| t.si() > last),
+            "trace samples must be strictly increasing in time"
+        );
+        self.times.push(t.si());
+        self.values.push(v.as_v());
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the trace has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample at index `i`.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> (Time, Volt) {
+        (Time::s(self.times[i]), Volt::v(self.values[i]))
+    }
+
+    /// Final (settled) voltage of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn final_value(&self) -> Volt {
+        Volt::v(*self.values.last().expect("trace is not empty"))
+    }
+
+    /// First time after `after` at which the trace crosses `threshold` in
+    /// the given direction, interpolated linearly between samples.
+    #[must_use]
+    pub fn crossing(&self, threshold: Volt, rising: bool, after: Time) -> Option<Time> {
+        let th = threshold.as_v();
+        let t_min = after.si();
+        for i in 1..self.times.len() {
+            if self.times[i] < t_min {
+                continue;
+            }
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            let crossed = if rising {
+                v0 < th && v1 >= th
+            } else {
+                v0 > th && v1 <= th
+            };
+            if crossed {
+                let frac = (th - v0) / (v1 - v0);
+                let t = self.times[i - 1] + frac * (self.times[i] - self.times[i - 1]);
+                if t >= t_min {
+                    return Some(Time::s(t));
+                }
+            }
+        }
+        None
+    }
+
+    /// 10%–90% transition time of the first swing in the given direction,
+    /// relative to the rail voltage `vdd`. This is the slew definition used
+    /// consistently across the workspace.
+    #[must_use]
+    pub fn slew_10_90(&self, vdd: Volt, rising: bool) -> Option<Time> {
+        let lo = vdd * 0.1;
+        let hi = vdd * 0.9;
+        if rising {
+            let t10 = self.crossing(lo, true, Time::ZERO)?;
+            let t90 = self.crossing(hi, true, t10)?;
+            Some(t90 - t10)
+        } else {
+            let t90 = self.crossing(hi, false, Time::ZERO)?;
+            let t10 = self.crossing(lo, false, t90)?;
+            Some(t10 - t90)
+        }
+    }
+
+    /// 50% crossing time of the first swing in the given direction.
+    #[must_use]
+    pub fn t50(&self, vdd: Volt, rising: bool) -> Option<Time> {
+        self.crossing(vdd * 0.5, rising, Time::ZERO)
+    }
+
+    /// Renders the trace as two-column CSV (`time_s,volts`), suitable for
+    /// any plotting tool.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,volts\n");
+        for (t, v) in self.times.iter().zip(&self.values) {
+            out.push_str(&format!("{t:.6e},{v:.6e}\n"));
+        }
+        out
+    }
+}
+
+/// A recorded branch-current trace (e.g. through a supply rail), sampled on
+/// the transient timestep grid.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CurrentTrace {
+    times: Vec<f64>,  // seconds
+    values: Vec<f64>, // amperes, positive out of the source's + terminal
+}
+
+impl CurrentTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        CurrentTrace::default()
+    }
+
+    /// Appends a sample. Times must arrive in increasing order.
+    pub fn push(&mut self, t: Time, amps: f64) {
+        debug_assert!(
+            self.times.last().is_none_or(|&last| t.si() > last),
+            "current samples must be strictly increasing in time"
+        );
+        self.times.push(t.si());
+        self.values.push(amps);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the trace has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Charge delivered over the window (trapezoidal integration), coulombs.
+    #[must_use]
+    pub fn charge(&self) -> f64 {
+        let mut q = 0.0;
+        for i in 1..self.times.len() {
+            let dt = self.times[i] - self.times[i - 1];
+            q += 0.5 * (self.values[i] + self.values[i - 1]) * dt;
+        }
+        q
+    }
+
+    /// Energy delivered by a constant-voltage rail carrying this current.
+    #[must_use]
+    pub fn energy(&self, rail: Volt) -> Energy {
+        Energy::j(self.charge() * rail.as_v())
+    }
+
+    /// Peak current magnitude.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+/// Delay from the 50% crossing of `input` to the 50% crossing of `output`.
+///
+/// `input_rising` is the direction of the input transition; the output is
+/// assumed to swing in `output_rising` direction (opposite for an inverting
+/// stage). The result may be *negative*: a lightly loaded stage driven by a
+/// very slow ramp switches its output before the input reaches 50%.
+#[must_use]
+pub fn delay_50(
+    input: &Trace,
+    output: &Trace,
+    vdd: Volt,
+    input_rising: bool,
+    output_rising: bool,
+) -> Option<Time> {
+    let t_in = input.t50(vdd, input_rising)?;
+    let t_out = output.t50(vdd, output_rising)?;
+    Some(t_out - t_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace(start_ps: f64, end_ps: f64) -> Trace {
+        // 0 V before start, 1 V after end, linear between; sampled at 1 ps.
+        let mut tr = Trace::new();
+        for i in 0..500 {
+            let t = i as f64;
+            let v = ((t - start_ps) / (end_ps - start_ps)).clamp(0.0, 1.0);
+            tr.push(Time::ps(t), Volt::v(v));
+        }
+        tr
+    }
+
+    #[test]
+    fn pwl_dc_is_constant() {
+        let w = Pwl::dc(Volt::v(1.2));
+        assert_eq!(w.at(Time::ZERO), Volt::v(1.2));
+        assert_eq!(w.at(Time::ns(5.0)), Volt::v(1.2));
+    }
+
+    #[test]
+    fn pwl_ramp_interpolates() {
+        let w = Pwl::ramp_up(Time::ps(10.0), Time::ps(20.0), Volt::v(1.0));
+        assert_eq!(w.at(Time::ps(5.0)), Volt::ZERO);
+        assert!((w.at(Time::ps(20.0)).as_v() - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(Time::ps(100.0)), Volt::v(1.0));
+    }
+
+    #[test]
+    fn pwl_ramp_down_mirrors_ramp_up() {
+        let w = Pwl::ramp_down(Time::ps(0.0), Time::ps(10.0), Volt::v(1.0));
+        assert!((w.at(Time::ps(5.0)).as_v() - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(Time::ps(50.0)), Volt::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_rejects_unsorted_points() {
+        let _ = Pwl::new(vec![
+            (Time::ps(10.0), Volt::ZERO),
+            (Time::ps(5.0), Volt::v(1.0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn pwl_rejects_empty() {
+        let _ = Pwl::new(vec![]);
+    }
+
+
+    #[test]
+    fn current_pwl_dc_and_pulse() {
+        let dc = CurrentPwl::dc(Current::ma(1.0));
+        assert_eq!(dc.at(Time::ns(3.0)), Current::ma(1.0));
+        let p = CurrentPwl::pulse(Time::ps(10.0), Time::ps(30.0), Current::ua(500.0));
+        assert_eq!(p.at(Time::ps(0.0)), Current::ZERO);
+        assert!((p.at(Time::ps(20.0)) - Current::ua(500.0)).abs().si() < 1e-12);
+        assert_eq!(p.at(Time::ps(100.0)), Current::ZERO);
+    }
+
+    #[test]
+    fn crossing_interpolates_between_samples() {
+        let tr = ramp_trace(100.0, 200.0);
+        let t = tr.crossing(Volt::v(0.5), true, Time::ZERO).unwrap();
+        assert!((t.as_ps() - 150.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn crossing_respects_direction() {
+        let tr = ramp_trace(100.0, 200.0);
+        assert!(tr.crossing(Volt::v(0.5), false, Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn slew_10_90_of_linear_ramp() {
+        let tr = ramp_trace(100.0, 200.0);
+        let s = tr.slew_10_90(Volt::v(1.0), true).unwrap();
+        // 10% to 90% of a 100 ps full ramp is 80 ps.
+        assert!((s.as_ps() - 80.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn delay_between_two_ramps() {
+        let a = ramp_trace(100.0, 200.0);
+        let b = ramp_trace(180.0, 280.0);
+        let d = delay_50(&a, &b, Volt::v(1.0), true, true).unwrap();
+        assert!((d.as_ps() - 80.0).abs() < 1.5);
+    }
+
+
+    #[test]
+    fn trace_csv_has_header_and_rows() {
+        let tr = ramp_trace(10.0, 20.0);
+        let csv = tr.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_s,volts"));
+        assert_eq!(csv.lines().count(), tr.len() + 1);
+        assert!(csv.lines().nth(1).unwrap().contains(','));
+    }
+
+    #[test]
+    fn final_value_is_last_sample() {
+        let tr = ramp_trace(100.0, 200.0);
+        assert!((tr.final_value().as_v() - 1.0).abs() < 1e-12);
+    }
+}

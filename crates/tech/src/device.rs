@@ -1,0 +1,424 @@
+//! MOS device description based on the Sakurai–Newton alpha-power-law model.
+//!
+//! The transient simulator in `pi-spice` evaluates these devices to produce
+//! the characterization data from which the predictive models are fitted.
+//! The alpha-power law captures the short-channel velocity-saturation
+//! behaviour (`I_dsat ∝ (V_gs − V_th)^α` with `α < 2`) that makes the drive
+//! resistance of nanometer repeaters depend on input slew — the effect the
+//! paper's repeater-delay model is built around.
+
+use crate::units::{Cap, Current, Length, Volt};
+
+/// Polarity of a MOS device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// n-channel device (pulls the output low).
+    Nmos,
+    /// p-channel device (pulls the output high).
+    Pmos,
+}
+
+impl MosPolarity {
+    /// Returns the opposite polarity.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        match self {
+            MosPolarity::Nmos => MosPolarity::Pmos,
+            MosPolarity::Pmos => MosPolarity::Nmos,
+        }
+    }
+}
+
+/// Alpha-power-law parameters for one device polarity of a technology.
+///
+/// All per-width quantities are normalized to a 1 µm wide device; currents
+/// and capacitances scale linearly with drawn width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Device polarity.
+    pub polarity: MosPolarity,
+    /// Threshold voltage magnitude (positive for both polarities).
+    pub vth: Volt,
+    /// Velocity-saturation index `α` (2 = long channel, →1 fully saturated).
+    pub alpha: f64,
+    /// Saturation drain current per micrometer of width at `V_gs = V_dd`.
+    pub idsat_per_um: Current,
+    /// Saturation-voltage coefficient: `V_dsat = kappa · (V_gs − V_th)^(α/2)`.
+    pub kappa: f64,
+    /// Channel-length-modulation coefficient (1/V).
+    pub lambda: f64,
+    /// Gate capacitance per micrometer of width.
+    pub cgate_per_um: Cap,
+    /// Drain junction capacitance per micrometer of width.
+    pub cdiff_per_um: Cap,
+    /// Subthreshold (off-state) leakage current per micrometer at `V_ds = V_dd`.
+    pub ileak_per_um: Current,
+    /// Subthreshold swing (volts per decade of current).
+    pub subthreshold_swing: Volt,
+    /// DIBL coefficient: leakage multiplier `exp(eta · V_ds / v_T)` deviation.
+    pub dibl: f64,
+    /// Supply voltage the `idsat_per_um` value was extracted at.
+    pub vdd_ref: Volt,
+}
+
+impl MosParams {
+    /// Drive-current prefactor `B` such that `I_dsat(w) = B · w · (V_gs − V_th)^α`.
+    ///
+    /// Derived so that at `V_gs = vdd_ref` the device delivers exactly
+    /// `idsat_per_um` per micrometer.
+    #[must_use]
+    pub fn drive_prefactor(&self) -> f64 {
+        let vgt_max = (self.vdd_ref - self.vth).as_v();
+        assert!(
+            vgt_max > 0.0,
+            "supply voltage must exceed the threshold voltage"
+        );
+        self.idsat_per_um.si() / vgt_max.powf(self.alpha)
+    }
+
+    /// Gate overdrive at which the strong-inversion law hands over to the
+    /// exponential subthreshold extrapolation (volts). Keeping the I–V
+    /// curve continuous and monotone here is what lets the transient
+    /// simulator's Newton iteration converge through the switching point.
+    const SUBTHRESHOLD_ANCHOR: f64 = 0.05;
+
+    /// Drain current of a device of width `width` at the given terminal biases.
+    ///
+    /// `vgs` and `vds` are the *magnitudes* of gate-source and drain-source
+    /// voltage for the conducting direction (i.e. for a PMOS pass `vsg` and
+    /// `vsd`). Width scales current linearly; per-micrometer parameters are
+    /// normalized to 1 µm.
+    ///
+    /// Below `V_th + 50 mV` the current decays exponentially (at the
+    /// device's subthreshold swing) from its strong-inversion value at the
+    /// anchor point, so the curve is continuous and strictly monotone in
+    /// `v_gs` — a requirement for Newton convergence in the simulator.
+    #[must_use]
+    pub fn ids(&self, width: Length, vgs: Volt, vds: Volt) -> Current {
+        if vds.as_v() <= 0.0 {
+            return Current::ZERO;
+        }
+        let vgt = (vgs - self.vth).as_v();
+        let anchor = Self::SUBTHRESHOLD_ANCHOR;
+        if vgt >= anchor {
+            Current::a(self.strong_inversion(width, vgt, vds.as_v()))
+        } else {
+            // Exponential decay below the anchor, continuous at it. The
+            // anchor current's triode term already supplies the V_ds
+            // roll-off, so no separate drain-saturation factor is applied
+            // (it would break continuity at the anchor for small V_ds).
+            let i_anchor = self.strong_inversion(width, anchor, vds.as_v());
+            let decades = (vgt - anchor) / self.subthreshold_swing.as_v();
+            Current::a(i_anchor * 10f64.powf(decades))
+        }
+    }
+
+    /// Sakurai–Newton strong-inversion current at gate overdrive `vgt > 0`.
+    fn strong_inversion(&self, width: Length, vgt: f64, vds: f64) -> f64 {
+        let b = self.drive_prefactor();
+        let isat = b * width.as_um() * vgt.powf(self.alpha);
+        let vdsat = (self.kappa * vgt.powf(self.alpha / 2.0)).max(1e-9);
+        if vds < vdsat {
+            // Triode region (quadratic interpolation).
+            let x = vds / vdsat;
+            isat * (2.0 - x) * x
+        } else {
+            isat * (1.0 + self.lambda * (vds - vdsat))
+        }
+    }
+
+    /// Saturation voltage `V_dsat` at the given gate bias.
+    #[must_use]
+    pub fn vdsat(&self, vgs: Volt) -> Volt {
+        let vgt = (vgs - self.vth).as_v().max(1e-9);
+        Volt::v(self.kappa * vgt.powf(self.alpha / 2.0))
+    }
+
+    /// Off-state leakage current (gate off, full rail across the device),
+    /// including the DIBL and drain-saturation corrections.
+    ///
+    /// This is the "library" leakage value the paper's linear leakage model
+    /// is validated against; it is *not* exactly linear in width once the
+    /// narrow-width correction of [`MosParams::leakage_of_width`] applies.
+    #[must_use]
+    pub fn off_leakage(&self, width: Length, vdd: Volt) -> Current {
+        self.leakage_of_width(width, vdd)
+    }
+
+    /// Leakage with a mild narrow-width effect: shallow-trench-induced
+    /// edge leakage adds a `√w`-shaped excess, so small devices leak
+    /// proportionally more per micrometer. This genuine nonlinearity is
+    /// what keeps the paper's *linear* leakage model an approximation (max
+    /// error observed < 11%).
+    #[must_use]
+    pub fn leakage_of_width(&self, width: Length, vdd: Volt) -> Current {
+        let w_um = width.as_um();
+        let dibl_scale = (self.dibl * (vdd.as_v() - self.vdd_ref.as_v())).exp();
+        let edge_excess_um = 0.20 * w_um.sqrt();
+        let i = self.ileak_per_um.si() * (w_um + edge_excess_um) * dibl_scale;
+        Current::a(i)
+    }
+
+    /// Gate capacitance of a device of the given width.
+    #[must_use]
+    pub fn cgate(&self, width: Length) -> Cap {
+        Cap::from_si(self.cgate_per_um.si() * width.as_um())
+    }
+
+    /// Drain junction capacitance of a device of the given width.
+    #[must_use]
+    pub fn cdiff(&self, width: Length) -> Cap {
+        Cap::from_si(self.cdiff_per_um.si() * width.as_um())
+    }
+}
+
+/// Pair of NMOS/PMOS devices plus the supply, describing the active portion
+/// of a technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSuite {
+    /// Supply voltage.
+    pub vdd: Volt,
+    /// n-channel device parameters.
+    pub nmos: MosParams,
+    /// p-channel device parameters.
+    pub pmos: MosParams,
+    /// P/N width ratio used for all repeaters in the library (kept constant,
+    /// as the paper assumes).
+    pub beta_ratio: f64,
+}
+
+impl DeviceSuite {
+    /// Device parameters for the given polarity.
+    #[must_use]
+    pub fn mos(&self, polarity: MosPolarity) -> &MosParams {
+        match polarity {
+            MosPolarity::Nmos => &self.nmos,
+            MosPolarity::Pmos => &self.pmos,
+        }
+    }
+
+    /// PMOS width for an inverter whose NMOS width is `wn`.
+    #[must_use]
+    pub fn wp_for(&self, wn: Length) -> Length {
+        wn * self.beta_ratio
+    }
+
+    /// Total gate (input) capacitance of an inverter with NMOS width `wn`.
+    #[must_use]
+    pub fn inverter_cin(&self, wn: Length) -> Cap {
+        self.nmos.cgate(wn) + self.pmos.cgate(self.wp_for(wn))
+    }
+
+    /// Total drain (self-load) capacitance of an inverter with NMOS width `wn`.
+    #[must_use]
+    pub fn inverter_cout(&self, wn: Length) -> Cap {
+        self.nmos.cdiff(wn) + self.pmos.cdiff(self.wp_for(wn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Nmos,
+            vth: Volt::v(0.3),
+            alpha: 1.2,
+            idsat_per_um: Current::ua(1000.0),
+            kappa: 0.55,
+            lambda: 0.05,
+            cgate_per_um: Cap::ff(0.85),
+            cdiff_per_um: Cap::ff(0.6),
+            ileak_per_um: Current::na(250.0),
+            subthreshold_swing: Volt::mv(95.0),
+            dibl: 0.15,
+            vdd_ref: Volt::v(1.0),
+        }
+    }
+
+    #[test]
+    fn saturation_current_matches_reference_point() {
+        let d = nmos();
+        let i = d.ids(Length::um(1.0), Volt::v(1.0), Volt::v(1.0));
+        let vdsat = d.vdsat(Volt::v(1.0)).as_v();
+        let expected = 1000.0 * (1.0 + d.lambda * (1.0 - vdsat));
+        assert!((i.as_ua() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_scales_linearly_with_width() {
+        let d = nmos();
+        let i1 = d.ids(Length::um(1.0), Volt::v(0.9), Volt::v(0.9));
+        let i4 = d.ids(Length::um(4.0), Volt::v(0.9), Volt::v(0.9));
+        assert!((i4.si() / i1.si() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triode_current_below_saturation_current() {
+        let d = nmos();
+        let vgs = Volt::v(1.0);
+        let vdsat = d.vdsat(vgs);
+        let tri = d.ids(Length::um(1.0), vgs, vdsat * 0.5);
+        let sat = d.ids(Length::um(1.0), vgs, vdsat);
+        assert!(tri < sat);
+        assert!(tri > Current::ZERO);
+    }
+
+    #[test]
+    fn triode_is_continuous_at_vdsat() {
+        let d = nmos();
+        let vgs = Volt::v(0.8);
+        let vdsat = d.vdsat(vgs);
+        let below = d.ids(Length::um(2.0), vgs, vdsat * 0.999_999);
+        let above = d.ids(Length::um(2.0), vgs, vdsat * 1.000_001);
+        assert!((below.si() - above.si()).abs() / above.si() < 1e-3);
+    }
+
+    #[test]
+    fn subthreshold_current_is_exponentially_small() {
+        let d = nmos();
+        let on = d.ids(Length::um(1.0), Volt::v(1.0), Volt::v(1.0));
+        let off = d.ids(Length::um(1.0), Volt::v(0.0), Volt::v(1.0));
+        assert!(off.si() < on.si() * 1e-2);
+        assert!(off.si() > 0.0);
+    }
+
+    #[test]
+    fn subthreshold_decreases_with_falling_vgs() {
+        let d = nmos();
+        let a = d.ids(Length::um(1.0), Volt::v(0.25), Volt::v(1.0));
+        let b = d.ids(Length::um(1.0), Volt::v(0.1), Volt::v(1.0));
+        assert!(a > b);
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let d = nmos();
+        assert_eq!(
+            d.ids(Length::um(1.0), Volt::v(1.0), Volt::v(0.0)),
+            Current::ZERO
+        );
+    }
+
+    #[test]
+    fn leakage_superlinear_per_um_for_narrow_devices() {
+        let d = nmos();
+        let narrow = d.leakage_of_width(Length::um(0.5), Volt::v(1.0));
+        let wide = d.leakage_of_width(Length::um(8.0), Volt::v(1.0));
+        let per_um_narrow = narrow.si() / 0.5;
+        let per_um_wide = wide.si() / 8.0;
+        assert!(per_um_narrow > per_um_wide);
+    }
+
+    #[test]
+    fn inverter_capacitances_combine_both_devices() {
+        let suite = DeviceSuite {
+            vdd: Volt::v(1.0),
+            nmos: nmos(),
+            pmos: MosParams {
+                polarity: MosPolarity::Pmos,
+                idsat_per_um: Current::ua(500.0),
+                ..nmos()
+            },
+            beta_ratio: 2.0,
+        };
+        let cin = suite.inverter_cin(Length::um(1.0));
+        // 1 µm NMOS + 2 µm PMOS at 0.85 fF/µm each.
+        assert!((cin.as_ff() - 0.85 * 3.0).abs() < 1e-9);
+        let cout = suite.inverter_cout(Length::um(1.0));
+        assert!((cout.as_ff() - 0.6 * 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply voltage must exceed")]
+    fn drive_prefactor_rejects_subthreshold_supply() {
+        let mut d = nmos();
+        d.vdd_ref = Volt::v(0.2);
+        let _ = d.drive_prefactor();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn device() -> MosParams {
+            nmos()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Drain current is monotone non-decreasing in gate voltage —
+            /// the property Newton convergence relies on.
+            #[test]
+            fn ids_monotone_in_vgs(
+                vds in 0.05f64..1.0,
+                v1 in 0.0f64..1.0,
+                dv in 0.001f64..0.3,
+            ) {
+                let d = device();
+                let w = Length::um(2.0);
+                let lo = d.ids(w, Volt::v(v1), Volt::v(vds));
+                let hi = d.ids(w, Volt::v(v1 + dv), Volt::v(vds));
+                prop_assert!(hi.si() >= lo.si() - 1e-18);
+            }
+
+            /// Drain current is monotone non-decreasing in drain voltage.
+            #[test]
+            fn ids_monotone_in_vds(
+                vgs in 0.0f64..1.0,
+                v1 in 0.001f64..1.0,
+                dv in 0.001f64..0.3,
+            ) {
+                let d = device();
+                let w = Length::um(2.0);
+                let lo = d.ids(w, Volt::v(vgs), Volt::v(v1));
+                let hi = d.ids(w, Volt::v(vgs), Volt::v(v1 + dv));
+                prop_assert!(hi.si() >= lo.si() - 1e-18);
+            }
+
+            /// Current scales exactly linearly with width.
+            #[test]
+            fn ids_linear_in_width(
+                vgs in 0.1f64..1.0,
+                vds in 0.05f64..1.0,
+                w in 0.2f64..20.0,
+                k in 1.1f64..8.0,
+            ) {
+                let d = device();
+                let i1 = d.ids(Length::um(w), Volt::v(vgs), Volt::v(vds)).si();
+                let ik = d.ids(Length::um(w * k), Volt::v(vgs), Volt::v(vds)).si();
+                prop_assert!((ik - k * i1).abs() <= 1e-9 * ik.abs().max(1e-18));
+            }
+
+            /// The I–V curve is continuous across the subthreshold anchor
+            /// (no jumps that would break the simulator).
+            #[test]
+            fn ids_continuous_near_anchor(vds in 0.05f64..1.0) {
+                let d = device();
+                let w = Length::um(4.0);
+                let anchor = d.vth.as_v() + 0.05;
+                let below = d.ids(w, Volt::v(anchor - 1e-6), Volt::v(vds)).si();
+                let above = d.ids(w, Volt::v(anchor + 1e-6), Volt::v(vds)).si();
+                prop_assert!(
+                    (above - below).abs() < 1e-3 * above.abs().max(1e-12),
+                    "jump at anchor: {below} vs {above}"
+                );
+            }
+
+            /// Leakage is monotone in width and positive.
+            #[test]
+            fn leakage_monotone_in_width(
+                w in 0.1f64..20.0,
+                dw in 0.01f64..5.0,
+            ) {
+                let d = device();
+                let lo = d.leakage_of_width(Length::um(w), Volt::v(1.0));
+                let hi = d.leakage_of_width(Length::um(w + dw), Volt::v(1.0));
+                prop_assert!(hi.si() > lo.si());
+                prop_assert!(lo.si() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Technology descriptions and strongly-typed physical units for the
+//! predictive-interconnect-modeling workspace.
+//!
+//! This crate is the substrate that replaces the proprietary inputs of the
+//! original flow (Liberty, LEF/ITF, PTM decks, ITRS tables): it provides
+//! six built-in nanometer [`Technology`] descriptions (90/65/45/32/22/16 nm)
+//! covering active devices ([`device`]), the routing stack ([`wire_geom`]),
+//! row-based layout rules and a repeater [`library`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pi_tech::{TechNode, Technology};
+//!
+//! let tech = Technology::new(TechNode::N65);
+//! assert_eq!(tech.vdd().as_v(), 1.0);
+//! assert!(tech.global_layer().width.as_nm() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod device;
+pub mod library;
+pub mod node;
+pub mod units;
+pub mod wire_geom;
+
+pub use device::{DeviceSuite, MosParams, MosPolarity};
+pub use library::{Cell, LayoutRules, RepeaterKind};
+pub use node::{Corner, InterpolateError, ParseTechNodeError, TechNode, Technology};
+pub use wire_geom::{DesignStyle, WireLayer, WireTier};

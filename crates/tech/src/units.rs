@@ -1,0 +1,860 @@
+//! Strongly-typed physical quantities.
+//!
+//! All quantities store their value in SI base units (`f64`) and expose
+//! unit-suffixed constructors and accessors (e.g. [`Time::ps`],
+//! [`Cap::ff`]). A small set of physically meaningful operator overloads is
+//! provided — notably `Res * Cap = Time`, `Power * Time = Energy` and
+//! `Length * Length = Area` — so that dimensional mistakes in model code
+//! become type errors.
+//!
+//! # Examples
+//!
+//! ```
+//! use pi_tech::units::{Cap, Res, Time};
+//!
+//! let tau = Res::ohm(1000.0) * Cap::ff(50.0);
+//! assert!((tau - Time::ps(50.0)).abs() < Time::fs(1.0));
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Formats a raw SI value with an engineering prefix, e.g.
+/// `eng(1.5e-12, "s") == "1.5 ps"`.
+///
+/// Values outside the yocto–yotta range fall back to scientific notation.
+#[must_use]
+pub fn eng(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(&str, i32); 17] = [
+        ("y", -24),
+        ("z", -21),
+        ("a", -18),
+        ("f", -15),
+        ("p", -12),
+        ("n", -9),
+        ("u", -6),
+        ("m", -3),
+        ("", 0),
+        ("k", 3),
+        ("M", 6),
+        ("G", 9),
+        ("T", 12),
+        ("P", 15),
+        ("E", 18),
+        ("Z", 21),
+        ("Y", 24),
+    ];
+    let exp3 = (value.abs().log10() / 3.0).floor() as i32 * 3;
+    match PREFIXES.iter().find(|(_, e)| *e == exp3) {
+        Some((prefix, e)) => {
+            let scaled = value / 10f64.powi(*e);
+            // Three significant digits.
+            let digits = if scaled.abs() >= 100.0 {
+                0
+            } else if scaled.abs() >= 10.0 {
+                1
+            } else {
+                2
+            };
+            format!("{scaled:.digits$} {prefix}{unit}")
+        }
+        None => format!("{value:.3e} {unit}"),
+    }
+}
+
+macro_rules! base_unit {
+    ($(#[$meta:meta])* $name:ident, $si_symbol:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in SI base units.
+            #[inline]
+            pub const fn from_si(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in SI base units.
+            #[inline]
+            pub const fn si(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+            #[inline]
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 + (other.0 - self.0) * t)
+            }
+
+            /// Human-readable engineering-notation rendering, e.g.
+            /// `"123 ps"` or `"4.57 fF"`.
+            #[must_use]
+            pub fn pretty(self) -> String {
+                crate::units::eng(self.0, $si_symbol)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $si_symbol)
+            }
+        }
+    };
+}
+
+base_unit!(
+    /// A time interval, stored in seconds.
+    Time,
+    "s"
+);
+base_unit!(
+    /// A capacitance, stored in farads.
+    Cap,
+    "F"
+);
+base_unit!(
+    /// A resistance, stored in ohms.
+    Res,
+    "Ohm"
+);
+base_unit!(
+    /// An electric potential, stored in volts.
+    Volt,
+    "V"
+);
+base_unit!(
+    /// An electric current, stored in amperes.
+    Current,
+    "A"
+);
+base_unit!(
+    /// A power, stored in watts.
+    Power,
+    "W"
+);
+base_unit!(
+    /// An energy, stored in joules.
+    Energy,
+    "J"
+);
+base_unit!(
+    /// A length, stored in meters.
+    Length,
+    "m"
+);
+base_unit!(
+    /// An area, stored in square meters.
+    Area,
+    "m^2"
+);
+base_unit!(
+    /// A frequency, stored in hertz.
+    Freq,
+    "Hz"
+);
+
+impl Time {
+    /// Creates a time from seconds.
+    #[inline]
+    pub const fn s(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn ns(v: f64) -> Self {
+        Self(v * 1e-9)
+    }
+    /// Creates a time from picoseconds.
+    #[inline]
+    pub const fn ps(v: f64) -> Self {
+        Self(v * 1e-12)
+    }
+    /// Creates a time from femtoseconds.
+    #[inline]
+    pub const fn fs(v: f64) -> Self {
+        Self(v * 1e-15)
+    }
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 * 1e9
+    }
+    /// Returns the value in picoseconds.
+    #[inline]
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e12
+    }
+    /// Returns the reciprocal as a frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time is zero.
+    #[inline]
+    pub fn to_freq(self) -> Freq {
+        assert!(self.0 != 0.0, "cannot invert a zero time");
+        Freq(1.0 / self.0)
+    }
+}
+
+impl Cap {
+    /// Creates a capacitance from farads.
+    #[inline]
+    pub const fn f(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a capacitance from picofarads.
+    #[inline]
+    pub const fn pf(v: f64) -> Self {
+        Self(v * 1e-12)
+    }
+    /// Creates a capacitance from femtofarads.
+    #[inline]
+    pub const fn ff(v: f64) -> Self {
+        Self(v * 1e-15)
+    }
+    /// Returns the value in femtofarads.
+    #[inline]
+    pub fn as_ff(self) -> f64 {
+        self.0 * 1e15
+    }
+    /// Returns the value in picofarads.
+    #[inline]
+    pub fn as_pf(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Res {
+    /// Creates a resistance from ohms.
+    #[inline]
+    pub const fn ohm(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a resistance from kilo-ohms.
+    #[inline]
+    pub const fn kohm(v: f64) -> Self {
+        Self(v * 1e3)
+    }
+    /// Returns the value in ohms.
+    #[inline]
+    pub fn as_ohm(self) -> f64 {
+        self.0
+    }
+    /// Returns the value in kilo-ohms.
+    #[inline]
+    pub fn as_kohm(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl Volt {
+    /// Creates a potential from volts.
+    #[inline]
+    pub const fn v(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a potential from millivolts.
+    #[inline]
+    pub const fn mv(v: f64) -> Self {
+        Self(v * 1e-3)
+    }
+    /// Returns the value in volts.
+    #[inline]
+    pub fn as_v(self) -> f64 {
+        self.0
+    }
+}
+
+impl Current {
+    /// Creates a current from amperes.
+    #[inline]
+    pub const fn a(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a current from milliamperes.
+    #[inline]
+    pub const fn ma(v: f64) -> Self {
+        Self(v * 1e-3)
+    }
+    /// Creates a current from microamperes.
+    #[inline]
+    pub const fn ua(v: f64) -> Self {
+        Self(v * 1e-6)
+    }
+    /// Creates a current from nanoamperes.
+    #[inline]
+    pub const fn na(v: f64) -> Self {
+        Self(v * 1e-9)
+    }
+    /// Returns the value in microamperes.
+    #[inline]
+    pub fn as_ua(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Power {
+    /// Creates a power from watts.
+    #[inline]
+    pub const fn w(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub const fn mw(v: f64) -> Self {
+        Self(v * 1e-3)
+    }
+    /// Creates a power from microwatts.
+    #[inline]
+    pub const fn uw(v: f64) -> Self {
+        Self(v * 1e-6)
+    }
+    /// Creates a power from nanowatts.
+    #[inline]
+    pub const fn nw(v: f64) -> Self {
+        Self(v * 1e-9)
+    }
+    /// Returns the value in milliwatts.
+    #[inline]
+    pub fn as_mw(self) -> f64 {
+        self.0 * 1e3
+    }
+    /// Returns the value in microwatts.
+    #[inline]
+    pub fn as_uw(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Energy {
+    /// Creates an energy from joules.
+    #[inline]
+    pub const fn j(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub const fn pj(v: f64) -> Self {
+        Self(v * 1e-12)
+    }
+    /// Creates an energy from femtojoules.
+    #[inline]
+    pub const fn fj(v: f64) -> Self {
+        Self(v * 1e-15)
+    }
+    /// Returns the value in femtojoules.
+    #[inline]
+    pub fn as_fj(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Length {
+    /// Creates a length from meters.
+    #[inline]
+    pub const fn m(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a length from millimeters.
+    #[inline]
+    pub const fn mm(v: f64) -> Self {
+        Self(v * 1e-3)
+    }
+    /// Creates a length from micrometers.
+    #[inline]
+    pub const fn um(v: f64) -> Self {
+        Self(v * 1e-6)
+    }
+    /// Creates a length from nanometers.
+    #[inline]
+    pub const fn nm(v: f64) -> Self {
+        Self(v * 1e-9)
+    }
+    /// Returns the value in millimeters.
+    #[inline]
+    pub fn as_mm(self) -> f64 {
+        self.0 * 1e3
+    }
+    /// Returns the value in micrometers.
+    #[inline]
+    pub fn as_um(self) -> f64 {
+        self.0 * 1e6
+    }
+    /// Returns the value in nanometers.
+    #[inline]
+    pub fn as_nm(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Area {
+    /// Creates an area from square meters.
+    #[inline]
+    pub const fn m2(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates an area from square micrometers.
+    #[inline]
+    pub const fn um2(v: f64) -> Self {
+        Self(v * 1e-12)
+    }
+    /// Creates an area from square millimeters.
+    #[inline]
+    pub const fn mm2(v: f64) -> Self {
+        Self(v * 1e-6)
+    }
+    /// Returns the value in square micrometers.
+    #[inline]
+    pub fn as_um2(self) -> f64 {
+        self.0 * 1e12
+    }
+    /// Returns the value in square millimeters.
+    #[inline]
+    pub fn as_mm2(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Freq {
+    /// Creates a frequency from hertz.
+    #[inline]
+    pub const fn hz(v: f64) -> Self {
+        Self(v)
+    }
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub const fn mhz(v: f64) -> Self {
+        Self(v * 1e6)
+    }
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub const fn ghz(v: f64) -> Self {
+        Self(v * 1e9)
+    }
+    /// Returns the value in gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 * 1e-9
+    }
+    /// Returns the clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Time {
+        assert!(self.0 != 0.0, "cannot take the period of a zero frequency");
+        Time(1.0 / self.0)
+    }
+}
+
+// --- Cross-unit algebra -----------------------------------------------------
+
+impl Mul<Cap> for Res {
+    type Output = Time;
+    /// An RC product is a time constant.
+    #[inline]
+    fn mul(self, rhs: Cap) -> Time {
+        Time(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Res> for Cap {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Res) -> Time {
+        Time(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Time) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Power) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    #[inline]
+    fn div(self, rhs: Time) -> Power {
+        Power(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Length> for Length {
+    type Output = Area;
+    #[inline]
+    fn mul(self, rhs: Length) -> Area {
+        Area(self.0 * rhs.0)
+    }
+}
+
+impl Div<Length> for Area {
+    type Output = Length;
+    #[inline]
+    fn div(self, rhs: Length) -> Length {
+        Length(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Freq> for Energy {
+    type Output = Power;
+    /// Energy per cycle times clock frequency is average power.
+    #[inline]
+    fn mul(self, rhs: Freq) -> Power {
+        Power(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Energy> for Freq {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Energy) -> Power {
+        Power(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Current> for Volt {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Current) -> Power {
+        Power(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volt> for Current {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Volt) -> Power {
+        Power(self.0 * rhs.0)
+    }
+}
+
+impl Div<Current> for Volt {
+    type Output = Res;
+    #[inline]
+    fn div(self, rhs: Current) -> Res {
+        Res(self.0 / rhs.0)
+    }
+}
+
+impl Div<Res> for Volt {
+    type Output = Current;
+    #[inline]
+    fn div(self, rhs: Res) -> Current {
+        Current(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rc_product_is_time() {
+        let tau = Res::kohm(2.0) * Cap::ff(100.0);
+        assert!((tau.as_ps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commuted_rc_product_matches() {
+        assert_eq!(Res::ohm(50.0) * Cap::pf(1.0), Cap::pf(1.0) * Res::ohm(50.0));
+    }
+
+    #[test]
+    fn energy_per_cycle_times_frequency_is_power() {
+        let p = Freq::ghz(2.0) * Energy::fj(500.0);
+        assert!((p.as_uw() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_of_frequency() {
+        let t = Freq::ghz(1.5).period();
+        assert!((t.as_ps() - 666.666_666_666).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn period_of_zero_frequency_panics() {
+        let _ = Freq::hz(0.0).period();
+    }
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert!((Time::ps(123.0).as_ps() - 123.0).abs() < 1e-12);
+        assert!((Cap::ff(3.5).as_ff() - 3.5).abs() < 1e-12);
+        assert!((Length::mm(5.0).as_um() - 5000.0).abs() < 1e-9);
+        assert!((Area::um2(42.0).as_um2() - 42.0).abs() < 1e-9);
+        assert!((Power::uw(7.0).as_mw() - 0.007).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let i = Volt::v(1.2) / Res::ohm(600.0);
+        assert!((i.as_ua() - 2000.0).abs() < 1e-9);
+        let r = Volt::v(1.2) / Current::ma(2.0);
+        assert!((r.as_ohm() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_from_lengths() {
+        let a = Length::um(3.0) * Length::um(4.0);
+        assert!((a.as_um2() - 12.0).abs() < 1e-9);
+        let back = a / Length::um(3.0);
+        assert!((back.as_um() - 4.0).abs() < 1e-9);
+    }
+
+
+    #[test]
+    fn remaining_constructor_accessor_round_trips() {
+        assert!((Volt::mv(250.0).as_v() - 0.25).abs() < 1e-12);
+        assert!((Current::na(500.0).as_ua() - 0.5).abs() < 1e-12);
+        assert!((Current::a(0.001).as_ua() - 1000.0).abs() < 1e-9);
+        assert!((Energy::pj(2.0).as_fj() - 2000.0).abs() < 1e-9);
+        assert!((Energy::j(1e-15).as_fj() - 1.0).abs() < 1e-12);
+        assert!((Freq::mhz(500.0).as_ghz() - 0.5).abs() < 1e-12);
+        assert!((Res::kohm(2.5).as_kohm() - 2.5).abs() < 1e-12);
+        assert!((Power::nw(1500.0).as_uw() - 1.5).abs() < 1e-12);
+        assert!((Length::m(1e-3).as_mm() - 1.0).abs() < 1e-12);
+        assert!((Area::mm2(2.0).as_mm2() - 2.0).abs() < 1e-12);
+        assert!((Cap::pf(0.5).as_ff() - 500.0).abs() < 1e-9);
+        assert!((Time::ns(0.2).as_ps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_power_round_trip() {
+        let e = Power::mw(2.0) * Time::ns(3.0);
+        assert!((e.as_fj() - 6000.0).abs() < 1e-6); // 2 mW x 3 ns = 6 pJ
+        let p = e / Time::ns(3.0);
+        assert!((p.as_mw() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut t = Time::ps(10.0);
+        t += Time::ps(5.0);
+        t -= Time::ps(3.0);
+        t *= 2.0;
+        t /= 4.0;
+        assert!((t.as_ps() - 6.0).abs() < 1e-12);
+        let n = -Time::ps(1.0);
+        assert!(n < Time::ZERO);
+    }
+
+    #[test]
+    fn display_includes_si_symbol() {
+        assert_eq!(format!("{}", Time::s(1.0)), "1 s");
+        assert_eq!(format!("{}", Res::ohm(2.5)), "2.5 Ohm");
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Time = [Time::ps(1.0), Time::ps(2.0), Time::ps(3.0)]
+            .into_iter()
+            .sum();
+        assert!((total.as_ps() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Volt::v(0.0);
+        let b = Volt::v(1.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert!((a.lerp(b, 0.5).as_v() - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let lhs = Time::s(a) + Time::s(b);
+            let rhs = Time::s(b) + Time::s(a);
+            prop_assert!((lhs - rhs).abs() <= Time::s(0.0));
+        }
+
+        #[test]
+        fn scalar_multiplication_distributes(a in -1e3f64..1e3, b in -1e3f64..1e3, k in -1e3f64..1e3) {
+            let lhs = (Cap::f(a) + Cap::f(b)) * k;
+            let rhs = Cap::f(a) * k + Cap::f(b) * k;
+            prop_assert!((lhs - rhs).abs().si() < 1e-6 * (1.0 + lhs.si().abs()));
+        }
+
+        #[test]
+        fn self_division_is_dimensionless_ratio(a in 1e-9f64..1e9, b in 1e-9f64..1e9) {
+            let ratio = Length::m(a) / Length::m(b);
+            prop_assert!((ratio - a / b).abs() < 1e-9 * (a / b).abs());
+        }
+
+        #[test]
+        fn abs_is_nonnegative(a in -1e9f64..1e9) {
+            prop_assert!(Power::w(a).abs() >= Power::ZERO);
+        }
+
+        #[test]
+        fn min_max_ordering(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            let x = Res::ohm(a);
+            let y = Res::ohm(b);
+            prop_assert!(x.min(y) <= x.max(y));
+        }
+    }
+
+    #[test]
+    fn engineering_formatting() {
+        assert_eq!(eng(1.5e-12, "s"), "1.50 ps");
+        assert_eq!(eng(123.4e-12, "s"), "123 ps");
+        assert_eq!(eng(0.0, "F"), "0 F");
+        assert_eq!(eng(2.2e3, "Ohm"), "2.20 kOhm");
+        assert_eq!(eng(-47e-15, "F"), "-47.0 fF");
+        assert_eq!(eng(1e9, "Hz"), "1.00 GHz");
+    }
+
+    #[test]
+    fn pretty_on_quantities() {
+        assert_eq!(Time::ps(123.0).pretty(), "123 ps");
+        assert_eq!(Cap::ff(47.0).pretty(), "47.0 fF");
+        assert_eq!(Power::mw(2.5).pretty(), "2.50 mW");
+        assert_eq!(Length::um(350.0).pretty(), "350 um");
+    }
+
+    #[test]
+    fn eng_handles_out_of_range() {
+        assert!(eng(1e30, "x").contains('e'));
+        assert!(eng(f64::INFINITY, "x").contains("inf"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Wire geometry descriptions for the routing stack.
+//!
+//! These are the values a system-level designer obtains from LEF/ITF files
+//! (existing technologies) or the ITRS roadmap (future technologies): drawn
+//! width and spacing, metal thickness, inter-layer dielectric height and
+//! permittivity, plus the material parameters (bulk resistivity, electron
+//! mean free path, barrier thickness) needed by the enhanced resistance
+//! model of the paper.
+
+use crate::units::Length;
+
+/// Routing regime a wire layer belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireTier {
+    /// Intermediate metal layers (module-level routing).
+    Intermediate,
+    /// Global (topmost, thick) metal layers used for long interconnects.
+    Global,
+}
+
+/// Physical description of one routing layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireLayer {
+    /// Which routing regime the layer serves.
+    pub tier: WireTier,
+    /// Minimum drawn wire width.
+    pub width: Length,
+    /// Minimum spacing between adjacent wires.
+    pub spacing: Length,
+    /// Metal thickness.
+    pub thickness: Length,
+    /// Vertical dielectric height to the adjacent routing planes.
+    pub ild_thickness: Length,
+    /// Relative permittivity of the surrounding dielectric.
+    pub k_dielectric: f64,
+    /// Thickness of the (high-resistivity) diffusion-barrier liner.
+    pub barrier_thickness: Length,
+    /// Bulk resistivity of the conductor in ohm-meters (copper ≈ 2.2e-8).
+    pub bulk_resistivity: f64,
+    /// Electron mean free path in the conductor (copper ≈ 39 nm); drives the
+    /// width-dependent scattering resistivity increase.
+    pub mean_free_path: Length,
+}
+
+impl WireLayer {
+    /// Routing pitch (width + spacing) of the layer.
+    #[must_use]
+    pub fn pitch(&self) -> Length {
+        self.width + self.spacing
+    }
+
+    /// Aspect ratio (thickness / width) of the layer.
+    #[must_use]
+    pub fn aspect_ratio(&self) -> f64 {
+        self.thickness / self.width
+    }
+}
+
+/// Wiring design style for a bus, following the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DesignStyle {
+    /// Single width, single spacing: minimum-pitch parallel wires; both
+    /// neighbours of every signal wire are other (potentially switching)
+    /// signal wires.
+    #[default]
+    SingleSpacing,
+    /// Shielding: a grounded shield wire is inserted between adjacent signal
+    /// wires. Coupling capacitance terminates on a quiet net (no Miller
+    /// amplification) at the cost of doubled routing pitch.
+    Shielded,
+    /// Double spacing: signal wires at twice the minimum spacing, which
+    /// roughly halves the coupling capacitance without shield insertion.
+    DoubleSpacing,
+}
+
+impl DesignStyle {
+    /// Short code used in the paper's tables.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            DesignStyle::SingleSpacing => "SS",
+            DesignStyle::Shielded => "SH",
+            DesignStyle::DoubleSpacing => "DW",
+        }
+    }
+
+    /// Effective edge-to-edge spacing between a signal wire and its nearest
+    /// neighbour conductor under this style.
+    #[must_use]
+    pub fn neighbor_spacing(self, layer: &WireLayer) -> Length {
+        match self {
+            // Nearest conductor is the adjacent signal wire.
+            DesignStyle::SingleSpacing => layer.spacing,
+            // Nearest conductor is the shield at minimum spacing.
+            DesignStyle::Shielded => layer.spacing,
+            DesignStyle::DoubleSpacing => layer.spacing * 2.0,
+        }
+    }
+
+    /// Whether the nearest neighbour can switch (i.e. contributes Miller-
+    /// amplified coupling).
+    #[must_use]
+    pub fn neighbor_switches(self) -> bool {
+        matches!(self, DesignStyle::SingleSpacing | DesignStyle::DoubleSpacing)
+    }
+
+    /// Routing-pitch multiplier relative to single-width/single-spacing,
+    /// used by the wire-area model `a_w = n · (w_w + s_w) + s_w`.
+    #[must_use]
+    pub fn pitch_multiplier(self) -> f64 {
+        match self {
+            DesignStyle::SingleSpacing => 1.0,
+            // Every signal wire brings a shield track alongside it.
+            DesignStyle::Shielded => 2.0,
+            DesignStyle::DoubleSpacing => 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> WireLayer {
+        WireLayer {
+            tier: WireTier::Global,
+            width: Length::nm(400.0),
+            spacing: Length::nm(400.0),
+            thickness: Length::nm(800.0),
+            ild_thickness: Length::nm(500.0),
+            k_dielectric: 3.0,
+            barrier_thickness: Length::nm(10.0),
+            bulk_resistivity: 2.2e-8,
+            mean_free_path: Length::nm(39.0),
+        }
+    }
+
+    #[test]
+    fn pitch_is_width_plus_spacing() {
+        assert!((layer().pitch().as_nm() - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aspect_ratio_is_thickness_over_width() {
+        assert!((layer().aspect_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_style_codes_match_paper() {
+        assert_eq!(DesignStyle::SingleSpacing.code(), "SS");
+        assert_eq!(DesignStyle::Shielded.code(), "SH");
+    }
+
+    #[test]
+    fn shielded_neighbors_do_not_switch() {
+        assert!(!DesignStyle::Shielded.neighbor_switches());
+        assert!(DesignStyle::SingleSpacing.neighbor_switches());
+        assert!(DesignStyle::DoubleSpacing.neighbor_switches());
+    }
+
+    #[test]
+    fn double_spacing_doubles_neighbor_distance() {
+        let l = layer();
+        let single = DesignStyle::SingleSpacing.neighbor_spacing(&l);
+        let double = DesignStyle::DoubleSpacing.neighbor_spacing(&l);
+        assert!((double / single - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shielding_costs_double_pitch() {
+        assert!((DesignStyle::Shielded.pitch_multiplier() - 2.0).abs() < 1e-12);
+        assert!((DesignStyle::SingleSpacing.pitch_multiplier() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_style_is_single_spacing() {
+        assert_eq!(DesignStyle::default(), DesignStyle::SingleSpacing);
+    }
+}

@@ -1,0 +1,395 @@
+//! The "classic" buffered-interconnect delay models the paper compares
+//! against: Bakoglu's repeater model and the crosstalk-aware model of
+//! Pamunuwa et al.
+//!
+//! Both assume a **constant drive resistance** (inversely proportional to
+//! repeater size, independent of input slew) and a **constant intrinsic
+//! delay**; Bakoglu additionally **neglects coupling capacitance** and both
+//! use the **naive wire resistance** (no scattering/barrier correction) —
+//! exactly the deficiencies §II of the paper calls out.
+
+use pi_tech::device::DeviceSuite;
+use pi_tech::units::{Cap, Length, Res, Time};
+use pi_tech::wire_geom::{DesignStyle, WireLayer};
+
+use crate::parasitics::{
+    coupling_cap_per_meter, ground_cap_per_meter, naive_resistance_per_meter,
+};
+
+/// Pamunuwa et al.'s worst-case switching coefficient λ for their wire
+/// delay model (their refinement of the classical Miller factor).
+pub const PAMUNUWA_LAMBDA: f64 = 1.51;
+
+/// First-order switching-resistance / capacitance abstraction of a repeater
+/// as the classic models see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassicDriver {
+    /// Drive resistance times unit width (Ω·µm): `r_d = r_unit / w_n[µm]`.
+    pub r_unit: f64,
+    /// Input capacitance per µm of NMOS width (PMOS included via the
+    /// library β ratio).
+    pub c_in_per_um: Cap,
+    /// Output (drain) capacitance per µm of NMOS width.
+    pub c_out_per_um: Cap,
+    /// Intrinsic (unloaded) delay, assumed constant.
+    pub intrinsic: Time,
+}
+
+impl ClassicDriver {
+    /// Derives the classic driver abstraction from device parameters:
+    /// `r_d ≈ V_dd / I_dsat(w)`, capacitances from gate/junction values.
+    #[must_use]
+    pub fn from_devices(devices: &DeviceSuite) -> Self {
+        let beta = devices.beta_ratio;
+        // V / (A/µm) = Ω·µm: resistance of a 1 µm wide device.
+        let r_unit = devices.vdd.as_v() / devices.nmos.idsat_per_um.si();
+        let c_in_per_um =
+            Cap::from_si(devices.nmos.cgate_per_um.si() + devices.pmos.cgate_per_um.si() * beta);
+        let c_out_per_um =
+            Cap::from_si(devices.nmos.cdiff_per_um.si() + devices.pmos.cdiff_per_um.si() * beta);
+        // Constant intrinsic delay estimate: the unloaded RC of a unit
+        // device (the per-µm factors cancel: Ω·µm × F/µm = s).
+        let intrinsic = Time::s(r_unit * c_out_per_um.si());
+        ClassicDriver {
+            r_unit,
+            c_in_per_um,
+            c_out_per_um,
+            intrinsic,
+        }
+    }
+
+    /// Drive resistance of a repeater with NMOS width `wn`.
+    #[must_use]
+    pub fn rd(&self, wn: Length) -> Res {
+        Res::ohm(self.r_unit / wn.as_um())
+    }
+
+    /// Input capacitance of a repeater with NMOS width `wn`.
+    #[must_use]
+    pub fn cin(&self, wn: Length) -> Cap {
+        Cap::from_si(self.c_in_per_um.si() * wn.as_um())
+    }
+
+    /// Output (self-load) capacitance of a repeater with NMOS width `wn`.
+    #[must_use]
+    pub fn cout(&self, wn: Length) -> Cap {
+        Cap::from_si(self.c_out_per_um.si() * wn.as_um())
+    }
+}
+
+/// A classic uniform buffering solution: `count` repeaters of width `wn`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassicBuffering {
+    /// Number of repeaters on the line.
+    pub count: usize,
+    /// NMOS width of each repeater.
+    pub wn: Length,
+}
+
+/// Bakoglu's repeater-insertion delay model (coupling neglected, naive wire
+/// resistance, slew-independent drive resistance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BakogluModel {
+    driver: ClassicDriver,
+    /// Naive wire resistance per meter.
+    r_per_m: f64,
+    /// Ground capacitance per meter — the only capacitance Bakoglu sees.
+    c_per_m: f64,
+}
+
+impl BakogluModel {
+    /// Builds the model for a technology's layer (design style is
+    /// irrelevant to Bakoglu since coupling is ignored).
+    #[must_use]
+    pub fn new(devices: &DeviceSuite, layer: &WireLayer) -> Self {
+        BakogluModel {
+            driver: ClassicDriver::from_devices(devices),
+            r_per_m: naive_resistance_per_meter(layer),
+            c_per_m: ground_cap_per_meter(layer),
+        }
+    }
+
+    /// The driver abstraction in use.
+    #[must_use]
+    pub fn driver(&self) -> &ClassicDriver {
+        &self.driver
+    }
+
+    /// Delay of one repeater stage driving a wire segment of `seg_len` into
+    /// the next repeater: `0.7 r_d (c_w + c_out + c_i) + r_w (0.4 c_w + 0.7 c_i)`.
+    #[must_use]
+    pub fn stage_delay(&self, seg_len: Length, wn: Length) -> Time {
+        let rd = self.driver.rd(wn).as_ohm();
+        let rw = self.r_per_m * seg_len.si();
+        let cw = self.c_per_m * seg_len.si();
+        let ci = self.driver.cin(wn).si();
+        let cself = self.driver.cout(wn).si();
+        Time::s(0.7 * rd * (cw + cself + ci) + rw * (0.4 * cw + 0.7 * ci))
+    }
+
+    /// Delay of a line of `length` with `count` uniformly spaced repeaters
+    /// of width `wn` (the first repeater drives the first segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn line_delay(&self, length: Length, buf: ClassicBuffering) -> Time {
+        assert!(buf.count > 0, "a buffered line needs at least one repeater");
+        let seg = length / buf.count as f64;
+        self.stage_delay(seg, buf.wn) * buf.count as f64
+    }
+
+    /// Bakoglu's closed-form delay-optimal repeater count and size.
+    #[must_use]
+    pub fn optimal_buffering(&self, length: Length) -> ClassicBuffering {
+        let rw = self.r_per_m * length.si();
+        let cw = self.c_per_m * length.si();
+        let r0 = self.driver.r_unit * 1e-6; // Ω·µm → Ω·m of width
+        let c0 = (self.driver.c_in_per_um.si() + self.driver.c_out_per_um.si()) / 1e-6; // F/m width
+        let k = ((0.4 * rw * cw) / (0.7 * r0 * c0)).sqrt();
+        let count = k.round().max(1.0) as usize;
+        let w = (r0 * cw / (rw * c0)).sqrt(); // meters of width
+        ClassicBuffering {
+            count,
+            wn: Length::m(w),
+        }
+    }
+
+    /// Total switching capacitance the model attributes to the buffered
+    /// line (wire ground cap + repeater input/output caps) — used for the
+    /// "original model" power estimates in the NoC study.
+    #[must_use]
+    pub fn switching_cap(&self, length: Length, buf: ClassicBuffering) -> Cap {
+        let cw = self.c_per_m * length.si();
+        let crep =
+            (self.driver.cin(buf.wn).si() + self.driver.cout(buf.wn).si()) * buf.count as f64;
+        Cap::from_si(cw + crep)
+    }
+}
+
+/// The crosstalk-aware wire-delay model of Pamunuwa et al.:
+/// `d_w = r_w (0.4 c_g + (λ/2) c_c + 0.7 c_i)` plus a slew-independent
+/// driver term. The starting point the paper's model improves upon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PamunuwaModel {
+    driver: ClassicDriver,
+    r_per_m: f64,
+    cg_per_m: f64,
+    cc_per_m: f64,
+    /// Neighbour switch factor λ (1.51 worst case).
+    pub lambda: f64,
+}
+
+impl PamunuwaModel {
+    /// Builds the model for a layer under a design style; λ defaults to the
+    /// worst case for switching neighbours and 1.0 for shielded wires.
+    #[must_use]
+    pub fn new(devices: &DeviceSuite, layer: &WireLayer, style: DesignStyle) -> Self {
+        let lambda = if style.neighbor_switches() {
+            PAMUNUWA_LAMBDA
+        } else {
+            1.0
+        };
+        PamunuwaModel {
+            driver: ClassicDriver::from_devices(devices),
+            r_per_m: naive_resistance_per_meter(layer),
+            cg_per_m: ground_cap_per_meter(layer),
+            cc_per_m: coupling_cap_per_meter(layer, style),
+            lambda,
+        }
+    }
+
+    /// The driver abstraction in use.
+    #[must_use]
+    pub fn driver(&self) -> &ClassicDriver {
+        &self.driver
+    }
+
+    /// Delay of one repeater stage over a segment of `seg_len`.
+    #[must_use]
+    pub fn stage_delay(&self, seg_len: Length, wn: Length) -> Time {
+        let rd = self.driver.rd(wn).as_ohm();
+        let rw = self.r_per_m * seg_len.si();
+        let cg = self.cg_per_m * seg_len.si();
+        let cc = self.cc_per_m * seg_len.si();
+        let ci = self.driver.cin(wn).si();
+        let cself = self.driver.cout(wn).si();
+        let driver = 0.7 * rd * (cg + self.lambda * cc + cself + ci);
+        let wire = rw * (0.4 * cg + 0.5 * self.lambda * cc + 0.7 * ci);
+        Time::s(driver + wire)
+    }
+
+    /// Delay of a uniformly buffered line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn line_delay(&self, length: Length, buf: ClassicBuffering) -> Time {
+        assert!(buf.count > 0, "a buffered line needs at least one repeater");
+        let seg = length / buf.count as f64;
+        self.stage_delay(seg, buf.wn) * buf.count as f64
+    }
+
+    /// Delay-optimal buffering under this model (closed form with the
+    /// λ-weighted wire capacitance).
+    #[must_use]
+    pub fn optimal_buffering(&self, length: Length) -> ClassicBuffering {
+        let rw = self.r_per_m * length.si();
+        let cw = (self.cg_per_m + self.lambda * self.cc_per_m) * length.si();
+        let r0 = self.driver.r_unit * 1e-6; // Ω·µm → Ω·m of width
+        let c0 = (self.driver.c_in_per_um.si() + self.driver.c_out_per_um.si()) / 1e-6;
+        let k = ((0.4 * rw * cw) / (0.7 * r0 * c0)).sqrt();
+        let count = k.round().max(1.0) as usize;
+        let w = (r0 * cw / (rw * c0)).sqrt();
+        ClassicBuffering {
+            count,
+            wn: Length::m(w),
+        }
+    }
+
+    /// Total switching capacitance (physical: ground + coupling + repeater
+    /// caps) the model attributes to the line.
+    #[must_use]
+    pub fn switching_cap(&self, length: Length, buf: ClassicBuffering) -> Cap {
+        let cw = (self.cg_per_m + self.cc_per_m) * length.si();
+        let crep =
+            (self.driver.cin(buf.wn).si() + self.driver.cout(buf.wn).si()) * buf.count as f64;
+        Cap::from_si(cw + crep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_tech::{TechNode, Technology};
+
+    fn setup() -> (Technology, BakogluModel, PamunuwaModel) {
+        let tech = Technology::new(TechNode::N65);
+        let b = BakogluModel::new(tech.devices(), tech.global_layer());
+        let p = PamunuwaModel::new(
+            tech.devices(),
+            tech.global_layer(),
+            DesignStyle::SingleSpacing,
+        );
+        (tech, b, p)
+    }
+
+    #[test]
+    fn classic_driver_resistance_scales_inversely_with_width() {
+        let (tech, ..) = setup();
+        let d = ClassicDriver::from_devices(tech.devices());
+        let r2 = d.rd(Length::um(2.0));
+        let r8 = d.rd(Length::um(8.0));
+        assert!((r2 / r8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_driver_resistance_plausible() {
+        let (tech, ..) = setup();
+        let d = ClassicDriver::from_devices(tech.devices());
+        let r = d.rd(Length::um(6.0)).as_ohm();
+        assert!((50.0..800.0).contains(&r), "rd = {r} Ω");
+    }
+
+    #[test]
+    fn pamunuwa_exceeds_bakoglu_due_to_coupling() {
+        let (_, b, p) = setup();
+        let buf = ClassicBuffering {
+            count: 4,
+            wn: Length::um(6.0),
+        };
+        let len = Length::mm(5.0);
+        assert!(p.line_delay(len, buf) > b.line_delay(len, buf));
+    }
+
+    #[test]
+    fn line_delay_linear_in_length_at_fixed_per_mm_buffering() {
+        let (_, b, _) = setup();
+        // Same repeaters-per-mm density: delay should scale ~linearly.
+        let d1 = b.line_delay(
+            Length::mm(2.0),
+            ClassicBuffering {
+                count: 2,
+                wn: Length::um(6.0),
+            },
+        );
+        let d4 = b.line_delay(
+            Length::mm(8.0),
+            ClassicBuffering {
+                count: 8,
+                wn: Length::um(6.0),
+            },
+        );
+        assert!((d4 / d1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_buffering_count_grows_with_length() {
+        let (_, b, _) = setup();
+        let short = b.optimal_buffering(Length::mm(2.0));
+        let long = b.optimal_buffering(Length::mm(10.0));
+        assert!(long.count > short.count);
+    }
+
+    #[test]
+    fn optimal_size_is_unreasonably_large() {
+        // The paper notes delay-optimal buffering yields sizes "never used
+        // in practice" — confirm the closed form produces very wide devices.
+        let (_, b, _) = setup();
+        let opt = b.optimal_buffering(Length::mm(5.0));
+        // Wider than the widest library repeater (INVD32: wn = 9.6 µm at
+        // 65 nm), i.e. a size no practical library offers.
+        assert!(
+            opt.wn.as_um() > 10.0,
+            "delay-optimal width = {} µm",
+            opt.wn.as_um()
+        );
+    }
+
+    #[test]
+    fn optimal_buffering_is_near_delay_minimum() {
+        let (_, b, _) = setup();
+        let len = Length::mm(5.0);
+        let opt = b.optimal_buffering(len);
+        let d_opt = b.line_delay(len, opt);
+        // Perturbing the count by ±2 must not beat the optimum noticeably.
+        for dc in [-2i64, 2] {
+            let count = (opt.count as i64 + dc).max(1) as usize;
+            let d = b.line_delay(len, ClassicBuffering { count, wn: opt.wn });
+            assert!(d >= d_opt * 0.98, "count {count} beat the optimum");
+        }
+    }
+
+    #[test]
+    fn shielded_pamunuwa_has_unit_lambda() {
+        let tech = Technology::new(TechNode::N65);
+        let p = PamunuwaModel::new(tech.devices(), tech.global_layer(), DesignStyle::Shielded);
+        assert_eq!(p.lambda, 1.0);
+    }
+
+    #[test]
+    fn pamunuwa_switching_cap_exceeds_bakoglu() {
+        let (_, b, p) = setup();
+        let buf = ClassicBuffering {
+            count: 4,
+            wn: Length::um(6.0),
+        };
+        let len = Length::mm(5.0);
+        assert!(p.switching_cap(len, buf) > b.switching_cap(len, buf));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repeater")]
+    fn zero_repeaters_rejected() {
+        let (_, b, _) = setup();
+        let _ = b.line_delay(
+            Length::mm(1.0),
+            ClassicBuffering {
+                count: 0,
+                wn: Length::um(4.0),
+            },
+        );
+    }
+}

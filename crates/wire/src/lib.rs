@@ -1,0 +1,34 @@
+//! Wire parasitics and the classic buffered-interconnect delay models.
+//!
+//! Two halves:
+//!
+//! - [`parasitics`] computes per-length wire R and C from layer geometry,
+//!   including the paper's enhancements — width-dependent resistivity
+//!   (electron scattering) and barrier-thickness cross-section loss — plus
+//!   switch-factor (Miller) weighted coupling capacitance and the bus
+//!   width/area model.
+//! - [`classic`] implements the **baseline models** the paper compares
+//!   against: Bakoglu's repeater model and the crosstalk-aware model of
+//!   Pamunuwa et al., both with slew-independent drive resistance.
+//!
+//! # Examples
+//!
+//! ```
+//! use pi_tech::{DesignStyle, TechNode, Technology};
+//! use pi_tech::units::Length;
+//! use pi_wire::WireRc;
+//!
+//! let tech = Technology::new(TechNode::N65);
+//! let rc = WireRc::from_layer(tech.global_layer(), DesignStyle::SingleSpacing);
+//! let r = rc.total_r(Length::mm(1.0));
+//! assert!(r.as_ohm() > 50.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod classic;
+pub mod parasitics;
+
+pub use classic::{BakogluModel, ClassicBuffering, ClassicDriver, PamunuwaModel};
+pub use parasitics::{bus_area, bus_width, WireRc, MILLER_BEST, MILLER_QUIET, MILLER_WORST};

@@ -1,0 +1,61 @@
+//! Process-corner analysis: recalibrate the predictive models at the
+//! slow/typical/fast device corners and report the delay and leakage
+//! spread of a global link — the guard-band picture that motivates
+//! variation-aware sizing.
+//!
+//! Run with: `cargo run --release --example corner_analysis`
+
+use predictive_interconnect::models::calibrate::{calibrate, CalibrationGrid};
+use predictive_interconnect::models::line::{BufferingPlan, LineEvaluator, LineSpec};
+use predictive_interconnect::tech::units::{Freq, Length};
+use predictive_interconnect::tech::{Corner, DesignStyle, RepeaterKind, TechNode, Technology};
+
+fn main() {
+    let node = TechNode::N65;
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 8,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    let clock = Freq::ghz(2.0);
+
+    println!(
+        "{node} | {} mm link, {} x INVD20-class repeaters | corner sweep",
+        spec.length.as_mm(),
+        plan.count
+    );
+    println!(
+        "{:>6}  {:>10}  {:>12}  {:>12}",
+        "corner", "delay [ps]", "dyn [uW/bit]", "leak [uW/bit]"
+    );
+
+    let mut delays = Vec::new();
+    for corner in Corner::ALL {
+        let tech = Technology::with_corner(node, corner);
+        // Corner models are calibrated on the fly (the shipped Table I
+        // constants are typical-corner only).
+        let models = calibrate(&tech, &CalibrationGrid::fast()).expect("corner calibration");
+        let evaluator = LineEvaluator::new(&models, &tech);
+        let timing = evaluator.timing(&spec, &plan);
+        let power = evaluator.power(&spec, &plan, 0.25, clock);
+        println!(
+            "{:>6}  {:>10.0}  {:>12.1}  {:>12.2}",
+            corner.code(),
+            timing.delay.as_ps(),
+            power.dynamic.as_uw(),
+            power.leakage.as_uw()
+        );
+        delays.push((corner, timing.delay));
+    }
+
+    let slow = delays[0].1;
+    let fast = delays[2].1;
+    println!(
+        "\nSS/FF delay spread: {:.1}% — the guard band a typical-corner-only \
+         flow silently absorbs; leakage swings far harder (the FF corner \
+         leaks ~6x the SS corner by construction of the corner model).",
+        (slow - fast) / fast * 100.0
+    );
+}

@@ -1,0 +1,77 @@
+//! NoC design-space exploration: synthesize the DVOPD decoder SoC with the
+//! original (Bakoglu) and the proposed (calibrated) link models and see how
+//! the interconnect model changes the architecture — the paper's Table III
+//! experiment on one testcase.
+//!
+//! Run with: `cargo run --release --example noc_explorer`
+
+use predictive_interconnect::cosi::model::{LinkCostModel, OriginalLinkModel, ProposedLinkModel};
+use predictive_interconnect::cosi::report::evaluate;
+use predictive_interconnect::cosi::router::RouterParams;
+use predictive_interconnect::cosi::synthesis::{infeasible_under, synthesize, SynthesisConfig};
+use predictive_interconnect::cosi::testcases::dvopd;
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::LineEvaluator;
+use predictive_interconnect::tech::units::Freq;
+use predictive_interconnect::tech::{DesignStyle, TechNode, Technology};
+
+fn main() {
+    let node = TechNode::N65;
+    let clock = Freq::ghz(2.25);
+    let activity = 0.25;
+
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let routers = RouterParams::for_tech(&tech);
+    let config = SynthesisConfig::at_clock(clock);
+    let spec = dvopd();
+
+    println!(
+        "design {}: {} cores, {} flows, {:.0} Gbit/s aggregate, {} b links",
+        spec.name,
+        spec.cores.len(),
+        spec.flows.len(),
+        spec.total_bandwidth_gbps(),
+        spec.data_width
+    );
+    println!("target: {node} @ {} GHz\n", clock.as_ghz());
+
+    let original = OriginalLinkModel::new(&tech, clock, activity);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, activity);
+    println!(
+        "max feasible link length: original {:.1} mm vs proposed {:.1} mm",
+        original.max_length().as_mm(),
+        proposed.max_length().as_mm()
+    );
+
+    let net_orig = synthesize(&spec, &original, &config).expect("original synthesis");
+    let net_prop = synthesize(&spec, &proposed, &config).expect("proposed synthesis");
+
+    println!("\n{}", evaluate(&spec.name, &net_orig, &routers, clock));
+    println!("\n{}", evaluate(&spec.name, &net_prop, &routers, clock));
+
+    let bad = infeasible_under(&net_orig, &proposed);
+    println!(
+        "\ncross-check: {bad} of the original network's {} channels are NOT \
+         implementable according to the accurate model — the nonconservative \
+         abstraction the paper warns about.",
+        net_orig.channels.len()
+    );
+
+    // Where did the extra hops go? Show the longest flows' routes.
+    println!("\nlongest flows under the proposed model:");
+    let mut flows: Vec<usize> = (0..spec.flows.len()).collect();
+    flows.sort_by_key(|&f| std::cmp::Reverse(net_prop.hops(f)));
+    for &f in flows.iter().take(5) {
+        let flow = &spec.flows[f];
+        println!(
+            "  {} -> {} ({:.1} Gbit/s): {} hops (original: {})",
+            spec.cores[flow.src].name,
+            spec.cores[flow.dst].name,
+            flow.bandwidth_gbps,
+            net_prop.hops(f),
+            net_orig.hops(f)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: estimate the delay, power and area of a global buffered
+//! interconnect with the calibrated predictive models, and let the
+//! optimizer pick the buffering.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use predictive_interconnect::models::buffering::{BufferingObjective, SearchSpace};
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::{LineEvaluator, LineSpec};
+use predictive_interconnect::tech::units::{Freq, Length};
+use predictive_interconnect::tech::{DesignStyle, TechNode, Technology};
+use predictive_interconnect::wire::bus_area;
+
+fn main() {
+    // 1. Pick a technology and load its calibrated models (Table I).
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+
+    // 2. Describe the link: 5 mm, global layer, minimum pitch, the 300 ps
+    //    boundary slew of the paper's experiments.
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+
+    // 3. Ask the optimizer for a balanced delay/power buffering at 2 GHz.
+    let clock = Freq::ghz(2.0);
+    let objective = BufferingObjective::balanced(clock);
+    let space = SearchSpace::for_length(spec.length);
+    let result = evaluator
+        .optimize_buffering(&spec, &objective, &space)
+        .expect("the search space is non-empty");
+
+    println!("== {} | {} mm global link ==", node, spec.length.as_mm());
+    println!(
+        "buffering: {} x {} with wn = {:.1} um",
+        result.plan.count,
+        result.plan.kind,
+        result.plan.wn.as_um()
+    );
+    println!("delay:     {:.0} ps", result.timing.delay.as_ps());
+    println!(
+        "power:     {:.1} uW/bit dynamic + {:.2} uW/bit leakage @ {} GHz",
+        result.power.dynamic.as_uw(),
+        result.power.leakage.as_uw(),
+        clock.as_ghz()
+    );
+    println!(
+        "repeaters: {:.1} um2/bit of cell area",
+        evaluator.repeater_area(&result.plan).as_um2()
+    );
+
+    // 4. Scale to a 128-bit bus.
+    let bits = 128;
+    println!("\n== as a {bits}-bit bus ==");
+    println!(
+        "bus dynamic power: {:.1} mW",
+        (result.power.dynamic * bits as f64).as_mw()
+    );
+    println!(
+        "bus routing area:  {:.4} mm2",
+        bus_area(bits, spec.length, tech.global_layer(), spec.style).as_mm2()
+    );
+
+    // 5. Per-stage visibility: slews settle after a couple of stages.
+    println!("\nper-stage timing:");
+    for (i, s) in result.timing.stages.iter().enumerate() {
+        println!(
+            "  stage {i}: in-slew {:>5.1} ps, repeater {:>5.1} ps + wire {:>5.1} ps, out-slew {:>5.1} ps",
+            s.input_slew.as_ps(),
+            s.repeater_delay.as_ps(),
+            s.wire_delay.as_ps(),
+            s.output_slew.as_ps()
+        );
+    }
+}

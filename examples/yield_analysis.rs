@@ -1,0 +1,67 @@
+//! Parametric-yield analysis of a global link under process variation:
+//! sample the delay distribution (die-to-die + within-die drive variation)
+//! and show how repeater upsizing buys timing yield — the variation-aware
+//! sizing trade-off.
+//!
+//! Run with: `cargo run --release --example yield_analysis`
+
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::{BufferingPlan, LineEvaluator, LineSpec};
+use predictive_interconnect::models::variation::VariationModel;
+use predictive_interconnect::tech::units::{Length, Time};
+use predictive_interconnect::tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+const SAMPLES: usize = 2000;
+const SEED: u64 = 20100401;
+
+fn main() {
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+    let variation = VariationModel::nominal();
+
+    // The deadline is fixed by the clock; sweep the repeater size.
+    let deadline = Time::ps(560.0);
+    println!(
+        "{node} | {} mm link | deadline {} ps | sigma_d2d = {:.0}%, sigma_wid = {:.0}% | {} samples",
+        spec.length.as_mm(),
+        deadline.as_ps(),
+        variation.sigma_d2d * 100.0,
+        variation.sigma_wid * 100.0,
+        SAMPLES
+    );
+    println!(
+        "{:>8}  {:>12}  {:>9}  {:>9}  {:>9}  {:>8}",
+        "wn [um]", "nominal [ps]", "mean [ps]", "sigma [ps]", "p99 [ps]", "yield"
+    );
+
+    for drive in [8u32, 12, 16, 20, 24, 32] {
+        let wn = tech.layout().unit_nmos_width * f64::from(drive);
+        let plan = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 12,
+            wn,
+            staggered: false,
+        };
+        let nominal = evaluator.timing(&spec, &plan).delay;
+        let dist = evaluator.delay_distribution(&spec, &plan, &variation, SAMPLES, SEED);
+        println!(
+            "{:>8.1}  {:>12.0}  {:>9.0}  {:>9.1}  {:>9.0}  {:>7.1}%",
+            wn.as_um(),
+            nominal.as_ps(),
+            dist.mean().as_ps(),
+            dist.std_dev().as_ps(),
+            dist.quantile(0.99).as_ps(),
+            dist.yield_at(deadline) * 100.0
+        );
+    }
+
+    println!(
+        "\nreading the table: nominal delay improves with size and saturates; \
+         yield climbs from ~0 to ~100% as the nominal slack grows past the \
+         ~2-3 sigma variation spread — the margin a yield-aware sizer buys \
+         explicitly instead of by blanket guard-banding."
+    );
+}

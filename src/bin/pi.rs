@@ -1,0 +1,454 @@
+//! `pi` — command-line front end for the predictive-interconnect library.
+//!
+//! ```text
+//! pi delay    --tech 65nm --length 5mm [--style ss|sh|dw] [--count N] [--drive D] [--staggered]
+//! pi optimize --tech 65nm --length 5mm --clock 2GHz [--weight 0.5] [--staggered]
+//! pi reach    --tech 65nm --clock 2GHz [--style ss|sh|dw] [--staggered]
+//! pi noc      --design dvopd|vproc --tech 65nm --clock 2.25GHz [--model proposed|original|mesh]
+//!             (or --spec <file> with the text format of `pi_cosi::spec_text`)
+//! pi yield    --tech 65nm --length 8mm --deadline 560ps [--samples 2000]
+//! pi report   --tech 65nm --length 5mm --clock 2GHz [--bits 128] [--full]
+//! pi scaling
+//! ```
+//!
+//! Quantities accept unit suffixes: lengths `mm`/`um`, clocks `GHz`/`MHz`,
+//! times `ps`/`ns`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use predictive_interconnect::cosi::model::{LinkCostModel, OriginalLinkModel, ProposedLinkModel};
+use predictive_interconnect::cosi::report::evaluate;
+use predictive_interconnect::cosi::router::RouterParams;
+use predictive_interconnect::cosi::synthesis::{synthesize, SynthesisConfig};
+use predictive_interconnect::cosi::{mesh_network, testcases};
+use predictive_interconnect::models::buffering::{BufferingObjective, SearchSpace};
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::{BufferingPlan, LineEvaluator, LineSpec};
+use predictive_interconnect::models::variation::VariationModel;
+use predictive_interconnect::tech::units::{Freq, Length, Time};
+use predictive_interconnect::tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+fn parse_length(s: &str) -> Result<Length, String> {
+    let s = s.trim().to_ascii_lowercase();
+    if let Some(v) = s.strip_suffix("mm") {
+        v.parse::<f64>()
+            .map(Length::mm)
+            .map_err(|e| format!("bad length `{s}`: {e}"))
+    } else if let Some(v) = s.strip_suffix("um") {
+        v.parse::<f64>()
+            .map(Length::um)
+            .map_err(|e| format!("bad length `{s}`: {e}"))
+    } else {
+        // Bare numbers are millimeters.
+        s.parse::<f64>()
+            .map(Length::mm)
+            .map_err(|_| format!("bad length `{s}` (use e.g. 5mm or 350um)"))
+    }
+}
+
+fn parse_clock(s: &str) -> Result<Freq, String> {
+    let s = s.trim().to_ascii_lowercase();
+    if let Some(v) = s.strip_suffix("ghz") {
+        v.parse::<f64>()
+            .map(Freq::ghz)
+            .map_err(|e| format!("bad clock `{s}`: {e}"))
+    } else if let Some(v) = s.strip_suffix("mhz") {
+        v.parse::<f64>()
+            .map(Freq::mhz)
+            .map_err(|e| format!("bad clock `{s}`: {e}"))
+    } else {
+        s.parse::<f64>()
+            .map(Freq::ghz)
+            .map_err(|_| format!("bad clock `{s}` (use e.g. 2GHz or 750MHz)"))
+    }
+}
+
+fn parse_time(s: &str) -> Result<Time, String> {
+    let s = s.trim().to_ascii_lowercase();
+    if let Some(v) = s.strip_suffix("ps") {
+        v.parse::<f64>()
+            .map(Time::ps)
+            .map_err(|e| format!("bad time `{s}`: {e}"))
+    } else if let Some(v) = s.strip_suffix("ns") {
+        v.parse::<f64>()
+            .map(Time::ns)
+            .map_err(|e| format!("bad time `{s}`: {e}"))
+    } else {
+        s.parse::<f64>()
+            .map(Time::ps)
+            .map_err(|_| format!("bad time `{s}` (use e.g. 560ps or 1.2ns)"))
+    }
+}
+
+fn parse_style(s: &str) -> Result<DesignStyle, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "ss" | "single" => Ok(DesignStyle::SingleSpacing),
+        "sh" | "shielded" => Ok(DesignStyle::Shielded),
+        "dw" | "double" => Ok(DesignStyle::DoubleSpacing),
+        other => Err(format!("unknown style `{other}` (ss, sh, dw)")),
+    }
+}
+
+/// Parsed `--key value` options plus boolean flags.
+struct Opts {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                values.insert(key.to_owned(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_owned());
+                i += 1;
+            }
+        }
+        Ok(Opts { values, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn tech(&self) -> Result<TechNode, String> {
+        self.require("tech")?
+            .parse::<TechNode>()
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_delay(opts: &Opts) -> Result<(), String> {
+    let node = opts.tech()?;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let ev = LineEvaluator::new(&models, &tech);
+    let length = parse_length(opts.require("length")?)?;
+    let style = parse_style(opts.get("style").unwrap_or("ss"))?;
+    let spec = LineSpec::global(length, style);
+    let plan = if let (Some(count), Some(drive)) = (opts.get("count"), opts.get("drive")) {
+        BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: count.parse().map_err(|e| format!("bad --count: {e}"))?,
+            wn: tech.layout().unit_nmos_width
+                * drive
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --drive: {e}"))?,
+            staggered: opts.flag("staggered"),
+        }
+    } else {
+        let obj = BufferingObjective::balanced(Freq::ghz(1.0));
+        let mut space = SearchSpace::for_length(length);
+        space.staggered = opts.flag("staggered");
+        ev.optimize_buffering(&spec, &obj, &space)
+            .ok_or("empty search space")?
+            .plan
+    };
+    let timing = ev.timing(&spec, &plan);
+    println!(
+        "{node} {} mm {} | {} x inverter (wn {:.1} um{})",
+        length.as_mm(),
+        style.code(),
+        plan.count,
+        plan.wn.as_um(),
+        if plan.staggered { ", staggered" } else { "" }
+    );
+    println!(
+        "delay {:.0} ps | output slew {:.0} ps",
+        timing.delay.as_ps(),
+        timing.output_slew().as_ps()
+    );
+    Ok(())
+}
+
+fn cmd_optimize(opts: &Opts) -> Result<(), String> {
+    let node = opts.tech()?;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let ev = LineEvaluator::new(&models, &tech);
+    let length = parse_length(opts.require("length")?)?;
+    let clock = parse_clock(opts.require("clock")?)?;
+    let style = parse_style(opts.get("style").unwrap_or("ss"))?;
+    let weight: f64 = opts
+        .get("weight")
+        .unwrap_or("0.5")
+        .parse()
+        .map_err(|e| format!("bad --weight: {e}"))?;
+    let spec = LineSpec::global(length, style);
+    let objective = BufferingObjective {
+        delay_weight: weight,
+        activity: 0.25,
+        clock,
+    };
+    let mut space = SearchSpace::for_length(length);
+    space.staggered = opts.flag("staggered");
+    let r = ev
+        .optimize_buffering(&spec, &objective, &space)
+        .ok_or("empty search space")?;
+    println!(
+        "{node} {} mm {} @ {} GHz, weight {weight}",
+        length.as_mm(),
+        style.code(),
+        clock.as_ghz()
+    );
+    println!(
+        "plan: {} x inverter, wn {:.1} um{}",
+        r.plan.count,
+        r.plan.wn.as_um(),
+        if r.plan.staggered { " (staggered)" } else { "" }
+    );
+    println!(
+        "delay {:.0} ps | power {:.1} uW/bit ({:.1} dynamic + {:.2} leakage)",
+        r.timing.delay.as_ps(),
+        r.power.total().as_uw(),
+        r.power.dynamic.as_uw(),
+        r.power.leakage.as_uw()
+    );
+    Ok(())
+}
+
+fn cmd_reach(opts: &Opts) -> Result<(), String> {
+    let node = opts.tech()?;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let ev = LineEvaluator::new(&models, &tech);
+    let clock = parse_clock(opts.require("clock")?)?;
+    let style = parse_style(opts.get("style").unwrap_or("ss"))?;
+    let objective = BufferingObjective::balanced(clock);
+    let reach = ev.max_feasible_length_opts(
+        style,
+        clock.period(),
+        &objective,
+        opts.flag("staggered"),
+    );
+    println!(
+        "{node} {} @ {} GHz: max single-cycle link {:.2} mm{}",
+        style.code(),
+        clock.as_ghz(),
+        reach.as_mm(),
+        if opts.flag("staggered") { " (staggered)" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_noc(opts: &Opts) -> Result<(), String> {
+    let node = opts.tech()?;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let ev = LineEvaluator::new(&models, &tech);
+    let clock = parse_clock(opts.require("clock")?)?;
+    let spec = if let Some(path) = opts.get("spec") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        predictive_interconnect::cosi::parse_spec(&text).map_err(|e| e.to_string())?
+    } else {
+        match opts.require("design")?.to_ascii_lowercase().as_str() {
+            "dvopd" => testcases::dvopd(),
+            "vproc" => testcases::vproc(),
+            other => return Err(format!("unknown design `{other}` (dvopd, vproc)")),
+        }
+    };
+    let config = SynthesisConfig::at_clock(clock);
+    let routers = RouterParams::for_tech(&tech);
+    let which = opts.get("model").unwrap_or("proposed").to_ascii_lowercase();
+    let proposed = ProposedLinkModel::new(&ev, DesignStyle::SingleSpacing, clock, 0.25);
+    let network = match which.as_str() {
+        "proposed" => synthesize(&spec, &proposed, &config),
+        "original" => {
+            let original = OriginalLinkModel::new(&tech, clock, 0.25);
+            synthesize(&spec, &original, &config)
+        }
+        "mesh" => mesh_network(&spec, &proposed as &dyn LinkCostModel, &config),
+        other => return Err(format!("unknown model `{other}` (proposed, original, mesh)")),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("{}", evaluate(&spec.name, &network, &routers, clock));
+    Ok(())
+}
+
+fn cmd_yield(opts: &Opts) -> Result<(), String> {
+    let node = opts.tech()?;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let ev = LineEvaluator::new(&models, &tech);
+    let length = parse_length(opts.require("length")?)?;
+    let deadline = parse_time(opts.require("deadline")?)?;
+    let samples: usize = opts
+        .get("samples")
+        .unwrap_or("2000")
+        .parse()
+        .map_err(|e| format!("bad --samples: {e}"))?;
+    let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+    let obj = BufferingObjective::balanced(Freq::ghz(1.0));
+    let plan = ev
+        .optimize_buffering(&spec, &obj, &SearchSpace::for_length(length))
+        .ok_or("empty search space")?
+        .plan;
+    let dist = ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), samples, 1);
+    println!(
+        "{node} {} mm, {} x inverter wn {:.1} um, {samples} samples",
+        length.as_mm(),
+        plan.count,
+        plan.wn.as_um()
+    );
+    println!(
+        "delay mean {:.0} ps, sigma {:.1} ps, p99 {:.0} ps",
+        dist.mean().as_ps(),
+        dist.std_dev().as_ps(),
+        dist.quantile(0.99).as_ps()
+    );
+    println!(
+        "timing yield @ {:.0} ps: {:.1}%",
+        deadline.as_ps(),
+        dist.yield_at(deadline) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_report(opts: &Opts) -> Result<(), String> {
+    use predictive_interconnect::report::{link_datasheet, DatasheetOptions};
+    let node = opts.tech()?;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let ev = LineEvaluator::new(&models, &tech);
+    let length = parse_length(opts.require("length")?)?;
+    let clock = parse_clock(opts.require("clock")?)?;
+    let style = parse_style(opts.get("style").unwrap_or("ss"))?;
+    let spec = LineSpec::global(length, style);
+    let plan = ev
+        .optimize_with_deadline(
+            &spec,
+            clock.period(),
+            &BufferingObjective::balanced(clock),
+            &SearchSpace::for_length(length),
+        )
+        .ok_or("link is infeasible at this clock")?
+        .plan;
+    let mut options = if opts.flag("full") {
+        DatasheetOptions::full(clock)
+    } else {
+        DatasheetOptions::at_clock(clock)
+    };
+    if let Some(bits) = opts.get("bits") {
+        options.n_bits = bits.parse().map_err(|e| format!("bad --bits: {e}"))?;
+    }
+    let sheet = link_datasheet(node, &spec, &plan, &options).map_err(|e| e.to_string())?;
+    print!("{sheet}");
+    Ok(())
+}
+
+fn cmd_scaling() -> Result<(), String> {
+    use predictive_interconnect::wire::WireRc;
+    println!("node   Vdd [V]  R [ohm/mm]  C [fF/mm]");
+    for node in TechNode::ALL {
+        let tech = Technology::new(node);
+        let rc = WireRc::from_layer(tech.global_layer(), DesignStyle::SingleSpacing);
+        println!(
+            "{:>5}  {:>7.2}  {:>10.0}  {:>9.0}",
+            node.name(),
+            tech.vdd().as_v(),
+            rc.r_per_m * 1e-3,
+            (rc.cg_per_m + rc.cc_per_m) * 1e-3 * 1e15
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: pi <delay|optimize|reach|noc|yield|report|scaling> [--options]
+run `pi <command>` with missing options to see what it needs;
+see the crate README for the full option list";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Opts::parse(rest).and_then(|opts| match cmd.as_str() {
+        "delay" => cmd_delay(&opts),
+        "optimize" => cmd_optimize(&opts),
+        "reach" => cmd_reach(&opts),
+        "noc" => cmd_noc(&opts),
+        "yield" => cmd_yield(&opts),
+        "report" => cmd_report(&opts),
+        "scaling" => cmd_scaling(),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_parsing() {
+        assert!((parse_length("5mm").unwrap().as_mm() - 5.0).abs() < 1e-12);
+        assert!((parse_length("350um").unwrap().as_um() - 350.0).abs() < 1e-12);
+        assert!((parse_length("2.5").unwrap().as_mm() - 2.5).abs() < 1e-12);
+        assert!(parse_length("five").is_err());
+    }
+
+    #[test]
+    fn clock_parsing() {
+        assert!((parse_clock("2GHz").unwrap().as_ghz() - 2.0).abs() < 1e-12);
+        assert!((parse_clock("750MHz").unwrap().as_ghz() - 0.75).abs() < 1e-12);
+        assert!(parse_clock("fast").is_err());
+    }
+
+    #[test]
+    fn time_parsing() {
+        assert!((parse_time("560ps").unwrap().as_ps() - 560.0).abs() < 1e-12);
+        assert!((parse_time("1.2ns").unwrap().as_ps() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn style_parsing() {
+        assert_eq!(parse_style("ss").unwrap(), DesignStyle::SingleSpacing);
+        assert_eq!(parse_style("SH").unwrap(), DesignStyle::Shielded);
+        assert!(parse_style("zz").is_err());
+    }
+
+    #[test]
+    fn opts_parsing_values_and_flags() {
+        let args: Vec<String> = ["--tech", "65nm", "--staggered", "--length", "5mm"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.get("tech"), Some("65nm"));
+        assert_eq!(o.get("length"), Some("5mm"));
+        assert!(o.flag("staggered"));
+        assert!(o.require("missing").is_err());
+    }
+
+    #[test]
+    fn opts_rejects_positional_arguments() {
+        let args: Vec<String> = vec!["positional".to_owned()];
+        assert!(Opts::parse(&args).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # Predictive Interconnect Modeling for System-Level Design
+//!
+//! An open reproduction of *Carloni, Kahng, Muddu, Pinto, Samadi, Sharma —
+//! "Accurate Predictive Interconnect Modeling for System-Level Design"*
+//! (IEEE TVLSI 18(4), 2010): closed-form, regression-calibrated models for
+//! the **delay, power and area of global buffered interconnects**, the
+//! substrates needed to calibrate and validate them, and a **network-on-chip
+//! communication synthesis** flow that consumes them.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`tech`] — technology descriptions (devices, wires, layout, library)
+//!   and strongly-typed physical units;
+//! - [`regress`] — least-squares fitting;
+//! - [`spice`] — MNA transient circuit simulation (characterization);
+//! - [`wire`] — wire parasitics and the classic Bakoglu/Pamunuwa models;
+//! - [`models`] — the calibrated predictive models and buffering optimizer
+//!   (the paper's contribution);
+//! - [`golden`] — placement/extraction/sign-off reference flow;
+//! - [`cosi`] — NoC communication synthesis (COSI-OCC substrate);
+//! - [`report`] — cross-cutting link datasheets combining every analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use predictive_interconnect::tech::{TechNode, Technology};
+//!
+//! let tech = Technology::new(TechNode::N65);
+//! assert_eq!(tech.node().name(), "65nm");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use pi_cosi as cosi;
+pub use pi_core as models;
+pub use pi_golden as golden;
+pub use pi_regress as regress;
+pub use pi_spice as spice;
+pub use pi_tech as tech;
+pub use pi_wire as wire;

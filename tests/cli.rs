@@ -1,0 +1,103 @@
+//! End-to-end tests of the `pi` command-line binary.
+
+use std::process::Command;
+
+fn pi(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pi"))
+        .args(args)
+        .output()
+        .expect("pi binary runs")
+}
+
+#[test]
+fn delay_command_reports_plan_and_delay() {
+    let out = pi(&["delay", "--tech", "65nm", "--length", "5mm"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("65nm 5 mm SS"));
+    assert!(text.contains("delay"));
+    assert!(text.contains("ps"));
+}
+
+#[test]
+fn delay_accepts_explicit_plan() {
+    let out = pi(&[
+        "delay", "--tech", "90nm", "--length", "3mm", "--count", "4", "--drive", "16",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4 x inverter"));
+}
+
+#[test]
+fn reach_staggered_exceeds_plain() {
+    let parse_mm = |out: std::process::Output| -> f64 {
+        let text = String::from_utf8_lossy(&out.stdout);
+        let tail = text.split("link ").nth(1).expect("reach line");
+        tail.split_whitespace()
+            .next()
+            .expect("value")
+            .parse()
+            .expect("number")
+    };
+    let plain = parse_mm(pi(&["reach", "--tech", "45nm", "--clock", "3GHz"]));
+    let staggered = parse_mm(pi(&[
+        "reach", "--tech", "45nm", "--clock", "3GHz", "--staggered",
+    ]));
+    assert!(staggered > plain, "{staggered} vs {plain}");
+}
+
+#[test]
+fn noc_runs_on_a_user_spec_file() {
+    let dir = std::env::temp_dir().join("pi_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("soc.txt");
+    std::fs::write(
+        &path,
+        "design T\ndie 10 10\nwidth 64\ncore a 1 1\ncore b 8 8\nflow a b 12\n",
+    )
+    .expect("write spec");
+    let out = pi(&[
+        "noc",
+        "--spec",
+        path.to_str().expect("utf8 path"),
+        "--tech",
+        "65nm",
+        "--clock",
+        "2GHz",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T / proposed model"));
+    assert!(text.contains("dynamic"));
+}
+
+#[test]
+fn report_full_includes_signoff() {
+    let out = pi(&[
+        "report", "--tech", "65nm", "--length", "4mm", "--clock", "2GHz", "--full",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("timing"));
+    assert!(text.contains("signoff"));
+    assert!(text.contains("yield"));
+}
+
+#[test]
+fn bad_arguments_fail_with_messages() {
+    let out = pi(&["delay", "--tech", "7nm", "--length", "5mm"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown technology node"));
+
+    let out = pi(&["delay", "--tech", "65nm"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --length"));
+
+    let out = pi(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = pi(&[]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests for the synthesis extensions: mesh
+//! baseline, link-style exploration, relay-placement refinement and the
+//! spec text format, all driven with the real calibrated models.
+
+use predictive_interconnect::cosi::explore::explore_link_styles;
+use predictive_interconnect::cosi::mesh::mesh_network;
+use predictive_interconnect::cosi::model::{LinkCostModel, ProposedLinkModel};
+use predictive_interconnect::cosi::placement::refine_relay_placement;
+use predictive_interconnect::cosi::report::evaluate;
+use predictive_interconnect::cosi::router::RouterParams;
+use predictive_interconnect::cosi::spec_text::{parse_spec, write_spec};
+use predictive_interconnect::cosi::synthesis::{synthesize, SynthesisConfig};
+use predictive_interconnect::cosi::testcases::{dvopd, vproc};
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::LineEvaluator;
+use predictive_interconnect::tech::units::Freq;
+use predictive_interconnect::tech::{DesignStyle, TechNode, Technology};
+
+const CLOCK: f64 = 2.25;
+const ACTIVITY: f64 = 0.25;
+
+#[test]
+fn mesh_and_custom_both_realize_vproc_under_real_models() {
+    let tech = Technology::new(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let clock = Freq::ghz(CLOCK);
+    let config = SynthesisConfig::at_clock(clock);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, ACTIVITY);
+    let routers = RouterParams::for_tech(&tech);
+    let spec = vproc();
+
+    let custom = synthesize(&spec, &proposed, &config).expect("custom synthesis");
+    let mesh = mesh_network(&spec, &proposed as &dyn LinkCostModel, &config)
+        .expect("mesh construction");
+    let rc = evaluate(&spec.name, &custom, &routers, clock);
+    let rm = evaluate(&spec.name, &mesh, &routers, clock);
+
+    // Structural facts that must hold regardless of traffic details.
+    assert!(rm.avg_latency_cycles > rc.avg_latency_cycles);
+    assert!(rm.router_area > rc.router_area);
+    // Every link of both networks meets the period.
+    assert!(rc.max_link_delay <= clock.period());
+    assert!(rm.max_link_delay <= clock.period());
+}
+
+#[test]
+fn style_exploration_finds_a_cheaper_point_than_plain_ss() {
+    let tech = Technology::new(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let config = SynthesisConfig::at_clock(Freq::ghz(CLOCK));
+    let results =
+        explore_link_styles(&evaluator, &dvopd(), &config, ACTIVITY).expect("exploration");
+    assert!(results.len() >= 2);
+    let best = &results[0];
+    let plain_ss = results
+        .iter()
+        .find(|r| r.choice.style == DesignStyle::SingleSpacing && !r.choice.staggered)
+        .expect("plain SS explored");
+    assert!(
+        best.report.total_power() <= plain_ss.report.total_power(),
+        "the frontier head ({}) must not lose to plain SS",
+        best.choice.label()
+    );
+}
+
+#[test]
+fn placement_refinement_improves_real_synthesis() {
+    let tech = Technology::new(TechNode::N45);
+    let models = builtin(TechNode::N45);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let clock = Freq::ghz(3.0);
+    let config = SynthesisConfig::at_clock(clock);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, ACTIVITY);
+    // 45 nm @ 3 GHz has short reach → many relays → refinement headroom.
+    let mut net = synthesize(&vproc(), &proposed, &config).expect("synthesis");
+    assert!(net.relay_count() > 10, "expected a relay-rich network");
+    let before: f64 = net.channels.iter().map(|c| c.length.si()).sum();
+    let stats = refine_relay_placement(&mut net, &proposed, 6).expect("refinement");
+    let after: f64 = net.channels.iter().map(|c| c.length.si()).sum();
+    assert!(after <= before * 1.0001, "wirelength must not grow");
+    // All channels still meet the clock after re-evaluation.
+    for c in &net.channels {
+        assert!(c.cost.delay <= clock.period());
+    }
+    assert!(stats.iterations >= 1);
+}
+
+#[test]
+fn spec_text_roundtrip_preserves_synthesis_results() {
+    // Serialize DVOPD to the text format, parse it back, and verify
+    // synthesis produces the identical network.
+    let tech = Technology::new(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let clock = Freq::ghz(CLOCK);
+    let config = SynthesisConfig::at_clock(clock);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, ACTIVITY);
+
+    let original = dvopd();
+    let roundtripped = parse_spec(&write_spec(&original)).expect("roundtrip parse");
+    let net_a = synthesize(&original, &proposed, &config).expect("synthesis A");
+    let net_b = synthesize(&roundtripped, &proposed, &config).expect("synthesis B");
+    assert_eq!(net_a.channels.len(), net_b.channels.len());
+    assert_eq!(net_a.routes, net_b.routes);
+    let power = |n: &predictive_interconnect::cosi::synthesis::Network| -> f64 {
+        n.channels.iter().map(|c| c.cost.power.total().si()).sum()
+    };
+    assert!((power(&net_a) - power(&net_b)).abs() < 1e-9);
+}

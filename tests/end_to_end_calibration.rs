@@ -1,0 +1,157 @@
+//! End-to-end calibration test: run the full characterization + regression
+//! pipeline from scratch and verify (a) it reproduces the shipped Table I
+//! coefficients and (b) the resulting models predict sign-off delay.
+
+use predictive_interconnect::golden::signoff::line_delay;
+use predictive_interconnect::models::calibrate::{calibrate, CalibrationGrid};
+use predictive_interconnect::models::coefficients;
+use predictive_interconnect::models::line::{BufferingPlan, LineEvaluator, LineSpec};
+use predictive_interconnect::models::repeater_model::Transition;
+use predictive_interconnect::tech::units::Length;
+use predictive_interconnect::tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+fn assert_close(label: &str, a: f64, b: f64, rel: f64) {
+    let denom = a.abs().max(b.abs()).max(1e-30);
+    assert!(
+        ((a - b) / denom).abs() < rel,
+        "{label}: shipped {a} vs recalibrated {b}"
+    );
+}
+
+/// Recalibrating 65 nm on the standard grid must reproduce the shipped
+/// coefficients: the constants and the pipeline may not drift apart.
+#[test]
+fn recalibration_matches_shipped_coefficients() {
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let fresh = calibrate(&tech, &CalibrationGrid::standard()).expect("calibration");
+    let shipped = coefficients::builtin(node);
+    for kind in [RepeaterKind::Inverter, RepeaterKind::Buffer] {
+        let f = fresh.repeater(kind);
+        let s = shipped.repeater(kind);
+        for tr in Transition::BOTH {
+            let fe = f.edge(tr);
+            let se = s.edge(tr);
+            let ctx = format!("{kind} {}", tr.label());
+            assert_close(&format!("{ctx} p0"), se.intrinsic.p0, fe.intrinsic.p0, 1e-4);
+            assert_close(&format!("{ctx} p1"), se.intrinsic.p1, fe.intrinsic.p1, 1e-4);
+            assert_close(&format!("{ctx} p2"), se.intrinsic.p2, fe.intrinsic.p2, 1e-4);
+            assert_close(
+                &format!("{ctx} rho0"),
+                se.resistance.rho0,
+                fe.resistance.rho0,
+                1e-4,
+            );
+            assert_close(
+                &format!("{ctx} rho1"),
+                se.resistance.rho1,
+                fe.resistance.rho1,
+                1e-4,
+            );
+            assert_close(&format!("{ctx} g0"), se.slew.g0, fe.slew.g0, 1e-4);
+            assert_close(&format!("{ctx} g1"), se.slew.g1, fe.slew.g1, 1e-4);
+            assert_close(&format!("{ctx} g2"), se.slew.g2, fe.slew.g2, 1e-4);
+        }
+        assert_close("kappa", s.input_cap.kappa, f.input_cap.kappa, 1e-6);
+    }
+}
+
+/// A freshly calibrated model (fast grid, no shipped constants involved)
+/// must still track the sign-off engine on a realistic line.
+#[test]
+fn fresh_fast_calibration_predicts_signoff() {
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let models = calibrate(&tech, &CalibrationGrid::fast()).expect("calibration");
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 8,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    let predicted = evaluator.timing(&spec, &plan).delay;
+    let golden = line_delay(&tech, &spec, &plan).expect("sign-off").delay;
+    let err = ((predicted - golden) / golden).abs();
+    assert!(
+        err < 0.15,
+        "fast-grid model error {:.1}% (pred {} ps vs golden {} ps)",
+        err * 100.0,
+        predicted.as_ps(),
+        golden.as_ps()
+    );
+}
+
+/// Process corners propagate end to end: a freshly calibrated slow-corner
+/// model predicts slower lines than the fast corner.
+#[test]
+fn corner_calibration_orders_line_delay() {
+    use predictive_interconnect::tech::Corner;
+    let spec = LineSpec::global(Length::mm(4.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 6,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    let delay_at = |corner: Corner| {
+        let tech = Technology::with_corner(TechNode::N65, corner);
+        let models = calibrate(&tech, &CalibrationGrid::fast()).expect("corner calibration");
+        let ev = LineEvaluator::new(&models, &tech);
+        ev.timing(&spec, &plan).delay
+    };
+    let slow = delay_at(Corner::SlowSlow);
+    let typical = delay_at(Corner::Typical);
+    let fast = delay_at(Corner::FastFast);
+    assert!(slow > typical, "SS {} vs TT {}", slow.as_ps(), typical.as_ps());
+    assert!(typical > fast, "TT {} vs FF {}", typical.as_ps(), fast.as_ps());
+}
+
+/// An ITRS-interpolated 28 nm technology can be calibrated from scratch
+/// and its model tracks the sign-off engine on the same interpolated node.
+#[test]
+fn interpolated_node_calibrates_and_predicts() {
+    let tech = Technology::interpolated(Length::nm(28.0)).expect("28 nm in range");
+    let models = calibrate(&tech, &CalibrationGrid::fast()).expect("calibration");
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(3.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 6,
+        wn: tech.layout().unit_nmos_width * 16.0,
+        staggered: false,
+    };
+    let predicted = evaluator.timing(&spec, &plan).delay;
+    let golden = line_delay(&tech, &spec, &plan).expect("sign-off").delay;
+    let err = ((predicted - golden) / golden).abs();
+    assert!(
+        err < 0.15,
+        "28 nm model error {:.1}% (pred {} vs golden {})",
+        err * 100.0,
+        predicted.as_ps(),
+        golden.as_ps()
+    );
+    // And the interpolated node sits between its neighbours.
+    let d32 = {
+        let t = Technology::new(TechNode::N32);
+        line_delay(&t, &spec, &BufferingPlan { wn: t.layout().unit_nmos_width * 16.0, ..plan })
+            .expect("sign-off")
+            .delay
+    };
+    let d22 = {
+        let t = Technology::new(TechNode::N22);
+        line_delay(&t, &spec, &BufferingPlan { wn: t.layout().unit_nmos_width * 16.0, ..plan })
+            .expect("sign-off")
+            .delay
+    };
+    let lo = d32.min(d22) * 0.9;
+    let hi = d32.max(d22) * 1.1;
+    assert!(
+        golden >= lo && golden <= hi,
+        "28 nm golden {} outside neighbour band [{}, {}]",
+        golden.as_ps(),
+        lo.as_ps(),
+        hi.as_ps()
+    );
+}

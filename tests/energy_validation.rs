@@ -1,0 +1,107 @@
+//! Validation of the analytic dynamic-power model against *measured*
+//! switching energy from the transient engine (supply-current
+//! integration) — closing the loop the paper leaves to the well-known
+//! `α·C·V²·f` formula.
+
+use predictive_interconnect::models::power::dynamic_power;
+use predictive_interconnect::spice::cmos::measure_switching_energy;
+use predictive_interconnect::tech::units::{Cap, Freq, Length, Time};
+use predictive_interconnect::tech::{RepeaterKind, TechNode, Technology};
+
+#[test]
+fn analytic_dynamic_power_matches_measured_energy() {
+    // One rising output transition draws C_sw · V_dd² from the rail.
+    // The analytic model charges α · C · V² · f; with α interpreted as
+    // rising transitions per cycle, the per-transition energies must agree
+    // within the short-circuit overhead (which the formula ignores).
+    let tech = Technology::new(TechNode::N65);
+    let d = tech.devices();
+    let wn = Length::um(6.0);
+    let load = Cap::ff(150.0);
+    let measured = measure_switching_energy(
+        d,
+        RepeaterKind::Inverter,
+        wn,
+        Time::ps(60.0),
+        load,
+        true,
+    )
+    .expect("simulation");
+
+    // Analytic per-transition energy via the power model at 1 GHz, α = 1.
+    let c_switched = load + d.inverter_cout(wn);
+    let clock = Freq::ghz(1.0);
+    let p = dynamic_power(1.0, c_switched, tech.vdd(), clock);
+    let analytic = p * clock.period();
+
+    let ratio = measured.si() / analytic.si();
+    assert!(
+        (0.95..1.6).contains(&ratio),
+        "measured {} fJ vs analytic {} fJ (ratio {ratio})",
+        measured.as_fj(),
+        analytic.as_fj()
+    );
+}
+
+#[test]
+fn measured_energy_scales_linearly_with_load_at_fixed_overhead() {
+    let tech = Technology::new(TechNode::N90);
+    let d = tech.devices();
+    let wn = Length::um(8.0);
+    let e = |ff: f64| {
+        measure_switching_energy(
+            d,
+            RepeaterKind::Inverter,
+            wn,
+            Time::ps(50.0),
+            Cap::ff(ff),
+            true,
+        )
+        .expect("simulation")
+        .si()
+    };
+    let e100 = e(100.0);
+    let e300 = e(300.0);
+    // ΔE / ΔC must equal V_dd² within a few percent (the overheads cancel
+    // in the difference).
+    let slope = (e300 - e100) / (200e-15);
+    let vdd2 = tech.vdd().as_v().powi(2);
+    assert!(
+        (slope / vdd2 - 1.0).abs() < 0.08,
+        "ΔE/ΔC = {slope} vs V² = {vdd2}"
+    );
+}
+
+#[test]
+fn higher_vdd_node_draws_quadratically_more_energy() {
+    // 45 nm (1.1 V) vs 32 nm (0.9 V) at the same absolute load: energy per
+    // switched farad scales with V².
+    let e_per_c = |node: TechNode| {
+        let tech = Technology::new(node);
+        let d = tech.devices();
+        let wn = Length::um(4.0);
+        let load = Cap::ff(200.0);
+        let e1 = measure_switching_energy(d, RepeaterKind::Inverter, wn, Time::ps(60.0), load, true)
+            .expect("simulation")
+            .si();
+        let e0 = measure_switching_energy(
+            d,
+            RepeaterKind::Inverter,
+            wn,
+            Time::ps(60.0),
+            Cap::ff(50.0),
+            true,
+        )
+        .expect("simulation")
+        .si();
+        (e1 - e0) / 150e-15 // ΔE/ΔC ≈ V²
+    };
+    let v45 = 1.1f64;
+    let v32 = 0.9f64;
+    let expected = (v45 / v32).powi(2);
+    let measured = e_per_c(TechNode::N45) / e_per_c(TechNode::N32);
+    assert!(
+        (measured / expected - 1.0).abs() < 0.10,
+        "ΔE/ΔC ratio {measured} vs V² ratio {expected}"
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate accuracy checks: the proposed model must beat both classic
+//! baselines against the sign-off reference on representative Table II
+//! configurations, in every technology and design style.
+
+use predictive_interconnect::golden::flow::accuracy_row;
+use predictive_interconnect::models::buffering::{BufferingObjective, SearchSpace};
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::{LineEvaluator, LineSpec};
+use predictive_interconnect::tech::units::{Freq, Length};
+use predictive_interconnect::tech::{DesignStyle, TechNode, Technology};
+
+fn check(node: TechNode, style: DesignStyle, length_mm: f64) {
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(length_mm), style);
+    let plan = evaluator
+        .optimize_buffering(
+            &spec,
+            &BufferingObjective::balanced(Freq::ghz(1.0)),
+            &SearchSpace::for_length(spec.length),
+        )
+        .expect("search space non-empty")
+        .plan;
+    let row = accuracy_row(&tech, &evaluator, &spec, &plan).expect("sign-off");
+    let prop = row.proposed_error().abs();
+    assert!(
+        prop < 0.16,
+        "{node} {} {length_mm} mm: proposed error {:.1}%",
+        style.code(),
+        prop * 100.0
+    );
+    assert!(
+        prop < row.bakoglu_error().abs(),
+        "{node} {} {length_mm} mm: proposed ({:.1}%) must beat Bakoglu ({:.1}%)",
+        style.code(),
+        prop * 100.0,
+        row.bakoglu_error() * 100.0
+    );
+    assert!(
+        prop < row.pamunuwa_error().abs(),
+        "{node} {} {length_mm} mm: proposed ({:.1}%) must beat Pamunuwa ({:.1}%)",
+        style.code(),
+        prop * 100.0,
+        row.pamunuwa_error() * 100.0
+    );
+}
+
+#[test]
+fn proposed_wins_at_90nm_single_spacing() {
+    check(TechNode::N90, DesignStyle::SingleSpacing, 5.0);
+}
+
+#[test]
+fn proposed_wins_at_65nm_single_spacing() {
+    check(TechNode::N65, DesignStyle::SingleSpacing, 10.0);
+}
+
+#[test]
+fn proposed_wins_at_45nm_single_spacing() {
+    check(TechNode::N45, DesignStyle::SingleSpacing, 3.0);
+}
+
+#[test]
+fn proposed_wins_at_65nm_shielded() {
+    check(TechNode::N65, DesignStyle::Shielded, 5.0);
+}
+
+#[test]
+fn proposed_wins_at_90nm_shielded() {
+    check(TechNode::N90, DesignStyle::Shielded, 10.0);
+}
+
+#[test]
+fn runtime_ratio_beats_papers_bound() {
+    // The paper reports the analytic model ≥ 2.1× faster than sign-off.
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = evaluator
+        .optimize_buffering(
+            &spec,
+            &BufferingObjective::balanced(Freq::ghz(1.0)),
+            &SearchSpace::for_length(spec.length),
+        )
+        .expect("search space non-empty")
+        .plan;
+    let row = accuracy_row(&tech, &evaluator, &spec, &plan).expect("sign-off");
+    assert!(
+        row.runtime_ratio() > 2.1,
+        "runtime ratio {} below the paper's bound",
+        row.runtime_ratio()
+    );
+}

@@ -1,0 +1,156 @@
+//! Table III end-to-end: synthesize the paper's testcases with both link
+//! models and verify every qualitative claim of §IV.
+
+use predictive_interconnect::cosi::model::{LinkCostModel, OriginalLinkModel, ProposedLinkModel};
+use predictive_interconnect::cosi::report::evaluate;
+use predictive_interconnect::cosi::router::RouterParams;
+use predictive_interconnect::cosi::synthesis::{infeasible_under, synthesize, SynthesisConfig};
+use predictive_interconnect::cosi::testcases::{dvopd, vproc};
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::LineEvaluator;
+use predictive_interconnect::tech::units::Freq;
+use predictive_interconnect::tech::{DesignStyle, TechNode, Technology};
+
+const ACTIVITY: f64 = 0.25;
+
+struct Setup {
+    tech: Technology,
+    clock: Freq,
+    config: SynthesisConfig,
+}
+
+fn setup(node: TechNode) -> Setup {
+    let clock = match node {
+        TechNode::N90 => Freq::ghz(1.5),
+        TechNode::N65 => Freq::ghz(2.25),
+        _ => Freq::ghz(3.0),
+    };
+    Setup {
+        tech: Technology::new(node),
+        clock,
+        config: SynthesisConfig::at_clock(clock),
+    }
+}
+
+#[test]
+fn both_testcases_synthesize_under_both_models_at_65nm() {
+    let s = setup(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &s.tech);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
+    for spec in [vproc(), dvopd()] {
+        for model in [&proposed as &dyn LinkCostModel, &original] {
+            let net = synthesize(&spec, model, &s.config)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", spec.name, model.name()));
+            assert!(!net.channels.is_empty());
+            assert_eq!(net.routes.len(), spec.flows.len());
+        }
+    }
+}
+
+#[test]
+fn proposed_network_has_higher_dynamic_power_estimate() {
+    // §IV: "dynamic power consumption estimated by the proposed model is up
+    // to three times as large as ... the original model".
+    let s = setup(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &s.tech);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
+    let routers = RouterParams::for_tech(&s.tech);
+    let spec = dvopd();
+    let net_p = synthesize(&spec, &proposed, &s.config).expect("proposed synthesis");
+    let net_o = synthesize(&spec, &original, &s.config).expect("original synthesis");
+    let rp = evaluate(&spec.name, &net_p, &routers, s.clock);
+    let ro = evaluate(&spec.name, &net_o, &routers, s.clock);
+    let ratio = rp.link_dynamic / ro.link_dynamic;
+    assert!(
+        ratio > 1.2 && ratio < 4.0,
+        "link dynamic power ratio proposed/original = {ratio}"
+    );
+}
+
+#[test]
+fn dynamic_power_rises_from_65_to_45nm_under_proposed_model() {
+    // §IV: V_dd increases from 1.0 V (65 nm) to 1.1 V (45 nm LP), so the
+    // proposed model's dynamic power goes *up* at the newer node.
+    let mut dynamics = Vec::new();
+    for node in [TechNode::N65, TechNode::N45] {
+        let s = setup(node);
+        let models = builtin(node);
+        let evaluator = LineEvaluator::new(&models, &s.tech);
+        let proposed =
+            ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+        let routers = RouterParams::for_tech(&s.tech);
+        let spec = dvopd();
+        let net = synthesize(&spec, &proposed, &s.config).expect("synthesis");
+        let r = evaluate(&spec.name, &net, &routers, s.clock);
+        dynamics.push(r.total_dynamic());
+    }
+    assert!(
+        dynamics[1] > dynamics[0],
+        "45 nm dynamic {} mW must exceed 65 nm {} mW",
+        dynamics[1].as_mw(),
+        dynamics[0].as_mw()
+    );
+}
+
+#[test]
+fn proposed_model_produces_more_hops() {
+    // Shorter feasible wires → relay routers → higher hop counts.
+    let s = setup(TechNode::N45);
+    let models = builtin(TechNode::N45);
+    let evaluator = LineEvaluator::new(&models, &s.tech);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
+    let spec = vproc();
+    let net_p = synthesize(&spec, &proposed, &s.config).expect("proposed synthesis");
+    let net_o = synthesize(&spec, &original, &s.config).expect("original synthesis");
+    assert!(
+        net_p.average_hops() > net_o.average_hops(),
+        "proposed {} hops vs original {} hops",
+        net_p.average_hops(),
+        net_o.average_hops()
+    );
+}
+
+#[test]
+fn original_network_contains_unimplementable_links() {
+    // §IV: the original model's optimistic wire lengths yield "design
+    // solutions that are actually not implementable".
+    let s = setup(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &s.tech);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
+    let spec = vproc();
+    let net_o = synthesize(&spec, &original, &s.config).expect("original synthesis");
+    assert!(
+        infeasible_under(&net_o, &proposed) > 0,
+        "expected some original-model links to be rejected by the proposed model"
+    );
+    // And the converse must not happen: every proposed-model link passes
+    // its own feasibility by construction.
+    let net_p = synthesize(&spec, &proposed, &s.config).expect("proposed synthesis");
+    assert_eq!(infeasible_under(&net_p, &proposed), 0);
+}
+
+#[test]
+fn every_proposed_link_meets_the_clock_period() {
+    let s = setup(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &s.tech);
+    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let spec = dvopd();
+    let net = synthesize(&spec, &proposed, &s.config).expect("synthesis");
+    let period = s.clock.period();
+    for (i, c) in net.channels.iter().enumerate() {
+        assert!(
+            c.cost.delay <= period,
+            "channel {i}: {} ps exceeds the {} ps period",
+            c.cost.delay.as_ps(),
+            period.as_ps()
+        );
+    }
+}

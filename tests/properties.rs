@@ -1,0 +1,144 @@
+//! Cross-crate property-based tests: physical monotonicity and consistency
+//! invariants of the public API under randomized inputs.
+
+use proptest::prelude::*;
+
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::{BufferingPlan, LineEvaluator, LineSpec};
+use predictive_interconnect::tech::units::{Cap, Freq, Length, Time};
+use predictive_interconnect::tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+use predictive_interconnect::wire::WireRc;
+
+fn node_strategy() -> impl Strategy<Value = TechNode> {
+    prop_oneof![
+        Just(TechNode::N90),
+        Just(TechNode::N65),
+        Just(TechNode::N45),
+        Just(TechNode::N32),
+        Just(TechNode::N22),
+        Just(TechNode::N16),
+    ]
+}
+
+fn style_strategy() -> impl Strategy<Value = DesignStyle> {
+    prop_oneof![
+        Just(DesignStyle::SingleSpacing),
+        Just(DesignStyle::Shielded),
+        Just(DesignStyle::DoubleSpacing),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Line delay is monotone in length (same plan density).
+    #[test]
+    fn delay_monotone_in_length(
+        node in node_strategy(),
+        style in style_strategy(),
+        len_mm in 1.0f64..10.0,
+        count in 2usize..12,
+        drive in prop_oneof![Just(8u32), Just(16), Just(24)],
+    ) {
+        let tech = Technology::new(node);
+        let models = builtin(node);
+        let ev = LineEvaluator::new(&models, &tech);
+        let wn = tech.layout().unit_nmos_width * f64::from(drive);
+        let plan = BufferingPlan { kind: RepeaterKind::Inverter, count, wn, staggered: false };
+        let d1 = ev.timing(&LineSpec::global(Length::mm(len_mm), style), &plan).delay;
+        let d2 = ev.timing(&LineSpec::global(Length::mm(len_mm * 1.5), style), &plan).delay;
+        prop_assert!(d2 > d1, "{node} {}: {} -> {}", style.code(), d1.as_ps(), d2.as_ps());
+    }
+
+    /// Every stage delay and slew of a line evaluation is positive and the
+    /// total equals the sum of the stages.
+    #[test]
+    fn stage_decomposition_consistent(
+        node in node_strategy(),
+        len_mm in 1.0f64..12.0,
+        count in 1usize..16,
+    ) {
+        let tech = Technology::new(node);
+        let models = builtin(node);
+        let ev = LineEvaluator::new(&models, &tech);
+        let plan = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count,
+            wn: tech.layout().unit_nmos_width * 16.0,
+            staggered: false,
+        };
+        let timing = ev.timing(&LineSpec::global(Length::mm(len_mm), DesignStyle::SingleSpacing), &plan);
+        prop_assert_eq!(timing.stages.len(), count);
+        let sum: Time = timing.stages.iter().map(|s| s.delay()).sum();
+        prop_assert!((sum - timing.delay).abs() < Time::fs(1.0));
+        for s in &timing.stages {
+            prop_assert!(s.output_slew.si() > 0.0);
+        }
+    }
+
+    /// Dynamic power is linear in activity and frequency; leakage is
+    /// independent of both.
+    #[test]
+    fn power_scaling_laws(
+        node in node_strategy(),
+        activity in 0.05f64..0.9,
+        ghz in 0.5f64..3.5,
+    ) {
+        let tech = Technology::new(node);
+        let models = builtin(node);
+        let ev = LineEvaluator::new(&models, &tech);
+        let spec = LineSpec::global(Length::mm(4.0), DesignStyle::SingleSpacing);
+        let plan = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 6,
+            wn: tech.layout().unit_nmos_width * 16.0,
+            staggered: false,
+        };
+        let base = ev.power(&spec, &plan, activity, Freq::ghz(ghz));
+        let double = ev.power(&spec, &plan, activity * 2.0, Freq::ghz(ghz));
+        prop_assert!((double.dynamic.si() / base.dynamic.si() - 2.0).abs() < 1e-9);
+        prop_assert_eq!(base.leakage, double.leakage);
+        let faster = ev.power(&spec, &plan, activity, Freq::ghz(ghz * 2.0));
+        prop_assert!((faster.dynamic.si() / base.dynamic.si() - 2.0).abs() < 1e-9);
+    }
+
+    /// Wire parasitics scale linearly with length and the switched cap is
+    /// bounded by the physical cap times the worst-case Miller factor.
+    #[test]
+    fn wire_parasitics_invariants(
+        node in node_strategy(),
+        style in style_strategy(),
+        len_mm in 0.1f64..20.0,
+        scale in 1.1f64..5.0,
+    ) {
+        let tech = Technology::new(node);
+        let rc = WireRc::from_layer(tech.global_layer(), style);
+        let l1 = Length::mm(len_mm);
+        let l2 = Length::mm(len_mm * scale);
+        prop_assert!((rc.total_r(l2) / rc.total_r(l1) - scale).abs() < 1e-9);
+        prop_assert!((rc.total_cg(l2) / rc.total_cg(l1) - scale).abs() < 1e-9);
+        let phys = rc.total_c_physical(l1);
+        let switched = rc.total_c_switched(l1);
+        use predictive_interconnect::wire::MILLER_WORST;
+        prop_assert!(switched <= Cap::from_si(phys.si() * MILLER_WORST) + Cap::ff(1e-6));
+        prop_assert!(switched >= rc.total_cg(l1));
+    }
+
+    /// The buffering optimizer's result is reproducible (deterministic).
+    #[test]
+    fn optimizer_is_deterministic(
+        len_mm in 2.0f64..8.0,
+    ) {
+        use predictive_interconnect::models::buffering::{BufferingObjective, SearchSpace};
+        let tech = Technology::new(TechNode::N65);
+        let models = builtin(TechNode::N65);
+        let ev = LineEvaluator::new(&models, &tech);
+        let spec = LineSpec::global(Length::mm(len_mm), DesignStyle::SingleSpacing);
+        let obj = BufferingObjective::balanced(Freq::ghz(2.0));
+        let space = SearchSpace::for_length(spec.length);
+        let a = ev.optimize_buffering(&spec, &obj, &space).unwrap();
+        let b = ev.optimize_buffering(&spec, &obj, &space).unwrap();
+        prop_assert_eq!(a.plan, b.plan);
+        prop_assert_eq!(a.cost, b.cost);
+    }
+}

@@ -1,0 +1,171 @@
+//! Sign-off engine self-validation across crates: the stage-decomposed
+//! analysis, the monolithic simulation and the predictive model must agree
+//! within documented bounds on small lines.
+
+use predictive_interconnect::golden::signoff::{line_delay, simulate_full_line};
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::{BufferingPlan, LineEvaluator, LineSpec};
+use predictive_interconnect::tech::units::Length;
+use predictive_interconnect::tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+fn plan(count: usize, wn_um: f64) -> BufferingPlan {
+    BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count,
+        wn: Length::um(wn_um),
+        staggered: false,
+    }
+}
+
+#[test]
+fn staged_signoff_brackets_monolithic_in_both_styles() {
+    let tech = Technology::new(TechNode::N65);
+    for style in [DesignStyle::SingleSpacing, DesignStyle::Shielded] {
+        let spec = LineSpec::global(Length::mm(2.0), style);
+        let p = plan(4, 6.0);
+        let staged = line_delay(&tech, &spec, &p).expect("staged").delay;
+        let full = simulate_full_line(&tech, &spec, &p).expect("monolithic");
+        assert!(
+            staged >= full * 0.95 && staged <= full * 1.4,
+            "{}: staged {} ps vs monolithic {} ps",
+            style.code(),
+            staged.as_ps(),
+            full.as_ps()
+        );
+    }
+}
+
+#[test]
+fn model_tracks_monolithic_simulation() {
+    // The predictive model and the monolithic SPICE-level simulation come
+    // from entirely different code paths; they must land in the same
+    // neighbourhood.
+    let tech = Technology::new(TechNode::N90);
+    let models = builtin(TechNode::N90);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(2.0), DesignStyle::SingleSpacing);
+    let p = plan(3, 6.4);
+    let predicted = evaluator.timing(&spec, &p).delay;
+    let full = simulate_full_line(&tech, &spec, &p).expect("monolithic");
+    let err = ((predicted - full) / full).abs();
+    assert!(
+        err < 0.30,
+        "model {} ps vs monolithic {} ps ({:.0}% apart)",
+        predicted.as_ps(),
+        full.as_ps(),
+        err * 100.0
+    );
+}
+
+#[test]
+fn buffers_and_inverters_both_analyze() {
+    let tech = Technology::new(TechNode::N45);
+    let spec = LineSpec::global(Length::mm(3.0), DesignStyle::SingleSpacing);
+    for kind in [RepeaterKind::Inverter, RepeaterKind::Buffer] {
+        let p = BufferingPlan {
+            kind,
+            count: 5,
+            wn: Length::um(4.4),
+            staggered: false,
+        };
+        let g = line_delay(&tech, &spec, &p).expect("sign-off");
+        assert!(g.delay.as_ps() > 0.0, "{kind}");
+    }
+}
+
+#[test]
+fn signoff_delay_monotone_in_coupling_regime() {
+    // worst-case switching > staggered (quiet) for the same line.
+    let tech = Technology::new(TechNode::N65);
+    let spec = LineSpec::global(Length::mm(4.0), DesignStyle::SingleSpacing);
+    let normal = line_delay(&tech, &spec, &plan(8, 6.0)).expect("normal").delay;
+    let mut staggered_plan = plan(8, 6.0);
+    staggered_plan.staggered = true;
+    let staggered = line_delay(&tech, &spec, &staggered_plan)
+        .expect("staggered")
+        .delay;
+    assert!(staggered < normal);
+}
+
+/// The sign-off stage model lumps both neighbours' coupling onto one
+/// aggressor line. Build the *physical* three-line structure (victim
+/// between two independent aggressors, each carrying half the coupling)
+/// and verify the lumped model reproduces its delay.
+#[test]
+fn lumped_aggressor_matches_three_line_bus() {
+    use predictive_interconnect::golden::extraction::extract;
+    use predictive_interconnect::spice::circuit::{Circuit, GROUND};
+    use predictive_interconnect::spice::cmos::add_inverter;
+    use predictive_interconnect::spice::transient::{transient, TransientSpec};
+    use predictive_interconnect::spice::waveform::{delay_50, Pwl};
+    use predictive_interconnect::tech::units::{Res, Time};
+
+    let tech = Technology::new(TechNode::N65);
+    let d = tech.devices();
+    let vdd = tech.vdd();
+    let spec = LineSpec::global(Length::mm(2.0), DesignStyle::SingleSpacing);
+    let p = plan(1, 6.0);
+    let seg = extract(&tech, &spec, &p).segments[0];
+
+    // Three parallel one-stage lines; the victim couples cc/2 to each side.
+    const SUBSEGS: usize = 8;
+    let mut c = Circuit::new();
+    let vdd_node = c.node();
+    c.rail(vdd_node, vdd);
+    let mut inputs = Vec::new();
+    let mut nears = Vec::new();
+    let mut fars = Vec::new();
+    for _ in 0..3 {
+        let input = c.node();
+        let near = c.node();
+        inputs.push(input);
+        nears.push(near);
+        add_inverter(&mut c, d, p.wn, input, near, vdd_node);
+    }
+    // Build the three ladders with per-junction coupling victim<->each side.
+    let mut chains: Vec<Vec<_>> = nears.iter().map(|&n| vec![n]).collect();
+    let r_sub: Res = seg.r / SUBSEGS as f64;
+    let cg_sub = seg.cg / SUBSEGS as f64;
+    for chain in &mut chains {
+        for _ in 0..SUBSEGS {
+            let prev = *chain.last().unwrap();
+            let next = c.node();
+            c.resistor(prev, next, r_sub);
+            c.capacitor(prev, GROUND, cg_sub * 0.5);
+            c.capacitor(next, GROUND, cg_sub * 0.5);
+            chain.push(next);
+        }
+        fars.push(*chain.last().unwrap());
+        c.capacitor(*chain.last().unwrap(), GROUND, d.inverter_cin(p.wn));
+    }
+    let cc_node = seg.cc / (SUBSEGS + 1) as f64;
+    #[allow(clippy::needless_range_loop)] // parallel indexing of 3 chains
+    for k in 0..=SUBSEGS {
+        // Half the coupling to each physical neighbour.
+        c.capacitor(chains[1][k], chains[0][k], cc_node * 0.5);
+        c.capacitor(chains[1][k], chains[2][k], cc_node * 0.5);
+    }
+    // Victim rises at the output (falling input); aggressors switch
+    // opposite (rising inputs).
+    let ramp = spec.input_slew / 0.8;
+    let t0 = Time::ps(2.0);
+    c.vsource(inputs[1], GROUND, Pwl::ramp_down(t0, ramp, vdd));
+    c.vsource(inputs[0], GROUND, Pwl::ramp_up(t0, ramp, vdd));
+    c.vsource(inputs[2], GROUND, Pwl::ramp_up(t0, ramp, vdd));
+
+    let ts = TransientSpec::new(Time::ps(2500.0), Time::ps(0.5), vec![inputs[1], fars[1]]);
+    let r = transient(&c, &ts).expect("three-line sim");
+    let three_line = delay_50(r.trace(inputs[1]), r.trace(fars[1]), vdd, false, true)
+        .expect("victim transition");
+
+    // The lumped two-line stage model of the sign-off engine.
+    let lumped = line_delay(&tech, &spec, &p).expect("sign-off").delay;
+    let err = ((lumped - three_line) / three_line).abs();
+    assert!(
+        err < 0.08,
+        "lumped {} ps vs three-line {} ps ({:.1}% apart)",
+        lumped.as_ps(),
+        three_line.as_ps(),
+        err * 100.0
+    );
+}

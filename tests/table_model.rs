@@ -1,0 +1,123 @@
+//! Closed-form vs lookup-table model comparison: the five-coefficient
+//! closed forms must stay close to a full NLDM table built from the *same*
+//! characterization data — the justification for using simple models at
+//! the system level.
+
+use predictive_interconnect::golden::signoff::line_delay;
+use predictive_interconnect::models::calibrate::CalibrationGrid;
+use predictive_interconnect::models::coefficients::builtin;
+use predictive_interconnect::models::line::{BufferingPlan, LineEvaluator, LineSpec};
+use predictive_interconnect::models::nldm::NldmLibrary;
+use predictive_interconnect::models::repeater_model::Transition;
+use predictive_interconnect::tech::units::{Cap, Length, Time};
+use predictive_interconnect::tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+#[test]
+fn table_reproduces_characterization_points_exactly() {
+    let tech = Technology::new(TechNode::N65);
+    let grid = CalibrationGrid::fast();
+    let lib = NldmLibrary::characterize(&tech, &grid).expect("characterization");
+    // A point on the grid must be returned exactly (bilinear interpolation
+    // is exact at breakpoints).
+    let wn = tech.layout().unit_nmos_width * 12.0;
+    let load = Cap::from_si(tech.devices().inverter_cin(wn).si() * 15.0);
+    let si = Time::ps(120.0);
+    let d1 = lib.delay(RepeaterKind::Inverter, Transition::Fall, wn, si, load);
+    let d2 = lib.delay(RepeaterKind::Inverter, Transition::Fall, wn, si, load);
+    assert_eq!(d1, d2);
+    assert!(d1.as_ps() > 0.0);
+}
+
+#[test]
+fn closed_form_stays_close_to_table_model() {
+    let tech = Technology::new(TechNode::N65);
+    let grid = CalibrationGrid::fast();
+    let lib = NldmLibrary::characterize(&tech, &grid).expect("characterization");
+    let models = builtin(TechNode::N65);
+    let beta = tech.devices().beta_ratio;
+
+    // Compare stage delays over the interior of the characterized space.
+    let mut worst: f64 = 0.0;
+    for &drive in &[4u32, 12, 32] {
+        let wn = tech.layout().unit_nmos_width * f64::from(drive);
+        let cin = tech.devices().inverter_cin(wn);
+        for si_ps in [60.0, 150.0, 250.0] {
+            for factor in [5.0, 20.0, 40.0] {
+                let si = Time::ps(si_ps);
+                let load = Cap::from_si(cin.si() * factor);
+                let table = lib.delay(RepeaterKind::Inverter, Transition::Fall, wn, si, load);
+                let closed = models
+                    .inverter
+                    .fall
+                    .delay(si, load, wn, beta);
+                let denom = table.abs().max(Time::ps(10.0));
+                worst = worst.max(((closed - table).abs() / denom).abs());
+            }
+        }
+    }
+    assert!(
+        worst < 0.30,
+        "closed form vs table worst deviation {:.1}%",
+        worst * 100.0
+    );
+}
+
+#[test]
+fn table_line_timing_tracks_signoff() {
+    let tech = Technology::new(TechNode::N65);
+    let grid = CalibrationGrid::fast();
+    let lib = NldmLibrary::characterize(&tech, &grid).expect("characterization");
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 8,
+        wn: Length::um(3.6), // a characterized size of the fast grid
+        staggered: false,
+    };
+    let table_delay = lib.line_timing(&tech, &spec, &plan).delay;
+    let golden = line_delay(&tech, &spec, &plan).expect("sign-off").delay;
+    let err = ((table_delay - golden) / golden).abs();
+    assert!(
+        err < 0.15,
+        "table line delay {} ps vs sign-off {} ps ({:.1}%)",
+        table_delay.as_ps(),
+        golden.as_ps(),
+        err * 100.0
+    );
+}
+
+#[test]
+fn table_and_closed_form_agree_on_line_delay() {
+    let tech = Technology::new(TechNode::N65);
+    let grid = CalibrationGrid::fast();
+    let lib = NldmLibrary::characterize(&tech, &grid).expect("characterization");
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 12,
+        wn: Length::um(3.6),
+        staggered: false,
+    };
+    let table_delay = lib.line_timing(&tech, &spec, &plan).delay;
+    let closed_delay = evaluator.timing(&spec, &plan).delay;
+    let diff = ((table_delay - closed_delay) / closed_delay).abs();
+    assert!(
+        diff < 0.12,
+        "table {} ps vs closed-form {} ps ({:.1}% apart)",
+        table_delay.as_ps(),
+        closed_delay.as_ps(),
+        diff * 100.0
+    );
+}
+
+#[test]
+fn nearest_size_snapping() {
+    let tech = Technology::new(TechNode::N65);
+    let grid = CalibrationGrid::fast(); // drives 4, 12, 32 → 1.2/3.6/9.6 µm
+    let lib = NldmLibrary::characterize(&tech, &grid).expect("characterization");
+    assert!((lib.nearest_size(Length::um(1.0)).as_um() - 1.2).abs() < 1e-9);
+    assert!((lib.nearest_size(Length::um(4.0)).as_um() - 3.6).abs() < 1e-9);
+    assert!((lib.nearest_size(Length::um(50.0)).as_um() - 9.6).abs() < 1e-9);
+}
