@@ -1,0 +1,94 @@
+//! Repo-level performance baseline.
+//!
+//! Measures the two numbers the performance work is judged by and writes
+//! them to `BENCH_seed.json` at the workspace root (committed, so later
+//! changes can be compared against the machine-annotated baseline):
+//!
+//! 1. **Table I calibration wall time**, serial (`PI_THREADS=1`) vs
+//!    parallel (all host cores), over the standard 5×5×5 grid — the hot
+//!    path behind `gen_coefficients` and the `table1` binary.
+//! 2. **Sign-off vs proposed-model runtime** for a 5 mm buffered line —
+//!    the Table II "RT" column.
+//!
+//! The host core count is recorded alongside: on a single-core runner the
+//! calibration speedup is honestly ~1×; the ≥2× target applies on ≥4
+//! cores.
+
+use pi_bench::micro::{emit, fmt_ns, Measurement, Micro};
+use pi_core::calibrate::{characterize_grid, CalibrationGrid};
+use pi_core::coefficients::builtin;
+use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
+use pi_core::repeater_model::Transition;
+use pi_golden::signoff::line_delay;
+use pi_tech::units::Length;
+use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+fn json_field(out: &mut String, key: &str, value: f64) {
+    out.push_str(&format!("  \"{key}\": {value:.1},\n"));
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let tech = Technology::new(TechNode::N65);
+    let grid = CalibrationGrid::standard();
+
+    let characterize = || {
+        characterize_grid(&tech, RepeaterKind::Inverter, Transition::Fall, &grid)
+            .expect("characterization grid")
+    };
+    std::env::set_var("PI_THREADS", "1");
+    let serial = Micro::slow().run("calibration_grid_serial", characterize);
+    std::env::set_var("PI_THREADS", cores.to_string());
+    let parallel = Micro::slow().run("calibration_grid_parallel", characterize);
+    std::env::remove_var("PI_THREADS");
+    let speedup = serial.median_ns / parallel.median_ns;
+
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 8,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    let model = Micro::default().run("proposed_model_line_delay_5mm", || {
+        evaluator.timing(&spec, &plan).delay
+    });
+    let golden = Micro::slow().run("golden_line_delay_5mm", || {
+        line_delay(&tech, &spec, &plan).expect("sign-off").delay
+    });
+    let ratio = golden.median_ns / model.median_ns;
+
+    let measurements: Vec<Measurement> = vec![serial, parallel, model, golden];
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json_field(
+        &mut json,
+        "calibration_serial_ns",
+        measurements[0].median_ns,
+    );
+    json_field(
+        &mut json,
+        "calibration_parallel_ns",
+        measurements[1].median_ns,
+    );
+    json.push_str(&format!("  \"calibration_speedup\": {speedup:.2},\n"));
+    json_field(&mut json, "model_eval_ns", measurements[2].median_ns);
+    json_field(&mut json, "golden_signoff_ns", measurements[3].median_ns);
+    json.push_str(&format!("  \"signoff_over_model_ratio\": {ratio:.0},\n"));
+    json.push_str("  \"grid\": \"standard 5x5x5, N65 inverter fall\",\n");
+    json.push_str("  \"line\": \"5 mm SS, 8x 6um inverters, N65\"\n");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_seed.json");
+    std::fs::write(path, &json).expect("write BENCH_seed.json");
+
+    emit("repo baseline", &measurements);
+    println!(
+        "\ncalibration speedup {speedup:.2}x on {cores} core(s); \
+         sign-off/model ratio {ratio:.0}x; golden median {}\nwrote {path}",
+        fmt_ns(measurements[3].median_ns)
+    );
+}

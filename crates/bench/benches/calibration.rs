@@ -1,51 +1,34 @@
 //! Calibration-pipeline benches: one transient characterization point and
 //! one full edge-model regression over a pre-simulated grid.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use pi_bench::micro::{emit, Micro};
 use pi_core::calibrate::{characterize_grid, fit_edge_model, CalibrationGrid};
 use pi_core::repeater_model::Transition;
 use pi_spice::cmos::characterize_repeater;
 use pi_tech::units::{Cap, Length, Time};
 use pi_tech::{RepeaterKind, TechNode, Technology};
 
-fn bench_one_characterization(c: &mut Criterion) {
+fn main() {
     let tech = Technology::new(TechNode::N65);
-    let mut group = c.benchmark_group("characterization");
-    group.sample_size(20);
-    group.bench_function("inverter_point", |b| {
-        b.iter(|| {
-            black_box(
-                characterize_repeater(
-                    tech.devices(),
-                    RepeaterKind::Inverter,
-                    black_box(Length::um(4.0)),
-                    black_box(Time::ps(80.0)),
-                    black_box(Cap::ff(60.0)),
-                    true,
-                )
-                .expect("simulation"),
-            )
-        });
-    });
-    group.finish();
-}
 
-fn bench_regression(c: &mut Criterion) {
-    let tech = Technology::new(TechNode::N65);
+    let one_point = Micro::slow().run("characterize_inverter_point", || {
+        characterize_repeater(
+            tech.devices(),
+            RepeaterKind::Inverter,
+            Length::um(4.0),
+            Time::ps(80.0),
+            Cap::ff(60.0),
+            true,
+        )
+        .expect("simulation")
+    });
+
     let grid = CalibrationGrid::fast();
     let pts = characterize_grid(&tech, RepeaterKind::Inverter, Transition::Fall, &grid)
         .expect("characterization grid");
-    c.bench_function("fit_edge_model", |b| {
-        b.iter(|| {
-            black_box(
-                fit_edge_model(&tech, RepeaterKind::Inverter, Transition::Fall, black_box(&pts))
-                    .expect("fit"),
-            )
-        });
+    let fit = Micro::default().run("fit_edge_model", || {
+        fit_edge_model(&tech, RepeaterKind::Inverter, Transition::Fall, &pts).expect("fit")
     });
-}
 
-criterion_group!(benches, bench_one_characterization, bench_regression);
-criterion_main!(benches);
+    emit("calibration pipeline (65 nm)", &[one_point, fit]);
+}

@@ -3,16 +3,19 @@
 //! the analytical models ≥ 2.1× faster than PrimeTime; a closed form vs a
 //! transient engine lands orders of magnitude apart.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use pi_bench::micro::{emit, Micro};
 use pi_core::coefficients::builtin;
 use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
 use pi_golden::signoff::line_delay;
 use pi_tech::units::Length;
 use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
 
-fn setup() -> (Technology, pi_core::CalibratedModels, LineSpec, BufferingPlan) {
+fn setup() -> (
+    Technology,
+    pi_core::CalibratedModels,
+    LineSpec,
+    BufferingPlan,
+) {
     let tech = Technology::new(TechNode::N65);
     let models = builtin(TechNode::N65);
     let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
@@ -25,18 +28,16 @@ fn setup() -> (Technology, pi_core::CalibratedModels, LineSpec, BufferingPlan) {
     (tech, models, spec, plan)
 }
 
-fn bench_proposed_model(c: &mut Criterion) {
+fn main() {
     let (tech, models, spec, plan) = setup();
     let evaluator = LineEvaluator::new(&models, &tech);
-    c.bench_function("proposed_model_line_delay_5mm", |b| {
-        b.iter(|| black_box(evaluator.timing(black_box(&spec), black_box(&plan)).delay));
-    });
-}
 
-fn bench_classic_models(c: &mut Criterion) {
-    let (tech, _, spec, plan) = setup();
-    let bak = pi_wire::BakogluModel::new(tech.devices(), tech.global_layer());
-    let pam = pi_wire::PamunuwaModel::new(
+    let proposed = Micro::default().run("proposed_model_line_delay_5mm", || {
+        evaluator.timing(&spec, &plan).delay
+    });
+
+    let bak_model = pi_wire::BakogluModel::new(tech.devices(), tech.global_layer());
+    let pam_model = pi_wire::PamunuwaModel::new(
         tech.devices(),
         tech.global_layer(),
         DesignStyle::SingleSpacing,
@@ -45,34 +46,23 @@ fn bench_classic_models(c: &mut Criterion) {
         count: plan.count,
         wn: plan.wn,
     };
-    c.bench_function("bakoglu_line_delay_5mm", |b| {
-        b.iter(|| black_box(bak.line_delay(black_box(spec.length), black_box(buf))));
+    let bak = Micro::default().run("bakoglu_line_delay_5mm", || {
+        bak_model.line_delay(spec.length, buf)
     });
-    c.bench_function("pamunuwa_line_delay_5mm", |b| {
-        b.iter(|| black_box(pam.line_delay(black_box(spec.length), black_box(buf))));
+    let pam = Micro::default().run("pamunuwa_line_delay_5mm", || {
+        pam_model.line_delay(spec.length, buf)
     });
-}
 
-fn bench_signoff(c: &mut Criterion) {
-    let (tech, _, spec, plan) = setup();
-    let mut group = c.benchmark_group("signoff");
-    group.sample_size(10);
-    group.bench_function("golden_line_delay_5mm", |b| {
-        b.iter(|| {
-            black_box(
-                line_delay(black_box(&tech), black_box(&spec), black_box(&plan))
-                    .expect("sign-off")
-                    .delay,
-            )
-        });
+    let golden = Micro::slow().run("golden_line_delay_5mm", || {
+        line_delay(&tech, &spec, &plan).expect("sign-off").delay
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_proposed_model,
-    bench_classic_models,
-    bench_signoff
-);
-criterion_main!(benches);
+    println!(
+        "sign-off / proposed-model runtime ratio: {:.0}x\n",
+        golden.median_ns / proposed.median_ns
+    );
+    emit(
+        "model vs golden (5 mm line, 65 nm)",
+        &[proposed, bak, pam, golden],
+    );
+}

@@ -1,9 +1,7 @@
 //! NoC-synthesis benches: full topology synthesis of the DVOPD testcase
 //! under each link model, plus a single link-cost query.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use pi_bench::micro::{emit, Micro};
 use pi_core::coefficients::builtin;
 use pi_core::line::LineEvaluator;
 use pi_cosi::model::{LinkCostModel, OriginalLinkModel, ProposedLinkModel};
@@ -12,7 +10,7 @@ use pi_cosi::testcases::dvopd;
 use pi_tech::units::{Freq, Length};
 use pi_tech::{DesignStyle, TechNode, Technology};
 
-fn bench_synthesis(c: &mut Criterion) {
+fn main() {
     let tech = Technology::new(TechNode::N65);
     let models = builtin(TechNode::N65);
     let evaluator = LineEvaluator::new(&models, &tech);
@@ -20,22 +18,24 @@ fn bench_synthesis(c: &mut Criterion) {
     let config = SynthesisConfig::at_clock(clock);
     let spec = dvopd();
 
-    let original = OriginalLinkModel::new(&tech, clock, 0.25);
-    c.bench_function("synthesize_dvopd_original", |b| {
-        b.iter(|| black_box(synthesize(&spec, &original, &config).expect("synthesis")));
+    let original_model = OriginalLinkModel::new(&tech, clock, 0.25);
+    let original = Micro::default().run("synthesize_dvopd_original", || {
+        synthesize(&spec, &original_model, &config).expect("synthesis")
     });
 
-    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, 0.25);
-    let mut group = c.benchmark_group("proposed");
-    group.sample_size(10);
-    group.bench_function("synthesize_dvopd_proposed", |b| {
-        b.iter(|| black_box(synthesize(&spec, &proposed, &config).expect("synthesis")));
+    let proposed_model =
+        ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, clock, 0.25);
+    let proposed = Micro::slow().run("synthesize_dvopd_proposed", || {
+        synthesize(&spec, &proposed_model, &config).expect("synthesis")
     });
-    group.bench_function("proposed_link_cost_3mm_128b", |b| {
-        b.iter(|| black_box(proposed.link_cost(Length::mm(3.0), 128).expect("feasible")));
+    let link_cost = Micro::slow().run("proposed_link_cost_3mm_128b", || {
+        proposed_model
+            .link_cost(Length::mm(3.0), 128)
+            .expect("feasible")
     });
-    group.finish();
+
+    emit(
+        "NoC synthesis (DVOPD, 65 nm)",
+        &[original, proposed, link_cost],
+    );
 }
-
-criterion_group!(benches, bench_synthesis);
-criterion_main!(benches);

@@ -23,11 +23,7 @@ fn main() {
         let tech = Technology::new(node);
         let models = builtin(node);
         for kind in [RepeaterKind::Inverter, RepeaterKind::Buffer] {
-            let cells: Vec<_> = tech
-                .library()
-                .iter()
-                .filter(|c| c.kind() == kind)
-                .collect();
+            let cells: Vec<_> = tech.library().iter().filter(|c| c.kind() == kind).collect();
             let lib_leak: Vec<f64> = cells
                 .iter()
                 .map(|c| c.leakage_power(tech.devices()).si())
@@ -70,7 +66,11 @@ fn main() {
     println!(
         "\npaper's bounds: leakage model within 11%, area model within 8% \
          of the library values — {}",
-        if all_ok { "all satisfied" } else { "NOT satisfied" }
+        if all_ok {
+            "all satisfied"
+        } else {
+            "NOT satisfied"
+        }
     );
     if !all_ok {
         std::process::exit(1);

@@ -59,7 +59,10 @@ fn main() {
         let min = intercepts.iter().copied().fold(f64::INFINITY, f64::min);
         let max = intercepts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mean = intercepts.iter().sum::<f64>() / intercepts.len() as f64;
-        cells.push(format!("{:.1}%", (max - min) / mean.abs().max(1e-9) * 100.0));
+        cells.push(format!(
+            "{:.1}%",
+            (max - min) / mean.abs().max(1e-9) * 100.0
+        ));
         table.row(cells);
         mean_by_slew.push(mean);
     }

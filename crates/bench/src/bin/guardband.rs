@@ -48,12 +48,8 @@ fn main() {
 
     for derate in [1.0, 0.95, 0.9, 0.85, 0.8, 0.7] {
         let design_clock = Freq::hz(target.si() / derate);
-        let model = ProposedLinkModel::new(
-            &evaluator,
-            DesignStyle::SingleSpacing,
-            design_clock,
-            0.25,
-        );
+        let model =
+            ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, design_clock, 0.25);
         let net = match synthesize(&spec, &model, &SynthesisConfig::at_clock(design_clock)) {
             Ok(n) => n,
             Err(e) => {

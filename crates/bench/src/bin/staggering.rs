@@ -42,7 +42,11 @@ fn main() {
                 .optimize_buffering(&spec, &objective, &space)
                 .expect("search space non-empty");
             let stag = evaluator
-                .optimize_buffering(&spec, &objective, &SearchSpace::for_length(spec.length).staggered())
+                .optimize_buffering(
+                    &spec,
+                    &objective,
+                    &SearchSpace::for_length(spec.length).staggered(),
+                )
                 .expect("search space non-empty");
             // Staggering lets the optimizer hit the same delay with fewer /
             // smaller repeaters; compare at (approximately) iso-delay by

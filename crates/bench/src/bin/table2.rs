@@ -20,38 +20,40 @@ fn node_rows(node: TechNode) -> Vec<(Vec<String>, f64, f64, f64)> {
     let tech = Technology::new(node);
     let models = builtin(node);
     let evaluator = LineEvaluator::new(&models, &tech);
-    let mut rows = Vec::new();
-    for style in styles {
-        for &l in &lengths_mm {
-            let spec = LineSpec::global(Length::mm(l), style);
-            // The implemented line uses a practical buffering: the
-            // balanced optimizer's plan at a nominal clock.
-            let objective = BufferingObjective::balanced(Freq::ghz(1.0));
-            let space = SearchSpace::for_length(spec.length);
-            let plan = evaluator
-                .optimize_buffering(&spec, &objective, &space)
-                .expect("non-empty search space")
-                .plan;
-            let row = accuracy_row(&tech, &evaluator, &spec, &plan).expect("sign-off analysis");
-            rows.push((
-                vec![
-                    node.name().to_owned(),
-                    style.code().to_owned(),
-                    format!("{l:.0}"),
-                    format!("{}", plan.count),
-                    format!("{:.0}", row.golden.as_ps()),
-                    pct(row.bakoglu_error()),
-                    pct(row.pamunuwa_error()),
-                    pct(row.proposed_error()),
-                    format!("{:.0}x", row.runtime_ratio()),
-                ],
-                row.bakoglu_error().abs(),
-                row.pamunuwa_error().abs(),
-                row.proposed_error().abs(),
-            ));
-        }
-    }
-    rows
+    // Every (style, length) row is an independent sign-off run; fan the
+    // rows of this node out across the engine too.
+    let combos: Vec<(DesignStyle, f64)> = styles
+        .iter()
+        .flat_map(|&style| lengths_mm.iter().map(move |&l| (style, l)))
+        .collect();
+    pi_rt::par_map(&combos, |&(style, l)| {
+        let spec = LineSpec::global(Length::mm(l), style);
+        // The implemented line uses a practical buffering: the
+        // balanced optimizer's plan at a nominal clock.
+        let objective = BufferingObjective::balanced(Freq::ghz(1.0));
+        let space = SearchSpace::for_length(spec.length);
+        let plan = evaluator
+            .optimize_buffering(&spec, &objective, &space)
+            .expect("non-empty search space")
+            .plan;
+        let row = accuracy_row(&tech, &evaluator, &spec, &plan).expect("sign-off analysis");
+        (
+            vec![
+                node.name().to_owned(),
+                style.code().to_owned(),
+                format!("{l:.0}"),
+                format!("{}", plan.count),
+                format!("{:.0}", row.golden.as_ps()),
+                pct(row.bakoglu_error()),
+                pct(row.pamunuwa_error()),
+                pct(row.proposed_error()),
+                format!("{:.0}x", row.runtime_ratio()),
+            ],
+            row.bakoglu_error().abs(),
+            row.pamunuwa_error().abs(),
+            row.proposed_error().abs(),
+        )
+    })
 }
 
 fn main() {
@@ -62,17 +64,9 @@ fn main() {
     let mut worst_b: f64 = 0.0;
     let mut worst_p: f64 = 0.0;
 
-    // One thread per technology; rows printed deterministically in order.
-    let per_node: Vec<_> = std::thread::scope(|scope| {
-        let handles: Vec<_> = TechNode::VALIDATED
-            .iter()
-            .map(|&node| scope.spawn(move || node_rows(node)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("node thread"))
-            .collect()
-    });
+    // Fan the technologies out across the pi-rt engine (respects
+    // PI_THREADS); rows come back deterministically in node order.
+    let per_node = pi_rt::par_map(&TechNode::VALIDATED, |&node| node_rows(node));
     for rows in per_node {
         for (cells, b, p, prop) in rows {
             worst_b = worst_b.max(b);

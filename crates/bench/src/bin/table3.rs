@@ -48,8 +48,7 @@ fn main() {
 
             let models = builtin(node);
             let evaluator = LineEvaluator::new(&models, &tech);
-            let proposed =
-                ProposedLinkModel::new(&evaluator, config.style, clock, ACTIVITY);
+            let proposed = ProposedLinkModel::new(&evaluator, config.style, clock, ACTIVITY);
             let original = OriginalLinkModel::new(&tech, clock, ACTIVITY);
 
             let net_orig = synthesize(&spec, &original, &config)

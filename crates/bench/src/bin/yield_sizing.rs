@@ -57,13 +57,7 @@ fn main() {
         };
         let y0 = evaluator.timing_yield(&spec, &base.plan, &variation, deadline, SAMPLES, SEED);
         let sized = evaluator.size_for_yield(
-            &spec,
-            &base.plan,
-            &variation,
-            deadline,
-            TARGET,
-            SAMPLES,
-            SEED,
+            &spec, &base.plan, &variation, deadline, TARGET, SAMPLES, SEED,
         );
         match sized {
             Some(s) => {

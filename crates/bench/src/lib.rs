@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use std::fmt::Display;
 
 /// A plain-text table builder for evaluation reports.
@@ -48,7 +50,8 @@ impl TextTable {
             self.header.len(),
             "row width must match header"
         );
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
     }
 
     /// Renders the table as CSV (RFC-4180-style quoting for cells that
@@ -63,7 +66,14 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
@@ -91,7 +101,11 @@ impl TextTable {
                 }
                 let cell = &cells[i];
                 // Right-align numeric-looking cells, left-align the rest.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                {
                     line.push_str(&" ".repeat(widths[i] - cell.len()));
                     line.push_str(cell);
                 } else {
@@ -154,7 +168,6 @@ mod tests {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.row(vec!["only one".to_string()]);
     }
-
 
     #[test]
     fn csv_rendering_and_quoting() {

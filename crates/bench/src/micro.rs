@@ -1,0 +1,251 @@
+//! Minimal in-repo micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dependency so `cargo bench` works
+//! fully offline. The model is deliberately simple and robust:
+//!
+//! 1. **Calibration** — the closure is timed once; if a single call is
+//!    faster than the per-trial floor, enough inner iterations are batched
+//!    per trial to cross it, so `Instant` granularity never dominates.
+//! 2. **Warmup** — a few untimed trials populate caches and branch
+//!    predictors.
+//! 3. **Measurement** — each trial records mean ns/iteration; the summary
+//!    reports the **median** (robust to scheduler noise) and the **MAD**
+//!    (median absolute deviation) as the spread estimate, plus min/max.
+//!
+//! Output is a plain-text table (via [`TextTable`](crate::TextTable)) and
+//! one JSON object per measurement (JSON-lines), either appended to the
+//! file named by `PI_BENCH_JSON` or printed after the table.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one benchmarked closure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name (used in both text and JSON output).
+    pub name: String,
+    /// Number of measured trials.
+    pub trials: usize,
+    /// Inner iterations batched per trial.
+    pub iters: u64,
+    /// Median of the per-trial mean ns/iteration.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-trial means, in ns.
+    pub mad_ns: f64,
+    /// Fastest trial, ns/iteration.
+    pub min_ns: f64,
+    /// Slowest trial, ns/iteration.
+    pub max_ns: f64,
+}
+
+impl Measurement {
+    /// One JSON object on a single line (JSON-lines record).
+    #[must_use]
+    pub fn json_line(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"mad_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"trials\":{},\"iters\":{}}}",
+            self.name, self.median_ns, self.mad_ns, self.min_ns, self.max_ns, self.trials, self.iters
+        )
+    }
+}
+
+/// Micro-benchmark runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Micro {
+    /// Untimed warmup trials before measurement.
+    pub warmup: usize,
+    /// Measured trials.
+    pub trials: usize,
+    /// Per-trial duration floor; fast closures batch iterations to cross it.
+    pub min_trial: Duration,
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        Micro {
+            warmup: 3,
+            trials: 15,
+            min_trial: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Micro {
+    /// A cheaper configuration for benchmarks whose single call already
+    /// takes a substantial fraction of a second (transient sign-off, full
+    /// synthesis, calibration sweeps).
+    #[must_use]
+    pub fn slow() -> Self {
+        Micro {
+            warmup: 1,
+            trials: 5,
+            min_trial: Duration::from_millis(1),
+        }
+    }
+
+    /// Runs `f` under this configuration and returns its summary.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Calibrate the batch size from one untimed-for-stats call.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let iters: u64 = if once >= self.min_trial {
+            1
+        } else {
+            let ratio = self.min_trial.as_nanos() / once.as_nanos().max(1);
+            u64::try_from(ratio.clamp(1, 1_000_000)).expect("clamped")
+        };
+
+        for _ in 0..self.warmup {
+            trial(iters, &mut f);
+        }
+        let mut samples: Vec<f64> = (0..self.trials.max(1))
+            .map(|_| trial(iters, &mut f))
+            .collect();
+
+        let med = median(&mut samples);
+        let mut deviations: Vec<f64> = samples.iter().map(|&s| (s - med).abs()).collect();
+        let mad = median(&mut deviations);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Measurement {
+            name: name.to_owned(),
+            trials: self.trials.max(1),
+            iters,
+            median_ns: med,
+            mad_ns: mad,
+            min_ns: min,
+            max_ns: max,
+        }
+    }
+}
+
+/// Times one trial of `iters` calls; returns mean ns per call.
+fn trial<R>(iters: u64, f: &mut impl FnMut() -> R) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+    per_iter
+}
+
+/// Median of a slice (sorts in place; mean of the middle pair when even).
+fn median(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample set");
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+#[must_use]
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Prints the standard report for a bench binary: a titled text table,
+/// then the JSON-lines records — appended to the file named by the
+/// `PI_BENCH_JSON` environment variable when set, printed to stdout
+/// otherwise.
+pub fn emit(title: &str, measurements: &[Measurement]) {
+    let mut table =
+        crate::TextTable::new(vec!["bench", "median", "MAD", "min", "max", "trials×iters"]);
+    for m in measurements {
+        table.row(vec![
+            m.name.clone(),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.mad_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.max_ns),
+            format!("{}×{}", m.trials, m.iters),
+        ]);
+    }
+    println!("{title}");
+    print!("{}", table.render());
+
+    let lines: String = measurements.iter().map(|m| m.json_line() + "\n").collect();
+    match std::env::var_os("PI_BENCH_JSON") {
+        Some(path) => {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("PI_BENCH_JSON {}: {e}", path.to_string_lossy()));
+            file.write_all(lines.as_bytes()).expect("write JSON lines");
+        }
+        None => print!("{lines}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sets() {
+        assert!((median(&mut [3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&mut [4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_reports_sane_statistics() {
+        let micro = Micro {
+            warmup: 1,
+            trials: 5,
+            min_trial: Duration::from_micros(200),
+        };
+        let m = micro.run("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(m.trials, 5);
+        assert!(m.iters >= 1);
+        assert!(m.median_ns > 0.0);
+        assert!(m.mad_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let m = Measurement {
+            name: "x".into(),
+            trials: 3,
+            iters: 10,
+            median_ns: 1.5,
+            mad_ns: 0.25,
+            min_ns: 1.0,
+            max_ns: 2.0,
+        };
+        let j = m.json_line();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"x\""));
+        assert!(j.contains("\"median_ns\":1.5"));
+        assert!(j.contains("\"iters\":10"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_unit() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(12_500.0), "12.50 µs");
+        assert_eq!(fmt_ns(12_500_000.0), "12.50 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500 s");
+    }
+}

@@ -447,7 +447,11 @@ mod tests {
             .optimize_buffering(&spec, &obj, &SearchSpace::for_length(spec.length))
             .unwrap();
         let staggered = ev
-            .optimize_buffering(&spec, &obj, &SearchSpace::for_length(spec.length).staggered())
+            .optimize_buffering(
+                &spec,
+                &obj,
+                &SearchSpace::for_length(spec.length).staggered(),
+            )
             .unwrap();
         assert!(staggered.timing.delay < normal.timing.delay);
     }

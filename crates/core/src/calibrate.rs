@@ -21,11 +21,9 @@
 
 use std::fmt;
 
-use pi_regress::{
-    linear_fit, linear_fit_zero_intercept, multi_linear_fit, poly_fit, RegressError,
-};
-use pi_spice::cmos::characterize_repeater;
-use pi_spice::SimError;
+use pi_regress::{linear_fit, linear_fit_zero_intercept, multi_linear_fit, poly_fit, RegressError};
+use pi_spice::cmos::characterize_repeater_with;
+use pi_spice::{SimError, SimWorkspace};
 use pi_tech::units::{Cap, Length, Time};
 use pi_tech::{RepeaterKind, TechNode, Technology};
 
@@ -114,7 +112,10 @@ impl CalibrationGrid {
     pub fn fast() -> Self {
         CalibrationGrid {
             drives: vec![4, 12, 32],
-            slews: [30.0, 120.0, 300.0].iter().map(|&ps| Time::ps(ps)).collect(),
+            slews: [30.0, 120.0, 300.0]
+                .iter()
+                .map(|&ps| Time::ps(ps))
+                .collect(),
             load_factors: vec![3.0, 15.0, 45.0],
         }
     }
@@ -169,7 +170,10 @@ pub fn characterize_grid(
     let devices = tech.devices();
     let unit = tech.layout().unit_nmos_width;
     let rising = matches!(transition, Transition::Rise);
-    let mut points =
+    // Flatten the (size × slew × load) grid so its points — each an
+    // independent transient simulation — can be characterized in parallel.
+    // The output order matches the former serial triple loop exactly.
+    let mut cells =
         Vec::with_capacity(grid.drives.len() * grid.slews.len() * grid.load_factors.len());
     for &drive in &grid.drives {
         let wn = unit * f64::from(drive);
@@ -178,17 +182,31 @@ pub fn characterize_grid(
         let load_unit = devices.inverter_cin(wn);
         for &slew in &grid.slews {
             for &factor in &grid.load_factors {
-                let load = Cap::from_si(load_unit.si() * factor);
-                let m = characterize_repeater(devices, kind, wn, slew, load, rising)?;
-                points.push(RawPoint {
+                cells.push((wn, slew, Cap::from_si(load_unit.si() * factor)));
+            }
+        }
+    }
+    // Chunked rather than per-point so each worker amortizes one simulator
+    // workspace (trace buffers) over its share of the grid.
+    let partials = pi_rt::par_map(&pi_rt::chunk_ranges(cells.len()), |&(start, end)| {
+        let mut ws = SimWorkspace::new();
+        cells[start..end]
+            .iter()
+            .map(|&(wn, slew, load)| {
+                let m = characterize_repeater_with(&mut ws, devices, kind, wn, slew, load, rising)?;
+                Ok(RawPoint {
                     wn,
                     input_slew: slew,
                     load,
                     delay: m.delay,
                     output_slew: m.output_slew,
-                });
-            }
-        }
+                })
+            })
+            .collect::<Vec<Result<RawPoint, SimError>>>()
+    });
+    let mut points = Vec::with_capacity(cells.len());
+    for r in partials.into_iter().flatten() {
+        points.push(r?);
     }
     Ok(points)
 }
@@ -409,10 +427,7 @@ mod tests {
     fn grid_validation_catches_thin_axes() {
         let mut g = CalibrationGrid::fast();
         g.slews.truncate(2);
-        assert!(matches!(
-            g.validate(),
-            Err(CalibrateError::GridTooSmall(_))
-        ));
+        assert!(matches!(g.validate(), Err(CalibrateError::GridTooSmall(_))));
         assert!(CalibrationGrid::fast().validate().is_ok());
         assert!(CalibrationGrid::standard().validate().is_ok());
     }
@@ -424,8 +439,7 @@ mod tests {
             slews: vec![Time::ps(40.0), Time::ps(120.0), Time::ps(280.0)],
             load_factors: vec![4.0, 25.0],
         };
-        let pts =
-            characterize_grid(&tech(), RepeaterKind::Inverter, Transition::Fall, &g).unwrap();
+        let pts = characterize_grid(&tech(), RepeaterKind::Inverter, Transition::Fall, &g).unwrap();
         assert_eq!(pts.len(), 2 * 3 * 2);
         assert!(pts.iter().all(|p| p.output_slew.si() > 0.0));
     }

@@ -101,7 +101,10 @@ impl LineTiming {
     /// Panics if the line has no stages (plans always have ≥ 1 repeater).
     #[must_use]
     pub fn output_slew(&self) -> Time {
-        self.stages.last().expect("plans have ≥ 1 stage").output_slew
+        self.stages
+            .last()
+            .expect("plans have ≥ 1 stage")
+            .output_slew
     }
 
     /// Renders an STA-style path report: one line per stage with arrival
@@ -210,13 +213,11 @@ impl<'a> LineEvaluator<'a> {
     ///
     /// Panics if `plan.count` is zero.
     #[must_use]
-    pub fn timing_with_rc(
-        &self,
-        spec: &LineSpec,
-        plan: &BufferingPlan,
-        rc: &WireRc,
-    ) -> LineTiming {
-        assert!(plan.count > 0, "a buffered line needs at least one repeater");
+    pub fn timing_with_rc(&self, spec: &LineSpec, plan: &BufferingPlan, rc: &WireRc) -> LineTiming {
+        assert!(
+            plan.count > 0,
+            "a buffered line needs at least one repeater"
+        );
         let model = self.models.repeater(plan.kind);
         let seg_len = spec.length / plan.count as f64;
         let ci_next = model.cin(plan.wn);
@@ -276,7 +277,10 @@ impl<'a> LineEvaluator<'a> {
         plan: &BufferingPlan,
         first_wn: Length,
     ) -> LineTiming {
-        assert!(plan.count > 0, "a buffered line needs at least one repeater");
+        assert!(
+            plan.count > 0,
+            "a buffered line needs at least one repeater"
+        );
         let model = self.models.repeater(plan.kind);
         let rc = self.wire_rc(spec, plan.staggered);
         let seg_len = spec.length / plan.count as f64;
@@ -350,11 +354,11 @@ impl<'a> LineEvaluator<'a> {
         let wire_c = rc.total_c_physical(spec.length);
         let rep_c = (model.cin(plan.wn) + devices.inverter_cout(plan.wn)) * plan.count as f64;
         let dynamic = dynamic_power(activity, wire_c + rep_c, devices.vdd, clock);
-        let leakage =
-            self.models
-                .leakage
-                .repeater(plan.kind, plan.wn, model.beta_ratio)
-                * plan.count as f64;
+        let leakage = self
+            .models
+            .leakage
+            .repeater(plan.kind, plan.wn, model.beta_ratio)
+            * plan.count as f64;
         PowerBreakdown { dynamic, leakage }
     }
 
@@ -418,7 +422,11 @@ mod tests {
             &LineSpec::global(Length::mm(10.0), DesignStyle::SingleSpacing),
             &plan(12, 6.0),
         );
-        let slews: Vec<f64> = timing.stages.iter().map(|s| s.output_slew.as_ps()).collect();
+        let slews: Vec<f64> = timing
+            .stages
+            .iter()
+            .map(|s| s.output_slew.as_ps())
+            .collect();
         let last = slews[slews.len() - 1];
         let second_last = slews[slews.len() - 2];
         assert!(
@@ -496,7 +504,6 @@ mod tests {
         let a8 = ev.repeater_area(&plan(8, 6.0));
         assert!((a8 / a4 - 2.0).abs() < 1e-9);
     }
-
 
     #[test]
     fn path_report_is_consistent() {

@@ -143,10 +143,7 @@ impl NldmLibrary {
             for transition in Transition::BOTH {
                 let points = characterize_grid(tech, kind, transition, grid)?;
                 for (key, tables) in build_tables(kind, transition, &points) {
-                    if !sizes
-                        .iter()
-                        .any(|s| (s.as_nm() as u64) == key.wn_nm)
-                    {
+                    if !sizes.iter().any(|s| (s.as_nm() as u64) == key.wn_nm) {
                         sizes.push(Length::nm(key.wn_nm as f64));
                     }
                     cells.insert(key, tables);
@@ -212,7 +209,9 @@ impl NldmLibrary {
         input_slew: Time,
         load: Cap,
     ) -> Time {
-        self.tables(kind, transition, wn).delay.lookup(input_slew, load)
+        self.tables(kind, transition, wn)
+            .delay
+            .lookup(input_slew, load)
     }
 
     /// Table-interpolated output slew.
@@ -255,7 +254,10 @@ impl NldmLibrary {
         plan: &BufferingPlan,
     ) -> LineTiming {
         assert_eq!(self.node, tech.node(), "library/technology node mismatch");
-        assert!(plan.count > 0, "a buffered line needs at least one repeater");
+        assert!(
+            plan.count > 0,
+            "a buffered line needs at least one repeater"
+        );
         let layer = tech.layer(spec.tier);
         let mut rc = pi_wire::WireRc::from_layer(layer, spec.style);
         if plan.staggered && rc.neighbors_switch {

@@ -83,8 +83,7 @@ impl LeakageModel {
         match kind {
             RepeaterKind::Inverter => stage(wn, wp),
             RepeaterKind::Buffer => {
-                stage(wn, wp)
-                    + stage(wn * BUFFER_STAGE1_FRACTION, wp * BUFFER_STAGE1_FRACTION)
+                stage(wn, wp) + stage(wn * BUFFER_STAGE1_FRACTION, wp * BUFFER_STAGE1_FRACTION)
             }
         }
     }
@@ -172,7 +171,11 @@ mod tests {
             let (t, m) = model(node);
             let devices = t.devices();
             let mut max_err: f64 = 0.0;
-            for cell in t.library().iter().filter(|c| c.kind() == RepeaterKind::Inverter) {
+            for cell in t
+                .library()
+                .iter()
+                .filter(|c| c.kind() == RepeaterKind::Inverter)
+            {
                 let lib = cell.leakage_power(devices);
                 let pred = m.repeater(RepeaterKind::Inverter, cell.wn(), devices.beta_ratio);
                 max_err = max_err.max(((pred - lib) / lib).abs());
@@ -196,7 +199,9 @@ mod tests {
     fn buffer_leaks_more_than_inverter() {
         let (t, m) = model(TechNode::N90);
         let wn = t.layout().unit_nmos_width * 12.0;
-        assert!(m.repeater(RepeaterKind::Buffer, wn, 2.0) > m.repeater(RepeaterKind::Inverter, wn, 2.0));
+        assert!(
+            m.repeater(RepeaterKind::Buffer, wn, 2.0) > m.repeater(RepeaterKind::Inverter, wn, 2.0)
+        );
     }
 
     #[test]
@@ -212,7 +217,6 @@ mod tests {
         let bumped = dynamic_power(0.3, Cap::ff(50.0), Volt::v(1.1), Freq::ghz(1.0));
         assert!((bumped.si() / base.si() - 1.21).abs() < 1e-9);
     }
-
 
     #[test]
     fn energy_per_bit_normalizes_power() {

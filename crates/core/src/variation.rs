@@ -12,9 +12,7 @@
 //! delay similarly; wire parasitics are left nominal (interconnect
 //! variation is tracked separately in practice).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
+use pi_rt::Rng;
 use pi_tech::units::Time;
 
 use crate::line::{BufferingPlan, LineEvaluator, LineSpec, StageTiming};
@@ -146,27 +144,26 @@ impl DelayDistribution {
     }
 }
 
-/// Standard-normal sample via Box–Muller (rand ships no distributions in
-/// the offline set).
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.random_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
 /// Drive factor sample, floored so a pathological tail cannot produce a
 /// non-positive drive.
-fn drive_factor(rng: &mut StdRng, sigma: f64) -> f64 {
-    (1.0 + sigma * standard_normal(rng)).max(0.2)
+///
+/// Normals come from `pi-rt`'s Box–Muller (the former `rand`-based code
+/// hand-rolled the same transform); each sample of the Monte-Carlo loop
+/// owns a [`Rng::stream`] derived from `(seed, sample_index)`, so the
+/// drawn factors do not depend on how samples are spread over threads.
+fn drive_factor(rng: &mut Rng, sigma: f64) -> f64 {
+    (1.0 + sigma * rng.normal()).max(0.2)
 }
 
 impl LineEvaluator<'_> {
     /// Samples the line-delay distribution under the variation model.
     ///
-    /// Deterministic for a given `seed`. Each sample draws one shared D2D
-    /// drive factor and one WID factor per repeater; a repeater's delay
-    /// contribution is its nominal stage delay with the drive-dependent
-    /// terms scaled by `1/g` (the wire term is unscaled).
+    /// Deterministic for a given `seed`, and — because sample `i` draws
+    /// from its own `Rng::stream(seed, i)` — **bit-identical for any
+    /// thread count** (`PI_THREADS=1` included). Each sample draws one
+    /// shared D2D drive factor and one WID factor per repeater; a
+    /// repeater's delay contribution is its nominal stage delay with the
+    /// drive-dependent terms scaled by `1/g` (the wire term is unscaled).
     ///
     /// # Panics
     ///
@@ -182,17 +179,17 @@ impl LineEvaluator<'_> {
     ) -> DelayDistribution {
         assert!(samples > 0, "need at least one sample");
         let nominal = self.timing(spec, plan);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut out = Vec::with_capacity(samples);
-        for _ in 0..samples {
+        let stages = &nominal.stages;
+        let out = pi_rt::par_map_indexed(samples, |i| {
+            let mut rng = Rng::stream(seed, i as u64);
             let g_d2d = drive_factor(&mut rng, variation.sigma_d2d);
             let mut total = Time::ZERO;
-            for stage in &nominal.stages {
+            for stage in stages {
                 let g = g_d2d * drive_factor(&mut rng, variation.sigma_wid);
                 total += scaled_stage_delay(stage, g);
             }
-            out.push(total);
-        }
+            total
+        });
         DelayDistribution { samples: out }
     }
 
@@ -355,8 +352,7 @@ mod tests {
         let (t, m) = setup();
         let ev = LineEvaluator::new(&m, &t);
         let (spec, plan) = spec_plan();
-        let dist =
-            ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 600, 7);
+        let dist = ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 600, 7);
         let nominal = ev.timing(&spec, &plan).delay;
         let mean = dist.mean();
         assert!(
@@ -403,8 +399,7 @@ mod tests {
         let (t, m) = setup();
         let ev = LineEvaluator::new(&m, &t);
         let (spec, plan) = spec_plan();
-        let dist =
-            ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 400, 3);
+        let dist = ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 400, 3);
         let median = dist.quantile(0.5);
         let y_tight = dist.yield_at(median * 0.9);
         let y_median = dist.yield_at(median);
@@ -449,8 +444,7 @@ mod tests {
         let (t, m) = setup();
         let ev = LineEvaluator::new(&m, &t);
         let (spec, plan) = spec_plan();
-        let dist =
-            ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 300, 9);
+        let dist = ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), 300, 9);
         assert!(dist.quantile(0.1) <= dist.quantile(0.5));
         assert!(dist.quantile(0.5) <= dist.quantile(0.99));
     }

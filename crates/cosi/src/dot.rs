@@ -93,8 +93,12 @@ mod tests {
     #[test]
     fn dot_contains_all_nodes_and_edges() {
         let spec = dvopd();
-        let net = synthesize(&spec, &StubModel, &SynthesisConfig::at_clock(Freq::ghz(2.25)))
-            .expect("synthesis");
+        let net = synthesize(
+            &spec,
+            &StubModel,
+            &SynthesisConfig::at_clock(Freq::ghz(2.25)),
+        )
+        .expect("synthesis");
         let dot = to_dot(&net, &spec);
         assert!(dot.starts_with("digraph noc {"));
         assert!(dot.trim_end().ends_with('}'));
@@ -111,8 +115,12 @@ mod tests {
     #[test]
     fn relays_render_as_circles() {
         let spec = dvopd();
-        let net = synthesize(&spec, &StubModel, &SynthesisConfig::at_clock(Freq::ghz(2.25)))
-            .expect("synthesis");
+        let net = synthesize(
+            &spec,
+            &StubModel,
+            &SynthesisConfig::at_clock(Freq::ghz(2.25)),
+        )
+        .expect("synthesis");
         if net.relay_count() > 0 {
             let dot = to_dot(&net, &spec);
             assert!(dot.contains("shape=circle"));

@@ -89,9 +89,8 @@ pub fn explore_link_styles(
 ) -> Result<Vec<StyleResult>, SynthesisError> {
     let clock: Freq = config.clock;
     let routers = RouterParams::for_tech(evaluator.tech());
-    let mut results = Vec::new();
-    let mut last_err = None;
-    for choice in StyleChoice::candidates() {
+    // Each candidate is a full independent synthesis run — fan them out.
+    let outcomes = pi_rt::par_map(&StyleChoice::candidates(), |&choice| {
         let model = ProposedLinkModel::with_staggering(
             evaluator,
             choice.style,
@@ -101,15 +100,20 @@ pub fn explore_link_styles(
         );
         let mut cfg = *config;
         cfg.style = choice.style;
-        match synthesize(spec, &model, &cfg) {
-            Ok(network) => {
-                let report = evaluate(&spec.name, &network, &routers, clock);
-                results.push(StyleResult {
-                    choice,
-                    network,
-                    report,
-                });
+        synthesize(spec, &model, &cfg).map(|network| {
+            let report = evaluate(&spec.name, &network, &routers, clock);
+            StyleResult {
+                choice,
+                network,
+                report,
             }
+        })
+    });
+    let mut results = Vec::new();
+    let mut last_err = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => results.push(r),
             Err(e) => last_err = Some(e),
         }
     }

@@ -56,9 +56,9 @@ pub mod testcases;
 pub use dot::to_dot;
 pub use explore::{explore_link_styles, StyleChoice, StyleResult};
 pub use mesh::{mesh_network, MeshDims};
-pub use placement::{refine_relay_placement, RefinementStats};
 pub use model::{InfeasibleLink, LinkCost, LinkCostModel, OriginalLinkModel, ProposedLinkModel};
 pub use net_yield::{network_timing_yield, NetworkYield};
+pub use placement::{refine_relay_placement, RefinementStats};
 pub use report::{evaluate, NetworkReport};
 pub use router::RouterParams;
 pub use spec::{CommSpec, Core, Flow, Point, SpecError};

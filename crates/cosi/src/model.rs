@@ -283,7 +283,9 @@ impl LinkCostModel for OriginalLinkModel {
         // cell row/pitch overhead) and wires at drawn width only — no
         // spacing, no design-style pitch, no end allowance.
         let l_gate = self.tech.node().feature_size();
-        let dev_area = buf.wn * (1.0 + self.tech.devices().beta_ratio) * (l_gate * 2.0)
+        let dev_area = buf.wn
+            * (1.0 + self.tech.devices().beta_ratio)
+            * (l_gate * 2.0)
             * (buf.count * n_bits) as f64;
         let layer = self.tech.global_layer();
         let wire_area = layer.width * length * n_bits as f64;

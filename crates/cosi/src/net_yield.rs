@@ -10,9 +10,8 @@
 
 use pi_core::line::{LineEvaluator, LineSpec, LineTiming};
 use pi_core::variation::VariationModel;
+use pi_rt::Rng;
 use pi_tech::units::{Freq, Time};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::synthesis::Network;
 
@@ -44,14 +43,10 @@ impl NetworkYield {
     }
 }
 
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.random_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
-fn drive_factor(rng: &mut StdRng, sigma: f64) -> f64 {
-    (1.0 + sigma * standard_normal(rng)).max(0.2)
+/// Drive factor sample, floored so a pathological tail cannot produce a
+/// non-positive drive. Same model as `pi-core::variation`.
+fn drive_factor(rng: &mut Rng, sigma: f64) -> f64 {
+    (1.0 + sigma * rng.normal()).max(0.2)
 }
 
 /// Samples the timing yield of a synthesized network: on each sampled die,
@@ -59,7 +54,9 @@ fn drive_factor(rng: &mut StdRng, sigma: f64) -> f64 {
 /// per repeater per channel; the die passes if every channel's sampled
 /// delay is at most the clock period.
 ///
-/// Deterministic for a given `seed`.
+/// Deterministic for a given `seed` and — each die draws from its own
+/// [`Rng::stream`]`(seed, die_index)` — bit-identical for any thread
+/// count (`PI_THREADS` included).
 ///
 /// # Panics
 ///
@@ -85,34 +82,46 @@ pub fn network_timing_yield(
         .channels
         .iter()
         .map(|c| {
-            let spec = LineSpec::global(
-                c.length.max(pi_tech::units::Length::um(50.0)),
-                style,
-            );
+            let spec = LineSpec::global(c.length.max(pi_tech::units::Length::um(50.0)), style);
             evaluator.timing(&spec, &c.cost.plan)
         })
         .collect();
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut pass_all = 0usize;
-    let mut pass_channel = vec![0usize; network.channels.len()];
-    for _ in 0..samples {
-        let g_d2d = drive_factor(&mut rng, variation.sigma_d2d);
-        let mut all_ok = true;
-        for (k, timing) in nominal.iter().enumerate() {
-            let mut delay = Time::ZERO;
-            for stage in &timing.stages {
-                let g = g_d2d * drive_factor(&mut rng, variation.sigma_wid);
-                delay += stage.repeater_delay / g + stage.wire_delay;
+    // One counter set per chunk of dies; counts are additive, so merging
+    // per-chunk partials in chunk order reproduces the serial tallies
+    // exactly no matter how chunks were scheduled over threads.
+    let channels = network.channels.len();
+    let partials = pi_rt::par_map(&pi_rt::chunk_ranges(samples), |&(start, end)| {
+        let mut pass_all = 0usize;
+        let mut pass_channel = vec![0usize; channels];
+        for die in start..end {
+            let mut rng = Rng::stream(seed, die as u64);
+            let g_d2d = drive_factor(&mut rng, variation.sigma_d2d);
+            let mut all_ok = true;
+            for (k, timing) in nominal.iter().enumerate() {
+                let mut delay = Time::ZERO;
+                for stage in &timing.stages {
+                    let g = g_d2d * drive_factor(&mut rng, variation.sigma_wid);
+                    delay += stage.repeater_delay / g + stage.wire_delay;
+                }
+                if delay <= period {
+                    pass_channel[k] += 1;
+                } else {
+                    all_ok = false;
+                }
             }
-            if delay <= period {
-                pass_channel[k] += 1;
-            } else {
-                all_ok = false;
+            if all_ok {
+                pass_all += 1;
             }
         }
-        if all_ok {
-            pass_all += 1;
+        (pass_all, pass_channel)
+    });
+    let mut pass_all = 0usize;
+    let mut pass_channel = vec![0usize; channels];
+    for (all, per) in partials {
+        pass_all += all;
+        for (total, p) in pass_channel.iter_mut().zip(per) {
+            *total += p;
         }
     }
 
@@ -154,8 +163,7 @@ mod tests {
         // Synthesize against a derated (faster) clock to build guard band,
         // then evaluate yield at the real clock.
         let design_clock = Freq::hz(s.clock.si() / derate);
-        let model =
-            ProposedLinkModel::new(&ev, DesignStyle::SingleSpacing, design_clock, 0.25);
+        let model = ProposedLinkModel::new(&ev, DesignStyle::SingleSpacing, design_clock, 0.25);
         synthesize(&dvopd(), &model, &SynthesisConfig::at_clock(design_clock)).expect("synthesis")
     }
 
@@ -189,9 +197,16 @@ mod tests {
         let y_tight =
             network_timing_yield(&tight, &ev, DesignStyle::SingleSpacing, &v, s.clock, 300, 9)
                 .yield_fraction;
-        let y_banded =
-            network_timing_yield(&banded, &ev, DesignStyle::SingleSpacing, &v, s.clock, 300, 9)
-                .yield_fraction;
+        let y_banded = network_timing_yield(
+            &banded,
+            &ev,
+            DesignStyle::SingleSpacing,
+            &v,
+            s.clock,
+            300,
+            9,
+        )
+        .yield_fraction;
         assert!(
             y_banded > y_tight + 0.2,
             "tight {y_tight} vs guard-banded {y_banded}"

@@ -92,8 +92,7 @@ pub fn refine_relay_placement(
                     continue;
                 };
                 let p_other = network.nodes[other].position;
-                old_cost += network.nodes[idx].position.manhattan(&p_other).si()
-                    * c.bandwidth_gbps;
+                old_cost += network.nodes[idx].position.manhattan(&p_other).si() * c.bandwidth_gbps;
                 let new_len = candidate.manhattan(&p_other);
                 if new_len > max_len {
                     feasible = false;

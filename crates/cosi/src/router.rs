@@ -71,7 +71,13 @@ impl RouterParams {
     /// Convenience: dynamic power of an equivalent capacitive load switched
     /// at the clock (used in ablation studies).
     #[must_use]
-    pub fn equivalent_dynamic(&self, activity: f64, load: Cap, tech: &Technology, clock: Freq) -> Power {
+    pub fn equivalent_dynamic(
+        &self,
+        activity: f64,
+        load: Cap,
+        tech: &Technology,
+        clock: Freq,
+    ) -> Power {
         dynamic_power(activity, load, tech.vdd(), clock)
     }
 

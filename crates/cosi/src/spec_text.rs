@@ -169,18 +169,18 @@ pub fn parse_spec(text: &str) -> Result<CommSpec, ParseSpecError> {
                         message: "usage: flow <src> <dst> <gbps>".into(),
                     });
                 }
-                let src = *index.get(tokens[1]).ok_or_else(|| {
-                    ParseSpecError::UnknownCore {
+                let src = *index
+                    .get(tokens[1])
+                    .ok_or_else(|| ParseSpecError::UnknownCore {
                         line: line_no,
                         name: tokens[1].to_owned(),
-                    }
-                })?;
-                let dst = *index.get(tokens[2]).ok_or_else(|| {
-                    ParseSpecError::UnknownCore {
+                    })?;
+                let dst = *index
+                    .get(tokens[2])
+                    .ok_or_else(|| ParseSpecError::UnknownCore {
                         line: line_no,
                         name: tokens[2].to_owned(),
-                    }
-                })?;
+                    })?;
                 let bw = parse_f64(tokens[3], line_no, "flow bandwidth")?;
                 flows.push(Flow {
                     src,
@@ -215,12 +215,7 @@ pub fn parse_spec(text: &str) -> Result<CommSpec, ParseSpecError> {
 pub fn write_spec(spec: &CommSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "design {}", spec.name);
-    let _ = writeln!(
-        out,
-        "die {} {}",
-        spec.die.0.as_mm(),
-        spec.die.1.as_mm()
-    );
+    let _ = writeln!(out, "die {} {}", spec.die.0.as_mm(), spec.die.1.as_mm());
     let _ = writeln!(out, "width {}", spec.data_width);
     for core in &spec.cores {
         let _ = writeln!(

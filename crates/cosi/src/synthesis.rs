@@ -225,7 +225,10 @@ pub fn synthesize(
     let cell = budget.si() * 0.5;
     let mut relay_at: HashMap<(i64, i64), usize> = HashMap::new();
     let mut relay_for = |nodes: &mut Vec<NetNode>, p: Point| -> usize {
-        let key = ((p.x.si() / cell).round() as i64, (p.y.si() / cell).round() as i64);
+        let key = (
+            (p.x.si() / cell).round() as i64,
+            (p.y.si() / cell).round() as i64,
+        );
         *relay_at.entry(key).or_insert_with(|| {
             let snapped = Point {
                 x: Length::from_si(key.0 as f64 * cell),
@@ -500,8 +503,8 @@ mod tests {
         .unwrap();
         // Both flows use the same channels (shared bandwidth).
         assert_eq!(net.routes[0], net.routes[1]);
-        let total_bw: f64 = net.channels.iter().map(|c| c.bandwidth_gbps).sum::<f64>()
-            / net.channels.len() as f64;
+        let total_bw: f64 =
+            net.channels.iter().map(|c| c.bandwidth_gbps).sum::<f64>() / net.channels.len() as f64;
         assert!((total_bw - 15.0).abs() < 1e-9);
     }
 
@@ -554,7 +557,14 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err, SynthesisError::PortOverflow { ports: 7, max: 4, .. }),
+            matches!(
+                err,
+                SynthesisError::PortOverflow {
+                    ports: 7,
+                    max: 4,
+                    ..
+                }
+            ),
             "got {err:?}"
         );
     }

@@ -7,9 +7,7 @@
 //! structure (chained stages plus shared-memory traffic) and a large die —
 //! and are generated deterministically from a fixed seed.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
+use pi_rt::Rng;
 use pi_tech::units::Length;
 
 use crate::spec::{CommSpec, Core, Flow, Point};
@@ -19,7 +17,7 @@ const VPROC_DIE_MM: f64 = 16.0;
 /// Die edge of the DVOPD testcase (mm).
 const DVOPD_DIE_MM: f64 = 12.0;
 
-fn grid_positions(count: usize, die_mm: f64, rng: &mut StdRng) -> Vec<Point> {
+fn grid_positions(count: usize, die_mm: f64, rng: &mut Rng) -> Vec<Point> {
     // Cores sit near the sites of a regular grid, with deterministic
     // jitter so channels are not all axis-aligned.
     let cols = (count as f64).sqrt().ceil() as usize;
@@ -47,7 +45,7 @@ fn grid_positions(count: usize, die_mm: f64, rng: &mut StdRng) -> Vec<Point> {
 /// controllers, and a low-bandwidth control star from a host processor.
 #[must_use]
 pub fn vproc() -> CommSpec {
-    let mut rng = StdRng::seed_from_u64(0x56_5052_4f43); // "VPROC"
+    let mut rng = Rng::seed_from_u64(0x56_5052_4f43); // "VPROC"
     let count = 42;
     let positions = grid_positions(count, VPROC_DIE_MM, &mut rng);
     let cores: Vec<Core> = positions
@@ -133,7 +131,7 @@ pub fn vproc() -> CommSpec {
 /// controller and a display unit.
 #[must_use]
 pub fn dvopd() -> CommSpec {
-    let mut rng = StdRng::seed_from_u64(0x44_564f_5044); // "DVOPD"
+    let mut rng = Rng::seed_from_u64(0x44_564f_5044); // "DVOPD"
     let count = 26;
     let positions = grid_positions(count, DVOPD_DIE_MM, &mut rng);
     let cores: Vec<Core> = positions

@@ -29,7 +29,10 @@ pub struct Placement {
 /// Panics if the plan has no repeaters.
 #[must_use]
 pub fn place_uniform(spec: &LineSpec, plan: &BufferingPlan) -> Placement {
-    assert!(plan.count > 0, "a buffered line needs at least one repeater");
+    assert!(
+        plan.count > 0,
+        "a buffered line needs at least one repeater"
+    );
     let seg_len = spec.length / plan.count as f64;
     let positions = (0..plan.count).map(|i| seg_len * i as f64).collect();
     Placement { positions, seg_len }

@@ -190,6 +190,10 @@ mod tests {
         let row = accuracy_row(&tech, &ev, &spec, &plan).unwrap();
         // The paper reports ≥ 2.1×; a closed form vs transient sign-off in
         // the same process is far beyond that.
-        assert!(row.runtime_ratio() > 10.0, "ratio = {}", row.runtime_ratio());
+        assert!(
+            row.runtime_ratio() > 10.0,
+            "ratio = {}",
+            row.runtime_ratio()
+        );
     }
 }

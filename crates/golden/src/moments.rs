@@ -47,7 +47,10 @@ impl RcChain {
         assert!(!rs.is_empty(), "an RC chain needs at least one segment");
         assert_eq!(rs.len(), cs.len(), "segment counts must match");
         assert!(rs.iter().all(|&r| r > 0.0), "resistances must be positive");
-        assert!(cs.iter().all(|&c| c >= 0.0), "capacitances must be non-negative");
+        assert!(
+            cs.iter().all(|&c| c >= 0.0),
+            "capacitances must be non-negative"
+        );
         RcChain { rs, cs }
     }
 
@@ -59,7 +62,13 @@ impl RcChain {
     ///
     /// Panics if `segments` is zero.
     #[must_use]
-    pub fn uniform_stage(rd: Res, r_wire: Res, c_wire: Cap, receiver: Cap, segments: usize) -> Self {
+    pub fn uniform_stage(
+        rd: Res,
+        r_wire: Res,
+        c_wire: Cap,
+        receiver: Cap,
+        segments: usize,
+    ) -> Self {
         assert!(segments > 0, "need at least one wire segment");
         let n = segments as f64;
         let mut rs = Vec::with_capacity(segments + 1);
@@ -252,40 +261,38 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use pi_rt::Rng;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+        // Seeded-loop property tests (formerly `proptest`): 200 deterministic
+        // pseudo-random cases each, drawn from the in-tree `pi-rt` PRNG.
+        const CASES: usize = 200;
 
-            /// On any chain: ln2·m1 ≤ D2M ≤ m1, and moments are positive.
-            #[test]
-            fn metric_ordering_holds_on_random_chains(
-                seed in 0u64..1000,
-                n in 2usize..20,
-            ) {
-                let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-                let mut next = move || {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    (state % 1000) as f64 / 1000.0
-                };
-                let rs: Vec<f64> = (0..n).map(|_| 10.0 + 990.0 * next()).collect();
-                let cs: Vec<f64> = (0..n).map(|_| 1e-15 * (1.0 + 99.0 * next())).collect();
+        /// On any chain: ln2·m1 ≤ D2M ≤ m1, and moments are positive.
+        #[test]
+        fn metric_ordering_holds_on_random_chains() {
+            let mut rng = Rng::seed_from_u64(0x6d6f_6d65_0001);
+            for _ in 0..CASES {
+                let n = 2 + rng.below(18);
+                let rs: Vec<f64> = (0..n).map(|_| rng.random_range(10.0..1000.0)).collect();
+                let cs: Vec<f64> = (0..n)
+                    .map(|_| 1e-15 * rng.random_range(1.0..100.0))
+                    .collect();
                 let chain = RcChain::new(rs, cs);
                 let est = chain.elmore_delay();
                 let d2m = chain.d2m_delay();
                 let bound = chain.elmore_bound();
-                prop_assert!(est.si() > 0.0);
-                prop_assert!(d2m >= est - Time::fs(1.0));
-                prop_assert!(d2m <= bound + Time::fs(1.0));
+                assert!(est.si() > 0.0);
+                assert!(d2m >= est - Time::fs(1.0));
+                assert!(d2m <= bound + Time::fs(1.0));
             }
+        }
 
-            /// Scaling every resistance by k scales all metrics by k.
-            #[test]
-            fn metrics_scale_linearly_with_resistance(
-                k in 1.5f64..10.0,
-            ) {
+        /// Scaling every resistance by k scales all metrics by k.
+        #[test]
+        fn metrics_scale_linearly_with_resistance() {
+            let mut rng = Rng::seed_from_u64(0x6d6f_6d65_0002);
+            for _ in 0..CASES {
+                let k = rng.random_range(1.5..10.0);
                 let base = RcChain::uniform_stage(
                     Res::ohm(300.0),
                     Res::ohm(500.0),
@@ -301,9 +308,9 @@ mod tests {
                     8,
                 );
                 let r_m1 = scaled.m1(8) / base.m1(8);
-                prop_assert!((r_m1 - k).abs() < 1e-9 * k);
+                assert!((r_m1 - k).abs() < 1e-9 * k);
                 let r_d2m = scaled.d2m_delay().si() / base.d2m_delay().si();
-                prop_assert!((r_d2m - k).abs() < 1e-6 * k);
+                assert!((r_d2m - k).abs() < 1e-6 * k);
             }
         }
     }

@@ -57,7 +57,10 @@ pub fn victim_glitch(
     plan: &BufferingPlan,
     held_high: bool,
 ) -> Result<GlitchResult, SimError> {
-    assert!(plan.count > 0, "a buffered line needs at least one repeater");
+    assert!(
+        plan.count > 0,
+        "a buffered line needs at least one repeater"
+    );
     let extracted = extract(tech, spec, plan);
     let seg = extracted.segments[0];
     let devices = tech.devices();
@@ -72,7 +75,9 @@ pub fn victim_glitch(
     let v_input = c.node();
     let v_near = c.node();
     let v_far = c.node();
-    add_repeater(&mut c, devices, plan.kind, plan.wn, v_input, v_near, vdd_node);
+    add_repeater(
+        &mut c, devices, plan.kind, plan.wn, v_input, v_near, vdd_node,
+    );
     // An inverting stage holds its output high for a low input.
     let pin = if held_high ^ inverts(plan.kind) {
         vdd
@@ -88,7 +93,15 @@ pub fn victim_glitch(
     let a_input = c.node();
     let a_near = c.node();
     let a_far = c.node();
-    add_repeater(&mut c, devices, plan.kind, plan.wn * 2.0, a_input, a_near, vdd_node);
+    add_repeater(
+        &mut c,
+        devices,
+        plan.kind,
+        plan.wn * 2.0,
+        a_input,
+        a_near,
+        vdd_node,
+    );
     add_unequal_rc_ladders(
         &mut c,
         v_near,
@@ -126,8 +139,7 @@ pub fn victim_glitch(
     let c_total = seg.cg + seg.cc + receiver;
     let tau = Time::s((r_drive + seg.r.as_ohm()) * c_total.si());
     let t_stop = t_start + ramp + tau * 25.0 + Time::ps(50.0);
-    let dt = Time::ps((ramp.as_ps() / 60.0).min(tau.as_ps() / 15.0).max(0.02))
-        .max(t_stop / 5000.0);
+    let dt = Time::ps((ramp.as_ps() / 60.0).min(tau.as_ps() / 15.0).max(0.02)).max(t_stop / 5000.0);
     let ts = TransientSpec::new(t_stop, dt, vec![v_far]);
     let result = transient(&c, &ts)?;
     let trace = result.trace(v_far);

@@ -15,7 +15,7 @@ use pi_core::line::{BufferingPlan, LineSpec};
 use pi_core::repeater_model::Transition;
 use pi_spice::circuit::{Circuit, Node, GROUND};
 use pi_spice::cmos::{add_coupled_rc_ladder, add_repeater, add_unequal_rc_ladders, inverts};
-use pi_spice::transient::{transient, SimError, TransientSpec};
+use pi_spice::transient::{transient, transient_with, SimError, SimWorkspace, TransientSpec};
 use pi_spice::waveform::{delay_50, Pwl};
 use pi_tech::units::{Cap, Time, Volt};
 use pi_tech::{RepeaterKind, Technology};
@@ -93,6 +93,37 @@ pub fn simulate_stage(
     output_transition: Transition,
     aggressor: AggressorMode,
 ) -> Result<GoldenStage, SimError> {
+    simulate_stage_with(
+        &mut SimWorkspace::new(),
+        tech,
+        kind,
+        wn,
+        input_slew,
+        segment,
+        receiver_cap,
+        output_transition,
+        aggressor,
+    )
+}
+
+/// [`simulate_stage`] drawing trace buffers from `ws`, so the stage loop of
+/// [`line_delay`] reuses its waveform allocations across stages.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_stage_with(
+    ws: &mut SimWorkspace,
+    tech: &Technology,
+    kind: RepeaterKind,
+    wn: pi_tech::units::Length,
+    input_slew: Time,
+    segment: &ExtractedSegment,
+    receiver_cap: Cap,
+    output_transition: Transition,
+    aggressor: AggressorMode,
+) -> Result<GoldenStage, SimError> {
     let devices = tech.devices();
     let vdd = devices.vdd;
     let mut c = Circuit::new();
@@ -138,7 +169,11 @@ pub fn simulate_stage(
                 LADDER_SEGMENTS,
             );
             c.capacitor(a_far, GROUND, receiver_cap * 2.0);
-            c.vsource(a_input, GROUND, Pwl::ramp(t_start, ramp, vdd, !input_rising));
+            c.vsource(
+                a_input,
+                GROUND,
+                Pwl::ramp(t_start, ramp, vdd, !input_rising),
+            );
         }
         AggressorMode::Quiet => {
             // Coupling terminates on quiet conductors: electrically a
@@ -168,14 +203,15 @@ pub fn simulate_stage(
     let dt = dt_fine.max(t_stop / 5000.0);
 
     let spec = TransientSpec::new(t_stop, dt, vec![input, far]);
-    let result = transient(&c, &spec)?;
+    let result = transient_with(ws, &c, &spec)?;
     let tr_in = result.trace(input);
     let tr_far = result.trace(far);
-    let delay = delay_50(tr_in, tr_far, vdd, input_rising, output_rising)
-        .ok_or_else(|| SimError::InvalidSpec("far end did not cross 50%".into()))?;
-    let far_slew = tr_far
-        .slew_10_90(vdd, output_rising)
-        .ok_or_else(|| SimError::InvalidSpec("far-end transition incomplete".into()))?;
+    let delay = delay_50(tr_in, tr_far, vdd, input_rising, output_rising);
+    let far_slew = tr_far.slew_10_90(vdd, output_rising);
+    ws.recycle(result);
+    let delay = delay.ok_or_else(|| SimError::InvalidSpec("far end did not cross 50%".into()))?;
+    let far_slew =
+        far_slew.ok_or_else(|| SimError::InvalidSpec("far-end transition incomplete".into()))?;
     Ok(GoldenStage { delay, far_slew })
 }
 
@@ -195,7 +231,10 @@ pub fn line_delay(
     spec: &LineSpec,
     plan: &BufferingPlan,
 ) -> Result<GoldenLine, SimError> {
-    assert!(plan.count > 0, "a buffered line needs at least one repeater");
+    assert!(
+        plan.count > 0,
+        "a buffered line needs at least one repeater"
+    );
     let extracted = extract(tech, spec, plan);
     let seg = extracted.segments[0];
     let aggressor = if plan.staggered {
@@ -211,9 +250,13 @@ pub fn line_delay(
     let mut slew = spec.input_slew;
     let mut transition = spec.input_transition;
     let mut history: Vec<GoldenStage> = Vec::new();
+    // One workspace for the whole stage loop: every stage simulates the
+    // same circuit topology, so the trace buffers are reused as-is.
+    let mut ws = SimWorkspace::new();
     for stage_idx in 0..plan.count {
         let out_transition = transition.through(plan.kind);
-        let stage = simulate_stage(
+        let stage = simulate_stage_with(
+            &mut ws,
             tech,
             plan.kind,
             plan.wn,
@@ -291,7 +334,10 @@ pub fn simulate_full_line(
     spec: &LineSpec,
     plan: &BufferingPlan,
 ) -> Result<Time, SimError> {
-    assert!(plan.count > 0, "a buffered line needs at least one repeater");
+    assert!(
+        plan.count > 0,
+        "a buffered line needs at least one repeater"
+    );
     let extracted = extract(tech, spec, plan);
     let seg = extracted.segments[0];
     let devices = tech.devices();
@@ -380,8 +426,7 @@ pub fn simulate_full_line(
     let c_stage = seg.cg + seg.cc + devices.inverter_cin(plan.wn);
     let tau = Time::s((r_drive + seg.r.as_ohm()) * c_stage.si());
     let t_stop = t_start + ramp + tau * 25.0 * plan.count as f64 + Time::ps(100.0);
-    let dt = Time::ps((ramp.as_ps() / 40.0).min(tau.as_ps() / 10.0).max(0.05))
-        .max(t_stop / 8000.0);
+    let dt = Time::ps((ramp.as_ps() / 40.0).min(tau.as_ps() / 10.0).max(0.05)).max(t_stop / 8000.0);
     let spec_t = TransientSpec::new(t_stop, dt, nodes_of_interest.clone());
     let result = transient(&c, &spec_t)?;
     delay_50(

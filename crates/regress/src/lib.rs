@@ -427,9 +427,15 @@ pub fn max_abs_relative_error(observed: &[f64], predicted: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use pi_rt::Rng;
+
+    /// Runs a seeded-loop property test: 200 cases, each with its own
+    /// deterministic PRNG stream.
+    fn check_cases(seed: u64, prop: impl Fn(&mut Rng)) {
+        for case in 0..200u64 {
+            prop(&mut Rng::stream(seed, case));
+        }
+    }
 
     #[test]
     fn linear_fit_recovers_exact_line() {
@@ -443,7 +449,7 @@ mod tests {
 
     #[test]
     fn linear_fit_noisy_data_has_high_r2() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let xs: Vec<f64> = (0..200).map(|i| f64::from(i) / 10.0).collect();
         let ys: Vec<f64> = xs
             .iter()
@@ -517,10 +523,7 @@ mod tests {
     #[test]
     fn multi_fit_without_intercept() {
         let rows_owned: Vec<[f64; 2]> = vec![[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 3.0]];
-        let ys: Vec<f64> = rows_owned
-            .iter()
-            .map(|r| 4.0 * r[0] + 5.0 * r[1])
-            .collect();
+        let ys: Vec<f64> = rows_owned.iter().map(|r| 4.0 * r[0] + 5.0 * r[1]).collect();
         let rows: Vec<&[f64]> = rows_owned.iter().map(|r| &r[..]).collect();
         let fit = multi_linear_fit(&rows, &ys, false).unwrap();
         assert!(!fit.has_intercept);
@@ -554,57 +557,65 @@ mod tests {
         assert!((mean_abs_relative_error(&obs, &pred) - 0.1).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn linear_fit_is_exact_on_lines(
-            a in -100.0f64..100.0,
-            b in -100.0f64..100.0,
-            n in 3usize..30,
-        ) {
+    #[test]
+    fn linear_fit_is_exact_on_lines() {
+        check_cases(0xF17, |rng| {
+            let a = rng.random_range(-100.0..100.0);
+            let b = rng.random_range(-100.0..100.0);
+            let n = 3 + rng.below(27);
             let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
             let fit = linear_fit(&xs, &ys).unwrap();
-            prop_assert!((fit.intercept - a).abs() < 1e-6 * (1.0 + a.abs()));
-            prop_assert!((fit.slope - b).abs() < 1e-6 * (1.0 + b.abs()));
-        }
+            assert!((fit.intercept - a).abs() < 1e-6 * (1.0 + a.abs()));
+            assert!((fit.slope - b).abs() < 1e-6 * (1.0 + b.abs()));
+        });
+    }
 
-        #[test]
-        fn r_squared_at_most_one(
-            seed in 0u64..1000,
-            n in 5usize..50,
-        ) {
-            let mut rng = StdRng::seed_from_u64(seed);
+    #[test]
+    fn r_squared_at_most_one() {
+        check_cases(0xB2, |rng| {
+            let n = 5 + rng.below(45);
             let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let ys: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
             let fit = linear_fit(&xs, &ys).unwrap();
-            prop_assert!(fit.r_squared <= 1.0 + 1e-12);
-        }
+            assert!(fit.r_squared <= 1.0 + 1e-12);
+        });
+    }
 
-        #[test]
-        fn poly_eval_horner_matches_naive(
-            c0 in -10.0f64..10.0,
-            c1 in -10.0f64..10.0,
-            c2 in -10.0f64..10.0,
-            x in -10.0f64..10.0,
-        ) {
-            let fit = PolyFit { coeffs: vec![c0, c1, c2], r_squared: 1.0 };
+    #[test]
+    fn poly_eval_horner_matches_naive() {
+        check_cases(0x601, |rng| {
+            let c0 = rng.random_range(-10.0..10.0);
+            let c1 = rng.random_range(-10.0..10.0);
+            let c2 = rng.random_range(-10.0..10.0);
+            let x = rng.random_range(-10.0..10.0);
+            let fit = PolyFit {
+                coeffs: vec![c0, c1, c2],
+                r_squared: 1.0,
+            };
             let naive = c0 + c1 * x + c2 * x * x;
-            prop_assert!((fit.eval(x) - naive).abs() < 1e-9 * (1.0 + naive.abs()));
-        }
+            assert!((fit.eval(x) - naive).abs() < 1e-9 * (1.0 + naive.abs()));
+        });
+    }
 
-        #[test]
-        fn zero_intercept_residual_orthogonal_to_x(
-            seed in 0u64..1000,
-        ) {
-            // Least squares through the origin makes residuals orthogonal
-            // to the predictor.
-            let mut rng = StdRng::seed_from_u64(seed);
+    #[test]
+    fn zero_intercept_residual_orthogonal_to_x() {
+        // Least squares through the origin makes residuals orthogonal
+        // to the predictor.
+        check_cases(0x0CA, |rng| {
             let xs: Vec<f64> = (1..20).map(f64::from).collect();
-            let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + rng.random_range(-1.0..1.0)).collect();
+            let ys: Vec<f64> = xs
+                .iter()
+                .map(|x| 2.0 * x + rng.random_range(-1.0..1.0))
+                .collect();
             let fit = linear_fit_zero_intercept(&xs, &ys).unwrap();
-            let dot: f64 = xs.iter().zip(&ys).map(|(x, y)| x * (y - fit.slope * x)).sum();
-            prop_assert!(dot.abs() < 1e-6 * xs.iter().map(|x| x * x).sum::<f64>());
-        }
+            let dot: f64 = xs
+                .iter()
+                .zip(&ys)
+                .map(|(x, y)| x * (y - fit.slope * x))
+                .sum();
+            assert!(dot.abs() < 1e-6 * xs.iter().map(|x| x * x).sum::<f64>());
+        });
     }
 
     #[test]
@@ -620,7 +631,7 @@ mod tests {
 
     #[test]
     fn diagnostics_capture_noise_scale() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let xs: Vec<f64> = (0..400).map(|i| f64::from(i) / 20.0).collect();
         let sigma = 0.5;
         let ys: Vec<f64> = xs
@@ -639,7 +650,11 @@ mod tests {
 
     #[test]
     fn diagnostics_need_three_points() {
-        let fit = LinearFit { intercept: 0.0, slope: 1.0, r_squared: 1.0 };
+        let fit = LinearFit {
+            intercept: 0.0,
+            slope: 1.0,
+            r_squared: 1.0,
+        };
         assert!(matches!(
             linear_fit_diagnostics(&[0.0, 1.0], &[0.0, 1.0], &fit),
             Err(RegressError::NotEnoughPoints { .. })

@@ -1,0 +1,34 @@
+//! Runtime substrate for the workspace: deterministic random numbers and
+//! data-parallel execution, with **zero external dependencies**.
+//!
+//! Everything in this workspace that draws random numbers or fans work out
+//! across cores goes through this crate, which gives the whole system two
+//! properties at once:
+//!
+//! 1. **Hermetic builds** — no `rand`, no thread-pool crate; the repo
+//!    builds and tests offline with nothing but the standard library.
+//! 2. **Bit-reproducibility** — [`rng::Rng::stream`] derives an independent
+//!    PRNG stream per work item, so Monte-Carlo results are identical
+//!    regardless of how many threads executed them (see [`par`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pi_rt::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let x = rng.random_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//!
+//! // Parallel map, deterministic output order.
+//! let squares = pi_rt::par::par_map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod par;
+pub mod rng;
+
+pub use par::{chunk_ranges, par_map, par_map_indexed, thread_count};
+pub use rng::Rng;

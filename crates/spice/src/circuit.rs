@@ -246,7 +246,14 @@ impl Circuit {
     ///
     /// Panics if a terminal does not belong to this circuit or the width is
     /// not positive.
-    pub fn mosfet(&mut self, params: MosParams, width: Length, gate: Node, drain: Node, source: Node) {
+    pub fn mosfet(
+        &mut self,
+        params: MosParams,
+        width: Length,
+        gate: Node,
+        drain: Node,
+        source: Node,
+    ) {
         self.check_node(gate);
         self.check_node(drain);
         self.check_node(source);
@@ -323,8 +330,6 @@ mod tests {
         c.resistor(a, GROUND, Res::ohm(0.0));
     }
 
-
-
     #[test]
     fn labels_attach_to_nodes() {
         let mut c = Circuit::new();
@@ -351,7 +356,11 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node();
         let b = c.node();
-        c.vsource(a, GROUND, Pwl::ramp_up(Time::ps(100.0), Time::ps(50.0), Volt::v(1.0)));
+        c.vsource(
+            a,
+            GROUND,
+            Pwl::ramp_up(Time::ps(100.0), Time::ps(50.0), Volt::v(1.0)),
+        );
         c.rail(b, Volt::v(1.0));
         assert!((c.last_source_event().as_ps() - 150.0).abs() < 1e-9);
     }

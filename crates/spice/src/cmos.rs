@@ -12,7 +12,7 @@ use pi_tech::units::{Cap, Energy, Length, Res, Time};
 use pi_tech::RepeaterKind;
 
 use crate::circuit::{Circuit, Node, GROUND};
-use crate::transient::{transient, SimError, TransientSpec};
+use crate::transient::{transient, transient_with, SimError, SimWorkspace, TransientSpec};
 use crate::waveform::{delay_50, Pwl};
 
 /// Adds a static-CMOS inverter between `input` and `output`.
@@ -108,7 +108,11 @@ pub fn add_rc_ladder(
     for i in 0..segments {
         let next = if i + 1 == segments { to } else { c.node() };
         c.resistor(prev, next, r_seg);
-        let cap_here = if i + 1 == segments { c_half } else { c_half * 2.0 };
+        let cap_here = if i + 1 == segments {
+            c_half
+        } else {
+            c_half * 2.0
+        };
         c.capacitor(next, GROUND, cap_here);
         if i + 1 != segments {
             internals.push(next);
@@ -268,6 +272,33 @@ pub fn characterize_repeater(
     load: Cap,
     rising_output: bool,
 ) -> Result<StageMeasurement, SimError> {
+    characterize_repeater_with(
+        &mut SimWorkspace::new(),
+        devices,
+        kind,
+        wn,
+        input_slew,
+        load,
+        rising_output,
+    )
+}
+
+/// [`characterize_repeater`] drawing trace buffers from `ws`, so grid
+/// sweeps that characterize thousands of points reuse their allocations.
+///
+/// # Errors
+///
+/// Propagates simulator errors; returns [`SimError::InvalidSpec`] if the
+/// output never completes its transition within the simulation window.
+pub fn characterize_repeater_with(
+    ws: &mut SimWorkspace,
+    devices: &DeviceSuite,
+    kind: RepeaterKind,
+    wn: Length,
+    input_slew: Time,
+    load: Cap,
+    rising_output: bool,
+) -> Result<StageMeasurement, SimError> {
     let vdd = devices.vdd;
     let mut c = Circuit::new();
     let vdd_node = c.node();
@@ -298,15 +329,16 @@ pub fn characterize_repeater(
     let dt = dt_fine.max(t_stop / 6000.0);
 
     let spec = TransientSpec::new(t_stop, dt, vec![input, output]);
-    let result = transient(&c, &spec)?;
+    let result = transient_with(ws, &c, &spec)?;
     let tr_in = result.trace(input);
     let tr_out = result.trace(output);
 
-    let delay = delay_50(tr_in, tr_out, vdd, input_rising, rising_output)
-        .ok_or_else(|| SimError::InvalidSpec("output did not cross 50%".into()))?;
-    let output_slew = tr_out
-        .slew_10_90(vdd, rising_output)
-        .ok_or_else(|| SimError::InvalidSpec("output transition incomplete".into()))?;
+    let delay = delay_50(tr_in, tr_out, vdd, input_rising, rising_output);
+    let output_slew = tr_out.slew_10_90(vdd, rising_output);
+    ws.recycle(result);
+    let delay = delay.ok_or_else(|| SimError::InvalidSpec("output did not cross 50%".into()))?;
+    let output_slew =
+        output_slew.ok_or_else(|| SimError::InvalidSpec("output transition incomplete".into()))?;
     Ok(StageMeasurement { delay, output_slew })
 }
 
@@ -355,8 +387,7 @@ pub fn measure_switching_energy(
     let tau = Time::s(r_eff * c_total.si());
     // Long settle window so the rail charge integral converges.
     let t_stop = t_start + ramp + tau * 40.0 + Time::ps(50.0);
-    let dt = Time::ps((ramp.as_ps() / 80.0).min(tau.as_ps() / 15.0).max(0.01))
-        .max(t_stop / 8000.0);
+    let dt = Time::ps((ramp.as_ps() / 80.0).min(tau.as_ps() / 15.0).max(0.01)).max(t_stop / 8000.0);
 
     let spec = TransientSpec::new(t_stop, dt, vec![output]);
     let result = transient(&c, &spec)?;

@@ -49,7 +49,7 @@ pub use cmos::{measure_switching_energy, StageMeasurement};
 pub use netlist::to_spice_deck;
 pub use solver::DenseSolver;
 pub use transient::{
-    dc_operating_point, dc_sweep, transient, Integrator, SimError, TransientResult,
-    TransientSpec,
+    dc_operating_point, dc_sweep, transient, transient_with, Integrator, SimError, SimWorkspace,
+    TransientResult, TransientSpec,
 };
 pub use waveform::{delay_50, CurrentPwl, CurrentTrace, Pwl, Trace};

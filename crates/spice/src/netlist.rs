@@ -31,12 +31,7 @@ fn pwl_spec(w: &Pwl) -> String {
     // Reconstruct a PWL(...) spec from start/end values around each event.
     let mut out = String::from("PWL(");
     let _ = write!(out, "0 {:.6} ", w.at(Time::ZERO).as_v());
-    let _ = write!(
-        out,
-        "{:.6e} {:.6}",
-        last.si(),
-        w.at(last).as_v()
-    );
+    let _ = write!(out, "{:.6e} {:.6}", last.si(), w.at(last).as_v());
     out.push(')');
     out
 }
@@ -197,7 +192,6 @@ mod tests {
         let deck = to_spice_deck(&c, "t");
         assert!(deck.contains("R1 n1 0 1.000000e2"));
     }
-
 
     #[test]
     fn labeled_nodes_appear_in_the_deck() {

@@ -50,7 +50,11 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Singular => f.write_str("singular MNA matrix"),
             SimError::NoConvergence { at: Some(t) } => {
-                write!(f, "newton iteration did not converge at t = {} ps", t.as_ps())
+                write!(
+                    f,
+                    "newton iteration did not converge at t = {} ps",
+                    t.as_ps()
+                )
             }
             SimError::NoConvergence { at: None } => {
                 f.write_str("newton iteration did not converge at the DC operating point")
@@ -165,6 +169,15 @@ struct Mna<'c> {
     /// separately because their conductance depends on the timestep.
     base_matrix: Vec<f64>,
     solver: DenseSolver,
+    /// No MOSFETs: the system matrix handed to [`Mna::newton_solve`] never
+    /// changes across iterations or timesteps, so one LU factorization
+    /// serves the entire analysis.
+    linear: bool,
+    factored: bool,
+    /// Newton scratch, hoisted here so the per-timestep inner loop does not
+    /// allocate.
+    scratch_a: Vec<f64>,
+    scratch_b: Vec<f64>,
 }
 
 impl<'c> Mna<'c> {
@@ -179,6 +192,7 @@ impl<'c> Mna<'c> {
         }
         let mut source_rows = Vec::with_capacity(ns);
         let mut next_source_row = nv;
+        let mut linear = true;
         for e in circuit.elements() {
             match e {
                 Element::Resistor { a, b, value } => {
@@ -198,7 +212,8 @@ impl<'c> Mna<'c> {
                         base[row * dim + i] -= 1.0;
                     }
                 }
-                Element::Capacitor { .. } | Element::Mosfet(_) | Element::ISource { .. } => {}
+                Element::Mosfet(_) => linear = false,
+                Element::Capacitor { .. } | Element::ISource { .. } => {}
             }
         }
         Mna {
@@ -208,21 +223,20 @@ impl<'c> Mna<'c> {
             source_rows,
             base_matrix: base,
             solver: DenseSolver::new(dim),
-        }
-    }
-
-    fn voltage(&self, x: &[f64], node: Node) -> f64 {
-        match unknown_index(node) {
-            Some(i) => x[self.node_offset + i],
-            None => 0.0,
+            linear,
+            factored: false,
+            scratch_a: vec![0.0; dim * dim],
+            scratch_b: vec![0.0; dim],
         }
     }
 
     /// One damped Newton solve of the (possibly companion-augmented) system.
     ///
-    /// `cap_gstamp`: capacitor conductances already merged into a matrix
-    /// copy source; `rhs_extra` fills source values and capacitor history
-    /// currents.
+    /// `matrix_with_caps`: capacitor conductances already merged into a
+    /// matrix copy source; `fill_rhs` fills source values and capacitor
+    /// history currents. Every call on one `Mna` instance must pass the
+    /// same matrix — that invariant is what lets the linear fast path keep
+    /// a single LU factorization for the whole analysis.
     fn newton_solve(
         &mut self,
         matrix_with_caps: &[f64],
@@ -231,8 +245,21 @@ impl<'c> Mna<'c> {
         at: Option<Time>,
     ) -> Result<(), SimError> {
         let dim = self.dim;
-        let mut a = vec![0.0; dim * dim];
-        let mut b = vec![0.0; dim];
+        let linear = self.linear;
+        if linear && !self.factored {
+            self.solver
+                .factor(matrix_with_caps)
+                .map_err(|_| SimError::Singular)?;
+            self.factored = true;
+        }
+        let n_volt = self.node_offset + (self.circuit.node_count() - 1);
+        let Mna {
+            circuit,
+            solver,
+            scratch_a: a,
+            scratch_b: b,
+            ..
+        } = self;
         for iter in 0..NEWTON_MAX_ITERS {
             // Tighten the damping if the iteration is struggling (limit
             // cycles around sharp device-curve corners).
@@ -241,12 +268,11 @@ impl<'c> Mna<'c> {
                 60..=119 => NEWTON_MAX_STEP / 4.0,
                 _ => NEWTON_MAX_STEP / 16.0,
             };
-            a.copy_from_slice(matrix_with_caps);
             b.iter_mut().for_each(|v| *v = 0.0);
-            fill_rhs(&mut b);
+            fill_rhs(b);
             // Independent current sources inject directly into the RHS.
             let t_now = at.unwrap_or(Time::ZERO);
-            for e in self.circuit.elements() {
+            for e in circuit.elements() {
                 if let Element::ISource { from, to, waveform } = e {
                     let i = waveform.at(t_now).si();
                     if let Some(k) = unknown_index(*to) {
@@ -257,19 +283,23 @@ impl<'c> Mna<'c> {
                     }
                 }
             }
-            // Linearize and stamp every MOSFET at the current iterate.
-            for e in self.circuit.elements() {
-                if let Element::Mosfet(m) = e {
-                    self.stamp_mosfet(&mut a, &mut b, x, m);
+            if !linear {
+                // Linearize and stamp every MOSFET at the current iterate,
+                // then refactor the perturbed matrix.
+                a.copy_from_slice(matrix_with_caps);
+                for e in circuit.elements() {
+                    if let Element::Mosfet(m) = e {
+                        stamp_mosfet(a, b, x, m, dim);
+                    }
                 }
+                solver.factor(a).map_err(|_| SimError::Singular)?;
             }
-            self.solver.factor(&a).map_err(|_| SimError::Singular)?;
-            self.solver.solve(&mut b);
+            solver.solve(b);
             // Damped update toward the linearized solution.
             let mut max_delta = 0.0f64;
             for i in 0..dim {
                 let delta = b[i] - x[i];
-                let clamped = if i < self.node_offset + (self.circuit.node_count() - 1) {
+                let clamped = if i < n_volt {
                     delta.clamp(-max_step, max_step)
                 } else {
                     delta // branch currents are not damped
@@ -283,36 +313,35 @@ impl<'c> Mna<'c> {
         }
         Err(SimError::NoConvergence { at })
     }
+}
 
-    fn stamp_mosfet(&self, a: &mut [f64], b: &mut [f64], x: &[f64], m: &Mosfet) {
-        let dim = self.dim;
-        let vg = self.voltage(x, m.gate);
-        let vd = self.voltage(x, m.drain);
-        let vs = self.voltage(x, m.source);
-        let i0 = mos_drain_current(m, vg, vd, vs);
-        let di_dvg = (mos_drain_current(m, vg + FD_STEP, vd, vs) - i0) / FD_STEP;
-        let di_dvd = (mos_drain_current(m, vg, vd + FD_STEP, vs) - i0) / FD_STEP;
-        let di_dvs = (mos_drain_current(m, vg, vd, vs + FD_STEP) - i0) / FD_STEP;
-        // Current leaving the drain node, entering the source node:
-        // i(v) ≈ i0 + Σ ∂i/∂vk · (vk − vk0)
-        let const_part = i0 - di_dvg * vg - di_dvd * vd - di_dvs * vs;
-        let stamps = [(m.gate, di_dvg), (m.drain, di_dvd), (m.source, di_dvs)];
-        if let Some(d) = unknown_index(m.drain) {
-            for (node, g) in stamps {
-                if let Some(k) = unknown_index(node) {
-                    a[d * dim + k] += g;
-                }
+fn stamp_mosfet(a: &mut [f64], b: &mut [f64], x: &[f64], m: &Mosfet, dim: usize) {
+    let vg = voltage_of(x, m.gate);
+    let vd = voltage_of(x, m.drain);
+    let vs = voltage_of(x, m.source);
+    let i0 = mos_drain_current(m, vg, vd, vs);
+    let di_dvg = (mos_drain_current(m, vg + FD_STEP, vd, vs) - i0) / FD_STEP;
+    let di_dvd = (mos_drain_current(m, vg, vd + FD_STEP, vs) - i0) / FD_STEP;
+    let di_dvs = (mos_drain_current(m, vg, vd, vs + FD_STEP) - i0) / FD_STEP;
+    // Current leaving the drain node, entering the source node:
+    // i(v) ≈ i0 + Σ ∂i/∂vk · (vk − vk0)
+    let const_part = i0 - di_dvg * vg - di_dvd * vd - di_dvs * vs;
+    let stamps = [(m.gate, di_dvg), (m.drain, di_dvd), (m.source, di_dvs)];
+    if let Some(d) = unknown_index(m.drain) {
+        for (node, g) in stamps {
+            if let Some(k) = unknown_index(node) {
+                a[d * dim + k] += g;
             }
-            b[d] -= const_part;
         }
-        if let Some(s) = unknown_index(m.source) {
-            for (node, g) in stamps {
-                if let Some(k) = unknown_index(node) {
-                    a[s * dim + k] -= g;
-                }
+        b[d] -= const_part;
+    }
+    if let Some(s) = unknown_index(m.source) {
+        for (node, g) in stamps {
+            if let Some(k) = unknown_index(node) {
+                a[s * dim + k] -= g;
             }
-            b[s] += const_part;
         }
+        b[s] += const_part;
     }
 }
 
@@ -471,6 +500,46 @@ pub fn dc_sweep(
     Ok(out)
 }
 
+/// Reusable buffer pool for back-to-back transient runs.
+///
+/// The characterization and sign-off flows simulate thousands of small
+/// stage circuits in a row; recycling the recorded-trace buffers between
+/// runs keeps those loops allocation-free in steady state. Obtain results
+/// with [`transient_with`] and hand them back via [`SimWorkspace::recycle`]
+/// once measured.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    traces: Vec<Trace>,
+    currents: Vec<CurrentTrace>,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    fn take_trace(&mut self) -> Trace {
+        let mut t = self.traces.pop().unwrap_or_default();
+        t.clear();
+        t
+    }
+
+    fn take_current(&mut self) -> CurrentTrace {
+        let mut t = self.currents.pop().unwrap_or_default();
+        t.clear();
+        t
+    }
+
+    /// Returns a finished result's trace buffers to the pool so the next
+    /// [`transient_with`] call can refill them without reallocating.
+    pub fn recycle(&mut self, result: TransientResult) {
+        self.traces.extend(result.traces.into_values());
+        self.currents.extend(result.source_currents);
+    }
+}
+
 /// Runs a transient analysis from the DC operating point.
 ///
 /// # Errors
@@ -478,6 +547,21 @@ pub fn dc_sweep(
 /// Returns an error if the spec is invalid, the system is singular, or
 /// Newton fails to converge at any timestep.
 pub fn transient(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResult, SimError> {
+    transient_with(&mut SimWorkspace::new(), circuit, spec)
+}
+
+/// Runs a transient analysis, drawing trace buffers from (and suitable for
+/// returning them to) `ws`. See [`transient`] for semantics and errors.
+///
+/// # Errors
+///
+/// Returns an error if the spec is invalid, the system is singular, or
+/// Newton fails to converge at any timestep.
+pub fn transient_with(
+    ws: &mut SimWorkspace,
+    circuit: &Circuit,
+    spec: &TransientSpec,
+) -> Result<TransientResult, SimError> {
     for n in &spec.record {
         if n.index() >= circuit.node_count() {
             return Err(SimError::InvalidSpec(format!(
@@ -533,7 +617,7 @@ pub fn transient(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientRes
     let mut traces: HashMap<usize, Trace> = spec
         .record
         .iter()
-        .map(|n| (n.index(), Trace::new()))
+        .map(|n| (n.index(), ws.take_trace()))
         .collect();
     let record = |traces: &mut HashMap<usize, Trace>, t: f64, v: &[f64]| {
         for (idx, tr) in traces.iter_mut() {
@@ -545,24 +629,26 @@ pub fn transient(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientRes
     // flowing from the + terminal *into* the source, so the delivered
     // current is its negation.
     let mut source_currents: Vec<CurrentTrace> =
-        source_rows.iter().map(|_| CurrentTrace::new()).collect();
-    let record_currents =
-        |currents: &mut Vec<CurrentTrace>, rows: &[usize], t: f64, x: &[f64]| {
-            for (tr, row) in currents.iter_mut().zip(rows) {
-                tr.push(Time::s(t), -x[*row]);
-            }
-        };
+        source_rows.iter().map(|_| ws.take_current()).collect();
+    let record_currents = |currents: &mut Vec<CurrentTrace>, rows: &[usize], t: f64, x: &[f64]| {
+        for (tr, row) in currents.iter_mut().zip(rows) {
+            tr.push(Time::s(t), -x[*row]);
+        }
+    };
 
     let steps = (spec.t_stop.si() / dt).ceil() as usize;
     for step in 1..=steps {
         let t = step as f64 * dt;
-        let v_hist = v_prev.clone();
-        let i_hist = i_cap_prev.clone();
+        // Borrow (not clone) the previous-step state: the closure is dropped
+        // before the state vectors are updated below, so no per-step
+        // allocation is needed.
+        let v_hist = &v_prev;
+        let i_hist = &i_cap_prev;
         let caps_ref = &caps;
         let rows = &source_rows;
         let wfs = &waveforms;
         let integrator = spec.integrator;
-        let fill = move |b: &mut [f64]| {
+        let fill = |b: &mut [f64]| {
             for (row, wf) in rows.iter().zip(wfs) {
                 b[*row] = wf.at(Time::s(t)).as_v();
             }
@@ -674,7 +760,6 @@ mod tests {
         // And it decays back to ~0 at the end.
         assert!(tr.final_value().as_v().abs() < 0.02);
     }
-
 
     #[test]
     fn current_source_drives_a_resistor() {
@@ -825,7 +910,14 @@ mod tests {
         let output = c.node();
         c.rail(vdd_node, d.vdd);
         c.vsource(input, GROUND, Pwl::dc(Volt::ZERO));
-        crate::cmos::add_inverter(&mut c, d, pi_tech::units::Length::um(4.0), input, output, vdd_node);
+        crate::cmos::add_inverter(
+            &mut c,
+            d,
+            pi_tech::units::Length::um(4.0),
+            input,
+            output,
+            vdd_node,
+        );
         // Sweep the input source (index 1; the rail is index 0).
         let vtc = dc_sweep(&c, 1, Volt::ZERO, d.vdd, 50).unwrap();
         // Output must fall monotonically (within tolerance) as input rises.

@@ -18,7 +18,10 @@ impl Pwl {
     /// Panics if `points` is empty or the times are not strictly increasing.
     #[must_use]
     pub fn new(points: Vec<(Time, Volt)>) -> Self {
-        assert!(!points.is_empty(), "a PWL waveform needs at least one point");
+        assert!(
+            !points.is_empty(),
+            "a PWL waveform needs at least one point"
+        );
         for w in points.windows(2) {
             assert!(
                 w[1].0 > w[0].0,
@@ -103,7 +106,10 @@ impl CurrentPwl {
     /// Panics if `points` is empty or times are not strictly increasing.
     #[must_use]
     pub fn new(points: Vec<(Time, Current)>) -> Self {
-        assert!(!points.is_empty(), "a PWL waveform needs at least one point");
+        assert!(
+            !points.is_empty(),
+            "a PWL waveform needs at least one point"
+        );
         for w in points.windows(2) {
             assert!(
                 w[1].0 > w[0].0,
@@ -203,6 +209,13 @@ impl Trace {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
+    }
+
+    /// Discards all samples, retaining the allocated capacity so the trace
+    /// can be refilled without reallocating (see `pi_spice::SimWorkspace`).
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.values.clear();
     }
 
     /// Sample at index `i`.
@@ -321,6 +334,13 @@ impl CurrentTrace {
         self.times.is_empty()
     }
 
+    /// Discards all samples, retaining the allocated capacity so the trace
+    /// can be refilled without reallocating (see `pi_spice::SimWorkspace`).
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.values.clear();
+    }
+
     /// Charge delivered over the window (trapezoidal integration), coulombs.
     #[must_use]
     pub fn charge(&self) -> f64 {
@@ -416,7 +436,6 @@ mod tests {
         let _ = Pwl::new(vec![]);
     }
 
-
     #[test]
     fn current_pwl_dc_and_pulse() {
         let dc = CurrentPwl::dc(Current::ma(1.0));
@@ -455,7 +474,6 @@ mod tests {
         let d = delay_50(&a, &b, Volt::v(1.0), true, true).unwrap();
         assert!((d.as_ps() - 80.0).abs() < 1.5);
     }
-
 
     #[test]
     fn trace_csv_has_header_and_rows() {

@@ -340,84 +340,96 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use pi_rt::Rng;
 
         fn device() -> MosParams {
             nmos()
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+        // Seeded-loop property tests (formerly `proptest`): 200 deterministic
+        // pseudo-random cases each, drawn from the in-tree `pi-rt` PRNG.
+        const CASES: usize = 200;
 
-            /// Drain current is monotone non-decreasing in gate voltage —
-            /// the property Newton convergence relies on.
-            #[test]
-            fn ids_monotone_in_vgs(
-                vds in 0.05f64..1.0,
-                v1 in 0.0f64..1.0,
-                dv in 0.001f64..0.3,
-            ) {
+        /// Drain current is monotone non-decreasing in gate voltage —
+        /// the property Newton convergence relies on.
+        #[test]
+        fn ids_monotone_in_vgs() {
+            let mut rng = Rng::seed_from_u64(0x6465_7669_0001);
+            for _ in 0..CASES {
+                let vds = rng.random_range(0.05..1.0);
+                let v1 = rng.random_range(0.0..1.0);
+                let dv = rng.random_range(0.001..0.3);
                 let d = device();
                 let w = Length::um(2.0);
                 let lo = d.ids(w, Volt::v(v1), Volt::v(vds));
                 let hi = d.ids(w, Volt::v(v1 + dv), Volt::v(vds));
-                prop_assert!(hi.si() >= lo.si() - 1e-18);
+                assert!(hi.si() >= lo.si() - 1e-18);
             }
+        }
 
-            /// Drain current is monotone non-decreasing in drain voltage.
-            #[test]
-            fn ids_monotone_in_vds(
-                vgs in 0.0f64..1.0,
-                v1 in 0.001f64..1.0,
-                dv in 0.001f64..0.3,
-            ) {
+        /// Drain current is monotone non-decreasing in drain voltage.
+        #[test]
+        fn ids_monotone_in_vds() {
+            let mut rng = Rng::seed_from_u64(0x6465_7669_0002);
+            for _ in 0..CASES {
+                let vgs = rng.random_range(0.0..1.0);
+                let v1 = rng.random_range(0.001..1.0);
+                let dv = rng.random_range(0.001..0.3);
                 let d = device();
                 let w = Length::um(2.0);
                 let lo = d.ids(w, Volt::v(vgs), Volt::v(v1));
                 let hi = d.ids(w, Volt::v(vgs), Volt::v(v1 + dv));
-                prop_assert!(hi.si() >= lo.si() - 1e-18);
+                assert!(hi.si() >= lo.si() - 1e-18);
             }
+        }
 
-            /// Current scales exactly linearly with width.
-            #[test]
-            fn ids_linear_in_width(
-                vgs in 0.1f64..1.0,
-                vds in 0.05f64..1.0,
-                w in 0.2f64..20.0,
-                k in 1.1f64..8.0,
-            ) {
+        /// Current scales exactly linearly with width.
+        #[test]
+        fn ids_linear_in_width() {
+            let mut rng = Rng::seed_from_u64(0x6465_7669_0003);
+            for _ in 0..CASES {
+                let vgs = rng.random_range(0.1..1.0);
+                let vds = rng.random_range(0.05..1.0);
+                let w = rng.random_range(0.2..20.0);
+                let k = rng.random_range(1.1..8.0);
                 let d = device();
                 let i1 = d.ids(Length::um(w), Volt::v(vgs), Volt::v(vds)).si();
                 let ik = d.ids(Length::um(w * k), Volt::v(vgs), Volt::v(vds)).si();
-                prop_assert!((ik - k * i1).abs() <= 1e-9 * ik.abs().max(1e-18));
+                assert!((ik - k * i1).abs() <= 1e-9 * ik.abs().max(1e-18));
             }
+        }
 
-            /// The I–V curve is continuous across the subthreshold anchor
-            /// (no jumps that would break the simulator).
-            #[test]
-            fn ids_continuous_near_anchor(vds in 0.05f64..1.0) {
+        /// The I–V curve is continuous across the subthreshold anchor
+        /// (no jumps that would break the simulator).
+        #[test]
+        fn ids_continuous_near_anchor() {
+            let mut rng = Rng::seed_from_u64(0x6465_7669_0004);
+            for _ in 0..CASES {
+                let vds = rng.random_range(0.05..1.0);
                 let d = device();
                 let w = Length::um(4.0);
                 let anchor = d.vth.as_v() + 0.05;
                 let below = d.ids(w, Volt::v(anchor - 1e-6), Volt::v(vds)).si();
                 let above = d.ids(w, Volt::v(anchor + 1e-6), Volt::v(vds)).si();
-                prop_assert!(
+                assert!(
                     (above - below).abs() < 1e-3 * above.abs().max(1e-12),
                     "jump at anchor: {below} vs {above}"
                 );
             }
+        }
 
-            /// Leakage is monotone in width and positive.
-            #[test]
-            fn leakage_monotone_in_width(
-                w in 0.1f64..20.0,
-                dw in 0.01f64..5.0,
-            ) {
+        /// Leakage is monotone in width and positive.
+        #[test]
+        fn leakage_monotone_in_width() {
+            let mut rng = Rng::seed_from_u64(0x6465_7669_0005);
+            for _ in 0..CASES {
+                let w = rng.random_range(0.1..20.0);
+                let dw = rng.random_range(0.01..5.0);
                 let d = device();
                 let lo = d.leakage_of_width(Length::um(w), Volt::v(1.0));
                 let hi = d.leakage_of_width(Length::um(w + dw), Volt::v(1.0));
-                prop_assert!(hi.si() > lo.si());
-                prop_assert!(lo.si() > 0.0);
+                assert!(hi.si() > lo.si());
+                assert!(lo.si() > 0.0);
             }
         }
     }

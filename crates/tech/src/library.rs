@@ -184,8 +184,10 @@ impl Cell {
     pub fn input_cap(&self, devices: &DeviceSuite) -> crate::units::Cap {
         match self.kind {
             RepeaterKind::Inverter => devices.nmos.cgate(self.wn) + devices.pmos.cgate(self.wp),
-            RepeaterKind::Buffer => devices.nmos.cgate(self.wn * BUFFER_STAGE1_FRACTION)
-                + devices.pmos.cgate(self.wp * BUFFER_STAGE1_FRACTION),
+            RepeaterKind::Buffer => {
+                devices.nmos.cgate(self.wn * BUFFER_STAGE1_FRACTION)
+                    + devices.pmos.cgate(self.wp * BUFFER_STAGE1_FRACTION)
+            }
         }
     }
 }

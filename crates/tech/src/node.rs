@@ -292,21 +292,14 @@ impl Technology {
         let layout = LayoutRules {
             row_height: a.layout.row_height.lerp(b.layout.row_height, t),
             contact_pitch: a.layout.contact_pitch.lerp(b.layout.contact_pitch, t),
-            unit_nmos_width: a
-                .layout
-                .unit_nmos_width
-                .lerp(b.layout.unit_nmos_width, t),
+            unit_nmos_width: a.layout.unit_nmos_width.lerp(b.layout.unit_nmos_width, t),
         };
         let library = standard_library(&layout, devices.beta_ratio);
         Ok(Technology {
             node: nearest,
             corner: Corner::Typical,
             global_layer: interpolate_layer(&a.global_layer, &b.global_layer, t),
-            intermediate_layer: interpolate_layer(
-                &a.intermediate_layer,
-                &b.intermediate_layer,
-                t,
-            ),
+            intermediate_layer: interpolate_layer(&a.intermediate_layer, &b.intermediate_layer, t),
             devices,
             layout,
             library,
@@ -440,11 +433,10 @@ fn device_suite(node: TechNode, corner: Corner) -> DeviceSuite {
     // (vdd, vth_n, vth_p, alpha_n, alpha_p, idsat_n uA/um, idsat_p,
     //  kappa, lambda, cg fF/um, cd fF/um, leak_n nA/um, leak_p, swing mV, dibl)
     #[allow(clippy::type_complexity)]
-    let (vdd, vtn, vtp, an, ap, idn, idp, kappa, lambda, cg, cd, ln, lp, swing, dibl) = match node
-    {
+    let (vdd, vtn, vtp, an, ap, idn, idp, kappa, lambda, cg, cd, ln, lp, swing, dibl) = match node {
         TechNode::N90 => (
-            1.2, 0.32, 0.35, 1.30, 1.35, 950.0, 475.0, 0.62, 0.06, 1.00, 0.70, 200.0, 100.0,
-            100.0, 0.12,
+            1.2, 0.32, 0.35, 1.30, 1.35, 950.0, 475.0, 0.62, 0.06, 1.00, 0.70, 200.0, 100.0, 100.0,
+            0.12,
         ),
         TechNode::N65 => (
             1.0, 0.30, 0.32, 1.25, 1.30, 1000.0, 500.0, 0.58, 0.07, 0.85, 0.60, 280.0, 140.0,
@@ -456,16 +448,16 @@ fn device_suite(node: TechNode, corner: Corner) -> DeviceSuite {
             0.10,
         ),
         TechNode::N32 => (
-            0.9, 0.29, 0.31, 1.18, 1.22, 1100.0, 550.0, 0.55, 0.08, 0.70, 0.45, 380.0, 190.0,
-            95.0, 0.15,
+            0.9, 0.29, 0.31, 1.18, 1.22, 1100.0, 550.0, 0.55, 0.08, 0.70, 0.45, 380.0, 190.0, 95.0,
+            0.15,
         ),
         TechNode::N22 => (
-            0.8, 0.27, 0.29, 1.12, 1.16, 1150.0, 575.0, 0.52, 0.09, 0.62, 0.40, 480.0, 240.0,
-            95.0, 0.16,
+            0.8, 0.27, 0.29, 1.12, 1.16, 1150.0, 575.0, 0.52, 0.09, 0.62, 0.40, 480.0, 240.0, 95.0,
+            0.16,
         ),
         TechNode::N16 => (
-            0.7, 0.25, 0.27, 1.08, 1.10, 1200.0, 600.0, 0.50, 0.10, 0.55, 0.35, 580.0, 290.0,
-            90.0, 0.18,
+            0.7, 0.25, 0.27, 1.08, 1.10, 1200.0, 600.0, 0.50, 0.10, 0.55, 0.35, 580.0, 290.0, 90.0,
+            0.18,
         ),
     };
     let nmos = MosParams {
@@ -581,7 +573,13 @@ mod tests {
 
     #[test]
     fn supply_voltage_scales_down_along_the_hp_roadmap() {
-        let hp = [TechNode::N90, TechNode::N65, TechNode::N32, TechNode::N22, TechNode::N16];
+        let hp = [
+            TechNode::N90,
+            TechNode::N65,
+            TechNode::N32,
+            TechNode::N22,
+            TechNode::N16,
+        ];
         for pair in hp.windows(2) {
             let a = Technology::new(pair[0]).vdd();
             let b = Technology::new(pair[1]).vdd();
@@ -640,7 +638,6 @@ mod tests {
             assert!(t.layout().max_finger_width().si() > 0.0, "{node}");
         }
     }
-
 
     #[test]
     fn interpolation_brackets_the_shipped_nodes() {

@@ -684,7 +684,7 @@ impl Div<Res> for Volt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pi_rt::Rng;
 
     #[test]
     fn rc_product_is_time() {
@@ -739,7 +739,6 @@ mod tests {
         let back = a / Length::um(3.0);
         assert!((back.as_um() - 4.0).abs() < 1e-9);
     }
-
 
     #[test]
     fn remaining_constructor_accessor_round_trips() {
@@ -800,37 +799,62 @@ mod tests {
         assert!((a.lerp(b, 0.5).as_v() - 0.5).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+    // Seeded-loop property tests (formerly `proptest`): 200 deterministic
+    // pseudo-random cases each, drawn from the in-tree `pi-rt` PRNG.
+    const CASES: usize = 200;
+
+    #[test]
+    fn addition_commutes() {
+        let mut rng = Rng::seed_from_u64(0x756e_6974_0001);
+        for _ in 0..CASES {
+            let a = rng.random_range(-1e6..1e6);
+            let b = rng.random_range(-1e6..1e6);
             let lhs = Time::s(a) + Time::s(b);
             let rhs = Time::s(b) + Time::s(a);
-            prop_assert!((lhs - rhs).abs() <= Time::s(0.0));
+            assert!((lhs - rhs).abs() <= Time::s(0.0));
         }
+    }
 
-        #[test]
-        fn scalar_multiplication_distributes(a in -1e3f64..1e3, b in -1e3f64..1e3, k in -1e3f64..1e3) {
+    #[test]
+    fn scalar_multiplication_distributes() {
+        let mut rng = Rng::seed_from_u64(0x756e_6974_0002);
+        for _ in 0..CASES {
+            let a = rng.random_range(-1e3..1e3);
+            let b = rng.random_range(-1e3..1e3);
+            let k = rng.random_range(-1e3..1e3);
             let lhs = (Cap::f(a) + Cap::f(b)) * k;
             let rhs = Cap::f(a) * k + Cap::f(b) * k;
-            prop_assert!((lhs - rhs).abs().si() < 1e-6 * (1.0 + lhs.si().abs()));
+            assert!((lhs - rhs).abs().si() < 1e-6 * (1.0 + lhs.si().abs()));
         }
+    }
 
-        #[test]
-        fn self_division_is_dimensionless_ratio(a in 1e-9f64..1e9, b in 1e-9f64..1e9) {
+    #[test]
+    fn self_division_is_dimensionless_ratio() {
+        let mut rng = Rng::seed_from_u64(0x756e_6974_0003);
+        for _ in 0..CASES {
+            let a = rng.random_range(1e-9..1e9);
+            let b = rng.random_range(1e-9..1e9);
             let ratio = Length::m(a) / Length::m(b);
-            prop_assert!((ratio - a / b).abs() < 1e-9 * (a / b).abs());
+            assert!((ratio - a / b).abs() < 1e-9 * (a / b).abs());
         }
+    }
 
-        #[test]
-        fn abs_is_nonnegative(a in -1e9f64..1e9) {
-            prop_assert!(Power::w(a).abs() >= Power::ZERO);
+    #[test]
+    fn abs_is_nonnegative() {
+        let mut rng = Rng::seed_from_u64(0x756e_6974_0004);
+        for _ in 0..CASES {
+            let a = rng.random_range(-1e9..1e9);
+            assert!(Power::w(a).abs() >= Power::ZERO);
         }
+    }
 
-        #[test]
-        fn min_max_ordering(a in -1e9f64..1e9, b in -1e9f64..1e9) {
-            let x = Res::ohm(a);
-            let y = Res::ohm(b);
-            prop_assert!(x.min(y) <= x.max(y));
+    #[test]
+    fn min_max_ordering() {
+        let mut rng = Rng::seed_from_u64(0x756e_6974_0005);
+        for _ in 0..CASES {
+            let x = Res::ohm(rng.random_range(-1e9..1e9));
+            let y = Res::ohm(rng.random_range(-1e9..1e9));
+            assert!(x.min(y) <= x.max(y));
         }
     }
 

@@ -101,7 +101,10 @@ impl DesignStyle {
     /// amplified coupling).
     #[must_use]
     pub fn neighbor_switches(self) -> bool {
-        matches!(self, DesignStyle::SingleSpacing | DesignStyle::DoubleSpacing)
+        matches!(
+            self,
+            DesignStyle::SingleSpacing | DesignStyle::DoubleSpacing
+        )
     }
 
     /// Routing-pitch multiplier relative to single-width/single-spacing,

@@ -12,9 +12,7 @@ use pi_tech::device::DeviceSuite;
 use pi_tech::units::{Cap, Length, Res, Time};
 use pi_tech::wire_geom::{DesignStyle, WireLayer};
 
-use crate::parasitics::{
-    coupling_cap_per_meter, ground_cap_per_meter, naive_resistance_per_meter,
-};
+use crate::parasitics::{coupling_cap_per_meter, ground_cap_per_meter, naive_resistance_per_meter};
 
 /// Pamunuwa et al.'s worst-case switching coefficient λ for their wire
 /// delay model (their refinement of the classical Miller factor).

@@ -141,10 +141,7 @@ pub fn effective_resistivity(layer: &WireLayer) -> f64 {
 #[must_use]
 pub fn conducting_width(layer: &WireLayer) -> Length {
     let w = layer.width - layer.barrier_thickness * 2.0;
-    assert!(
-        w.si() > 0.0,
-        "barrier liner consumes the entire wire width"
-    );
+    assert!(w.si() > 0.0, "barrier liner consumes the entire wire width");
     w
 }
 

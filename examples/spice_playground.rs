@@ -7,10 +7,10 @@
 
 use predictive_interconnect::spice::circuit::{Circuit, GROUND};
 use predictive_interconnect::spice::cmos::{add_inverter, add_rc_ladder};
+use predictive_interconnect::spice::measure_switching_energy;
 use predictive_interconnect::spice::netlist::to_spice_deck;
 use predictive_interconnect::spice::transient::{transient, TransientSpec};
 use predictive_interconnect::spice::waveform::{delay_50, Pwl};
-use predictive_interconnect::spice::measure_switching_energy;
 use predictive_interconnect::tech::units::{Cap, Length, Res, Time};
 use predictive_interconnect::tech::{RepeaterKind, TechNode, Technology};
 
@@ -45,10 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tr = transient(&c, &spec.clone().trapezoidal())?;
 
     // Three inverters: output falls for a rising input.
-    let d_be = delay_50(be.trace(input), be.trace(out), vdd, true, false)
-        .ok_or("no transition")?;
-    let d_tr = delay_50(tr.trace(input), tr.trace(out), vdd, true, false)
-        .ok_or("no transition")?;
+    let d_be = delay_50(be.trace(input), be.trace(out), vdd, true, false).ok_or("no transition")?;
+    let d_tr = delay_50(tr.trace(input), tr.trace(out), vdd, true, false).ok_or("no transition")?;
     println!("3-stage chain + 1 mm wire @ 65 nm");
     println!("  delay (backward Euler): {:.1} ps", d_be.as_ps());
     println!("  delay (trapezoidal):    {:.1} ps", d_tr.as_ps());

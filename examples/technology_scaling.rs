@@ -10,14 +10,15 @@ use predictive_interconnect::models::coefficients::builtin;
 use predictive_interconnect::models::line::LineEvaluator;
 use predictive_interconnect::tech::units::{Freq, Length};
 use predictive_interconnect::tech::{DesignStyle, TechNode, Technology};
-use predictive_interconnect::wire::parasitics::{
-    naive_resistance_per_meter, resistance_per_meter,
-};
+use predictive_interconnect::wire::parasitics::{naive_resistance_per_meter, resistance_per_meter};
 use predictive_interconnect::wire::WireRc;
 
 fn main() {
     let clock = Freq::ghz(2.0);
-    println!("global-wire scaling across the shipped technologies (clock {} GHz)", clock.as_ghz());
+    println!(
+        "global-wire scaling across the shipped technologies (clock {} GHz)",
+        clock.as_ghz()
+    );
     println!(
         "{:>6}  {:>7}  {:>9}  {:>9}  {:>8}  {:>9}  {:>10}",
         "node", "Vdd [V]", "R [Ω/mm]", "C [fF/mm]", "ρ pen.", "τ [ps/mm²]", "reach [mm]"

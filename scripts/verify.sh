@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 verification: everything must pass offline, from a cold checkout,
+# with no network access — the workspace has zero external dependencies.
+#
+# Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --workspace --offline
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== rustfmt =="
+    cargo fmt --check
+else
+    echo "== rustfmt not installed; skipping format check =="
+fi
+
+echo "verify: OK"

@@ -233,18 +233,18 @@ fn cmd_reach(opts: &Opts) -> Result<(), String> {
     let clock = parse_clock(opts.require("clock")?)?;
     let style = parse_style(opts.get("style").unwrap_or("ss"))?;
     let objective = BufferingObjective::balanced(clock);
-    let reach = ev.max_feasible_length_opts(
-        style,
-        clock.period(),
-        &objective,
-        opts.flag("staggered"),
-    );
+    let reach =
+        ev.max_feasible_length_opts(style, clock.period(), &objective, opts.flag("staggered"));
     println!(
         "{node} {} @ {} GHz: max single-cycle link {:.2} mm{}",
         style.code(),
         clock.as_ghz(),
         reach.as_mm(),
-        if opts.flag("staggered") { " (staggered)" } else { "" }
+        if opts.flag("staggered") {
+            " (staggered)"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -256,8 +256,8 @@ fn cmd_noc(opts: &Opts) -> Result<(), String> {
     let ev = LineEvaluator::new(&models, &tech);
     let clock = parse_clock(opts.require("clock")?)?;
     let spec = if let Some(path) = opts.get("spec") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         predictive_interconnect::cosi::parse_spec(&text).map_err(|e| e.to_string())?
     } else {
         match opts.require("design")?.to_ascii_lowercase().as_str() {
@@ -277,7 +277,11 @@ fn cmd_noc(opts: &Opts) -> Result<(), String> {
             synthesize(&spec, &original, &config)
         }
         "mesh" => mesh_network(&spec, &proposed as &dyn LinkCostModel, &config),
-        other => return Err(format!("unknown model `{other}` (proposed, original, mesh)")),
+        other => {
+            return Err(format!(
+                "unknown model `{other}` (proposed, original, mesh)"
+            ))
+        }
     }
     .map_err(|e| e.to_string())?;
     println!("{}", evaluate(&spec.name, &network, &routers, clock));

@@ -33,8 +33,8 @@
 
 pub mod report;
 
-pub use pi_cosi as cosi;
 pub use pi_core as models;
+pub use pi_cosi as cosi;
 pub use pi_golden as golden;
 pub use pi_regress as regress;
 pub use pi_spice as spice;

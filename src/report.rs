@@ -97,8 +97,7 @@ impl LinkDatasheet {
     /// Model error vs the sign-off cross-check, if it was run.
     #[must_use]
     pub fn signoff_error(&self) -> Option<f64> {
-        self.signoff_delay
-            .map(|g| (self.delay - g).si() / g.si())
+        self.signoff_delay.map(|g| (self.delay - g).si() / g.si())
     }
 
     /// Whether the link meets the clock period (closed-form delay).
@@ -119,14 +118,22 @@ impl fmt::Display for LinkDatasheet {
             self.plan.count,
             self.plan.kind,
             self.plan.wn.as_um(),
-            if self.plan.staggered { ", staggered" } else { "" }
+            if self.plan.staggered {
+                ", staggered"
+            } else {
+                ""
+            }
         )?;
         writeln!(
             f,
             "timing : delay {} | output slew {} | {} @ {:.2} GHz",
             self.delay.pretty(),
             self.output_slew.pretty(),
-            if self.meets_clock() { "MEETS" } else { "MISSES" },
+            if self.meets_clock() {
+                "MEETS"
+            } else {
+                "MISSES"
+            },
             self.options.clock.as_ghz()
         )?;
         writeln!(
@@ -159,7 +166,11 @@ impl fmt::Display for LinkDatasheet {
                 f,
                 "noise  : worst coupling glitch {:.0}% of Vdd ({})",
                 g * 100.0,
-                if g <= 0.4 { "within margin" } else { "VIOLATION" }
+                if g <= 0.4 {
+                    "within margin"
+                } else {
+                    "VIOLATION"
+                }
             )?;
         }
         if let (Some(d), Some(e)) = (self.signoff_delay, self.signoff_error()) {
@@ -193,7 +204,12 @@ pub fn link_datasheet(
     let timing = evaluator.timing(spec, plan);
     let power = evaluator.power(spec, plan, options.activity, options.clock);
     let repeater_area = evaluator.repeater_area(plan);
-    let wire_area = bus_area(options.n_bits, spec.length, tech.layer(spec.tier), spec.style);
+    let wire_area = bus_area(
+        options.n_bits,
+        spec.length,
+        tech.layer(spec.tier),
+        spec.style,
+    );
 
     let timing_yield = options.with_yield.then(|| {
         evaluator.timing_yield(

@@ -12,7 +12,11 @@ fn pi(args: &[&str]) -> std::process::Output {
 #[test]
 fn delay_command_reports_plan_and_delay() {
     let out = pi(&["delay", "--tech", "65nm", "--length", "5mm"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("65nm 5 mm SS"));
     assert!(text.contains("delay"));
@@ -42,7 +46,12 @@ fn reach_staggered_exceeds_plain() {
     };
     let plain = parse_mm(pi(&["reach", "--tech", "45nm", "--clock", "3GHz"]));
     let staggered = parse_mm(pi(&[
-        "reach", "--tech", "45nm", "--clock", "3GHz", "--staggered",
+        "reach",
+        "--tech",
+        "45nm",
+        "--clock",
+        "3GHz",
+        "--staggered",
     ]));
     assert!(staggered > plain, "{staggered} vs {plain}");
 }
@@ -66,7 +75,11 @@ fn noc_runs_on_a_user_spec_file() {
         "--clock",
         "2GHz",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("T / proposed model"));
     assert!(text.contains("dynamic"));
@@ -77,7 +90,11 @@ fn report_full_includes_signoff() {
     let out = pi(&[
         "report", "--tech", "65nm", "--length", "4mm", "--clock", "2GHz", "--full",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("timing"));
     assert!(text.contains("signoff"));

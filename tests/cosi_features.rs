@@ -31,8 +31,8 @@ fn mesh_and_custom_both_realize_vproc_under_real_models() {
     let spec = vproc();
 
     let custom = synthesize(&spec, &proposed, &config).expect("custom synthesis");
-    let mesh = mesh_network(&spec, &proposed as &dyn LinkCostModel, &config)
-        .expect("mesh construction");
+    let mesh =
+        mesh_network(&spec, &proposed as &dyn LinkCostModel, &config).expect("mesh construction");
     let rc = evaluate(&spec.name, &custom, &routers, clock);
     let rm = evaluate(&spec.name, &mesh, &routers, clock);
 

@@ -1,0 +1,104 @@
+//! Thread-count invariance of the parallelized flows.
+//!
+//! The pi-rt engine spreads work over `PI_THREADS` scoped threads, and the
+//! Monte-Carlo loops derive one `Rng::stream(seed, index)` per sample, so
+//! every result must be **bit-identical** no matter how the samples were
+//! scheduled. This test pins that contract for the three parallel hot
+//! paths: the MC delay distribution, the NoC style exploration, and the
+//! network yield tallies.
+//!
+//! Everything runs inside a single `#[test]` because `PI_THREADS` is
+//! process-global: parallel test threads mutating it would race.
+
+use pi_core::coefficients::builtin;
+use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
+use pi_core::variation::VariationModel;
+use pi_cosi::explore::{explore_link_styles, StyleResult};
+use pi_cosi::net_yield::network_timing_yield;
+use pi_cosi::synthesis::SynthesisConfig;
+use pi_cosi::testcases::dvopd;
+use pi_tech::units::{Freq, Length};
+use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+/// Runs `f` with `PI_THREADS` set to `setting` (`None` = engine default).
+fn with_threads<R>(setting: Option<&str>, f: impl FnOnce() -> R) -> R {
+    match setting {
+        Some(n) => std::env::set_var("PI_THREADS", n),
+        None => std::env::remove_var("PI_THREADS"),
+    }
+    let out = f();
+    std::env::remove_var("PI_THREADS");
+    out
+}
+
+const SETTINGS: [Option<&str>; 3] = [Some("1"), Some("2"), None];
+
+#[test]
+fn parallel_results_are_bit_identical_across_thread_counts() {
+    let tech = Technology::new(TechNode::N65);
+    let models = builtin(TechNode::N65);
+    let evaluator = LineEvaluator::new(&models, &tech);
+
+    // 1. Monte-Carlo delay distribution — compare the raw f64 bits of
+    //    every sample, not an approximate summary.
+    let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 12,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    let variation = VariationModel::nominal();
+    let distributions: Vec<Vec<u64>> = SETTINGS
+        .iter()
+        .map(|s| {
+            with_threads(*s, || {
+                evaluator
+                    .delay_distribution(&spec, &plan, &variation, 512, 42)
+                    .samples()
+                    .iter()
+                    .map(|t| t.si().to_bits())
+                    .collect()
+            })
+        })
+        .collect();
+    assert_eq!(distributions[0], distributions[1], "MC: 1 vs 2 threads");
+    assert_eq!(distributions[0], distributions[2], "MC: 1 vs default");
+
+    // 2. NoC style exploration — the per-style synthesis fan-out must
+    //    return the same networks, reports, and ordering.
+    let clock = Freq::ghz(2.25);
+    let config = SynthesisConfig::at_clock(clock);
+    let explored: Vec<Vec<StyleResult>> = SETTINGS
+        .iter()
+        .map(|s| {
+            with_threads(*s, || {
+                explore_link_styles(&evaluator, &dvopd(), &config, 0.25).expect("exploration")
+            })
+        })
+        .collect();
+    assert_eq!(explored[0], explored[1], "explore: 1 vs 2 threads");
+    assert_eq!(explored[0], explored[2], "explore: 1 vs default");
+
+    // 3. Network yield — the chunked pass counters must merge to the same
+    //    tallies regardless of chunk scheduling.
+    let best = &explored[0][0];
+    let yields: Vec<_> = SETTINGS
+        .iter()
+        .map(|s| {
+            with_threads(*s, || {
+                network_timing_yield(
+                    &best.network,
+                    &evaluator,
+                    best.choice.style,
+                    &variation,
+                    clock,
+                    400,
+                    7,
+                )
+            })
+        })
+        .collect();
+    assert_eq!(yields[0], yields[1], "yield: 1 vs 2 threads");
+    assert_eq!(yields[0], yields[2], "yield: 1 vs default");
+}

@@ -104,8 +104,18 @@ fn corner_calibration_orders_line_delay() {
     let slow = delay_at(Corner::SlowSlow);
     let typical = delay_at(Corner::Typical);
     let fast = delay_at(Corner::FastFast);
-    assert!(slow > typical, "SS {} vs TT {}", slow.as_ps(), typical.as_ps());
-    assert!(typical > fast, "TT {} vs FF {}", typical.as_ps(), fast.as_ps());
+    assert!(
+        slow > typical,
+        "SS {} vs TT {}",
+        slow.as_ps(),
+        typical.as_ps()
+    );
+    assert!(
+        typical > fast,
+        "TT {} vs FF {}",
+        typical.as_ps(),
+        fast.as_ps()
+    );
 }
 
 /// An ITRS-interpolated 28 nm technology can be calibrated from scratch
@@ -135,15 +145,29 @@ fn interpolated_node_calibrates_and_predicts() {
     // And the interpolated node sits between its neighbours.
     let d32 = {
         let t = Technology::new(TechNode::N32);
-        line_delay(&t, &spec, &BufferingPlan { wn: t.layout().unit_nmos_width * 16.0, ..plan })
-            .expect("sign-off")
-            .delay
+        line_delay(
+            &t,
+            &spec,
+            &BufferingPlan {
+                wn: t.layout().unit_nmos_width * 16.0,
+                ..plan
+            },
+        )
+        .expect("sign-off")
+        .delay
     };
     let d22 = {
         let t = Technology::new(TechNode::N22);
-        line_delay(&t, &spec, &BufferingPlan { wn: t.layout().unit_nmos_width * 16.0, ..plan })
-            .expect("sign-off")
-            .delay
+        line_delay(
+            &t,
+            &spec,
+            &BufferingPlan {
+                wn: t.layout().unit_nmos_width * 16.0,
+                ..plan
+            },
+        )
+        .expect("sign-off")
+        .delay
     };
     let lo = d32.min(d22) * 0.9;
     let hi = d32.max(d22) * 1.1;

@@ -18,15 +18,9 @@ fn analytic_dynamic_power_matches_measured_energy() {
     let d = tech.devices();
     let wn = Length::um(6.0);
     let load = Cap::ff(150.0);
-    let measured = measure_switching_energy(
-        d,
-        RepeaterKind::Inverter,
-        wn,
-        Time::ps(60.0),
-        load,
-        true,
-    )
-    .expect("simulation");
+    let measured =
+        measure_switching_energy(d, RepeaterKind::Inverter, wn, Time::ps(60.0), load, true)
+            .expect("simulation");
 
     // Analytic per-transition energy via the power model at 1 GHz, α = 1.
     let c_switched = load + d.inverter_cout(wn);
@@ -81,9 +75,10 @@ fn higher_vdd_node_draws_quadratically_more_energy() {
         let d = tech.devices();
         let wn = Length::um(4.0);
         let load = Cap::ff(200.0);
-        let e1 = measure_switching_energy(d, RepeaterKind::Inverter, wn, Time::ps(60.0), load, true)
-            .expect("simulation")
-            .si();
+        let e1 =
+            measure_switching_energy(d, RepeaterKind::Inverter, wn, Time::ps(60.0), load, true)
+                .expect("simulation")
+                .si();
         let e0 = measure_switching_energy(
             d,
             RepeaterKind::Inverter,

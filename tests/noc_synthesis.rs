@@ -37,7 +37,8 @@ fn both_testcases_synthesize_under_both_models_at_65nm() {
     let s = setup(TechNode::N65);
     let models = builtin(TechNode::N65);
     let evaluator = LineEvaluator::new(&models, &s.tech);
-    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let proposed =
+        ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
     let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
     for spec in [vproc(), dvopd()] {
         for model in [&proposed as &dyn LinkCostModel, &original] {
@@ -56,7 +57,8 @@ fn proposed_network_has_higher_dynamic_power_estimate() {
     let s = setup(TechNode::N65);
     let models = builtin(TechNode::N65);
     let evaluator = LineEvaluator::new(&models, &s.tech);
-    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let proposed =
+        ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
     let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
     let routers = RouterParams::for_tech(&s.tech);
     let spec = dvopd();
@@ -102,7 +104,8 @@ fn proposed_model_produces_more_hops() {
     let s = setup(TechNode::N45);
     let models = builtin(TechNode::N45);
     let evaluator = LineEvaluator::new(&models, &s.tech);
-    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let proposed =
+        ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
     let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
     let spec = vproc();
     let net_p = synthesize(&spec, &proposed, &s.config).expect("proposed synthesis");
@@ -122,7 +125,8 @@ fn original_network_contains_unimplementable_links() {
     let s = setup(TechNode::N65);
     let models = builtin(TechNode::N65);
     let evaluator = LineEvaluator::new(&models, &s.tech);
-    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let proposed =
+        ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
     let original = OriginalLinkModel::new(&s.tech, s.clock, ACTIVITY);
     let spec = vproc();
     let net_o = synthesize(&spec, &original, &s.config).expect("original synthesis");
@@ -141,7 +145,8 @@ fn every_proposed_link_meets_the_clock_period() {
     let s = setup(TechNode::N65);
     let models = builtin(TechNode::N65);
     let evaluator = LineEvaluator::new(&models, &s.tech);
-    let proposed = ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
+    let proposed =
+        ProposedLinkModel::new(&evaluator, DesignStyle::SingleSpacing, s.clock, ACTIVITY);
     let spec = dvopd();
     let net = synthesize(&spec, &proposed, &s.config).expect("synthesis");
     let period = s.clock.period();

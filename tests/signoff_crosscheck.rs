@@ -78,7 +78,9 @@ fn signoff_delay_monotone_in_coupling_regime() {
     // worst-case switching > staggered (quiet) for the same line.
     let tech = Technology::new(TechNode::N65);
     let spec = LineSpec::global(Length::mm(4.0), DesignStyle::SingleSpacing);
-    let normal = line_delay(&tech, &spec, &plan(8, 6.0)).expect("normal").delay;
+    let normal = line_delay(&tech, &spec, &plan(8, 6.0))
+        .expect("normal")
+        .delay;
     let mut staggered_plan = plan(8, 6.0);
     staggered_plan.staggered = true;
     let staggered = line_delay(&tech, &spec, &staggered_plan)

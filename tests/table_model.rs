@@ -46,10 +46,7 @@ fn closed_form_stays_close_to_table_model() {
                 let si = Time::ps(si_ps);
                 let load = Cap::from_si(cin.si() * factor);
                 let table = lib.delay(RepeaterKind::Inverter, Transition::Fall, wn, si, load);
-                let closed = models
-                    .inverter
-                    .fall
-                    .delay(si, load, wn, beta);
+                let closed = models.inverter.fall.delay(si, load, wn, beta);
                 let denom = table.abs().max(Time::ps(10.0));
                 worst = worst.max(((closed - table).abs() / denom).abs());
             }
