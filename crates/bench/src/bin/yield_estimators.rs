@@ -1,0 +1,91 @@
+//! Yield-estimator shoot-out: line evaluations and wall time to a fixed
+//! confidence interval, per estimator, on the Table-style 5 mm / 65 nm
+//! buffered line.
+//!
+//! Two regimes are swept — a moderate-yield deadline (5 % over nominal,
+//! where scrambled-Sobol QMC dominates) and a rare-failure deadline (25 %
+//! over nominal, ~0.1 % fail, where mean-shifted importance sampling
+//! dominates) — so the table shows *when each estimator wins*, not just
+//! that one is faster. Naive Monte Carlo is the reference in both.
+
+use std::time::Instant;
+
+use pi_bench::TextTable;
+use pi_core::coefficients::builtin;
+use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
+use pi_core::variation::VariationModel;
+use pi_tech::units::Length;
+use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+use pi_yield::{EstimatorConfig, Method};
+
+fn main() {
+    let node = TechNode::N65;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let evaluator = LineEvaluator::new(&models, &tech);
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 8,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    let variation = VariationModel::nominal();
+    let nominal = evaluator.timing(&spec, &plan).delay;
+
+    println!(
+        "Yield estimators — {node} 5 mm SS, 8x 6um inverters, nominal {:.0} ps, \
+         sigma_d2d {:.0}% + sigma_wid {:.0}%",
+        nominal.as_ps(),
+        variation.sigma_d2d * 100.0,
+        variation.sigma_wid * 100.0
+    );
+
+    for (label, frac, target) in [
+        ("moderate yield, CI ±0.5% @ 95%", 1.05, 5e-3),
+        ("rare failures, CI ±0.05% @ 95%", 1.25, 5e-4),
+    ] {
+        let deadline = nominal * frac;
+        println!("\n{label} (deadline {:.0} ps):", deadline.as_ps());
+        let mut table = TextTable::new(vec![
+            "estimator",
+            "yield",
+            "CI half-width",
+            "line evals",
+            "vs naive",
+            "wall time",
+        ]);
+        let mut naive_evals = None;
+        for method in Method::ALL {
+            let config = EstimatorConfig::new(method).with_target_half_width(target);
+            let t0 = Instant::now();
+            let est = evaluator.timing_yield_estimate(&spec, &plan, &variation, deadline, &config);
+            let wall = t0.elapsed();
+            if method == Method::Naive {
+                naive_evals = Some(est.evals);
+            }
+            let reduction = match (naive_evals, est.evals) {
+                (Some(n), e) if e > 0 => format!("{:.1}x", n as f64 / e as f64),
+                _ => "-".to_owned(),
+            };
+            table.row(vec![
+                method.name().to_owned(),
+                format!("{:.2}%", est.yield_fraction * 100.0),
+                format!("±{:.3}%", est.half_width * 100.0),
+                format!("{}", est.evals),
+                reduction,
+                format!("{:.2?}", wall),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+
+    println!(
+        "\nreading the tables: scrambled Sobol reaches the same confidence \
+         interval as naive Monte Carlo with an order of magnitude fewer \
+         line evaluations in the moderate-yield regime; once failures are \
+         rare the mean-shifted importance sampler takes over; the analytic \
+         closure answers in microseconds with zero samples (its residual \
+         is model error, pinned by tests against Monte Carlo)."
+    );
+}

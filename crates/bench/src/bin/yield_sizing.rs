@@ -1,8 +1,13 @@
 //! Yield-driven sizing study (extension, and a nod to the task's titular
 //! paper "Novel sizing algorithm for yield improvement under process
 //! variation"): starting from the nominal power-optimal buffering of a
-//! link, upsize repeaters until the Monte-Carlo timing yield reaches 95%,
-//! and report what the yield costs in power.
+//! link, upsize repeaters until the timing yield reaches 95%, and report
+//! what the yield costs in power.
+//!
+//! The yield inside the sizing loop comes from the `pi-yield`
+//! scrambled-Sobol estimator with adaptive early stopping, so every
+//! candidate plan is judged against a ±0.5% @ 95% confidence interval at
+//! a fraction of the fixed-count Monte-Carlo cost the loop used to pay.
 
 use pi_bench::TextTable;
 use pi_core::buffering::{BufferingObjective, SearchSpace};
@@ -11,10 +16,12 @@ use pi_core::line::{LineEvaluator, LineSpec};
 use pi_core::variation::VariationModel;
 use pi_tech::units::{Freq, Length};
 use pi_tech::{DesignStyle, TechNode, Technology};
+use pi_yield::{EstimatorConfig, Method};
 
-const SAMPLES: usize = 800;
 const SEED: u64 = 4;
 const TARGET: f64 = 0.95;
+/// Target CI half-width: ±0.5% yield at 95% confidence.
+const TARGET_HW: f64 = 5e-3;
 
 fn main() {
     let node = TechNode::N65;
@@ -24,14 +31,18 @@ fn main() {
     let clock = Freq::ghz(2.0);
     let variation = VariationModel::nominal();
 
+    let config = EstimatorConfig::new(Method::SobolScrambled)
+        .with_seed(SEED)
+        .with_target_half_width(TARGET_HW);
+
     println!(
         "Yield-driven sizing — {node} @ {} GHz, target yield {:.0}%, \
-         sigma_d2d {:.0}% + sigma_wid {:.0}%, {} samples",
+         sigma_d2d {:.0}% + sigma_wid {:.0}%, scrambled-Sobol to ±{:.1}% @ 95%",
         clock.as_ghz(),
         TARGET * 100.0,
         variation.sigma_d2d * 100.0,
         variation.sigma_wid * 100.0,
-        SAMPLES
+        TARGET_HW * 100.0
     );
     let mut table = TextTable::new(vec![
         "L [mm]",
@@ -55,10 +66,11 @@ fn main() {
             println!("  {l} mm: infeasible at this clock");
             continue;
         };
-        let y0 = evaluator.timing_yield(&spec, &base.plan, &variation, deadline, SAMPLES, SEED);
-        let sized = evaluator.size_for_yield(
-            &spec, &base.plan, &variation, deadline, TARGET, SAMPLES, SEED,
-        );
+        let y0 = evaluator
+            .timing_yield_estimate(&spec, &base.plan, &variation, deadline, &config)
+            .yield_fraction;
+        let sized =
+            evaluator.size_for_yield_with(&spec, &base.plan, &variation, deadline, TARGET, &config);
         match sized {
             Some(s) => {
                 let p0 = evaluator.power(&spec, &base.plan, 0.25, clock).total();

@@ -1,7 +1,7 @@
-//! Process-variation analysis of buffered lines (Monte Carlo).
+//! Process-variation analysis of buffered lines.
 //!
 //! The corner models of `pi-tech` capture die-to-die extremes; this module
-//! samples the *statistical* picture: die-to-die (D2D) drive variation
+//! covers the *statistical* picture: die-to-die (D2D) drive variation
 //! shared by every repeater on a line, plus within-die (WID) random
 //! variation independent per repeater. The result is a line-delay
 //! distribution and a parametric-yield estimate against a clock deadline —
@@ -11,9 +11,19 @@
 //! resistance by `1/g` (stronger device, lower resistance) and its intrinsic
 //! delay similarly; wire parasitics are left nominal (interconnect
 //! variation is tracked separately in practice).
+//!
+//! The statistics themselves live in the `pi-yield` engine: a calibrated
+//! line is lowered to a plain-`f64` [`pi_yield::LineProblem`] (one
+//! `(repeater, wire)` delay pair per stage) and every estimator of that
+//! crate — naive Monte Carlo, Sobol quasi-Monte-Carlo, mean-shifted
+//! importance sampling, and the analytic Gaussian closure — applies. The
+//! sampling-based [`LineEvaluator::delay_distribution`] keeps the legacy
+//! draw order bit-for-bit; [`LineEvaluator::timing_yield_estimate`]
+//! exposes the variance-reduced estimators with confidence intervals.
 
 use pi_rt::Rng;
 use pi_tech::units::Time;
+use pi_yield::{DriveVariation, EstimatorConfig, LineProblem, StageDelays, YieldEstimate};
 
 use crate::line::{BufferingPlan, LineEvaluator, LineSpec, StageTiming};
 
@@ -73,6 +83,23 @@ impl VariationModel {
             sigma_wid: 0.0,
         }
     }
+
+    /// Lowers to the plain-`f64` variation type of the `pi-yield` engine.
+    #[must_use]
+    pub fn to_drive(&self) -> DriveVariation {
+        DriveVariation {
+            sigma_d2d: self.sigma_d2d,
+            sigma_wid: self.sigma_wid,
+        }
+    }
+}
+
+/// Lowers per-stage timings to the `pi-yield` stage-delay vector (seconds).
+fn stage_delays(stages: &[StageTiming]) -> StageDelays {
+    StageDelays::new(
+        stages.iter().map(|s| s.repeater_delay.si()).collect(),
+        stages.iter().map(|s| s.wire_delay.si()).collect(),
+    )
 }
 
 /// A sampled line-delay distribution.
@@ -144,25 +171,39 @@ impl DelayDistribution {
     }
 }
 
-/// Drive factor sample, floored so a pathological tail cannot produce a
-/// non-positive drive.
-///
-/// Normals come from `pi-rt`'s Box–Muller (the former `rand`-based code
-/// hand-rolled the same transform); each sample of the Monte-Carlo loop
-/// owns a [`Rng::stream`] derived from `(seed, sample_index)`, so the
-/// drawn factors do not depend on how samples are spread over threads.
-fn drive_factor(rng: &mut Rng, sigma: f64) -> f64 {
-    (1.0 + sigma * rng.normal()).max(0.2)
-}
-
 impl LineEvaluator<'_> {
-    /// Samples the line-delay distribution under the variation model.
+    /// Lowers one buffered line to the plain-`f64` yield problem the
+    /// `pi-yield` estimators consume: nominal per-stage delays, the drive
+    /// variation budget, and the timing deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no repeaters.
+    #[must_use]
+    pub fn line_problem(
+        &self,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+        variation: &VariationModel,
+        deadline: Time,
+    ) -> LineProblem {
+        let nominal = self.timing(spec, plan);
+        LineProblem {
+            stages: stage_delays(&nominal.stages),
+            variation: variation.to_drive(),
+            deadline_s: deadline.si(),
+        }
+    }
+
+    /// Samples the line-delay distribution under the variation model
+    /// (naive Monte Carlo — the reference sampler).
     ///
     /// Deterministic for a given `seed`, and — because sample `i` draws
     /// from its own `Rng::stream(seed, i)` — **bit-identical for any
     /// thread count** (`PI_THREADS=1` included). Each sample draws one
-    /// shared D2D drive factor and one WID factor per repeater; a
-    /// repeater's delay contribution is its nominal stage delay with the
+    /// shared D2D drive factor and one WID factor per repeater through
+    /// the shared floored draw [`pi_yield::drive_factor`]; a repeater's
+    /// delay contribution is its nominal stage delay with the
     /// drive-dependent terms scaled by `1/g` (the wire term is unscaled).
     ///
     /// # Panics
@@ -179,21 +220,17 @@ impl LineEvaluator<'_> {
     ) -> DelayDistribution {
         assert!(samples > 0, "need at least one sample");
         let nominal = self.timing(spec, plan);
-        let stages = &nominal.stages;
+        let stages = stage_delays(&nominal.stages);
+        let drive = variation.to_drive();
         let out = pi_rt::par_map_indexed(samples, |i| {
             let mut rng = Rng::stream(seed, i as u64);
-            let g_d2d = drive_factor(&mut rng, variation.sigma_d2d);
-            let mut total = Time::ZERO;
-            for stage in stages {
-                let g = g_d2d * drive_factor(&mut rng, variation.sigma_wid);
-                total += scaled_stage_delay(stage, g);
-            }
-            total
+            Time::s(stages.sample_delay(&mut rng, &drive))
         });
         DelayDistribution { samples: out }
     }
 
-    /// Timing yield of the line against a clock deadline under variation.
+    /// Timing yield of the line against a clock deadline under variation
+    /// (naive fixed-count Monte Carlo; the `pi-yield` reference path).
     #[must_use]
     pub fn timing_yield(
         &self,
@@ -207,11 +244,25 @@ impl LineEvaluator<'_> {
         self.delay_distribution(spec, plan, variation, samples, seed)
             .yield_at(deadline)
     }
-}
 
-/// One stage's delay with its drive-dependent parts scaled by `1/g`.
-fn scaled_stage_delay(stage: &StageTiming, g: f64) -> Time {
-    stage.repeater_delay / g + stage.wire_delay
+    /// Timing yield through a configurable `pi-yield` estimator, with a
+    /// confidence interval and adaptive early stopping.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonsensical configuration (zero evaluation budget) or
+    /// a plan with no repeaters.
+    #[must_use]
+    pub fn timing_yield_estimate(
+        &self,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+        variation: &VariationModel,
+        deadline: Time,
+        config: &EstimatorConfig,
+    ) -> YieldEstimate {
+        pi_yield::estimate_line_yield(&self.line_problem(spec, plan, variation, deadline), config)
+    }
 }
 
 /// Outcome of the yield-driven sizing pass.
@@ -253,6 +304,49 @@ impl LineEvaluator<'_> {
         samples: usize,
         seed: u64,
     ) -> Option<YieldSizing> {
+        assert!(samples > 0, "need at least one sample");
+        self.size_loop(spec, plan, target_yield, |ev, candidate| {
+            ev.timing_yield(spec, candidate, variation, deadline, samples, seed)
+        })
+    }
+
+    /// Yield-driven sizing through a configurable `pi-yield` estimator:
+    /// the same greedy upsizing as [`LineEvaluator::size_for_yield`], but
+    /// each candidate's yield comes from the chosen estimator (adaptive
+    /// early stopping included), so a sizing sweep costs a fraction of
+    /// the fixed-count Monte-Carlo evaluations.
+    ///
+    /// Returns `None` if no plan in range reaches the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_yield` is outside `(0, 1]` or the configuration
+    /// has a zero evaluation budget.
+    #[must_use]
+    pub fn size_for_yield_with(
+        &self,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+        variation: &VariationModel,
+        deadline: Time,
+        target_yield: f64,
+        config: &EstimatorConfig,
+    ) -> Option<YieldSizing> {
+        self.size_loop(spec, plan, target_yield, |ev, candidate| {
+            ev.timing_yield_estimate(spec, candidate, variation, deadline, config)
+                .yield_fraction
+        })
+    }
+
+    /// The shared greedy search: upsize through the library drives, then
+    /// add repeaters, until `estimate` reports the target yield.
+    fn size_loop(
+        &self,
+        spec: &LineSpec,
+        plan: &BufferingPlan,
+        target_yield: f64,
+        estimate: impl Fn(&Self, &BufferingPlan) -> f64,
+    ) -> Option<YieldSizing> {
         assert!(
             target_yield > 0.0 && target_yield <= 1.0,
             "target yield must be in (0, 1]"
@@ -270,7 +364,7 @@ impl LineEvaluator<'_> {
         // Phase 1: upsize through the library.
         for &d in &drives[start_idx..] {
             current.wn = unit * f64::from(d);
-            let y = self.timing_yield(spec, &current, variation, deadline, samples, seed);
+            let y = estimate(self, &current);
             if y >= target_yield {
                 return Some(YieldSizing {
                     plan: current,
@@ -284,7 +378,7 @@ impl LineEvaluator<'_> {
         let max_count = (plan.count + 1).max((spec.length.as_mm() * 4.0).ceil() as usize);
         for count in (current.count + 1)..=max_count {
             current.count = count;
-            let y = self.timing_yield(spec, &current, variation, deadline, samples, seed);
+            let y = estimate(self, &current);
             if y >= target_yield {
                 return Some(YieldSizing {
                     plan: current,
@@ -501,6 +595,83 @@ mod tests {
             .expect("already passing");
         assert_eq!(sized.steps, 0);
         assert_eq!(sized.plan.count, start.count);
+    }
+
+    #[test]
+    fn naive_estimator_reproduces_legacy_yield_bit_for_bit() {
+        // The pi-yield naive path must be the *same* estimator as the
+        // legacy fixed-count loop: same per-die RNG streams, same draw
+        // order, same floored drive factor — so at an identical seed and
+        // die count the two yields agree exactly, not just statistically.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let v = VariationModel::nominal();
+        let deadline = Time::ps(600.0);
+        let legacy = ev.timing_yield(&spec, &plan, &v, deadline, 1024, 9);
+        let cfg = pi_yield::EstimatorConfig::new(pi_yield::Method::Naive)
+            .with_seed(9)
+            .with_max_evals(1024)
+            .with_target_half_width(0.0);
+        let est = ev.timing_yield_estimate(&spec, &plan, &v, deadline, &cfg);
+        assert_eq!(est.evals, 1024);
+        assert_eq!(legacy.to_bits(), est.yield_fraction.to_bits());
+    }
+
+    #[test]
+    fn estimators_agree_within_their_intervals() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let v = VariationModel::nominal();
+        let deadline = Time::ps(600.0);
+        let reference = ev.timing_yield(&spec, &plan, &v, deadline, 4000, 17);
+        for method in pi_yield::Method::ALL {
+            let est = ev.timing_yield_estimate(
+                &spec,
+                &plan,
+                &v,
+                deadline,
+                &pi_yield::EstimatorConfig::new(method),
+            );
+            let slack = est.half_width.max(0.02);
+            assert!(
+                (est.yield_fraction - reference).abs() <= 3.0 * slack,
+                "{method}: {} vs reference {reference}",
+                est.yield_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn estimator_driven_sizing_matches_monte_carlo_sizing() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        let start = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 12,
+            wn: t.layout().unit_nmos_width * 8.0,
+            staggered: false,
+        };
+        let v = VariationModel::nominal();
+        let deadline = Time::ps(560.0);
+        let mc = ev
+            .size_for_yield(&spec, &start, &v, deadline, 0.95, 800, 7)
+            .expect("target reachable");
+        let cfg = pi_yield::EstimatorConfig::new(pi_yield::Method::SobolScrambled);
+        let fast = ev
+            .size_for_yield_with(&spec, &start, &v, deadline, 0.95, &cfg)
+            .expect("target reachable");
+        assert!(fast.achieved_yield >= 0.95);
+        // Both searches walk the same discrete ladder; the variance-reduced
+        // estimator must land on the same (or an adjacent) rung.
+        assert!(
+            (fast.steps as i64 - mc.steps as i64).abs() <= 1,
+            "MC stopped at step {}, estimator at {}",
+            mc.steps,
+            fast.steps
+        );
     }
 
     #[test]

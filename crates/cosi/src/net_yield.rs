@@ -7,11 +7,20 @@
 //! have no slack, so an un-guard-banded network's yield collapses — the
 //! motivation for synthesizing against a derated clock, which this module
 //! lets one quantify.
+//!
+//! The estimation itself is delegated to the `pi-yield` engine: a
+//! synthesized [`Network`] is lowered to a plain-`f64`
+//! [`pi_yield::NetworkProblem`] (per-channel nominal stage delays), after
+//! which every estimator applies — the legacy fixed-count naive Monte
+//! Carlo ([`network_timing_yield`], kept as the bit-compatible reference)
+//! and the variance-reduced, confidence-interval-driven family
+//! ([`network_yield_estimate`]).
 
-use pi_core::line::{LineEvaluator, LineSpec, LineTiming};
+use pi_core::line::{LineEvaluator, LineSpec};
 use pi_core::variation::VariationModel;
 use pi_rt::Rng;
-use pi_tech::units::{Freq, Time};
+use pi_tech::units::Freq;
+use pi_yield::{EstimatorConfig, NetworkProblem, NetworkYieldEstimate, StageDelays};
 
 use crate::synthesis::Network;
 
@@ -43,10 +52,42 @@ impl NetworkYield {
     }
 }
 
-/// Drive factor sample, floored so a pathological tail cannot produce a
-/// non-positive drive. Same model as `pi-core::variation`.
-fn drive_factor(rng: &mut Rng, sigma: f64) -> f64 {
-    (1.0 + sigma * rng.normal()).max(0.2)
+/// Lowers a synthesized network to the plain-`f64` yield problem the
+/// `pi-yield` estimators consume: per-channel nominal stage delays under
+/// the evaluator's technology, the drive-variation budget, and the clock
+/// period every channel must meet.
+///
+/// # Panics
+///
+/// Panics if the network has no channels or the evaluator's node differs
+/// from the one the network was synthesized for (lengths are
+/// reinterpreted under the evaluator's technology).
+#[must_use]
+pub fn network_problem(
+    network: &Network,
+    evaluator: &LineEvaluator<'_>,
+    style: pi_tech::DesignStyle,
+    variation: &VariationModel,
+    clock: Freq,
+) -> NetworkProblem {
+    assert!(!network.channels.is_empty(), "network has no channels");
+    let channels: Vec<StageDelays> = network
+        .channels
+        .iter()
+        .map(|c| {
+            let spec = LineSpec::global(c.length.max(pi_tech::units::Length::um(50.0)), style);
+            let timing = evaluator.timing(&spec, &c.cost.plan);
+            StageDelays::new(
+                timing
+                    .stages
+                    .iter()
+                    .map(|s| s.repeater_delay.si())
+                    .collect(),
+                timing.stages.iter().map(|s| s.wire_delay.si()).collect(),
+            )
+        })
+        .collect();
+    NetworkProblem::new(channels, variation.to_drive(), clock.period().si())
 }
 
 /// Samples the timing yield of a synthesized network: on each sampled die,
@@ -56,7 +97,9 @@ fn drive_factor(rng: &mut Rng, sigma: f64) -> f64 {
 ///
 /// Deterministic for a given `seed` and — each die draws from its own
 /// [`Rng::stream`]`(seed, die_index)` — bit-identical for any thread
-/// count (`PI_THREADS` included).
+/// count (`PI_THREADS` included). This is the fixed-count naive
+/// Monte-Carlo reference; [`network_yield_estimate`] runs the
+/// variance-reduced estimators on the same lowered problem.
 ///
 /// # Panics
 ///
@@ -74,44 +117,23 @@ pub fn network_timing_yield(
     seed: u64,
 ) -> NetworkYield {
     assert!(samples > 0, "need at least one sample");
-    assert!(!network.channels.is_empty(), "network has no channels");
-    let period = clock.period();
-
-    // Precompute nominal per-stage timings per channel once.
-    let nominal: Vec<LineTiming> = network
-        .channels
-        .iter()
-        .map(|c| {
-            let spec = LineSpec::global(c.length.max(pi_tech::units::Length::um(50.0)), style);
-            evaluator.timing(&spec, &c.cost.plan)
-        })
-        .collect();
+    let problem = network_problem(network, evaluator, style, variation, clock);
+    let channels = problem.channels.len();
 
     // One counter set per chunk of dies; counts are additive, so merging
     // per-chunk partials in chunk order reproduces the serial tallies
     // exactly no matter how chunks were scheduled over threads.
-    let channels = network.channels.len();
     let partials = pi_rt::par_map(&pi_rt::chunk_ranges(samples), |&(start, end)| {
         let mut pass_all = 0usize;
         let mut pass_channel = vec![0usize; channels];
+        let mut pass = vec![false; channels];
         for die in start..end {
             let mut rng = Rng::stream(seed, die as u64);
-            let g_d2d = drive_factor(&mut rng, variation.sigma_d2d);
-            let mut all_ok = true;
-            for (k, timing) in nominal.iter().enumerate() {
-                let mut delay = Time::ZERO;
-                for stage in &timing.stages {
-                    let g = g_d2d * drive_factor(&mut rng, variation.sigma_wid);
-                    delay += stage.repeater_delay / g + stage.wire_delay;
-                }
-                if delay <= period {
-                    pass_channel[k] += 1;
-                } else {
-                    all_ok = false;
-                }
-            }
-            if all_ok {
+            if problem.sample_die(&mut rng, &mut pass) {
                 pass_all += 1;
+            }
+            for (slot, &ok) in pass_channel.iter_mut().zip(&pass) {
+                *slot += usize::from(ok);
             }
         }
         (pass_all, pass_channel)
@@ -133,6 +155,27 @@ pub fn network_timing_yield(
             .map(|p| p as f64 / samples as f64)
             .collect(),
     }
+}
+
+/// Network timing yield through a configurable `pi-yield` estimator:
+/// Sobol quasi-Monte-Carlo, importance sampling, or the analytic closure,
+/// each with a confidence interval and adaptive early stopping.
+///
+/// # Panics
+///
+/// Panics on an empty network, a zero evaluation budget, or a
+/// technology-node mismatch (see [`network_timing_yield`]).
+#[must_use]
+pub fn network_yield_estimate(
+    network: &Network,
+    evaluator: &LineEvaluator<'_>,
+    style: pi_tech::DesignStyle,
+    variation: &VariationModel,
+    clock: Freq,
+    config: &EstimatorConfig,
+) -> NetworkYieldEstimate {
+    let problem = network_problem(network, evaluator, style, variation, clock);
+    pi_yield::estimate_network_yield(&problem, config)
 }
 
 #[cfg(test)]
@@ -232,5 +275,59 @@ mod tests {
             (y.yield_fraction - 1.0).abs() < 1e-12,
             "every link was designed to meet the period"
         );
+    }
+
+    #[test]
+    fn estimators_agree_with_the_naive_reference() {
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let net = synthesized(&s, 0.9);
+        let v = VariationModel::nominal();
+        let reference =
+            network_timing_yield(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, 3000, 5);
+        for method in pi_yield::Method::ALL {
+            let est = network_yield_estimate(
+                &net,
+                &ev,
+                DesignStyle::SingleSpacing,
+                &v,
+                s.clock,
+                &EstimatorConfig::new(method),
+            );
+            let slack = est.overall.half_width.max(0.03);
+            assert!(
+                (est.overall.yield_fraction - reference.yield_fraction).abs() <= 3.0 * slack,
+                "{method}: {} vs naive {}",
+                est.overall.yield_fraction,
+                reference.yield_fraction
+            );
+            assert_eq!(est.channel_yield.len(), net.channels.len(), "{method}");
+        }
+    }
+
+    #[test]
+    fn naive_estimator_reproduces_the_legacy_tallies() {
+        // Same seed, same die count: the pi-yield naive estimator and the
+        // legacy fixed-count loop must agree exactly (shared draw order
+        // through NetworkProblem::sample_die).
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let net = synthesized(&s, 0.95);
+        let v = VariationModel::nominal();
+        let legacy =
+            network_timing_yield(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, 512, 21);
+        let cfg = EstimatorConfig::new(pi_yield::Method::Naive)
+            .with_seed(21)
+            .with_max_evals(512)
+            .with_target_half_width(0.0);
+        let est = network_yield_estimate(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, &cfg);
+        assert_eq!(est.overall.evals, 512);
+        assert_eq!(
+            legacy.yield_fraction.to_bits(),
+            est.overall.yield_fraction.to_bits()
+        );
+        for (a, b) in legacy.channel_yield.iter().zip(&est.channel_yield) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

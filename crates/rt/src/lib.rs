@@ -27,8 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod norm;
 pub mod par;
 pub mod rng;
 
+pub use norm::{normal_cdf, normal_inv_cdf, normal_pdf};
 pub use par::{chunk_ranges, par_map, par_map_indexed, thread_count};
 pub use rng::Rng;

@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn results_can_borrow_captured_state() {
-        let base = vec![10u32, 20, 30];
+        let base = [10u32, 20, 30];
         let out = par_map_indexed(3, |i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);
     }

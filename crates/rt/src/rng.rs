@@ -129,6 +129,17 @@ impl Rng {
         let u2 = self.random_unit();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
+
+    /// Standard-normal variate via the inverse CDF (one uniform per draw).
+    ///
+    /// Unlike [`Rng::normal`], this consumes exactly **one** uniform per
+    /// variate through [`crate::norm::normal_inv_cdf`], which keeps a
+    /// one-to-one map between uniform coordinates and normal coordinates —
+    /// the property quasi-Monte-Carlo and antithetic schemes rely on. The
+    /// open-interval uniform keeps the argument strictly inside `(0, 1)`.
+    pub fn normal_icdf(&mut self) -> f64 {
+        crate::norm::normal_inv_cdf(self.random_unit_open())
+    }
 }
 
 #[cfg(test)]

@@ -176,7 +176,7 @@ mod tests {
             // Build a diagonally dominant matrix (always nonsingular),
             // then verify the A·x = b round-trip.
             let n = 1 + rng.below(11);
-            let mut next = |rng: &mut Rng| rng.random_range(-1.0..1.0);
+            let next = |rng: &mut Rng| rng.random_range(-1.0..1.0);
             let mut a = vec![0.0; n * n];
             for i in 0..n {
                 let mut row_sum = 0.0;

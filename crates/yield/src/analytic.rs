@@ -1,0 +1,275 @@
+//! Analytic yield fast path: Gaussian closure over the additive D2D/WID
+//! delay structure.
+//!
+//! A sampled line delay is `Σⱼ rⱼ/(g_d·g_wⱼ) + wⱼ` with one shared
+//! die-to-die factor `g_d` and independent within-die factors `g_wⱼ`.
+//! Two closures exploit that structure:
+//!
+//! - [`line_closure`] collapses the whole line to a single Gaussian
+//!   (`E[1/g] ≈ (1+σ²)` per factor for the mean; first-order sensitivity
+//!   for the variance). It costs a handful of flops and feeds the
+//!   importance-sampling pilot.
+//! - [`line_yield`] / [`network_yield`] **condition on the D2D factor**:
+//!   given `g_d`, the WID sums are independent across stages, so each
+//!   channel's conditional delay is Gaussian by closure and every channel
+//!   is *conditionally independent* — the network yield at fixed `g_d` is
+//!   a plain product of per-channel `Φ` terms. One 1-D quadrature over
+//!   the D2D normal then gives the unconditional yield, capturing the
+//!   full nonlinearity (and the drive floor) of the dominant D2D
+//!   dimension exactly.
+//!
+//! The closures ignore the [`DRIVE_FLOOR`](crate::problem::DRIVE_FLOOR)
+//! in the *WID* factors (a `< 10⁻⁸` effect at the σ ≲ 15 % budgets used
+//! here) and linearize `1/g_w` about its mean; tests pin the resulting
+//! agreement with Monte Carlo to well under a confidence-interval width.
+
+use pi_rt::norm::{normal_cdf, normal_pdf};
+
+use crate::problem::{
+    drive_factor_from_normal, DriveVariation, LineProblem, NetworkProblem, StageDelays,
+};
+
+/// A line delay collapsed to a single Gaussian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianClosure {
+    /// Mean delay, seconds (with the second-order `E[1/g]` correction).
+    pub mean_s: f64,
+    /// Standard deviation, seconds (first-order sensitivity).
+    pub sigma_s: f64,
+}
+
+impl GaussianClosure {
+    /// `P(delay ≤ deadline)` under this closure (a step function when
+    /// the variation budget is zero).
+    #[must_use]
+    pub fn yield_at(&self, deadline_s: f64) -> f64 {
+        gaussian_tail(deadline_s, self.mean_s, self.sigma_s)
+    }
+
+    /// The `q`-quantile of the closed delay distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.mean_s + self.sigma_s * pi_rt::norm::normal_inv_cdf(q)
+    }
+}
+
+/// `Φ((deadline − mean)/sigma)`, degrading to a step when `sigma == 0`.
+fn gaussian_tail(deadline_s: f64, mean_s: f64, sigma_s: f64) -> f64 {
+    if sigma_s > 0.0 {
+        normal_cdf((deadline_s - mean_s) / sigma_s)
+    } else if mean_s <= deadline_s {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Single-Gaussian closure of one line under the variation model.
+///
+/// Mean: `Σ rⱼ·E[1/g_d]·E[1/g_w] + Σ wⱼ` with `E[1/(1+σZ)] ≈ 1+σ²`.
+/// Variance (first order): `σ_d²(Σrⱼ)² + σ_w²Σrⱼ²` — the D2D term is
+/// *coherent* across stages (it scales with the square of the summed
+/// repeater delay), the WID term averages out (sum of squares).
+#[must_use]
+pub fn line_closure(stages: &StageDelays, variation: &DriveVariation) -> GaussianClosure {
+    let r_tot: f64 = stages.repeater_s.iter().sum();
+    let r_sq: f64 = stages.repeater_s.iter().map(|r| r * r).sum();
+    let w_tot: f64 = stages.wire_s.iter().sum();
+    let sd2 = variation.sigma_d2d * variation.sigma_d2d;
+    let sw2 = variation.sigma_wid * variation.sigma_wid;
+    let mean_s = r_tot * (1.0 + sd2) * (1.0 + sw2) + w_tot;
+    let var = sd2 * r_tot * r_tot + sw2 * r_sq;
+    GaussianClosure {
+        mean_s,
+        sigma_s: var.sqrt(),
+    }
+}
+
+/// Conditional delay moments of one channel given a fixed D2D factor.
+fn conditional_moments(stages: &StageDelays, variation: &DriveVariation, g_d2d: f64) -> (f64, f64) {
+    let r_tot: f64 = stages.repeater_s.iter().sum();
+    let r_sq: f64 = stages.repeater_s.iter().map(|r| r * r).sum();
+    let w_tot: f64 = stages.wire_s.iter().sum();
+    let sw2 = variation.sigma_wid * variation.sigma_wid;
+    let mean = r_tot * (1.0 + sw2) / g_d2d + w_tot;
+    let sigma = (sw2 * r_sq).sqrt() / g_d2d;
+    (mean, sigma)
+}
+
+/// Number of quadrature steps over the D2D normal. 256 trapezoid panels
+/// over ±8σ put the quadrature error far below the closure error.
+const QUAD_STEPS: usize = 256;
+/// Integration range in D2D standard deviations.
+const QUAD_RANGE: f64 = 8.0;
+
+/// Integrates `f(g_d2d)` against the standard-normal density of the D2D
+/// variate (trapezoid over ±8σ; exact short-circuit when `σ_d2d = 0`).
+fn integrate_over_d2d(variation: &DriveVariation, mut f: impl FnMut(f64) -> f64) -> f64 {
+    if variation.sigma_d2d == 0.0 {
+        return f(1.0);
+    }
+    let h = 2.0 * QUAD_RANGE / QUAD_STEPS as f64;
+    let mut acc = 0.0;
+    for i in 0..=QUAD_STEPS {
+        let z = -QUAD_RANGE + h * i as f64;
+        let weight = if i == 0 || i == QUAD_STEPS { 0.5 } else { 1.0 };
+        let g = drive_factor_from_normal(z, variation.sigma_d2d);
+        acc += weight * normal_pdf(z) * f(g);
+    }
+    acc * h
+}
+
+/// Analytic timing yield of a single line (D2D conditioning + WID
+/// Gaussian closure). No samples are drawn.
+#[must_use]
+pub fn line_yield(problem: &LineProblem) -> f64 {
+    integrate_over_d2d(&problem.variation, |g| {
+        let (mean, sigma) = conditional_moments(&problem.stages, &problem.variation, g);
+        gaussian_tail(problem.deadline_s, mean, sigma)
+    })
+    .clamp(0.0, 1.0)
+}
+
+/// Analytic network yield and per-channel yields.
+///
+/// Conditioned on the D2D factor the channels are independent, so the
+/// network pass probability at fixed `g` is the product of per-channel
+/// `Φ` terms; the same quadrature accumulates the marginal per-channel
+/// yields for free.
+#[must_use]
+pub fn network_yield(problem: &NetworkProblem) -> (f64, Vec<f64>) {
+    let channels = problem.channels.len();
+    let mut per_channel = vec![0.0; channels];
+    let overall = if problem.variation.sigma_d2d == 0.0 {
+        accumulate_conditional(problem, 1.0, &mut per_channel, 1.0)
+    } else {
+        let h = 2.0 * QUAD_RANGE / QUAD_STEPS as f64;
+        let mut acc = 0.0;
+        for i in 0..=QUAD_STEPS {
+            let z = -QUAD_RANGE + h * i as f64;
+            let weight = if i == 0 || i == QUAD_STEPS { 0.5 } else { 1.0 };
+            let g = drive_factor_from_normal(z, problem.variation.sigma_d2d);
+            acc += accumulate_conditional(problem, g, &mut per_channel, weight * normal_pdf(z) * h);
+        }
+        acc
+    };
+    for y in &mut per_channel {
+        *y = y.clamp(0.0, 1.0);
+    }
+    (overall.clamp(0.0, 1.0), per_channel)
+}
+
+/// Adds `weight ×` the conditional per-channel yields into `per_channel`
+/// and returns `weight ×` the conditional all-channels-pass probability.
+fn accumulate_conditional(
+    problem: &NetworkProblem,
+    g_d2d: f64,
+    per_channel: &mut [f64],
+    weight: f64,
+) -> f64 {
+    let mut product = 1.0;
+    for (channel, marginal) in problem.channels.iter().zip(per_channel.iter_mut()) {
+        let (mean, sigma) = conditional_moments(channel, &problem.variation, g_d2d);
+        let y = gaussian_tail(problem.period_s, mean, sigma);
+        *marginal += weight * y;
+        product *= y;
+    }
+    weight * product
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variation() -> DriveVariation {
+        DriveVariation {
+            sigma_d2d: 0.08,
+            sigma_wid: 0.05,
+        }
+    }
+
+    fn stages() -> StageDelays {
+        StageDelays::new(vec![30e-12; 8], vec![12e-12; 8])
+    }
+
+    #[test]
+    fn closure_mean_is_near_nominal() {
+        let c = line_closure(&stages(), &variation());
+        let nominal = stages().nominal_delay();
+        assert!(c.mean_s > nominal, "1/g correction raises the mean");
+        assert!((c.mean_s - nominal) / nominal < 0.02);
+        assert!(c.sigma_s > 0.0);
+    }
+
+    #[test]
+    fn zero_variation_closure_is_a_step() {
+        let none = DriveVariation {
+            sigma_d2d: 0.0,
+            sigma_wid: 0.0,
+        };
+        let c = line_closure(&stages(), &none);
+        assert!((c.mean_s - stages().nominal_delay()).abs() < 1e-18);
+        assert_eq!(c.yield_at(c.mean_s * 1.01), 1.0);
+        assert_eq!(c.yield_at(c.mean_s * 0.99), 0.0);
+    }
+
+    #[test]
+    fn analytic_yield_is_monotone_in_deadline() {
+        let s = stages();
+        let v = variation();
+        let nominal = s.nominal_delay();
+        let mut last = 0.0;
+        for frac in [0.9, 1.0, 1.05, 1.1, 1.3] {
+            let p = LineProblem {
+                stages: s.clone(),
+                variation: v,
+                deadline_s: nominal * frac,
+            };
+            let y = line_yield(&p);
+            assert!((0.0..=1.0).contains(&y));
+            assert!(y >= last, "yield not monotone at {frac}");
+            last = y;
+        }
+        assert!(last > 0.99);
+    }
+
+    #[test]
+    fn median_deadline_gives_half_yield() {
+        let s = stages();
+        let v = variation();
+        let c = line_closure(&s, &v);
+        let p = LineProblem {
+            stages: s,
+            variation: v,
+            deadline_s: c.mean_s,
+        };
+        let y = line_yield(&p);
+        assert!((y - 0.5).abs() < 0.05, "yield at the closure mean: {y}");
+    }
+
+    #[test]
+    fn network_yield_is_bounded_by_weakest_channel() {
+        let v = variation();
+        let fast = StageDelays::new(vec![20e-12; 6], vec![10e-12; 6]);
+        let slow = StageDelays::new(vec![40e-12; 6], vec![10e-12; 6]);
+        let nominal = slow.nominal_delay();
+        let p = NetworkProblem::new(vec![fast, slow], v, nominal * 1.02);
+        let (overall, per) = network_yield(&p);
+        assert_eq!(per.len(), 2);
+        assert!(per[0] > per[1], "slow channel limits yield");
+        let weakest = per[1];
+        assert!(overall <= weakest + 1e-9);
+        assert!(overall > 0.0 && overall < 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_yield() {
+        let c = line_closure(&stages(), &variation());
+        let q95 = c.quantile(0.95);
+        assert!((c.yield_at(q95) - 0.95).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,819 @@
+//! The estimation engine: adaptive, confidence-interval-driven yield
+//! estimators over [`NetworkProblem`]s (a single line is the one-channel
+//! special case).
+//!
+//! Every estimator follows the same deterministic skeleton: a batch
+//! schedule fixed by the configuration alone (256 dies, then doubling),
+//! each batch split into **fixed-size chunks** that are mapped in
+//! parallel through `pi_rt::par_map` and merged in chunk order. Because
+//! the chunk boundaries never depend on the thread count and every die
+//! draws from its own `Rng::stream(seed, index)` (or Sobol index), the
+//! estimate — including the early-stop decision — is bit-identical for
+//! any `PI_THREADS` setting. After each batch the 95 % confidence
+//! interval is recomputed and the loop stops as soon as its half-width
+//! reaches the target.
+//!
+//! Confidence intervals:
+//!
+//! - **Naive MC / plain Sobol** — Wilson score interval on the binomial
+//!   pass count (for the plain Sobol point set this is a *heuristic*:
+//!   QMC points are not independent, and the true error is usually far
+//!   smaller; the scrambled variant below gives the honest interval).
+//! - **Scrambled Sobol** — `replicates` independent digital shifts of
+//!   the same point set; the replicate means are i.i.d., so their sample
+//!   standard error gives an honest CI that *shrinks like the QMC error*
+//!   (≈ N⁻¹), not like N^(−1/2). This is where the samples-to-target-CI
+//!   win over naive MC comes from.
+//! - **Importance sampling** — CLT interval on the likelihood-ratio
+//!   weighted failure indicator. The sampler shifts the Gaussian mean
+//!   along the analytic closure's steepest-descent direction toward the
+//!   limiting channel's failure boundary (the ISLE recipe), so failures
+//!   are common under the shifted measure and the weighted variance
+//!   collapses for high-yield (rare-failure) problems.
+
+use pi_rt::norm::normal_inv_cdf;
+use pi_rt::Rng;
+
+use crate::analytic;
+use crate::problem::{LineProblem, NetworkProblem};
+use crate::sobol::Sobol;
+
+/// Estimator selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Pseudo-random Monte Carlo with one RNG stream per die (the
+    /// reference estimator; bit-compatible with the legacy loops).
+    Naive,
+    /// Plain Sobol quasi-Monte-Carlo (deterministic point set, Wilson CI
+    /// as a conservative heuristic).
+    Sobol,
+    /// Digitally-shifted Sobol replicates with an honest replicate CI.
+    SobolScrambled,
+    /// Mean-shifted importance sampling with likelihood-ratio weights.
+    ImportanceSampling,
+    /// Analytic Gaussian closure (no samples; CI reported as zero —
+    /// the residual error is model error, not sampling noise).
+    Analytic,
+}
+
+impl Method {
+    /// Stable lowercase name (CLI/report vocabulary).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Naive => "naive",
+            Method::Sobol => "sobol",
+            Method::SobolScrambled => "sobol-scrambled",
+            Method::ImportanceSampling => "importance",
+            Method::Analytic => "analytic",
+        }
+    }
+
+    /// All methods, for sweeps and CLI help.
+    pub const ALL: [Method; 5] = [
+        Method::Naive,
+        Method::Sobol,
+        Method::SobolScrambled,
+        Method::ImportanceSampling,
+        Method::Analytic,
+    ];
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Method {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" | "mc" => Ok(Method::Naive),
+            "sobol" | "qmc" => Ok(Method::Sobol),
+            "sobol-scrambled" | "rqmc" | "scrambled" => Ok(Method::SobolScrambled),
+            "importance" | "is" => Ok(Method::ImportanceSampling),
+            "analytic" => Ok(Method::Analytic),
+            other => Err(format!(
+                "unknown estimator `{other}` (naive, sobol, sobol-scrambled, importance, analytic)"
+            )),
+        }
+    }
+}
+
+/// Estimator configuration. All fields are plain data; the defaults give
+/// a ±0.5 % yield CI at 95 % confidence with a 2²⁰-die safety cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Which estimator to run.
+    pub method: Method,
+    /// Base seed; every die derives its own stream from it.
+    pub seed: u64,
+    /// Stop once the CI half-width is at or below this (yield fraction
+    /// units). Zero disables early stopping: exactly `max_evals` dies run.
+    pub target_half_width: f64,
+    /// Hard cap on sampled dies.
+    pub max_evals: usize,
+    /// Two-sided confidence multiplier (1.96 ≈ 95 %).
+    pub confidence_z: f64,
+    /// Independent digital-shift replicates for [`Method::SobolScrambled`].
+    pub replicates: usize,
+}
+
+impl EstimatorConfig {
+    /// Defaults: seed 1, ±0.5 % @ 95 %, ≤ 2²⁰ dies, 8 RQMC replicates.
+    #[must_use]
+    pub fn new(method: Method) -> Self {
+        EstimatorConfig {
+            method,
+            seed: 1,
+            target_half_width: 5e-3,
+            max_evals: 1 << 20,
+            confidence_z: 1.959_963_984_540_054,
+            replicates: 8,
+        }
+    }
+
+    /// Same configuration with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different CI half-width target.
+    #[must_use]
+    pub fn with_target_half_width(mut self, hw: f64) -> Self {
+        self.target_half_width = hw;
+        self
+    }
+
+    /// Same configuration with a different die cap.
+    #[must_use]
+    pub fn with_max_evals(mut self, max_evals: usize) -> Self {
+        self.max_evals = max_evals;
+        self
+    }
+}
+
+/// An estimated yield with its uncertainty and cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldEstimate {
+    /// Estimated timing yield in `[0, 1]`.
+    pub yield_fraction: f64,
+    /// Confidence-interval half-width at the configured confidence.
+    pub half_width: f64,
+    /// Problem evaluations consumed (sampled dies; 0 for analytic).
+    pub evals: usize,
+    /// The estimator that produced this.
+    pub method: Method,
+}
+
+/// A network estimate: the overall estimate plus per-channel yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkYieldEstimate {
+    /// Whole-network estimate.
+    pub overall: YieldEstimate,
+    /// Per-channel marginal yields (same order as the problem channels).
+    pub channel_yield: Vec<f64>,
+}
+
+/// Estimates the timing yield of a single line.
+///
+/// # Panics
+///
+/// Panics on a zero `max_evals` or a nonsensical configuration
+/// (see [`estimate_network_yield`]).
+#[must_use]
+pub fn estimate_line_yield(problem: &LineProblem, config: &EstimatorConfig) -> YieldEstimate {
+    estimate_network_yield(&problem.as_network(), config).overall
+}
+
+/// Estimates the timing yield of a multi-channel network.
+///
+/// # Panics
+///
+/// Panics if `max_evals` is zero or `replicates < 2` for the scrambled
+/// Sobol method.
+#[must_use]
+pub fn estimate_network_yield(
+    problem: &NetworkProblem,
+    config: &EstimatorConfig,
+) -> NetworkYieldEstimate {
+    assert!(config.max_evals > 0, "need a positive evaluation budget");
+    match config.method {
+        Method::Naive => run_counting(problem, config, &DieSampler::Rng),
+        Method::Sobol => {
+            let sobol = Sobol::new(problem.dimension());
+            run_counting(
+                problem,
+                config,
+                &DieSampler::Sobol {
+                    sobol,
+                    shifts: Vec::new(),
+                },
+            )
+        }
+        Method::SobolScrambled => run_scrambled(problem, config),
+        Method::ImportanceSampling => run_importance(problem, config),
+        Method::Analytic => {
+            let (overall, channel_yield) = analytic::network_yield(problem);
+            NetworkYieldEstimate {
+                overall: YieldEstimate {
+                    yield_fraction: overall,
+                    half_width: 0.0,
+                    evals: 0,
+                    method: Method::Analytic,
+                },
+                channel_yield,
+            }
+        }
+    }
+}
+
+/// First adaptive batch size (dies).
+const FIRST_BATCH: usize = 256;
+/// Largest adaptive batch size.
+const MAX_BATCH: usize = 65_536;
+/// Fixed parallel chunk size — *never* derived from the thread count, so
+/// partial-tally merge order is identical for every `PI_THREADS`.
+const CHUNK: usize = 1024;
+
+/// Splits `[start, end)` into fixed-size chunks.
+fn fixed_chunks(start: usize, end: usize) -> Vec<(usize, usize)> {
+    (start..end)
+        .step_by(CHUNK)
+        .map(|s| (s, (s + CHUNK).min(end)))
+        .collect()
+}
+
+/// Wilson score half-width for `passes` out of `n` Bernoulli trials.
+fn wilson_half_width(passes: usize, n: usize, z: f64) -> f64 {
+    let nf = n as f64;
+    let p = passes as f64 / nf;
+    let z2 = z * z;
+    z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / (1.0 + z2 / nf)
+}
+
+/// How one die's normal vector is produced.
+enum DieSampler {
+    /// Legacy draw order from `Rng::stream(seed, index)`.
+    Rng,
+    /// Sobol point `index` (optionally digitally shifted) through the
+    /// inverse normal CDF.
+    Sobol { sobol: Sobol, shifts: Vec<u32> },
+}
+
+impl DieSampler {
+    /// Evaluates die `index`, filling per-channel passes.
+    fn die(&self, problem: &NetworkProblem, seed: u64, index: usize, pass: &mut [bool]) -> bool {
+        match self {
+            DieSampler::Rng => {
+                let mut rng = Rng::stream(seed, index as u64);
+                problem.sample_die(&mut rng, pass)
+            }
+            DieSampler::Sobol { sobol, shifts } => {
+                let dim = problem.dimension();
+                let mut z = vec![0.0; dim];
+                for (j, slot) in z.iter_mut().enumerate() {
+                    let shift = if shifts.is_empty() { 0 } else { shifts[j] };
+                    *slot = normal_inv_cdf(sobol.coord(j, index as u64, shift));
+                }
+                problem.die_from_normals(&z, pass)
+            }
+        }
+    }
+}
+
+/// Integer pass tallies (exactly additive, so the merge order over chunks
+/// cannot change the result).
+struct CountTally {
+    dies: usize,
+    pass_all: usize,
+    pass_channel: Vec<usize>,
+}
+
+impl CountTally {
+    fn zero(channels: usize) -> Self {
+        CountTally {
+            dies: 0,
+            pass_all: 0,
+            pass_channel: vec![0; channels],
+        }
+    }
+
+    fn merge(&mut self, other: &CountTally) {
+        self.dies += other.dies;
+        self.pass_all += other.pass_all;
+        for (a, b) in self.pass_channel.iter_mut().zip(&other.pass_channel) {
+            *a += b;
+        }
+    }
+}
+
+/// Counting estimators (naive MC, plain Sobol): adaptive batches with a
+/// Wilson interval on the pass fraction.
+fn run_counting(
+    problem: &NetworkProblem,
+    config: &EstimatorConfig,
+    sampler: &DieSampler,
+) -> NetworkYieldEstimate {
+    let channels = problem.channels.len();
+    let mut tally = CountTally::zero(channels);
+    let mut batch = FIRST_BATCH;
+    while tally.dies < config.max_evals {
+        let take = batch.min(config.max_evals - tally.dies);
+        let chunks = fixed_chunks(tally.dies, tally.dies + take);
+        let partials = pi_rt::par_map(&chunks, |&(start, end)| {
+            let mut part = CountTally::zero(channels);
+            let mut pass = vec![false; channels];
+            for index in start..end {
+                part.dies += 1;
+                if sampler.die(problem, config.seed, index, &mut pass) {
+                    part.pass_all += 1;
+                }
+                for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
+                    *slot += usize::from(ok);
+                }
+            }
+            part
+        });
+        for part in &partials {
+            tally.merge(part);
+        }
+        let hw = wilson_half_width(tally.pass_all, tally.dies, config.confidence_z);
+        if config.target_half_width > 0.0 && hw <= config.target_half_width {
+            break;
+        }
+        batch = (batch * 2).min(MAX_BATCH);
+    }
+    let n = tally.dies as f64;
+    let method = match sampler {
+        DieSampler::Rng => Method::Naive,
+        DieSampler::Sobol { .. } => Method::Sobol,
+    };
+    NetworkYieldEstimate {
+        overall: YieldEstimate {
+            yield_fraction: tally.pass_all as f64 / n,
+            half_width: wilson_half_width(tally.pass_all, tally.dies, config.confidence_z),
+            evals: tally.dies,
+            method,
+        },
+        channel_yield: tally.pass_channel.iter().map(|&p| p as f64 / n).collect(),
+    }
+}
+
+/// First per-replicate point count of the scrambled-Sobol schedule.
+const FIRST_REPLICATE_POINTS: usize = 32;
+/// Replicate counts below this never early-stop (a handful of identical
+/// replicates is not evidence of convergence).
+const MIN_REPLICATE_POINTS: usize = 128;
+
+/// Scrambled-Sobol estimator: `replicates` independent digital shifts,
+/// CI from the replicate means. Point counts stay powers of two (Sobol
+/// prefixes at powers of two are themselves digital nets).
+fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkYieldEstimate {
+    let replicates = config.replicates;
+    assert!(
+        replicates >= 2,
+        "scrambled Sobol needs at least 2 replicates"
+    );
+    let channels = problem.channels.len();
+    let sobol = Sobol::new(problem.dimension());
+    let samplers: Vec<DieSampler> = (0..replicates)
+        .map(|r| DieSampler::Sobol {
+            sobol: sobol.clone(),
+            shifts: sobol.digital_shifts(config.seed, r as u64),
+        })
+        .collect();
+
+    let mut tallies: Vec<CountTally> = (0..replicates)
+        .map(|_| CountTally::zero(channels))
+        .collect();
+    let mut points = 0usize;
+    let mut next = FIRST_REPLICATE_POINTS;
+    loop {
+        let target = next.min(config.max_evals.div_ceil(replicates).max(1));
+        if target <= points {
+            break;
+        }
+        // (replicate, chunk) work items, mapped in a fixed order.
+        let mut items: Vec<(usize, usize, usize)> = Vec::new();
+        for r in 0..replicates {
+            for (s, e) in fixed_chunks(points, target) {
+                items.push((r, s, e));
+            }
+        }
+        let partials = pi_rt::par_map(&items, |&(r, start, end)| {
+            let mut part = CountTally::zero(channels);
+            let mut pass = vec![false; channels];
+            for index in start..end {
+                part.dies += 1;
+                if samplers[r].die(problem, config.seed, index, &mut pass) {
+                    part.pass_all += 1;
+                }
+                for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
+                    *slot += usize::from(ok);
+                }
+            }
+            part
+        });
+        for (&(r, _, _), part) in items.iter().zip(&partials) {
+            tallies[r].merge(part);
+        }
+        points = target;
+
+        let (mean, hw) = replicate_interval(&tallies, config.confidence_z);
+        let _ = mean;
+        let total = points * replicates;
+        if (config.target_half_width > 0.0
+            && hw <= config.target_half_width
+            && points >= MIN_REPLICATE_POINTS)
+            || total >= config.max_evals
+        {
+            break;
+        }
+        next = points * 2;
+    }
+
+    let (mean, hw) = replicate_interval(&tallies, config.confidence_z);
+    let total = points * replicates;
+    let mut channel_yield = vec![0.0; channels];
+    for tally in &tallies {
+        for (acc, &p) in channel_yield.iter_mut().zip(&tally.pass_channel) {
+            *acc += p as f64 / tally.dies as f64;
+        }
+    }
+    for y in &mut channel_yield {
+        *y /= replicates as f64;
+    }
+    NetworkYieldEstimate {
+        overall: YieldEstimate {
+            yield_fraction: mean,
+            half_width: hw,
+            evals: total,
+            method: Method::SobolScrambled,
+        },
+        channel_yield,
+    }
+}
+
+/// Mean and CI half-width over per-replicate pass fractions.
+fn replicate_interval(tallies: &[CountTally], z: f64) -> (f64, f64) {
+    let r = tallies.len() as f64;
+    let means: Vec<f64> = tallies
+        .iter()
+        .map(|t| t.pass_all as f64 / t.dies as f64)
+        .collect();
+    let mean = means.iter().sum::<f64>() / r;
+    let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (r - 1.0);
+    (mean, z * (var / r).sqrt())
+}
+
+/// Weighted tallies for importance sampling. The merge order over chunks
+/// is fixed (chunk index order), so the floating-point sums — and the
+/// early-stop decisions derived from them — are thread-count invariant.
+struct WeightTally {
+    dies: usize,
+    /// Σ w·fail and Σ (w·fail)² for the CLT interval.
+    fail_w: f64,
+    fail_w2: f64,
+    /// Σ w·fail per channel.
+    fail_channel_w: Vec<f64>,
+}
+
+impl WeightTally {
+    fn zero(channels: usize) -> Self {
+        WeightTally {
+            dies: 0,
+            fail_w: 0.0,
+            fail_w2: 0.0,
+            fail_channel_w: vec![0.0; channels],
+        }
+    }
+
+    fn merge(&mut self, other: &WeightTally) {
+        self.dies += other.dies;
+        self.fail_w += other.fail_w;
+        self.fail_w2 += other.fail_w2;
+        for (a, b) in self.fail_channel_w.iter_mut().zip(&other.fail_channel_w) {
+            *a += b;
+        }
+    }
+}
+
+/// Largest mean shift (in σ) the pilot may request.
+const MAX_SHIFT_SIGMA: f64 = 6.0;
+
+/// The importance-sampling mean shift: along the analytic sensitivity
+/// direction of the *limiting* channel, far enough that the shifted mean
+/// delay sits on the failure boundary.
+fn importance_shift(problem: &NetworkProblem) -> Vec<f64> {
+    let dim = problem.dimension();
+    let mut shift = vec![0.0; dim];
+    let variation = &problem.variation;
+
+    // Find the limiting channel: smallest margin in closure σ units.
+    let mut best: Option<(usize, f64, f64, f64)> = None; // (channel, margin, r_tot, |s|)
+    let mut offset = 1usize;
+    let mut best_offset = 1usize;
+    for (c, stages) in problem.channels.iter().enumerate() {
+        let closure = analytic::line_closure(stages, variation);
+        let r_tot: f64 = stages.repeater_s.iter().sum();
+        let sens = closure.sigma_s; // |s| = √(σd²R² + σw²Σr²) by construction
+        if sens > 0.0 {
+            let margin = (problem.period_s - closure.mean_s) / sens;
+            if best.is_none_or(|(_, m, _, _)| margin < m) {
+                best = Some((c, margin, r_tot, sens));
+                best_offset = offset;
+            }
+        }
+        offset += stages.len();
+    }
+    let Some((c, margin, r_tot, sens)) = best else {
+        return shift; // no variation at all — zero shift, plain MC
+    };
+
+    // Shift magnitude: put the shifted mean on the failure boundary,
+    // clamped. With delay ≈ mean − s·z (delay *falls* with each z —
+    // stronger drive), the boundary point closest to the origin is
+    // z* = −margin · s/|s|: for a passing-typical line (margin > 0) the
+    // shift is negative (weaker drive, toward failure).
+    let t = margin.clamp(-MAX_SHIFT_SIGMA, MAX_SHIFT_SIGMA);
+    let s0 = variation.sigma_d2d * r_tot;
+    shift[0] = -t * s0 / sens;
+    let stages = &problem.channels[c];
+    for (j, r) in stages.repeater_s.iter().enumerate() {
+        shift[best_offset + j] = -t * variation.sigma_wid * r / sens;
+    }
+    shift
+}
+
+/// Minimum shifted dies before the importance sampler may early-stop:
+/// with zero observed failures the CLT variance (and half-width) is zero,
+/// which would otherwise end the run after the very first batch.
+const MIN_IS_DIES: usize = 1024;
+
+/// Importance-sampling estimator: adaptive batches of mean-shifted dies
+/// with likelihood-ratio reweighting and a CLT interval.
+fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkYieldEstimate {
+    let channels = problem.channels.len();
+    let dim = problem.dimension();
+    let shift = importance_shift(problem);
+    let shift_sq: f64 = shift.iter().map(|m| m * m).sum();
+
+    let mut tally = WeightTally::zero(channels);
+    let mut batch = FIRST_BATCH;
+    while tally.dies < config.max_evals {
+        let take = batch.min(config.max_evals - tally.dies);
+        let chunks = fixed_chunks(tally.dies, tally.dies + take);
+        let partials = pi_rt::par_map(&chunks, |&(start, end)| {
+            let mut part = WeightTally::zero(channels);
+            let mut pass = vec![false; channels];
+            let mut z = vec![0.0; dim];
+            for index in start..end {
+                let mut rng = Rng::stream(config.seed, index as u64);
+                let mut dot = 0.0;
+                for (zk, &mk) in z.iter_mut().zip(&shift) {
+                    *zk = mk + rng.normal();
+                    dot += mk * *zk;
+                }
+                let weight = (-dot + 0.5 * shift_sq).exp();
+                let all_ok = problem.die_from_normals(&z, &mut pass);
+                part.dies += 1;
+                if !all_ok {
+                    part.fail_w += weight;
+                    part.fail_w2 += weight * weight;
+                }
+                for (slot, &ok) in part.fail_channel_w.iter_mut().zip(&pass) {
+                    if !ok {
+                        *slot += weight;
+                    }
+                }
+            }
+            part
+        });
+        for part in &partials {
+            tally.merge(part);
+        }
+        let (_, hw) = weighted_interval(&tally, config.confidence_z);
+        if config.target_half_width > 0.0
+            && hw <= config.target_half_width
+            && tally.dies >= MIN_IS_DIES.min(config.max_evals)
+        {
+            break;
+        }
+        batch = (batch * 2).min(MAX_BATCH);
+    }
+
+    let (p_fail, hw) = weighted_interval(&tally, config.confidence_z);
+    let n = tally.dies as f64;
+    NetworkYieldEstimate {
+        overall: YieldEstimate {
+            yield_fraction: (1.0 - p_fail).clamp(0.0, 1.0),
+            half_width: hw,
+            evals: tally.dies,
+            method: Method::ImportanceSampling,
+        },
+        channel_yield: tally
+            .fail_channel_w
+            .iter()
+            .map(|&f| (1.0 - f / n).clamp(0.0, 1.0))
+            .collect(),
+    }
+}
+
+/// Weighted failure estimate and CLT half-width.
+fn weighted_interval(tally: &WeightTally, z: f64) -> (f64, f64) {
+    let n = tally.dies as f64;
+    let p = tally.fail_w / n;
+    if tally.dies < 2 {
+        return (p, f64::INFINITY);
+    }
+    let var = ((tally.fail_w2 - n * p * p) / (n - 1.0)).max(0.0);
+    (p, z * (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{DriveVariation, StageDelays};
+
+    fn line(deadline_over_nominal: f64) -> LineProblem {
+        let stages = StageDelays::new(vec![28e-12; 10], vec![11e-12; 10]);
+        let deadline_s = stages.nominal_delay() * deadline_over_nominal;
+        LineProblem {
+            stages,
+            variation: DriveVariation {
+                sigma_d2d: 0.08,
+                sigma_wid: 0.05,
+            },
+            deadline_s,
+        }
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in Method::ALL {
+            assert_eq!(m.name().parse::<Method>().unwrap(), m);
+        }
+        assert!("bogus".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn wilson_half_width_shrinks_with_n() {
+        let a = wilson_half_width(90, 100, 1.96);
+        let b = wilson_half_width(900, 1000, 1.96);
+        let c = wilson_half_width(9000, 10_000, 1.96);
+        assert!(a > b && b > c);
+        // Large-n Wilson approaches the familiar √(p(1−p)/n).
+        let expect = 1.96 * (0.09f64 / 10_000.0).sqrt();
+        assert!((c - expect).abs() / expect < 0.05);
+    }
+
+    #[test]
+    fn every_estimator_agrees_on_a_moderate_yield_line() {
+        let p = line(1.06);
+        let reference = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::Naive)
+                .with_target_half_width(2e-3)
+                .with_seed(11),
+        );
+        for method in Method::ALL {
+            let cfg = EstimatorConfig::new(method).with_seed(23);
+            let est = estimate_line_yield(&p, &cfg);
+            let slack = est.half_width.max(reference.half_width).max(0.02);
+            assert!(
+                (est.yield_fraction - reference.yield_fraction).abs() <= 3.0 * slack,
+                "{method}: {} vs naive {} (slack {slack})",
+                est.yield_fraction,
+                reference.yield_fraction,
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_early_stop_respects_the_target() {
+        let p = line(1.06);
+        let cfg = EstimatorConfig::new(Method::Naive).with_target_half_width(0.01);
+        let est = estimate_line_yield(&p, &cfg);
+        assert!(est.half_width <= 0.01, "stopped above target");
+        assert!(est.evals < cfg.max_evals, "early stop never triggered");
+        // A tighter target costs more evaluations.
+        let tight = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::Naive).with_target_half_width(0.004),
+        );
+        assert!(tight.evals > est.evals);
+    }
+
+    #[test]
+    fn fixed_eval_mode_runs_exactly_max() {
+        let p = line(1.06);
+        let cfg = EstimatorConfig::new(Method::Naive)
+            .with_target_half_width(0.0)
+            .with_max_evals(1000);
+        let est = estimate_line_yield(&p, &cfg);
+        assert_eq!(est.evals, 1000);
+    }
+
+    #[test]
+    fn scrambled_sobol_needs_far_fewer_evals_than_naive() {
+        let p = line(1.08);
+        let target = 5e-3;
+        let naive = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::Naive).with_target_half_width(target),
+        );
+        let qmc = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::SobolScrambled).with_target_half_width(target),
+        );
+        assert!(qmc.half_width <= target);
+        assert!(
+            qmc.evals * 2 <= naive.evals,
+            "QMC {} evals vs naive {}",
+            qmc.evals,
+            naive.evals
+        );
+        assert!(
+            (qmc.yield_fraction - naive.yield_fraction).abs() < 3.0 * (target + naive.half_width)
+        );
+    }
+
+    #[test]
+    fn importance_sampling_shines_on_rare_failures() {
+        // 3σ-ish deadline: failures are ~0.1 %, where naive MC needs
+        // hundreds of thousands of dies for a tight *relative* answer.
+        let p = line(1.25);
+        let target = 5e-4;
+        let is = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::ImportanceSampling).with_target_half_width(target),
+        );
+        let naive = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::Naive).with_target_half_width(target),
+        );
+        assert!(is.half_width <= target);
+        assert!(
+            is.evals * 4 <= naive.evals,
+            "IS {} evals vs naive {}",
+            is.evals,
+            naive.evals
+        );
+        assert!(
+            (is.yield_fraction - naive.yield_fraction).abs() < 3.0 * (target + naive.half_width)
+        );
+    }
+
+    #[test]
+    fn network_estimates_expose_channel_yields() {
+        let fast = StageDelays::new(vec![20e-12; 6], vec![9e-12; 6]);
+        let slow = StageDelays::new(vec![34e-12; 6], vec![9e-12; 6]);
+        let period = slow.nominal_delay() * 1.05;
+        let net = NetworkProblem::new(
+            vec![fast, slow],
+            DriveVariation {
+                sigma_d2d: 0.08,
+                sigma_wid: 0.05,
+            },
+            period,
+        );
+        for method in Method::ALL {
+            let est = estimate_network_yield(&net, &EstimatorConfig::new(method));
+            assert_eq!(est.channel_yield.len(), 2, "{method}");
+            assert!(
+                est.channel_yield[0] >= est.channel_yield[1],
+                "{method}: slow channel must limit"
+            );
+            assert!(
+                est.overall.yield_fraction <= est.channel_yield[1] + est.overall.half_width + 0.02,
+                "{method}: network ≤ weakest channel"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_variation_gives_certain_answers() {
+        let stages = StageDelays::new(vec![30e-12; 4], vec![10e-12; 4]);
+        let p = LineProblem {
+            deadline_s: stages.nominal_delay() * 1.01,
+            stages,
+            variation: DriveVariation {
+                sigma_d2d: 0.0,
+                sigma_wid: 0.0,
+            },
+        };
+        for method in Method::ALL {
+            let est = estimate_line_yield(&p, &EstimatorConfig::new(method));
+            assert!(
+                (est.yield_fraction - 1.0).abs() < 1e-12,
+                "{method}: {}",
+                est.yield_fraction
+            );
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The yield-estimation problem types: additive-stage delay lines under
+//! D2D + WID Gaussian drive variation.
+//!
+//! `pi-yield` sits *below* the calibrated models in the dependency order,
+//! so the problem types speak plain `f64` seconds: a buffered line is a
+//! vector of per-stage `(repeater_delay, wire_delay)` pairs, and a die is
+//! one shared die-to-die drive factor plus one within-die factor per
+//! repeater. `pi-core::variation` and `pi-cosi::net_yield` lower their
+//! `StageTiming`/`Network` structures into these types and get every
+//! estimator of this crate for free.
+//!
+//! The sampled drive model is exactly the legacy Monte-Carlo one (so the
+//! naive path reproduces historical results bit-for-bit): a drive factor
+//! is `(1 + sigma * z).max(DRIVE_FLOOR)` with standard-normal `z`, the
+//! die-to-die factor is shared by every stage, and a stage's delay is its
+//! nominal repeater delay scaled by `1/g` plus its unscaled wire delay.
+
+use pi_rt::Rng;
+
+/// Floor applied to every sampled drive factor so a pathological Gaussian
+/// tail cannot produce a non-positive (or sign-flipped) drive.
+pub const DRIVE_FLOOR: f64 = 0.2;
+
+/// Drive factor from an already-drawn standard-normal variate.
+#[must_use]
+pub fn drive_factor_from_normal(z: f64, sigma: f64) -> f64 {
+    (1.0 + sigma * z).max(DRIVE_FLOOR)
+}
+
+/// Drive factor sampled from `rng` (Box–Muller normal), floored.
+///
+/// This is *the* shared floored-Gaussian draw: `pi-core::variation` and
+/// `pi-cosi::net_yield` both route their Monte-Carlo loops through it.
+#[must_use]
+pub fn drive_factor(rng: &mut Rng, sigma: f64) -> f64 {
+    drive_factor_from_normal(rng.normal(), sigma)
+}
+
+/// Gaussian variation magnitudes (fractions of nominal drive strength).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriveVariation {
+    /// σ of the die-to-die drive factor (shared by all repeaters).
+    pub sigma_d2d: f64,
+    /// σ of the within-die drive factor (independent per repeater).
+    pub sigma_wid: f64,
+}
+
+/// Nominal per-stage delays of one buffered line, in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDelays {
+    /// Repeater delay per stage (the drive-dependent term, scaled `1/g`).
+    pub repeater_s: Vec<f64>,
+    /// Wire delay per stage (left nominal under drive variation).
+    pub wire_s: Vec<f64>,
+}
+
+impl StageDelays {
+    /// Builds the stage vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or are empty.
+    #[must_use]
+    pub fn new(repeater_s: Vec<f64>, wire_s: Vec<f64>) -> Self {
+        assert_eq!(
+            repeater_s.len(),
+            wire_s.len(),
+            "stage vectors must have equal length"
+        );
+        assert!(!repeater_s.is_empty(), "a line has at least one stage");
+        StageDelays { repeater_s, wire_s }
+    }
+
+    /// Number of stages (= WID variation dimensions of this line).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.repeater_s.len()
+    }
+
+    /// Whether the line has no stages (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.repeater_s.is_empty()
+    }
+
+    /// Nominal (variation-free) line delay.
+    #[must_use]
+    pub fn nominal_delay(&self) -> f64 {
+        self.repeater_s.iter().sum::<f64>() + self.wire_s.iter().sum::<f64>()
+    }
+
+    /// Line delay given the shared D2D factor and one WID normal per
+    /// stage, supplied by `wid_normal` in stage order.
+    ///
+    /// Every sampling path (naive RNG, quasi-Monte-Carlo, importance
+    /// sampling) funnels through this one loop, so the floating-point
+    /// evaluation order — and therefore the bit pattern of the result —
+    /// is identical across estimators given identical factors.
+    pub fn delay_given_d2d(
+        &self,
+        g_d2d: f64,
+        variation: &DriveVariation,
+        mut wid_normal: impl FnMut() -> f64,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (r, w) in self.repeater_s.iter().zip(&self.wire_s) {
+            let g = g_d2d * drive_factor_from_normal(wid_normal(), variation.sigma_wid);
+            total += r / g + w;
+        }
+        total
+    }
+
+    /// Line delay sampled with the legacy draw order (`rng.normal()` for
+    /// D2D, then one per stage) — bit-identical to the historical
+    /// Monte-Carlo loop of `pi-core::variation::delay_distribution`.
+    pub fn sample_delay(&self, rng: &mut Rng, variation: &DriveVariation) -> f64 {
+        let g_d2d = drive_factor(rng, variation.sigma_d2d);
+        self.delay_given_d2d(g_d2d, variation, || rng.normal())
+    }
+}
+
+/// Timing yield of a single line against a deadline: the paper's central
+/// quantity, `P(delay ≤ deadline)` under process variation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineProblem {
+    /// Nominal per-stage delays.
+    pub stages: StageDelays,
+    /// Variation magnitudes.
+    pub variation: DriveVariation,
+    /// Timing deadline, seconds.
+    pub deadline_s: f64,
+}
+
+impl LineProblem {
+    /// Dimension of the Gaussian variation space: 1 (D2D) + one per stage.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        1 + self.stages.len()
+    }
+
+    /// Line delay from an explicit normal vector (`z[0]` = D2D, `z[1..]`
+    /// = WID per stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != self.dimension()`.
+    #[must_use]
+    pub fn delay_from_normals(&self, z: &[f64]) -> f64 {
+        assert_eq!(z.len(), self.dimension(), "normal vector dimension");
+        let g_d2d = drive_factor_from_normal(z[0], self.variation.sigma_d2d);
+        let mut it = z[1..].iter();
+        self.stages.delay_given_d2d(g_d2d, &self.variation, || {
+            *it.next().expect("dimension checked")
+        })
+    }
+
+    /// The single-line problem as a one-channel network, which is how the
+    /// estimation engine consumes it (a line fails exactly when its only
+    /// "channel" misses the deadline).
+    #[must_use]
+    pub fn as_network(&self) -> NetworkProblem {
+        NetworkProblem {
+            channels: vec![self.stages.clone()],
+            variation: self.variation,
+            period_s: self.deadline_s,
+        }
+    }
+}
+
+/// Timing yield of a multi-channel network: a die passes only if *every*
+/// channel meets the clock period on that die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProblem {
+    /// Nominal per-stage delays per channel.
+    pub channels: Vec<StageDelays>,
+    /// Variation magnitudes (D2D shared across all channels of a die).
+    pub variation: DriveVariation,
+    /// Clock period every channel must meet, seconds.
+    pub period_s: f64,
+}
+
+impl NetworkProblem {
+    /// Builds the problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no channels.
+    #[must_use]
+    pub fn new(channels: Vec<StageDelays>, variation: DriveVariation, period_s: f64) -> Self {
+        assert!(!channels.is_empty(), "network has no channels");
+        NetworkProblem {
+            channels,
+            variation,
+            period_s,
+        }
+    }
+
+    /// Dimension of the variation space: 1 (D2D) + one per repeater.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        1 + self.channels.iter().map(StageDelays::len).sum::<usize>()
+    }
+
+    /// Samples one die with the legacy draw order (D2D first, then WID
+    /// per stage in channel order), recording per-channel passes into
+    /// `pass` and returning whether the whole die passed. Bit-identical
+    /// to the historical `pi-cosi::net_yield` loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pass.len() != self.channels.len()`.
+    pub fn sample_die(&self, rng: &mut Rng, pass: &mut [bool]) -> bool {
+        let g_d2d = drive_factor(rng, self.variation.sigma_d2d);
+        self.die_given_d2d(g_d2d, pass, || rng.normal())
+    }
+
+    /// One die from an explicit normal vector (`z[0]` = D2D, then WID in
+    /// channel-major stage order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != self.dimension()` or `pass` is mis-sized.
+    pub fn die_from_normals(&self, z: &[f64], pass: &mut [bool]) -> bool {
+        assert_eq!(z.len(), self.dimension(), "normal vector dimension");
+        let g_d2d = drive_factor_from_normal(z[0], self.variation.sigma_d2d);
+        let mut it = z[1..].iter();
+        self.die_given_d2d(g_d2d, pass, || *it.next().expect("dimension checked"))
+    }
+
+    /// Shared die evaluation: channel delays under a fixed D2D factor with
+    /// WID normals pulled from `wid_normal` in channel-major order.
+    fn die_given_d2d(
+        &self,
+        g_d2d: f64,
+        pass: &mut [bool],
+        mut wid_normal: impl FnMut() -> f64,
+    ) -> bool {
+        assert_eq!(pass.len(), self.channels.len(), "pass slice size");
+        let mut all_ok = true;
+        for (channel, ok) in self.channels.iter().zip(pass.iter_mut()) {
+            let delay = channel.delay_given_d2d(g_d2d, &self.variation, &mut wid_normal);
+            *ok = delay <= self.period_s;
+            all_ok &= *ok;
+        }
+        all_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> LineProblem {
+        LineProblem {
+            stages: StageDelays::new(vec![30e-12, 35e-12, 28e-12], vec![10e-12, 12e-12, 9e-12]),
+            variation: DriveVariation {
+                sigma_d2d: 0.08,
+                sigma_wid: 0.05,
+            },
+            deadline_s: 140e-12,
+        }
+    }
+
+    #[test]
+    fn drive_factor_is_floored() {
+        assert!((drive_factor_from_normal(0.0, 0.08) - 1.0).abs() < 1e-15);
+        assert!((drive_factor_from_normal(-1000.0, 0.08) - DRIVE_FLOOR).abs() < 1e-15);
+        assert!(drive_factor_from_normal(2.0, 0.08) > 1.0);
+    }
+
+    #[test]
+    fn zero_normals_reproduce_nominal_delay() {
+        let p = line();
+        let z = vec![0.0; p.dimension()];
+        let d = p.delay_from_normals(&z);
+        assert!((d - p.stages.nominal_delay()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rng_and_explicit_normals_agree() {
+        // Drawing the normals first and replaying them through the
+        // explicit path must reproduce the streaming path exactly.
+        let p = line();
+        let mut draw = Rng::stream(7, 0);
+        let z: Vec<f64> = (0..p.dimension()).map(|_| draw.normal()).collect();
+        let mut replay = Rng::stream(7, 0);
+        let streamed = p.stages.sample_delay(&mut replay, &p.variation);
+        let explicit = p.delay_from_normals(&z);
+        assert_eq!(streamed.to_bits(), explicit.to_bits());
+    }
+
+    #[test]
+    fn network_die_matches_per_channel_verdicts() {
+        let p = line();
+        let net = p.as_network();
+        let mut pass = [false];
+        let mut rng = Rng::stream(3, 1);
+        let all = net.sample_die(&mut rng, &mut pass);
+        assert_eq!(all, pass[0]);
+        let mut rng = Rng::stream(3, 1);
+        let delay = p.stages.sample_delay(&mut rng, &p.variation);
+        assert_eq!(pass[0], delay <= p.deadline_s);
+    }
+
+    #[test]
+    fn slower_d2d_factor_slows_every_channel() {
+        let p = line().as_network();
+        let mut pass = [false];
+        // A very weak die (g far below nominal) must fail.
+        let dim = p.dimension();
+        let mut z = vec![0.0; dim];
+        z[0] = -8.0;
+        assert!(!p.die_from_normals(&z, &mut pass));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_stage_vectors_rejected() {
+        let _ = StageDelays::new(vec![1e-12], vec![]);
+    }
+}

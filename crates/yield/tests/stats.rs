@@ -1,0 +1,204 @@
+//! Statistical acceptance tests for the pi-yield sampling machinery.
+//!
+//! Three distribution-level contracts that unit tests on single values
+//! cannot pin:
+//!
+//! 1. `Rng::normal_icdf` really draws from N(0,1) — a Kolmogorov–Smirnov
+//!    test of the empirical CDF against `normal_cdf`.
+//! 2. Sobol points are uniform on [0,1)^d — a chi-square test on 1-D and
+//!    2-D stratifications of the first coordinates.
+//! 3. The mean-shifted importance sampler is unbiased — over many seeds
+//!    its average matches the naive estimator well inside the combined
+//!    sampling error.
+//!
+//! All thresholds are fixed-seed and deterministic: the tests cannot
+//! flake, they can only catch a real regression in the generators.
+
+use pi_rt::norm::normal_cdf;
+use pi_rt::Rng;
+use pi_yield::{
+    estimate_line_yield, line_yield, DriveVariation, EstimatorConfig, LineProblem, Method, Sobol,
+    StageDelays,
+};
+
+/// Kolmogorov–Smirnov statistic of `samples` (sorted in place) against a
+/// reference CDF.
+fn ks_statistic(samples: &mut [f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in samples.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+#[test]
+fn normal_icdf_samples_pass_a_ks_test_against_the_normal_cdf() {
+    const N: usize = 20_000;
+    let mut rng = Rng::stream(0xD15E, 0);
+    let mut samples: Vec<f64> = (0..N).map(|_| rng.normal_icdf()).collect();
+    let d = ks_statistic(&mut samples, normal_cdf);
+    // 1% critical value for the one-sample KS test: 1.628 / sqrt(n).
+    let critical = 1.628 / (N as f64).sqrt();
+    assert!(
+        d < critical,
+        "KS statistic {d:.5} exceeds 1% critical value {critical:.5}"
+    );
+}
+
+#[test]
+fn box_muller_normal_also_passes_the_ks_test() {
+    const N: usize = 20_000;
+    let mut rng = Rng::stream(0xB0C5, 0);
+    let mut samples: Vec<f64> = (0..N).map(|_| rng.normal()).collect();
+    let d = ks_statistic(&mut samples, normal_cdf);
+    let critical = 1.628 / (N as f64).sqrt();
+    assert!(
+        d < critical,
+        "KS statistic {d:.5} exceeds 1% critical value {critical:.5}"
+    );
+}
+
+#[test]
+fn sobol_coordinates_are_uniform_by_chi_square() {
+    const N: u64 = 4096;
+    const BINS: usize = 64;
+    let sobol = Sobol::new(6);
+    // 1% critical value of chi-square with 63 degrees of freedom.
+    let critical = 92.01;
+    for dim in 0..sobol.dimension() {
+        let mut counts = [0u32; BINS];
+        for index in 0..N {
+            let u = sobol.coord(dim, index, 0);
+            counts[(u * BINS as f64) as usize] += 1;
+        }
+        let expected = N as f64 / BINS as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (f64::from(c) - expected).powi(2) / expected)
+            .sum();
+        assert!(
+            chi2 < critical,
+            "dim {dim}: chi-square {chi2:.1} exceeds 1% critical value {critical}"
+        );
+    }
+}
+
+#[test]
+fn sobol_pairs_are_uniform_on_the_unit_square() {
+    const N: u64 = 4096;
+    const SIDE: usize = 8;
+    let sobol = Sobol::new(6);
+    // 1% critical value of chi-square with 63 degrees of freedom.
+    let critical = 92.01;
+    for a in 0..sobol.dimension() {
+        for b in (a + 1)..sobol.dimension() {
+            let mut counts = [0u32; SIDE * SIDE];
+            for index in 0..N {
+                let i = (sobol.coord(a, index, 0) * SIDE as f64) as usize;
+                let j = (sobol.coord(b, index, 0) * SIDE as f64) as usize;
+                counts[i * SIDE + j] += 1;
+            }
+            let expected = N as f64 / (SIDE * SIDE) as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| (f64::from(c) - expected).powi(2) / expected)
+                .sum();
+            assert!(
+                chi2 < critical,
+                "dims ({a},{b}): chi-square {chi2:.1} exceeds critical {critical}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scrambled_sobol_normals_pass_the_ks_test() {
+    // The scrambled-Sobol path maps digitally-shifted coordinates through
+    // the inverse normal CDF; its one-dimensional marginals must still be
+    // standard normal.
+    use pi_rt::norm::normal_inv_cdf;
+    const N: u64 = 8192;
+    let sobol = Sobol::new(4);
+    let shifts = sobol.digital_shifts(0x5EED, 3);
+    for (dim, &shift) in shifts.iter().enumerate() {
+        let mut samples: Vec<f64> = (0..N)
+            .map(|index| normal_inv_cdf(sobol.coord(dim, index, shift)))
+            .collect();
+        let d = ks_statistic(&mut samples, normal_cdf);
+        // Sobol + shift is sub-random: far *more* uniform than IID, so the
+        // IID critical value is a very loose upper bound.
+        let critical = 1.628 / (N as f64).sqrt();
+        assert!(d < critical, "dim {dim}: KS {d:.5} >= {critical:.5}");
+    }
+}
+
+fn tail_problem() -> LineProblem {
+    let stages = StageDelays::new(vec![28e-12; 10], vec![11e-12; 10]);
+    LineProblem {
+        deadline_s: stages.nominal_delay() * 1.22,
+        stages,
+        variation: DriveVariation {
+            sigma_d2d: 0.08,
+            sigma_wid: 0.05,
+        },
+    }
+}
+
+#[test]
+fn importance_sampling_is_unbiased_across_seeds() {
+    // Fixed evaluation budget (early stopping disabled) so every seed
+    // contributes an equally-weighted independent estimate; the average
+    // over seeds must agree with the analytic closure within the CLT
+    // error of the seed ensemble.
+    let problem = tail_problem();
+    let reference = line_yield(&problem);
+    const SEEDS: u64 = 24;
+    const EVALS: usize = 2048;
+    let estimates: Vec<f64> = (0..SEEDS)
+        .map(|seed| {
+            let config = EstimatorConfig::new(Method::ImportanceSampling)
+                .with_seed(1000 + seed)
+                .with_target_half_width(0.0)
+                .with_max_evals(EVALS);
+            estimate_line_yield(&problem, &config).yield_fraction
+        })
+        .collect();
+    let mean = estimates.iter().sum::<f64>() / SEEDS as f64;
+    let var = estimates.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (SEEDS - 1) as f64;
+    let se = (var / SEEDS as f64).sqrt();
+    // 4 standard errors plus a small allowance for closure model error.
+    let tolerance = 4.0 * se + 2e-3;
+    assert!(
+        (mean - reference).abs() < tolerance,
+        "IS ensemble mean {mean:.5} vs analytic {reference:.5} \
+         (se {se:.5}, tolerance {tolerance:.5})"
+    );
+}
+
+#[test]
+fn estimator_families_agree_on_the_tail_problem() {
+    let problem = tail_problem();
+    let naive = estimate_line_yield(
+        &problem,
+        &EstimatorConfig::new(Method::Naive).with_target_half_width(2e-3),
+    );
+    for method in [Method::SobolScrambled, Method::ImportanceSampling] {
+        let est = estimate_line_yield(
+            &problem,
+            &EstimatorConfig::new(method).with_target_half_width(2e-3),
+        );
+        let slack = 3.0 * (naive.half_width + est.half_width);
+        assert!(
+            (est.yield_fraction - naive.yield_fraction).abs() < slack,
+            "{}: {:.5} vs naive {:.5} (slack {slack:.5})",
+            method.name(),
+            est.yield_fraction,
+            naive.yield_fraction
+        );
+    }
+}

@@ -13,6 +13,13 @@ cargo build --workspace --release --offline
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== clippy (deny warnings) =="
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "== clippy not installed; skipping lint check =="
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== rustfmt =="
     cargo fmt --check

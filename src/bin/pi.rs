@@ -7,6 +7,8 @@
 //! pi noc      --design dvopd|vproc --tech 65nm --clock 2.25GHz [--model proposed|original|mesh]
 //!             (or --spec <file> with the text format of `pi_cosi::spec_text`)
 //! pi yield    --tech 65nm --length 8mm --deadline 560ps [--samples 2000]
+//!             [--estimator naive|sobol|sobol-scrambled|importance|analytic]
+//!             [--ci 0.5] [--seed 1]
 //! pi report   --tech 65nm --length 5mm --clock 2GHz [--bits 128] [--full]
 //! pi scaling
 //! ```
@@ -289,6 +291,8 @@ fn cmd_noc(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_yield(opts: &Opts) -> Result<(), String> {
+    use predictive_interconnect::stats::{EstimatorConfig, Method};
+
     let node = opts.tech()?;
     let tech = Technology::new(node);
     let models = builtin(node);
@@ -300,13 +304,53 @@ fn cmd_yield(opts: &Opts) -> Result<(), String> {
         .unwrap_or("2000")
         .parse()
         .map_err(|e| format!("bad --samples: {e}"))?;
+    let seed: u64 = opts
+        .get("seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
     let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
     let obj = BufferingObjective::balanced(Freq::ghz(1.0));
     let plan = ev
         .optimize_buffering(&spec, &obj, &SearchSpace::for_length(length))
         .ok_or("empty search space")?
         .plan;
-    let dist = ev.delay_distribution(&spec, &plan, &VariationModel::nominal(), samples, 1);
+    let variation = VariationModel::nominal();
+
+    if let Some(name) = opts.get("estimator") {
+        // Variance-reduced estimator with a confidence interval. The CI
+        // target is given in percent yield (default ±0.5% at 95%).
+        let method: Method = name.parse()?;
+        let ci_pct: f64 = opts
+            .get("ci")
+            .unwrap_or("0.5")
+            .parse()
+            .map_err(|e| format!("bad --ci: {e}"))?;
+        if ci_pct <= 0.0 {
+            return Err("--ci must be a positive half-width in percent".to_owned());
+        }
+        let config = EstimatorConfig::new(method)
+            .with_seed(seed)
+            .with_target_half_width(ci_pct / 100.0);
+        let est = ev.timing_yield_estimate(&spec, &plan, &variation, deadline, &config);
+        println!(
+            "{node} {} mm, {} x inverter wn {:.1} um, estimator {}",
+            length.as_mm(),
+            plan.count,
+            plan.wn.as_um(),
+            est.method
+        );
+        println!(
+            "timing yield @ {:.0} ps: {:.2}% (±{:.2}% at 95%, {} line evaluations)",
+            deadline.as_ps(),
+            est.yield_fraction * 100.0,
+            est.half_width * 100.0,
+            est.evals
+        );
+        return Ok(());
+    }
+
+    let dist = ev.delay_distribution(&spec, &plan, &variation, samples, seed);
     println!(
         "{node} {} mm, {} x inverter wn {:.1} um, {samples} samples",
         length.as_mm(),

@@ -16,6 +16,8 @@
 //! - [`wire`] — wire parasitics and the classic Bakoglu/Pamunuwa models;
 //! - [`models`] — the calibrated predictive models and buffering optimizer
 //!   (the paper's contribution);
+//! - [`stats`] — variance-reduced statistical yield estimation (Sobol
+//!   quasi-Monte-Carlo, importance sampling, analytic Gaussian closure);
 //! - [`golden`] — placement/extraction/sign-off reference flow;
 //! - [`cosi`] — NoC communication synthesis (COSI-OCC substrate);
 //! - [`report`] — cross-cutting link datasheets combining every analysis.
@@ -40,3 +42,4 @@ pub use pi_regress as regress;
 pub use pi_spice as spice;
 pub use pi_tech as tech;
 pub use pi_wire as wire;
+pub use pi_yield as stats;

@@ -118,3 +118,65 @@ fn bad_arguments_fail_with_messages() {
     let out = pi(&[]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn yield_command_reports_distribution_and_yield() {
+    let out = pi(&[
+        "yield",
+        "--tech",
+        "65nm",
+        "--length",
+        "8mm",
+        "--deadline",
+        "600ps",
+        "--samples",
+        "500",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("500 samples"));
+    assert!(text.contains("timing yield @ 600 ps"));
+}
+
+#[test]
+fn yield_command_exposes_the_estimator_family() {
+    for estimator in ["sobol-scrambled", "importance", "analytic"] {
+        let out = pi(&[
+            "yield",
+            "--tech",
+            "65nm",
+            "--length",
+            "8mm",
+            "--deadline",
+            "600ps",
+            "--estimator",
+            estimator,
+        ]);
+        assert!(
+            out.status.success(),
+            "{estimator}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(&format!("estimator {estimator}")), "{text}");
+        assert!(text.contains("line evaluations"), "{text}");
+    }
+
+    let out = pi(&[
+        "yield",
+        "--tech",
+        "65nm",
+        "--length",
+        "8mm",
+        "--deadline",
+        "600ps",
+        "--estimator",
+        "bogus",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown estimator"));
+}

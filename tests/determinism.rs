@@ -19,6 +19,7 @@ use pi_cosi::synthesis::SynthesisConfig;
 use pi_cosi::testcases::dvopd;
 use pi_tech::units::{Freq, Length};
 use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+use pi_yield::{EstimatorConfig, Method};
 
 /// Runs `f` with `PI_THREADS` set to `setting` (`None` = engine default).
 fn with_threads<R>(setting: Option<&str>, f: impl FnOnce() -> R) -> R {
@@ -101,4 +102,41 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
         .collect();
     assert_eq!(yields[0], yields[1], "yield: 1 vs 2 threads");
     assert_eq!(yields[0], yields[2], "yield: 1 vs default");
+
+    // 4. pi-yield estimators — every sampling estimator runs a fixed,
+    //    index-addressed batch schedule, so the estimate (value bits,
+    //    interval bits, and evaluation count) must not depend on how the
+    //    chunks were scheduled across threads.
+    for method in [
+        Method::Naive,
+        Method::Sobol,
+        Method::SobolScrambled,
+        Method::ImportanceSampling,
+    ] {
+        let config = EstimatorConfig::new(method)
+            .with_seed(9)
+            .with_target_half_width(2e-2);
+        let estimates: Vec<(u64, u64, usize)> = SETTINGS
+            .iter()
+            .map(|s| {
+                with_threads(*s, || {
+                    let est = evaluator.timing_yield_estimate(
+                        &spec,
+                        &plan,
+                        &variation,
+                        evaluator.timing(&spec, &plan).delay * 1.05,
+                        &config,
+                    );
+                    (
+                        est.yield_fraction.to_bits(),
+                        est.half_width.to_bits(),
+                        est.evals,
+                    )
+                })
+            })
+            .collect();
+        let name = method.name();
+        assert_eq!(estimates[0], estimates[1], "{name}: 1 vs 2 threads");
+        assert_eq!(estimates[0], estimates[2], "{name}: 1 vs default");
+    }
 }
