@@ -1,0 +1,118 @@
+//! Engine shoot-out for the `pi-spice` solve stack.
+//!
+//! Pits the dense fixed-step reference engine against the
+//! structure-exploiting production configuration on the two sign-off
+//! workloads the repo is judged by:
+//!
+//! 1. one extracted sign-off **stage** (transistor driver + 12-segment
+//!    coupled RC ladder + receiver) — the inner loop of `line_delay`;
+//! 2. the staged **line** sign-off of the 5 mm benchmark line;
+//! 3. the monolithic **coupled full-line** netlist (the largest MNA
+//!    system in the repo).
+//!
+//! For each workload it reports the reference engine, and the fast engine
+//! (bordered-banded solver + modified Newton + adaptive trapezoidal
+//! stepping), plus the resulting delay values so the accuracy cost of the
+//! speedup is visible next to it.
+
+use pi_bench::micro::{emit, Measurement, Micro};
+use pi_core::line::{BufferingPlan, LineSpec};
+use pi_core::repeater_model::Transition;
+use pi_golden::extraction::extract;
+use pi_golden::signoff::{
+    line_delay, line_delay_reference, simulate_full_line, simulate_full_line_reference,
+    simulate_stage, simulate_stage_reference, AggressorMode,
+};
+use pi_spice::SimWorkspace;
+use pi_tech::units::{Length, Time};
+use pi_tech::{DesignStyle, RepeaterKind, TechNode, Technology};
+
+fn main() {
+    let tech = Technology::new(TechNode::N65);
+    let spec = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+    let plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 8,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    let seg = extract(&tech, &spec, &plan).segments[0];
+    let receiver = tech.devices().inverter_cin(plan.wn);
+
+    let stage_fast = Micro::default().run("stage_fast", || {
+        simulate_stage(
+            &tech,
+            plan.kind,
+            plan.wn,
+            Time::ps(60.0),
+            &seg,
+            receiver,
+            Transition::Fall,
+            AggressorMode::OppositeSwitching,
+        )
+        .expect("stage")
+        .delay
+    });
+    let stage_ref = Micro::default().run("stage_reference", || {
+        simulate_stage_reference(
+            &mut SimWorkspace::new(),
+            &tech,
+            plan.kind,
+            plan.wn,
+            Time::ps(60.0),
+            &seg,
+            receiver,
+            Transition::Fall,
+            AggressorMode::OppositeSwitching,
+        )
+        .expect("stage")
+        .delay
+    });
+
+    let line_fast = Micro::slow().run("line_signoff_fast", || {
+        line_delay(&tech, &spec, &plan).expect("line").delay
+    });
+    let line_ref = Micro::slow().run("line_signoff_reference", || {
+        line_delay_reference(&tech, &spec, &plan)
+            .expect("line")
+            .delay
+    });
+
+    // The monolithic netlist grows quickly; a 2 mm / 4-repeater case keeps
+    // the reference run affordable while still being the biggest matrix.
+    let spec_full = LineSpec::global(Length::mm(2.0), DesignStyle::SingleSpacing);
+    let plan_full = BufferingPlan { count: 4, ..plan };
+    let full_fast = Micro::slow().run("full_line_fast", || {
+        simulate_full_line(&tech, &spec_full, &plan_full).expect("full line")
+    });
+    let full_ref = Micro::slow().run("full_line_reference", || {
+        simulate_full_line_reference(&tech, &spec_full, &plan_full).expect("full line")
+    });
+
+    let measurements: Vec<Measurement> = vec![
+        stage_fast.clone(),
+        stage_ref.clone(),
+        line_fast.clone(),
+        line_ref.clone(),
+        full_fast.clone(),
+        full_ref.clone(),
+    ];
+    emit("pi-spice engine shoot-out", &measurements);
+
+    let delay_fast = line_delay(&tech, &spec, &plan).expect("line").delay;
+    let delay_ref = line_delay_reference(&tech, &spec, &plan)
+        .expect("line")
+        .delay;
+    println!(
+        "\nstage: {:.2}x  staged line: {:.2}x  full line: {:.2}x",
+        stage_ref.median_ns / stage_fast.median_ns,
+        line_ref.median_ns / line_fast.median_ns,
+        full_ref.median_ns / full_fast.median_ns,
+    );
+    println!(
+        "5 mm line delay: fast {:.2} ps vs reference {:.2} ps ({:+.3}%)",
+        delay_fast.as_ps(),
+        delay_ref.as_ps(),
+        100.0 * (delay_fast - delay_ref).si() / delay_ref.si()
+    );
+}

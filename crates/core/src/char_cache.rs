@@ -1,0 +1,306 @@
+//! Keyed characterization cache for repeater stage measurements.
+//!
+//! Characterization is the calibration hot path: every grid point is an
+//! independent transient simulation, and the same `(technology, cell,
+//! transition, size, slew, load)` tuples recur across `calibrate` runs,
+//! the `table1` binary, corner sweeps and tests. This module memoizes the
+//! measured `(delay, output slew)` pairs behind a process-global map (and
+//! optionally a simple on-disk journal) so repeated runs skip the
+//! simulator entirely.
+//!
+//! # Keying and invalidation
+//!
+//! A cache key is the pair of
+//!
+//! - a **technology fingerprint**: an FNV-1a hash over the full `Debug`
+//!   rendering of the [`Technology`] (node, corner, every device and
+//!   layout parameter) **plus** `pi_spice::ENGINE_VERSION` — so any change
+//!   to device models, corners, or the numerical engine automatically
+//!   invalidates old entries; and
+//! - the **point identity**: repeater kind, output polarity, and the exact
+//!   IEEE-754 bit patterns of the nMOS width, input slew and load.
+//!
+//! Using bit patterns (not rounded values) means a hit is only possible
+//! for a bit-identical query, so cached results are indistinguishable from
+//! recomputation and the calibration pipeline stays deterministic.
+//!
+//! # Configuration (`PI_CHAR_CACHE`)
+//!
+//! | value           | behaviour                                        |
+//! |-----------------|--------------------------------------------------|
+//! | unset, `on`, `1`| in-memory cache (default)                        |
+//! | `off`, `0`      | cache bypassed entirely                          |
+//! | anything else   | treated as a file path: loaded once at startup,  |
+//! |                 | appended to on every store (write-through)       |
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+use pi_spice::ENGINE_VERSION;
+use pi_tech::units::{Cap, Length, Time};
+use pi_tech::{RepeaterKind, Technology};
+
+/// Cache key for one characterization measurement. See the module docs
+/// for the keying discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CharKey {
+    fingerprint: u64,
+    kind: u8,
+    rising: bool,
+    wn_bits: u64,
+    slew_bits: u64,
+    load_bits: u64,
+}
+
+/// Aggregate hit/miss counters since process start (or the last
+/// [`clear`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to simulation.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct CacheState {
+    map: HashMap<CharKey, (u64, u64)>,
+    hits: u64,
+    misses: u64,
+    disk: Option<std::path::PathBuf>,
+}
+
+static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+
+fn state() -> &'static Mutex<CacheState> {
+    CACHE.get_or_init(|| {
+        let mut st = CacheState {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            disk: None,
+        };
+        if let Ok(v) = std::env::var("PI_CHAR_CACHE") {
+            if !matches!(v.as_str(), "" | "on" | "1" | "off" | "0") {
+                let path = std::path::PathBuf::from(&v);
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    for line in text.lines() {
+                        if let Some((key, val)) = parse_line(line) {
+                            st.map.insert(key, val);
+                        }
+                    }
+                }
+                st.disk = Some(path);
+            }
+        }
+        Mutex::new(st)
+    })
+}
+
+fn parse_line(line: &str) -> Option<(CharKey, (u64, u64))> {
+    let mut it = line.split_whitespace();
+    let key = CharKey {
+        fingerprint: u64::from_str_radix(it.next()?, 16).ok()?,
+        kind: it.next()?.parse().ok()?,
+        rising: it.next()? == "1",
+        wn_bits: u64::from_str_radix(it.next()?, 16).ok()?,
+        slew_bits: u64::from_str_radix(it.next()?, 16).ok()?,
+        load_bits: u64::from_str_radix(it.next()?, 16).ok()?,
+    };
+    let val = (
+        u64::from_str_radix(it.next()?, 16).ok()?,
+        u64::from_str_radix(it.next()?, 16).ok()?,
+    );
+    Some((key, val))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Whether caching is active for this lookup (checked per call, so the
+/// bench harness can toggle `PI_CHAR_CACHE=off` mid-process).
+#[must_use]
+pub fn enabled() -> bool {
+    !matches!(
+        std::env::var("PI_CHAR_CACHE").as_deref(),
+        Ok("off") | Ok("0")
+    )
+}
+
+/// Fingerprint of a technology under the current simulation engine.
+#[must_use]
+pub fn fingerprint(tech: &Technology) -> u64 {
+    let repr = format!("{tech:?}|engine{ENGINE_VERSION}");
+    fnv1a(repr.as_bytes())
+}
+
+/// Builds the cache key for one characterization point. `fingerprint` is
+/// [`fingerprint`]`(tech)` — hoisted out so grid sweeps hash the
+/// technology once.
+#[must_use]
+pub fn key(
+    fingerprint: u64,
+    kind: RepeaterKind,
+    rising: bool,
+    wn: Length,
+    slew: Time,
+    load: Cap,
+) -> CharKey {
+    CharKey {
+        fingerprint,
+        kind: match kind {
+            RepeaterKind::Inverter => 0,
+            RepeaterKind::Buffer => 1,
+        },
+        rising,
+        wn_bits: wn.si().to_bits(),
+        slew_bits: slew.si().to_bits(),
+        load_bits: load.si().to_bits(),
+    }
+}
+
+/// Cached `(delay, output slew)` for `key`, if present (and the cache is
+/// enabled).
+#[must_use]
+pub fn lookup(key: &CharKey) -> Option<(Time, Time)> {
+    if !enabled() {
+        return None;
+    }
+    let mut st = state().lock().expect("char cache poisoned");
+    if let Some(&(d, s)) = st.map.get(key) {
+        st.hits += 1;
+        Some((Time::s(f64::from_bits(d)), Time::s(f64::from_bits(s))))
+    } else {
+        st.misses += 1;
+        None
+    }
+}
+
+/// Inserts a measured `(delay, output slew)` pair. A no-op when the cache
+/// is disabled; write-through to the journal file in path mode.
+pub fn store(key: CharKey, delay: Time, output_slew: Time) {
+    if !enabled() {
+        return;
+    }
+    let val = (delay.si().to_bits(), output_slew.si().to_bits());
+    let mut st = state().lock().expect("char cache poisoned");
+    if st.map.insert(key, val).is_none() {
+        if let Some(path) = st.disk.clone() {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{:016x} {} {} {:016x} {:016x} {:016x} {:016x} {:016x}",
+                    key.fingerprint,
+                    key.kind,
+                    u8::from(key.rising),
+                    key.wn_bits,
+                    key.slew_bits,
+                    key.load_bits,
+                    val.0,
+                    val.1
+                );
+            }
+        }
+    }
+}
+
+/// Current hit/miss/entry counters.
+#[must_use]
+pub fn stats() -> CacheStats {
+    let st = state().lock().expect("char cache poisoned");
+    CacheStats {
+        hits: st.hits,
+        misses: st.misses,
+        entries: st.map.len(),
+    }
+}
+
+/// Drops every resident entry and zeroes the counters (used by the
+/// determinism tests to force recomputation between runs). Does not
+/// truncate a journal file.
+pub fn clear() {
+    let mut st = state().lock().expect("char cache poisoned");
+    st.map.clear();
+    st.hits = 0;
+    st.misses = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_tech::{TechNode, Technology};
+
+    fn sample_key(fp: u64) -> CharKey {
+        key(
+            fp,
+            RepeaterKind::Inverter,
+            true,
+            Length::um(4.0),
+            Time::ps(60.0),
+            Cap::ff(30.0),
+        )
+    }
+
+    #[test]
+    fn roundtrips_exact_bits() {
+        let tech = Technology::new(TechNode::N65);
+        let fp = fingerprint(&tech);
+        let k = sample_key(fp);
+        clear();
+        assert!(lookup(&k).is_none());
+        let d = Time::ps(12.345_678_901_234);
+        let s = Time::ps(45.678_901_234_567);
+        store(k, d, s);
+        let (d2, s2) = lookup(&k).expect("stored entry");
+        assert_eq!(d.si().to_bits(), d2.si().to_bits());
+        assert_eq!(s.si().to_bits(), s2.si().to_bits());
+        let st = stats();
+        assert!(st.entries >= 1);
+        assert!(st.hits >= 1 && st.misses >= 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_technologies_and_engines() {
+        let a = fingerprint(&Technology::new(TechNode::N65));
+        let b = fingerprint(&Technology::new(TechNode::N90));
+        assert_ne!(a, b);
+        let c = fingerprint(&Technology::with_corner(
+            TechNode::N65,
+            pi_tech::Corner::SlowSlow,
+        ));
+        assert_ne!(a, c);
+        assert_ne!(sample_key(a), sample_key(b));
+    }
+
+    #[test]
+    fn journal_line_roundtrip() {
+        let k = sample_key(0xdead_beef);
+        let line = format!(
+            "{:016x} {} {} {:016x} {:016x} {:016x} {:016x} {:016x}",
+            k.fingerprint,
+            k.kind,
+            u8::from(k.rising),
+            k.wn_bits,
+            k.slew_bits,
+            k.load_bits,
+            1.25f64.to_bits(),
+            2.5f64.to_bits()
+        );
+        let (k2, (d, s)) = parse_line(&line).expect("parse");
+        assert_eq!(k, k2);
+        assert_eq!(f64::from_bits(d), 1.25);
+        assert_eq!(f64::from_bits(s), 2.5);
+    }
+}

@@ -51,6 +51,7 @@
 pub mod area;
 pub mod buffering;
 pub mod calibrate;
+pub mod char_cache;
 pub mod coefficients;
 pub mod line;
 pub mod nldm;

@@ -305,8 +305,12 @@ impl LineEvaluator<'_> {
         seed: u64,
     ) -> Option<YieldSizing> {
         assert!(samples > 0, "need at least one sample");
+        // The fixed-count loop has no interval attached; its point
+        // estimate doubles as the acceptance bound (legacy behaviour,
+        // pinned bit-for-bit by tests).
         self.size_loop(spec, plan, target_yield, |ev, candidate| {
-            ev.timing_yield(spec, candidate, variation, deadline, samples, seed)
+            let y = ev.timing_yield(spec, candidate, variation, deadline, samples, seed);
+            (y, y)
         })
     }
 
@@ -315,6 +319,13 @@ impl LineEvaluator<'_> {
     /// each candidate's yield comes from the chosen estimator (adaptive
     /// early stopping included), so a sizing sweep costs a fraction of
     /// the fixed-count Monte-Carlo evaluations.
+    ///
+    /// A candidate is accepted only when the **lower end of its
+    /// confidence interval** (`yield_fraction − half_width`) clears
+    /// `target_yield`, not merely the point estimate — a plan whose
+    /// estimate scrapes the target from below the interval's resolution
+    /// forces one more upsizing step instead of shipping on statistical
+    /// luck. `achieved_yield` still reports the point estimate.
     ///
     /// Returns `None` if no plan in range reaches the target.
     ///
@@ -333,19 +344,20 @@ impl LineEvaluator<'_> {
         config: &EstimatorConfig,
     ) -> Option<YieldSizing> {
         self.size_loop(spec, plan, target_yield, |ev, candidate| {
-            ev.timing_yield_estimate(spec, candidate, variation, deadline, config)
-                .yield_fraction
+            let est = ev.timing_yield_estimate(spec, candidate, variation, deadline, config);
+            (est.yield_fraction, est.yield_fraction - est.half_width)
         })
     }
 
     /// The shared greedy search: upsize through the library drives, then
-    /// add repeaters, until `estimate` reports the target yield.
+    /// add repeaters, until `estimate`'s **lower bound** (second element
+    /// of the returned `(point, lower)` pair) reaches the target yield.
     fn size_loop(
         &self,
         spec: &LineSpec,
         plan: &BufferingPlan,
         target_yield: f64,
-        estimate: impl Fn(&Self, &BufferingPlan) -> f64,
+        estimate: impl Fn(&Self, &BufferingPlan) -> (f64, f64),
     ) -> Option<YieldSizing> {
         assert!(
             target_yield > 0.0 && target_yield <= 1.0,
@@ -364,8 +376,8 @@ impl LineEvaluator<'_> {
         // Phase 1: upsize through the library.
         for &d in &drives[start_idx..] {
             current.wn = unit * f64::from(d);
-            let y = estimate(self, &current);
-            if y >= target_yield {
+            let (y, lower) = estimate(self, &current);
+            if lower >= target_yield {
                 return Some(YieldSizing {
                     plan: current,
                     achieved_yield: y,
@@ -378,8 +390,8 @@ impl LineEvaluator<'_> {
         let max_count = (plan.count + 1).max((spec.length.as_mm() * 4.0).ceil() as usize);
         for count in (current.count + 1)..=max_count {
             current.count = count;
-            let y = estimate(self, &current);
-            if y >= target_yield {
+            let (y, lower) = estimate(self, &current);
+            if lower >= target_yield {
                 return Some(YieldSizing {
                     plan: current,
                     achieved_yield: y,
@@ -672,6 +684,66 @@ mod tests {
             mc.steps,
             fast.steps
         );
+    }
+
+    #[test]
+    fn sizing_requires_the_lower_confidence_bound_to_clear_the_target() {
+        // Walk the same drive ladder the sizing loop uses, find a rung
+        // whose estimate has `lower < point`, and place the target inside
+        // that gap: the point estimate passes but the lower bound fails,
+        // so `size_for_yield_with` must upsize at least one step further
+        // than point-estimate stopping would.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        let start = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 12,
+            wn: t.layout().unit_nmos_width * 8.0,
+            staggered: false,
+        };
+        let v = VariationModel::nominal();
+        let deadline = Time::ps(560.0);
+        // A deliberately loose interval (few evals, no early-stop target)
+        // so the point/lower gap is wide enough to aim a target into.
+        let cfg = pi_yield::EstimatorConfig::new(pi_yield::Method::Naive)
+            .with_seed(11)
+            .with_max_evals(256)
+            .with_target_half_width(0.0);
+        let unit = t.layout().unit_nmos_width;
+        let drives = pi_tech::library::STANDARD_DRIVES;
+        let start_idx = drives
+            .iter()
+            .position(|&d| unit * f64::from(d) >= start.wn * 0.999)
+            .expect("start drive in library");
+        // First rung where the yield is well inside (0, 1): its interval
+        // is the widest, so the midpoint target splits point from lower.
+        let (point_steps, target) = drives[start_idx..]
+            .iter()
+            .enumerate()
+            .find_map(|(i, &d)| {
+                let candidate = BufferingPlan {
+                    wn: unit * f64::from(d),
+                    ..start
+                };
+                let est = ev.timing_yield_estimate(&spec, &candidate, &v, deadline, &cfg);
+                let lower = est.yield_fraction - est.half_width;
+                (est.yield_fraction > 0.5 && lower > 0.0 && est.half_width > 1e-3)
+                    .then(|| (i, (est.yield_fraction + lower) / 2.0))
+            })
+            .expect("a rung with a usable confidence gap");
+        let sized = ev
+            .size_for_yield_with(&spec, &start, &v, deadline, target, &cfg)
+            .expect("target reachable");
+        assert!(
+            sized.steps > point_steps,
+            "stopped at step {} although the lower bound failed at step {point_steps}",
+            sized.steps
+        );
+        // And the accepted rung really does clear the target by its lower
+        // bound, not just its point estimate.
+        let est = ev.timing_yield_estimate(&spec, &sized.plan, &v, deadline, &cfg);
+        assert!(est.yield_fraction - est.half_width >= target);
     }
 
     #[test]

@@ -51,4 +51,7 @@ pub use extraction::{extract, place_uniform, ExtractedLine, ExtractedSegment, Pl
 pub use flow::{accuracy_row, relative_error, AccuracyRow};
 pub use moments::RcChain;
 pub use noise::{victim_glitch, GlitchResult};
-pub use signoff::{line_delay, simulate_full_line, AggressorMode, GoldenLine, GoldenStage};
+pub use signoff::{
+    line_delay, line_delay_reference, simulate_full_line, simulate_full_line_reference,
+    AggressorMode, GoldenLine, GoldenStage,
+};

@@ -124,6 +124,66 @@ pub fn simulate_stage_with(
     output_transition: Transition,
     aggressor: AggressorMode,
 ) -> Result<GoldenStage, SimError> {
+    simulate_stage_inner(
+        ws,
+        tech,
+        kind,
+        wn,
+        input_slew,
+        segment,
+        receiver_cap,
+        output_transition,
+        aggressor,
+        false,
+    )
+}
+
+/// [`simulate_stage_with`] pinned to the dense fixed-step reference engine
+/// (full Newton, no sparsity, no adaptive stepping). The solver-equivalence
+/// tests compare the production fast path against this mode.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_stage_reference(
+    ws: &mut SimWorkspace,
+    tech: &Technology,
+    kind: RepeaterKind,
+    wn: pi_tech::units::Length,
+    input_slew: Time,
+    segment: &ExtractedSegment,
+    receiver_cap: Cap,
+    output_transition: Transition,
+    aggressor: AggressorMode,
+) -> Result<GoldenStage, SimError> {
+    simulate_stage_inner(
+        ws,
+        tech,
+        kind,
+        wn,
+        input_slew,
+        segment,
+        receiver_cap,
+        output_transition,
+        aggressor,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_stage_inner(
+    ws: &mut SimWorkspace,
+    tech: &Technology,
+    kind: RepeaterKind,
+    wn: pi_tech::units::Length,
+    input_slew: Time,
+    segment: &ExtractedSegment,
+    receiver_cap: Cap,
+    output_transition: Transition,
+    aggressor: AggressorMode,
+    reference: bool,
+) -> Result<GoldenStage, SimError> {
     let devices = tech.devices();
     let vdd = devices.vdd;
     let mut c = Circuit::new();
@@ -202,7 +262,15 @@ pub fn simulate_stage_with(
     let dt_fine = Time::ps((ramp.as_ps() / 60.0).min(tau.as_ps() / 15.0).max(0.02));
     let dt = dt_fine.max(t_stop / 5000.0);
 
+    // The extracted ladder is nearly banded, so the default `Auto` solver
+    // takes the bordered-banded path; the fast mode adds second-order
+    // integration with LTE-controlled steps over the settling tail.
     let spec = TransientSpec::new(t_stop, dt, vec![input, far]);
+    let spec = if reference {
+        spec.reference()
+    } else {
+        spec.trapezoidal().adaptive()
+    };
     let result = transient_with(ws, &c, &spec)?;
     let tr_in = result.trace(input);
     let tr_far = result.trace(far);
@@ -231,6 +299,33 @@ pub fn line_delay(
     spec: &LineSpec,
     plan: &BufferingPlan,
 ) -> Result<GoldenLine, SimError> {
+    line_delay_inner(tech, spec, plan, false)
+}
+
+/// [`line_delay`] pinned to the dense fixed-step reference engine, for the
+/// solver-equivalence tests and the engine shoot-out benchmark.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the plan has no repeaters.
+pub fn line_delay_reference(
+    tech: &Technology,
+    spec: &LineSpec,
+    plan: &BufferingPlan,
+) -> Result<GoldenLine, SimError> {
+    line_delay_inner(tech, spec, plan, true)
+}
+
+fn line_delay_inner(
+    tech: &Technology,
+    spec: &LineSpec,
+    plan: &BufferingPlan,
+    reference: bool,
+) -> Result<GoldenLine, SimError> {
     assert!(
         plan.count > 0,
         "a buffered line needs at least one repeater"
@@ -255,7 +350,7 @@ pub fn line_delay(
     let mut ws = SimWorkspace::new();
     for stage_idx in 0..plan.count {
         let out_transition = transition.through(plan.kind);
-        let stage = simulate_stage_with(
+        let stage = simulate_stage_inner(
             &mut ws,
             tech,
             plan.kind,
@@ -265,6 +360,7 @@ pub fn line_delay(
             receiver_cap,
             out_transition,
             aggressor,
+            reference,
         )?;
         total += stage.delay;
         history.push(stage);
@@ -333,6 +429,32 @@ pub fn simulate_full_line(
     tech: &Technology,
     spec: &LineSpec,
     plan: &BufferingPlan,
+) -> Result<Time, SimError> {
+    simulate_full_line_inner(tech, spec, plan, false)
+}
+
+/// [`simulate_full_line`] pinned to the dense fixed-step reference engine.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the plan has no repeaters.
+pub fn simulate_full_line_reference(
+    tech: &Technology,
+    spec: &LineSpec,
+    plan: &BufferingPlan,
+) -> Result<Time, SimError> {
+    simulate_full_line_inner(tech, spec, plan, true)
+}
+
+fn simulate_full_line_inner(
+    tech: &Technology,
+    spec: &LineSpec,
+    plan: &BufferingPlan,
+    reference: bool,
 ) -> Result<Time, SimError> {
     assert!(
         plan.count > 0,
@@ -427,7 +549,15 @@ pub fn simulate_full_line(
     let tau = Time::s((r_drive + seg.r.as_ohm()) * c_stage.si());
     let t_stop = t_start + ramp + tau * 25.0 * plan.count as f64 + Time::ps(100.0);
     let dt = Time::ps((ramp.as_ps() / 40.0).min(tau.as_ps() / 10.0).max(0.05)).max(t_stop / 8000.0);
+    // The coupled two-line netlist is the biggest matrix in the repo
+    // (~100+ unknowns); the bordered-banded path and adaptive stepping
+    // matter most here.
     let spec_t = TransientSpec::new(t_stop, dt, nodes_of_interest.clone());
+    let spec_t = if reference {
+        spec_t.reference()
+    } else {
+        spec_t.trapezoidal().adaptive()
+    };
     let result = transient(&c, &spec_t)?;
     delay_50(
         result.trace(input),

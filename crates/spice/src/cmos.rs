@@ -328,7 +328,11 @@ pub fn characterize_repeater_with(
     // Bound the step count for very long windows.
     let dt = dt_fine.max(t_stop / 6000.0);
 
-    let spec = TransientSpec::new(t_stop, dt, vec![input, output]);
+    // Hot path: second-order integration with LTE-controlled steps rides
+    // the fast edge at `dt` resolution and coasts over the settling tail.
+    let spec = TransientSpec::new(t_stop, dt, vec![input, output])
+        .trapezoidal()
+        .adaptive();
     let result = transient_with(ws, &c, &spec)?;
     let tr_in = result.trace(input);
     let tr_out = result.trace(output);

@@ -41,6 +41,7 @@ pub mod circuit;
 pub mod cmos;
 pub mod netlist;
 pub mod solver;
+pub mod sparse;
 pub mod transient;
 pub mod waveform;
 
@@ -48,8 +49,10 @@ pub use circuit::{Circuit, Element, Mosfet, Node, GROUND};
 pub use cmos::{measure_switching_energy, StageMeasurement};
 pub use netlist::to_spice_deck;
 pub use solver::DenseSolver;
+pub use sparse::BorderedSolver;
 pub use transient::{
-    dc_operating_point, dc_sweep, transient, transient_with, Integrator, SimError, SimWorkspace,
-    TransientResult, TransientSpec,
+    dc_operating_point, dc_sweep, transient, transient_with, AdaptiveControl, Integrator,
+    NewtonPolicy, SimError, SimWorkspace, SolverKind, StepControl, TransientResult, TransientSpec,
+    ENGINE_VERSION,
 };
 pub use waveform::{delay_50, CurrentPwl, CurrentTrace, Pwl, Trace};

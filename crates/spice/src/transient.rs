@@ -1,10 +1,29 @@
 //! Transient (time-domain) analysis.
 //!
-//! Fixed-step backward-Euler integration with Newton–Raphson iteration for
-//! the nonlinear devices, over a dense-LU MNA formulation. This is the
-//! "SPICE" the characterization and sign-off flows are built on: small
-//! circuits, unconditionally stable integration, and robust (damped) Newton
-//! convergence matter more than large-circuit scalability here.
+//! Damped Newton–Raphson over an MNA formulation with three independently
+//! selectable engine axes (see [`TransientSpec`]):
+//!
+//! - **Solver** ([`SolverKind`]): dense LU, or automatic structure
+//!   detection that routes near-banded extracted netlists through the
+//!   bordered banded solver of [`crate::sparse`] (O(n·b²) refactors
+//!   instead of O(n³)).
+//! - **Newton policy** ([`NewtonPolicy`]): classic full Newton
+//!   (re-linearize + refactor every iteration), or modified Newton that
+//!   reuses the factored Jacobian across iterations *and* timesteps until
+//!   the linearization point drifts, with automatic refactor on stalls.
+//!   Both solve the same residual equations, so converged results agree
+//!   to the Newton tolerance.
+//! - **Step control** ([`StepControl`]): fixed-step integration on the
+//!   spec's `dt` grid, or adaptive stepping that bounds the local
+//!   truncation error with a predictor–corrector estimate, never steps
+//!   over a source-waveform breakpoint, and grows the step over flat
+//!   tails. Recorded traces are sampled at the accepted (nonuniform)
+//!   times; every `waveform.rs` measurement interpolates linearly, so the
+//!   LTE bound translates directly into a measurement error bound.
+//!
+//! The default spec is `Auto` + `Modified` + `Fixed`;
+//! [`TransientSpec::reference`] pins the dense fixed-step full-Newton
+//! path that the equivalence tests compare against.
 
 use std::collections::HashMap;
 
@@ -12,6 +31,7 @@ use pi_tech::units::{Time, Volt};
 
 use crate::circuit::{Circuit, Element, Mosfet, Node};
 use crate::solver::DenseSolver;
+use crate::sparse::BorderedSolver;
 use crate::waveform::{CurrentTrace, Trace};
 
 /// Minimum conductance tied from every node to ground, keeping the MNA
@@ -30,6 +50,19 @@ const NEWTON_MAX_STEP: f64 = 0.1;
 
 /// Finite-difference step for device linearization (volts).
 const FD_STEP: f64 = 1e-5;
+
+/// Modified Newton: keep the factored Jacobian while the iterate stays
+/// within this many volts of its linearization point.
+const JAC_REUSE_VTOL: f64 = 0.02;
+
+/// Modified Newton: force a refactorization after this many iterations
+/// without convergence (stalled linear contraction).
+const STALL_REFACTOR_EVERY: usize = 8;
+
+/// Version tag of the numeric engine. Bump on any change that alters
+/// simulation results; cache keys (see `pi-core`) embed it so stale
+/// characterization entries are invalidated automatically.
+pub const ENGINE_VERSION: u32 = 3;
 
 /// Errors produced by the analyses.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,21 +111,84 @@ pub enum Integrator {
     Trapezoidal,
 }
 
+/// Linear-solver selection for the MNA system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Analyze the circuit structure once and use the bordered banded
+    /// solver when profitable, falling back to dense LU otherwise.
+    #[default]
+    Auto,
+    /// Always use the dense LU solver.
+    Dense,
+}
+
+/// Newton linearization policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NewtonPolicy {
+    /// Reuse the factored Jacobian across iterations and timesteps while
+    /// the iterate stays near the linearization point; refactor on drift
+    /// or stall. Converges to the same solution as full Newton (the
+    /// residual is always evaluated exactly).
+    #[default]
+    Modified,
+    /// Re-linearize and refactor at every iteration (classic SPICE).
+    Full,
+}
+
+/// Tuning knobs for the adaptive timestep controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveControl {
+    /// Local-truncation-error bound: the maximum node-voltage deviation
+    /// from the linear predictor accepted without halving the step.
+    pub ltol: Volt,
+    /// Maximum step growth as a multiple of the spec's base `dt`.
+    pub max_growth: f64,
+}
+
+impl Default for AdaptiveControl {
+    fn default() -> Self {
+        AdaptiveControl {
+            ltol: Volt::v(2e-4),
+            max_growth: 64.0,
+        }
+    }
+}
+
+/// Timestep control for the transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StepControl {
+    /// March on the fixed `dt` grid of the spec.
+    #[default]
+    Fixed,
+    /// LTE-controlled stepping: start at the spec's `dt` (which acts as
+    /// the minimum step and reference accuracy), halve on predictor
+    /// error, grow up to `max_growth ×` over smooth stretches, and land
+    /// exactly on every source-waveform breakpoint.
+    Adaptive(AdaptiveControl),
+}
+
 /// Specification of a transient run.
 #[derive(Debug, Clone)]
 pub struct TransientSpec {
     /// Stop time.
     pub t_stop: Time,
-    /// Fixed timestep.
+    /// Base (and, for adaptive stepping, minimum) timestep.
     pub dt: Time,
     /// Nodes whose voltage traces should be recorded.
     pub record: Vec<Node>,
     /// Integration method.
     pub integrator: Integrator,
+    /// Linear-solver selection.
+    pub solver: SolverKind,
+    /// Newton linearization policy.
+    pub newton: NewtonPolicy,
+    /// Timestep control.
+    pub step: StepControl,
 }
 
 impl TransientSpec {
-    /// Creates a spec recording the given nodes (backward Euler).
+    /// Creates a spec recording the given nodes (backward Euler, auto
+    /// solver, modified Newton, fixed step).
     ///
     /// # Panics
     ///
@@ -106,6 +202,9 @@ impl TransientSpec {
             dt,
             record,
             integrator: Integrator::default(),
+            solver: SolverKind::default(),
+            newton: NewtonPolicy::default(),
+            step: StepControl::default(),
         }
     }
 
@@ -113,6 +212,30 @@ impl TransientSpec {
     #[must_use]
     pub fn trapezoidal(mut self) -> Self {
         self.integrator = Integrator::Trapezoidal;
+        self
+    }
+
+    /// Enables adaptive timestepping with default control settings.
+    #[must_use]
+    pub fn adaptive(self) -> Self {
+        self.adaptive_with(AdaptiveControl::default())
+    }
+
+    /// Enables adaptive timestepping with explicit control settings.
+    #[must_use]
+    pub fn adaptive_with(mut self, ctrl: AdaptiveControl) -> Self {
+        self.step = StepControl::Adaptive(ctrl);
+        self
+    }
+
+    /// Pins the dense fixed-step full-Newton reference engine: the
+    /// configuration the structure-exploiting paths are validated
+    /// against.
+    #[must_use]
+    pub fn reference(mut self) -> Self {
+        self.solver = SolverKind::Dense;
+        self.newton = NewtonPolicy::Full;
+        self.step = StepControl::Fixed;
         self
     }
 }
@@ -124,6 +247,7 @@ pub struct TransientResult {
     traces: HashMap<usize, Trace>,
     source_currents: Vec<CurrentTrace>,
     steps: usize,
+    factorizations: usize,
 }
 
 impl TransientResult {
@@ -151,115 +275,335 @@ impl TransientResult {
         &self.source_currents[index]
     }
 
-    /// Number of timesteps taken.
+    /// Number of accepted timesteps.
     #[must_use]
     pub fn steps(&self) -> usize {
         self.steps
     }
+
+    /// Number of Jacobian factorizations performed (diagnostic; the
+    /// modified-Newton and adaptive paths exist to keep this small).
+    #[must_use]
+    pub fn factorizations(&self) -> usize {
+        self.factorizations
+    }
+}
+
+/// Linear-system backend: dense LU or the bordered banded solver.
+enum Backend {
+    Dense { a: Vec<f64>, solver: DenseSolver },
+    Bordered(Box<BorderedSolver>),
+}
+
+impl Backend {
+    fn solve(&mut self, b: &mut [f64]) {
+        match self {
+            Backend::Dense { solver, .. } => solver.solve(b),
+            Backend::Bordered(s) => s.solve(b),
+        }
+    }
 }
 
 /// MNA assembly workspace shared between DC and transient analyses.
+///
+/// Stamps are kept as explicit `(row, col, value)` lists so that the
+/// Newton residual can be evaluated with an O(nnz) mat-vec regardless of
+/// the backend, and so that refactorizations assemble straight into
+/// whichever solver is active.
 struct Mna<'c> {
     circuit: &'c Circuit,
     /// Number of unknowns: (nodes − 1) voltages + one current per source.
     dim: usize,
-    node_offset: usize, // always 0; voltages come first
+    n_volt: usize,
     source_rows: Vec<usize>,
-    /// Static stamps: resistors, gmin, source incidence. Caps are added
-    /// separately because their conductance depends on the timestep.
-    base_matrix: Vec<f64>,
-    solver: DenseSolver,
-    /// No MOSFETs: the system matrix handed to [`Mna::newton_solve`] never
-    /// changes across iterations or timesteps, so one LU factorization
-    /// serves the entire analysis.
+    /// Static stamps: resistors, gmin, source incidence.
+    static_stamps: Vec<(u32, u32, f64)>,
+    /// Capacitors (terminals, farads); companion conductance is
+    /// `geq · C` where `geq` is set per timestep.
+    caps: Vec<(Node, Node, f64)>,
+    mosfets: Vec<Mosfet>,
+    /// Companion conductance per farad (`1/h` for BE, `2/h` for trap);
+    /// zero means capacitors are open (DC).
+    geq: f64,
+    backend: Backend,
+    newton: NewtonPolicy,
     linear: bool,
     factored: bool,
-    /// Newton scratch, hoisted here so the per-timestep inner loop does not
-    /// allocate.
-    scratch_a: Vec<f64>,
-    scratch_b: Vec<f64>,
+    factorizations: usize,
+    /// Linearization point of the current factorization.
+    x_lin: Vec<f64>,
+    /// Per-MOSFET drain current at the latest residual evaluation.
+    dev_i0: Vec<f64>,
+    /// Device Jacobian stamps at the linearization point.
+    dev_stamps: Vec<(u32, u32, f64)>,
+    /// Residual / Newton-update scratch.
+    scratch_r: Vec<f64>,
+}
+
+/// Expands a two-terminal conductance into stamp tuples.
+fn push_conductance(stamps: &mut Vec<(u32, u32, f64)>, p: Node, q: Node, g: f64) {
+    if let Some(i) = unknown_index(p) {
+        stamps.push((i as u32, i as u32, g));
+        if let Some(j) = unknown_index(q) {
+            stamps.push((i as u32, j as u32, -g));
+            stamps.push((j as u32, i as u32, -g));
+            stamps.push((j as u32, j as u32, g));
+        }
+    } else if let Some(j) = unknown_index(q) {
+        stamps.push((j as u32, j as u32, g));
+    }
 }
 
 impl<'c> Mna<'c> {
-    fn new(circuit: &'c Circuit) -> Self {
+    fn new(circuit: &'c Circuit, solver: SolverKind, newton: NewtonPolicy) -> Self {
         let nv = circuit.node_count() - 1;
         let ns = circuit.source_count();
         let dim = nv + ns;
-        let mut base = vec![0.0; dim * dim];
+        let mut static_stamps: Vec<(u32, u32, f64)> = Vec::new();
         // gmin on every node voltage row.
         for i in 0..nv {
-            base[i * dim + i] += GMIN;
+            static_stamps.push((i as u32, i as u32, GMIN));
         }
         let mut source_rows = Vec::with_capacity(ns);
         let mut next_source_row = nv;
-        let mut linear = true;
+        let mut caps = Vec::new();
+        let mut mosfets = Vec::new();
         for e in circuit.elements() {
             match e {
                 Element::Resistor { a, b, value } => {
-                    let g = 1.0 / value.as_ohm();
-                    stamp_conductance(&mut base, dim, *a, *b, g);
+                    push_conductance(&mut static_stamps, *a, *b, 1.0 / value.as_ohm());
                 }
                 Element::VSource { p, n, .. } => {
-                    let row = next_source_row;
+                    let row = next_source_row as u32;
                     next_source_row += 1;
-                    source_rows.push(row);
+                    source_rows.push(row as usize);
                     if let Some(i) = unknown_index(*p) {
-                        base[i * dim + row] += 1.0;
-                        base[row * dim + i] += 1.0;
+                        static_stamps.push((i as u32, row, 1.0));
+                        static_stamps.push((row, i as u32, 1.0));
                     }
                     if let Some(i) = unknown_index(*n) {
-                        base[i * dim + row] -= 1.0;
-                        base[row * dim + i] -= 1.0;
+                        static_stamps.push((i as u32, row, -1.0));
+                        static_stamps.push((row, i as u32, -1.0));
                     }
                 }
-                Element::Mosfet(_) => linear = false,
+                Element::Capacitor { a, b, value } if value.si() > 0.0 => {
+                    caps.push((*a, *b, value.si()));
+                }
+                Element::Mosfet(m) => mosfets.push(m.clone()),
                 Element::Capacitor { .. } | Element::ISource { .. } => {}
             }
         }
+        // Structural off-diagonal pattern for the symbolic analysis: the
+        // static stamps plus capacitor companions plus device stamps.
+        let backend = match solver {
+            SolverKind::Auto => {
+                let mut edges: Vec<(usize, usize)> = static_stamps
+                    .iter()
+                    .filter(|(i, j, _)| i != j)
+                    .map(|&(i, j, _)| (i as usize, j as usize))
+                    .collect();
+                for (a, b, _) in &caps {
+                    if let (Some(i), Some(j)) = (unknown_index(*a), unknown_index(*b)) {
+                        edges.push((i, j));
+                    }
+                }
+                for m in &mosfets {
+                    let terms = [m.gate, m.drain, m.source];
+                    for row in [m.drain, m.source] {
+                        if let Some(i) = unknown_index(row) {
+                            for t in terms {
+                                if let Some(j) = unknown_index(t) {
+                                    edges.push((i, j));
+                                }
+                            }
+                        }
+                    }
+                }
+                match BorderedSolver::analyze(dim, &edges, &source_rows) {
+                    Some(s) => Backend::Bordered(Box::new(s)),
+                    None => Backend::Dense {
+                        a: vec![0.0; dim * dim],
+                        solver: DenseSolver::new(dim),
+                    },
+                }
+            }
+            SolverKind::Dense => Backend::Dense {
+                a: vec![0.0; dim * dim],
+                solver: DenseSolver::new(dim),
+            },
+        };
+        let linear = mosfets.is_empty();
+        let n_mos = mosfets.len();
         Mna {
             circuit,
             dim,
-            node_offset: 0,
+            n_volt: nv,
             source_rows,
-            base_matrix: base,
-            solver: DenseSolver::new(dim),
+            static_stamps,
+            caps,
+            mosfets,
+            geq: 0.0,
+            backend,
+            newton,
             linear,
             factored: false,
-            scratch_a: vec![0.0; dim * dim],
-            scratch_b: vec![0.0; dim],
+            factorizations: 0,
+            x_lin: vec![0.0; dim],
+            dev_i0: vec![0.0; n_mos],
+            dev_stamps: Vec::with_capacity(9 * n_mos),
+            scratch_r: vec![0.0; dim],
         }
     }
 
-    /// One damped Newton solve of the (possibly companion-augmented) system.
-    ///
-    /// `matrix_with_caps`: capacitor conductances already merged into a
-    /// matrix copy source; `fill_rhs` fills source values and capacitor
-    /// history currents. Every call on one `Mna` instance must pass the
-    /// same matrix — that invariant is what lets the linear fast path keep
-    /// a single LU factorization for the whole analysis.
+    /// Sets the capacitor companion conductance per farad (0 = DC),
+    /// invalidating the factorization when it changes.
+    fn set_geq(&mut self, geq: f64) {
+        if geq != self.geq {
+            self.geq = geq;
+            self.factored = false;
+        }
+    }
+
+    /// Evaluates the Newton residual `r = b − A·x − i_dev(x)` into
+    /// `scratch_r`, caching the device currents for a possible
+    /// refactorization at the same iterate.
+    fn build_residual(&mut self, fill_rhs: &dyn Fn(&mut [f64]), x: &[f64], at: Option<Time>) {
+        let r = &mut self.scratch_r;
+        r.iter_mut().for_each(|v| *v = 0.0);
+        fill_rhs(r);
+        // Independent current sources inject directly into the RHS.
+        let t_now = at.unwrap_or(Time::ZERO);
+        for e in self.circuit.elements() {
+            if let Element::ISource { from, to, waveform } = e {
+                let i = waveform.at(t_now).si();
+                if let Some(k) = unknown_index(*to) {
+                    r[k] += i;
+                }
+                if let Some(k) = unknown_index(*from) {
+                    r[k] -= i;
+                }
+            }
+        }
+        // Subtract the linear part A·x (static + capacitor companions).
+        for &(i, j, v) in &self.static_stamps {
+            r[i as usize] -= v * x[j as usize];
+        }
+        if self.geq > 0.0 {
+            for &(a, b, c) in &self.caps {
+                let i_c = self.geq * c * (voltage_of(x, a) - voltage_of(x, b));
+                if let Some(i) = unknown_index(a) {
+                    r[i] -= i_c;
+                }
+                if let Some(j) = unknown_index(b) {
+                    r[j] += i_c;
+                }
+            }
+        }
+        // Subtract the nonlinear device currents.
+        for (k, m) in self.mosfets.iter().enumerate() {
+            let i0 = mos_drain_current(
+                m,
+                voltage_of(x, m.gate),
+                voltage_of(x, m.drain),
+                voltage_of(x, m.source),
+            );
+            self.dev_i0[k] = i0;
+            if let Some(d) = unknown_index(m.drain) {
+                r[d] -= i0;
+            }
+            if let Some(s) = unknown_index(m.source) {
+                r[s] += i0;
+            }
+        }
+    }
+
+    /// Re-linearizes the devices at `x` (whose currents `dev_i0` were just
+    /// computed by [`Mna::build_residual`]) and refactors the system
+    /// matrix, falling back from the bordered to the dense backend if the
+    /// structured factorization hits a vanishing pivot.
+    fn refactor(&mut self, x: &[f64]) -> Result<(), SimError> {
+        self.dev_stamps.clear();
+        for (k, m) in self.mosfets.iter().enumerate() {
+            let vg = voltage_of(x, m.gate);
+            let vd = voltage_of(x, m.drain);
+            let vs = voltage_of(x, m.source);
+            let i0 = self.dev_i0[k];
+            let di_dvg = (mos_drain_current(m, vg + FD_STEP, vd, vs) - i0) / FD_STEP;
+            let di_dvd = (mos_drain_current(m, vg, vd + FD_STEP, vs) - i0) / FD_STEP;
+            let di_dvs = (mos_drain_current(m, vg, vd, vs + FD_STEP) - i0) / FD_STEP;
+            let cols = [(m.gate, di_dvg), (m.drain, di_dvd), (m.source, di_dvs)];
+            if let Some(d) = unknown_index(m.drain) {
+                for (node, g) in cols {
+                    if let Some(j) = unknown_index(node) {
+                        self.dev_stamps.push((d as u32, j as u32, g));
+                    }
+                }
+            }
+            if let Some(s) = unknown_index(m.source) {
+                for (node, g) in cols {
+                    if let Some(j) = unknown_index(node) {
+                        self.dev_stamps.push((s as u32, j as u32, -g));
+                    }
+                }
+            }
+        }
+        loop {
+            let Mna {
+                static_stamps,
+                caps,
+                geq,
+                dev_stamps,
+                backend,
+                dim,
+                ..
+            } = self;
+            let ok = match backend {
+                Backend::Dense { a, solver } => {
+                    a.iter_mut().for_each(|v| *v = 0.0);
+                    let dim = *dim;
+                    each_stamp(static_stamps, caps, *geq, dev_stamps, |i, j, v| {
+                        a[i * dim + j] += v;
+                    });
+                    solver.factor(a)
+                }
+                Backend::Bordered(s) => {
+                    s.zero();
+                    each_stamp(static_stamps, caps, *geq, dev_stamps, |i, j, v| {
+                        s.add(i, j, v);
+                    });
+                    s.factor()
+                }
+            };
+            match ok {
+                Ok(()) => break,
+                Err(_) if matches!(self.backend, Backend::Bordered(_)) => {
+                    // Structured pivoting ran out of room; retry dense.
+                    self.backend = Backend::Dense {
+                        a: vec![0.0; self.dim * self.dim],
+                        solver: DenseSolver::new(self.dim),
+                    };
+                }
+                Err(_) => return Err(SimError::Singular),
+            }
+        }
+        self.x_lin.copy_from_slice(x);
+        self.factored = true;
+        self.factorizations += 1;
+        Ok(())
+    }
+
+    /// One damped Newton solve of the (possibly companion-augmented)
+    /// system at the current `geq`, starting from (and converging into)
+    /// `x`.
     fn newton_solve(
         &mut self,
-        matrix_with_caps: &[f64],
         fill_rhs: &dyn Fn(&mut [f64]),
         x: &mut [f64],
         at: Option<Time>,
     ) -> Result<(), SimError> {
-        let dim = self.dim;
-        let linear = self.linear;
-        if linear && !self.factored {
-            self.solver
-                .factor(matrix_with_caps)
-                .map_err(|_| SimError::Singular)?;
-            self.factored = true;
-        }
-        let n_volt = self.node_offset + (self.circuit.node_count() - 1);
-        let Mna {
-            circuit,
-            solver,
-            scratch_a: a,
-            scratch_b: b,
-            ..
-        } = self;
+        let full = self.newton == NewtonPolicy::Full;
+        let mut want_refactor = !self.factored;
+        let mut since_factor = 0usize;
         for iter in 0..NEWTON_MAX_ITERS {
             // Tighten the damping if the iteration is struggling (limit
             // cycles around sharp device-curve corners).
@@ -268,80 +612,85 @@ impl<'c> Mna<'c> {
                 60..=119 => NEWTON_MAX_STEP / 4.0,
                 _ => NEWTON_MAX_STEP / 16.0,
             };
-            b.iter_mut().for_each(|v| *v = 0.0);
-            fill_rhs(b);
-            // Independent current sources inject directly into the RHS.
-            let t_now = at.unwrap_or(Time::ZERO);
-            for e in circuit.elements() {
-                if let Element::ISource { from, to, waveform } = e {
-                    let i = waveform.at(t_now).si();
-                    if let Some(k) = unknown_index(*to) {
-                        b[k] += i;
-                    }
-                    if let Some(k) = unknown_index(*from) {
-                        b[k] -= i;
-                    }
-                }
-            }
-            if !linear {
-                // Linearize and stamp every MOSFET at the current iterate,
-                // then refactor the perturbed matrix.
-                a.copy_from_slice(matrix_with_caps);
-                for e in circuit.elements() {
-                    if let Element::Mosfet(m) = e {
-                        stamp_mosfet(a, b, x, m, dim);
-                    }
-                }
-                solver.factor(a).map_err(|_| SimError::Singular)?;
-            }
-            solver.solve(b);
-            // Damped update toward the linearized solution.
-            let mut max_delta = 0.0f64;
-            for i in 0..dim {
-                let delta = b[i] - x[i];
-                let clamped = if i < n_volt {
-                    delta.clamp(-max_step, max_step)
+            self.build_residual(fill_rhs, x, at);
+            if !self.linear && !want_refactor {
+                if full {
+                    want_refactor = true;
                 } else {
-                    delta // branch currents are not damped
+                    // Drift test: refactor once the iterate has left the
+                    // neighborhood the Jacobian was built in.
+                    let drift = x[..self.n_volt]
+                        .iter()
+                        .zip(&self.x_lin)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f64, f64::max);
+                    if drift > JAC_REUSE_VTOL {
+                        want_refactor = true;
+                    }
+                }
+            }
+            if want_refactor {
+                self.refactor(x)?;
+                want_refactor = false;
+                since_factor = 0;
+            }
+            // delta = J⁻¹ r, solved in place over the residual.
+            let Mna {
+                backend, scratch_r, ..
+            } = self;
+            backend.solve(scratch_r);
+            let mut max_delta = 0.0f64;
+            for (i, (xi, &d)) in x.iter_mut().zip(scratch_r.iter()).enumerate() {
+                let clamped = if i < self.n_volt {
+                    d.clamp(-max_step, max_step)
+                } else {
+                    d // branch currents are not damped
                 };
-                x[i] += clamped;
-                max_delta = max_delta.max(delta.abs());
+                *xi += clamped;
+                max_delta = max_delta.max(d.abs());
             }
             if max_delta < NEWTON_TOL {
                 return Ok(());
+            }
+            since_factor += 1;
+            if !full && !self.linear && since_factor >= STALL_REFACTOR_EVERY {
+                want_refactor = true;
             }
         }
         Err(SimError::NoConvergence { at })
     }
 }
 
-fn stamp_mosfet(a: &mut [f64], b: &mut [f64], x: &[f64], m: &Mosfet, dim: usize) {
-    let vg = voltage_of(x, m.gate);
-    let vd = voltage_of(x, m.drain);
-    let vs = voltage_of(x, m.source);
-    let i0 = mos_drain_current(m, vg, vd, vs);
-    let di_dvg = (mos_drain_current(m, vg + FD_STEP, vd, vs) - i0) / FD_STEP;
-    let di_dvd = (mos_drain_current(m, vg, vd + FD_STEP, vs) - i0) / FD_STEP;
-    let di_dvs = (mos_drain_current(m, vg, vd, vs + FD_STEP) - i0) / FD_STEP;
-    // Current leaving the drain node, entering the source node:
-    // i(v) ≈ i0 + Σ ∂i/∂vk · (vk − vk0)
-    let const_part = i0 - di_dvg * vg - di_dvd * vd - di_dvs * vs;
-    let stamps = [(m.gate, di_dvg), (m.drain, di_dvd), (m.source, di_dvs)];
-    if let Some(d) = unknown_index(m.drain) {
-        for (node, g) in stamps {
-            if let Some(k) = unknown_index(node) {
-                a[d * dim + k] += g;
-            }
-        }
-        b[d] -= const_part;
+/// Visits every matrix stamp: static, capacitor companions at `geq`, and
+/// device linearization.
+fn each_stamp(
+    static_stamps: &[(u32, u32, f64)],
+    caps: &[(Node, Node, f64)],
+    geq: f64,
+    dev_stamps: &[(u32, u32, f64)],
+    mut f: impl FnMut(usize, usize, f64),
+) {
+    for &(i, j, v) in static_stamps {
+        f(i as usize, j as usize, v);
     }
-    if let Some(s) = unknown_index(m.source) {
-        for (node, g) in stamps {
-            if let Some(k) = unknown_index(node) {
-                a[s * dim + k] -= g;
+    if geq > 0.0 {
+        for &(a, b, c) in caps {
+            let g = geq * c;
+            match (unknown_index(a), unknown_index(b)) {
+                (Some(i), Some(j)) => {
+                    f(i, i, g);
+                    f(i, j, -g);
+                    f(j, i, -g);
+                    f(j, j, g);
+                }
+                (Some(i), None) => f(i, i, g),
+                (None, Some(j)) => f(j, j, g),
+                (None, None) => {}
             }
         }
-        b[s] += const_part;
+    }
+    for &(i, j, v) in dev_stamps {
+        f(i as usize, j as usize, v);
     }
 }
 
@@ -359,19 +708,6 @@ fn unknown_index(node: Node) -> Option<usize> {
         None
     } else {
         Some(node.index() - 1)
-    }
-}
-
-fn stamp_conductance(a: &mut [f64], dim: usize, p: Node, q: Node, g: f64) {
-    if let Some(i) = unknown_index(p) {
-        a[i * dim + i] += g;
-        if let Some(j) = unknown_index(q) {
-            a[i * dim + j] -= g;
-            a[j * dim + i] -= g;
-            a[j * dim + j] += g;
-        }
-    } else if let Some(j) = unknown_index(q) {
-        a[j * dim + j] += g;
     }
 }
 
@@ -400,22 +736,13 @@ fn mos_drain_current(m: &Mosfet, vg: f64, vd: f64, vs: f64) -> f64 {
     }
 }
 
-/// Computes the DC operating point with all sources at their `t = 0` values
-/// and capacitors open.
-///
-/// Returns the node voltages indexed by node id (entry 0 = ground = 0 V).
-///
-/// # Errors
-///
-/// Returns an error if the system is singular or Newton fails to converge.
-pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<Volt>, SimError> {
-    let mut mna = Mna::new(circuit);
-    let dim = mna.dim;
-    let matrix = mna.base_matrix.clone();
-    let mut x = vec![0.0; dim];
-    // Seed rail-connected behaviour: start sources at their DC value.
+/// Solves the DC operating point on an existing assembly (capacitors
+/// open), returning the raw unknown vector.
+fn dc_solve(mna: &mut Mna<'_>, x: &mut [f64]) -> Result<(), SimError> {
+    mna.set_geq(0.0);
     let source_rows = mna.source_rows.clone();
-    let source_values: Vec<f64> = circuit
+    let source_values: Vec<f64> = mna
+        .circuit
         .elements()
         .iter()
         .filter_map(|e| match e {
@@ -428,7 +755,21 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<Volt>, SimError> {
             b[*row] = *v;
         }
     };
-    mna.newton_solve(&matrix, &fill, &mut x, None)?;
+    mna.newton_solve(&fill, x, None)
+}
+
+/// Computes the DC operating point with all sources at their `t = 0` values
+/// and capacitors open.
+///
+/// Returns the node voltages indexed by node id (entry 0 = ground = 0 V).
+///
+/// # Errors
+///
+/// Returns an error if the system is singular or Newton fails to converge.
+pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<Volt>, SimError> {
+    let mut mna = Mna::new(circuit, SolverKind::Auto, NewtonPolicy::Full);
+    let mut x = vec![0.0; mna.dim];
+    dc_solve(&mut mna, &mut x)?;
     let mut out = vec![Volt::ZERO; circuit.node_count()];
     for (idx, v) in out.iter_mut().enumerate().skip(1) {
         *v = Volt::v(x[idx - 1]);
@@ -466,9 +807,8 @@ pub fn dc_sweep(
             "source index {source_index} out of range ({n_sources} sources)"
         )));
     }
-    let mut mna = Mna::new(circuit);
+    let mut mna = Mna::new(circuit, SolverKind::Auto, NewtonPolicy::Full);
     let dim = mna.dim;
-    let matrix = mna.base_matrix.clone();
     let source_rows = mna.source_rows.clone();
     let base_values: Vec<f64> = circuit
         .elements()
@@ -490,7 +830,7 @@ pub fn dc_sweep(
                 b[*row] = if i == source_index { swept.as_v() } else { *v };
             }
         };
-        mna.newton_solve(&matrix, &fill, &mut x, None)?;
+        mna.newton_solve(&fill, &mut x, None)?;
         let mut volts = vec![Volt::ZERO; circuit.node_count()];
         for (idx, v) in volts.iter_mut().enumerate().skip(1) {
             *v = Volt::v(x[idx - 1]);
@@ -550,6 +890,16 @@ pub fn transient(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientRes
     transient_with(&mut SimWorkspace::new(), circuit, spec)
 }
 
+/// Per-run integration state shared by the fixed and adaptive drivers.
+struct StepState {
+    /// Node voltages at the last accepted time (by node id, incl. ground).
+    v_prev: Vec<f64>,
+    /// Capacitor branch currents (trapezoidal history).
+    i_cap_prev: Vec<f64>,
+    /// Unknown vector (Newton iterate / seed).
+    x: Vec<f64>,
+}
+
 /// Runs a transient analysis, drawing trace buffers from (and suitable for
 /// returning them to) `ws`. See [`transient`] for semantics and errors.
 ///
@@ -557,6 +907,7 @@ pub fn transient(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientRes
 ///
 /// Returns an error if the spec is invalid, the system is singular, or
 /// Newton fails to converge at any timestep.
+#[allow(clippy::too_many_lines)]
 pub fn transient_with(
     ws: &mut SimWorkspace,
     circuit: &Circuit,
@@ -570,30 +921,24 @@ pub fn transient_with(
             )));
         }
     }
-    let dc = dc_operating_point(circuit)?;
-    let mut mna = Mna::new(circuit);
+    let mut mna = Mna::new(circuit, spec.solver, NewtonPolicy::Full);
     let dim = mna.dim;
-    let dt = spec.dt.si();
+    let mut x = vec![0.0; dim];
+    // DC operating point seeds the run (full Newton for robustness from
+    // the zero seed); the transient loop then uses the spec's policy.
+    dc_solve(&mut mna, &mut x)?;
+    mna.newton = spec.newton;
+    let dc_voltages: Vec<f64> = std::iter::once(0.0)
+        .chain(x[..circuit.node_count() - 1].iter().copied())
+        .collect();
 
-    // Timestep-dependent matrix: base + capacitor companion conductances.
+    let dt = spec.dt.si();
     // Companion conductance: C/h for backward Euler, 2C/h for trapezoidal.
     let geq_factor = match spec.integrator {
         Integrator::BackwardEuler => 1.0,
         Integrator::Trapezoidal => 2.0,
     };
-    let mut matrix = mna.base_matrix.clone();
-    let caps: Vec<(Node, Node, f64)> = circuit
-        .elements()
-        .iter()
-        .filter_map(|e| match e {
-            Element::Capacitor { a, b, value } if value.si() > 0.0 => Some((*a, *b, value.si())),
-            _ => None,
-        })
-        .collect();
-    for (a, b, c) in &caps {
-        stamp_conductance(&mut matrix, dim, *a, *b, geq_factor * c / dt);
-    }
-
+    let n_caps = mna.caps.len();
     let source_rows = mna.source_rows.clone();
     let waveforms: Vec<_> = circuit
         .elements()
@@ -604,15 +949,15 @@ pub fn transient_with(
         })
         .collect();
 
-    // State vector: previous node voltages by node id (incl. ground), and
-    // for the trapezoidal rule the previous capacitor branch currents
-    // (zero at the DC operating point).
-    let mut v_prev: Vec<f64> = dc.iter().map(|v| v.as_v()).collect();
-    let mut i_cap_prev: Vec<f64> = vec![0.0; caps.len()];
-    let mut x = vec![0.0; dim];
-    for (idx, v) in v_prev.iter().enumerate().skip(1) {
-        x[idx - 1] = *v;
-    }
+    // Cloned once so the per-step `fill` closure can borrow the capacitor
+    // list while the `Mna` itself is mutably borrowed by the solve.
+    let caps_list = mna.caps.clone();
+
+    let mut state = StepState {
+        v_prev: dc_voltages,
+        i_cap_prev: vec![0.0; n_caps],
+        x,
+    };
 
     let mut traces: HashMap<usize, Trace> = spec
         .record
@@ -624,7 +969,7 @@ pub fn transient_with(
             tr.push(Time::s(t), Volt::v(v[*idx]));
         }
     };
-    record(&mut traces, 0.0, &v_prev);
+    record(&mut traces, 0.0, &state.v_prev);
     // Branch currents: the MNA unknown at a source row is the current
     // flowing from the + terminal *into* the source, so the delivered
     // current is its negation.
@@ -636,30 +981,38 @@ pub fn transient_with(
         }
     };
 
-    let steps = (spec.t_stop.si() / dt).ceil() as usize;
-    for step in 1..=steps {
-        let t = step as f64 * dt;
-        // Borrow (not clone) the previous-step state: the closure is dropped
-        // before the state vectors are updated below, so no per-step
-        // allocation is needed.
-        let v_hist = &v_prev;
-        let i_hist = &i_cap_prev;
-        let caps_ref = &caps;
+    // One implicit-integration step to `t_new` with step `h`, solved into
+    // `state.x`; commits the capacitor history and previous-voltage state.
+    let advance = |mna: &mut Mna<'_>,
+                   state: &mut StepState,
+                   t_new: f64,
+                   h: f64,
+                   commit: bool|
+     -> Result<(), SimError> {
+        mna.set_geq(geq_factor / h);
+        let StepState {
+            v_prev,
+            i_cap_prev,
+            x,
+        } = state;
+        let v_hist: &[f64] = v_prev;
+        let i_hist: &[f64] = i_cap_prev;
+        let caps_ref = &caps_list;
         let rows = &source_rows;
         let wfs = &waveforms;
         let integrator = spec.integrator;
         let fill = |b: &mut [f64]| {
             for (row, wf) in rows.iter().zip(wfs) {
-                b[*row] = wf.at(Time::s(t)).as_v();
+                b[*row] = wf.at(Time::s(t_new)).as_v();
             }
             // Companion history current for each capacitor.
             for (k, (a, bb, c)) in caps_ref.iter().enumerate() {
                 let dv_prev = v_hist[a.index()] - v_hist[bb.index()];
                 let hist = match integrator {
-                    Integrator::BackwardEuler => c / dt * dv_prev,
+                    Integrator::BackwardEuler => c / h * dv_prev,
                     // i_n+1 = 2C/h (v_n+1 − v_n) − i_n ⇒ history source
                     // 2C/h·v_n + i_n.
-                    Integrator::Trapezoidal => 2.0 * c / dt * dv_prev + i_hist[k],
+                    Integrator::Trapezoidal => 2.0 * c / h * dv_prev + i_hist[k],
                 };
                 if let Some(i) = unknown_index(*a) {
                     b[i] += hist;
@@ -669,25 +1022,158 @@ pub fn transient_with(
                 }
             }
         };
-        mna.newton_solve(&matrix, &fill, &mut x, Some(Time::s(t)))?;
-        // Update capacitor branch currents for the trapezoidal history.
-        if spec.integrator == Integrator::Trapezoidal {
-            for (k, (a, bb, c)) in caps.iter().enumerate() {
-                let v_new = voltage_of(&x, *a) - voltage_of(&x, *bb);
-                let v_old = v_prev[a.index()] - v_prev[bb.index()];
-                i_cap_prev[k] = 2.0 * c / dt * (v_new - v_old) - i_cap_prev[k];
+        mna.newton_solve(&fill, x, Some(Time::s(t_new)))?;
+        if commit {
+            commit_step(&caps_list, state, spec.integrator, h, circuit.node_count());
+        }
+        Ok(())
+    };
+
+    let mut steps = 0usize;
+    match spec.step {
+        StepControl::Fixed => {
+            let total = (spec.t_stop.si() / dt).ceil() as usize;
+            for step in 1..=total {
+                let t = step as f64 * dt;
+                advance(&mut mna, &mut state, t, dt, true)?;
+                record(&mut traces, t, &state.v_prev);
+                record_currents(&mut source_currents, &source_rows, t, &state.x);
+            }
+            steps = total;
+        }
+        StepControl::Adaptive(ctrl) => {
+            let t_stop = spec.t_stop.si();
+            let ltol = ctrl.ltol.as_v().abs().max(1e-9);
+            let dt_max = dt * ctrl.max_growth.max(1.0);
+            let eps = dt * 1e-6;
+            // Source-waveform corners: the step never jumps across one.
+            let mut breakpoints: Vec<f64> = circuit
+                .elements()
+                .iter()
+                .flat_map(|e| match e {
+                    Element::VSource { waveform, .. } => waveform.breakpoints(),
+                    Element::ISource { waveform, .. } => waveform.breakpoints(),
+                    _ => Vec::new(),
+                })
+                .map(|t| t.si())
+                .filter(|&t| t > eps && t < t_stop - eps)
+                .collect();
+            breakpoints.sort_by(f64::total_cmp);
+            breakpoints.dedup();
+            let mut bp_idx = 0usize;
+            let mut t = 0.0f64;
+            let mut h = dt;
+            let mut h_prev = 0.0f64;
+            // Two previous accepted states drive the linear predictor.
+            let mut v_prev2 = state.v_prev.clone();
+            let mut have_hist = false;
+            let mut x_seed = state.x.clone();
+            while t < t_stop - eps {
+                while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + eps {
+                    bp_idx += 1;
+                }
+                let mut h_try = h.min(dt_max);
+                let mut rejects = 0usize;
+                loop {
+                    let mut hit_bp = false;
+                    if bp_idx < breakpoints.len() && t + h_try > breakpoints[bp_idx] - eps {
+                        h_try = breakpoints[bp_idx] - t;
+                        hit_bp = true;
+                    }
+                    if t + h_try > t_stop - eps {
+                        h_try = t_stop - t;
+                    }
+                    let t_new = t + h_try;
+                    x_seed.copy_from_slice(&state.x);
+                    match advance(&mut mna, &mut state, t_new, h_try, false) {
+                        Ok(()) => {}
+                        Err(SimError::NoConvergence { .. }) if h_try > dt * 1.5 => {
+                            state.x.copy_from_slice(&x_seed);
+                            h_try = (h_try * 0.5).max(dt);
+                            rejects += 1;
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    // Predictor-based LTE estimate: deviation of the
+                    // accepted solution from linear extrapolation of the
+                    // two previous accepted points.
+                    let err = if have_hist && h_prev > 0.0 {
+                        let scale = h_try / h_prev;
+                        let mut worst = 0.0f64;
+                        for (idx, &vp) in state.v_prev.iter().enumerate().skip(1) {
+                            let pred = vp + (vp - v_prev2[idx]) * scale;
+                            worst = worst.max((state.x[idx - 1] - pred).abs());
+                        }
+                        worst
+                    } else {
+                        // No history yet: accept, but do not grow.
+                        ltol * 0.5
+                    };
+                    if err > ltol && h_try > dt * 1.5 && rejects < 24 {
+                        state.x.copy_from_slice(&x_seed);
+                        h_try = (h_try * 0.5).max(dt);
+                        rejects += 1;
+                        continue;
+                    }
+                    // Accept the step.
+                    v_prev2.copy_from_slice(&state.v_prev);
+                    commit_step(
+                        &caps_list,
+                        &mut state,
+                        spec.integrator,
+                        h_try,
+                        circuit.node_count(),
+                    );
+                    h_prev = h_try;
+                    t = t_new;
+                    steps += 1;
+                    record(&mut traces, t, &state.v_prev);
+                    record_currents(&mut source_currents, &source_rows, t, &state.x);
+                    if hit_bp {
+                        // A source corner kinks the waveform: restart the
+                        // predictor and resolve the edge finely.
+                        have_hist = false;
+                        h = dt;
+                    } else {
+                        have_hist = true;
+                        h = if err < ltol * 0.25 {
+                            (h_try * 2.0).min(dt_max)
+                        } else {
+                            h_try
+                        };
+                    }
+                    break;
+                }
             }
         }
-        v_prev[1..circuit.node_count()].copy_from_slice(&x[..circuit.node_count() - 1]);
-        record(&mut traces, t, &v_prev);
-        record_currents(&mut source_currents, &source_rows, t, &x);
     }
 
     Ok(TransientResult {
         traces,
         source_currents,
         steps,
+        factorizations: mna.factorizations,
     })
+}
+
+/// Commits an accepted step: updates the trapezoidal capacitor history and
+/// rotates the previous-voltage state.
+fn commit_step(
+    caps: &[(Node, Node, f64)],
+    state: &mut StepState,
+    integrator: Integrator,
+    h: f64,
+    node_count: usize,
+) {
+    if integrator == Integrator::Trapezoidal {
+        for (k, (a, bb, c)) in caps.iter().enumerate() {
+            let v_new = voltage_of(&state.x, *a) - voltage_of(&state.x, *bb);
+            let v_old = state.v_prev[a.index()] - state.v_prev[bb.index()];
+            state.i_cap_prev[k] = 2.0 * c / h * (v_new - v_old) - state.i_cap_prev[k];
+        }
+    }
+    state.v_prev[1..node_count].copy_from_slice(&state.x[..node_count - 1]);
 }
 
 #[cfg(test)]
@@ -802,6 +1288,9 @@ mod tests {
             dt: Time::ps(1.0),
             record: vec![Node(5)],
             integrator: Integrator::default(),
+            solver: SolverKind::default(),
+            newton: NewtonPolicy::default(),
+            step: StepControl::default(),
         };
         assert!(matches!(
             transient(&c, &spec),
@@ -954,6 +1443,166 @@ mod tests {
             dc_sweep(&c, 3, Volt::ZERO, Volt::v(1.0), 4),
             Err(SimError::InvalidSpec(_))
         ));
+    }
+
+    /// RC ladder long enough for the bordered banded path to engage.
+    fn ladder(n: usize) -> (Circuit, Node, Node) {
+        let mut c = Circuit::new();
+        let drive = c.node();
+        c.vsource(
+            drive,
+            GROUND,
+            Pwl::ramp_up(Time::ps(5.0), Time::ps(20.0), Volt::v(1.0)),
+        );
+        let mut prev = drive;
+        let mut out = drive;
+        for _ in 0..n {
+            let next = c.node();
+            c.resistor(prev, next, Res::ohm(150.0));
+            c.capacitor(next, GROUND, Cap::ff(8.0));
+            prev = next;
+            out = next;
+        }
+        (c, drive, out)
+    }
+
+    #[test]
+    fn auto_solver_matches_dense_on_rc_ladder() {
+        let dt = Time::ps(0.5);
+        let t_stop = Time::ps(500.0);
+        let (c, _, out) = ladder(30);
+        let auto = transient(&c, &TransientSpec::new(t_stop, dt, vec![out])).unwrap();
+        let (c2, _, out2) = ladder(30);
+        let dense =
+            transient(&c2, &TransientSpec::new(t_stop, dt, vec![out2]).reference()).unwrap();
+        assert_eq!(auto.steps(), dense.steps());
+        let (ta, td) = (auto.trace(out), dense.trace(out2));
+        for i in 0..ta.len() {
+            let (t0, v0) = ta.sample(i);
+            let (t1, v1) = td.sample(i);
+            assert!((t0 - t1).abs() < Time::fs(1e-3));
+            assert!(
+                (v0.as_v() - v1.as_v()).abs() < 1e-8,
+                "sample {i}: {} vs {}",
+                v0.as_v(),
+                v1.as_v()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_step_on_rc_ladder() {
+        let dt = Time::ps(0.5);
+        let t_stop = Time::ps(800.0);
+        let (c, _, out) = ladder(30);
+        let fixed =
+            transient(&c, &TransientSpec::new(t_stop, dt, vec![out]).trapezoidal()).unwrap();
+        let (c2, _, out2) = ladder(30);
+        let adap = transient(
+            &c2,
+            &TransientSpec::new(t_stop, dt, vec![out2])
+                .trapezoidal()
+                .adaptive(),
+        )
+        .unwrap();
+        assert!(
+            adap.steps() * 3 < fixed.steps(),
+            "adaptive {} steps vs fixed {}",
+            adap.steps(),
+            fixed.steps()
+        );
+        let th = Volt::v(0.5);
+        let t_fixed = fixed.trace(out).crossing(th, true, Time::ZERO).unwrap();
+        let t_adap = adap.trace(out2).crossing(th, true, Time::ZERO).unwrap();
+        assert!(
+            (t_fixed - t_adap).abs() < Time::ps(1.0),
+            "t50 fixed {} ps vs adaptive {} ps",
+            t_fixed.as_ps(),
+            t_adap.as_ps()
+        );
+        assert!(
+            (fixed.trace(out).final_value().as_v() - adap.trace(out2).final_value().as_v()).abs()
+                < 2e-3
+        );
+    }
+
+    #[test]
+    fn modified_newton_matches_full_newton_on_an_inverter() {
+        use pi_spice_cmos_shim::*;
+        let build = || {
+            let tech = Technology::new(TechNode::N65);
+            let d = tech.devices();
+            let mut c = Circuit::new();
+            let vdd_node = c.node();
+            let input = c.node();
+            let output = c.node();
+            c.rail(vdd_node, d.vdd);
+            c.vsource(
+                input,
+                GROUND,
+                Pwl::ramp_up(Time::ps(10.0), Time::ps(40.0), d.vdd),
+            );
+            crate::cmos::add_inverter(
+                &mut c,
+                d,
+                pi_tech::units::Length::um(4.0),
+                input,
+                output,
+                vdd_node,
+            );
+            c.capacitor(output, GROUND, Cap::ff(20.0));
+            (c, output, d.vdd)
+        };
+        let dt = Time::ps(0.2);
+        let t_stop = Time::ps(300.0);
+        let (c, out, vdd) = build();
+        let full = transient(&c, &TransientSpec::new(t_stop, dt, vec![out]).reference()).unwrap();
+        let (c2, out2, _) = build();
+        let modif = transient(&c2, &TransientSpec::new(t_stop, dt, vec![out2])).unwrap();
+        assert!(
+            modif.factorizations() * 2 < full.factorizations(),
+            "modified Newton should factor less: {} vs {}",
+            modif.factorizations(),
+            full.factorizations()
+        );
+        let t_full = full.trace(out).t50(vdd, false).unwrap();
+        let t_mod = modif.trace(out2).t50(vdd, false).unwrap();
+        assert!(
+            (t_full - t_mod).abs() < Time::ps(0.05),
+            "t50 full {} ps vs modified {} ps",
+            t_full.as_ps(),
+            t_mod.as_ps()
+        );
+    }
+
+    #[test]
+    fn adaptive_lands_on_source_breakpoints() {
+        // A late, fast pulse after a long quiet stretch: the adaptive
+        // stepper must not step over the pulse corners.
+        let mut c = Circuit::new();
+        let drive = c.node();
+        let out = c.node();
+        c.vsource(
+            drive,
+            GROUND,
+            Pwl::new(vec![
+                (Time::ps(0.0), Volt::ZERO),
+                (Time::ps(400.0), Volt::ZERO),
+                (Time::ps(402.0), Volt::v(1.0)),
+                (Time::ps(500.0), Volt::v(1.0)),
+                (Time::ps(502.0), Volt::ZERO),
+            ]),
+        );
+        c.resistor(drive, out, Res::kohm(1.0));
+        c.capacitor(out, GROUND, Cap::ff(20.0));
+        let spec = TransientSpec::new(Time::ps(700.0), Time::ps(0.5), vec![out]).adaptive();
+        let r = transient(&c, &spec).unwrap();
+        let tr = r.trace(out);
+        let peak = (0..tr.len())
+            .map(|i| tr.sample(i).1.as_v())
+            .fold(0.0f64, f64::max);
+        assert!(peak > 0.95, "pulse missed by adaptive stepper: {peak} V");
+        assert!(tr.final_value().as_v() < 0.05);
     }
 
     mod pi_spice_cmos_shim {

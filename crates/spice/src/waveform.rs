@@ -89,6 +89,15 @@ impl Pwl {
     pub fn last_event(&self) -> Time {
         self.points[self.points.len() - 1].0
     }
+
+    /// The breakpoint times of the waveform, in increasing order.
+    ///
+    /// The adaptive transient stepper aligns its timesteps to these so a
+    /// large step never jumps over a PWL corner.
+    #[must_use]
+    pub fn breakpoints(&self) -> Vec<Time> {
+        self.points.iter().map(|&(t, _)| t).collect()
+    }
 }
 
 /// Piecewise-linear *current* waveform, the `CurrentPwl` counterpart of
@@ -170,6 +179,12 @@ impl CurrentPwl {
     #[must_use]
     pub fn last_event(&self) -> Time {
         self.points[self.points.len() - 1].0
+    }
+
+    /// The breakpoint times of the waveform, in increasing order.
+    #[must_use]
+    pub fn breakpoints(&self) -> Vec<Time> {
+        self.points.iter().map(|&(t, _)| t).collect()
     }
 }
 

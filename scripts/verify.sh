@@ -13,6 +13,46 @@ cargo build --workspace --release --offline
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
+echo "== perf smoke =="
+# Build every bench binary, run the repo baseline once, and make sure the
+# regenerated BENCH_seed.json carries the expected keys with finite
+# values. Catches bench-harness bitrot and a solve stack that silently
+# fell back to the slow path (the sign-off speedup keys disappear or go
+# non-numeric only when the fast engine is broken).
+cargo build -p pi-bench --benches --release --offline
+cargo bench -q -p pi-bench --bench baseline --offline
+json_value() {
+    awk -v pat="\"$1\":" 'index($0, pat) { sub(/^.*: /, ""); sub(/,$/, ""); print; exit }' BENCH_seed.json
+}
+require_finite() {
+    val=$(json_value "$1")
+    if [ -z "$val" ]; then
+        echo "perf smoke: missing key $1 in BENCH_seed.json"
+        exit 1
+    fi
+    if ! printf '%s' "$val" | grep -Eq '^-?[0-9]+(\.[0-9]+)?$'; then
+        echo "perf smoke: key $1 is not a finite number: $val"
+        exit 1
+    fi
+}
+require_present() {
+    if [ -z "$(json_value "$1")" ]; then
+        echo "perf smoke: missing key $1 in BENCH_seed.json"
+        exit 1
+    fi
+}
+for key in host_cores calibration_threads calibration_serial_ns \
+    calibration_cached_ns model_eval_ns golden_signoff_ns \
+    signoff_sparse_ns signoff_dense_ns signoff_speedup \
+    signoff_over_model_ratio yield_evals_reduction \
+    yield_tail_evals_reduction; do
+    require_finite "$key"
+done
+# Legitimately "null" on an effectively-serial host, but must be present.
+require_present calibration_parallel_ns
+require_present calibration_speedup
+echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x)"
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== clippy (deny warnings) =="
     cargo clippy --workspace --all-targets --offline -- -D warnings

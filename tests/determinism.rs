@@ -139,4 +139,40 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
         assert_eq!(estimates[0], estimates[1], "{name}: 1 vs 2 threads");
         assert_eq!(estimates[0], estimates[2], "{name}: 1 vs default");
     }
+
+    // 5. Characterization grid through the new structure-exploiting
+    //    engine (bordered solver + modified Newton + adaptive steps).
+    //    Every grid point is an independent deterministic simulation, so
+    //    the raw measurement bits must not depend on the chunk schedule.
+    //    The in-memory characterization cache is cleared between runs so
+    //    each setting actually exercises the compute path rather than
+    //    replaying the first run's results.
+    use pi_core::calibrate::{characterize_grid, CalibrationGrid};
+    use pi_core::repeater_model::Transition;
+    let grid = CalibrationGrid::fast();
+    let grids: Vec<Vec<(u64, u64)>> = SETTINGS
+        .iter()
+        .map(|s| {
+            with_threads(*s, || {
+                pi_core::char_cache::clear();
+                characterize_grid(&tech, RepeaterKind::Inverter, Transition::Fall, &grid)
+                    .expect("characterization")
+                    .iter()
+                    .map(|p| (p.delay.si().to_bits(), p.output_slew.si().to_bits()))
+                    .collect()
+            })
+        })
+        .collect();
+    assert_eq!(grids[0], grids[1], "characterize: 1 vs 2 threads");
+    assert_eq!(grids[0], grids[2], "characterize: 1 vs default");
+
+    // 6. And a cache replay must be indistinguishable from recomputation.
+    let replay: Vec<(u64, u64)> = with_threads(Some("2"), || {
+        characterize_grid(&tech, RepeaterKind::Inverter, Transition::Fall, &grid)
+            .expect("characterization")
+            .iter()
+            .map(|p| (p.delay.si().to_bits(), p.output_slew.si().to_bits()))
+            .collect()
+    });
+    assert_eq!(grids[0], replay, "cache replay differs from recomputation");
 }
