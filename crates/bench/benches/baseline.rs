@@ -23,6 +23,14 @@
 //!    `yield_evals_reduction` field tracks the ≥5× samples-to-target-CI
 //!    win of the `pi-yield` engine.
 //!
+//! 4. **Observability**: `probe_overhead_ns` is the disabled-path cost of
+//!    a single pi-obs probe (`PI_OBS` unset — what every untraced run
+//!    pays), and the counter-derived workload statistics
+//!    (`newton_iters_per_solve`, `step_reject_rate`,
+//!    `char_cache_hit_rate`) come from one traced sign-off plus a
+//!    clear/prime/replay characterization pair read through
+//!    `pi_obs::snapshot()` — they describe solver behaviour, not timing.
+//!
 //! `calibration_threads` records the thread count the parallel
 //! measurement actually used, so a `0.99×` "speedup" can never again be
 //! mistaken for a parallelism regression on a single-core runner.
@@ -40,6 +48,32 @@ use pi_yield::{EstimatorConfig, Method};
 
 fn json_field(out: &mut String, key: &str, value: f64) {
     out.push_str(&format!("  \"{key}\": {value:.1},\n"));
+}
+
+/// Disabled-path cost of a single pi-obs probe: one relaxed atomic load
+/// plus the early return. Measured with `PI_OBS` unset — the configuration
+/// every production run pays — and reported as best-of-reps so scheduler
+/// noise cannot inflate the committed bound.
+fn probe_overhead_ns() -> f64 {
+    std::env::remove_var("PI_OBS");
+    pi_obs::reinit_from_env();
+    assert!(
+        !pi_obs::enabled(),
+        "PI_OBS must be off for the overhead probe"
+    );
+    const N: u64 = 20_000_000;
+    for _ in 0..1_000 {
+        pi_obs::counter_add("bench.probe", std::hint::black_box(1));
+    }
+    (0..5)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            for _ in 0..N {
+                pi_obs::counter_add("bench.probe", std::hint::black_box(1));
+            }
+            t.elapsed().as_nanos() as f64 / N as f64
+        })
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
@@ -134,6 +168,31 @@ fn main() {
     let tail_is = run_estimate(Method::ImportanceSampling, 5e-4, tail_deadline);
     let tail_reduction = tail_naive.evals as f64 / tail_is.evals as f64;
 
+    // Observability group. First the disabled-path probe cost (the number
+    // every untraced run pays), then counter-derived workload statistics:
+    // one traced sign-off plus a clear/prime/replay characterization pair,
+    // read back through `pi_obs::snapshot()` rather than timed.
+    let probe_ns = probe_overhead_ns();
+    std::env::set_var("PI_OBS", "summary");
+    pi_obs::reinit_from_env();
+    line_delay(&tech, &spec, &plan).expect("traced sign-off");
+    std::env::set_var("PI_CHAR_CACHE", "on");
+    pi_core::char_cache::clear();
+    characterize();
+    characterize();
+    std::env::remove_var("PI_CHAR_CACHE");
+    let snap = pi_obs::snapshot();
+    let newton_iters_per_solve = snap.counter("spice.newton_iters") as f64
+        / snap.counter("spice.newton_solves").max(1) as f64;
+    let steps_accepted = snap.counter("spice.steps_accepted") as f64;
+    let steps_rejected = snap.counter("spice.steps_rejected") as f64;
+    let step_reject_rate = steps_rejected / (steps_accepted + steps_rejected).max(1.0);
+    let cache_hits = snap.counter("char_cache.hits") as f64;
+    let cache_misses = snap.counter("char_cache.misses") as f64;
+    let char_cache_hit_rate = cache_hits / (cache_hits + cache_misses).max(1.0);
+    std::env::remove_var("PI_OBS");
+    pi_obs::reinit_from_env();
+
     let mut measurements: Vec<Measurement> = vec![serial.clone(), cached.clone()];
     if let Some(p) = &parallel {
         measurements.push(p.clone());
@@ -185,6 +244,14 @@ fn main() {
     json.push_str(&format!(
         "  \"yield_tail_evals_reduction\": {tail_reduction:.1},\n"
     ));
+    json.push_str(&format!("  \"probe_overhead_ns\": {probe_ns:.3},\n"));
+    json.push_str(&format!(
+        "  \"newton_iters_per_solve\": {newton_iters_per_solve:.2},\n"
+    ));
+    json.push_str(&format!("  \"step_reject_rate\": {step_reject_rate:.4},\n"));
+    json.push_str(&format!(
+        "  \"char_cache_hit_rate\": {char_cache_hit_rate:.4},\n"
+    ));
     json.push_str(
         "  \"yield_case\": \"5 mm line, deadline 1.05x nominal to +-0.5% @ 95%; tail 1.25x nominal to +-0.05%\",\n",
     );
@@ -213,7 +280,13 @@ fn main() {
     );
     println!(
         "yield to ±0.5%: naive {} evals vs scrambled Sobol {} ({yield_reduction:.1}x fewer); \
-         tail ±0.05%: naive {} vs importance {} ({tail_reduction:.1}x)\nwrote {path}",
+         tail ±0.05%: naive {} vs importance {} ({tail_reduction:.1}x)",
         naive_est.evals, rqmc_est.evals, tail_naive.evals, tail_is.evals
+    );
+    println!(
+        "obs: disabled probe {probe_ns:.3} ns; newton {newton_iters_per_solve:.2} iters/solve; \
+         step rejects {:.2}%; char cache hit rate {:.1}%\nwrote {path}",
+        100.0 * step_reject_rate,
+        100.0 * char_cache_hit_rate
     );
 }

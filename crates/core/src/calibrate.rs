@@ -168,6 +168,7 @@ pub fn characterize_grid(
     transition: Transition,
     grid: &CalibrationGrid,
 ) -> Result<Vec<RawPoint>, CalibrateError> {
+    let _obs_span = pi_obs::span("core.characterize_grid");
     let devices = tech.devices();
     let unit = tech.layout().unit_nmos_width;
     let rising = matches!(transition, Transition::Rise);
@@ -216,6 +217,7 @@ pub fn characterize_grid(
         miss_idx[start..end]
             .iter()
             .map(|&i| {
+                let _obs_span = pi_obs::span("core.char_point");
                 let (wn, slew, load) = cells[i];
                 let m = characterize_repeater_with(&mut ws, devices, kind, wn, slew, load, rising)?;
                 Ok(RawPoint {

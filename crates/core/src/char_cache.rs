@@ -63,16 +63,82 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Malformed journal records skipped at load time (e.g. a record
+    /// truncated by a crash mid-append). Recovery is silent-but-counted:
+    /// the remaining records still load.
+    pub journal_recovered: u64,
 }
 
 struct CacheState {
     map: HashMap<CharKey, (u64, u64)>,
     hits: u64,
     misses: u64,
+    journal_recovered: u64,
     disk: Option<std::path::PathBuf>,
 }
 
 static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+
+/// How `PI_CHAR_CACHE` was classified.
+enum CacheMode {
+    Memory,
+    Off,
+    Journal(std::path::PathBuf),
+}
+
+/// Classifies a `PI_CHAR_CACHE` value. Canonical toggles are `on`/`1`/`""`
+/// and `off`/`0`; near-miss spellings (`ON`, `true`, `no`, …) are treated
+/// as the toggle they resemble **with a one-time warning**, instead of
+/// being silently mistaken for a journal path. Everything else is a path.
+fn cache_mode(v: &str) -> CacheMode {
+    match v {
+        "" | "on" | "1" => return CacheMode::Memory,
+        "off" | "0" => return CacheMode::Off,
+        _ => {}
+    }
+    match v.to_ascii_lowercase().as_str() {
+        "on" | "true" | "yes" | "enable" | "enabled" => {
+            pi_obs::warn_once(
+                "PI_CHAR_CACHE",
+                &format!(
+                    "PI_CHAR_CACHE=`{v}` is not a canonical toggle; using `on` (in-memory cache)"
+                ),
+            );
+            CacheMode::Memory
+        }
+        "off" | "false" | "no" | "disable" | "disabled" => {
+            pi_obs::warn_once(
+                "PI_CHAR_CACHE",
+                &format!(
+                    "PI_CHAR_CACHE=`{v}` is not a canonical toggle; using `off` (cache bypassed)"
+                ),
+            );
+            CacheMode::Off
+        }
+        _ => CacheMode::Journal(std::path::PathBuf::from(v)),
+    }
+}
+
+/// One parsed journal record: the cache key and the (delay, slew) bit words.
+type JournalEntry = (CharKey, (u64, u64));
+
+/// Parses journal text into entries, counting (and skipping) malformed
+/// records. Factored out of [`state`] so truncation recovery is testable
+/// without re-initializing the process-global cache.
+fn load_journal(text: &str) -> (Vec<JournalEntry>, u64) {
+    let mut entries = Vec::new();
+    let mut recovered = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(e) => entries.push(e),
+            None => recovered += 1,
+        }
+    }
+    (entries, recovered)
+}
 
 fn state() -> &'static Mutex<CacheState> {
     CACHE.get_or_init(|| {
@@ -80,16 +146,28 @@ fn state() -> &'static Mutex<CacheState> {
             map: HashMap::new(),
             hits: 0,
             misses: 0,
+            journal_recovered: 0,
             disk: None,
         };
         if let Ok(v) = std::env::var("PI_CHAR_CACHE") {
-            if !matches!(v.as_str(), "" | "on" | "1" | "off" | "0") {
-                let path = std::path::PathBuf::from(&v);
+            if let CacheMode::Journal(path) = cache_mode(&v) {
                 if let Ok(text) = std::fs::read_to_string(&path) {
-                    for line in text.lines() {
-                        if let Some((key, val)) = parse_line(line) {
-                            st.map.insert(key, val);
-                        }
+                    let (entries, recovered) = load_journal(&text);
+                    pi_obs::counter_add("char_cache.journal_loaded", entries.len() as u64);
+                    for (key, val) in entries {
+                        st.map.insert(key, val);
+                    }
+                    if recovered > 0 {
+                        st.journal_recovered = recovered;
+                        pi_obs::counter_add("char_cache.journal_recovered", recovered);
+                        pi_obs::warn_once(
+                            "char_cache.journal_recovered",
+                            &format!(
+                                "char cache journal `{}`: skipped {recovered} malformed record(s); \
+                                 the rest loaded normally",
+                                path.display()
+                            ),
+                        );
                     }
                 }
                 st.disk = Some(path);
@@ -99,20 +177,39 @@ fn state() -> &'static Mutex<CacheState> {
     })
 }
 
+/// Parses one journal record: exactly 8 whitespace-separated fields —
+/// fingerprint, kind (0/1), rising (0/1), then five 16-hex-digit words.
+/// The fixed field widths reject records truncated mid-write, which would
+/// otherwise still parse as (shorter) valid hex and poison the cache with
+/// a wrong value.
 fn parse_line(line: &str) -> Option<(CharKey, (u64, u64))> {
     let mut it = line.split_whitespace();
-    let key = CharKey {
-        fingerprint: u64::from_str_radix(it.next()?, 16).ok()?,
-        kind: it.next()?.parse().ok()?,
-        rising: it.next()? == "1",
-        wn_bits: u64::from_str_radix(it.next()?, 16).ok()?,
-        slew_bits: u64::from_str_radix(it.next()?, 16).ok()?,
-        load_bits: u64::from_str_radix(it.next()?, 16).ok()?,
+    let hex16 = |s: &str| {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
     };
-    let val = (
-        u64::from_str_radix(it.next()?, 16).ok()?,
-        u64::from_str_radix(it.next()?, 16).ok()?,
-    );
+    let key = CharKey {
+        fingerprint: hex16(it.next()?)?,
+        kind: match it.next()? {
+            "0" => 0,
+            "1" => 1,
+            _ => return None,
+        },
+        rising: match it.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        },
+        wn_bits: hex16(it.next()?)?,
+        slew_bits: hex16(it.next()?)?,
+        load_bits: hex16(it.next()?)?,
+    };
+    let val = (hex16(it.next()?)?, hex16(it.next()?)?);
+    if it.next().is_some() {
+        return None;
+    }
     Some((key, val))
 }
 
@@ -129,10 +226,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// bench harness can toggle `PI_CHAR_CACHE=off` mid-process).
 #[must_use]
 pub fn enabled() -> bool {
-    !matches!(
-        std::env::var("PI_CHAR_CACHE").as_deref(),
-        Ok("off") | Ok("0")
-    )
+    match std::env::var("PI_CHAR_CACHE") {
+        Err(_) => true,
+        Ok(v) => !matches!(cache_mode(&v), CacheMode::Off),
+    }
 }
 
 /// Fingerprint of a technology under the current simulation engine.
@@ -177,9 +274,11 @@ pub fn lookup(key: &CharKey) -> Option<(Time, Time)> {
     let mut st = state().lock().expect("char cache poisoned");
     if let Some(&(d, s)) = st.map.get(key) {
         st.hits += 1;
+        pi_obs::counter_add("char_cache.hits", 1);
         Some((Time::s(f64::from_bits(d)), Time::s(f64::from_bits(s))))
     } else {
         st.misses += 1;
+        pi_obs::counter_add("char_cache.misses", 1);
         None
     }
 }
@@ -224,6 +323,7 @@ pub fn stats() -> CacheStats {
         hits: st.hits,
         misses: st.misses,
         entries: st.map.len(),
+        journal_recovered: st.journal_recovered,
     }
 }
 
@@ -302,5 +402,68 @@ mod tests {
         assert_eq!(k, k2);
         assert_eq!(f64::from_bits(d), 1.25);
         assert_eq!(f64::from_bits(s), 2.5);
+    }
+
+    fn journal_line(k: &CharKey, d: f64, s: f64) -> String {
+        format!(
+            "{:016x} {} {} {:016x} {:016x} {:016x} {:016x} {:016x}",
+            k.fingerprint,
+            k.kind,
+            u8::from(k.rising),
+            k.wn_bits,
+            k.slew_bits,
+            k.load_bits,
+            d.to_bits(),
+            s.to_bits()
+        )
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_skipped_and_counted() {
+        let good_a = journal_line(&sample_key(0x1111), 1.25, 2.5);
+        let good_b = journal_line(&sample_key(0x2222), 3.5, 4.5);
+        // Crash mid-append: the last record loses most of its final field.
+        // The surviving prefix is still valid hex, so a width-agnostic
+        // parser would load a corrupt value instead of rejecting it.
+        let truncated = &good_b[..good_b.len() - 12];
+        assert!(
+            parse_line(truncated).is_none(),
+            "truncated record must not parse"
+        );
+        let text = format!("{good_a}\n{truncated}\n");
+        let (entries, recovered) = load_journal(&text);
+        assert_eq!(entries.len(), 1, "intact record still loads");
+        assert_eq!(recovered, 1, "truncated record is counted");
+        assert_eq!(entries[0].0, sample_key(0x1111));
+        assert_eq!(f64::from_bits(entries[0].1 .0), 1.25);
+    }
+
+    #[test]
+    fn strict_parser_rejects_malformed_records() {
+        let good = journal_line(&sample_key(0x3333), 1.0, 2.0);
+        assert!(parse_line(&good).is_some());
+        // Extra field appended.
+        assert!(parse_line(&format!("{good} deadbeef")).is_none());
+        // Non-toggle kind / rising fields.
+        assert!(parse_line(&good.replacen(" 0 1 ", " 2 1 ", 1)).is_none());
+        // A short (but valid) hex word — e.g. a truncated fingerprint.
+        assert!(parse_line(&good[4..]).is_none());
+        // Blank lines are not errors.
+        let (entries, recovered) = load_journal(&format!("\n{good}\n\n"));
+        assert_eq!((entries.len(), recovered), (1, 0));
+    }
+
+    #[test]
+    fn near_miss_toggles_classify_as_toggles_not_paths() {
+        assert!(matches!(cache_mode("on"), CacheMode::Memory));
+        assert!(matches!(cache_mode("ON"), CacheMode::Memory));
+        assert!(matches!(cache_mode("true"), CacheMode::Memory));
+        assert!(matches!(cache_mode("off"), CacheMode::Off));
+        assert!(matches!(cache_mode("False"), CacheMode::Off));
+        assert!(matches!(cache_mode("no"), CacheMode::Off));
+        assert!(matches!(
+            cache_mode("/tmp/char.journal"),
+            CacheMode::Journal(_)
+        ));
     }
 }

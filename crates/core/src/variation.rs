@@ -363,6 +363,7 @@ impl LineEvaluator<'_> {
             target_yield > 0.0 && target_yield <= 1.0,
             "target yield must be in (0, 1]"
         );
+        let _obs_span = pi_obs::span("core.size_for_yield");
         let unit = self.tech().layout().unit_nmos_width;
         let drives = pi_tech::library::STANDARD_DRIVES;
         // Start from the smallest drive not below the given plan's width.
@@ -377,13 +378,17 @@ impl LineEvaluator<'_> {
         for &d in &drives[start_idx..] {
             current.wn = unit * f64::from(d);
             let (y, lower) = estimate(self, &current);
+            pi_obs::counter_add("sizing.steps", 1);
             if lower >= target_yield {
+                pi_obs::counter_add("sizing.candidate_pass", 1);
+                pi_obs::counter_add("sizing.accepted", 1);
                 return Some(YieldSizing {
                     plan: current,
                     achieved_yield: y,
                     steps,
                 });
             }
+            pi_obs::counter_add("sizing.candidate_fail", 1);
             steps += 1;
         }
         // Phase 2: add repeaters at the maximum drive.
@@ -391,15 +396,20 @@ impl LineEvaluator<'_> {
         for count in (current.count + 1)..=max_count {
             current.count = count;
             let (y, lower) = estimate(self, &current);
+            pi_obs::counter_add("sizing.steps", 1);
             if lower >= target_yield {
+                pi_obs::counter_add("sizing.candidate_pass", 1);
+                pi_obs::counter_add("sizing.accepted", 1);
                 return Some(YieldSizing {
                     plan: current,
                     achieved_yield: y,
                     steps,
                 });
             }
+            pi_obs::counter_add("sizing.candidate_fail", 1);
             steps += 1;
         }
+        pi_obs::counter_add("sizing.exhausted", 1);
         None
     }
 }

@@ -201,6 +201,7 @@ pub fn synthesize(
     model: &dyn LinkCostModel,
     config: &SynthesisConfig,
 ) -> Result<Network, SynthesisError> {
+    let _obs_span = pi_obs::span("cosi.synthesize");
     spec.validate()?;
     let max_len = model.max_length();
     if max_len.si() <= 0.0 {
@@ -339,6 +340,12 @@ pub fn synthesize(
                 max: config.max_router_ports,
             });
         }
+    }
+
+    if pi_obs::enabled() {
+        pi_obs::counter_add("cosi.syntheses", 1);
+        pi_obs::counter_add("cosi.channels_built", network.channels.len() as u64);
+        pi_obs::counter_add("cosi.relays_built", network.relay_count() as u64);
     }
 
     Ok(network)

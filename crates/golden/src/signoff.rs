@@ -326,6 +326,7 @@ fn line_delay_inner(
     plan: &BufferingPlan,
     reference: bool,
 ) -> Result<GoldenLine, SimError> {
+    let _obs_span = pi_obs::span("golden.line_delay");
     assert!(
         plan.count > 0,
         "a buffered line needs at least one repeater"

@@ -1,0 +1,171 @@
+//! Log-bucketed histogram: each finite positive value lands in the bucket
+//! `[2^e, 2^(e+1))` where `e = floor(log2(v))`, so relative resolution is a
+//! constant 2x across the full f64 range with a sparse map of occupied
+//! buckets. Zero, negative, and non-finite values share a single underflow
+//! bucket. Merging histograms is bucket-wise addition, which makes the
+//! aggregate independent of per-thread merge order.
+
+use std::collections::BTreeMap;
+
+/// Bucket exponent used for zero/negative/non-finite values.
+const UNDERFLOW: i32 = i32::MIN;
+
+/// A sparse log-bucketed histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Hist {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+}
+
+/// A materialized histogram bucket: counts of values in `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower bound (0 for the underflow bucket).
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// Number of recorded values in the bucket.
+    pub count: u64,
+}
+
+fn exponent(v: f64) -> i32 {
+    if !v.is_finite() || v <= 0.0 {
+        return UNDERFLOW;
+    }
+    // log2 of a positive finite f64 lies in [-1074, 1023]; clamp so the
+    // bucket bounds stay representable when materialized.
+    let e = v.log2().floor();
+    e.clamp(-1020.0, 1020.0) as i32
+}
+
+fn bounds(e: i32) -> (f64, f64) {
+    if e == UNDERFLOW {
+        return (0.0, 0.0);
+    }
+    (2f64.powi(e), 2f64.powi(e + 1))
+}
+
+impl Hist {
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        *self.buckets.entry(exponent(v)).or_insert(0) += 1;
+        self.count += 1;
+    }
+
+    /// Adds all of `other`'s buckets into `self`.
+    pub fn merge(&mut self, other: &Hist) {
+        for (e, c) in &other.buckets {
+            *self.buckets.entry(*e).or_insert(0) += c;
+        }
+        self.count += other.count;
+    }
+
+    /// Total number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Occupied buckets in ascending value order.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.buckets
+            .iter()
+            .map(|(e, c)| {
+                let (lo, hi) = bounds(*e);
+                Bucket { lo, hi, count: *c }
+            })
+            .collect()
+    }
+
+    /// Approximate quantile (geometric midpoint of the bucket containing the
+    /// q-th value). Returns 0 for an empty histogram or q landing in the
+    /// underflow bucket.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (e, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                if *e == UNDERFLOW {
+                    return 0.0;
+                }
+                let (lo, hi) = bounds(*e);
+                return (lo * hi).sqrt();
+            }
+        }
+        0.0
+    }
+
+    /// Exclusive upper bound of the highest occupied bucket (0 when empty).
+    #[must_use]
+    pub fn max_bound(&self) -> f64 {
+        self.buckets
+            .keys()
+            .next_back()
+            .map_or(0.0, |e| bounds(*e).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_power_of_two() {
+        let mut h = Hist::default();
+        h.record(1.5); // [1, 2)
+        h.record(1.0); // [1, 2)
+        h.record(3.0); // [2, 4)
+        h.record(0.0); // underflow
+        h.record(-4.0); // underflow
+        assert_eq!(h.count(), 5);
+        let b = h.buckets();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].count, 2); // underflow bucket
+        assert_eq!((b[1].lo, b[1].hi, b[1].count), (1.0, 2.0, 2));
+        assert_eq!((b[2].lo, b[2].hi, b[2].count), (2.0, 4.0, 1));
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        a.record(1.0);
+        b.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[0].count, 2);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Hist::default();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        assert!(p50 <= p95);
+        assert!(p50 > 256.0 && p50 < 1024.0);
+        assert!(h.max_bound() >= 1000.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Hist::default();
+        h.record(f64::MIN_POSITIVE);
+        h.record(f64::MAX);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 4);
+        for b in h.buckets() {
+            assert!(b.lo.is_finite() && b.hi.is_finite());
+        }
+    }
+}

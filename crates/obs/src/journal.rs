@@ -1,0 +1,445 @@
+//! JSONL trace journal: record emitters, a flat-JSON parser, and the schema
+//! checker behind `pi obs-report --check` and the verify.sh gate.
+//!
+//! Every journal line is one flat JSON object — string and number values
+//! only, no nesting — so a tiny hand-rolled parser suffices and any external
+//! JSON tool can also read it. The record types (schema version 1):
+//!
+//! | `type`        | fields |
+//! |---------------|--------|
+//! | `meta`        | `schema` (num), `mode` (str) |
+//! | `span`        | `id`, `parent`, `thread`, `start_ns`, `dur_ns` (nums), `name` (str) |
+//! | `sample`      | `name` (str), `x`, `y` (nums) |
+//! | `counter`     | `name` (str), `value` (num) |
+//! | `gauge`       | `name` (str), `value` (num) |
+//! | `hist_bucket` | `name` (str), `lo`, `hi`, `count` (nums) |
+//! | `warn`        | `name`, `msg` (strs) |
+//! | `finish`      | `wall_ns`, `thread` (nums) |
+//!
+//! `span`/`sample`/`warn` lines stream in event order; `counter`, `gauge`,
+//! `hist_bucket`, and `finish` are aggregates written once by
+//! [`crate::finish`]. `parent == 0` marks a root span; `thread` numbers are
+//! assigned in first-probe order, and the `finish` record carries the
+//! finishing (main) thread's id so report tooling can separate main-thread
+//! roots from worker-thread roots.
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 as a JSON number. Uses scientific notation for very long
+/// plain expansions (e.g. 2^-40 bucket bounds); non-finite values, which the
+/// probes already filter, degrade to 0.
+fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let plain = format!("{v}");
+    if plain.len() <= 24 {
+        plain
+    } else {
+        format!("{v:e}")
+    }
+}
+
+pub(crate) fn meta_line(schema: u64, mode: &str) -> String {
+    format!(
+        "{{\"type\":\"meta\",\"schema\":{schema},\"mode\":\"{}\"}}",
+        esc(mode)
+    )
+}
+
+pub(crate) fn span_line(
+    id: u64,
+    parent: u64,
+    thread: u64,
+    name: &str,
+    start_ns: u64,
+    dur_ns: u64,
+) -> String {
+    format!(
+        "{{\"type\":\"span\",\"id\":{id},\"parent\":{parent},\"thread\":{thread},\
+         \"name\":\"{}\",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}",
+        esc(name)
+    )
+}
+
+pub(crate) fn sample_line(name: &str, x: f64, y: f64) -> String {
+    format!(
+        "{{\"type\":\"sample\",\"name\":\"{}\",\"x\":{},\"y\":{}}}",
+        esc(name),
+        num(x),
+        num(y)
+    )
+}
+
+pub(crate) fn counter_line(name: &str, value: u64) -> String {
+    format!(
+        "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+        esc(name)
+    )
+}
+
+pub(crate) fn gauge_line(name: &str, value: f64) -> String {
+    format!(
+        "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+        esc(name),
+        num(value)
+    )
+}
+
+pub(crate) fn hist_bucket_line(name: &str, lo: f64, hi: f64, count: u64) -> String {
+    format!(
+        "{{\"type\":\"hist_bucket\",\"name\":\"{}\",\"lo\":{},\"hi\":{},\"count\":{count}}}",
+        esc(name),
+        num(lo),
+        num(hi)
+    )
+}
+
+pub(crate) fn warn_line(name: &str, msg: &str) -> String {
+    format!(
+        "{{\"type\":\"warn\",\"name\":\"{}\",\"msg\":\"{}\"}}",
+        esc(name),
+        esc(msg)
+    )
+}
+
+pub(crate) fn finish_line(wall_ns: u64, thread: u64) -> String {
+    format!("{{\"type\":\"finish\",\"wall_ns\":{wall_ns},\"thread\":{thread}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON scalar. Journal records only ever hold strings and numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A JSON number (parsed as f64; journal integers stay exact below 2^53).
+    Num(f64),
+    /// A JSON string, unescaped.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the number, or None for strings.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string, or None for numbers.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Num(_) => None,
+        }
+    }
+}
+
+/// A parsed journal record: field name → scalar value.
+pub type Record = BTreeMap<String, Value>;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf-8 in number".to_string())?;
+        text.parse::<f64>()
+            .map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+/// Parses one journal line as a flat JSON object. Rejects nesting, booleans,
+/// null, duplicate keys, and trailing garbage — the journal never emits them.
+pub fn parse_line(line: &str) -> Result<Record, String> {
+    let mut p = Parser::new(line);
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut rec = Record::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = match p.peek() {
+                Some(b'"') => Value::Str(p.parse_string()?),
+                Some(b) if b.is_ascii_digit() || b == b'-' => Value::Num(p.parse_number()?),
+                _ => return Err(format!("unsupported value for key `{key}`")),
+            };
+            if rec.insert(key.clone(), val).is_some() {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => {
+                    p.pos += 1;
+                }
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err("expected `,` or `}`".to_string()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".to_string());
+    }
+    Ok(rec)
+}
+
+// ---------------------------------------------------------------------------
+// Schema checking
+// ---------------------------------------------------------------------------
+
+fn need_num(rec: &Record, key: &str) -> Result<f64, String> {
+    rec.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("missing/non-numeric field `{key}`"))
+}
+
+fn need_str<'a>(rec: &'a Record, key: &str) -> Result<&'a str, String> {
+    rec.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing/non-string field `{key}`"))
+}
+
+fn need_uint(rec: &Record, key: &str) -> Result<u64, String> {
+    let v = need_num(rec, key)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!(
+            "field `{key}` must be a non-negative integer, got {v}"
+        ));
+    }
+    Ok(v as u64)
+}
+
+/// Validates one journal line against the schema and returns the parsed
+/// record. The record `type` drives which fields are required; unknown types
+/// are errors (the schema version in the `meta` line is the upgrade path).
+pub fn check_line(line: &str) -> Result<Record, String> {
+    let rec = parse_line(line)?;
+    let ty = need_str(&rec, "type")?.to_string();
+    match ty.as_str() {
+        "meta" => {
+            let schema = need_uint(&rec, "schema")?;
+            if schema != crate::SCHEMA_VERSION {
+                return Err(format!(
+                    "schema version {schema} unsupported (expected {})",
+                    crate::SCHEMA_VERSION
+                ));
+            }
+            need_str(&rec, "mode")?;
+        }
+        "span" => {
+            let id = need_uint(&rec, "id")?;
+            if id == 0 {
+                return Err("span id must be positive".to_string());
+            }
+            need_uint(&rec, "parent")?;
+            need_uint(&rec, "thread")?;
+            need_str(&rec, "name")?;
+            need_uint(&rec, "start_ns")?;
+            need_uint(&rec, "dur_ns")?;
+        }
+        "sample" => {
+            need_str(&rec, "name")?;
+            need_num(&rec, "x")?;
+            need_num(&rec, "y")?;
+        }
+        "counter" => {
+            need_str(&rec, "name")?;
+            need_uint(&rec, "value")?;
+        }
+        "gauge" => {
+            need_str(&rec, "name")?;
+            need_num(&rec, "value")?;
+        }
+        "hist_bucket" => {
+            need_str(&rec, "name")?;
+            let lo = need_num(&rec, "lo")?;
+            let hi = need_num(&rec, "hi")?;
+            if lo > hi {
+                return Err(format!("hist_bucket has lo {lo} > hi {hi}"));
+            }
+            need_uint(&rec, "count")?;
+        }
+        "warn" => {
+            need_str(&rec, "name")?;
+            need_str(&rec, "msg")?;
+        }
+        "finish" => {
+            need_uint(&rec, "wall_ns")?;
+            need_uint(&rec, "thread")?;
+        }
+        other => return Err(format!("unknown record type `{other}`")),
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitters_roundtrip_through_parser() {
+        let lines = [
+            meta_line(crate::SCHEMA_VERSION, "jsonl"),
+            span_line(3, 1, 2, "spice.transient", 12345, 6789),
+            sample_line("yield.ci_half_width", 1024.0, 0.0123),
+            counter_line("spice.newton_iters", 42),
+            gauge_line("yield.is_ess", 812.5),
+            hist_bucket_line("spice.lte_shrink", 0.25, 0.5, 7),
+            warn_line("PI_THREADS", "weird \"value\"\nnewline"),
+            finish_line(987654321, 1),
+        ];
+        for line in &lines {
+            check_line(line).unwrap_or_else(|e| panic!("emitted line failed check: {e}\n{line}"));
+        }
+        let rec = parse_line(&lines[1]).unwrap();
+        assert_eq!(rec["name"].as_str(), Some("spice.transient"));
+        assert_eq!(rec["dur_ns"].as_num(), Some(6789.0));
+        let warn = parse_line(&lines[6]).unwrap();
+        assert_eq!(warn["msg"].as_str(), Some("weird \"value\"\nnewline"));
+    }
+
+    #[test]
+    fn tiny_bucket_bounds_stay_parseable() {
+        let line = hist_bucket_line("h", 2f64.powi(-40), 2f64.powi(-39), 1);
+        let rec = check_line(&line).unwrap();
+        assert_eq!(rec["lo"].as_num(), Some(2f64.powi(-40)));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{\"type\":\"span\"}",                       // missing fields
+            "{\"type\":\"mystery\",\"name\":\"x\"}",     // unknown type
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":-1}", // negative count
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":1.5}", // fractional count
+            "{\"type\":\"span\",\"id\":0,\"parent\":0,\"thread\":1,\"name\":\"x\",\"start_ns\":0,\"dur_ns\":0}",
+            "{\"type\":\"finish\",\"wall_ns\":1,\"thread\":1} trailing",
+            "{\"a\":{\"nested\":1}}",
+            "{\"type\":\"gauge\",\"name\":\"g\",\"value\":true}",
+        ] {
+            assert!(check_line(bad).is_err(), "accepted bad line: {bad}");
+        }
+    }
+}

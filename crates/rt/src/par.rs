@@ -37,6 +37,14 @@ pub fn thread_count() -> usize {
         if let Ok(n) = v.trim().parse::<usize>() {
             return n.max(1);
         }
+        let fallback = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        pi_obs::warn_once(
+            "PI_THREADS",
+            &format!(
+                "PI_THREADS=`{v}` is not a thread count; using {fallback} (available parallelism)"
+            ),
+        );
+        return fallback;
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }

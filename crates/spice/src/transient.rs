@@ -330,6 +330,9 @@ struct Mna<'c> {
     linear: bool,
     factored: bool,
     factorizations: usize,
+    /// Newton diagnostics for pi-obs: solves started and total iterations.
+    newton_solves: usize,
+    newton_iters: usize,
     /// Linearization point of the current factorization.
     x_lin: Vec<f64>,
     /// Per-MOSFET drain current at the latest residual evaluation.
@@ -420,17 +423,26 @@ impl<'c> Mna<'c> {
                     }
                 }
                 match BorderedSolver::analyze(dim, &edges, &source_rows) {
-                    Some(s) => Backend::Bordered(Box::new(s)),
-                    None => Backend::Dense {
-                        a: vec![0.0; dim * dim],
-                        solver: DenseSolver::new(dim),
-                    },
+                    Some(s) => {
+                        pi_obs::counter_add("spice.solver_bordered", 1);
+                        Backend::Bordered(Box::new(s))
+                    }
+                    None => {
+                        pi_obs::counter_add("spice.solver_dense", 1);
+                        Backend::Dense {
+                            a: vec![0.0; dim * dim],
+                            solver: DenseSolver::new(dim),
+                        }
+                    }
                 }
             }
-            SolverKind::Dense => Backend::Dense {
-                a: vec![0.0; dim * dim],
-                solver: DenseSolver::new(dim),
-            },
+            SolverKind::Dense => {
+                pi_obs::counter_add("spice.solver_dense", 1);
+                Backend::Dense {
+                    a: vec![0.0; dim * dim],
+                    solver: DenseSolver::new(dim),
+                }
+            }
         };
         let linear = mosfets.is_empty();
         let n_mos = mosfets.len();
@@ -448,6 +460,8 @@ impl<'c> Mna<'c> {
             linear,
             factored: false,
             factorizations: 0,
+            newton_solves: 0,
+            newton_iters: 0,
             x_lin: vec![0.0; dim],
             dev_i0: vec![0.0; n_mos],
             dev_stamps: Vec::with_capacity(9 * n_mos),
@@ -578,6 +592,7 @@ impl<'c> Mna<'c> {
                 Ok(()) => break,
                 Err(_) if matches!(self.backend, Backend::Bordered(_)) => {
                     // Structured pivoting ran out of room; retry dense.
+                    pi_obs::counter_add("spice.solver_fallback_dense", 1);
                     self.backend = Backend::Dense {
                         a: vec![0.0; self.dim * self.dim],
                         solver: DenseSolver::new(self.dim),
@@ -604,7 +619,9 @@ impl<'c> Mna<'c> {
         let full = self.newton == NewtonPolicy::Full;
         let mut want_refactor = !self.factored;
         let mut since_factor = 0usize;
+        self.newton_solves += 1;
         for iter in 0..NEWTON_MAX_ITERS {
+            self.newton_iters += 1;
             // Tighten the damping if the iteration is struggling (limit
             // cycles around sharp device-curve corners).
             let max_step = match iter {
@@ -913,6 +930,7 @@ pub fn transient_with(
     circuit: &Circuit,
     spec: &TransientSpec,
 ) -> Result<TransientResult, SimError> {
+    let _obs_span = pi_obs::span("spice.transient");
     for n in &spec.record {
         if n.index() >= circuit.node_count() {
             return Err(SimError::InvalidSpec(format!(
@@ -1030,6 +1048,7 @@ pub fn transient_with(
     };
 
     let mut steps = 0usize;
+    let mut total_rejects = 0usize;
     match spec.step {
         StepControl::Fixed => {
             let total = (spec.t_stop.si() / dt).ceil() as usize;
@@ -1073,6 +1092,7 @@ pub fn transient_with(
                     bp_idx += 1;
                 }
                 let mut h_try = h.min(dt_max);
+                let h_first = h_try;
                 let mut rejects = 0usize;
                 loop {
                     let mut hit_bp = false;
@@ -1128,6 +1148,12 @@ pub fn transient_with(
                     h_prev = h_try;
                     t = t_new;
                     steps += 1;
+                    if rejects > 0 {
+                        total_rejects += rejects;
+                        // Shrink factor of the step that finally passed the
+                        // LTE / convergence tests, relative to the first try.
+                        pi_obs::hist_record("spice.lte_shrink", h_try / h_first);
+                    }
                     record(&mut traces, t, &state.v_prev);
                     record_currents(&mut source_currents, &source_rows, t, &state.x);
                     if hit_bp {
@@ -1147,6 +1173,17 @@ pub fn transient_with(
                 }
             }
         }
+    }
+
+    // One batch of counter updates per solve (not per step) keeps the
+    // enabled-path overhead off the inner loops.
+    if pi_obs::enabled() {
+        pi_obs::counter_add("spice.transient_solves", 1);
+        pi_obs::counter_add("spice.steps_accepted", steps as u64);
+        pi_obs::counter_add("spice.steps_rejected", total_rejects as u64);
+        pi_obs::counter_add("spice.newton_solves", mna.newton_solves as u64);
+        pi_obs::counter_add("spice.newton_iters", mna.newton_iters as u64);
+        pi_obs::counter_add("spice.factorizations", mna.factorizations as u64);
     }
 
     Ok(TransientResult {

@@ -202,7 +202,8 @@ pub fn estimate_network_yield(
     config: &EstimatorConfig,
 ) -> NetworkYieldEstimate {
     assert!(config.max_evals > 0, "need a positive evaluation budget");
-    match config.method {
+    let _obs_span = pi_obs::span("yield.estimate");
+    let est = match config.method {
         Method::Naive => run_counting(problem, config, &DieSampler::Rng),
         Method::Sobol => {
             let sobol = Sobol::new(problem.dimension());
@@ -229,7 +230,12 @@ pub fn estimate_network_yield(
                 channel_yield,
             }
         }
+    };
+    if pi_obs::enabled() {
+        pi_obs::counter_add("yield.estimates", 1);
+        pi_obs::counter_add("yield.evals", est.overall.evals as u64);
     }
+    est
 }
 
 /// First adaptive batch size (dies).
@@ -322,6 +328,7 @@ fn run_counting(
     let channels = problem.channels.len();
     let mut tally = CountTally::zero(channels);
     let mut batch = FIRST_BATCH;
+    let mut hit_target = false;
     while tally.dies < config.max_evals {
         let take = batch.min(config.max_evals - tally.dies);
         let chunks = fixed_chunks(tally.dies, tally.dies + take);
@@ -343,11 +350,21 @@ fn run_counting(
             tally.merge(part);
         }
         let hw = wilson_half_width(tally.pass_all, tally.dies, config.confidence_z);
+        pi_obs::sample("yield.ci_half_width", tally.dies as f64, hw);
         if config.target_half_width > 0.0 && hw <= config.target_half_width {
+            hit_target = true;
             break;
         }
         batch = (batch * 2).min(MAX_BATCH);
     }
+    pi_obs::counter_add(
+        if hit_target {
+            "yield.stop_target"
+        } else {
+            "yield.stop_budget"
+        },
+        1,
+    );
     let n = tally.dies as f64;
     let method = match sampler {
         DieSampler::Rng => Method::Naive,
@@ -396,6 +413,7 @@ fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkY
     loop {
         let target = next.min(config.max_evals.div_ceil(replicates).max(1));
         if target <= points {
+            pi_obs::counter_add("yield.stop_budget", 1);
             break;
         }
         // (replicate, chunk) work items, mapped in a fixed order.
@@ -427,11 +445,16 @@ fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkY
         let (mean, hw) = replicate_interval(&tallies, config.confidence_z);
         let _ = mean;
         let total = points * replicates;
-        if (config.target_half_width > 0.0
+        pi_obs::sample("yield.ci_half_width", total as f64, hw);
+        if config.target_half_width > 0.0
             && hw <= config.target_half_width
-            && points >= MIN_REPLICATE_POINTS)
-            || total >= config.max_evals
+            && points >= MIN_REPLICATE_POINTS
         {
+            pi_obs::counter_add("yield.stop_target", 1);
+            break;
+        }
+        if total >= config.max_evals {
+            pi_obs::counter_add("yield.stop_budget", 1);
             break;
         }
         next = points * 2;
@@ -481,6 +504,11 @@ struct WeightTally {
     fail_w2: f64,
     /// Σ w·fail per channel.
     fail_channel_w: Vec<f64>,
+    /// Σw and Σw² over *all* dies, accumulated only while pi-obs is
+    /// enabled, for the effective-sample-size diagnostic. Never feeds back
+    /// into the estimate, so results stay bit-identical with tracing off.
+    obs_w: f64,
+    obs_w2: f64,
 }
 
 impl WeightTally {
@@ -490,6 +518,8 @@ impl WeightTally {
             fail_w: 0.0,
             fail_w2: 0.0,
             fail_channel_w: vec![0.0; channels],
+            obs_w: 0.0,
+            obs_w2: 0.0,
         }
     }
 
@@ -500,6 +530,8 @@ impl WeightTally {
         for (a, b) in self.fail_channel_w.iter_mut().zip(&other.fail_channel_w) {
             *a += b;
         }
+        self.obs_w += other.obs_w;
+        self.obs_w2 += other.obs_w2;
     }
 }
 
@@ -565,6 +597,8 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
 
     let mut tally = WeightTally::zero(channels);
     let mut batch = FIRST_BATCH;
+    let mut hit_target = false;
+    let obs = pi_obs::enabled();
     while tally.dies < config.max_evals {
         let take = batch.min(config.max_evals - tally.dies);
         let chunks = fixed_chunks(tally.dies, tally.dies + take);
@@ -582,6 +616,10 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
                 let weight = (-dot + 0.5 * shift_sq).exp();
                 let all_ok = problem.die_from_normals(&z, &mut pass);
                 part.dies += 1;
+                if obs {
+                    part.obs_w += weight;
+                    part.obs_w2 += weight * weight;
+                }
                 if !all_ok {
                     part.fail_w += weight;
                     part.fail_w2 += weight * weight;
@@ -598,13 +636,29 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
             tally.merge(part);
         }
         let (_, hw) = weighted_interval(&tally, config.confidence_z);
+        pi_obs::sample("yield.ci_half_width", tally.dies as f64, hw);
         if config.target_half_width > 0.0
             && hw <= config.target_half_width
             && tally.dies >= MIN_IS_DIES.min(config.max_evals)
         {
+            hit_target = true;
             break;
         }
         batch = (batch * 2).min(MAX_BATCH);
+    }
+    pi_obs::counter_add(
+        if hit_target {
+            "yield.stop_target"
+        } else {
+            "yield.stop_budget"
+        },
+        1,
+    );
+    if obs && tally.obs_w2 > 0.0 {
+        // Kish effective sample size of the likelihood-ratio weights: how
+        // many unweighted dies the weighted sample is "worth". A collapse
+        // toward 1 flags weight degeneracy (shift pushed too far).
+        pi_obs::gauge_set("yield.is_ess", tally.obs_w * tally.obs_w / tally.obs_w2);
     }
 
     let (p_fail, hw) = weighted_interval(&tally, config.confidence_z);

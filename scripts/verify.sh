@@ -45,13 +45,36 @@ for key in host_cores calibration_threads calibration_serial_ns \
     calibration_cached_ns model_eval_ns golden_signoff_ns \
     signoff_sparse_ns signoff_dense_ns signoff_speedup \
     signoff_over_model_ratio yield_evals_reduction \
-    yield_tail_evals_reduction; do
+    yield_tail_evals_reduction probe_overhead_ns \
+    newton_iters_per_solve step_reject_rate char_cache_hit_rate; do
     require_finite "$key"
 done
 # Legitimately "null" on an effectively-serial host, but must be present.
 require_present calibration_parallel_ns
 require_present calibration_speedup
-echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x)"
+# The disabled-path probe is one relaxed atomic load; if it costs more
+# than this, instrumentation has leaked onto the fast path.
+probe_ns=$(json_value probe_overhead_ns)
+if ! awk -v p="$probe_ns" 'BEGIN { exit !(p <= 2.0) }'; then
+    echo "perf smoke: probe_overhead_ns $probe_ns exceeds the 2.0 ns disabled-path bound"
+    exit 1
+fi
+echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x, probe ${probe_ns} ns)"
+
+echo "== observability smoke =="
+# Trace a small sign-off plus a yield estimate end to end, then make the
+# `obs-report --check` validator prove every journal line matches the
+# documented schema and the span tree accounts for the wall clock.
+obs_journal=target/verify-obs.jsonl
+rm -f "$obs_journal"
+PI_OBS="jsonl:$obs_journal" target/release/pi report --tech 65nm \
+    --length 4mm --clock 2GHz --full >/dev/null
+target/release/pi obs-report "$obs_journal" --check
+rm -f "$obs_journal"
+PI_OBS="jsonl:$obs_journal" target/release/pi yield --tech 65nm \
+    --length 8mm --deadline 600ps --estimator sobol-scrambled >/dev/null
+target/release/pi obs-report "$obs_journal" --check
+echo "observability smoke: OK"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== clippy (deny warnings) =="

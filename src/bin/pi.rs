@@ -403,6 +403,31 @@ fn cmd_report(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `pi obs-report <journal.jsonl> [--check]` — renders a pi-obs JSONL trace
+/// journal (see `docs/OBSERVABILITY.md`) as a span tree plus metric tables.
+/// With `--check`, validates every line against the schema and the
+/// wall-clock accounting bound instead of printing the report.
+fn cmd_obs_report(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut check = false;
+    for a in args {
+        match a.as_str() {
+            "--check" => check = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("usage: pi obs-report <journal.jsonl> [--check]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if check {
+        predictive_interconnect::obs::report::check(&text)?;
+        println!("obs-report: `{path}` OK");
+    } else {
+        print!("{}", predictive_interconnect::obs::report::render(&text)?);
+    }
+    Ok(())
+}
+
 fn cmd_scaling() -> Result<(), String> {
     use predictive_interconnect::wire::WireRc;
     println!("node   Vdd [V]  R [ohm/mm]  C [fF/mm]");
@@ -420,9 +445,26 @@ fn cmd_scaling() -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: pi <delay|optimize|reach|noc|yield|report|scaling> [--options]
+const USAGE: &str =
+    "usage: pi <delay|optimize|reach|noc|yield|report|obs-report|scaling> [--options]
 run `pi <command>` with missing options to see what it needs;
-see the crate README for the full option list";
+see the crate README for the full option list.
+set PI_OBS=summary or PI_OBS=jsonl[:path] to trace any command (docs/OBSERVABILITY.md)";
+
+/// Root span name for the command, so a `PI_OBS=jsonl` journal has a
+/// single main-thread root covering the whole run.
+fn root_span_name(cmd: &str) -> &'static str {
+    match cmd {
+        "delay" => "pi.delay",
+        "optimize" => "pi.optimize",
+        "reach" => "pi.reach",
+        "noc" => "pi.noc",
+        "yield" => "pi.yield",
+        "report" => "pi.report",
+        "scaling" => "pi.scaling",
+        _ => "pi.main",
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -430,16 +472,26 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = Opts::parse(rest).and_then(|opts| match cmd.as_str() {
-        "delay" => cmd_delay(&opts),
-        "optimize" => cmd_optimize(&opts),
-        "reach" => cmd_reach(&opts),
-        "noc" => cmd_noc(&opts),
-        "yield" => cmd_yield(&opts),
-        "report" => cmd_report(&opts),
-        "scaling" => cmd_scaling(),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
-    });
+    let result = if cmd == "obs-report" {
+        // Takes a positional journal path; not traced itself.
+        cmd_obs_report(rest)
+    } else {
+        let run = {
+            let _root = predictive_interconnect::obs::span(root_span_name(cmd));
+            Opts::parse(rest).and_then(|opts| match cmd.as_str() {
+                "delay" => cmd_delay(&opts),
+                "optimize" => cmd_optimize(&opts),
+                "reach" => cmd_reach(&opts),
+                "noc" => cmd_noc(&opts),
+                "yield" => cmd_yield(&opts),
+                "report" => cmd_report(&opts),
+                "scaling" => cmd_scaling(),
+                other => Err(format!("unknown command `{other}`\n{USAGE}")),
+            })
+        };
+        predictive_interconnect::obs::finish();
+        run
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

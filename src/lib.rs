@@ -38,6 +38,7 @@ pub mod report;
 pub use pi_core as models;
 pub use pi_cosi as cosi;
 pub use pi_golden as golden;
+pub use pi_obs as obs;
 pub use pi_regress as regress;
 pub use pi_spice as spice;
 pub use pi_tech as tech;

@@ -120,6 +120,57 @@ fn bad_arguments_fail_with_messages() {
 }
 
 #[test]
+fn obs_jsonl_journal_validates_and_renders() {
+    let dir = std::env::temp_dir().join("pi_cli_obs_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let journal = dir.join("trace.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let journal_str = journal.to_str().expect("utf8 path");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pi"))
+        .args(["delay", "--tech", "65nm", "--length", "5mm"])
+        .env("PI_OBS", format!("jsonl:{journal_str}"))
+        .output()
+        .expect("pi binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    assert!(text.contains("\"type\":\"meta\""), "{text}");
+    assert!(text.contains("\"name\":\"pi.delay\""), "{text}");
+    assert!(text.contains("\"type\":\"finish\""), "{text}");
+
+    // --check validates every line plus the wall-clock accounting bound.
+    let out = pi(&["obs-report", journal_str, "--check"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // Default mode renders the span tree and metric tables.
+    let out = pi(&["obs-report", journal_str]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pi.delay"), "{text}");
+    assert!(text.contains("wall clock"), "{text}");
+
+    // Missing file and missing path argument both fail with a message.
+    let out = pi(&["obs-report", "/nonexistent/trace.jsonl"]);
+    assert!(!out.status.success());
+    let out = pi(&["obs-report"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("obs-report"));
+}
+
+#[test]
 fn yield_command_reports_distribution_and_yield() {
     let out = pi(&[
         "yield",

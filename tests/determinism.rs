@@ -175,4 +175,93 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
             .collect()
     });
     assert_eq!(grids[0], replay, "cache replay differs from recomputation");
+
+    // 7. Observation must never perturb the numerics: running the exact
+    //    same flows under `PI_OBS=jsonl` must yield bit-identical
+    //    characterization coefficients, yield estimates, and sign-off
+    //    delays and slews — at one thread and at four. pi-obs probes only
+    //    read;
+    //    if tracing ever fed a value back into a solver this is the test
+    //    that catches it.
+    use pi_golden::signoff::line_delay;
+    let signoff_spec = LineSpec::global(Length::mm(3.0), DesignStyle::SingleSpacing);
+    let signoff_plan = BufferingPlan {
+        kind: RepeaterKind::Inverter,
+        count: 6,
+        wn: Length::um(6.0),
+        staggered: false,
+    };
+    type ObsProbeBits = (Vec<(u64, u64)>, (u64, u64, usize), Vec<u64>);
+    let obs_probe = |threads: &str| -> ObsProbeBits {
+        with_threads(Some(threads), || {
+            pi_core::char_cache::clear();
+            let grid_bits: Vec<(u64, u64)> =
+                characterize_grid(&tech, RepeaterKind::Inverter, Transition::Fall, &grid)
+                    .expect("characterization")
+                    .iter()
+                    .map(|p| (p.delay.si().to_bits(), p.output_slew.si().to_bits()))
+                    .collect();
+            let est = evaluator.timing_yield_estimate(
+                &spec,
+                &plan,
+                &variation,
+                evaluator.timing(&spec, &plan).delay * 1.05,
+                &EstimatorConfig::new(Method::SobolScrambled)
+                    .with_seed(9)
+                    .with_target_half_width(2e-2),
+            );
+            let signoff = line_delay(&tech, &signoff_spec, &signoff_plan).expect("sign-off");
+            let wave: Vec<u64> = vec![
+                signoff.delay.si().to_bits(),
+                signoff.steady_stage.delay.si().to_bits(),
+                signoff.steady_stage.far_slew.si().to_bits(),
+                signoff.simulated_stages as u64,
+            ];
+            (
+                grid_bits,
+                (
+                    est.yield_fraction.to_bits(),
+                    est.half_width.to_bits(),
+                    est.evals,
+                ),
+                wave,
+            )
+        })
+    };
+    let journal = std::env::temp_dir().join("pi_determinism_obs.jsonl");
+    let journal_arg = format!("jsonl:{}", journal.display());
+    for threads in ["1", "4"] {
+        std::env::remove_var("PI_OBS");
+        pi_obs::reinit_from_env();
+        let untraced = obs_probe(threads);
+
+        let _ = std::fs::remove_file(&journal);
+        std::env::set_var("PI_OBS", &journal_arg);
+        pi_obs::reinit_from_env();
+        let traced = {
+            let _root = pi_obs::span("pi.main");
+            obs_probe(threads)
+        };
+        pi_obs::finish();
+        std::env::remove_var("PI_OBS");
+        pi_obs::reinit_from_env();
+
+        assert_eq!(
+            untraced.0, traced.0,
+            "PI_OBS=jsonl changed characterization bits at {threads} thread(s)"
+        );
+        assert_eq!(
+            untraced.1, traced.1,
+            "PI_OBS=jsonl changed the yield estimate at {threads} thread(s)"
+        );
+        assert_eq!(
+            untraced.2, traced.2,
+            "PI_OBS=jsonl changed the sign-off waveform at {threads} thread(s)"
+        );
+        // While we have it: the emitted journal must satisfy the public
+        // schema contract end to end.
+        let text = std::fs::read_to_string(&journal).expect("journal written");
+        pi_obs::report::check(&text).expect("journal validates");
+    }
+    let _ = std::fs::remove_file(&journal);
 }
