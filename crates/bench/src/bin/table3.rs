@@ -43,6 +43,7 @@ fn main() {
                 style: DesignStyle::SingleSpacing,
                 max_router_ports: 16,
                 length_margin: 0.85,
+                yield_filter: None,
             };
             let routers = RouterParams::for_tech(&tech);
 

@@ -22,18 +22,30 @@
 //! exposes the variance-reduced estimators with confidence intervals.
 
 use pi_rt::Rng;
-use pi_tech::units::Time;
-use pi_yield::{DriveVariation, EstimatorConfig, LineProblem, StageDelays, YieldEstimate};
+use pi_tech::units::{Length, Time};
+use pi_yield::{
+    DriveVariation, EstimatorConfig, LineProblem, SpatialCorrelation, StageDelays, YieldEstimate,
+};
 
 use crate::line::{BufferingPlan, LineEvaluator, LineSpec, StageTiming};
 
-/// Gaussian variation magnitudes (fractions of nominal drive strength).
+/// Gaussian variation magnitudes (fractions of nominal drive strength),
+/// plus the spatial-correlation knobs of the within-die component.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     /// σ of the die-to-die drive factor (shared by all repeaters).
     pub sigma_d2d: f64,
     /// σ of the within-die drive factor (independent per repeater).
     pub sigma_wid: f64,
+    /// Correlation coefficient between the WID factors of repeaters that
+    /// share a die region, in `[0, 1]`. `0` (the default) reproduces the
+    /// historical fully-independent WID model bit-for-bit.
+    pub rho_region: f64,
+    /// Edge length of the square spatial-correlation region: repeaters
+    /// whose placement falls in the same `region_cell × region_cell` grid
+    /// cell (or the same `region_cell` interval along a line) share one
+    /// region factor. Ignored when `rho_region == 0`.
+    pub region_cell: Length,
 }
 
 impl VariationModel {
@@ -72,6 +84,8 @@ impl VariationModel {
         VariationModel {
             sigma_d2d: 0.08,
             sigma_wid: 0.05,
+            rho_region: 0.0,
+            region_cell: Length::mm(1.0),
         }
     }
 
@@ -81,6 +95,27 @@ impl VariationModel {
         VariationModel {
             sigma_d2d: 0.0,
             sigma_wid: 0.0,
+            rho_region: 0.0,
+            region_cell: Length::mm(1.0),
+        }
+    }
+
+    /// The same magnitudes with a regional WID correlation attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rho ≤ 1` and `cell` is positive.
+    #[must_use]
+    pub fn with_regional(self, rho: f64, cell: Length) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "rho_region must be in [0, 1], got {rho}"
+        );
+        assert!(cell.si() > 0.0, "region_cell must be positive");
+        VariationModel {
+            rho_region: rho,
+            region_cell: cell,
+            ..self
         }
     }
 
@@ -92,6 +127,51 @@ impl VariationModel {
             sigma_wid: self.sigma_wid,
         }
     }
+
+    /// The spatial-correlation model for one straight line of `stages`
+    /// repeaters spanning `length`: repeater `k` of `n` sits at fraction
+    /// `(k + 0.5) / n` along the line, its region is the `region_cell`
+    /// interval containing that position, and region ids are densified in
+    /// first-occurrence order. Returns the inactive model when
+    /// `rho_region == 0` (the lowered problem is then bit-identical to
+    /// the historical uncorrelated one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho_region > 0` but `region_cell` is not positive.
+    #[must_use]
+    pub fn line_correlation(&self, stages: usize, length: Length) -> SpatialCorrelation {
+        if self.rho_region <= 0.0 || stages == 0 {
+            return SpatialCorrelation::none();
+        }
+        assert!(
+            self.region_cell.si() > 0.0,
+            "region_cell must be positive when rho_region > 0"
+        );
+        let cell = self.region_cell.si();
+        let raw: Vec<usize> = (0..stages)
+            .map(|k| {
+                let pos = length.si() * (k as f64 + 0.5) / stages as f64;
+                (pos / cell).floor().max(0.0) as usize
+            })
+            .collect();
+        SpatialCorrelation::regional(self.rho_region, dense_regions(&raw))
+    }
+}
+
+/// Remaps arbitrary region ids to dense `0..R` ids in first-occurrence
+/// order (deterministic: independent of the id values themselves).
+#[must_use]
+pub fn dense_regions(raw: &[usize]) -> Vec<usize> {
+    let mut seen: Vec<usize> = Vec::new();
+    raw.iter()
+        .map(|&id| {
+            seen.iter().position(|&s| s == id).unwrap_or_else(|| {
+                seen.push(id);
+                seen.len() - 1
+            })
+        })
+        .collect()
 }
 
 /// Lowers per-stage timings to the `pi-yield` stage-delay vector (seconds).
@@ -188,8 +268,10 @@ impl LineEvaluator<'_> {
         deadline: Time,
     ) -> LineProblem {
         let nominal = self.timing(spec, plan);
+        let stages = stage_delays(&nominal.stages);
         LineProblem {
-            stages: stage_delays(&nominal.stages),
+            correlation: variation.line_correlation(stages.len(), spec.length),
+            stages,
             variation: variation.to_drive(),
             deadline_s: deadline.si(),
         }
@@ -222,10 +304,27 @@ impl LineEvaluator<'_> {
         let nominal = self.timing(spec, plan);
         let stages = stage_delays(&nominal.stages);
         let drive = variation.to_drive();
-        let out = pi_rt::par_map_indexed(samples, |i| {
-            let mut rng = Rng::stream(seed, i as u64);
-            Time::s(stages.sample_delay(&mut rng, &drive))
-        });
+        let correlation = variation.line_correlation(stages.len(), spec.length);
+        let out = if correlation.is_active() {
+            // Correlated draw: route through the problem type (D2D, then
+            // the region factors, then one normal per stage).
+            let problem = LineProblem {
+                stages,
+                variation: drive,
+                correlation,
+                deadline_s: f64::INFINITY,
+            };
+            pi_rt::par_map_indexed(samples, |i| {
+                let mut rng = Rng::stream(seed, i as u64);
+                Time::s(problem.sample_delay(&mut rng))
+            })
+        } else {
+            // Legacy draw order, pinned bit-for-bit by tests.
+            pi_rt::par_map_indexed(samples, |i| {
+                let mut rng = Rng::stream(seed, i as u64);
+                Time::s(stages.sample_delay(&mut rng, &drive))
+            })
+        };
         DelayDistribution { samples: out }
     }
 
@@ -489,12 +588,13 @@ mod tests {
         let ev = LineEvaluator::new(&m, &t);
         let (spec, plan) = spec_plan();
         let d2d_only = VariationModel {
-            sigma_d2d: 0.08,
             sigma_wid: 0.0,
+            ..VariationModel::nominal()
         };
         let wid_only = VariationModel {
             sigma_d2d: 0.0,
             sigma_wid: 0.08,
+            ..VariationModel::nominal()
         };
         let s_d2d = ev
             .delay_distribution(&spec, &plan, &d2d_only, 500, 11)
@@ -754,6 +854,62 @@ mod tests {
         // bound, not just its point estimate.
         let est = ev.timing_yield_estimate(&spec, &sized.plan, &v, deadline, &cfg);
         assert!(est.yield_fraction - est.half_width >= target);
+    }
+
+    #[test]
+    fn line_correlation_buckets_stages_by_position() {
+        // 8 stages over 8 mm with a 2 mm cell: stage centers at 0.5, 1.5,
+        // … 7.5 mm land two per cell, four cells, densely numbered.
+        let v = VariationModel::nominal().with_regional(0.5, Length::mm(2.0));
+        let corr = v.line_correlation(8, Length::mm(8.0));
+        assert!(corr.is_active());
+        assert_eq!(corr.stage_region, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(corr.region_count(), 4);
+        // rho = 0 lowers to the inactive (legacy, bit-identical) model.
+        let flat = VariationModel::nominal().line_correlation(8, Length::mm(8.0));
+        assert!(!flat.is_active());
+    }
+
+    #[test]
+    fn dense_regions_remaps_in_first_occurrence_order() {
+        assert_eq!(dense_regions(&[7, 2, 7, 9, 2]), vec![0, 1, 0, 2, 1]);
+        assert_eq!(dense_regions(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn correlated_line_problem_round_trips_through_the_evaluator() {
+        // rho > 0 must thread through line_problem into the estimators
+        // and lower the yield relative to the independent model at a
+        // tight deadline (coherent same-region variance stacks up).
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (spec, plan) = spec_plan();
+        let independent = VariationModel::nominal();
+        let correlated = independent.with_regional(0.8, Length::mm(2.0));
+        let deadline = Time::ps(600.0);
+        let p = ev.line_problem(&spec, &plan, &correlated, deadline);
+        assert!(p.correlation.is_active());
+        let y_ind = pi_yield::line_yield(&ev.line_problem(&spec, &plan, &independent, deadline));
+        let y_corr = pi_yield::line_yield(&p);
+        assert!(
+            y_corr < y_ind,
+            "correlated yield {y_corr} should undercut independent {y_ind}"
+        );
+        // The sampled distribution honours the correlation too: larger
+        // spread than the independent model (same marginals, positive
+        // covariance between same-region stages).
+        let s_ind = ev
+            .delay_distribution(&spec, &plan, &independent, 600, 21)
+            .std_dev();
+        let s_corr = ev
+            .delay_distribution(&spec, &plan, &correlated, 600, 21)
+            .std_dev();
+        assert!(
+            s_corr.si() > s_ind.si(),
+            "correlated σ {} ps vs independent σ {} ps",
+            s_corr.as_ps(),
+            s_ind.as_ps()
+        );
     }
 
     #[test]

@@ -57,13 +57,13 @@ pub use dot::to_dot;
 pub use explore::{explore_link_styles, StyleChoice, StyleResult};
 pub use mesh::{mesh_network, MeshDims};
 pub use model::{InfeasibleLink, LinkCost, LinkCostModel, OriginalLinkModel, ProposedLinkModel};
-pub use net_yield::{network_timing_yield, NetworkYield};
-pub use placement::{refine_relay_placement, RefinementStats};
+pub use net_yield::{network_timing_yield, NetworkYield, CHANNEL_LENGTH_FLOOR};
+pub use placement::{channel_stage_regions, refine_relay_placement, RefinementStats};
 pub use report::{evaluate, NetworkReport};
 pub use router::RouterParams;
 pub use spec::{CommSpec, Core, Flow, Point, SpecError};
 pub use spec_text::{parse_spec, write_spec, ParseSpecError};
 pub use synthesis::{
     infeasible_under, synthesize, Channel, NetNode, Network, NodeKind, SynthesisConfig,
-    SynthesisError,
+    SynthesisError, YieldFilter,
 };

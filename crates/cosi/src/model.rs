@@ -78,6 +78,16 @@ pub trait LinkCostModel {
     ///
     /// Returns [`InfeasibleLink`] if no buffering meets the clock period.
     fn link_cost(&self, length: Length, n_bits: usize) -> Result<LinkCost, InfeasibleLink>;
+
+    /// Nominal per-stage `(repeater, wire)` delays of one bit-line of a
+    /// link of the given length, for statistical yield analysis of the
+    /// synthesized network. Models that cannot produce per-stage timing
+    /// (e.g. the closed-form Bakoglu estimates) return `None`, which
+    /// disables yield-aware synthesis filtering for them.
+    fn stage_delays(&self, length: Length) -> Option<pi_yield::StageDelays> {
+        let _ = length;
+        None
+    }
 }
 
 /// The proposed calibrated model (this paper), driving power-aware
@@ -181,6 +191,32 @@ impl LinkCostModel for ProposedLinkModel<'_> {
             repeaters_per_bit: result.plan.count,
             plan: result.plan,
         })
+    }
+
+    fn stage_delays(&self, length: Length) -> Option<pi_yield::StageDelays> {
+        let spec = LineSpec::global(length, self.style);
+        let mut space = SearchSpace::for_length(length);
+        space.staggered = self.staggered;
+        let result = self.evaluator.optimize_with_deadline(
+            &spec,
+            self.clock.period(),
+            &self.objective,
+            &space,
+        )?;
+        Some(pi_yield::StageDelays::new(
+            result
+                .timing
+                .stages
+                .iter()
+                .map(|s| s.repeater_delay.si())
+                .collect(),
+            result
+                .timing
+                .stages
+                .iter()
+                .map(|s| s.wire_delay.si())
+                .collect(),
+        ))
     }
 }
 

@@ -19,10 +19,21 @@
 use pi_core::line::{LineEvaluator, LineSpec};
 use pi_core::variation::VariationModel;
 use pi_rt::Rng;
-use pi_tech::units::Freq;
-use pi_yield::{EstimatorConfig, NetworkProblem, NetworkYieldEstimate, StageDelays};
+use pi_tech::units::{Freq, Length};
+use pi_yield::{
+    EstimatorConfig, NetworkProblem, NetworkYieldEstimate, SpatialCorrelation, StageDelays,
+};
 
 use crate::synthesis::Network;
+
+/// Shortest channel length the yield path evaluates. Synthesized channels
+/// can be arbitrarily short (a relay snapped next to a core), but the
+/// calibrated line models are not characterized below this length, so
+/// [`network_problem`] clamps shorter channels **up** to it. The clamp is
+/// pessimistic (a longer line is slower) and is surfaced through the
+/// `cosi.net_yield_length_floor` counter and a one-time warning rather
+/// than applied silently.
+pub const CHANNEL_LENGTH_FLOOR: Length = Length::from_si(50.0e-6);
 
 /// Result of a network yield analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,8 +65,16 @@ impl NetworkYield {
 
 /// Lowers a synthesized network to the plain-`f64` yield problem the
 /// `pi-yield` estimators consume: per-channel nominal stage delays under
-/// the evaluator's technology, the drive-variation budget, and the clock
-/// period every channel must meet.
+/// the evaluator's technology, the drive-variation budget, the clock
+/// period every channel must meet, and — when `variation.rho_region > 0`
+/// — a spatial-correlation model whose region ids come from the
+/// channels' placement geometry (one region per `region_cell` floorplan
+/// grid cell).
+///
+/// Channels shorter than [`CHANNEL_LENGTH_FLOOR`] are clamped up to it
+/// (see the constant's docs); each clamp bumps the
+/// `cosi.net_yield_length_floor` counter and the first one emits a
+/// warning.
 ///
 /// # Panics
 ///
@@ -75,7 +94,19 @@ pub fn network_problem(
         .channels
         .iter()
         .map(|c| {
-            let spec = LineSpec::global(c.length.max(pi_tech::units::Length::um(50.0)), style);
+            if c.length < CHANNEL_LENGTH_FLOOR {
+                pi_obs::warn_once(
+                    "cosi.net_yield_length_floor",
+                    &format!(
+                        "channel length {:.1} um below the {:.0} um yield floor; \
+                         clamping up (pessimistic)",
+                        c.length.as_um(),
+                        CHANNEL_LENGTH_FLOOR.as_um()
+                    ),
+                );
+                pi_obs::counter_add("cosi.net_yield_length_floor", 1);
+            }
+            let spec = LineSpec::global(c.length.max(CHANNEL_LENGTH_FLOOR), style);
             let timing = evaluator.timing(&spec, &c.cost.plan);
             StageDelays::new(
                 timing
@@ -87,7 +118,16 @@ pub fn network_problem(
             )
         })
         .collect();
+    let correlation = if variation.rho_region > 0.0 {
+        let counts: Vec<usize> = channels.iter().map(StageDelays::len).collect();
+        let regions =
+            crate::placement::channel_stage_regions(network, &counts, variation.region_cell);
+        SpatialCorrelation::regional(variation.rho_region, regions)
+    } else {
+        SpatialCorrelation::none()
+    };
     NetworkProblem::new(channels, variation.to_drive(), clock.period().si())
+        .with_correlation(correlation)
 }
 
 /// Samples the timing yield of a synthesized network: on each sampled die,
@@ -303,6 +343,109 @@ mod tests {
             );
             assert_eq!(est.channel_yield.len(), net.channels.len(), "{method}");
         }
+    }
+
+    #[test]
+    fn sub_floor_channels_are_clamped_up_not_dropped() {
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let mut net = synthesized(&s, 1.0);
+        // Shrink one channel well below the characterized floor.
+        net.channels[0].length = Length::um(10.0);
+        let v = VariationModel::nominal();
+        let problem = network_problem(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock);
+        assert_eq!(problem.channels.len(), net.channels.len());
+        // The clamped channel evaluates exactly as a floor-length line.
+        let spec = LineSpec::global(CHANNEL_LENGTH_FLOOR, DesignStyle::SingleSpacing);
+        let timing = ev.timing(&spec, &net.channels[0].cost.plan);
+        let expected: Vec<f64> = timing
+            .stages
+            .iter()
+            .map(|t| t.repeater_delay.si())
+            .collect();
+        assert_eq!(problem.channels[0].repeater_s, expected);
+        // And the whole-network yield still computes (no panic, bounded).
+        let y = network_timing_yield(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, 64, 2);
+        assert!((0.0..=1.0).contains(&y.yield_fraction));
+    }
+
+    #[test]
+    fn regional_variation_attaches_placement_derived_correlation() {
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let net = synthesized(&s, 0.9);
+        let independent = VariationModel::nominal();
+        let correlated = independent.with_regional(0.7, pi_tech::units::Length::mm(2.0));
+        let flat = network_problem(&net, &ev, DesignStyle::SingleSpacing, &independent, s.clock);
+        assert!(!flat.correlation.is_active());
+        let problem = network_problem(&net, &ev, DesignStyle::SingleSpacing, &correlated, s.clock);
+        assert!(problem.correlation.is_active());
+        assert_eq!(
+            problem.correlation.stage_region.len(),
+            problem.total_stages()
+        );
+        assert!(
+            problem.correlation.region_count() >= 2,
+            "a multi-core die spans regions"
+        );
+        // The analytic closure on the correlated problem agrees with the
+        // scrambled-Sobol estimator within its CI plus model tolerance.
+        let (y_corr, _) = pi_yield::network_yield(&problem);
+        let rqmc = pi_yield::estimate_network_yield(
+            &problem,
+            &EstimatorConfig::new(pi_yield::Method::SobolScrambled)
+                .with_seed(17)
+                .with_target_half_width(2e-3),
+        );
+        assert!(
+            (y_corr - rqmc.overall.yield_fraction).abs() < rqmc.overall.half_width + 0.02,
+            "closure {y_corr} vs RQMC {}",
+            rqmc.overall.yield_fraction
+        );
+    }
+
+    #[test]
+    fn filtered_synthesis_meets_the_yield_target_on_dvopd() {
+        // The tentpole acceptance check: yield-aware synthesis filtering
+        // must deliver a network whose estimated yield clears the target,
+        // where unfiltered synthesis at the same clock falls short.
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let model = ProposedLinkModel::new(&ev, DesignStyle::SingleSpacing, s.clock, 0.25);
+        let variation =
+            VariationModel::nominal().with_regional(0.5, pi_tech::units::Length::mm(2.0));
+        let target = 0.9;
+        let plain_cfg = SynthesisConfig::at_clock(s.clock);
+        let filtered_cfg =
+            plain_cfg.with_yield_filter(crate::synthesis::YieldFilter::new(target, variation));
+        let plain = synthesize(&dvopd(), &model, &plain_cfg).expect("plain synthesis");
+        let filtered = synthesize(&dvopd(), &model, &filtered_cfg).expect("filtered synthesis");
+        let estimate = |net: &Network| {
+            network_yield_estimate(
+                net,
+                &ev,
+                DesignStyle::SingleSpacing,
+                &variation,
+                s.clock,
+                &EstimatorConfig::new(pi_yield::Method::SobolScrambled)
+                    .with_seed(7)
+                    .with_target_half_width(2e-3),
+            )
+            .overall
+        };
+        let y_plain = estimate(&plain);
+        let y_filtered = estimate(&filtered);
+        assert!(
+            y_filtered.yield_fraction + y_filtered.half_width + 0.02 >= target,
+            "filtered network yield {} misses the {target} target",
+            y_filtered.yield_fraction
+        );
+        assert!(
+            y_filtered.yield_fraction >= y_plain.yield_fraction - y_plain.half_width,
+            "filtering must not lose yield: {} vs {}",
+            y_filtered.yield_fraction,
+            y_plain.yield_fraction
+        );
     }
 
     #[test]

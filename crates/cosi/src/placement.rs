@@ -22,6 +22,53 @@ pub struct RefinementStats {
     pub iterations: usize,
 }
 
+/// Derives one spatial-correlation region id per repeater stage from the
+/// network's placement geometry, in channel-major stage order (the layout
+/// [`pi_yield::SpatialCorrelation`] expects).
+///
+/// Stage `k` of a channel with `n` stages sits at fraction `(k + 0.5) / n`
+/// along the straight `from → to` segment; its region is the `cell × cell`
+/// floorplan grid cell containing that point. Raw grid cells are remapped
+/// to dense `0..R` ids in first-occurrence order, so the result is
+/// deterministic and independent of cell coordinates.
+///
+/// `stage_counts` gives the repeater count per channel (same order as
+/// `network.channels`) — the caller knows it from the lowered
+/// [`pi_yield::StageDelays`], which may differ from the plan's count when
+/// the channel length was floor-clamped.
+///
+/// # Panics
+///
+/// Panics if `stage_counts` is mis-sized or `cell` is not positive.
+#[must_use]
+pub fn channel_stage_regions(
+    network: &Network,
+    stage_counts: &[usize],
+    cell: Length,
+) -> Vec<usize> {
+    assert_eq!(
+        stage_counts.len(),
+        network.channels.len(),
+        "one stage count per channel"
+    );
+    let mut seen: Vec<(i64, i64)> = Vec::new();
+    let mut regions = Vec::with_capacity(stage_counts.iter().sum());
+    for (channel, &stages) in network.channels.iter().zip(stage_counts) {
+        let a = network.nodes[channel.from].position;
+        let b = network.nodes[channel.to].position;
+        for k in 0..stages {
+            let p = a.lerp(&b, (k as f64 + 0.5) / stages as f64);
+            let key = p.grid_cell(cell);
+            let id = seen.iter().position(|&s| s == key).unwrap_or_else(|| {
+                seen.push(key);
+                seen.len() - 1
+            });
+            regions.push(id);
+        }
+    }
+    regions
+}
+
 #[cfg(test)]
 fn weighted_length(network: &Network) -> f64 {
     network
@@ -120,7 +167,7 @@ pub fn refine_relay_placement(
         let length = network.nodes[from]
             .position
             .manhattan(&network.nodes[to].position);
-        let cost = model.link_cost(length.max(Length::um(50.0)), n_bits)?;
+        let cost = model.link_cost(length.max(crate::net_yield::CHANNEL_LENGTH_FLOOR), n_bits)?;
         let c = &mut network.channels[i];
         c.length = length;
         c.cost = cost;
@@ -255,6 +302,32 @@ mod tests {
                 "stale cost after refinement"
             );
         }
+    }
+
+    #[test]
+    fn stage_regions_follow_the_channel_geometry() {
+        let model = StubModel {
+            reach: Length::mm(5.0),
+        };
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.0));
+        let net = synthesize(&long_line_spec(), &model, &cfg).unwrap();
+        let counts: Vec<usize> = net.channels.iter().map(|_| 4).collect();
+        let regions = channel_stage_regions(&net, &counts, Length::mm(2.0));
+        assert_eq!(regions.len(), 4 * net.channels.len());
+        // Dense first-occurrence numbering: id 0 appears first, and every
+        // id is at most one above the ids seen before it.
+        let mut max_seen = 0usize;
+        assert_eq!(regions[0], 0);
+        for &r in &regions {
+            assert!(r <= max_seen + 1, "non-dense region id {r}");
+            max_seen = max_seen.max(r);
+        }
+        // A huge cell collapses the whole die into one region.
+        let one = channel_stage_regions(&net, &counts, Length::mm(100.0));
+        assert!(one.iter().all(|&r| r == 0));
+        // A tiny cell separates the stages of a long channel.
+        let fine = channel_stage_regions(&net, &counts, Length::um(200.0));
+        assert!(fine.iter().max().copied().unwrap_or(0) > one.len() / 8);
     }
 
     #[test]

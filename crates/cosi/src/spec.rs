@@ -40,6 +40,23 @@ impl Point {
             y: self.y.lerp(other.y, t),
         }
     }
+
+    /// The `cell × cell` floorplan grid cell containing this point — the
+    /// spatial-correlation region key used by the yield path (repeaters in
+    /// one cell share a within-die region factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell` is positive.
+    #[must_use]
+    pub fn grid_cell(&self, cell: Length) -> (i64, i64) {
+        assert!(cell.si() > 0.0, "grid cell must be positive");
+        let c = cell.si();
+        (
+            (self.x.si() / c).floor() as i64,
+            (self.y.si() / c).floor() as i64,
+        )
+    }
 }
 
 /// A computation core (or IP block) on the SoC.
@@ -219,6 +236,14 @@ mod tests {
         let a = Point::mm(1.0, 2.0);
         let b = Point::mm(4.0, 6.0);
         assert!((a.manhattan(&b).as_mm() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_cell_buckets_points() {
+        let cell = Length::mm(2.0);
+        assert_eq!(Point::mm(0.5, 0.5).grid_cell(cell), (0, 0));
+        assert_eq!(Point::mm(2.5, 0.5).grid_cell(cell), (1, 0));
+        assert_eq!(Point::mm(3.9, 5.9).grid_cell(cell), (1, 2));
     }
 
     #[test]

@@ -12,11 +12,45 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use pi_core::variation::VariationModel;
 use pi_tech::units::{Freq, Length};
 use pi_tech::DesignStyle;
+use pi_yield::{NetworkProblem, SpatialCorrelation, StageDelays};
 
 use crate::model::{InfeasibleLink, LinkCost, LinkCostModel};
 use crate::spec::{CommSpec, Point, SpecError};
+
+/// Yield-aware synthesis filtering: accept a synthesized network only if
+/// its analytic lower-bound timing yield under process variation reaches
+/// a target, re-segmenting with a tighter length budget otherwise.
+///
+/// The analytic closure (see [`pi_yield::network_yield`]) is a lower
+/// bound under active spatial correlation, so a network that passes the
+/// filter is conservatively feasible — the right direction for sign-off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldFilter {
+    /// Minimum acceptable network timing yield, in `(0, 1]`.
+    pub min_yield: f64,
+    /// Variation budget the yield is evaluated under (including the
+    /// spatial-correlation knobs `rho_region` / `region_cell`).
+    pub variation: VariationModel,
+    /// Maximum re-segmentation rounds before giving up with
+    /// [`SynthesisError::YieldTarget`].
+    pub max_rounds: usize,
+}
+
+impl YieldFilter {
+    /// A filter at `min_yield` under `variation` with the default round
+    /// budget (6 rounds ≈ a 38 % cut of the length budget).
+    #[must_use]
+    pub fn new(min_yield: f64, variation: VariationModel) -> Self {
+        YieldFilter {
+            min_yield,
+            variation,
+            max_rounds: 6,
+        }
+    }
+}
 
 /// Synthesis parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +66,8 @@ pub struct SynthesisConfig {
     /// Fraction of the feasible length actually used when segmenting
     /// (slack for relay-placement snapping).
     pub length_margin: f64,
+    /// Optional yield-aware feasibility filter (off by default).
+    pub yield_filter: Option<YieldFilter>,
 }
 
 impl SynthesisConfig {
@@ -44,6 +80,16 @@ impl SynthesisConfig {
             style: DesignStyle::SingleSpacing,
             max_router_ports: 16,
             length_margin: 0.85,
+            yield_filter: None,
+        }
+    }
+
+    /// The same configuration with a yield filter attached.
+    #[must_use]
+    pub fn with_yield_filter(self, filter: YieldFilter) -> Self {
+        SynthesisConfig {
+            yield_filter: Some(filter),
+            ..self
         }
     }
 }
@@ -158,6 +204,16 @@ pub enum SynthesisError {
         /// Ports available.
         max: usize,
     },
+    /// The yield filter exhausted its re-segmentation rounds without
+    /// reaching the target network yield.
+    YieldTarget {
+        /// Best analytic yield achieved.
+        achieved: f64,
+        /// The configured minimum yield.
+        target: f64,
+        /// Rounds spent.
+        rounds: usize,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -171,6 +227,15 @@ impl fmt::Display for SynthesisError {
             SynthesisError::PortOverflow { node, ports, max } => {
                 write!(f, "node {node} needs {ports} ports but routers have {max}")
             }
+            SynthesisError::YieldTarget {
+                achieved,
+                target,
+                rounds,
+            } => write!(
+                f,
+                "network yield {achieved:.4} misses the {target:.4} target \
+                 after {rounds} re-segmentation rounds"
+            ),
         }
     }
 }
@@ -192,14 +257,38 @@ impl From<InfeasibleLink> for SynthesisError {
 /// Synthesizes a network for `spec` under `config` using `model` for every
 /// link-cost and feasibility decision.
 ///
+/// When `config.yield_filter` is set, the synthesized network is accepted
+/// only if its analytic timing yield under the filter's variation budget
+/// reaches `min_yield`; otherwise synthesis is re-run with a 15 %-tighter
+/// length budget (shorter links carry more timing slack, so per-channel
+/// yield rises) for up to `max_rounds` rounds. Models without per-stage
+/// timing ([`LinkCostModel::stage_delays`] returning `None`) skip the
+/// filter with a one-time warning.
+///
 /// # Errors
 ///
 /// Returns an error if the spec is invalid, no link is feasible at the
-/// clock, or a router would exceed its port budget.
+/// clock, a router would exceed its port budget, or the yield filter
+/// exhausts its rounds below the target.
 pub fn synthesize(
     spec: &CommSpec,
     model: &dyn LinkCostModel,
     config: &SynthesisConfig,
+) -> Result<Network, SynthesisError> {
+    let network = synthesize_with_margin(spec, model, config, config.length_margin)?;
+    match config.yield_filter {
+        None => Ok(network),
+        Some(filter) => apply_yield_filter(spec, model, config, &filter, network),
+    }
+}
+
+/// One synthesis pass with an explicit length budget (the yield filter
+/// re-runs this with progressively tighter margins).
+fn synthesize_with_margin(
+    spec: &CommSpec,
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+    length_margin: f64,
 ) -> Result<Network, SynthesisError> {
     let _obs_span = pi_obs::span("cosi.synthesize");
     spec.validate()?;
@@ -207,7 +296,7 @@ pub fn synthesize(
     if max_len.si() <= 0.0 {
         return Err(SynthesisError::NoFeasibleLink);
     }
-    let budget = max_len * config.length_margin;
+    let budget = max_len * length_margin;
 
     // Core interfaces.
     let mut nodes: Vec<NetNode> = spec
@@ -302,7 +391,7 @@ pub fn synthesize(
         let length = nodes[key.0].position.manhattan(&nodes[key.1].position);
         let lanes = ((bw / capacity_gbps).ceil() as usize).max(1);
         let n_bits = lanes * spec.data_width;
-        let cost = model.link_cost(length.max(Length::um(50.0)), n_bits)?;
+        let cost = model.link_cost(length.max(crate::net_yield::CHANNEL_LENGTH_FLOOR), n_bits)?;
         channel_index.insert(key, channels.len());
         channels.push(Channel {
             from: key.0,
@@ -349,6 +438,150 @@ pub fn synthesize(
     }
 
     Ok(network)
+}
+
+/// The analytic network timing yield of a synthesized network under the
+/// filter's variation budget, or `None` when the model cannot provide
+/// per-stage timing. The lowering mirrors `net_yield::network_problem`:
+/// channel lengths are floor-clamped, and placement-derived region ids
+/// attach spatial correlation when `rho_region > 0` — but stage delays
+/// come from the model's own re-optimized buffering (a design-time
+/// estimate), not a post-hoc evaluator.
+fn analytic_filter_yield(
+    network: &Network,
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+    filter: &YieldFilter,
+) -> Option<f64> {
+    let channels: Vec<StageDelays> = network
+        .channels
+        .iter()
+        .map(|c| model.stage_delays(c.length.max(crate::net_yield::CHANNEL_LENGTH_FLOOR)))
+        .collect::<Option<_>>()?;
+    let correlation = if filter.variation.rho_region > 0.0 {
+        let counts: Vec<usize> = channels.iter().map(StageDelays::len).collect();
+        SpatialCorrelation::regional(
+            filter.variation.rho_region,
+            crate::placement::channel_stage_regions(network, &counts, filter.variation.region_cell),
+        )
+    } else {
+        SpatialCorrelation::none()
+    };
+    let problem = NetworkProblem::new(
+        channels,
+        filter.variation.to_drive(),
+        config.clock.period().si(),
+    )
+    .with_correlation(correlation);
+    let (yield_fraction, _) = pi_yield::network_yield(&problem);
+    Some(yield_fraction)
+}
+
+/// The analytic timing yield of one link of the given length under the
+/// filter's variation budget, with line-position-derived spatial
+/// correlation. `None` when the model has no per-stage timing.
+fn single_link_yield(
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+    filter: &YieldFilter,
+    length: Length,
+) -> Option<f64> {
+    let stages = model.stage_delays(length)?;
+    let problem = pi_yield::LineProblem {
+        correlation: filter.variation.line_correlation(stages.len(), length),
+        stages,
+        variation: filter.variation.to_drive(),
+        deadline_s: config.clock.period().si(),
+    };
+    Some(pi_yield::line_yield(&problem))
+}
+
+/// Bisects for the largest length-budget fraction whose single-link
+/// analytic yield reaches `per_link_target`. `None` when even a
+/// floor-length link misses it (or the model has no per-stage timing) —
+/// the caller then falls back to geometric budget shrinking.
+fn yield_feasible_margin(
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+    filter: &YieldFilter,
+    per_link_target: f64,
+) -> Option<f64> {
+    let max_len = model.max_length();
+    let mut lo = crate::net_yield::CHANNEL_LENGTH_FLOOR;
+    if single_link_yield(model, config, filter, lo)? < per_link_target {
+        return None;
+    }
+    let mut hi = max_len * config.length_margin;
+    if single_link_yield(model, config, filter, hi)? >= per_link_target {
+        return Some(config.length_margin);
+    }
+    for _ in 0..20 {
+        let mid = lo.lerp(hi, 0.5);
+        if single_link_yield(model, config, filter, mid)? >= per_link_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo.si() / max_len.si()).max(1e-3))
+}
+
+/// The yield-aware feasibility loop: keep the network if its analytic
+/// yield clears the target, otherwise re-segment with a tighter length
+/// budget until it does or the round budget runs out.
+fn apply_yield_filter(
+    spec: &CommSpec,
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+    filter: &YieldFilter,
+    mut network: Network,
+) -> Result<Network, SynthesisError> {
+    assert!(
+        filter.min_yield > 0.0 && filter.min_yield <= 1.0,
+        "yield target must be in (0, 1]"
+    );
+    assert!(filter.max_rounds > 0, "need at least one filter round");
+    let _obs_span = pi_obs::span("cosi.yield_filter");
+    let mut margin = config.length_margin;
+    let mut achieved = 0.0f64;
+    for round in 0..filter.max_rounds {
+        pi_obs::counter_add("cosi.yield_filter_rounds", 1);
+        let Some(y) = analytic_filter_yield(&network, model, config, filter) else {
+            pi_obs::warn_once(
+                "cosi.yield_filter_unsupported",
+                "link model provides no per-stage timing; yield filter skipped",
+            );
+            return Ok(network);
+        };
+        achieved = achieved.max(y);
+        if y >= filter.min_yield {
+            pi_obs::counter_add("cosi.yield_filter_pass", 1);
+            return Ok(network);
+        }
+        if round + 1 == filter.max_rounds {
+            break;
+        }
+        // Shorter links carry more slack against the same period, so a
+        // tighter budget trades hops for per-channel yield. Jump straight
+        // to the longest length whose single-link analytic yield clears
+        // the per-link share of the network target (bisection); fall back
+        // to a 15 % cut when bisection cannot improve on the current
+        // margin (e.g. shared-region correlation across channels is what
+        // drags the network below target).
+        let per_link = filter.min_yield.powf(1.0 / network.channels.len() as f64);
+        margin = match yield_feasible_margin(model, config, filter, per_link) {
+            Some(m) if m < margin => m,
+            _ => margin * 0.85,
+        };
+        pi_obs::counter_add("cosi.yield_filter_resegment", 1);
+        network = synthesize_with_margin(spec, model, config, margin)?;
+    }
+    pi_obs::counter_add("cosi.yield_filter_reject", 1);
+    Err(SynthesisError::YieldTarget {
+        achieved,
+        target: filter.min_yield,
+        rounds: filter.max_rounds,
+    })
 }
 
 /// Counts the channels of `network` that `other` considers infeasible at
@@ -574,6 +807,33 @@ mod tests {
             ),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn yield_filter_skips_models_without_stage_timing() {
+        // StubModel keeps the default `stage_delays` (None): the filter
+        // must pass the network through unchanged instead of failing.
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.0)).with_yield_filter(YieldFilter::new(
+            0.99,
+            pi_core::variation::VariationModel::nominal(),
+        ));
+        let plain = synthesize(
+            &line_spec(2.0),
+            &StubModel {
+                reach: Length::mm(5.0),
+            },
+            &SynthesisConfig::at_clock(Freq::ghz(2.0)),
+        )
+        .unwrap();
+        let filtered = synthesize(
+            &line_spec(2.0),
+            &StubModel {
+                reach: Length::mm(5.0),
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(plain.channels.len(), filtered.channels.len());
     }
 
     #[test]

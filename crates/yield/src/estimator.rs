@@ -545,15 +545,26 @@ fn importance_shift(problem: &NetworkProblem) -> Vec<f64> {
     let dim = problem.dimension();
     let mut shift = vec![0.0; dim];
     let variation = &problem.variation;
+    let corr = &problem.correlation;
+    let active = corr.is_active();
+    // First stage coordinate in z: region factors (when active) come
+    // between the D2D coordinate and the per-stage block.
+    let stage_base = if active { 1 + corr.region_count() } else { 1 };
 
-    // Find the limiting channel: smallest margin in closure σ units.
+    // Find the limiting channel: smallest margin in closure σ units. The
+    // closure is region-aware, so the sensitivity magnitude |s| already
+    // includes the coherent same-region term when the correlation is on.
     let mut best: Option<(usize, f64, f64, f64)> = None; // (channel, margin, r_tot, |s|)
-    let mut offset = 1usize;
-    let mut best_offset = 1usize;
+    let mut offset = 0usize;
+    let mut best_offset = 0usize;
     for (c, stages) in problem.channels.iter().enumerate() {
-        let closure = analytic::line_closure(stages, variation);
+        let closure = if active {
+            analytic::correlated_channel_closure(stages, variation, corr, offset)
+        } else {
+            analytic::line_closure(stages, variation)
+        };
         let r_tot: f64 = stages.repeater_s.iter().sum();
-        let sens = closure.sigma_s; // |s| = √(σd²R² + σw²Σr²) by construction
+        let sens = closure.sigma_s; // |s| = √(σd²R² + σw²Σ·) by construction
         if sens > 0.0 {
             let margin = (problem.period_s - closure.mean_s) / sens;
             if best.is_none_or(|(_, m, _, _)| margin < m) {
@@ -576,8 +587,25 @@ fn importance_shift(problem: &NetworkProblem) -> Vec<f64> {
     let s0 = variation.sigma_d2d * r_tot;
     shift[0] = -t * s0 / sens;
     let stages = &problem.channels[c];
-    for (j, r) in stages.repeater_s.iter().enumerate() {
-        shift[best_offset + j] = -t * variation.sigma_wid * r / sens;
+    if active {
+        // Correlated sensitivities: s_region = σ_w·√ρ·R_{c,g} on the
+        // limiting channel's region coordinates, s_stage = σ_w·√(1−ρ)·rⱼ
+        // on its per-stage coordinates. |s| equals `sens` above.
+        let (load_region, load_stage) = corr.loadings();
+        let loadings = analytic::region_loadings(
+            stages,
+            &corr.stage_region[best_offset..best_offset + stages.len()],
+        );
+        for (region, r_cg) in loadings {
+            shift[1 + region] = -t * variation.sigma_wid * load_region * r_cg / sens;
+        }
+        for (j, r) in stages.repeater_s.iter().enumerate() {
+            shift[stage_base + best_offset + j] = -t * variation.sigma_wid * load_stage * r / sens;
+        }
+    } else {
+        for (j, r) in stages.repeater_s.iter().enumerate() {
+            shift[stage_base + best_offset + j] = -t * variation.sigma_wid * r / sens;
+        }
     }
     shift
 }
@@ -685,6 +713,13 @@ fn weighted_interval(tally: &WeightTally, z: f64) -> (f64, f64) {
     if tally.dies < 2 {
         return (p, f64::INFINITY);
     }
+    if tally.fail_w == 0.0 {
+        // Zero observed failures carry no variance information — the CLT
+        // interval degenerates to a confidently-zero width even after a
+        // handful of dies. Fall back to the rule of three: with n clean
+        // dies the failure rate is ≲ 3/n at ~95 % confidence.
+        return (0.0, 3.0 / n);
+    }
     let var = ((tally.fail_w2 - n * p * p) / (n - 1.0)).max(0.0);
     (p, z * (var / n).sqrt())
 }
@@ -692,7 +727,7 @@ fn weighted_interval(tally: &WeightTally, z: f64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::{DriveVariation, StageDelays};
+    use crate::problem::{DriveVariation, SpatialCorrelation, StageDelays};
 
     fn line(deadline_over_nominal: f64) -> LineProblem {
         let stages = StageDelays::new(vec![28e-12; 10], vec![11e-12; 10]);
@@ -703,6 +738,7 @@ mod tests {
                 sigma_d2d: 0.08,
                 sigma_wid: 0.05,
             },
+            correlation: SpatialCorrelation::none(),
             deadline_s,
         }
     }
@@ -860,6 +896,7 @@ mod tests {
                 sigma_d2d: 0.0,
                 sigma_wid: 0.0,
             },
+            correlation: SpatialCorrelation::none(),
         };
         for method in Method::ALL {
             let est = estimate_line_yield(&p, &EstimatorConfig::new(method));
@@ -869,5 +906,133 @@ mod tests {
                 est.yield_fraction
             );
         }
+    }
+
+    /// Bugfix pin: a tiny importance-sampling budget on a high-yield
+    /// problem used to report yield 1.0 with `half_width == 0` — a
+    /// confidently-zero interval from a sample too small to see any
+    /// failure. The rule-of-three fallback must report `3/n` instead.
+    #[test]
+    fn tiny_budget_zero_failures_is_not_confidently_certain() {
+        // Enormous slack and a small variation budget: even after the
+        // clamped 6σ importance shift the failure boundary sits over
+        // 100σ out, so no sample of any seed can see a failure.
+        let mut p = line(2.0);
+        p.variation = DriveVariation {
+            sigma_d2d: 0.01,
+            sigma_wid: 0.01,
+        };
+        let budget = 256; // well below MIN_IS_DIES
+        let cfg = EstimatorConfig::new(Method::ImportanceSampling)
+            .with_seed(3)
+            .with_max_evals(budget);
+        let est = estimate_line_yield(&p, &cfg);
+        assert!(est.evals <= budget);
+        assert!((est.yield_fraction - 1.0).abs() < 1e-12, "no failures seen");
+        let expect = 3.0 / est.evals as f64;
+        assert!(
+            (est.half_width - expect).abs() < 1e-12,
+            "rule-of-three half-width: got {}, want {expect}",
+            est.half_width
+        );
+        // And the interval honestly refuses sub-1e-2 certainty at n=256.
+        assert!(est.half_width > 1e-2);
+    }
+
+    /// Correlated problems: every estimator must agree with the naive
+    /// reference, and the analytic closure must land within a combined
+    /// CI width of scrambled-Sobol MC (acceptance criterion for the
+    /// spatial-correlation model).
+    #[test]
+    fn correlated_estimators_agree_across_rho() {
+        // Two channels, each pinned to its own region, so the analytic
+        // dominant-region factorization is exact within the closure.
+        let mk = |rho: f64| {
+            let ch = || StageDelays::new(vec![26e-12; 8], vec![10e-12; 8]);
+            let period = ch().nominal_delay() * 1.09;
+            NetworkProblem::new(
+                vec![ch(), ch()],
+                DriveVariation {
+                    sigma_d2d: 0.08,
+                    sigma_wid: 0.05,
+                },
+                period,
+            )
+            .with_correlation(SpatialCorrelation::regional(
+                rho,
+                [vec![0; 8], vec![1; 8]].concat(),
+            ))
+        };
+        for rho in [0.0, 0.5, 0.9] {
+            let net = mk(rho);
+            let target = 5e-3;
+            let reference = estimate_network_yield(
+                &net,
+                &EstimatorConfig::new(Method::Naive)
+                    .with_seed(17)
+                    .with_target_half_width(target),
+            );
+            for method in Method::ALL {
+                let est = estimate_network_yield(
+                    &net,
+                    &EstimatorConfig::new(method)
+                        .with_seed(17)
+                        .with_target_half_width(target),
+                );
+                let slack = (est.overall.half_width + reference.overall.half_width).max(0.02);
+                assert!(
+                    (est.overall.yield_fraction - reference.overall.yield_fraction).abs()
+                        < 3.0 * slack,
+                    "{method} at rho={rho}: {} vs naive {}",
+                    est.overall.yield_fraction,
+                    reference.overall.yield_fraction,
+                );
+            }
+            // Analytic vs scrambled-Sobol, specifically, within CI width
+            // (plus the documented closure slack).
+            let analytic = estimate_network_yield(&net, &EstimatorConfig::new(Method::Analytic));
+            let rqmc = estimate_network_yield(
+                &net,
+                &EstimatorConfig::new(Method::SobolScrambled)
+                    .with_seed(17)
+                    .with_target_half_width(2e-3),
+            );
+            assert!(
+                (analytic.overall.yield_fraction - rqmc.overall.yield_fraction).abs()
+                    < rqmc.overall.half_width + 0.02,
+                "analytic {} vs RQMC {} ± {} at rho={rho}",
+                analytic.overall.yield_fraction,
+                rqmc.overall.yield_fraction,
+                rqmc.overall.half_width,
+            );
+        }
+    }
+
+    /// The region-aware importance shift must keep the estimator unbiased
+    /// in the rare-failure regime it exists for.
+    #[test]
+    fn correlated_importance_shift_targets_the_tail() {
+        let mut p = line(1.22);
+        p.correlation = SpatialCorrelation::regional(0.7, vec![0; 10]);
+        let is = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::ImportanceSampling)
+                .with_seed(29)
+                .with_target_half_width(1e-3),
+        );
+        let naive = estimate_line_yield(
+            &p,
+            &EstimatorConfig::new(Method::Naive)
+                .with_seed(29)
+                .with_target_half_width(1e-3),
+        );
+        let slack = (is.half_width + naive.half_width).max(5e-3);
+        assert!(
+            (is.yield_fraction - naive.yield_fraction).abs() < 3.0 * slack,
+            "IS {} vs naive {}",
+            is.yield_fraction,
+            naive.yield_fraction,
+        );
+        assert!(is.yield_fraction < 1.0, "tail problem has real failures");
     }
 }

@@ -40,6 +40,7 @@
 //!     deadline_s: stages.nominal_delay() * 1.08,
 //!     stages,
 //!     variation: DriveVariation { sigma_d2d: 0.08, sigma_wid: 0.05 },
+//!     correlation: pi_yield::SpatialCorrelation::none(),
 //! };
 //! let est = estimate_line_yield(
 //!     &problem,
@@ -53,13 +54,15 @@ pub mod estimator;
 pub mod problem;
 pub mod sobol;
 
-pub use analytic::{line_closure, line_yield, network_yield, GaussianClosure};
+pub use analytic::{
+    correlated_channel_closure, line_closure, line_yield, network_yield, GaussianClosure,
+};
 pub use estimator::{
     estimate_line_yield, estimate_network_yield, EstimatorConfig, Method, NetworkYieldEstimate,
     YieldEstimate,
 };
 pub use problem::{
     drive_factor, drive_factor_from_normal, DriveVariation, LineProblem, NetworkProblem,
-    StageDelays, DRIVE_FLOOR,
+    SpatialCorrelation, StageDelays, DRIVE_FLOOR,
 };
 pub use sobol::Sobol;

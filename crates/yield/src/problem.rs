@@ -45,6 +45,72 @@ pub struct DriveVariation {
     pub sigma_wid: f64,
 }
 
+/// Spatially correlated within-die variation: stages that share a die
+/// region shift together.
+///
+/// The WID normal for stage `j` in region `r` is
+/// `sqrt(rho)·Z_r + sqrt(1-rho)·Z_j` with independent standard normals
+/// `Z_r` (one per region, shared) and `Z_j` (one per stage), so every
+/// stage keeps its N(0,1) marginal while any two stages of the same
+/// region correlate with coefficient `rho`. `rho = 0` (or an empty
+/// region map) disables the model: the draw order — and therefore every
+/// sampled bit — is identical to the uncorrelated problem, because no
+/// region normals are drawn at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpatialCorrelation {
+    /// Correlation coefficient between same-region stages, in `[0, 1]`.
+    pub rho_region: f64,
+    /// Region id per stage in channel-major stage order. Ids should be
+    /// dense in `0..region_count()`; gaps waste sampler dimensions but
+    /// are harmless.
+    pub stage_region: Vec<usize>,
+}
+
+impl SpatialCorrelation {
+    /// The uncorrelated (legacy) model.
+    #[must_use]
+    pub fn none() -> Self {
+        SpatialCorrelation::default()
+    }
+
+    /// A regional model with coefficient `rho` and one region id per
+    /// stage (channel-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rho ≤ 1`.
+    #[must_use]
+    pub fn regional(rho: f64, stage_region: Vec<usize>) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "rho_region must be in [0, 1], got {rho}"
+        );
+        SpatialCorrelation {
+            rho_region: rho,
+            stage_region,
+        }
+    }
+
+    /// Whether the model changes anything relative to independence.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.rho_region > 0.0 && !self.stage_region.is_empty()
+    }
+
+    /// Number of region dimensions (max id + 1; 0 when unmapped).
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.stage_region.iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Mixing weights `(sqrt(rho), sqrt(1-rho))` for the region and
+    /// stage components.
+    #[must_use]
+    pub fn loadings(&self) -> (f64, f64) {
+        (self.rho_region.sqrt(), (1.0 - self.rho_region).sqrt())
+    }
+}
+
 /// Nominal per-stage delays of one buffered line, in seconds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageDelays {
@@ -127,19 +193,31 @@ pub struct LineProblem {
     pub stages: StageDelays,
     /// Variation magnitudes.
     pub variation: DriveVariation,
+    /// Spatial correlation of the WID factors (inactive by default).
+    pub correlation: SpatialCorrelation,
     /// Timing deadline, seconds.
     pub deadline_s: f64,
 }
 
 impl LineProblem {
-    /// Dimension of the Gaussian variation space: 1 (D2D) + one per stage.
+    /// Dimension of the Gaussian variation space: 1 (D2D) + one region
+    /// factor per region when the correlation is active + one per stage.
     #[must_use]
     pub fn dimension(&self) -> usize {
-        1 + self.stages.len()
+        if self.correlation.is_active() {
+            assert_eq!(
+                self.correlation.stage_region.len(),
+                self.stages.len(),
+                "one region id per stage"
+            );
+            1 + self.correlation.region_count() + self.stages.len()
+        } else {
+            1 + self.stages.len()
+        }
     }
 
-    /// Line delay from an explicit normal vector (`z[0]` = D2D, `z[1..]`
-    /// = WID per stage).
+    /// Line delay from an explicit normal vector: `z[0]` = D2D, then the
+    /// region factors when the correlation is active, then WID per stage.
     ///
     /// # Panics
     ///
@@ -148,9 +226,44 @@ impl LineProblem {
     pub fn delay_from_normals(&self, z: &[f64]) -> f64 {
         assert_eq!(z.len(), self.dimension(), "normal vector dimension");
         let g_d2d = drive_factor_from_normal(z[0], self.variation.sigma_d2d);
-        let mut it = z[1..].iter();
+        if !self.correlation.is_active() {
+            let mut it = z[1..].iter();
+            return self.stages.delay_given_d2d(g_d2d, &self.variation, || {
+                *it.next().expect("dimension checked")
+            });
+        }
+        let (region_z, stage_z) = z[1..].split_at(self.correlation.region_count());
+        let (load_region, load_stage) = self.correlation.loadings();
+        let mut stage = 0;
         self.stages.delay_given_d2d(g_d2d, &self.variation, || {
-            *it.next().expect("dimension checked")
+            let zj = load_region * region_z[self.correlation.stage_region[stage]]
+                + load_stage * stage_z[stage];
+            stage += 1;
+            zj
+        })
+    }
+
+    /// Line delay sampled from `rng` with the problem's correlation
+    /// model: D2D first, then the region factors, then one stage normal
+    /// each. Bit-identical to [`StageDelays::sample_delay`] when the
+    /// correlation is inactive (no region normals are drawn).
+    pub fn sample_delay(&self, rng: &mut Rng) -> f64 {
+        let g_d2d = drive_factor(rng, self.variation.sigma_d2d);
+        if !self.correlation.is_active() {
+            return self
+                .stages
+                .delay_given_d2d(g_d2d, &self.variation, || rng.normal());
+        }
+        let region_z: Vec<f64> = (0..self.correlation.region_count())
+            .map(|_| rng.normal())
+            .collect();
+        let (load_region, load_stage) = self.correlation.loadings();
+        let mut stage = 0;
+        self.stages.delay_given_d2d(g_d2d, &self.variation, || {
+            let zj = load_region * region_z[self.correlation.stage_region[stage]]
+                + load_stage * rng.normal();
+            stage += 1;
+            zj
         })
     }
 
@@ -162,6 +275,7 @@ impl LineProblem {
         NetworkProblem {
             channels: vec![self.stages.clone()],
             variation: self.variation,
+            correlation: self.correlation.clone(),
             period_s: self.deadline_s,
         }
     }
@@ -175,12 +289,16 @@ pub struct NetworkProblem {
     pub channels: Vec<StageDelays>,
     /// Variation magnitudes (D2D shared across all channels of a die).
     pub variation: DriveVariation,
+    /// Spatial correlation of the WID factors (inactive by default).
+    /// Region ids index channel-major stage order across all channels,
+    /// so channels routed through the same die region correlate.
+    pub correlation: SpatialCorrelation,
     /// Clock period every channel must meet, seconds.
     pub period_s: f64,
 }
 
 impl NetworkProblem {
-    /// Builds the problem.
+    /// Builds the problem (uncorrelated WID).
     ///
     /// # Panics
     ///
@@ -191,31 +309,83 @@ impl NetworkProblem {
         NetworkProblem {
             channels,
             variation,
+            correlation: SpatialCorrelation::none(),
             period_s,
         }
     }
 
-    /// Dimension of the variation space: 1 (D2D) + one per repeater.
+    /// Attaches a spatial-correlation model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is active but its region map does not have
+    /// exactly one entry per stage (channel-major).
     #[must_use]
-    pub fn dimension(&self) -> usize {
-        1 + self.channels.iter().map(StageDelays::len).sum::<usize>()
+    pub fn with_correlation(mut self, correlation: SpatialCorrelation) -> Self {
+        if correlation.is_active() {
+            assert_eq!(
+                correlation.stage_region.len(),
+                self.channels.iter().map(StageDelays::len).sum::<usize>(),
+                "one region id per stage"
+            );
+        }
+        self.correlation = correlation;
+        self
     }
 
-    /// Samples one die with the legacy draw order (D2D first, then WID
-    /// per stage in channel order), recording per-channel passes into
-    /// `pass` and returning whether the whole die passed. Bit-identical
-    /// to the historical `pi-cosi::net_yield` loop.
+    /// Total number of repeater stages across all channels.
+    #[must_use]
+    pub fn total_stages(&self) -> usize {
+        self.channels.iter().map(StageDelays::len).sum()
+    }
+
+    /// Dimension of the variation space: 1 (D2D) + one region factor per
+    /// region when the correlation is active + one per repeater.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        if self.correlation.is_active() {
+            assert_eq!(
+                self.correlation.stage_region.len(),
+                self.total_stages(),
+                "one region id per stage"
+            );
+            1 + self.correlation.region_count() + self.total_stages()
+        } else {
+            1 + self.total_stages()
+        }
+    }
+
+    /// Samples one die with the legacy draw order (D2D first, then — when
+    /// the correlation is active — one normal per region, then WID per
+    /// stage in channel order), recording per-channel passes into `pass`
+    /// and returning whether the whole die passed. Bit-identical to the
+    /// historical `pi-cosi::net_yield` loop when the correlation is
+    /// inactive.
     ///
     /// # Panics
     ///
     /// Panics if `pass.len() != self.channels.len()`.
     pub fn sample_die(&self, rng: &mut Rng, pass: &mut [bool]) -> bool {
         let g_d2d = drive_factor(rng, self.variation.sigma_d2d);
-        self.die_given_d2d(g_d2d, pass, || rng.normal())
+        if !self.correlation.is_active() {
+            return self.die_given_d2d(g_d2d, pass, || rng.normal());
+        }
+        let region_z: Vec<f64> = (0..self.correlation.region_count())
+            .map(|_| rng.normal())
+            .collect();
+        let (load_region, load_stage) = self.correlation.loadings();
+        let mut stage = 0;
+        let stage_region = &self.correlation.stage_region;
+        self.die_given_d2d(g_d2d, pass, || {
+            let zj = load_region * region_z[stage_region[stage]] + load_stage * rng.normal();
+            stage += 1;
+            zj
+        })
     }
 
-    /// One die from an explicit normal vector (`z[0]` = D2D, then WID in
-    /// channel-major stage order).
+    /// One die from an explicit normal vector: `z[0]` = D2D, then the
+    /// region factors when the correlation is active, then WID in
+    /// channel-major stage order.
     ///
     /// # Panics
     ///
@@ -223,8 +393,19 @@ impl NetworkProblem {
     pub fn die_from_normals(&self, z: &[f64], pass: &mut [bool]) -> bool {
         assert_eq!(z.len(), self.dimension(), "normal vector dimension");
         let g_d2d = drive_factor_from_normal(z[0], self.variation.sigma_d2d);
-        let mut it = z[1..].iter();
-        self.die_given_d2d(g_d2d, pass, || *it.next().expect("dimension checked"))
+        if !self.correlation.is_active() {
+            let mut it = z[1..].iter();
+            return self.die_given_d2d(g_d2d, pass, || *it.next().expect("dimension checked"));
+        }
+        let (region_z, stage_z) = z[1..].split_at(self.correlation.region_count());
+        let (load_region, load_stage) = self.correlation.loadings();
+        let mut stage = 0;
+        let stage_region = &self.correlation.stage_region;
+        self.die_given_d2d(g_d2d, pass, || {
+            let zj = load_region * region_z[stage_region[stage]] + load_stage * stage_z[stage];
+            stage += 1;
+            zj
+        })
     }
 
     /// Shared die evaluation: channel delays under a fixed D2D factor with
@@ -257,6 +438,7 @@ mod tests {
                 sigma_d2d: 0.08,
                 sigma_wid: 0.05,
             },
+            correlation: SpatialCorrelation::none(),
             deadline_s: 140e-12,
         }
     }
@@ -317,5 +499,82 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn mismatched_stage_vectors_rejected() {
         let _ = StageDelays::new(vec![1e-12], vec![]);
+    }
+
+    /// `rho = 0` must reproduce today's results bit-for-bit: a mapped but
+    /// zero-strength correlation takes the legacy code path (no region
+    /// normals drawn, same RNG stream consumption, same fp order).
+    #[test]
+    fn rho_zero_is_bit_identical_to_the_legacy_draw() {
+        let mut p = line();
+        p.correlation = SpatialCorrelation::regional(0.0, vec![0, 0, 1]);
+        assert!(!p.correlation.is_active());
+        assert_eq!(p.dimension(), 1 + p.stages.len());
+        let legacy = line();
+        for index in 0..64 {
+            let mut a = Rng::stream(11, index);
+            let mut b = Rng::stream(11, index);
+            let with_map = p.sample_delay(&mut a);
+            let without = legacy.stages.sample_delay(&mut b, &legacy.variation);
+            assert_eq!(with_map.to_bits(), without.to_bits(), "die {index}");
+            // The RNG streams must be in the same state afterwards too.
+            assert_eq!(a.next_u64(), b.next_u64(), "stream state after die {index}");
+        }
+        let net = p.as_network();
+        let legacy_net = legacy.as_network();
+        let mut pass = [false];
+        let mut pass_legacy = [false];
+        let mut a = Rng::stream(5, 3);
+        let mut b = Rng::stream(5, 3);
+        assert_eq!(
+            net.sample_die(&mut a, &mut pass),
+            legacy_net.sample_die(&mut b, &mut pass_legacy)
+        );
+        assert_eq!(pass, pass_legacy);
+    }
+
+    #[test]
+    fn correlated_rng_and_explicit_normals_agree() {
+        let mut p = line();
+        p.correlation = SpatialCorrelation::regional(0.6, vec![0, 1, 0]);
+        assert_eq!(p.dimension(), 1 + 2 + 3);
+        let mut draw = Rng::stream(7, 0);
+        let z: Vec<f64> = (0..p.dimension()).map(|_| draw.normal()).collect();
+        let mut replay = Rng::stream(7, 0);
+        let streamed = p.sample_delay(&mut replay);
+        let explicit = p.delay_from_normals(&z);
+        assert_eq!(streamed.to_bits(), explicit.to_bits());
+        let net = p.as_network();
+        let mut pass = [false];
+        let mut rng = Rng::stream(7, 0);
+        let die = net.sample_die(&mut rng, &mut pass);
+        assert_eq!(die, streamed <= p.deadline_s);
+    }
+
+    #[test]
+    fn full_correlation_collapses_same_region_stages() {
+        // At rho = 1 every stage of a region sees the same WID normal, so
+        // a single-region line equals a line driven by one shared normal.
+        let mut p = line();
+        p.correlation = SpatialCorrelation::regional(1.0, vec![0, 0, 0]);
+        let z = vec![0.3, -1.2, 0.4, -0.7, 2.1];
+        let d = p.delay_from_normals(&z);
+        let g_d2d = drive_factor_from_normal(0.3, p.variation.sigma_d2d);
+        let shared = p.stages.delay_given_d2d(g_d2d, &p.variation, || -1.2);
+        assert!((d - shared).abs() < 1e-24, "{d} vs {shared}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho_region must be in [0, 1]")]
+    fn out_of_range_rho_rejected() {
+        let _ = SpatialCorrelation::regional(1.5, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one region id per stage")]
+    fn mis_sized_region_map_rejected() {
+        let _ = line()
+            .as_network()
+            .with_correlation(SpatialCorrelation::regional(0.5, vec![0, 0]));
     }
 }

@@ -17,8 +17,8 @@
 use pi_rt::norm::normal_cdf;
 use pi_rt::Rng;
 use pi_yield::{
-    estimate_line_yield, line_yield, DriveVariation, EstimatorConfig, LineProblem, Method, Sobol,
-    StageDelays,
+    estimate_line_yield, line_yield, network_yield, DriveVariation, EstimatorConfig, LineProblem,
+    Method, NetworkProblem, Sobol, SpatialCorrelation, StageDelays,
 };
 
 /// Kolmogorov–Smirnov statistic of `samples` (sorted in place) against a
@@ -146,6 +146,7 @@ fn tail_problem() -> LineProblem {
             sigma_d2d: 0.08,
             sigma_wid: 0.05,
         },
+        correlation: SpatialCorrelation::none(),
     }
 }
 
@@ -177,6 +178,64 @@ fn importance_sampling_is_unbiased_across_seeds() {
         (mean - reference).abs() < tolerance,
         "IS ensemble mean {mean:.5} vs analytic {reference:.5} \
          (se {se:.5}, tolerance {tolerance:.5})"
+    );
+}
+
+#[test]
+fn network_yield_is_monotone_non_increasing_in_rho() {
+    // A tight-deadline network whose channels each occupy their own die
+    // region: raising rho only inflates every channel's conditional
+    // variance (the coherent same-region term), so both the analytic
+    // closure and sampled estimates must be non-increasing in rho.
+    let network = |rho: f64| {
+        let channels: Vec<StageDelays> = (0..4)
+            .map(|_| StageDelays::new(vec![27e-12; 9], vec![10e-12; 9]))
+            .collect();
+        let period = channels[0].nominal_delay() * 1.1;
+        let regions: Vec<usize> = (0..4).flat_map(|c| vec![c; 9]).collect();
+        NetworkProblem::new(
+            channels,
+            DriveVariation {
+                sigma_d2d: 0.08,
+                sigma_wid: 0.05,
+            },
+            period,
+        )
+        .with_correlation(SpatialCorrelation::regional(rho, regions))
+    };
+    let mut last_analytic = f64::INFINITY;
+    let mut last_sampled = f64::INFINITY;
+    for rho in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let net = network(rho);
+        let (analytic, _) = network_yield(&net);
+        assert!(
+            analytic <= last_analytic + 1e-12,
+            "analytic yield rose from {last_analytic:.6} to {analytic:.6} at rho={rho}"
+        );
+        last_analytic = analytic;
+        let sampled = pi_yield::estimate_network_yield(
+            &net,
+            &EstimatorConfig::new(Method::SobolScrambled)
+                .with_seed(31)
+                .with_target_half_width(2e-3),
+        );
+        // Sampling noise: allow the combined CI width on the comparison.
+        assert!(
+            sampled.overall.yield_fraction
+                <= last_sampled + sampled.overall.half_width + 2e-3 + 1e-12,
+            "sampled yield rose to {:.6} at rho={rho}",
+            sampled.overall.yield_fraction
+        );
+        assert!(
+            (sampled.overall.yield_fraction - analytic).abs() < sampled.overall.half_width + 0.02,
+            "closure {analytic:.5} vs RQMC {:.5} at rho={rho}",
+            sampled.overall.yield_fraction
+        );
+        last_sampled = sampled.overall.yield_fraction;
+    }
+    assert!(
+        last_analytic < 1.0,
+        "the deadline is tight enough to see failures"
     );
 }
 

@@ -45,7 +45,8 @@ for key in host_cores calibration_threads calibration_serial_ns \
     calibration_cached_ns model_eval_ns golden_signoff_ns \
     signoff_sparse_ns signoff_dense_ns signoff_speedup \
     signoff_over_model_ratio yield_evals_reduction \
-    yield_tail_evals_reduction probe_overhead_ns \
+    yield_tail_evals_reduction yield_corr_evals \
+    yield_corr_overestimate_pct probe_overhead_ns \
     newton_iters_per_solve step_reject_rate char_cache_hit_rate; do
     require_finite "$key"
 done
@@ -74,6 +75,18 @@ rm -f "$obs_journal"
 PI_OBS="jsonl:$obs_journal" target/release/pi yield --tech 65nm \
     --length 8mm --deadline 600ps --estimator sobol-scrambled >/dev/null
 target/release/pi obs-report "$obs_journal" --check
+# Spatially correlated yield path (regional WID model).
+rm -f "$obs_journal"
+PI_OBS="jsonl:$obs_journal" target/release/pi yield --tech 65nm \
+    --length 8mm --deadline 600ps --rho 0.5 --regions 4 >/dev/null
+target/release/pi obs-report "$obs_journal" --check
+# Yield-aware synthesis filter: the filtered DVOPD network must come out
+# meeting the analytic target, with the filter counters in the journal.
+rm -f "$obs_journal"
+PI_OBS="jsonl:$obs_journal" target/release/pi noc --design dvopd --tech 65nm \
+    --clock 2.25GHz --yield-target 0.9 --rho 0.5 >/dev/null
+target/release/pi obs-report "$obs_journal" --check
+rm -f "$obs_journal"
 echo "observability smoke: OK"
 
 if cargo clippy --version >/dev/null 2>&1; then

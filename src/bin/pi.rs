@@ -5,10 +5,11 @@
 //! pi optimize --tech 65nm --length 5mm --clock 2GHz [--weight 0.5] [--staggered]
 //! pi reach    --tech 65nm --clock 2GHz [--style ss|sh|dw] [--staggered]
 //! pi noc      --design dvopd|vproc --tech 65nm --clock 2.25GHz [--model proposed|original|mesh]
+//!             [--yield-target 0.9 [--rho 0.5] [--cell 2mm]]
 //!             (or --spec <file> with the text format of `pi_cosi::spec_text`)
 //! pi yield    --tech 65nm --length 8mm --deadline 560ps [--samples 2000]
 //!             [--estimator naive|sobol|sobol-scrambled|importance|analytic]
-//!             [--ci 0.5] [--seed 1]
+//!             [--ci 0.5] [--seed 1] [--rho 0.5] [--regions 4]
 //! pi report   --tech 65nm --length 5mm --clock 2GHz [--bits 128] [--full]
 //! pi scaling
 //! ```
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 use predictive_interconnect::cosi::model::{LinkCostModel, OriginalLinkModel, ProposedLinkModel};
 use predictive_interconnect::cosi::report::evaluate;
 use predictive_interconnect::cosi::router::RouterParams;
-use predictive_interconnect::cosi::synthesis::{synthesize, SynthesisConfig};
+use predictive_interconnect::cosi::synthesis::{synthesize, SynthesisConfig, YieldFilter};
 use predictive_interconnect::cosi::{mesh_network, testcases};
 use predictive_interconnect::models::buffering::{BufferingObjective, SearchSpace};
 use predictive_interconnect::models::coefficients::builtin;
@@ -81,6 +82,19 @@ fn parse_time(s: &str) -> Result<Time, String> {
             .map(Time::ps)
             .map_err(|_| format!("bad time `{s}` (use e.g. 560ps or 1.2ns)"))
     }
+}
+
+/// Parses the optional `--rho` spatial-correlation coefficient; `None`
+/// when absent or zero.
+fn parse_rho(opts: &Opts) -> Result<Option<f64>, String> {
+    let Some(raw) = opts.get("rho") else {
+        return Ok(None);
+    };
+    let rho: f64 = raw.parse().map_err(|e| format!("bad --rho: {e}"))?;
+    if !(0.0..=1.0).contains(&rho) {
+        return Err("--rho must be in [0, 1]".to_owned());
+    }
+    Ok((rho > 0.0).then_some(rho))
 }
 
 fn parse_style(s: &str) -> Result<DesignStyle, String> {
@@ -268,7 +282,25 @@ fn cmd_noc(opts: &Opts) -> Result<(), String> {
             other => return Err(format!("unknown design `{other}` (dvopd, vproc)")),
         }
     };
-    let config = SynthesisConfig::at_clock(clock);
+    let mut config = SynthesisConfig::at_clock(clock);
+    if let Some(raw) = opts.get("yield-target") {
+        let target: f64 = raw
+            .parse()
+            .map_err(|e| format!("bad --yield-target: {e}"))?;
+        if !(0.0..=1.0).contains(&target) || target == 0.0 {
+            return Err("--yield-target must be in (0, 1]".to_owned());
+        }
+        let mut variation = VariationModel::nominal();
+        if let Some(rho) = parse_rho(opts)? {
+            let cell = opts
+                .get("cell")
+                .map(parse_length)
+                .transpose()?
+                .unwrap_or(Length::mm(2.0));
+            variation = variation.with_regional(rho, cell);
+        }
+        config = config.with_yield_filter(YieldFilter::new(target, variation));
+    }
     let routers = RouterParams::for_tech(&tech);
     let which = opts.get("model").unwrap_or("proposed").to_ascii_lowercase();
     let proposed = ProposedLinkModel::new(&ev, DesignStyle::SingleSpacing, clock, 0.25);
@@ -315,7 +347,23 @@ fn cmd_yield(opts: &Opts) -> Result<(), String> {
         .optimize_buffering(&spec, &obj, &SearchSpace::for_length(length))
         .ok_or("empty search space")?
         .plan;
-    let variation = VariationModel::nominal();
+    let mut variation = VariationModel::nominal();
+    if let Some(rho) = parse_rho(opts)? {
+        // `--regions N` slices the line into N equal correlation cells.
+        let regions: usize = opts
+            .get("regions")
+            .unwrap_or("4")
+            .parse()
+            .map_err(|e| format!("bad --regions: {e}"))?;
+        if regions == 0 {
+            return Err("--regions must be at least 1".to_owned());
+        }
+        variation = variation.with_regional(rho, length / regions as f64);
+        println!(
+            "spatial correlation: rho {rho}, {regions} regions of {:.2} mm",
+            (length / regions as f64).as_mm()
+        );
+    }
 
     if let Some(name) = opts.get("estimator") {
         // Variance-reduced estimator with a confidence interval. The CI

@@ -264,4 +264,77 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
         pi_obs::report::check(&text).expect("journal validates");
     }
     let _ = std::fs::remove_file(&journal);
+
+    // 8. Spatially correlated samplers — the regional model draws extra
+    //    region normals inside each die's private `Rng::stream`, so the
+    //    one-stream-per-die schedule (and with it thread-count
+    //    invariance) must survive at every rho. And whatever rho is, the
+    //    variance-reduced estimators must still agree with the naive
+    //    reference within their combined confidence intervals.
+    let deadline = evaluator.timing(&spec, &plan).delay * 1.05;
+    for rho in [0.0, 0.5, 0.9] {
+        let correlated = VariationModel::nominal().with_regional(rho, Length::mm(2.0));
+        let mut naive: Option<(f64, f64)> = None;
+        for method in Method::ALL {
+            let config = EstimatorConfig::new(method)
+                .with_seed(11)
+                .with_target_half_width(5e-3);
+            let runs: Vec<(u64, u64, usize)> = [Some("1"), Some("4")]
+                .iter()
+                .map(|s| {
+                    with_threads(*s, || {
+                        let est = evaluator.timing_yield_estimate(
+                            &spec,
+                            &plan,
+                            &correlated,
+                            deadline,
+                            &config,
+                        );
+                        (
+                            est.yield_fraction.to_bits(),
+                            est.half_width.to_bits(),
+                            est.evals,
+                        )
+                    })
+                })
+                .collect();
+            let name = method.name();
+            assert_eq!(runs[0], runs[1], "{name} rho={rho}: 1 vs 4 threads");
+            let y = f64::from_bits(runs[0].0);
+            let hw = f64::from_bits(runs[0].1);
+            match naive {
+                None => naive = Some((y, hw)),
+                Some((y_ref, hw_ref)) => {
+                    let tol = 3.0 * (hw + hw_ref) + 0.01;
+                    assert!(
+                        (y - y_ref).abs() <= tol,
+                        "{name} rho={rho}: yield {y:.5} vs naive {y_ref:.5} (tol {tol:.5})"
+                    );
+                }
+            }
+        }
+
+        // The correlated network tallies (placement-derived regions) must
+        // merge to identical counters regardless of chunk scheduling.
+        let net_yields: Vec<_> = [Some("1"), Some("4")]
+            .iter()
+            .map(|s| {
+                with_threads(*s, || {
+                    network_timing_yield(
+                        &best.network,
+                        &evaluator,
+                        best.choice.style,
+                        &correlated,
+                        clock,
+                        400,
+                        7,
+                    )
+                })
+            })
+            .collect();
+        assert_eq!(
+            net_yields[0], net_yields[1],
+            "network yield rho={rho}: 1 vs 4 threads"
+        );
+    }
 }
