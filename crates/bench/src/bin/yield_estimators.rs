@@ -56,20 +56,31 @@ fn main() {
             "wall time",
         ]);
         let mut naive_evals = None;
-        for method in Method::ALL {
-            let config = EstimatorConfig::new(method).with_target_half_width(target);
+        let rows = Method::ALL
+            .into_iter()
+            .map(|m| (m, false))
+            .chain([(Method::Naive, true), (Method::SobolScrambled, true)]);
+        for (method, cv) in rows {
+            let config = EstimatorConfig::new(method)
+                .with_target_half_width(target)
+                .with_control_variate(cv);
             let t0 = Instant::now();
             let est = evaluator.timing_yield_estimate(&spec, &plan, &variation, deadline, &config);
             let wall = t0.elapsed();
-            if method == Method::Naive {
+            if method == Method::Naive && !cv {
                 naive_evals = Some(est.evals);
             }
             let reduction = match (naive_evals, est.evals) {
                 (Some(n), e) if e > 0 => format!("{:.1}x", n as f64 / e as f64),
                 _ => "-".to_owned(),
             };
+            let name = if cv {
+                format!("{} +cv", method.name())
+            } else {
+                method.name().to_owned()
+            };
             table.row(vec![
-                method.name().to_owned(),
+                name,
                 format!("{:.2}%", est.yield_fraction * 100.0),
                 format!("±{:.3}%", est.half_width * 100.0),
                 format!("{}", est.evals),
@@ -125,8 +136,11 @@ fn main() {
         "\nreading the tables: scrambled Sobol reaches the same confidence \
          interval as naive Monte Carlo with an order of magnitude fewer \
          line evaluations in the moderate-yield regime; once failures are \
-         rare the mean-shifted importance sampler takes over; the analytic \
-         closure answers in microseconds with zero samples (its residual \
-         is model error, pinned by tests against Monte Carlo)."
+         rare the surrogate-guided sampler (fitted shift + analytic \
+         control variate) beats even the hand-picked importance shift; \
+         the +cv rows show the control variate tightening the plain \
+         estimators at no extra line evaluations; the analytic closure \
+         answers in microseconds with zero samples (its residual is model \
+         error, pinned by tests against Monte Carlo)."
     );
 }

@@ -122,6 +122,63 @@ fn cache_mode(v: &str) -> CacheMode {
 /// One parsed journal record: the cache key and the (delay, slew) bit words.
 type JournalEntry = (CharKey, (u64, u64));
 
+/// Maximum journal entries retained at load. A write-through journal grows
+/// without bound across engine revisions and corner sweeps; past this cap
+/// the *oldest* surviving entries are dropped (warn-once + counter), so a
+/// long-lived journal file stays a cache and not a disk leak.
+pub const MAX_JOURNAL_ENTRIES: usize = 65_536;
+
+/// Compacts loaded journal entries and applies the entry cap. Three
+/// reductions, in order:
+///
+/// 1. **Duplicate keys** — the last append wins (concurrent processes
+///    write through independently, so repeats are normal).
+/// 2. **Superseded fingerprints** — an entry whose point identity (kind,
+///    polarity, width/slew/load bits) was later re-measured under a
+///    *different* technology fingerprint is dead weight: the fingerprint
+///    folds in every device parameter and the engine version, so a newer
+///    measurement of the same point under a new fingerprint means the old
+///    model revision no longer exists.
+/// 3. **Entry cap** — keep only the newest `cap` entries in journal order.
+///
+/// Returns the surviving entries (journal order) plus the counts dropped
+/// by compaction and by the cap.
+fn compact_and_cap(entries: Vec<JournalEntry>, cap: usize) -> (Vec<JournalEntry>, usize, usize) {
+    let point = |k: &CharKey| (k.kind, k.rising, k.wn_bits, k.slew_bits, k.load_bits);
+    let mut last_fp: HashMap<(u8, bool, u64, u64, u64), u64> = HashMap::new();
+    let mut last_idx: HashMap<CharKey, usize> = HashMap::new();
+    for (i, (k, _)) in entries.iter().enumerate() {
+        last_fp.insert(point(k), k.fingerprint);
+        last_idx.insert(*k, i);
+    }
+    let n = entries.len();
+    let mut kept: Vec<JournalEntry> = entries
+        .into_iter()
+        .enumerate()
+        .filter(|(i, (k, _))| last_idx[k] == *i && last_fp[&point(k)] == k.fingerprint)
+        .map(|(_, e)| e)
+        .collect();
+    let superseded = n - kept.len();
+    let evicted = kept.len().saturating_sub(cap);
+    kept.drain(..evicted);
+    (kept, superseded, evicted)
+}
+
+/// Formats one journal record (the exact format [`parse_line`] accepts).
+fn format_line(key: &CharKey, val: (u64, u64)) -> String {
+    format!(
+        "{:016x} {} {} {:016x} {:016x} {:016x} {:016x} {:016x}",
+        key.fingerprint,
+        key.kind,
+        u8::from(key.rising),
+        key.wn_bits,
+        key.slew_bits,
+        key.load_bits,
+        val.0,
+        val.1
+    )
+}
+
 /// Parses journal text into entries, counting (and skipping) malformed
 /// records. Factored out of [`state`] so truncation recovery is testable
 /// without re-initializing the process-global cache.
@@ -153,7 +210,38 @@ fn state() -> &'static Mutex<CacheState> {
             if let CacheMode::Journal(path) = cache_mode(&v) {
                 if let Ok(text) = std::fs::read_to_string(&path) {
                     let (entries, recovered) = load_journal(&text);
+                    let (entries, superseded, evicted) =
+                        compact_and_cap(entries, MAX_JOURNAL_ENTRIES);
                     pi_obs::counter_add("char_cache.journal_loaded", entries.len() as u64);
+                    if superseded > 0 {
+                        pi_obs::counter_add("char_cache.journal_compacted", superseded as u64);
+                    }
+                    if evicted > 0 {
+                        pi_obs::counter_add("char_cache.journal_evicted", evicted as u64);
+                        pi_obs::warn_once(
+                            "char_cache.journal_evicted",
+                            &format!(
+                                "char cache journal `{}` exceeds the {MAX_JOURNAL_ENTRIES}-entry \
+                                 cap; dropped the oldest {evicted} entr(y/ies)",
+                                path.display()
+                            ),
+                        );
+                    }
+                    // Rewrite the file when compaction shrank it, so the
+                    // journal does not grow without bound across runs.
+                    // Atomic replace (temp + rename) — a crash mid-rewrite
+                    // leaves either the old or the new journal, never a
+                    // truncated one.
+                    if superseded + evicted > 0 {
+                        let tmp = path.with_extension("compact.tmp");
+                        let body: String = entries
+                            .iter()
+                            .map(|(k, v)| format_line(k, *v) + "\n")
+                            .collect();
+                        if std::fs::write(&tmp, body).is_ok() {
+                            let _ = std::fs::rename(&tmp, &path);
+                        }
+                    }
                     for (key, val) in entries {
                         st.map.insert(key, val);
                     }
@@ -292,24 +380,26 @@ pub fn store(key: CharKey, delay: Time, output_slew: Time) {
     let val = (delay.si().to_bits(), output_slew.si().to_bits());
     let mut st = state().lock().expect("char cache poisoned");
     if st.map.insert(key, val).is_none() {
+        // Crossing the cap mid-run is surfaced (once) but nothing is
+        // evicted live — lookups must stay deterministic within a run.
+        // The next load's compaction pass trims the journal back down.
+        if st.map.len() == MAX_JOURNAL_ENTRIES + 1 {
+            pi_obs::counter_add("char_cache.cap_exceeded", 1);
+            pi_obs::warn_once(
+                "char_cache.cap_exceeded",
+                &format!(
+                    "char cache grew past {MAX_JOURNAL_ENTRIES} entries; \
+                     the journal will be compacted on next load"
+                ),
+            );
+        }
         if let Some(path) = st.disk.clone() {
             if let Ok(mut f) = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(path)
             {
-                let _ = writeln!(
-                    f,
-                    "{:016x} {} {} {:016x} {:016x} {:016x} {:016x} {:016x}",
-                    key.fingerprint,
-                    key.kind,
-                    u8::from(key.rising),
-                    key.wn_bits,
-                    key.slew_bits,
-                    key.load_bits,
-                    val.0,
-                    val.1
-                );
+                let _ = writeln!(f, "{}", format_line(&key, val));
             }
         }
     }
@@ -405,17 +495,7 @@ mod tests {
     }
 
     fn journal_line(k: &CharKey, d: f64, s: f64) -> String {
-        format!(
-            "{:016x} {} {} {:016x} {:016x} {:016x} {:016x} {:016x}",
-            k.fingerprint,
-            k.kind,
-            u8::from(k.rising),
-            k.wn_bits,
-            k.slew_bits,
-            k.load_bits,
-            d.to_bits(),
-            s.to_bits()
-        )
+        format_line(k, (d.to_bits(), s.to_bits()))
     }
 
     #[test]
@@ -451,6 +531,65 @@ mod tests {
         // Blank lines are not errors.
         let (entries, recovered) = load_journal(&format!("\n{good}\n\n"));
         assert_eq!((entries.len(), recovered), (1, 0));
+    }
+
+    #[test]
+    fn compaction_drops_duplicates_and_superseded_fingerprints() {
+        let old_fp = 0xaaaa;
+        let new_fp = 0xbbbb;
+        let shared = |fp| sample_key(fp); // same point identity under both
+        let only_old = |fp: u64| {
+            key(
+                fp,
+                RepeaterKind::Buffer,
+                false,
+                Length::um(8.0),
+                Time::ps(80.0),
+                Cap::ff(50.0),
+            )
+        };
+        let entries = vec![
+            (shared(old_fp), (1, 1)),   // superseded: re-measured under new_fp
+            (only_old(old_fp), (2, 2)), // survives: never re-measured
+            (shared(new_fp), (3, 3)),   // duplicate, first write
+            (shared(new_fp), (4, 4)),   // last write wins
+        ];
+        let (kept, superseded, evicted) = compact_and_cap(entries, 100);
+        assert_eq!(superseded, 2, "old-fingerprint + duplicate dropped");
+        assert_eq!(evicted, 0);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0], (only_old(old_fp), (2, 2)));
+        assert_eq!(kept[1], (shared(new_fp), (4, 4)), "last duplicate wins");
+        // The compacted set round-trips through the journal format.
+        let text: String = kept
+            .iter()
+            .map(|(k, v)| format_line(k, *v) + "\n")
+            .collect();
+        let (reloaded, recovered) = load_journal(&text);
+        assert_eq!((reloaded, recovered), (kept, 0));
+    }
+
+    #[test]
+    fn entry_cap_evicts_the_oldest_entries() {
+        let entries: Vec<JournalEntry> = (0..10)
+            .map(|i| {
+                let k = key(
+                    0x1234,
+                    RepeaterKind::Inverter,
+                    true,
+                    Length::um(1.0 + i as f64),
+                    Time::ps(60.0),
+                    Cap::ff(30.0),
+                );
+                (k, (i, i))
+            })
+            .collect();
+        let (kept, superseded, evicted) = compact_and_cap(entries.clone(), 4);
+        assert_eq!((superseded, evicted), (0, 6));
+        assert_eq!(kept, entries[6..].to_vec(), "newest entries survive");
+        // A cap larger than the set is a no-op.
+        let (kept, _, evicted) = compact_and_cap(entries.clone(), 100);
+        assert_eq!((kept.len(), evicted), (10, 0));
     }
 
     #[test]

@@ -24,7 +24,8 @@
 use pi_rt::Rng;
 use pi_tech::units::{Length, Time};
 use pi_yield::{
-    DriveVariation, EstimatorConfig, LineProblem, SpatialCorrelation, StageDelays, YieldEstimate,
+    DriveVariation, EstimatorConfig, LineProblem, Method, SpatialCorrelation, StageDelays,
+    YieldEstimate,
 };
 
 use crate::line::{BufferingPlan, LineEvaluator, LineSpec, StageTiming};
@@ -426,6 +427,17 @@ impl LineEvaluator<'_> {
     /// forces one more upsizing step instead of shipping on statistical
     /// luck. `achieved_yield` still reports the point estimate.
     ///
+    /// When the configuration opts into the control variate
+    /// ([`EstimatorConfig::control_variate`]) the caller has declared the
+    /// analytic surrogate trustworthy, so every candidate is first
+    /// screened through the far cheaper surrogate-IS estimator: a
+    /// candidate whose *screen* lower bound already clears the target is
+    /// accepted without running the configured estimator at all. The
+    /// screen only ever accepts — and only while the surrogate stayed
+    /// trusted (no disagreement fallback) — so a candidate that fails the
+    /// screen still gets the configured estimator's verdict and the
+    /// search can never stop *later* than it would without screening.
+    ///
     /// Returns `None` if no plan in range reaches the target.
     ///
     /// # Panics
@@ -442,7 +454,23 @@ impl LineEvaluator<'_> {
         target_yield: f64,
         config: &EstimatorConfig,
     ) -> Option<YieldSizing> {
+        let screen = (config.control_variate && config.method != Method::SurrogateIs).then(|| {
+            let mut cfg = *config;
+            cfg.method = Method::SurrogateIs;
+            cfg
+        });
         self.size_loop(spec, plan, target_yield, |ev, candidate| {
+            if let Some(cfg) = &screen {
+                let est = ev.timing_yield_estimate(spec, candidate, variation, deadline, cfg);
+                let lower = est.yield_fraction - est.half_width;
+                // A fallback run reports `method` as the plain importance
+                // sampler — that screen verdict is not trusted to accept.
+                if est.method == Method::SurrogateIs && lower >= target_yield {
+                    pi_obs::counter_add("sizing.surrogate_accept", 1);
+                    return (est.yield_fraction, lower);
+                }
+                pi_obs::counter_add("sizing.surrogate_screen_miss", 1);
+            }
             let est = ev.timing_yield_estimate(spec, candidate, variation, deadline, config);
             (est.yield_fraction, est.yield_fraction - est.half_width)
         })
@@ -854,6 +882,52 @@ mod tests {
         // bound, not just its point estimate.
         let est = ev.timing_yield_estimate(&spec, &sized.plan, &v, deadline, &cfg);
         assert!(est.yield_fraction - est.half_width >= target);
+    }
+
+    #[test]
+    fn surrogate_screened_sizing_matches_the_plain_search() {
+        // Opting into the control variate turns on the surrogate-IS
+        // acceptance screen: the search must land on the same (or an
+        // earlier, still target-clearing) rung as the unscreened search,
+        // and the accepted plan must clear the target under an
+        // independent reference estimate.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        let start = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 12,
+            wn: t.layout().unit_nmos_width * 8.0,
+            staggered: false,
+        };
+        let v = VariationModel::nominal();
+        let deadline = Time::ps(560.0);
+        let cfg = pi_yield::EstimatorConfig::new(pi_yield::Method::SobolScrambled);
+        let plain = ev
+            .size_for_yield_with(&spec, &start, &v, deadline, 0.95, &cfg)
+            .expect("target reachable");
+        let screened = ev
+            .size_for_yield_with(
+                &spec,
+                &start,
+                &v,
+                deadline,
+                0.95,
+                &cfg.with_control_variate(true),
+            )
+            .expect("target reachable");
+        // The screen only accepts, never rejects, so it cannot stop later.
+        assert!(
+            screened.steps <= plain.steps,
+            "screen stopped at step {} after plain stopped at {}",
+            screened.steps,
+            plain.steps
+        );
+        let reference = ev.timing_yield(&spec, &screened.plan, &v, deadline, 4000, 17);
+        assert!(
+            reference >= 0.95 - 0.02,
+            "screened plan only reaches {reference}"
+        );
     }
 
     #[test]

@@ -363,6 +363,136 @@ pub fn check(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-span-name flat rows: `(name, call count, self-time ns)`.
+type FlatSpans = Vec<(String, u64, u64)>;
+
+/// Per-name flat aggregation used by [`diff`]: self-time (duration minus
+/// direct children) and call count per span name, plus summed counters.
+fn flat_profile(j: &Journal) -> (FlatSpans, Vec<(String, u64)>) {
+    let mut child_sum: HashMap<u64, u64> = HashMap::new();
+    let ids: HashMap<u64, ()> = j.spans.iter().map(|s| (s.id, ())).collect();
+    for s in &j.spans {
+        if s.parent != 0 && ids.contains_key(&s.parent) {
+            *child_sum.entry(s.parent).or_insert(0) += s.dur_ns;
+        }
+    }
+    let mut spans: Vec<(String, u64, u64)> = Vec::new();
+    for s in &j.spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_sum.get(&s.id).copied().unwrap_or(0));
+        match spans.iter_mut().find(|(n, _, _)| *n == s.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += self_ns;
+            }
+            None => spans.push((s.name.clone(), 1, self_ns)),
+        }
+    }
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for (name, v) in &j.counters {
+        match counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, total)) => *total += v,
+            None => counters.push((name.clone(), *v)),
+        }
+    }
+    (spans, counters)
+}
+
+/// Formats a signed nanosecond delta with an adaptive unit, e.g. `-1.2ms`.
+fn fmt_ns_delta(delta: i128) -> String {
+    let sign = if delta < 0 { "-" } else { "+" };
+    format!("{sign}{}", fmt_ns(delta.unsigned_abs() as u64))
+}
+
+/// Diffs two journals (`pi obs-report --diff <a> <b>`): per-span-name
+/// self-time deltas and counter deltas, largest absolute change first.
+/// Names present in only one journal show with a 0 on the other side, so
+/// spans or counters that appear/disappear between runs stand out.
+pub fn diff(a: &str, b: &str) -> Result<String, String> {
+    let (spans_a, counters_a) = flat_profile(&parse_journal(a).map_err(|e| format!("a: {e}"))?);
+    let (spans_b, counters_b) = flat_profile(&parse_journal(b).map_err(|e| format!("b: {e}"))?);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== pi-obs diff (a -> b) ==");
+
+    let mut names: Vec<&str> = spans_a.iter().map(|(n, _, _)| n.as_str()).collect();
+    for (n, _, _) in &spans_b {
+        if !names.contains(&n.as_str()) {
+            names.push(n);
+        }
+    }
+    let lookup = |spans: &[(String, u64, u64)], name: &str| {
+        spans
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map_or((0, 0), |&(_, c, t)| (c, t))
+    };
+    let mut rows: Vec<(String, u64, u64, u64, u64, i128)> = names
+        .iter()
+        .map(|name| {
+            let (ca, ta) = lookup(&spans_a, name);
+            let (cb, tb) = lookup(&spans_b, name);
+            ((*name).to_string(), ca, ta, cb, tb, tb as i128 - ta as i128)
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.5.abs()));
+    if !rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>14} {:>14} {:>12} {:>12}",
+            "span (self)", "count a->b", "", "a", "b"
+        );
+        for (name, ca, ta, cb, tb, delta) in &rows {
+            let _ = writeln!(
+                out,
+                "  {name:<40} {:>14} {:>14} {:>12} {:>12}",
+                format!("{ca} -> {cb}"),
+                fmt_ns_delta(*delta),
+                fmt_ns(*ta),
+                fmt_ns(*tb)
+            );
+        }
+    }
+
+    let mut cnames: Vec<&str> = counters_a.iter().map(|(n, _)| n.as_str()).collect();
+    for (n, _) in &counters_b {
+        if !cnames.contains(&n.as_str()) {
+            cnames.push(n);
+        }
+    }
+    let clookup = |counters: &[(String, u64)], name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let mut crows: Vec<(String, u64, u64)> = cnames
+        .iter()
+        .map(|name| {
+            (
+                (*name).to_string(),
+                clookup(&counters_a, name),
+                clookup(&counters_b, name),
+            )
+        })
+        .collect();
+    crows.sort_by_key(|&(_, va, vb)| std::cmp::Reverse((vb as i128 - va as i128).abs()));
+    if !crows.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, va, vb) in &crows {
+            let _ = writeln!(
+                out,
+                "  {name:<40} {:>+14} {:>12} {:>12}",
+                *vb as i128 - *va as i128,
+                va,
+                vb
+            );
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +577,44 @@ mod tests {
     fn check_rejects_malformed_line() {
         let bad = format!("{}\nnot json\n", synthetic_journal());
         assert!(check(&bad).is_err());
+    }
+
+    #[test]
+    fn diff_reports_span_and_counter_deltas() {
+        let before = [
+            r#"{"type":"meta","schema":1,"mode":"jsonl"}"#,
+            r#"{"type":"span","id":1,"parent":0,"thread":1,"name":"pi.yield","start_ns":0,"dur_ns":1000}"#,
+            r#"{"type":"span","id":2,"parent":1,"thread":1,"name":"spice.transient","start_ns":100,"dur_ns":600}"#,
+            r#"{"type":"counter","name":"yield.stop_target","value":1}"#,
+            r#"{"type":"finish","wall_ns":1020,"thread":1}"#,
+        ]
+        .join("\n");
+        let after = [
+            r#"{"type":"meta","schema":1,"mode":"jsonl"}"#,
+            r#"{"type":"span","id":1,"parent":0,"thread":1,"name":"pi.yield","start_ns":0,"dur_ns":700}"#,
+            r#"{"type":"span","id":2,"parent":1,"thread":1,"name":"spice.transient","start_ns":100,"dur_ns":200}"#,
+            r#"{"type":"counter","name":"yield.stop_target","value":3}"#,
+            r#"{"type":"counter","name":"yield.surrogate_fallback","value":1}"#,
+            r#"{"type":"finish","wall_ns":720,"thread":1}"#,
+        ]
+        .join("\n");
+        let out = diff(&before, &after).unwrap();
+        // pi.yield self-time: (1000-600) -> (700-200) = +100ns.
+        assert!(out.contains("pi.yield"), "{out}");
+        assert!(out.contains("+100ns"), "{out}");
+        // spice.transient self-time: 600 -> 200 = -400ns.
+        assert!(out.contains("-400ns"), "{out}");
+        // Counter delta +2; the counter only in `after` shows its delta too.
+        assert!(out.contains("yield.stop_target"), "{out}");
+        assert!(out.contains("+2"), "{out}");
+        assert!(out.contains("yield.surrogate_fallback"), "{out}");
+    }
+
+    #[test]
+    fn diff_rejects_a_malformed_side() {
+        let good = synthetic_journal();
+        let err = diff(&good, "not json").unwrap_err();
+        assert!(err.starts_with("b:"), "{err}");
     }
 
     #[test]

@@ -66,18 +66,30 @@ where
     let block = n.div_ceil(threads * BLOCKS_PER_THREAD).max(1);
     let next = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    let obs = pi_obs::enabled();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(block, Ordering::Relaxed);
-                if start >= n {
-                    break;
+            scope.spawn(|| {
+                // One root span per worker thread, so `pi obs-report`
+                // groups the pool under `[workers]`; the nested
+                // `rt.queue_wait` spans cover the time each worker spends
+                // blocked on the shared result lock — the pool's only
+                // synchronization point — making backpressure from large
+                // result blocks visible as queue-wait self-time.
+                let _worker = obs.then(|| pi_obs::span("rt.worker"));
+                loop {
+                    let start = next.fetch_add(block, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + block).min(n);
+                    let results: Vec<R> = (start..end).map(&f).collect();
+                    let wait = obs.then(|| pi_obs::span("rt.queue_wait"));
+                    done.lock()
+                        .expect("worker poisoned the result lock")
+                        .push((start, results));
+                    drop(wait);
                 }
-                let end = (start + block).min(n);
-                let results: Vec<R> = (start..end).map(&f).collect();
-                done.lock()
-                    .expect("worker poisoned the result lock")
-                    .push((start, results));
             });
         }
     });

@@ -37,6 +37,7 @@ use pi_rt::Rng;
 use crate::analytic;
 use crate::problem::{LineProblem, NetworkProblem};
 use crate::sobol::Sobol;
+use crate::surrogate::Surrogate;
 
 /// Estimator selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,11 @@ pub enum Method {
     SobolScrambled,
     /// Mean-shifted importance sampling with likelihood-ratio weights.
     ImportanceSampling,
+    /// Surrogate-guided importance sampling: variance-optimal fitted
+    /// shift (or a Gaussian mixture over competing failure modes), with
+    /// the surrogate indicator as a built-in control variate and a
+    /// disagreement-rate trust metric.
+    SurrogateIs,
     /// Analytic Gaussian closure (no samples; CI reported as zero —
     /// the residual error is model error, not sampling noise).
     Analytic,
@@ -65,16 +71,18 @@ impl Method {
             Method::Sobol => "sobol",
             Method::SobolScrambled => "sobol-scrambled",
             Method::ImportanceSampling => "importance",
+            Method::SurrogateIs => "surrogate-is",
             Method::Analytic => "analytic",
         }
     }
 
     /// All methods, for sweeps and CLI help.
-    pub const ALL: [Method; 5] = [
+    pub const ALL: [Method; 6] = [
         Method::Naive,
         Method::Sobol,
         Method::SobolScrambled,
         Method::ImportanceSampling,
+        Method::SurrogateIs,
         Method::Analytic,
     ];
 }
@@ -94,9 +102,11 @@ impl std::str::FromStr for Method {
             "sobol" | "qmc" => Ok(Method::Sobol),
             "sobol-scrambled" | "rqmc" | "scrambled" => Ok(Method::SobolScrambled),
             "importance" | "is" => Ok(Method::ImportanceSampling),
+            "surrogate-is" | "surrogate" | "sis" => Ok(Method::SurrogateIs),
             "analytic" => Ok(Method::Analytic),
             other => Err(format!(
-                "unknown estimator `{other}` (naive, sobol, sobol-scrambled, importance, analytic)"
+                "unknown estimator `{other}` (naive, sobol, sobol-scrambled, importance, \
+                 surrogate-is, analytic)"
             )),
         }
     }
@@ -119,6 +129,15 @@ pub struct EstimatorConfig {
     pub confidence_z: f64,
     /// Independent digital-shift replicates for [`Method::SobolScrambled`].
     pub replicates: usize,
+    /// Evaluate the analytic surrogate alongside every sampled die and
+    /// use it as a control variate (naive, Sobol, scrambled-Sobol and
+    /// importance estimators). [`Method::SurrogateIs`] always does.
+    pub control_variate: bool,
+    /// Surrogate-vs-exact disagreement rate above which the surrogate
+    /// is distrusted and the plain estimator's statistic is reported
+    /// instead (the control variate stays unbiased regardless — this
+    /// guards the *variance*, which degrades with disagreement).
+    pub disagreement_threshold: f64,
 }
 
 impl EstimatorConfig {
@@ -132,6 +151,8 @@ impl EstimatorConfig {
             max_evals: 1 << 20,
             confidence_z: 1.959_963_984_540_054,
             replicates: 8,
+            control_variate: false,
+            disagreement_threshold: 0.25,
         }
     }
 
@@ -155,6 +176,20 @@ impl EstimatorConfig {
         self.max_evals = max_evals;
         self
     }
+
+    /// Same configuration with the surrogate control variate toggled.
+    #[must_use]
+    pub fn with_control_variate(mut self, on: bool) -> Self {
+        self.control_variate = on;
+        self
+    }
+
+    /// Same configuration with a different disagreement threshold.
+    #[must_use]
+    pub fn with_disagreement_threshold(mut self, threshold: f64) -> Self {
+        self.disagreement_threshold = threshold;
+        self
+    }
 }
 
 /// An estimated yield with its uncertainty and cost.
@@ -168,6 +203,10 @@ pub struct YieldEstimate {
     pub evals: usize,
     /// The estimator that produced this.
     pub method: Method,
+    /// Fraction of sampled dies where the analytic surrogate and the
+    /// exact evaluation disagreed on the pass verdict — the surrogate
+    /// trust metric. Zero when no surrogate ran.
+    pub surrogate_disagreement: f64,
 }
 
 /// A network estimate: the overall estimate plus per-channel yields.
@@ -218,6 +257,7 @@ pub fn estimate_network_yield(
         }
         Method::SobolScrambled => run_scrambled(problem, config),
         Method::ImportanceSampling => run_importance(problem, config),
+        Method::SurrogateIs => run_surrogate(problem, config),
         Method::Analytic => {
             let (overall, channel_yield) = analytic::network_yield(problem);
             NetworkYieldEstimate {
@@ -226,6 +266,7 @@ pub fn estimate_network_yield(
                     half_width: 0.0,
                     evals: 0,
                     method: Method::Analytic,
+                    surrogate_disagreement: 0.0,
                 },
                 channel_yield,
             }
@@ -290,6 +331,36 @@ impl DieSampler {
             }
         }
     }
+
+    /// Evaluates die `index` while exposing its normal vector in `z`,
+    /// so the surrogate can judge the *same* die. Bit-identical to
+    /// [`DieSampler::die`]: drawing the RNG normals up front and
+    /// replaying them through the explicit path reproduces the streamed
+    /// evaluation exactly (pinned by the problem-layer tests).
+    fn die_with_z(
+        &self,
+        problem: &NetworkProblem,
+        seed: u64,
+        index: usize,
+        z: &mut [f64],
+        pass: &mut [bool],
+    ) -> bool {
+        match self {
+            DieSampler::Rng => {
+                let mut rng = Rng::stream(seed, index as u64);
+                for slot in z.iter_mut() {
+                    *slot = rng.normal();
+                }
+            }
+            DieSampler::Sobol { sobol, shifts } => {
+                for (j, slot) in z.iter_mut().enumerate() {
+                    let shift = if shifts.is_empty() { 0 } else { shifts[j] };
+                    *slot = normal_inv_cdf(sobol.coord(j, index as u64, shift));
+                }
+            }
+        }
+        problem.die_from_normals(z, pass)
+    }
 }
 
 /// Integer pass tallies (exactly additive, so the merge order over chunks
@@ -298,6 +369,10 @@ struct CountTally {
     dies: usize,
     pass_all: usize,
     pass_channel: Vec<usize>,
+    /// Surrogate all-pass count (control-variate runs only).
+    sur_pass_all: usize,
+    /// Dies where the surrogate and exact verdicts differed.
+    disagree: usize,
 }
 
 impl CountTally {
@@ -306,6 +381,8 @@ impl CountTally {
             dies: 0,
             pass_all: 0,
             pass_channel: vec![0; channels],
+            sur_pass_all: 0,
+            disagree: 0,
         }
     }
 
@@ -315,7 +392,45 @@ impl CountTally {
         for (a, b) in self.pass_channel.iter_mut().zip(&other.pass_channel) {
             *a += b;
         }
+        self.sur_pass_all += other.sur_pass_all;
+        self.disagree += other.disagree;
     }
+}
+
+/// Fitted surrogate plus its exact expectation — everything a
+/// control-variate run needs besides the per-die verdicts.
+struct CvContext {
+    surrogate: Surrogate,
+    /// Exact `E[surrogate all-pass]` under the sampling measure.
+    e_pass: f64,
+}
+
+impl CvContext {
+    fn fit(problem: &NetworkProblem) -> Self {
+        let surrogate = Surrogate::fit(problem);
+        let e_pass = surrogate.expectation_all_pass();
+        CvContext { surrogate, e_pass }
+    }
+}
+
+/// Control-variate mean and CLT half-width from counting tallies:
+/// the estimator is `mean(exact − surrogate) + E[surrogate]`, and the
+/// per-die difference is ±1 exactly on disagreements, so the sample
+/// variance comes straight from the disagreement count.
+fn counting_cv_interval(tally: &CountTally, e_pass: f64, z: f64) -> (f64, f64) {
+    let n = tally.dies as f64;
+    let d_mean = (tally.pass_all as f64 - tally.sur_pass_all as f64) / n;
+    let mean = (d_mean + e_pass).clamp(0.0, 1.0);
+    if tally.dies < 2 {
+        return (mean, f64::INFINITY);
+    }
+    if tally.disagree == 0 {
+        // Zero observed disagreements carry no variance information;
+        // rule of three on the disagreement rate (each |diff| ≤ 1).
+        return (mean, 3.0 / n);
+    }
+    let var = ((tally.disagree as f64 - n * d_mean * d_mean) / (n - 1.0)).max(0.0);
+    (mean, z * (var / n).sqrt())
 }
 
 /// Counting estimators (naive MC, plain Sobol): adaptive batches with a
@@ -326,6 +441,8 @@ fn run_counting(
     sampler: &DieSampler,
 ) -> NetworkYieldEstimate {
     let channels = problem.channels.len();
+    let dim = problem.dimension();
+    let cv = config.control_variate.then(|| CvContext::fit(problem));
     let mut tally = CountTally::zero(channels);
     let mut batch = FIRST_BATCH;
     let mut hit_target = false;
@@ -335,13 +452,33 @@ fn run_counting(
         let partials = pi_rt::par_map(&chunks, |&(start, end)| {
             let mut part = CountTally::zero(channels);
             let mut pass = vec![false; channels];
-            for index in start..end {
-                part.dies += 1;
-                if sampler.die(problem, config.seed, index, &mut pass) {
-                    part.pass_all += 1;
+            match &cv {
+                None => {
+                    for index in start..end {
+                        part.dies += 1;
+                        if sampler.die(problem, config.seed, index, &mut pass) {
+                            part.pass_all += 1;
+                        }
+                        for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
+                            *slot += usize::from(ok);
+                        }
+                    }
                 }
-                for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
-                    *slot += usize::from(ok);
+                Some(ctx) => {
+                    let mut z = vec![0.0; dim];
+                    let mut sur_pass = vec![false; channels];
+                    for index in start..end {
+                        part.dies += 1;
+                        let exact =
+                            sampler.die_with_z(problem, config.seed, index, &mut z, &mut pass);
+                        let sur = ctx.surrogate.die(&z, &mut sur_pass);
+                        part.pass_all += usize::from(exact);
+                        part.sur_pass_all += usize::from(sur);
+                        part.disagree += usize::from(exact != sur);
+                        for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
+                            *slot += usize::from(ok);
+                        }
+                    }
                 }
             }
             part
@@ -349,8 +486,15 @@ fn run_counting(
         for part in &partials {
             tally.merge(part);
         }
-        let hw = wilson_half_width(tally.pass_all, tally.dies, config.confidence_z);
+        let hw = counting_half_width(&tally, cv.as_ref(), config);
         pi_obs::sample("yield.ci_half_width", tally.dies as f64, hw);
+        if cv.is_some() {
+            pi_obs::sample(
+                "yield.surrogate_disagreement",
+                tally.dies as f64,
+                tally.disagree as f64 / tally.dies as f64,
+            );
+        }
         if config.target_half_width > 0.0 && hw <= config.target_half_width {
             hit_target = true;
             break;
@@ -370,14 +514,54 @@ fn run_counting(
         DieSampler::Rng => Method::Naive,
         DieSampler::Sobol { .. } => Method::Sobol,
     };
+    let dis_rate = match &cv {
+        Some(_) => tally.disagree as f64 / n,
+        None => 0.0,
+    };
+    let (yield_fraction, half_width) = match &cv {
+        Some(ctx) if dis_rate <= config.disagreement_threshold => {
+            counting_cv_interval(&tally, ctx.e_pass, config.confidence_z)
+        }
+        Some(_) => {
+            // Surrogate distrusted: keep the plain statistic (the raw
+            // counts were tallied all along, so this costs nothing).
+            pi_obs::counter_add("yield.surrogate_fallback", 1);
+            (
+                tally.pass_all as f64 / n,
+                wilson_half_width(tally.pass_all, tally.dies, config.confidence_z),
+            )
+        }
+        None => (
+            tally.pass_all as f64 / n,
+            wilson_half_width(tally.pass_all, tally.dies, config.confidence_z),
+        ),
+    };
     NetworkYieldEstimate {
         overall: YieldEstimate {
-            yield_fraction: tally.pass_all as f64 / n,
-            half_width: wilson_half_width(tally.pass_all, tally.dies, config.confidence_z),
+            yield_fraction,
+            half_width,
             evals: tally.dies,
             method,
+            surrogate_disagreement: dis_rate,
         },
         channel_yield: tally.pass_channel.iter().map(|&p| p as f64 / n).collect(),
+    }
+}
+
+/// The stopping half-width of a counting run: Wilson on the raw counts,
+/// or the control-variate CLT width while the surrogate is trusted.
+fn counting_half_width(
+    tally: &CountTally,
+    cv: Option<&CvContext>,
+    config: &EstimatorConfig,
+) -> f64 {
+    match cv {
+        Some(ctx)
+            if (tally.disagree as f64 / tally.dies as f64) <= config.disagreement_threshold =>
+        {
+            counting_cv_interval(tally, ctx.e_pass, config.confidence_z).1
+        }
+        _ => wilson_half_width(tally.pass_all, tally.dies, config.confidence_z),
     }
 }
 
@@ -397,6 +581,8 @@ fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkY
         "scrambled Sobol needs at least 2 replicates"
     );
     let channels = problem.channels.len();
+    let dim = problem.dimension();
+    let cv = config.control_variate.then(|| CvContext::fit(problem));
     let sobol = Sobol::new(problem.dimension());
     let samplers: Vec<DieSampler> = (0..replicates)
         .map(|r| DieSampler::Sobol {
@@ -426,13 +612,33 @@ fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkY
         let partials = pi_rt::par_map(&items, |&(r, start, end)| {
             let mut part = CountTally::zero(channels);
             let mut pass = vec![false; channels];
-            for index in start..end {
-                part.dies += 1;
-                if samplers[r].die(problem, config.seed, index, &mut pass) {
-                    part.pass_all += 1;
+            match &cv {
+                None => {
+                    for index in start..end {
+                        part.dies += 1;
+                        if samplers[r].die(problem, config.seed, index, &mut pass) {
+                            part.pass_all += 1;
+                        }
+                        for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
+                            *slot += usize::from(ok);
+                        }
+                    }
                 }
-                for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
-                    *slot += usize::from(ok);
+                Some(ctx) => {
+                    let mut z = vec![0.0; dim];
+                    let mut sur_pass = vec![false; channels];
+                    for index in start..end {
+                        part.dies += 1;
+                        let exact =
+                            samplers[r].die_with_z(problem, config.seed, index, &mut z, &mut pass);
+                        let sur = ctx.surrogate.die(&z, &mut sur_pass);
+                        part.pass_all += usize::from(exact);
+                        part.sur_pass_all += usize::from(sur);
+                        part.disagree += usize::from(exact != sur);
+                        for (slot, &ok) in part.pass_channel.iter_mut().zip(&pass) {
+                            *slot += usize::from(ok);
+                        }
+                    }
                 }
             }
             part
@@ -442,10 +648,19 @@ fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkY
         }
         points = target;
 
-        let (mean, hw) = replicate_interval(&tallies, config.confidence_z);
-        let _ = mean;
+        let (_, hw) = scrambled_interval(&tallies, cv.as_ref(), config);
         let total = points * replicates;
         pi_obs::sample("yield.ci_half_width", total as f64, hw);
+        if cv.is_some() {
+            let (dies, disagree) = tallies
+                .iter()
+                .fold((0, 0), |(d, x), t| (d + t.dies, x + t.disagree));
+            pi_obs::sample(
+                "yield.surrogate_disagreement",
+                dies as f64,
+                disagree as f64 / dies as f64,
+            );
+        }
         if config.target_half_width > 0.0
             && hw <= config.target_half_width
             && points >= MIN_REPLICATE_POINTS
@@ -460,8 +675,18 @@ fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkY
         next = points * 2;
     }
 
-    let (mean, hw) = replicate_interval(&tallies, config.confidence_z);
+    let (mean, hw) = scrambled_interval(&tallies, cv.as_ref(), config);
     let total = points * replicates;
+    let (dies, disagree) = tallies
+        .iter()
+        .fold((0, 0), |(d, x), t| (d + t.dies, x + t.disagree));
+    let dis_rate = match &cv {
+        Some(_) => disagree as f64 / dies as f64,
+        None => 0.0,
+    };
+    if cv.is_some() && dis_rate > config.disagreement_threshold {
+        pi_obs::counter_add("yield.surrogate_fallback", 1);
+    }
     let mut channel_yield = vec![0.0; channels];
     for tally in &tallies {
         for (acc, &p) in channel_yield.iter_mut().zip(&tally.pass_channel) {
@@ -477,18 +702,46 @@ fn run_scrambled(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkY
             half_width: hw,
             evals: total,
             method: Method::SobolScrambled,
+            surrogate_disagreement: dis_rate,
         },
         channel_yield,
     }
 }
 
-/// Mean and CI half-width over per-replicate pass fractions.
-fn replicate_interval(tallies: &[CountTally], z: f64) -> (f64, f64) {
+/// Replicate mean and CI of a scrambled-Sobol run: over the per-replicate
+/// pass fractions, or — with a trusted control variate — over the
+/// per-replicate *difference* means plus the surrogate's exact
+/// expectation (the replicate machinery is unchanged, it just averages a
+/// far smaller quantity).
+fn scrambled_interval(
+    tallies: &[CountTally],
+    cv: Option<&CvContext>,
+    config: &EstimatorConfig,
+) -> (f64, f64) {
+    if let Some(ctx) = cv {
+        let (dies, disagree) = tallies
+            .iter()
+            .fold((0, 0), |(d, x), t| (d + t.dies, x + t.disagree));
+        if (disagree as f64 / dies as f64) <= config.disagreement_threshold {
+            let (diff_mean, hw) = replicate_interval(tallies, config.confidence_z, |t| {
+                (t.pass_all as f64 - t.sur_pass_all as f64) / t.dies as f64
+            });
+            return ((diff_mean + ctx.e_pass).clamp(0.0, 1.0), hw);
+        }
+    }
+    replicate_interval(tallies, config.confidence_z, |t| {
+        t.pass_all as f64 / t.dies as f64
+    })
+}
+
+/// Mean and CI half-width over a per-replicate statistic.
+fn replicate_interval(
+    tallies: &[CountTally],
+    z: f64,
+    stat: impl Fn(&CountTally) -> f64,
+) -> (f64, f64) {
     let r = tallies.len() as f64;
-    let means: Vec<f64> = tallies
-        .iter()
-        .map(|t| t.pass_all as f64 / t.dies as f64)
-        .collect();
+    let means: Vec<f64> = tallies.iter().map(stat).collect();
     let mean = means.iter().sum::<f64>() / r;
     let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (r - 1.0);
     (mean, z * (var / r).sqrt())
@@ -504,6 +757,16 @@ struct WeightTally {
     fail_w2: f64,
     /// Σ w·fail per channel.
     fail_channel_w: Vec<f64>,
+    /// Control-variate difference sums: Σ w·(fail − fail_surrogate) and
+    /// its square, plus the raw disagreement count and the *weighted*
+    /// disagreement sum Σ w·1{disagree}. The weighted sum estimates the
+    /// nominal-measure disagreement probability — the trust metric. (The
+    /// raw count is biased under a shifted proposal, which concentrates
+    /// samples exactly where surrogate and exact differ most.)
+    diff_w: f64,
+    diff_w2: f64,
+    disagree: usize,
+    dis_w: f64,
     /// Σw and Σw² over *all* dies, accumulated only while pi-obs is
     /// enabled, for the effective-sample-size diagnostic. Never feeds back
     /// into the estimate, so results stay bit-identical with tracing off.
@@ -518,6 +781,10 @@ impl WeightTally {
             fail_w: 0.0,
             fail_w2: 0.0,
             fail_channel_w: vec![0.0; channels],
+            diff_w: 0.0,
+            diff_w2: 0.0,
+            disagree: 0,
+            dis_w: 0.0,
             obs_w: 0.0,
             obs_w2: 0.0,
         }
@@ -530,9 +797,51 @@ impl WeightTally {
         for (a, b) in self.fail_channel_w.iter_mut().zip(&other.fail_channel_w) {
             *a += b;
         }
+        self.diff_w += other.diff_w;
+        self.diff_w2 += other.diff_w2;
+        self.disagree += other.disagree;
+        self.dis_w += other.dis_w;
         self.obs_w += other.obs_w;
         self.obs_w2 += other.obs_w2;
     }
+
+    /// Accumulates the control-variate difference for one die.
+    fn record_diff(&mut self, weight: f64, exact_ok: bool, sur_ok: bool) {
+        if exact_ok == sur_ok {
+            return;
+        }
+        self.disagree += 1;
+        self.dis_w += weight;
+        // Difference of *failure* indicators: exact fails, surrogate
+        // passes → +w; exact passes, surrogate fails → −w.
+        let d = if exact_ok { -weight } else { weight };
+        self.diff_w += d;
+        self.diff_w2 += d * d;
+    }
+}
+
+/// Control-variate failure estimate and CLT half-width of a weighted
+/// run: `mean(w·(fail − fail_sur)) + P_sur[fail]`. With zero observed
+/// disagreements the rule-of-three interval is scaled by `weight_cap`,
+/// the proposal's bound on the likelihood ratio near the surrogate
+/// failure boundary (where any unseen disagreement would live).
+fn cv_weighted_interval(
+    tally: &WeightTally,
+    p_sur_fail: f64,
+    z: f64,
+    weight_cap: f64,
+) -> (f64, f64) {
+    let n = tally.dies as f64;
+    let d_mean = tally.diff_w / n;
+    let p = (d_mean + p_sur_fail).clamp(0.0, 1.0);
+    if tally.dies < 2 {
+        return (p, f64::INFINITY);
+    }
+    if tally.disagree == 0 {
+        return (p, 3.0 / n * weight_cap);
+    }
+    let var = ((tally.diff_w2 - n * d_mean * d_mean) / (n - 1.0)).max(0.0);
+    (p, z * (var / n).sqrt())
 }
 
 /// Largest mean shift (in σ) the pilot may request.
@@ -622,6 +931,11 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
     let dim = problem.dimension();
     let shift = importance_shift(problem);
     let shift_sq: f64 = shift.iter().map(|m| m * m).sum();
+    let cv = config.control_variate.then(|| CvContext::fit(problem));
+    // The hand-picked shift puts the shifted mean *on* the boundary
+    // (t = m before clamping), so the likelihood ratio on the failure
+    // side is at most e^{t²/2 − t·m} ≤ e^{−t²/2}.
+    let weight_cap = (-0.5 * shift_sq).exp().min(1.0);
 
     let mut tally = WeightTally::zero(channels);
     let mut batch = FIRST_BATCH;
@@ -633,6 +947,7 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
         let partials = pi_rt::par_map(&chunks, |&(start, end)| {
             let mut part = WeightTally::zero(channels);
             let mut pass = vec![false; channels];
+            let mut sur_pass = vec![false; channels];
             let mut z = vec![0.0; dim];
             for index in start..end {
                 let mut rng = Rng::stream(config.seed, index as u64);
@@ -652,6 +967,10 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
                     part.fail_w += weight;
                     part.fail_w2 += weight * weight;
                 }
+                if let Some(ctx) = &cv {
+                    let sur_ok = ctx.surrogate.die(&z, &mut sur_pass);
+                    part.record_diff(weight, all_ok, sur_ok);
+                }
                 for (slot, &ok) in part.fail_channel_w.iter_mut().zip(&pass) {
                     if !ok {
                         *slot += weight;
@@ -663,11 +982,23 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
         for part in &partials {
             tally.merge(part);
         }
-        let (_, hw) = weighted_interval(&tally, config.confidence_z);
+        let (_, hw) = weighted_stats(&tally, cv.as_ref(), config, weight_cap);
         pi_obs::sample("yield.ci_half_width", tally.dies as f64, hw);
+        if cv.is_some() {
+            pi_obs::sample(
+                "yield.surrogate_disagreement",
+                tally.dies as f64,
+                tally.dis_w / tally.dies as f64,
+            );
+        }
+        let floor = if cv_trusted(&tally, cv.as_ref(), config) {
+            FIRST_BATCH
+        } else {
+            MIN_IS_DIES
+        };
         if config.target_half_width > 0.0
             && hw <= config.target_half_width
-            && tally.dies >= MIN_IS_DIES.min(config.max_evals)
+            && tally.dies >= floor.min(config.max_evals)
         {
             hit_target = true;
             break;
@@ -689,7 +1020,14 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
         pi_obs::gauge_set("yield.is_ess", tally.obs_w * tally.obs_w / tally.obs_w2);
     }
 
-    let (p_fail, hw) = weighted_interval(&tally, config.confidence_z);
+    let dis_rate = match &cv {
+        Some(_) => tally.dis_w / tally.dies as f64,
+        None => 0.0,
+    };
+    if cv.is_some() && !cv_trusted(&tally, cv.as_ref(), config) {
+        pi_obs::counter_add("yield.surrogate_fallback", 1);
+    }
+    let (p_fail, hw) = weighted_stats(&tally, cv.as_ref(), config, weight_cap);
     let n = tally.dies as f64;
     NetworkYieldEstimate {
         overall: YieldEstimate {
@@ -697,6 +1035,155 @@ fn run_importance(problem: &NetworkProblem, config: &EstimatorConfig) -> Network
             half_width: hw,
             evals: tally.dies,
             method: Method::ImportanceSampling,
+            surrogate_disagreement: dis_rate,
+        },
+        channel_yield: tally
+            .fail_channel_w
+            .iter()
+            .map(|&f| (1.0 - f / n).clamp(0.0, 1.0))
+            .collect(),
+    }
+}
+
+/// Whether the control variate is active *and* the surrogate is still
+/// within its disagreement budget.
+fn cv_trusted(tally: &WeightTally, cv: Option<&CvContext>, config: &EstimatorConfig) -> bool {
+    cv.is_some()
+        && tally.dies > 0
+        && (tally.dis_w / tally.dies as f64) <= config.disagreement_threshold
+}
+
+/// Failure estimate and half-width of a weighted run: the plain
+/// likelihood-ratio statistic, or the control-variate one while the
+/// surrogate is trusted.
+fn weighted_stats(
+    tally: &WeightTally,
+    cv: Option<&CvContext>,
+    config: &EstimatorConfig,
+    weight_cap: f64,
+) -> (f64, f64) {
+    match cv {
+        Some(ctx) if cv_trusted(tally, cv, config) => {
+            cv_weighted_interval(tally, 1.0 - ctx.e_pass, config.confidence_z, weight_cap)
+        }
+        _ => weighted_interval(tally, config.confidence_z),
+    }
+}
+
+/// Surrogate-guided importance sampling: the shift (or Gaussian-mixture
+/// proposal) is fitted from the surrogate's closed-form variance proxy,
+/// and the surrogate indicator rides along as a control variate, so the
+/// sampled statistic is the *disagreement* between surrogate and exact
+/// verdicts — typically orders of magnitude rarer than failures
+/// themselves. When the disagreement rate exceeds the configured
+/// threshold the surrogate is distrusted and the run degrades to the
+/// plain importance-sampling statistic (reported as such in `method`).
+fn run_surrogate(problem: &NetworkProblem, config: &EstimatorConfig) -> NetworkYieldEstimate {
+    let channels = problem.channels.len();
+    let dim = problem.dimension();
+    let surrogate = Surrogate::fit(problem);
+    let proposal = surrogate.proposal();
+    let e_pass = surrogate.expectation_all_pass();
+    let weight_cap = proposal.boundary_weight_cap();
+    let obs = pi_obs::enabled();
+    if obs {
+        pi_obs::gauge_set("yield.surrogate_shift", proposal.leading_magnitude());
+        pi_obs::gauge_set("yield.surrogate_components", proposal.components() as f64);
+    }
+
+    let mut tally = WeightTally::zero(channels);
+    let mut batch = FIRST_BATCH;
+    let mut hit_target = false;
+    while tally.dies < config.max_evals {
+        let take = batch.min(config.max_evals - tally.dies);
+        let chunks = fixed_chunks(tally.dies, tally.dies + take);
+        let partials = pi_rt::par_map(&chunks, |&(start, end)| {
+            let mut part = WeightTally::zero(channels);
+            let mut pass = vec![false; channels];
+            let mut sur_pass = vec![false; channels];
+            let mut z = vec![0.0; dim];
+            for index in start..end {
+                let mut rng = Rng::stream(config.seed, index as u64);
+                let weight = proposal.sample(&mut rng, &mut z);
+                let all_ok = problem.die_from_normals(&z, &mut pass);
+                let sur_ok = surrogate.die(&z, &mut sur_pass);
+                part.dies += 1;
+                if obs {
+                    part.obs_w += weight;
+                    part.obs_w2 += weight * weight;
+                }
+                if !all_ok {
+                    part.fail_w += weight;
+                    part.fail_w2 += weight * weight;
+                }
+                part.record_diff(weight, all_ok, sur_ok);
+                for (slot, &ok) in part.fail_channel_w.iter_mut().zip(&pass) {
+                    if !ok {
+                        *slot += weight;
+                    }
+                }
+            }
+            part
+        });
+        for part in &partials {
+            tally.merge(part);
+        }
+        let dis_rate = tally.dis_w / tally.dies as f64;
+        let trusted = dis_rate <= config.disagreement_threshold;
+        let (_, hw) = if trusted {
+            cv_weighted_interval(&tally, 1.0 - e_pass, config.confidence_z, weight_cap)
+        } else {
+            weighted_interval(&tally, config.confidence_z)
+        };
+        pi_obs::sample("yield.ci_half_width", tally.dies as f64, hw);
+        pi_obs::sample("yield.surrogate_disagreement", tally.dies as f64, dis_rate);
+        // The control-variate interval is honest from the very first
+        // batch (rule of three on the bounded disagreement terms), so a
+        // trusted run may stop at FIRST_BATCH; a distrusted run needs
+        // the plain importance sampler's floor.
+        let floor = if trusted { FIRST_BATCH } else { MIN_IS_DIES };
+        if config.target_half_width > 0.0
+            && hw <= config.target_half_width
+            && tally.dies >= floor.min(config.max_evals)
+        {
+            hit_target = true;
+            break;
+        }
+        batch = (batch * 2).min(MAX_BATCH);
+    }
+    pi_obs::counter_add(
+        if hit_target {
+            "yield.stop_target"
+        } else {
+            "yield.stop_budget"
+        },
+        1,
+    );
+    if obs && tally.obs_w2 > 0.0 {
+        pi_obs::gauge_set("yield.is_ess", tally.obs_w * tally.obs_w / tally.obs_w2);
+    }
+
+    let n = tally.dies as f64;
+    let dis_rate = tally.dis_w / n;
+    pi_obs::gauge_set("yield.surrogate_disagreement", dis_rate);
+    let trusted = dis_rate <= config.disagreement_threshold;
+    let (p_fail, hw, method) = if trusted {
+        let (p, hw) = cv_weighted_interval(&tally, 1.0 - e_pass, config.confidence_z, weight_cap);
+        (p, hw, Method::SurrogateIs)
+    } else {
+        // Distrusted surrogate: report the plain weighted statistic and
+        // flag the degradation through the `method` field.
+        pi_obs::counter_add("yield.surrogate_fallback", 1);
+        let (p, hw) = weighted_interval(&tally, config.confidence_z);
+        (p, hw, Method::ImportanceSampling)
+    };
+    NetworkYieldEstimate {
+        overall: YieldEstimate {
+            yield_fraction: (1.0 - p_fail).clamp(0.0, 1.0),
+            half_width: hw,
+            evals: tally.dies,
+            method,
+            surrogate_disagreement: dis_rate,
         },
         channel_yield: tally
             .fail_channel_w

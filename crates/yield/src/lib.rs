@@ -13,7 +13,17 @@
 //! | [`Method::Sobol`] | deterministic low-discrepancy points | Wilson (heuristic) | ~N⁻¹ error decay |
 //! | [`Method::SobolScrambled`] | digitally-shifted Sobol replicates | replicate CLT (honest) | 5–50× fewer evals |
 //! | [`Method::ImportanceSampling`] | analytic mean shift toward failure | weighted CLT | large for rare failures |
+//! | [`Method::SurrogateIs`] | surrogate-fitted shift/mixture + control variate | weighted CLT on disagreement | ~100× for rare failures |
 //! | [`Method::Analytic`] | D2D-conditioned Gaussian closure | — (model error) | zero samples |
+//!
+//! Every sampling estimator also accepts
+//! [`EstimatorConfig::with_control_variate`]: the closed-form surrogate's
+//! pass/fail verdict is evaluated alongside the exact one per die, the
+//! sampled statistic becomes the (rare) disagreement, and the surrogate's
+//! exact expectation is added back analytically. The estimate stays
+//! unbiased for *any* surrogate; a high surrogate-vs-exact disagreement
+//! rate (reported in [`YieldEstimate::surrogate_disagreement`]) triggers
+//! fallback to the plain statistic.
 //!
 //! ## Layering
 //!
@@ -53,6 +63,7 @@ pub mod analytic;
 pub mod estimator;
 pub mod problem;
 pub mod sobol;
+pub mod surrogate;
 
 pub use analytic::{
     correlated_channel_closure, line_closure, line_yield, network_yield, GaussianClosure,
@@ -66,3 +77,4 @@ pub use problem::{
     SpatialCorrelation, StageDelays, DRIVE_FLOOR,
 };
 pub use sobol::Sobol;
+pub use surrogate::{fitted_shift, Proposal, Surrogate};

@@ -239,6 +239,115 @@ fn network_yield_is_monotone_non_increasing_in_rho() {
     );
 }
 
+/// The 5 mm global-line case: 10 repeatered stages, moderate slack, a
+/// yield well inside (0, 1) so both naive counting and the control
+/// variate see plenty of signal.
+fn line_5mm() -> LineProblem {
+    let stages = StageDelays::new(vec![30e-12; 10], vec![12e-12; 10]);
+    LineProblem {
+        deadline_s: stages.nominal_delay() * 1.1,
+        stages,
+        variation: DriveVariation {
+            sigma_d2d: 0.08,
+            sigma_wid: 0.05,
+        },
+        correlation: SpatialCorrelation::none(),
+    }
+}
+
+#[test]
+fn control_variate_naive_estimator_is_unbiased_on_the_5mm_line() {
+    // Same ensemble protocol as the importance-sampling unbiasedness
+    // test: fixed evaluation budget, many seeds, the CV ensemble mean
+    // must agree with a large plain naive MC reference well inside the
+    // ensemble's CLT error. The control variate subtracts the surrogate
+    // indicator and adds back its exact expectation, so it is unbiased
+    // for *any* surrogate — this pins the implementation, not the model.
+    let problem = line_5mm();
+    let reference = estimate_line_yield(
+        &problem,
+        &EstimatorConfig::new(Method::Naive)
+            .with_seed(7)
+            .with_target_half_width(0.0)
+            .with_max_evals(65_536),
+    );
+    const SEEDS: u64 = 24;
+    const EVALS: usize = 2048;
+    let estimates: Vec<f64> = (0..SEEDS)
+        .map(|seed| {
+            let config = EstimatorConfig::new(Method::Naive)
+                .with_seed(2000 + seed)
+                .with_target_half_width(0.0)
+                .with_max_evals(EVALS)
+                .with_control_variate(true);
+            estimate_line_yield(&problem, &config).yield_fraction
+        })
+        .collect();
+    let mean = estimates.iter().sum::<f64>() / SEEDS as f64;
+    let var = estimates.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (SEEDS - 1) as f64;
+    let se = (var / SEEDS as f64).sqrt();
+    let tolerance = 4.0 * se + reference.half_width + 1e-3;
+    assert!(
+        (mean - reference.yield_fraction).abs() < tolerance,
+        "CV ensemble mean {mean:.5} vs naive reference {:.5} \
+         (se {se:.5}, tolerance {tolerance:.5})",
+        reference.yield_fraction
+    );
+}
+
+#[test]
+fn control_variate_interval_is_no_wider_at_equal_evals() {
+    // At a fixed evaluation budget the CV statistic (rare disagreements)
+    // must beat the plain counting statistic's CI half-width.
+    let problem = line_5mm();
+    let base = EstimatorConfig::new(Method::Naive)
+        .with_seed(5)
+        .with_target_half_width(0.0)
+        .with_max_evals(4096);
+    let plain = estimate_line_yield(&problem, &base);
+    let cv = estimate_line_yield(&problem, &base.with_control_variate(true));
+    assert_eq!(plain.evals, cv.evals, "equal budgets");
+    assert!(
+        cv.half_width <= plain.half_width,
+        "CV half-width {:.6} wider than plain {:.6}",
+        cv.half_width,
+        plain.half_width
+    );
+    assert!(cv.surrogate_disagreement < 0.25, "surrogate stays trusted");
+}
+
+#[test]
+fn high_disagreement_forces_fallback_to_the_plain_estimator() {
+    // The exact die is nonlinear in the drive factors while the surrogate
+    // is linear, so the disagreement rate is small but nonzero; an
+    // absurdly strict threshold must therefore trip the fallback, and the
+    // reported method degrades to plain importance sampling.
+    let problem = tail_problem();
+    let strict = EstimatorConfig::new(Method::SurrogateIs)
+        .with_seed(3)
+        .with_target_half_width(0.0)
+        .with_max_evals(2048)
+        .with_disagreement_threshold(1e-9);
+    let est = estimate_line_yield(&problem, &strict);
+    assert!(
+        est.surrogate_disagreement > 0.0,
+        "the test needs a nonzero disagreement rate to be meaningful"
+    );
+    assert_eq!(
+        est.method,
+        Method::ImportanceSampling,
+        "fallback must be visible in the reported method"
+    );
+    // At the default threshold the same run keeps the surrogate.
+    let relaxed = EstimatorConfig::new(Method::SurrogateIs)
+        .with_seed(3)
+        .with_target_half_width(0.0)
+        .with_max_evals(2048);
+    let est = estimate_line_yield(&problem, &relaxed);
+    assert_eq!(est.method, Method::SurrogateIs);
+    assert!(est.surrogate_disagreement < 0.25);
+}
+
 #[test]
 fn estimator_families_agree_on_the_tail_problem() {
     let problem = tail_problem();
@@ -246,7 +355,11 @@ fn estimator_families_agree_on_the_tail_problem() {
         &problem,
         &EstimatorConfig::new(Method::Naive).with_target_half_width(2e-3),
     );
-    for method in [Method::SobolScrambled, Method::ImportanceSampling] {
+    for method in [
+        Method::SobolScrambled,
+        Method::ImportanceSampling,
+        Method::SurrogateIs,
+    ] {
         let est = estimate_line_yield(
             &problem,
             &EstimatorConfig::new(method).with_target_half_width(2e-3),

@@ -45,7 +45,9 @@ for key in host_cores calibration_threads calibration_serial_ns \
     calibration_cached_ns model_eval_ns golden_signoff_ns \
     signoff_sparse_ns signoff_dense_ns signoff_speedup \
     signoff_over_model_ratio yield_evals_reduction \
-    yield_tail_evals_reduction yield_corr_evals \
+    yield_tail_evals_reduction yield_tail_surrogate_evals \
+    yield_tail_surrogate_reduction yield_cv_variance_ratio \
+    yield_corr_evals \
     yield_corr_overestimate_pct probe_overhead_ns \
     newton_iters_per_solve step_reject_rate char_cache_hit_rate; do
     require_finite "$key"
@@ -60,7 +62,20 @@ if ! awk -v p="$probe_ns" 'BEGIN { exit !(p <= 2.0) }'; then
     echo "perf smoke: probe_overhead_ns $probe_ns exceeds the 2.0 ns disabled-path bound"
     exit 1
 fi
-echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x, probe ${probe_ns} ns)"
+# Surrogate-guided tail estimation must beat naive MC by two orders of
+# magnitude on the committed tail case, and the control variate must
+# never widen the interval at equal cost.
+sur_reduction=$(json_value yield_tail_surrogate_reduction)
+if ! awk -v r="$sur_reduction" 'BEGIN { exit !(r >= 100.0) }'; then
+    echo "perf smoke: yield_tail_surrogate_reduction $sur_reduction below the 100x bound"
+    exit 1
+fi
+cv_ratio=$(json_value yield_cv_variance_ratio)
+if ! awk -v r="$cv_ratio" 'BEGIN { exit !(r >= 1.0) }'; then
+    echo "perf smoke: yield_cv_variance_ratio $cv_ratio below 1.0 (CV made things worse)"
+    exit 1
+fi
+echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x, probe ${probe_ns} ns, surrogate tail ${sur_reduction}x)"
 
 echo "== observability smoke =="
 # Trace a small sign-off plus a yield estimate end to end, then make the
@@ -80,13 +95,31 @@ rm -f "$obs_journal"
 PI_OBS="jsonl:$obs_journal" target/release/pi yield --tech 65nm \
     --length 8mm --deadline 600ps --rho 0.5 --regions 4 >/dev/null
 target/release/pi obs-report "$obs_journal" --check
+# Surrogate-guided importance sampling with the control variate: the
+# journal must validate and carry the surrogate trust probes.
+rm -f "$obs_journal"
+PI_OBS="jsonl:$obs_journal" target/release/pi yield --tech 65nm \
+    --length 8mm --deadline 600ps --estimator surrogate-is --cv >/dev/null
+target/release/pi obs-report "$obs_journal" --check
+if ! grep -q 'yield\.surrogate_disagreement' "$obs_journal"; then
+    echo "observability smoke: surrogate journal lacks yield.surrogate_disagreement"
+    exit 1
+fi
 # Yield-aware synthesis filter: the filtered DVOPD network must come out
 # meeting the analytic target, with the filter counters in the journal.
 rm -f "$obs_journal"
 PI_OBS="jsonl:$obs_journal" target/release/pi noc --design dvopd --tech 65nm \
     --clock 2.25GHz --yield-target 0.9 --rho 0.5 >/dev/null
 target/release/pi obs-report "$obs_journal" --check
-rm -f "$obs_journal"
+# obs-report --diff: two journals of the same flow must diff cleanly
+# (the deltas themselves are timing noise; the contract is that the
+# differ parses both sides and renders).
+obs_journal_b=target/verify-obs-b.jsonl
+rm -f "$obs_journal_b"
+PI_OBS="jsonl:$obs_journal_b" target/release/pi noc --design dvopd --tech 65nm \
+    --clock 2.25GHz --yield-target 0.9 --rho 0.5 >/dev/null
+target/release/pi obs-report --diff "$obs_journal" "$obs_journal_b" >/dev/null
+rm -f "$obs_journal" "$obs_journal_b"
 echo "observability smoke: OK"
 
 if cargo clippy --version >/dev/null 2>&1; then

@@ -8,8 +8,8 @@
 //!             [--yield-target 0.9 [--rho 0.5] [--cell 2mm]]
 //!             (or --spec <file> with the text format of `pi_cosi::spec_text`)
 //! pi yield    --tech 65nm --length 8mm --deadline 560ps [--samples 2000]
-//!             [--estimator naive|sobol|sobol-scrambled|importance|analytic]
-//!             [--ci 0.5] [--seed 1] [--rho 0.5] [--regions 4]
+//!             [--estimator naive|sobol|sobol-scrambled|importance|surrogate-is|analytic]
+//!             [--cv] [--ci 0.5] [--seed 1] [--rho 0.5] [--regions 4]
 //! pi report   --tech 65nm --length 5mm --clock 2GHz [--bits 128] [--full]
 //! pi scaling
 //! ```
@@ -379,14 +379,16 @@ fn cmd_yield(opts: &Opts) -> Result<(), String> {
         }
         let config = EstimatorConfig::new(method)
             .with_seed(seed)
-            .with_target_half_width(ci_pct / 100.0);
+            .with_target_half_width(ci_pct / 100.0)
+            .with_control_variate(opts.flag("cv"));
         let est = ev.timing_yield_estimate(&spec, &plan, &variation, deadline, &config);
         println!(
-            "{node} {} mm, {} x inverter wn {:.1} um, estimator {}",
+            "{node} {} mm, {} x inverter wn {:.1} um, estimator {}{}",
             length.as_mm(),
             plan.count,
             plan.wn.as_um(),
-            est.method
+            est.method,
+            if config.control_variate { " +cv" } else { "" }
         );
         println!(
             "timing yield @ {:.0} ps: {:.2}% (±{:.2}% at 95%, {} line evaluations)",
@@ -395,6 +397,17 @@ fn cmd_yield(opts: &Opts) -> Result<(), String> {
             est.half_width * 100.0,
             est.evals
         );
+        if method == Method::SurrogateIs || config.control_variate {
+            println!(
+                "surrogate disagreement: {:.3}% of dies{}",
+                est.surrogate_disagreement * 100.0,
+                if est.method != method {
+                    " (above threshold -- fell back to the plain estimator)"
+                } else {
+                    ""
+                }
+            );
+        }
         return Ok(());
     }
 
@@ -454,18 +467,33 @@ fn cmd_report(opts: &Opts) -> Result<(), String> {
 /// `pi obs-report <journal.jsonl> [--check]` — renders a pi-obs JSONL trace
 /// journal (see `docs/OBSERVABILITY.md`) as a span tree plus metric tables.
 /// With `--check`, validates every line against the schema and the
-/// wall-clock accounting bound instead of printing the report.
+/// wall-clock accounting bound instead of printing the report. With
+/// `--diff <a> <b>`, prints per-span self-time and counter deltas between
+/// two journals instead (e.g. before/after a perf change).
 fn cmd_obs_report(args: &[String]) -> Result<(), String> {
-    let mut path: Option<&str> = None;
+    let mut paths: Vec<&str> = Vec::new();
     let mut check = false;
+    let mut diff = false;
     for a in args {
         match a.as_str() {
             "--check" => check = true,
-            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            "--diff" => diff = true,
+            other if !other.starts_with("--") => paths.push(other),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let path = path.ok_or("usage: pi obs-report <journal.jsonl> [--check]")?;
+    if diff {
+        let [a, b] = paths[..] else {
+            return Err("usage: pi obs-report --diff <a.jsonl> <b.jsonl>".to_owned());
+        };
+        let ta = std::fs::read_to_string(a).map_err(|e| format!("cannot read `{a}`: {e}"))?;
+        let tb = std::fs::read_to_string(b).map_err(|e| format!("cannot read `{b}`: {e}"))?;
+        print!("{}", predictive_interconnect::obs::report::diff(&ta, &tb)?);
+        return Ok(());
+    }
+    let [path] = paths[..] else {
+        return Err("usage: pi obs-report <journal.jsonl> [--check]".to_owned());
+    };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if check {
         predictive_interconnect::obs::report::check(&text)?;

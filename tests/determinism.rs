@@ -337,4 +337,60 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
             "network yield rho={rho}: 1 vs 4 threads"
         );
     }
+
+    // 9. Surrogate-guided importance sampling with the analytic control
+    //    variate: the fitted proposal, per-die surrogate verdicts, and
+    //    weighted disagreement tallies all ride the same one-stream-per-
+    //    die schedule, so the full estimate — including the disagreement
+    //    trust metric — must be bit-identical across thread counts, with
+    //    and without spatial correlation (the correlated case exercises
+    //    the mixture proposal path).
+    for rho in [0.0, 0.8] {
+        let model = if rho > 0.0 {
+            VariationModel::nominal().with_regional(rho, Length::mm(2.0))
+        } else {
+            VariationModel::nominal()
+        };
+        let config = EstimatorConfig::new(Method::SurrogateIs)
+            .with_seed(13)
+            .with_target_half_width(1e-3);
+        let runs: Vec<(u64, u64, usize, u64)> = [Some("1"), Some("4")]
+            .iter()
+            .map(|s| {
+                with_threads(*s, || {
+                    let est =
+                        evaluator.timing_yield_estimate(&spec, &plan, &model, deadline, &config);
+                    (
+                        est.yield_fraction.to_bits(),
+                        est.half_width.to_bits(),
+                        est.evals,
+                        est.surrogate_disagreement.to_bits(),
+                    )
+                })
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "surrogate-is rho={rho}: 1 vs 4 threads");
+
+        // The control variate bolted onto a plain estimator must be just
+        // as schedule-invariant.
+        let cv = EstimatorConfig::new(Method::Naive)
+            .with_seed(13)
+            .with_target_half_width(5e-3)
+            .with_control_variate(true);
+        let cv_runs: Vec<(u64, u64, usize, u64)> = [Some("1"), Some("4")]
+            .iter()
+            .map(|s| {
+                with_threads(*s, || {
+                    let est = evaluator.timing_yield_estimate(&spec, &plan, &model, deadline, &cv);
+                    (
+                        est.yield_fraction.to_bits(),
+                        est.half_width.to_bits(),
+                        est.evals,
+                        est.surrogate_disagreement.to_bits(),
+                    )
+                })
+            })
+            .collect();
+        assert_eq!(cv_runs[0], cv_runs[1], "naive+cv rho={rho}: 1 vs 4 threads");
+    }
 }
