@@ -221,6 +221,34 @@ fn main() {
     // every untraced run pays), then counter-derived workload statistics:
     // one traced sign-off plus a clear/prime/replay characterization pair,
     // read back through `pi_obs::snapshot()` rather than timed.
+    // Serving path: an in-process `pi serve` under a 3-second synthetic
+    // mixed load — wire lengths from the Davis wiring distribution, 10%
+    // yield queries — measured by the pi-load open-loop harness. Client
+    // and server share the host, so these numbers are a conservative
+    // single-machine floor.
+    let serve_report = {
+        use pi_serve::load::{run_load, LoadConfig};
+        use pi_serve::{ServeConfig, Server};
+        let mut server = Server::start(&ServeConfig {
+            port: 0,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral");
+        let report = run_load(&LoadConfig {
+            addr: server.addr().to_string(),
+            qps: 2000.0,
+            concurrency: 4,
+            duration_s: 3.0,
+            yield_pct: 10,
+            seed: 1,
+            tech: "65nm".to_owned(),
+        })
+        .expect("serve load run");
+        server.shutdown();
+        assert_eq!(report.errors, 0, "serve bench must be error-free");
+        report
+    };
+
     let probe_ns = probe_overhead_ns();
     std::env::set_var("PI_OBS", "summary");
     pi_obs::reinit_from_env();
@@ -315,6 +343,13 @@ fn main() {
     json.push_str(&format!(
         "  \"char_cache_hit_rate\": {char_cache_hit_rate:.4},\n"
     ));
+    json_field(&mut json, "serve_p50_us", serve_report.p50_us);
+    json_field(&mut json, "serve_p99_us", serve_report.p99_us);
+    json_field(&mut json, "serve_qps", serve_report.qps);
+    json.push_str(&format!(
+        "  \"serve_batch_mean\": {:.2},\n",
+        serve_report.batch_mean
+    ));
     json.push_str(
         "  \"yield_case\": \"5 mm line, deadline 1.05x nominal to +-0.5% @ 95%; tail 1.25x nominal to +-0.05%\",\n",
     );
@@ -357,6 +392,15 @@ fn main() {
         "correlated (rho 0.8, 2 mm regions): {} evals; independence overestimates \
          yield by {corr_overestimate_pct:.2} points",
         corr_est.evals
+    );
+    println!(
+        "serve: {:.0} qps sustained (p50 {:.0} us, p99 {:.0} us, mean batch {:.2}, \
+         plan-cache hit rate {:.1}%)",
+        serve_report.qps,
+        serve_report.p50_us,
+        serve_report.p99_us,
+        serve_report.batch_mean,
+        100.0 * serve_report.cache_hit_rate
     );
     println!(
         "obs: disabled probe {probe_ns:.3} ns; newton {newton_iters_per_solve:.2} iters/solve; \

@@ -262,6 +262,21 @@ impl<'a> LineEvaluator<'a> {
         LineTiming { delay, stages }
     }
 
+    /// Timings of many `(spec, plan)` pairs in one sweep through the
+    /// `pi_rt::par_map` workers — the batch-friendly entry point the serve
+    /// path coalesces concurrent model-eval requests into. Results are in
+    /// input order and bit-identical to calling [`LineEvaluator::timing`]
+    /// per item (par_map reassembles chunks in index order), for any
+    /// `PI_THREADS` setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any plan has zero repeaters.
+    #[must_use]
+    pub fn timing_batch(&self, items: &[(LineSpec, BufferingPlan)]) -> Vec<LineTiming> {
+        pi_rt::par_map(items, |(spec, plan)| self.timing(spec, plan))
+    }
+
     /// Timing with a different (typically larger) first repeater: the line
     /// boundary sees the slow upstream slew, so upsizing only the first
     /// stage recovers delay at a fraction of the power cost of upsizing
@@ -522,6 +537,28 @@ mod tests {
         let total = format!("{:.1}", timing.delay.as_ps());
         assert!(report.contains(&total));
     }
+    #[test]
+    fn timing_batch_matches_per_item_timing_bit_for_bit() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let items: Vec<(LineSpec, BufferingPlan)> = (1..=12)
+            .map(|i| {
+                (
+                    LineSpec::global(Length::mm(0.5 * i as f64), DesignStyle::SingleSpacing),
+                    plan(1 + i % 4, 4.0 + i as f64),
+                )
+            })
+            .collect();
+        let batch = ev.timing_batch(&items);
+        assert_eq!(batch.len(), items.len());
+        for ((spec, p), got) in items.iter().zip(&batch) {
+            let one = ev.timing(spec, p);
+            assert_eq!(one.delay.si().to_bits(), got.delay.si().to_bits());
+            assert_eq!(one.stages.len(), got.stages.len());
+        }
+        assert!(ev.timing_batch(&[]).is_empty());
+    }
+
     #[test]
     #[should_panic(expected = "at least one repeater")]
     fn zero_count_plan_rejected() {

@@ -363,6 +363,49 @@ impl LineEvaluator<'_> {
     ) -> YieldEstimate {
         pi_yield::estimate_line_yield(&self.line_problem(spec, plan, variation, deadline), config)
     }
+
+    /// Yield estimates for many queries in one sweep — the batch-friendly
+    /// entry point the serve path coalesces concurrent yield requests
+    /// into. The deterministic lowering (nominal timing of every query's
+    /// line) is dispatched through `pi_rt::par_map` as one structure-of-
+    /// arrays pass; the estimators then run per query **in input order**,
+    /// so each query's RNG stream assignment — `Rng::stream(seed, die)`
+    /// from that query's own seed — is untouched by batching, and every
+    /// result is bit-identical to a standalone
+    /// [`LineEvaluator::timing_yield_estimate`] call at any `PI_THREADS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a query with no repeaters or a zero evaluation budget.
+    #[must_use]
+    pub fn timing_yield_estimate_batch(&self, queries: &[YieldQuery]) -> Vec<YieldEstimate> {
+        let problems = pi_rt::par_map(queries, |q| {
+            self.line_problem(&q.spec, &q.plan, &q.variation, q.deadline)
+        });
+        problems
+            .iter()
+            .zip(queries)
+            .map(|(problem, q)| pi_yield::estimate_line_yield(problem, &q.config))
+            .collect()
+    }
+}
+
+/// One self-contained yield query for
+/// [`LineEvaluator::timing_yield_estimate_batch`]: everything
+/// [`LineEvaluator::timing_yield_estimate`] takes, as plain data so
+/// queries can be queued, grouped and shipped between threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldQuery {
+    /// The line to analyze.
+    pub spec: LineSpec,
+    /// Its buffering plan.
+    pub plan: BufferingPlan,
+    /// The variation budget.
+    pub variation: VariationModel,
+    /// The timing deadline.
+    pub deadline: Time,
+    /// Estimator configuration (method, seed, CI target, …).
+    pub config: EstimatorConfig,
 }
 
 /// Outcome of the yield-driven sizing pass.
@@ -928,6 +971,49 @@ mod tests {
             reference >= 0.95 - 0.02,
             "screened plan only reaches {reference}"
         );
+    }
+
+    #[test]
+    fn batched_yield_estimates_match_standalone_calls_bit_for_bit() {
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let v = VariationModel::nominal();
+        let queries: Vec<YieldQuery> = [
+            (5.0, 600.0, pi_yield::Method::Naive, 11u64),
+            (8.0, 620.0, pi_yield::Method::SobolScrambled, 12),
+            (3.0, 400.0, pi_yield::Method::ImportanceSampling, 13),
+            (5.0, 560.0, pi_yield::Method::Analytic, 14),
+        ]
+        .iter()
+        .map(|&(mm, ps, method, seed)| {
+            let spec = LineSpec::global(Length::mm(mm), DesignStyle::SingleSpacing);
+            YieldQuery {
+                spec,
+                plan: BufferingPlan {
+                    kind: RepeaterKind::Inverter,
+                    count: (mm * 1.5).ceil() as usize,
+                    wn: Length::um(6.0),
+                    staggered: false,
+                },
+                variation: v,
+                deadline: Time::ps(ps),
+                config: pi_yield::EstimatorConfig::new(method)
+                    .with_seed(seed)
+                    .with_max_evals(2048),
+            }
+        })
+        .collect();
+        let batch = ev.timing_yield_estimate_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let one =
+                ev.timing_yield_estimate(&q.spec, &q.plan, &q.variation, q.deadline, &q.config);
+            assert_eq!(one.yield_fraction.to_bits(), got.yield_fraction.to_bits());
+            assert_eq!(one.half_width.to_bits(), got.half_width.to_bits());
+            assert_eq!(one.evals, got.evals);
+            assert_eq!(one.method, got.method);
+        }
+        assert!(ev.timing_yield_estimate_batch(&[]).is_empty());
     }
 
     #[test]

@@ -218,6 +218,36 @@ pub fn network_yield_estimate(
     pi_yield::estimate_network_yield(&problem, config)
 }
 
+/// Network yield under several estimator configurations at once — the
+/// batch-friendly entry point the serve path coalesces concurrent
+/// net-yield requests into. The expensive lowering ([`network_problem`]:
+/// one nominal line evaluation per channel) runs **once** and is shared;
+/// the estimators then run per configuration in input order, so each
+/// result is bit-identical to a standalone [`network_yield_estimate`]
+/// call with that configuration.
+///
+/// # Panics
+///
+/// Same conditions as [`network_yield_estimate`].
+#[must_use]
+pub fn network_yield_estimates(
+    network: &Network,
+    evaluator: &LineEvaluator<'_>,
+    style: pi_tech::DesignStyle,
+    variation: &VariationModel,
+    clock: Freq,
+    configs: &[EstimatorConfig],
+) -> Vec<NetworkYieldEstimate> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let problem = network_problem(network, evaluator, style, variation, clock);
+    configs
+        .iter()
+        .map(|config| pi_yield::estimate_network_yield(&problem, config))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +475,39 @@ mod tests {
             "filtering must not lose yield: {} vs {}",
             y_filtered.yield_fraction,
             y_plain.yield_fraction
+        );
+    }
+
+    #[test]
+    fn batched_network_estimates_match_standalone_calls_bit_for_bit() {
+        let s = setup();
+        let ev = LineEvaluator::new(&s.models, &s.tech);
+        let net = synthesized(&s, 0.9);
+        let v = VariationModel::nominal();
+        let configs: Vec<EstimatorConfig> = [
+            (pi_yield::Method::Naive, 5u64),
+            (pi_yield::Method::SobolScrambled, 6),
+            (pi_yield::Method::Analytic, 7),
+        ]
+        .iter()
+        .map(|&(m, seed)| EstimatorConfig::new(m).with_seed(seed).with_max_evals(2048))
+        .collect();
+        let batch =
+            network_yield_estimates(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, &configs);
+        assert_eq!(batch.len(), configs.len());
+        for (cfg, got) in configs.iter().zip(&batch) {
+            let one =
+                network_yield_estimate(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, cfg);
+            assert_eq!(
+                one.overall.yield_fraction.to_bits(),
+                got.overall.yield_fraction.to_bits()
+            );
+            assert_eq!(one.overall.evals, got.overall.evals);
+            assert_eq!(one.channel_yield, got.channel_yield);
+        }
+        assert!(
+            network_yield_estimates(&net, &ev, DesignStyle::SingleSpacing, &v, s.clock, &[])
+                .is_empty()
         );
     }
 

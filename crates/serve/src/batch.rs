@@ -1,0 +1,613 @@
+//! Request batching: a bounded queue, a drain-and-coalesce batcher, and
+//! the executors that turn coalesced requests into answers.
+//!
+//! The scaling idea: concurrent requests that share a technology node are
+//! drained together and dispatched as **one** structure-of-arrays sweep
+//! through the batch entry points of `pi-core`/`pi-cosi`
+//! (`timing_batch`, `timing_yield_estimate_batch`,
+//! `network_yield_estimates`), so N requests pay for one pass through the
+//! `pi_rt::par_map` workers instead of N thread-pool round trips — and
+//! net-yield requests sharing a `(design, clock)` pay for one network
+//! lowering instead of N.
+//!
+//! Batching is **transparent**: each query keeps its own seed-derived RNG
+//! streams, the batch entry points run estimators in input order, and the
+//! executors only group — they never reorder work inside a group — so a
+//! batched response is bit-identical to the one-shot CLI equivalent. The
+//! determinism suite (section 10) pins this.
+//!
+//! Observability: `serve.queue_wait` spans cover a handler blocked on the
+//! batcher, `serve.batch` spans cover one coalesced execution, and the
+//! `serve.batch_size` histogram records how much coalescing actually
+//! happened.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pi_core::line::{BufferingPlan, LineSpec};
+use pi_core::variation::{VariationModel, YieldQuery};
+use pi_core::YieldSizing;
+use pi_tech::units::{Freq, Length, Time};
+use pi_tech::DesignStyle;
+use pi_yield::{EstimatorConfig, Method, YieldEstimate};
+
+use crate::api::{
+    ApiRequest, ApiResponse, EvalResponse, NetYieldRequest, NetYieldResponse, SizeRequest,
+    SizeResponse, YieldRequest, YieldResponse,
+};
+use crate::store::{NodeContext, NodeStore};
+
+/// One queued request with its response channel.
+#[derive(Debug)]
+pub struct Job {
+    /// The decoded request.
+    pub request: ApiRequest,
+    /// When it entered the queue (for the queue-wait histogram).
+    pub enqueued: Instant,
+    resp: mpsc::Sender<ApiResponse>,
+}
+
+impl Job {
+    /// Sends the response (ignoring a handler that already hung up).
+    pub fn respond(self, response: ApiResponse) {
+        let _ = self.resp.send(response);
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded request queue between connection handlers and the batcher.
+pub struct Batcher {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("depth", &self.depth)
+            .finish()
+    }
+}
+
+impl Batcher {
+    /// A queue bounded at `depth` outstanding jobs.
+    #[must_use]
+    pub fn new(depth: usize) -> Arc<Self> {
+        Arc::new(Batcher {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        })
+    }
+
+    /// Enqueues a request. Returns the channel the response will arrive
+    /// on, or the `503` to answer immediately when the queue is full or
+    /// the server is draining.
+    ///
+    /// # Errors
+    ///
+    /// The ready-made `503` [`ApiResponse`] on overload/shutdown.
+    pub fn submit(&self, request: ApiRequest) -> Result<mpsc::Receiver<ApiResponse>, ApiResponse> {
+        let mut st = self.state.lock().expect("batch queue poisoned");
+        if st.closed {
+            return Err(ApiResponse::error(503, "server is shutting down"));
+        }
+        if st.jobs.len() >= self.depth {
+            pi_obs::counter_add("serve.queue_full", 1);
+            return Err(ApiResponse::error(
+                503,
+                format!("request queue full ({} outstanding)", self.depth),
+            ));
+        }
+        let (tx, rx) = mpsc::channel();
+        st.jobs.push_back(Job {
+            request,
+            enqueued: Instant::now(),
+            resp: tx,
+        });
+        self.ready.notify_all();
+        Ok(rx)
+    }
+
+    /// Blocks until at least one job is queued, then waits up to `window`
+    /// for companions to accumulate and drains everything queued — one
+    /// batch. Returns `None` once the queue is closed and empty.
+    #[must_use]
+    pub fn take_batch(&self, window: Duration) -> Option<Vec<Job>> {
+        let mut st = self.state.lock().expect("batch queue poisoned");
+        loop {
+            if !st.jobs.is_empty() {
+                break;
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("batch queue poisoned");
+        }
+        if !window.is_zero() {
+            // Coalescing window: new arrivals keep landing in the queue
+            // while we hold back; shutdown cuts the window short.
+            let deadline = Instant::now() + window;
+            while !st.closed {
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (next, timeout) = self
+                    .ready
+                    .wait_timeout(st, remaining)
+                    .expect("batch queue poisoned");
+                st = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let batch: Vec<Job> = st.jobs.drain(..).collect();
+        for job in &batch {
+            pi_obs::hist_record(
+                "serve.queue_wait_us",
+                job.enqueued.elapsed().as_secs_f64() * 1e6,
+            );
+        }
+        Some(batch)
+    }
+
+    /// Number of jobs currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("batch queue poisoned").jobs.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending jobs are dropped (their handlers see a
+    /// closed channel and answer 503), later submits fail fast, and the
+    /// batcher loop drains out.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("batch queue poisoned");
+        st.closed = true;
+        st.jobs.clear();
+        self.ready.notify_all();
+    }
+}
+
+/// A lowered, validated yield request: the exact `pi yield` CLI recipe.
+fn lower_yield(ctx: &NodeContext, r: &YieldRequest) -> Result<YieldQuery, String> {
+    let length = parse_length_mm(r.length_mm)?;
+    let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+    let plan = ctx
+        .plan_for(length)
+        .ok_or("empty buffering search space for this length")?;
+    if !(r.deadline_ps.is_finite() && r.deadline_ps > 0.0) {
+        return Err(format!(
+            "deadline_ps must be positive, got {}",
+            r.deadline_ps
+        ));
+    }
+    let mut variation = VariationModel::nominal();
+    if let Some(rho) = r.rho {
+        if !(0.0..=1.0).contains(&rho) {
+            return Err(format!("rho must be in [0, 1], got {rho}"));
+        }
+        let regions = r.regions.unwrap_or(4);
+        if regions == 0 {
+            return Err("regions must be at least 1".to_owned());
+        }
+        variation = variation.with_regional(rho, length / regions as f64);
+    }
+    Ok(YieldQuery {
+        spec,
+        plan,
+        variation,
+        deadline: Time::ps(r.deadline_ps),
+        config: estimator_config(&r.estimator, r.seed, r.ci_pct, r.cv)?,
+    })
+}
+
+fn parse_length_mm(mm: f64) -> Result<Length, String> {
+    if mm.is_finite() && mm > 0.0 && mm <= 100.0 {
+        Ok(Length::mm(mm))
+    } else {
+        Err(format!("length_mm must be in (0, 100], got {mm}"))
+    }
+}
+
+fn estimator_config(
+    name: &str,
+    seed: u64,
+    ci_pct: f64,
+    cv: bool,
+) -> Result<EstimatorConfig, String> {
+    let method: Method = name.parse()?;
+    if !(ci_pct.is_finite() && ci_pct > 0.0) {
+        return Err(format!("ci_pct must be positive, got {ci_pct}"));
+    }
+    Ok(EstimatorConfig::new(method)
+        .with_seed(seed)
+        .with_target_half_width(ci_pct / 100.0)
+        .with_control_variate(cv))
+}
+
+fn yield_response(est: &YieldEstimate) -> YieldResponse {
+    YieldResponse {
+        yield_fraction: est.yield_fraction,
+        half_width: est.half_width,
+        evals: est.evals as u64,
+        method: est.method.name().to_owned(),
+        surrogate_disagreement: est.surrogate_disagreement,
+    }
+}
+
+fn size_response(sized: &YieldSizing) -> SizeResponse {
+    SizeResponse {
+        count: sized.plan.count as u64,
+        wn_um: sized.plan.wn.as_um(),
+        achieved_yield: sized.achieved_yield,
+        steps: sized.steps as u64,
+    }
+}
+
+/// Executes one size request (sizing is a sequential search — it cannot
+/// be coalesced, only share the warm store).
+fn execute_size(ctx: &NodeContext, r: &SizeRequest) -> Result<SizeResponse, String> {
+    let length = parse_length_mm(r.length_mm)?;
+    let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+    let plan = ctx
+        .plan_for(length)
+        .ok_or("empty buffering search space for this length")?;
+    if !(r.deadline_ps.is_finite() && r.deadline_ps > 0.0) {
+        return Err(format!(
+            "deadline_ps must be positive, got {}",
+            r.deadline_ps
+        ));
+    }
+    if !(r.target_yield > 0.0 && r.target_yield <= 1.0) {
+        return Err(format!(
+            "target_yield must be in (0, 1], got {}",
+            r.target_yield
+        ));
+    }
+    let config = estimator_config(&r.estimator, r.seed, r.ci_pct, false)?;
+    let sized = ctx
+        .evaluator()
+        .size_for_yield_with(
+            &spec,
+            &plan,
+            &VariationModel::nominal(),
+            Time::ps(r.deadline_ps),
+            r.target_yield,
+            &config,
+        )
+        .ok_or("no plan in the search range reaches the target yield")?;
+    Ok(size_response(&sized))
+}
+
+/// Validated inputs of one net-yield request.
+fn lower_net_yield(r: &NetYieldRequest) -> Result<(Freq, EstimatorConfig), String> {
+    if !(r.clock_ghz.is_finite() && r.clock_ghz > 0.0 && r.clock_ghz <= 20.0) {
+        return Err(format!("clock_ghz must be in (0, 20], got {}", r.clock_ghz));
+    }
+    Ok((
+        Freq::ghz(r.clock_ghz),
+        estimator_config(&r.estimator, r.seed, r.ci_pct, false)?,
+    ))
+}
+
+/// Executes one drained batch: requests are grouped by technology node
+/// (and, for net-yield, by `(design, clock)`), each group runs through
+/// the corresponding batch entry point, and every job is answered on its
+/// channel. Invalid requests are answered `400` without disturbing the
+/// rest of the batch.
+pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>) {
+    if jobs.is_empty() {
+        return;
+    }
+    let _span = pi_obs::span("serve.batch");
+    pi_obs::counter_add("serve.batches", 1);
+    pi_obs::hist_record("serve.batch_size", jobs.len() as f64);
+
+    // Slots: response per job index; grouped work fills them in.
+    let mut slots: Vec<Option<ApiResponse>> = Vec::with_capacity(jobs.len());
+
+    // Group keys carry the node so different technologies never share a
+    // sweep (their evaluators differ), per the store's sharding.
+    type Grouped<K, V> = HashMap<K, Vec<(usize, V)>>;
+    let mut eval_groups: Grouped<pi_tech::TechNode, (LineSpec, BufferingPlan)> = HashMap::new();
+    let mut yield_groups: Grouped<pi_tech::TechNode, YieldQuery> = HashMap::new();
+    let mut net_groups: Grouped<(pi_tech::TechNode, String, u64), EstimatorConfig> = HashMap::new();
+
+    for (i, job) in jobs.iter().enumerate() {
+        let outcome: Result<(), ApiResponse> = (|| {
+            let tech_spelling = match &job.request {
+                ApiRequest::Eval(r) => &r.tech,
+                ApiRequest::Yield(r) => &r.tech,
+                ApiRequest::Size(r) => &r.tech,
+                ApiRequest::NetYield(r) => &r.tech,
+            };
+            let ctx = store
+                .context_for(tech_spelling)
+                .map_err(|e| ApiResponse::error(400, e))?;
+            let node = ctx.tech.node();
+            match &job.request {
+                ApiRequest::Eval(r) => {
+                    let length =
+                        parse_length_mm(r.length_mm).map_err(|e| ApiResponse::error(400, e))?;
+                    let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+                    let mut plan = ctx.plan_for(length).ok_or_else(|| {
+                        ApiResponse::error(400, "empty buffering search space for this length")
+                    })?;
+                    if let Some(count) = r.count {
+                        if count == 0 || count > 256 {
+                            return Err(ApiResponse::error(400, "count must be in [1, 256]"));
+                        }
+                        plan.count = count as usize;
+                    }
+                    if let Some(wn) = r.wn_um {
+                        if !(wn.is_finite() && wn > 0.0 && wn <= 1000.0) {
+                            return Err(ApiResponse::error(400, "wn_um must be in (0, 1000]"));
+                        }
+                        plan.wn = Length::um(wn);
+                    }
+                    eval_groups.entry(node).or_default().push((i, (spec, plan)));
+                }
+                ApiRequest::Yield(r) => {
+                    let query = lower_yield(&ctx, r).map_err(|e| ApiResponse::error(400, e))?;
+                    yield_groups.entry(node).or_default().push((i, query));
+                }
+                ApiRequest::Size(r) => {
+                    // Sized inline below (sequential search, no coalescing).
+                    let resp = execute_size(&ctx, r)
+                        .map(ApiResponse::Size)
+                        .unwrap_or_else(|e| ApiResponse::error(400, e));
+                    return Err(resp);
+                }
+                ApiRequest::NetYield(r) => {
+                    let (clock, config) =
+                        lower_net_yield(r).map_err(|e| ApiResponse::error(400, e))?;
+                    net_groups
+                        .entry((node, r.design.clone(), clock.si().to_bits()))
+                        .or_default()
+                        .push((i, config));
+                }
+            }
+            Ok(())
+        })();
+        slots.push(outcome.err());
+    }
+
+    // Coalesced model-eval sweeps, one per node.
+    for (node, group) in eval_groups {
+        let ctx = store.context(node);
+        let ev = ctx.evaluator();
+        let items: Vec<(LineSpec, BufferingPlan)> = group.iter().map(|(_, it)| *it).collect();
+        let timings = ev.timing_batch(&items);
+        for ((i, (_, plan)), timing) in group.into_iter().zip(timings) {
+            slots[i] = Some(ApiResponse::Eval(EvalResponse {
+                delay_ps: timing.delay.as_ps(),
+                slew_ps: timing.output_slew().as_ps(),
+                count: plan.count as u64,
+                wn_um: plan.wn.as_um(),
+            }));
+        }
+    }
+
+    // Coalesced yield sweeps, one per node.
+    for (node, group) in yield_groups {
+        let ctx = store.context(node);
+        let ev = ctx.evaluator();
+        let queries: Vec<YieldQuery> = group.iter().map(|(_, q)| *q).collect();
+        let estimates = ev.timing_yield_estimate_batch(&queries);
+        for ((i, _), est) in group.into_iter().zip(estimates) {
+            slots[i] = Some(ApiResponse::Yield(yield_response(&est)));
+        }
+    }
+
+    // Net-yield: one network lowering per (node, design, clock) group.
+    for ((node, design, clock_bits), group) in net_groups {
+        let ctx = store.context(node);
+        let clock = Freq::hz(f64::from_bits(clock_bits));
+        match ctx.network_for(&design, clock) {
+            Err(e) => {
+                for (i, _) in group {
+                    slots[i] = Some(ApiResponse::error(400, e.clone()));
+                }
+            }
+            Ok(net) => {
+                let ev = ctx.evaluator();
+                let configs: Vec<EstimatorConfig> = group.iter().map(|(_, c)| *c).collect();
+                let estimates = pi_cosi::network_yield_estimates(
+                    &net,
+                    &ev,
+                    DesignStyle::SingleSpacing,
+                    &VariationModel::nominal(),
+                    clock,
+                    &configs,
+                );
+                for ((i, _), est) in group.into_iter().zip(estimates) {
+                    let (limiting_channel, limiting_yield) = est
+                        .channel_yield
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .unwrap_or((0, f64::NAN));
+                    slots[i] = Some(ApiResponse::NetYield(NetYieldResponse {
+                        yield_fraction: est.overall.yield_fraction,
+                        half_width: est.overall.half_width,
+                        evals: est.overall.evals as u64,
+                        channels: net.channels.len() as u64,
+                        limiting_channel: limiting_channel as u64,
+                        limiting_yield,
+                    }));
+                }
+            }
+        }
+    }
+
+    for (job, slot) in jobs.into_iter().zip(slots) {
+        let response =
+            slot.unwrap_or_else(|| ApiResponse::error(500, "request fell through the batcher"));
+        pi_obs::counter_add(
+            if response.status() == 200 {
+                "serve.responses_ok"
+            } else {
+                "serve.responses_err"
+            },
+            1,
+        );
+        job.respond(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::EvalRequest;
+
+    fn eval_request(mm: f64) -> ApiRequest {
+        ApiRequest::Eval(EvalRequest {
+            tech: "65nm".to_owned(),
+            length_mm: mm,
+            count: None,
+            wn_um: None,
+        })
+    }
+
+    fn yield_request(seed: u64, est: &str) -> ApiRequest {
+        ApiRequest::Yield(YieldRequest {
+            tech: "65nm".to_owned(),
+            length_mm: 5.0,
+            deadline_ps: 600.0,
+            estimator: est.to_owned(),
+            seed,
+            ci_pct: 2.0,
+            cv: false,
+            rho: None,
+            regions: None,
+        })
+    }
+
+    #[test]
+    fn queue_accumulates_then_drains_as_one_batch() {
+        let q = Batcher::new(16);
+        let mut receivers = Vec::new();
+        for i in 0..5 {
+            receivers.push(q.submit(eval_request(1.0 + i as f64)).expect("queued"));
+        }
+        assert_eq!(q.len(), 5);
+        // Window 0: a deterministic drain of everything queued.
+        let batch = q.take_batch(Duration::ZERO).expect("open queue");
+        assert_eq!(batch.len(), 5, "all queued jobs drain as one batch");
+        assert!(q.is_empty());
+        let store = NodeStore::default();
+        execute_batch(&store, batch);
+        for rx in receivers {
+            let resp = rx.recv().expect("answered");
+            assert_eq!(resp.status(), 200, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn full_queue_answers_503_without_blocking() {
+        let q = Batcher::new(2);
+        let _a = q.submit(eval_request(1.0)).expect("fits");
+        let _b = q.submit(eval_request(2.0)).expect("fits");
+        let err = q.submit(eval_request(3.0)).expect_err("full");
+        assert_eq!(err.status(), 503);
+        // Draining frees the slots again.
+        let _ = q.take_batch(Duration::ZERO);
+        assert!(q.submit(eval_request(3.0)).is_ok());
+    }
+
+    #[test]
+    fn closed_queue_rejects_submits_and_ends_take_batch() {
+        let q = Batcher::new(4);
+        let rx = q.submit(eval_request(1.0)).expect("queued");
+        q.close();
+        assert_eq!(q.submit(eval_request(2.0)).unwrap_err().status(), 503);
+        assert!(q.take_batch(Duration::ZERO).is_none(), "closed and empty");
+        // The pending job was dropped: its handler sees a dead channel.
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn batched_yields_are_bit_identical_to_direct_estimates() {
+        // Mixed batch: two seeds and two estimators, plus an eval — the
+        // grouped execution must leave every per-query RNG stream alone.
+        let store = NodeStore::default();
+        let q = Batcher::new(16);
+        let specs = [(3u64, "naive"), (4, "naive"), (3, "sobol-scrambled")];
+        let receivers: Vec<_> = specs
+            .iter()
+            .map(|&(seed, est)| q.submit(yield_request(seed, est)).expect("queued"))
+            .collect();
+        let _extra = q.submit(eval_request(5.0)).expect("queued");
+        execute_batch(&store, q.take_batch(Duration::ZERO).expect("open"));
+
+        let ctx = store.context(pi_tech::TechNode::N65);
+        let ev = ctx.evaluator();
+        let length = Length::mm(5.0);
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        let plan = ctx.plan_for(length).expect("plan");
+        for (&(seed, est), rx) in specs.iter().zip(receivers) {
+            let ApiResponse::Yield(got) = rx.recv().expect("answered") else {
+                panic!("expected a yield response");
+            };
+            let config = estimator_config(est, seed, 2.0, false).expect("config");
+            let direct = ev.timing_yield_estimate(
+                &spec,
+                &plan,
+                &VariationModel::nominal(),
+                Time::ps(600.0),
+                &config,
+            );
+            assert_eq!(
+                direct.yield_fraction.to_bits(),
+                got.yield_fraction.to_bits()
+            );
+            assert_eq!(direct.half_width.to_bits(), got.half_width.to_bits());
+            assert_eq!(direct.evals as u64, got.evals);
+            assert_eq!(direct.method.name(), got.method);
+        }
+    }
+
+    #[test]
+    fn invalid_requests_fail_with_400_without_poisoning_the_batch() {
+        let store = NodeStore::default();
+        let q = Batcher::new(16);
+        let bad_tech = q
+            .submit(ApiRequest::Eval(EvalRequest {
+                tech: "7nm".to_owned(),
+                length_mm: 5.0,
+                count: None,
+                wn_um: None,
+            }))
+            .expect("queued");
+        let bad_len = q.submit(eval_request(-1.0)).expect("queued");
+        let bad_est = q.submit(yield_request(1, "monte-zuma")).expect("queued");
+        let good = q.submit(eval_request(5.0)).expect("queued");
+        execute_batch(&store, q.take_batch(Duration::ZERO).expect("open"));
+        for rx in [bad_tech, bad_len, bad_est] {
+            assert_eq!(rx.recv().expect("answered").status(), 400);
+        }
+        assert_eq!(good.recv().expect("answered").status(), 200);
+    }
+}

@@ -1,0 +1,80 @@
+//! `pi-load` — synthetic-traffic load generator for a running `pi serve`.
+//!
+//! ```text
+//! pi-load [--addr HOST:PORT] [--qps N] [--concurrency N] [--duration SECS]
+//!         [--yield-pct N] [--seed N] [--tech NODE] [--json]
+//! ```
+//!
+//! Exits nonzero when any request failed, so scripts can gate on a clean
+//! run.
+
+use pi_serve::load::{run_load, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pi-load [--addr HOST:PORT] [--qps N] [--concurrency N] \
+         [--duration SECS] [--yield-pct N] [--seed N] [--tech NODE] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = LoadConfig::default();
+    let mut json = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--qps" => match value("--qps").parse() {
+                Ok(v) => config.qps = v,
+                Err(_) => usage(),
+            },
+            "--concurrency" => match value("--concurrency").parse() {
+                Ok(v) => config.concurrency = v,
+                Err(_) => usage(),
+            },
+            "--duration" => match value("--duration").parse() {
+                Ok(v) => config.duration_s = v,
+                Err(_) => usage(),
+            },
+            "--yield-pct" => match value("--yield-pct").parse() {
+                Ok(v) => config.yield_pct = v,
+                Err(_) => usage(),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(v) => config.seed = v,
+                Err(_) => usage(),
+            },
+            "--tech" => config.tech = value("--tech"),
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    match run_load(&config) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json().render());
+            } else {
+                println!("{}", report.render());
+            }
+            if report.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("pi-load: {e}");
+            std::process::exit(1);
+        }
+    }
+}

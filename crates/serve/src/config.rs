@@ -1,0 +1,129 @@
+//! Server configuration from `PI_SERVE_*` environment variables.
+//!
+//! | variable          | meaning                              | default |
+//! |-------------------|--------------------------------------|---------|
+//! | `PI_SERVE_PORT`   | TCP port to bind (`0` = ephemeral)   | 7878    |
+//! | `PI_SERVE_BATCH_US` | batching window, microseconds      | 500     |
+//! | `PI_SERVE_QUEUE`  | bounded request-queue depth          | 1024    |
+//!
+//! Near-miss values follow the `PI_THREADS` / `PI_CHAR_CACHE` discipline
+//! (see `pi_rt::thread_count` and `pi_core::char_cache`): a value that is
+//! not a valid number falls back to the default **with a one-time warning
+//! naming the value actually used**, instead of silently becoming the
+//! default or crashing the server at startup. A parseable but out-of-range
+//! value is clamped, again with a warning carrying the effective value.
+
+/// Resolved server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// TCP port to bind; `0` asks the OS for an ephemeral port.
+    pub port: u16,
+    /// How long the batcher waits for companions after the first queued
+    /// request, microseconds. `0` disables coalescing (every request is
+    /// its own batch).
+    pub batch_window_us: u64,
+    /// Bounded queue depth; requests beyond it are answered `503`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 7878,
+            batch_window_us: 500,
+            queue_depth: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the environment, applying the
+    /// near-miss fallback policy described in the module docs.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let default = ServeConfig::default();
+        ServeConfig {
+            port: env_u64(
+                "PI_SERVE_PORT",
+                u64::from(default.port),
+                0,
+                u64::from(u16::MAX),
+            ) as u16,
+            batch_window_us: env_u64("PI_SERVE_BATCH_US", default.batch_window_us, 0, 1_000_000),
+            queue_depth: env_u64("PI_SERVE_QUEUE", default.queue_depth as u64, 1, 1 << 20) as usize,
+        }
+    }
+}
+
+/// Parses one `PI_SERVE_*` integer. Unset → default; unparseable → default
+/// with a warn-once; parseable but outside `[min, max]` → clamped with a
+/// warn-once. Both warnings state the value actually used.
+fn env_u64(name: &'static str, default: u64, min: u64, max: u64) -> u64 {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(n) if (min..=max).contains(&n) => n,
+        Ok(n) => {
+            let used = n.clamp(min, max);
+            pi_obs::warn_once(
+                name,
+                &format!("{name}=`{raw}` is outside [{min}, {max}]; using {used}"),
+            );
+            used
+        }
+        Err(_) => {
+            pi_obs::warn_once(
+                name,
+                &format!("{name}=`{raw}` is not a valid value; using the default {default}"),
+            );
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var mutation is process-global, so every case runs inside this
+    // one test (cargo runs tests concurrently across a process's threads).
+    #[test]
+    fn env_parsing_defaults_near_misses_and_clamps() {
+        let d = ServeConfig::default();
+
+        // Unset → defaults.
+        for k in ["PI_SERVE_PORT", "PI_SERVE_BATCH_US", "PI_SERVE_QUEUE"] {
+            std::env::remove_var(k);
+        }
+        assert_eq!(ServeConfig::from_env(), d);
+
+        // Valid values pass through.
+        std::env::set_var("PI_SERVE_PORT", "0");
+        std::env::set_var("PI_SERVE_BATCH_US", "250");
+        std::env::set_var("PI_SERVE_QUEUE", "64");
+        let c = ServeConfig::from_env();
+        assert_eq!((c.port, c.batch_window_us, c.queue_depth), (0, 250, 64));
+
+        // Near-miss spellings fall back to the defaults (with a warning,
+        // exercised once per key per process by warn_once).
+        std::env::set_var("PI_SERVE_PORT", "auto");
+        std::env::set_var("PI_SERVE_BATCH_US", "0.5ms");
+        std::env::set_var("PI_SERVE_QUEUE", "-1");
+        let c = ServeConfig::from_env();
+        assert_eq!(c, d);
+
+        // Out-of-range values are clamped, not defaulted.
+        std::env::set_var("PI_SERVE_PORT", "70000");
+        std::env::set_var("PI_SERVE_BATCH_US", "9999999");
+        std::env::set_var("PI_SERVE_QUEUE", "0");
+        let c = ServeConfig::from_env();
+        assert_eq!(c.port, u16::MAX);
+        assert_eq!(c.batch_window_us, 1_000_000);
+        assert_eq!(c.queue_depth, 1);
+
+        for k in ["PI_SERVE_PORT", "PI_SERVE_BATCH_US", "PI_SERVE_QUEUE"] {
+            std::env::remove_var(k);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! `pi-serve` — a batched characterization-and-sizing service over the
+//! predictive interconnect models, with a synthetic-traffic load generator.
+//!
+//! The one-shot CLI pays full model warm-up per invocation and answers
+//! one query at a time. This crate turns the same engines into a
+//! long-lived local service:
+//!
+//! - a hand-rolled HTTP/1.1 layer ([`http`]) and JSON codec ([`json`])
+//!   over `std::net` — zero external dependencies, like everything else
+//!   in the workspace;
+//! - typed request/response bodies ([`api`]) whose encode→decode round
+//!   trip is bit-exact, so served numbers can be compared against
+//!   in-process ones without tolerance;
+//! - a warm store ([`store`]) of per-technology-node contexts (calibrated
+//!   models, cached buffering plans, cached synthesized networks);
+//! - **request batching** ([`batch`]): concurrent requests drain from a
+//!   bounded queue and coalesce into single structure-of-arrays sweeps
+//!   through `pi-core`/`pi-cosi` batch entry points, bit-identical to
+//!   one-shot evaluation;
+//! - the serving loop ([`server`]) with cooperative shutdown and
+//!   `pi-obs` spans/counters on every request, batch and queue wait;
+//! - a load generator ([`load`]) replaying synthetic traffic whose wire
+//!   lengths follow the Davis stochastic wiring distribution
+//!   ([`traffic`]), reporting p50/p99 latency, achieved QPS, batch sizes
+//!   and cache hit rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use pi_serve::config::ServeConfig;
+//! use pi_serve::load::{run_load, LoadConfig};
+//! use pi_serve::server::Server;
+//!
+//! let mut server = Server::start(&ServeConfig {
+//!     port: 0, // ephemeral
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let report = run_load(&LoadConfig {
+//!     addr: server.addr().to_string(),
+//!     qps: 200.0,
+//!     duration_s: 0.2,
+//!     concurrency: 2,
+//!     ..LoadConfig::default()
+//! })
+//! .unwrap();
+//! assert_eq!(report.errors, 0);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod batch;
+pub mod config;
+pub mod http;
+pub mod json;
+pub mod load;
+pub mod server;
+pub mod store;
+pub mod traffic;
+
+pub use api::{ApiRequest, ApiResponse};
+pub use batch::{execute_batch, Batcher};
+pub use config::ServeConfig;
+pub use load::{run_load, Client, LoadConfig, LoadReport};
+pub use server::{install_shutdown_signals, signalled, Server, ServerStats};
+pub use store::{NodeContext, NodeStore};
+pub use traffic::TrafficGen;

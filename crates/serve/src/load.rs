@@ -1,0 +1,401 @@
+//! The synthetic-traffic load generator behind `pi load` / `pi-load`.
+//!
+//! Open-loop pacing: a run of `qps × duration` requests is scheduled on a
+//! fixed timetable (`start + i/qps`), striped across `concurrency` workers
+//! by request index (`i mod concurrency`). Workers never slow the
+//! timetable down — if the server falls behind, latency grows instead of
+//! the offered load shrinking, which is what makes the reported p99
+//! honest. Each worker holds one persistent keep-alive connection.
+//!
+//! The report combines client-side measurements (achieved QPS, p50/p99
+//! latency) with server-side counters scraped from `GET /v1/stats` (mean
+//! batch size, plan-cache hit rate) — the four numbers the bench publishes
+//! as `serve_qps`, `serve_p50_us`, `serve_p99_us`, `serve_batch_mean`.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::{read_response, write_request, Response};
+use crate::json::{obj, Json};
+use crate::traffic::TrafficGen;
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Offered load, requests per second (> 0).
+    pub qps: f64,
+    /// Concurrent client connections (≥ 1).
+    pub concurrency: usize,
+    /// Run length, seconds (> 0).
+    pub duration_s: f64,
+    /// Percent of requests that are yield queries (0–100).
+    pub yield_pct: u32,
+    /// Traffic seed — same seed, same request sequence.
+    pub seed: u64,
+    /// Technology node spelling for every request.
+    pub tech: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            qps: 2000.0,
+            concurrency: 4,
+            duration_s: 3.0,
+            yield_pct: 10,
+            seed: 1,
+            tech: "65nm".to_owned(),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Responses with status 200.
+    pub ok: u64,
+    /// Non-200 responses plus transport failures.
+    pub errors: u64,
+    /// Wall-clock of the run, seconds.
+    pub elapsed_s: f64,
+    /// Achieved throughput, requests per second.
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Server-side mean batch size (0 when stats were unreachable).
+    pub batch_mean: f64,
+    /// Server-side plan-cache hit rate (0 when stats were unreachable).
+    pub cache_hit_rate: f64,
+}
+
+impl LoadReport {
+    /// Human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "sent {} ok {} errors {} in {:.2}s\n\
+             qps {:.0}  p50 {:.0}us  p99 {:.0}us\n\
+             batch mean {:.2}  plan-cache hit rate {:.1}%",
+            self.sent,
+            self.ok,
+            self.errors,
+            self.elapsed_s,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.batch_mean,
+            self.cache_hit_rate * 100.0,
+        )
+    }
+
+    /// Machine-readable summary.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("sent", Json::Int(i128::from(self.sent))),
+            ("ok", Json::Int(i128::from(self.ok))),
+            ("errors", Json::Int(i128::from(self.errors))),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            ("qps", Json::Num(self.qps)),
+            ("p50_us", Json::Num(self.p50_us)),
+            ("p99_us", Json::Num(self.p99_us)),
+            ("batch_mean", Json::Num(self.batch_mean)),
+            ("cache_hit_rate", Json::Num(self.cache_hit_rate)),
+        ])
+    }
+}
+
+/// One persistent keep-alive connection to the server.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with a 30 s read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, as text.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("connect to {addr} failed: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Client {
+            addr: addr.to_owned(),
+            stream,
+            reader,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport or parse failures, as text. The connection should be
+    /// re-established (see [`Client::reconnect`]) after an error.
+    pub fn roundtrip(&mut self, method: &str, path: &str, body: &[u8]) -> Result<Response, String> {
+        write_request(&mut self.stream, method, path, body).map_err(|e| e.to_string())?;
+        match read_response(&mut self.reader) {
+            Ok(Some(resp)) => Ok(resp),
+            Ok(None) => Err("server closed the connection".to_owned()),
+            Err(e) => Err(format!("{e:?}")),
+        }
+    }
+
+    /// Replaces the underlying connection.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, as text.
+    pub fn reconnect(&mut self) -> Result<(), String> {
+        *self = Client::connect(&self.addr)?;
+        Ok(())
+    }
+}
+
+/// Scrapes `(batch_mean, cache_hit_rate)` from the server's stats
+/// endpoint; zeros when unreachable.
+fn scrape_stats(addr: &str) -> (f64, f64) {
+    let scraped = Client::connect(addr)
+        .and_then(|mut c| c.roundtrip("GET", "/v1/stats", b""))
+        .and_then(|resp| {
+            let text = resp.body_str()?.to_owned();
+            crate::json::parse(&text).map_err(|e| e.to_string())
+        });
+    match scraped {
+        Ok(v) => (
+            v.get("batch_mean").and_then(Json::as_f64).unwrap_or(0.0),
+            v.get("plan_cache_hit_rate")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        ),
+        Err(_) => (0.0, 0.0),
+    }
+}
+
+/// Sorted-latency percentile (nearest rank), microseconds.
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Runs the load and reports.
+///
+/// # Errors
+///
+/// Configuration problems and total connection failure, as text.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
+    if !(config.qps.is_finite() && config.qps > 0.0) {
+        return Err(format!("qps must be positive, got {}", config.qps));
+    }
+    if !(config.duration_s.is_finite() && config.duration_s > 0.0) {
+        return Err(format!(
+            "duration must be positive, got {}",
+            config.duration_s
+        ));
+    }
+    let concurrency = config.concurrency.max(1);
+    let total = (config.qps * config.duration_s).round() as u64;
+    if total == 0 {
+        return Err("qps × duration rounds to zero requests".to_owned());
+    }
+    let gen = TrafficGen::new(config.seed, &config.tech, config.yield_pct);
+
+    // Fail fast (and warm the listener path) before spawning workers.
+    Client::connect(&config.addr)?
+        .roundtrip("GET", "/healthz", b"")
+        .map_err(|e| format!("health check failed: {e}"))?;
+
+    struct WorkerResult {
+        ok: u64,
+        errors: u64,
+        latencies_us: Vec<f64>,
+    }
+
+    let start = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(concurrency);
+        for w in 0..concurrency {
+            let gen = &gen;
+            let addr = config.addr.as_str();
+            let qps = config.qps;
+            handles.push(scope.spawn(move || {
+                let mut out = WorkerResult {
+                    ok: 0,
+                    errors: 0,
+                    latencies_us: Vec::new(),
+                };
+                let Ok(mut client) = Client::connect(addr) else {
+                    out.errors = (w as u64..total).step_by(concurrency).count() as u64;
+                    return out;
+                };
+                let mut i = w as u64;
+                while i < total {
+                    let due = start + Duration::from_secs_f64(i as f64 / qps);
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let request = gen.request(i);
+                    let body = request.to_json().render();
+                    let sent_at = Instant::now();
+                    match client.roundtrip("POST", request.path(), body.as_bytes()) {
+                        Ok(resp) => {
+                            out.latencies_us.push(sent_at.elapsed().as_secs_f64() * 1e6);
+                            if resp.status == 200 {
+                                out.ok += 1;
+                            } else {
+                                out.errors += 1;
+                            }
+                            if !resp.keep_alive && client.reconnect().is_err() {
+                                out.errors += ((i + concurrency as u64)..total)
+                                    .step_by(concurrency)
+                                    .count() as u64;
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            out.errors += 1;
+                            if client.reconnect().is_err() {
+                                out.errors += ((i + concurrency as u64)..total)
+                                    .step_by(concurrency)
+                                    .count() as u64;
+                                break;
+                            }
+                        }
+                    }
+                    i += concurrency as u64;
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let (batch_mean, cache_hit_rate) = scrape_stats(&config.addr);
+
+    Ok(LoadReport {
+        sent: total,
+        ok,
+        errors,
+        elapsed_s,
+        qps: ok as f64 / elapsed_s.max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        batch_mean,
+        cache_hit_rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::server::Server;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&lat, 0.50), 51.0);
+        assert_eq!(percentile(&lat, 0.99), 99.0);
+        assert_eq!(percentile(&lat, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = LoadReport {
+            sent: 100,
+            ok: 99,
+            errors: 1,
+            elapsed_s: 2.0,
+            qps: 49.5,
+            p50_us: 120.0,
+            p99_us: 900.0,
+            batch_mean: 3.5,
+            cache_hit_rate: 0.93,
+        };
+        let text = report.render();
+        assert!(text.contains("sent 100 ok 99 errors 1"));
+        assert!(text.contains("93.0%"));
+        let v = report.to_json();
+        assert_eq!(v.get("ok").and_then(Json::as_u64), Some(99));
+        assert_eq!(v.get("batch_mean").and_then(Json::as_f64), Some(3.5));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = LoadConfig {
+            qps: 0.0,
+            ..LoadConfig::default()
+        };
+        assert!(run_load(&bad).is_err());
+        let bad = LoadConfig {
+            duration_s: -1.0,
+            ..LoadConfig::default()
+        };
+        assert!(run_load(&bad).is_err());
+        let unreachable = LoadConfig {
+            addr: "127.0.0.1:1".to_owned(),
+            qps: 10.0,
+            duration_s: 0.1,
+            ..LoadConfig::default()
+        };
+        assert!(run_load(&unreachable).is_err(), "no server → error, fast");
+    }
+
+    #[test]
+    fn short_burst_against_an_in_process_server_is_clean() {
+        let mut server = Server::start(&ServeConfig {
+            port: 0,
+            batch_window_us: 200,
+            queue_depth: 256,
+        })
+        .expect("bind");
+        let config = LoadConfig {
+            addr: server.addr().to_string(),
+            qps: 400.0,
+            concurrency: 2,
+            duration_s: 0.5,
+            yield_pct: 5,
+            seed: 42,
+            tech: "65nm".to_owned(),
+        };
+        let report = run_load(&config).expect("load run");
+        assert_eq!(report.sent, 200);
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.ok, report.sent);
+        assert!(report.p50_us > 0.0);
+        assert!(report.p99_us >= report.p50_us);
+        assert!(report.cache_hit_rate > 0.5, "127 lengths repeat quickly");
+        server.shutdown();
+    }
+}

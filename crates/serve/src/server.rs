@@ -1,0 +1,508 @@
+//! The serving loop: accept thread, per-connection handler threads, and
+//! the single batcher thread that drains the queue.
+//!
+//! Thread topology:
+//!
+//! ```text
+//!  accept thread ──spawns──▶ handler thread (1 per connection)
+//!                              │  parse HTTP → ApiRequest
+//!                              │  Batcher::submit ──▶ bounded queue
+//!                              │  block on mpsc response channel
+//!  batcher thread ◀─────────── take_batch(window) drains the queue
+//!     └─ execute_batch: coalesced sweeps, answers every channel
+//! ```
+//!
+//! Shutdown is cooperative: a flag checked by every loop (the accept and
+//! handler threads poll with short timeouts rather than blocking forever),
+//! the queue is closed so the batcher drains out, and `shutdown()` joins
+//! everything — no thread is detached or killed.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::{ApiRequest, ApiResponse};
+use crate::batch::{execute_batch, Batcher};
+use crate::config::ServeConfig;
+use crate::http::{read_request, write_response, Request};
+use crate::json::{obj, Json};
+use crate::store::{plan_cache_counts, plan_cache_hit_rate, NodeStore};
+
+/// How often blocked loops wake to check the shutdown flag.
+const POLL: Duration = Duration::from_micros(500);
+
+/// How long a handler waits for request bytes before re-checking shutdown.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Monotonic serving counters, exposed at `GET /v1/stats`.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests answered (any status).
+    pub requests: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Jobs that went through batches (Σ batch sizes).
+    pub batched_jobs: AtomicU64,
+}
+
+impl ServerStats {
+    /// Mean batch size so far (`0` before the first batch).
+    #[must_use]
+    pub fn batch_mean(&self) -> f64 {
+        let batches = self.batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs.load(Ordering::Relaxed) as f64 / batches as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let (hits, misses) = plan_cache_counts();
+        obj(vec![
+            (
+                "requests",
+                Json::Int(i128::from(self.requests.load(Ordering::Relaxed))),
+            ),
+            (
+                "batches",
+                Json::Int(i128::from(self.batches.load(Ordering::Relaxed))),
+            ),
+            (
+                "batched_jobs",
+                Json::Int(i128::from(self.batched_jobs.load(Ordering::Relaxed))),
+            ),
+            ("batch_mean", Json::Num(self.batch_mean())),
+            ("plan_cache_hits", Json::Int(i128::from(hits))),
+            ("plan_cache_misses", Json::Int(i128::from(misses))),
+            ("plan_cache_hit_rate", Json::Num(plan_cache_hit_rate())),
+        ])
+    }
+}
+
+/// A running serve instance. Dropping it shuts the server down.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<Batcher>,
+    stats: Arc<ServerStats>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:{config.port}` (port 0 picks an ephemeral port —
+    /// read it back from [`Server::addr`]) and starts the accept and
+    /// batcher threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Batcher::new(config.queue_depth);
+        let stats = Arc::new(ServerStats::default());
+        let window = Duration::from_micros(config.batch_window_us);
+
+        let batcher = {
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("pi-serve-batch".to_owned())
+                .spawn(move || {
+                    let store = NodeStore::global();
+                    while let Some(jobs) = queue.take_batch(window) {
+                        if jobs.is_empty() {
+                            continue;
+                        }
+                        stats.batches.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .batched_jobs
+                            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                        execute_batch(store, jobs);
+                    }
+                })?
+        };
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("pi-serve-accept".to_owned())
+                .spawn(move || {
+                    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                pi_obs::counter_add("serve.connections", 1);
+                                let shutdown = Arc::clone(&shutdown);
+                                let queue = Arc::clone(&queue);
+                                let stats = Arc::clone(&stats);
+                                let handle = std::thread::Builder::new()
+                                    .name("pi-serve-conn".to_owned())
+                                    .spawn(move || {
+                                        handle_connection(stream, &shutdown, &queue, &stats);
+                                    });
+                                match handle {
+                                    Ok(h) => handlers.lock().expect("handler list").push(h),
+                                    Err(e) => {
+                                        pi_obs::warn_once(
+                                            "serve.spawn",
+                                            &format!("could not spawn a handler thread: {e}"),
+                                        );
+                                    }
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL);
+                            }
+                            Err(_) => std::thread::sleep(POLL),
+                        }
+                        // Reap finished handlers so a long-lived server
+                        // does not accumulate dead join handles.
+                        let mut list = handlers.lock().expect("handler list");
+                        let mut live = Vec::with_capacity(list.len());
+                        for h in list.drain(..) {
+                            if h.is_finished() {
+                                let _ = h.join();
+                            } else {
+                                live.push(h);
+                            }
+                        }
+                        *list = live;
+                    }
+                    for h in handlers.into_inner().expect("handler list").drain(..) {
+                        let _ = h.join();
+                    }
+                })?
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            queue,
+            stats,
+            accept: Some(accept),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Whether a shutdown has been requested (via [`Server::shutdown`],
+    /// drop, or `POST /admin/shutdown`).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, closes the queue, and joins every thread. Safe to
+    /// call more than once.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection: requests are read back-to-back (keep-alive and
+/// pipelining are honored) until the peer hangs up, a parse error forces
+/// a close, or the server shuts down.
+fn handle_connection(
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    queue: &Batcher,
+    stats: &ServerStats,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        // Between requests, wait for bytes without holding `read_request`
+        // across a timeout (a timeout mid-parse would drop the bytes read
+        // so far). Pipelined bytes already buffered skip the wait.
+        if reader.buffer().is_empty() {
+            let mut peek = [0u8; 1];
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match reader.get_ref().peek(&mut peek) {
+                    Ok(0) => return, // peer closed
+                    Ok(_) => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) => {}
+                    Err(_) => return,
+                }
+            }
+        }
+
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                let status = e.status();
+                if status != 0 {
+                    let body = ApiResponse::error(status, format!("{e:?}"))
+                        .to_json()
+                        .render();
+                    let _ = write_response(
+                        &mut writer,
+                        status,
+                        "application/json",
+                        body.as_bytes(),
+                        false,
+                    );
+                }
+                return;
+            }
+        };
+
+        let _span = pi_obs::span("serve.request");
+        pi_obs::counter_add("serve.requests", 1);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        let (status, body, mut keep) = respond(&request, shutdown, queue, stats);
+        keep &= !shutdown.load(Ordering::SeqCst);
+        if write_response(
+            &mut writer,
+            status,
+            "application/json",
+            body.as_bytes(),
+            keep,
+        )
+        .is_err()
+            || !keep
+        {
+            return;
+        }
+    }
+}
+
+/// Routes one parsed request to its answer: `(status, body, keep_alive)`.
+fn respond(
+    request: &Request,
+    shutdown: &AtomicBool,
+    queue: &Batcher,
+    stats: &ServerStats,
+) -> (u16, String, bool) {
+    let answer = |resp: ApiResponse| (resp.status(), resp.to_json().render(), request.keep_alive);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            obj(vec![("ok", Json::Bool(true))]).render(),
+            request.keep_alive,
+        ),
+        ("GET", "/v1/stats") => (200, stats.to_json().render(), request.keep_alive),
+        ("POST", "/admin/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            queue.close();
+            (200, obj(vec![("ok", Json::Bool(true))]).render(), false)
+        }
+        ("POST", path) => match ApiRequest::from_path_body(path, &body_text(request)) {
+            Err(None) => answer(ApiResponse::error(
+                404,
+                format!("no such endpoint `{path}`"),
+            )),
+            Err(Some(msg)) => answer(ApiResponse::error(400, msg)),
+            Ok(api) => match queue.submit(api) {
+                Err(resp) => answer(resp),
+                Ok(rx) => {
+                    let received = {
+                        let _span = pi_obs::span("serve.queue_wait");
+                        rx.recv()
+                    };
+                    match received {
+                        Ok(resp) => answer(resp),
+                        // The queue was closed underneath us.
+                        Err(_) => answer(ApiResponse::error(503, "server is shutting down")),
+                    }
+                }
+            },
+        },
+        ("GET" | "HEAD", path @ ("/v1/eval" | "/v1/yield" | "/v1/size" | "/v1/net-yield")) => {
+            answer(ApiResponse::error(405, format!("`{path}` requires POST")))
+        }
+        (_, path) => answer(ApiResponse::error(
+            404,
+            format!("no such endpoint `{path}`"),
+        )),
+    }
+}
+
+fn body_text(request: &Request) -> String {
+    String::from_utf8_lossy(&request.body).into_owned()
+}
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM arrived since [`install_shutdown_signals`].
+#[must_use]
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Installs SIGINT/SIGTERM handlers that set a flag polled via
+/// [`signalled`] — the `pi serve` foreground loop uses this for a clean
+/// ctrl-c / `kill` shutdown. No-op off Unix.
+pub fn install_shutdown_signals() {
+    #[cfg(unix)]
+    {
+        // std links libc on every Unix target, so the C `signal` entry
+        // point is available without any crate dependency. The handler
+        // only stores to an atomic — async-signal-safe by construction.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::EvalResponse;
+    use crate::http::{read_response, write_request};
+    use crate::json::parse;
+
+    fn test_server() -> Server {
+        let config = ServeConfig {
+            port: 0,
+            batch_window_us: 200,
+            queue_depth: 64,
+        };
+        Server::start(&config).expect("bind on an ephemeral port")
+    }
+
+    fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn healthz_stats_and_errors_over_a_real_socket() {
+        let mut server = test_server();
+        let (mut stream, mut reader) = connect(&server);
+
+        write_request(&mut stream, "GET", "/healthz", b"").unwrap();
+        let resp = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_str().unwrap(), "{\"ok\":true}");
+        assert!(resp.keep_alive);
+
+        write_request(&mut stream, "POST", "/v1/nope", b"{}").unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().unwrap().status, 404);
+
+        write_request(&mut stream, "GET", "/v1/eval", b"").unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().unwrap().status, 405);
+
+        write_request(&mut stream, "POST", "/v1/eval", b"not json").unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().unwrap().status, 400);
+
+        write_request(&mut stream, "GET", "/v1/stats", b"").unwrap();
+        let stats = read_response(&mut reader).unwrap().unwrap();
+        let v = parse(stats.body_str().unwrap()).unwrap();
+        assert!(v.get("requests").and_then(Json::as_u64).unwrap() >= 4);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_api_requests_are_batched_and_all_answered() {
+        let mut server = test_server();
+        let (mut stream, mut reader) = connect(&server);
+
+        // Fire several requests before reading any response — they land in
+        // the same window and come back in order on the same connection.
+        let body = br#"{"tech":"65nm","length_mm":5.0}"#;
+        for _ in 0..4 {
+            write_request(&mut stream, "POST", "/v1/eval", body).unwrap();
+        }
+        let mut delays = Vec::new();
+        for _ in 0..4 {
+            let resp = read_response(&mut reader).unwrap().unwrap();
+            assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+            let v = parse(resp.body_str().unwrap()).unwrap();
+            let eval = EvalResponse::from_json(&v).unwrap();
+            assert!(eval.delay_ps > 0.0);
+            delays.push(eval.delay_ps.to_bits());
+        }
+        assert!(
+            delays.windows(2).all(|w| w[0] == w[1]),
+            "identical queries → identical answers"
+        );
+        assert!(server.stats().requests.load(Ordering::Relaxed) >= 4);
+        server.shutdown();
+        assert!(server.stats().batches.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn admin_shutdown_stops_the_server() {
+        let mut server = test_server();
+        let (mut stream, mut reader) = connect(&server);
+        write_request(&mut stream, "POST", "/admin/shutdown", b"{}").unwrap();
+        let resp = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!resp.keep_alive, "shutdown closes the connection");
+        assert!(server.shutdown_requested());
+        server.shutdown(); // joins cleanly
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_is_clean() {
+        let mut server = test_server();
+        server.shutdown();
+        server.shutdown();
+        drop(server); // Drop after explicit shutdown must not hang.
+    }
+}

@@ -1,0 +1,239 @@
+//! The warm store: per-technology-node contexts shared by every request.
+//!
+//! A one-shot CLI run pays for its technology tables, calibrated models,
+//! buffering-plan search and (for NoC queries) network synthesis on every
+//! invocation, then throws them away. The server keeps them: one
+//! [`NodeContext`] per technology node, built on first use and shared —
+//! the in-process half of the warm store, alongside the process-global
+//! `pi_core::char_cache` the calibration path already memoizes into.
+//!
+//! Sharding is by [`TechNode`]: each node's context carries its own plan
+//! and network caches behind its own locks, so concurrent batches touching
+//! different nodes never contend.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pi_core::coefficients::builtin;
+use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
+use pi_core::{BufferingObjective, CalibratedModels, SearchSpace};
+use pi_cosi::synthesis::Network;
+use pi_cosi::{synthesize, ProposedLinkModel, SynthesisConfig};
+use pi_tech::units::{Freq, Length};
+use pi_tech::{DesignStyle, TechNode, Technology};
+
+/// Everything the executors need for one technology node.
+#[derive(Debug)]
+pub struct NodeContext {
+    /// The technology description.
+    pub tech: Technology,
+    /// The calibrated predictive models (builtin Table I coefficients).
+    pub models: CalibratedModels,
+    /// Delay-optimal plans keyed by line-length bits — the plan derivation
+    /// is deterministic, so caching it preserves bit-identity with the
+    /// one-shot CLI while skipping the search on repeat lengths.
+    plans: Mutex<HashMap<u64, BufferingPlan>>,
+    /// Synthesized networks keyed by `(design, clock bits)`.
+    networks: Mutex<HashMap<(String, u64), Arc<Network>>>,
+}
+
+impl NodeContext {
+    fn new(node: TechNode) -> Self {
+        NodeContext {
+            tech: Technology::new(node),
+            models: builtin(node),
+            plans: Mutex::new(HashMap::new()),
+            networks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A borrowing line evaluator over this context.
+    #[must_use]
+    pub fn evaluator(&self) -> LineEvaluator<'_> {
+        LineEvaluator::new(&self.models, &self.tech)
+    }
+
+    /// The delay-optimal buffering plan for a global line of `length` —
+    /// exactly the plan the `pi yield` CLI derives (balanced 1 GHz
+    /// objective over the standard search space), cached per length.
+    ///
+    /// Returns `None` when the search space is empty for the length.
+    #[must_use]
+    pub fn plan_for(&self, length: Length) -> Option<BufferingPlan> {
+        let key = length.si().to_bits();
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            pi_obs::counter_add("serve.plan_cache.hits", 1);
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(*plan);
+        }
+        pi_obs::counter_add("serve.plan_cache.misses", 1);
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        let obj = BufferingObjective::balanced(Freq::ghz(1.0));
+        let plan = self
+            .evaluator()
+            .optimize_buffering(&spec, &obj, &SearchSpace::for_length(length))?
+            .plan;
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, plan);
+        Some(plan)
+    }
+
+    /// The synthesized network for a built-in testcase at a clock, cached
+    /// per `(design, clock)`. Synthesis follows the established recipe:
+    /// `ProposedLinkModel` at the clock with 0.25 switching activity,
+    /// single-spacing style.
+    ///
+    /// # Errors
+    ///
+    /// Unknown design names and infeasible syntheses are reported as text
+    /// (the execution layer maps them to a 400).
+    pub fn network_for(&self, design: &str, clock: Freq) -> Result<Arc<Network>, String> {
+        let key = (design.to_owned(), clock.si().to_bits());
+        if let Some(net) = self
+            .networks
+            .lock()
+            .expect("network cache poisoned")
+            .get(&key)
+        {
+            pi_obs::counter_add("serve.net_cache.hits", 1);
+            return Ok(Arc::clone(net));
+        }
+        pi_obs::counter_add("serve.net_cache.misses", 1);
+        let spec = match design {
+            "dvopd" => pi_cosi::testcases::dvopd(),
+            "vproc" => pi_cosi::testcases::vproc(),
+            other => {
+                return Err(format!(
+                    "unknown design `{other}` (expected dvopd or vproc)"
+                ))
+            }
+        };
+        let ev = self.evaluator();
+        let model = ProposedLinkModel::new(&ev, DesignStyle::SingleSpacing, clock, 0.25);
+        let net = synthesize(&spec, &model, &SynthesisConfig::at_clock(clock))
+            .map_err(|e| format!("synthesis failed for `{design}`: {e:?}"))?;
+        let net = Arc::new(net);
+        self.networks
+            .lock()
+            .expect("network cache poisoned")
+            .insert(key, Arc::clone(&net));
+        Ok(net)
+    }
+}
+
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Plan-cache hit rate since process start (`0` before any lookup) — the
+/// "cache hit rate" the load generator reports.
+#[must_use]
+pub fn plan_cache_hit_rate() -> f64 {
+    let hits = PLAN_HITS.load(Ordering::Relaxed);
+    let total = hits + PLAN_MISSES.load(Ordering::Relaxed);
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Raw plan-cache counters `(hits, misses)` since process start.
+#[must_use]
+pub fn plan_cache_counts() -> (u64, u64) {
+    (
+        PLAN_HITS.load(Ordering::Relaxed),
+        PLAN_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// The process-global node store, sharded by technology node.
+#[derive(Debug, Default)]
+pub struct NodeStore {
+    nodes: Mutex<HashMap<TechNode, Arc<NodeContext>>>,
+}
+
+impl NodeStore {
+    /// The shared process-global store.
+    pub fn global() -> &'static NodeStore {
+        static STORE: OnceLock<NodeStore> = OnceLock::new();
+        STORE.get_or_init(NodeStore::default)
+    }
+
+    /// The context for `node`, built on first use.
+    #[must_use]
+    pub fn context(&self, node: TechNode) -> Arc<NodeContext> {
+        let mut nodes = self.nodes.lock().expect("node store poisoned");
+        if let Some(ctx) = nodes.get(&node) {
+            return Arc::clone(ctx);
+        }
+        let _span = pi_obs::span("serve.node_warmup");
+        let ctx = Arc::new(NodeContext::new(node));
+        nodes.insert(node, Arc::clone(&ctx));
+        ctx
+    }
+
+    /// Parses a node spelling and returns its context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the node-name parse error as text.
+    pub fn context_for(&self, spelling: &str) -> Result<Arc<NodeContext>, String> {
+        let node: TechNode = spelling.parse().map_err(|e| format!("{e}"))?;
+        Ok(self.context(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_are_shared_per_node() {
+        let store = NodeStore::default();
+        let a = store.context(TechNode::N65);
+        let b = store.context(TechNode::N65);
+        assert!(Arc::ptr_eq(&a, &b), "same node → same context");
+        let c = store.context(TechNode::N45);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(store.context_for("n65").unwrap().tech.node(), TechNode::N65);
+        assert!(store.context_for("7nm").is_err());
+    }
+
+    #[test]
+    fn plan_cache_reproduces_the_cli_plan() {
+        let store = NodeStore::default();
+        let ctx = store.context(TechNode::N65);
+        let length = Length::mm(5.0);
+        let cached = ctx.plan_for(length).expect("plan exists");
+        let again = ctx.plan_for(length).expect("plan exists");
+        assert_eq!(cached, again, "cache returns the identical plan");
+        // Same derivation as `pi yield`:
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        let direct = ctx
+            .evaluator()
+            .optimize_buffering(
+                &spec,
+                &BufferingObjective::balanced(Freq::ghz(1.0)),
+                &SearchSpace::for_length(length),
+            )
+            .unwrap()
+            .plan;
+        assert_eq!(cached, direct);
+    }
+
+    #[test]
+    fn network_cache_round_trips_and_rejects_unknown_designs() {
+        let store = NodeStore::default();
+        let ctx = store.context(TechNode::N65);
+        let clock = Freq::ghz(2.25);
+        let a = ctx.network_for("dvopd", clock).expect("synthesis");
+        let b = ctx.network_for("dvopd", clock).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b), "network is cached");
+        assert!(!a.channels.is_empty());
+        assert!(ctx.network_for("mesh9000", clock).is_err());
+    }
+}

@@ -49,7 +49,8 @@ for key in host_cores calibration_threads calibration_serial_ns \
     yield_tail_surrogate_reduction yield_cv_variance_ratio \
     yield_corr_evals \
     yield_corr_overestimate_pct probe_overhead_ns \
-    newton_iters_per_solve step_reject_rate char_cache_hit_rate; do
+    newton_iters_per_solve step_reject_rate char_cache_hit_rate \
+    serve_p50_us serve_p99_us serve_qps serve_batch_mean; do
     require_finite "$key"
 done
 # Legitimately "null" on an effectively-serial host, but must be present.
@@ -75,7 +76,14 @@ if ! awk -v r="$cv_ratio" 'BEGIN { exit !(r >= 1.0) }'; then
     echo "perf smoke: yield_cv_variance_ratio $cv_ratio below 1.0 (CV made things worse)"
     exit 1
 fi
-echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x, probe ${probe_ns} ns, surrogate tail ${sur_reduction}x)"
+# The serving path must sustain four-digit QPS on the committed mixed
+# traffic (the bench asserts zero errors before writing the keys).
+serve_qps=$(json_value serve_qps)
+if ! awk -v q="$serve_qps" 'BEGIN { exit !(q >= 1000.0) }'; then
+    echo "perf smoke: serve_qps $serve_qps below the 1000 QPS bound"
+    exit 1
+fi
+echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x, probe ${probe_ns} ns, surrogate tail ${sur_reduction}x, serve ${serve_qps} qps)"
 
 echo "== observability smoke =="
 # Trace a small sign-off plus a yield estimate end to end, then make the
@@ -121,6 +129,44 @@ PI_OBS="jsonl:$obs_journal_b" target/release/pi noc --design dvopd --tech 65nm \
 target/release/pi obs-report --diff "$obs_journal" "$obs_journal_b" >/dev/null
 rm -f "$obs_journal" "$obs_journal_b"
 echo "observability smoke: OK"
+
+echo "== serve smoke =="
+# Start the batched service on an ephemeral port with a traced journal,
+# replay a short synthetic burst through pi-load (every response must be
+# 200 — pi-load exits nonzero otherwise), prove the journal validates
+# with the obs checker, and shut down via SIGTERM — the clean-exit path
+# must print the served-requests summary.
+serve_journal=target/verify-serve.jsonl
+serve_log=target/verify-serve.log
+rm -f "$serve_journal" "$serve_log"
+PI_OBS="jsonl:$serve_journal" target/release/pi serve --port 0 >"$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'listening on' "$serve_log" 2>/dev/null && break
+    sleep 0.1
+done
+serve_addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$serve_log")
+if [ -z "$serve_addr" ]; then
+    echo "serve smoke: server did not come up"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+target/release/pi-load --addr "$serve_addr" --qps 500 --duration 1 \
+    --concurrency 2 --yield-pct 10 --seed 7
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+if ! grep -q 'served .* requests in .* batches' "$serve_log"; then
+    echo "serve smoke: SIGTERM did not produce a clean shutdown summary"
+    cat "$serve_log"
+    exit 1
+fi
+target/release/pi obs-report "$serve_journal" --check
+if ! grep -q 'serve\.batch' "$serve_journal"; then
+    echo "serve smoke: journal lacks serve.batch spans"
+    exit 1
+fi
+rm -f "$serve_journal" "$serve_log"
+echo "serve smoke: OK"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== clippy (deny warnings) =="

@@ -11,6 +11,9 @@
 //!             [--estimator naive|sobol|sobol-scrambled|importance|surrogate-is|analytic]
 //!             [--cv] [--ci 0.5] [--seed 1] [--rho 0.5] [--regions 4]
 //! pi report   --tech 65nm --length 5mm --clock 2GHz [--bits 128] [--full]
+//! pi serve    [--port 7878] [--batch-window 500] [--queue-depth 1024]
+//! pi load     [--addr 127.0.0.1:7878] [--qps 2000] [--concurrency 4] [--duration 3]
+//!             [--yield-pct 10] [--seed 1] [--tech 65nm] [--json]
 //! pi scaling
 //! ```
 //!
@@ -504,6 +507,84 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use predictive_interconnect::serve::{
+        install_shutdown_signals, signalled, ServeConfig, Server,
+    };
+    let mut config = ServeConfig::from_env();
+    if let Some(v) = opts.get("port") {
+        config.port = v.parse().map_err(|e| format!("bad --port: {e}"))?;
+    }
+    if let Some(v) = opts.get("batch-window") {
+        config.batch_window_us = v
+            .parse()
+            .map_err(|e| format!("bad --batch-window (microseconds): {e}"))?;
+    }
+    if let Some(v) = opts.get("queue-depth") {
+        config.queue_depth = v.parse().map_err(|e| format!("bad --queue-depth: {e}"))?;
+    }
+    install_shutdown_signals();
+    let mut server = Server::start(&config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("pi serve listening on {}", server.addr());
+    println!(
+        "endpoints: POST /v1/eval /v1/yield /v1/size /v1/net-yield | \
+         GET /healthz /v1/stats | POST /admin/shutdown (or ctrl-c / SIGTERM)"
+    );
+    while !signalled() && !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.shutdown();
+    let stats = server.stats();
+    println!(
+        "served {} requests in {} batches (mean batch size {:.2})",
+        stats.requests.load(std::sync::atomic::Ordering::Relaxed),
+        stats.batches.load(std::sync::atomic::Ordering::Relaxed),
+        stats.batch_mean(),
+    );
+    Ok(())
+}
+
+fn cmd_load(opts: &Opts) -> Result<(), String> {
+    use predictive_interconnect::serve::{run_load, LoadConfig};
+    let mut config = LoadConfig::default();
+    if let Some(v) = opts.get("addr") {
+        config.addr = v.to_owned();
+    }
+    if let Some(v) = opts.get("qps") {
+        config.qps = v.parse().map_err(|e| format!("bad --qps: {e}"))?;
+    }
+    if let Some(v) = opts.get("concurrency") {
+        config.concurrency = v.parse().map_err(|e| format!("bad --concurrency: {e}"))?;
+    }
+    if let Some(v) = opts.get("duration") {
+        config.duration_s = v
+            .parse()
+            .map_err(|e| format!("bad --duration (seconds): {e}"))?;
+    }
+    if let Some(v) = opts.get("yield-pct") {
+        config.yield_pct = v.parse().map_err(|e| format!("bad --yield-pct: {e}"))?;
+    }
+    if let Some(v) = opts.get("seed") {
+        config.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    if let Some(v) = opts.get("tech") {
+        config.tech = v.to_owned();
+    }
+    let report = run_load(&config)?;
+    if opts.flag("json") {
+        println!("{}", report.to_json().render());
+    } else {
+        println!("{}", report.render());
+    }
+    if report.errors > 0 {
+        return Err(format!(
+            "{} of {} requests failed",
+            report.errors, report.sent
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_scaling() -> Result<(), String> {
     use predictive_interconnect::wire::WireRc;
     println!("node   Vdd [V]  R [ohm/mm]  C [fF/mm]");
@@ -522,7 +603,7 @@ fn cmd_scaling() -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: pi <delay|optimize|reach|noc|yield|report|obs-report|scaling> [--options]
+    "usage: pi <delay|optimize|reach|noc|yield|report|serve|load|obs-report|scaling> [--options]
 run `pi <command>` with missing options to see what it needs;
 see the crate README for the full option list.
 set PI_OBS=summary or PI_OBS=jsonl[:path] to trace any command (docs/OBSERVABILITY.md)";
@@ -537,6 +618,8 @@ fn root_span_name(cmd: &str) -> &'static str {
         "noc" => "pi.noc",
         "yield" => "pi.yield",
         "report" => "pi.report",
+        "serve" => "pi.serve",
+        "load" => "pi.load",
         "scaling" => "pi.scaling",
         _ => "pi.main",
     }
@@ -561,6 +644,8 @@ fn main() -> ExitCode {
                 "noc" => cmd_noc(&opts),
                 "yield" => cmd_yield(&opts),
                 "report" => cmd_report(&opts),
+                "serve" => cmd_serve(&opts),
+                "load" => cmd_load(&opts),
                 "scaling" => cmd_scaling(),
                 other => Err(format!("unknown command `{other}`\n{USAGE}")),
             })

@@ -20,6 +20,8 @@
 //!   quasi-Monte-Carlo, importance sampling, analytic Gaussian closure);
 //! - [`golden`] — placement/extraction/sign-off reference flow;
 //! - [`cosi`] — NoC communication synthesis (COSI-OCC substrate);
+//! - [`serve`] — the batched characterization-and-sizing service and its
+//!   synthetic-traffic load generator (`pi serve` / `pi load`);
 //! - [`report`] — cross-cutting link datasheets combining every analysis.
 //!
 //! # Examples
@@ -40,6 +42,7 @@ pub use pi_cosi as cosi;
 pub use pi_golden as golden;
 pub use pi_obs as obs;
 pub use pi_regress as regress;
+pub use pi_serve as serve;
 pub use pi_spice as spice;
 pub use pi_tech as tech;
 pub use pi_wire as wire;

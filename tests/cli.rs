@@ -127,23 +127,38 @@ fn obs_jsonl_journal_validates_and_renders() {
     let _ = std::fs::remove_file(&journal);
     let journal_str = journal.to_str().expect("utf8 path");
 
-    let out = Command::new(env!("CARGO_BIN_EXE_pi"))
-        .args(["delay", "--tech", "65nm", "--length", "5mm"])
-        .env("PI_OBS", format!("jsonl:{journal_str}"))
-        .output()
-        .expect("pi binary runs");
-    assert!(
-        out.status.success(),
-        "{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    let text = std::fs::read_to_string(&journal).expect("journal written");
-    assert!(text.contains("\"type\":\"meta\""), "{text}");
-    assert!(text.contains("\"name\":\"pi.delay\""), "{text}");
-    assert!(text.contains("\"type\":\"finish\""), "{text}");
+    // The traced run lasts ~300 µs, so on a loaded single-core host one
+    // scheduler preemption between probes can push the wall-clock
+    // accounting outside the --check tolerance. Retry the whole
+    // trace-and-check sequence: a real accounting bug fails every
+    // attempt; scheduler noise does not.
+    let mut checked = None;
+    for _ in 0..5 {
+        let _ = std::fs::remove_file(&journal);
+        let out = Command::new(env!("CARGO_BIN_EXE_pi"))
+            .args(["delay", "--tech", "65nm", "--length", "5mm"])
+            .env("PI_OBS", format!("jsonl:{journal_str}"))
+            .output()
+            .expect("pi binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&journal).expect("journal written");
+        assert!(text.contains("\"type\":\"meta\""), "{text}");
+        assert!(text.contains("\"name\":\"pi.delay\""), "{text}");
+        assert!(text.contains("\"type\":\"finish\""), "{text}");
 
-    // --check validates every line plus the wall-clock accounting bound.
-    let out = pi(&["obs-report", journal_str, "--check"]);
+        // --check validates every line plus the wall-clock accounting bound.
+        let out = pi(&["obs-report", journal_str, "--check"]);
+        let ok = out.status.success();
+        checked = Some(out);
+        if ok {
+            break;
+        }
+    }
+    let out = checked.expect("at least one attempt ran");
     assert!(
         out.status.success(),
         "{}",

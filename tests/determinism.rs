@@ -393,4 +393,118 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
             .collect();
         assert_eq!(cv_runs[0], cv_runs[1], "naive+cv rho={rho}: 1 vs 4 threads");
     }
+
+    // 10. The batched server: a yield query answered over HTTP by a
+    //     coalesced batch must be bit-identical to the equivalent
+    //     one-shot `pi yield` evaluation — batching groups queries into
+    //     one SoA sweep but must not perturb any query's seed-derived RNG
+    //     stream assignment — and the server's answer must itself be
+    //     thread-count invariant (its estimators read PI_THREADS like
+    //     everything else).
+    {
+        use pi_serve::api::{ApiRequest, YieldRequest, YieldResponse};
+        use pi_serve::{Client, ServeConfig, Server};
+
+        let length = Length::mm(5.0);
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        // The exact plan derivation the `pi yield` CLI uses.
+        let cli_plan = evaluator
+            .optimize_buffering(
+                &spec,
+                &pi_core::BufferingObjective::balanced(Freq::ghz(1.0)),
+                &pi_core::SearchSpace::for_length(length),
+            )
+            .expect("plan exists")
+            .plan;
+        let deadline = pi_tech::units::Time::ps(600.0);
+        let seeds = [7u64, 8, 9];
+
+        let mut served_runs: Vec<Vec<(u64, u64, u64)>> = Vec::new();
+        for threads in ["1", "4"] {
+            let served: Vec<YieldResponse> = with_threads(Some(threads), || {
+                // A wide batching window so the concurrent queries land in
+                // one coalesced batch rather than one batch each.
+                let mut server = Server::start(&ServeConfig {
+                    port: 0,
+                    batch_window_us: 2000,
+                    queue_depth: 64,
+                })
+                .expect("bind ephemeral");
+                let addr = server.addr().to_string();
+                let responses = std::thread::scope(|scope| {
+                    let handles: Vec<_> = seeds
+                        .iter()
+                        .map(|&seed| {
+                            let addr = addr.clone();
+                            scope.spawn(move || {
+                                let mut client = Client::connect(&addr).expect("connect");
+                                let req = ApiRequest::Yield(YieldRequest {
+                                    tech: "65nm".to_owned(),
+                                    length_mm: 5.0,
+                                    deadline_ps: 600.0,
+                                    estimator: "sobol-scrambled".to_owned(),
+                                    seed,
+                                    ci_pct: 2.0,
+                                    cv: false,
+                                    rho: None,
+                                    regions: None,
+                                });
+                                let body = req.to_json().render();
+                                let resp = client
+                                    .roundtrip("POST", req.path(), body.as_bytes())
+                                    .expect("roundtrip");
+                                assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+                                let v = pi_serve::json::parse(resp.body_str().unwrap()).unwrap();
+                                YieldResponse::from_json(&v).unwrap()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap())
+                        .collect::<Vec<_>>()
+                });
+                server.shutdown();
+                responses
+            });
+
+            for (&seed, resp) in seeds.iter().zip(&served) {
+                let config =
+                    EstimatorConfig::new("sobol-scrambled".parse::<Method>().expect("method name"))
+                        .with_seed(seed)
+                        .with_target_half_width(2.0 / 100.0);
+                let direct = with_threads(Some(threads), || {
+                    evaluator.timing_yield_estimate(
+                        &spec,
+                        &cli_plan,
+                        &VariationModel::nominal(),
+                        deadline,
+                        &config,
+                    )
+                });
+                assert_eq!(
+                    direct.yield_fraction.to_bits(),
+                    resp.yield_fraction.to_bits(),
+                    "served vs one-shot yield, seed {seed}, {threads} threads"
+                );
+                assert_eq!(
+                    direct.half_width.to_bits(),
+                    resp.half_width.to_bits(),
+                    "served vs one-shot half-width, seed {seed}, {threads} threads"
+                );
+                assert_eq!(direct.evals as u64, resp.evals, "seed {seed}");
+                assert_eq!(direct.method.name(), resp.method, "seed {seed}");
+            }
+            served_runs.push(
+                served
+                    .iter()
+                    .map(|r| (r.yield_fraction.to_bits(), r.half_width.to_bits(), r.evals))
+                    .collect(),
+            );
+        }
+        assert_eq!(
+            served_runs[0], served_runs[1],
+            "served answers: 1 vs 4 threads"
+        );
+    }
 }
