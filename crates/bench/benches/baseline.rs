@@ -221,33 +221,78 @@ fn main() {
     // every untraced run pays), then counter-derived workload statistics:
     // one traced sign-off plus a clear/prime/replay characterization pair,
     // read back through `pi_obs::snapshot()` rather than timed.
-    // Serving path: an in-process `pi serve` under a 3-second synthetic
-    // mixed load — wire lengths from the Davis wiring distribution, 10%
-    // yield queries — measured by the pi-load open-loop harness. Client
+    // Serving path: an in-process `pi serve` (poll event loop, the
+    // default) under the pi-load open-loop harness — wire lengths from
+    // the Davis wiring distribution. Three runs: the 4-connection mixed
+    // load behind the long-standing `serve_*` keys, a 64-connection run
+    // at the same offered QPS (`serve_qps_c64` / `serve_p99_us_c64` —
+    // the event loop must hold throughput when connections outnumber
+    // worker threads 16:1), and a sizing burst under a wide batch window
+    // whose coalescing factor is committed as `size_batch_mean`. Client
     // and server share the host, so these numbers are a conservative
     // single-machine floor.
-    let serve_report = {
-        use pi_serve::load::{run_load, LoadConfig};
-        use pi_serve::{ServeConfig, Server};
-        let mut server = Server::start(&ServeConfig {
-            port: 0,
-            ..ServeConfig::default()
-        })
-        .expect("bind ephemeral");
+    use pi_serve::load::{run_load, LoadConfig};
+    use pi_serve::{ServeConfig, Server};
+    let serve_load = |serve: &ServeConfig, load: &LoadConfig| {
+        let mut server = Server::start(serve).expect("bind ephemeral");
         let report = run_load(&LoadConfig {
             addr: server.addr().to_string(),
-            qps: 2000.0,
-            concurrency: 4,
-            duration_s: 3.0,
-            yield_pct: 10,
-            seed: 1,
-            tech: "65nm".to_owned(),
+            ..load.clone()
         })
         .expect("serve load run");
         server.shutdown();
         assert_eq!(report.errors, 0, "serve bench must be error-free");
         report
     };
+    let serve_report = serve_load(
+        &ServeConfig {
+            port: 0,
+            ..ServeConfig::default()
+        },
+        &LoadConfig {
+            qps: 2000.0,
+            concurrency: 4,
+            duration_s: 3.0,
+            yield_pct: 10,
+            seed: 1,
+            tech: "65nm".to_owned(),
+            ..LoadConfig::default()
+        },
+    );
+    let serve_c64 = serve_load(
+        &ServeConfig {
+            port: 0,
+            ..ServeConfig::default()
+        },
+        &LoadConfig {
+            qps: 2000.0,
+            conns: 64,
+            duration_s: 3.0,
+            yield_pct: 10,
+            seed: 1,
+            tech: "65nm".to_owned(),
+            ..LoadConfig::default()
+        },
+    );
+    // Sizing burst: 40% size queries against a 20 ms batch window, so
+    // each bisection iteration sweeps several coalesced ladders at once.
+    let serve_sizes = serve_load(
+        &ServeConfig {
+            port: 0,
+            batch_window_us: 20_000,
+            ..ServeConfig::default()
+        },
+        &LoadConfig {
+            qps: 400.0,
+            conns: 16,
+            duration_s: 1.5,
+            yield_pct: 0,
+            size_pct: 40,
+            seed: 1,
+            tech: "65nm".to_owned(),
+            ..LoadConfig::default()
+        },
+    );
 
     let probe_ns = probe_overhead_ns();
     std::env::set_var("PI_OBS", "summary");
@@ -350,6 +395,12 @@ fn main() {
         "  \"serve_batch_mean\": {:.2},\n",
         serve_report.batch_mean
     ));
+    json_field(&mut json, "serve_qps_c64", serve_c64.qps);
+    json_field(&mut json, "serve_p99_us_c64", serve_c64.p99_us);
+    json.push_str(&format!(
+        "  \"size_batch_mean\": {:.2},\n",
+        serve_sizes.size_batch_mean
+    ));
     json.push_str(
         "  \"yield_case\": \"5 mm line, deadline 1.05x nominal to +-0.5% @ 95%; tail 1.25x nominal to +-0.05%\",\n",
     );
@@ -401,6 +452,11 @@ fn main() {
         serve_report.p99_us,
         serve_report.batch_mean,
         100.0 * serve_report.cache_hit_rate
+    );
+    println!(
+        "serve @64 conns: {:.0} qps (p99 {:.0} us); sizing burst coalesces {:.2} \
+         ladders per sweep",
+        serve_c64.qps, serve_c64.p99_us, serve_sizes.size_batch_mean
     );
     println!(
         "obs: disabled probe {probe_ns:.3} ns; newton {newton_iters_per_solve:.2} iters/solve; \

@@ -198,11 +198,13 @@ pub fn characterize_grid(
         .iter()
         .map(|&(wn, slew, load)| char_cache::key(fp, kind, rising, wn, slew, load))
         .collect();
+    // One lock acquisition for the whole sweep (batched lookup), not one
+    // per grid cell.
     let mut slots: Vec<Option<RawPoint>> = cells
         .iter()
-        .zip(&keys)
-        .map(|(&(wn, slew, load), k)| {
-            char_cache::lookup(k).map(|(delay, output_slew)| RawPoint {
+        .zip(char_cache::lookup_many(&keys))
+        .map(|(&(wn, slew, load), hit)| {
+            hit.map(|(delay, output_slew)| RawPoint {
                 wn,
                 input_slew: slew,
                 load,
@@ -230,11 +232,14 @@ pub fn characterize_grid(
             })
             .collect::<Vec<Result<RawPoint, SimError>>>()
     });
+    let mut measured: Vec<(char_cache::CharKey, Time, Time)> = Vec::with_capacity(miss_idx.len());
     for (&i, r) in miss_idx.iter().zip(partials.into_iter().flatten()) {
         let p = r?;
-        char_cache::store(keys[i], p.delay, p.output_slew);
+        measured.push((keys[i], p.delay, p.output_slew));
         slots[i] = Some(p);
     }
+    // Likewise one acquisition (plus one journal pass) for all stores.
+    char_cache::store_many(&measured);
     Ok(slots
         .into_iter()
         .map(|p| p.expect("every grid point simulated or cached"))

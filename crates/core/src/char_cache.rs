@@ -411,6 +411,77 @@ pub fn lookup(key: &CharKey) -> Option<(Time, Time)> {
     }
 }
 
+/// Batched [`lookup`]: answers every key under **one** state-lock
+/// acquisition instead of one per point. Grid sweeps call this with the
+/// whole flattened grid (a standard 5×5×5 grid is 125 points), so the
+/// lock (and the per-call `PI_CHAR_CACHE` classification) is paid once
+/// per sweep rather than once per cell. Hit/miss counters advance exactly
+/// as the per-key calls would.
+#[must_use]
+pub fn lookup_many(keys: &[CharKey]) -> Vec<Option<(Time, Time)>> {
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    if !enabled() {
+        return vec![None; keys.len()];
+    }
+    let mut st = state().lock().expect("char cache poisoned");
+    let out: Vec<Option<(Time, Time)>> = keys
+        .iter()
+        .map(|key| {
+            st.map
+                .get(key)
+                .map(|&(d, s)| (Time::s(f64::from_bits(d)), Time::s(f64::from_bits(s))))
+        })
+        .collect();
+    let hits = out.iter().filter(|o| o.is_some()).count() as u64;
+    let misses = keys.len() as u64 - hits;
+    st.hits += hits;
+    st.misses += misses;
+    drop(st);
+    if hits > 0 {
+        pi_obs::counter_add("char_cache.hits", hits);
+    }
+    if misses > 0 {
+        pi_obs::counter_add("char_cache.misses", misses);
+    }
+    out
+}
+
+/// Batched [`store`]: inserts every measured point under one state-lock
+/// acquisition, then journals the newly inserted entries (write-through,
+/// outside the state lock, one sink acquisition for the whole batch).
+pub fn store_many(entries: &[(CharKey, Time, Time)]) {
+    if entries.is_empty() || !enabled() {
+        return;
+    }
+    let mut st = state().lock().expect("char cache poisoned");
+    let mut fresh: Vec<(CharKey, (u64, u64))> = Vec::new();
+    for &(key, delay, output_slew) in entries {
+        let val = (delay.si().to_bits(), output_slew.si().to_bits());
+        if st.map.insert(key, val).is_none() {
+            if st.map.len() == MAX_JOURNAL_ENTRIES + 1 {
+                pi_obs::counter_add("char_cache.cap_exceeded", 1);
+                pi_obs::warn_once(
+                    "char_cache.cap_exceeded",
+                    &format!(
+                        "char cache grew past {MAX_JOURNAL_ENTRIES} entries; \
+                         the journal will be compacted on next load"
+                    ),
+                );
+            }
+            fresh.push((key, val));
+        }
+    }
+    let sink = st.disk.clone();
+    drop(st);
+    if let Some(sink) = sink {
+        for (key, val) in &fresh {
+            sink.append(&format_line(key, *val));
+        }
+    }
+}
+
 /// Inserts a measured `(delay, output slew)` pair. A no-op when the cache
 /// is disabled; write-through to the journal file in path mode.
 pub fn store(key: CharKey, delay: Time, output_slew: Time) {
@@ -498,6 +569,46 @@ mod tests {
         let st = stats();
         assert!(st.entries >= 1);
         assert!(st.hits >= 1 && st.misses >= 1);
+    }
+
+    #[test]
+    fn batched_lookup_and_store_match_the_per_key_calls() {
+        clear();
+        let keys: Vec<CharKey> = (0..8)
+            .map(|i| {
+                key(
+                    0x7777,
+                    RepeaterKind::Inverter,
+                    true,
+                    Length::um(1.0 + f64::from(i)),
+                    Time::ps(60.0),
+                    Cap::ff(30.0),
+                )
+            })
+            .collect();
+        assert!(lookup_many(&keys).iter().all(Option::is_none));
+        // Store the even-indexed half in one batch...
+        let entries: Vec<(CharKey, Time, Time)> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(i, k)| (*k, Time::ps(1.0 + i as f64), Time::ps(2.0 + i as f64)))
+            .collect();
+        store_many(&entries);
+        // ...and read everything back in one batch: hits where stored,
+        // misses elsewhere, bit-exact values, same as per-key lookup.
+        let got = lookup_many(&keys);
+        for (i, (k, o)) in keys.iter().zip(&got).enumerate() {
+            assert_eq!(o.is_some(), i % 2 == 0, "slot {i}");
+            assert_eq!(
+                lookup(k).map(|(d, s)| (d.si().to_bits(), s.si().to_bits())),
+                o.map(|(d, s)| (d.si().to_bits(), s.si().to_bits()))
+            );
+            if let Some((d, _)) = o {
+                assert_eq!(d.si().to_bits(), Time::ps(1.0 + i as f64).si().to_bits());
+            }
+        }
+        assert!(lookup_many(&[]).is_empty());
     }
 
     #[test]

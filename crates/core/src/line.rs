@@ -269,12 +269,39 @@ impl<'a> LineEvaluator<'a> {
     /// per item (par_map reassembles chunks in index order), for any
     /// `PI_THREADS` setting.
     ///
+    /// Duplicate items — common when a traffic burst repeats popular wire
+    /// lengths, since the length distribution is discrete — are computed
+    /// once and fanned back out. Identity is the `Debug` rendering of the
+    /// pair: Rust renders floats as their shortest round-trippable form,
+    /// so two items share a computation only when the per-item calls would
+    /// have returned bit-identical results anyway. The duplicate count is
+    /// visible as the `core.timing_batch_deduped` counter.
+    ///
     /// # Panics
     ///
     /// Panics if any plan has zero repeaters.
     #[must_use]
     pub fn timing_batch(&self, items: &[(LineSpec, BufferingPlan)]) -> Vec<LineTiming> {
-        pi_rt::par_map(items, |(spec, plan)| self.timing(spec, plan))
+        let mut index_of: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut unique: Vec<(LineSpec, BufferingPlan)> = Vec::new();
+        let slots: Vec<usize> = items
+            .iter()
+            .map(|item| {
+                *index_of.entry(format!("{item:?}")).or_insert_with(|| {
+                    unique.push(*item);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        if unique.len() < items.len() {
+            pi_obs::counter_add(
+                "core.timing_batch_deduped",
+                (items.len() - unique.len()) as u64,
+            );
+        }
+        let timings = pi_rt::par_map(&unique, |(spec, plan)| self.timing(spec, plan));
+        slots.into_iter().map(|i| timings[i].clone()).collect()
     }
 
     /// Timing with a different (typically larger) first repeater: the line
@@ -541,11 +568,16 @@ mod tests {
     fn timing_batch_matches_per_item_timing_bit_for_bit() {
         let (t, m) = setup();
         let ev = LineEvaluator::new(&m, &t);
+        // Deliberately repeat lengths (`i % 5`) so the duplicate-sharing
+        // path is exercised alongside the unique items.
         let items: Vec<(LineSpec, BufferingPlan)> = (1..=12)
             .map(|i| {
                 (
-                    LineSpec::global(Length::mm(0.5 * i as f64), DesignStyle::SingleSpacing),
-                    plan(1 + i % 4, 4.0 + i as f64),
+                    LineSpec::global(
+                        Length::mm(0.5 * (i % 5) as f64 + 0.5),
+                        DesignStyle::SingleSpacing,
+                    ),
+                    plan(1 + (i % 5) % 4, 4.0 + (i % 5) as f64),
                 )
             })
             .collect();

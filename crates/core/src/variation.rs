@@ -497,11 +497,7 @@ impl LineEvaluator<'_> {
         target_yield: f64,
         config: &EstimatorConfig,
     ) -> Option<YieldSizing> {
-        let screen = (config.control_variate && config.method != Method::SurrogateIs).then(|| {
-            let mut cfg = *config;
-            cfg.method = Method::SurrogateIs;
-            cfg
-        });
+        let screen = config.surrogate_screen();
         self.size_loop(spec, plan, target_yield, |ev, candidate| {
             if let Some(cfg) = &screen {
                 let est = ev.timing_yield_estimate(spec, candidate, variation, deadline, cfg);
@@ -519,6 +515,35 @@ impl LineEvaluator<'_> {
         })
     }
 
+    /// The exact candidate ladder the greedy search walks for `plan`, in
+    /// evaluation order: the library drive strengths from the starting
+    /// index (the smallest drive not below the plan's width), then added
+    /// repeaters at the largest drive up to the length-derived count cap.
+    /// Shared by [`LineEvaluator::size_loop`] and
+    /// [`LineEvaluator::size_for_yield_batch`] so the two cannot diverge.
+    fn size_candidates(&self, spec: &LineSpec, plan: &BufferingPlan) -> Vec<BufferingPlan> {
+        let unit = self.tech().layout().unit_nmos_width;
+        let drives = pi_tech::library::STANDARD_DRIVES;
+        let start_idx = drives
+            .iter()
+            .position(|&d| unit * f64::from(d) >= plan.wn * 0.999)
+            .unwrap_or(drives.len() - 1);
+        let mut current = *plan;
+        let mut out = Vec::with_capacity(drives.len());
+        // Phase 1: upsize through the library.
+        for &d in &drives[start_idx..] {
+            current.wn = unit * f64::from(d);
+            out.push(current);
+        }
+        // Phase 2: add repeaters at the maximum drive.
+        let max_count = (plan.count + 1).max((spec.length.as_mm() * 4.0).ceil() as usize);
+        for count in (current.count + 1)..=max_count {
+            current.count = count;
+            out.push(current);
+        }
+        out
+    }
+
     /// The shared greedy search: upsize through the library drives, then
     /// add repeaters, until `estimate`'s **lower bound** (second element
     /// of the returned `(point, lower)` pair) reaches the target yield.
@@ -534,54 +559,179 @@ impl LineEvaluator<'_> {
             "target yield must be in (0, 1]"
         );
         let _obs_span = pi_obs::span("core.size_for_yield");
-        let unit = self.tech().layout().unit_nmos_width;
-        let drives = pi_tech::library::STANDARD_DRIVES;
-        // Start from the smallest drive not below the given plan's width.
-        let start_idx = drives
-            .iter()
-            .position(|&d| unit * f64::from(d) >= plan.wn * 0.999)
-            .unwrap_or(drives.len() - 1);
-
-        let mut current = *plan;
-        let mut steps = 0usize;
-        // Phase 1: upsize through the library.
-        for &d in &drives[start_idx..] {
-            current.wn = unit * f64::from(d);
-            let (y, lower) = estimate(self, &current);
+        for (steps, candidate) in self.size_candidates(spec, plan).into_iter().enumerate() {
+            let (y, lower) = estimate(self, &candidate);
             pi_obs::counter_add("sizing.steps", 1);
             if lower >= target_yield {
                 pi_obs::counter_add("sizing.candidate_pass", 1);
                 pi_obs::counter_add("sizing.accepted", 1);
                 return Some(YieldSizing {
-                    plan: current,
+                    plan: candidate,
                     achieved_yield: y,
                     steps,
                 });
             }
             pi_obs::counter_add("sizing.candidate_fail", 1);
-            steps += 1;
-        }
-        // Phase 2: add repeaters at the maximum drive.
-        let max_count = (plan.count + 1).max((spec.length.as_mm() * 4.0).ceil() as usize);
-        for count in (current.count + 1)..=max_count {
-            current.count = count;
-            let (y, lower) = estimate(self, &current);
-            pi_obs::counter_add("sizing.steps", 1);
-            if lower >= target_yield {
-                pi_obs::counter_add("sizing.candidate_pass", 1);
-                pi_obs::counter_add("sizing.accepted", 1);
-                return Some(YieldSizing {
-                    plan: current,
-                    achieved_yield: y,
-                    steps,
-                });
-            }
-            pi_obs::counter_add("sizing.candidate_fail", 1);
-            steps += 1;
         }
         pi_obs::counter_add("sizing.exhausted", 1);
         None
     }
+
+    /// Yield-driven sizing of many queries in lock step — the batch entry
+    /// point the serve path coalesces concurrent `/v1/size` requests into.
+    ///
+    /// Every round runs **one** [`LineEvaluator::timing_yield_estimate_batch`]
+    /// sweep carrying each unfinished job's next probe (its current ladder
+    /// candidate, under its screen or main estimator configuration), so
+    /// the expensive inner yield estimates amortize their dispatch across
+    /// jobs exactly like batched `/v1/yield` queries do. Jobs keep
+    /// independent RNG streams, candidate ladders and surrogate screens
+    /// (the screen discipline of [`LineEvaluator::size_for_yield_with`]
+    /// is replicated probe for probe), so each job's answer — and every
+    /// `sizing.*` counter total — is **bit-identical to its solo run**;
+    /// batching only changes how probes are grouped onto the workers.
+    ///
+    /// Results are in input order; `None` means that query's ladder was
+    /// exhausted, exactly as in the solo call. The per-round fan-out is
+    /// visible as the `core.size_sweep_jobs` histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's target yield is outside `(0, 1]`, any plan
+    /// has no repeaters, or any configuration has a zero budget.
+    #[must_use]
+    pub fn size_for_yield_batch(&self, queries: &[SizeQuery]) -> Vec<Option<YieldSizing>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let _obs_span = pi_obs::span("core.size_for_yield_batch");
+        for q in queries {
+            assert!(
+                q.target_yield > 0.0 && q.target_yield <= 1.0,
+                "target yield must be in (0, 1]"
+            );
+        }
+        struct JobState {
+            candidates: Vec<BufferingPlan>,
+            idx: usize,
+            /// The next probe runs the screen configuration (true) or the
+            /// configured estimator (false).
+            screening: bool,
+            steps: usize,
+            result: Option<Option<YieldSizing>>,
+        }
+        let mut jobs: Vec<JobState> = queries
+            .iter()
+            .map(|q| JobState {
+                candidates: self.size_candidates(&q.spec, &q.plan),
+                idx: 0,
+                screening: q.config.surrogate_screen().is_some(),
+                steps: 0,
+                result: None,
+            })
+            .collect();
+        loop {
+            // One probe per unfinished job, then one batched sweep.
+            let mut round: Vec<(usize, YieldQuery)> = Vec::new();
+            for (j, (job, q)) in jobs.iter().zip(queries).enumerate() {
+                if job.result.is_some() {
+                    continue;
+                }
+                let config = if job.screening {
+                    q.config
+                        .surrogate_screen()
+                        .expect("screening jobs have a screen config")
+                } else {
+                    q.config
+                };
+                round.push((
+                    j,
+                    YieldQuery {
+                        spec: q.spec,
+                        plan: job.candidates[job.idx],
+                        variation: q.variation,
+                        deadline: q.deadline,
+                        config,
+                    },
+                ));
+            }
+            if round.is_empty() {
+                break;
+            }
+            pi_obs::hist_record("core.size_sweep_jobs", round.len() as f64);
+            let probes: Vec<YieldQuery> = round.iter().map(|(_, p)| *p).collect();
+            let estimates = self.timing_yield_estimate_batch(&probes);
+            for ((j, probe), est) in round.iter().zip(&estimates) {
+                let j = *j;
+                let target = queries[j].target_yield;
+                let job = &mut jobs[j];
+                let lower = est.yield_fraction - est.half_width;
+                if job.screening {
+                    // A fallback run reports `method` as the plain
+                    // importance sampler — not trusted to accept.
+                    if est.method == Method::SurrogateIs && lower >= target {
+                        pi_obs::counter_add("sizing.surrogate_accept", 1);
+                        pi_obs::counter_add("sizing.steps", 1);
+                        pi_obs::counter_add("sizing.candidate_pass", 1);
+                        pi_obs::counter_add("sizing.accepted", 1);
+                        job.result = Some(Some(YieldSizing {
+                            plan: probe.plan,
+                            achieved_yield: est.yield_fraction,
+                            steps: job.steps,
+                        }));
+                    } else {
+                        pi_obs::counter_add("sizing.surrogate_screen_miss", 1);
+                        // Same candidate, configured estimator next round.
+                        job.screening = false;
+                    }
+                    continue;
+                }
+                pi_obs::counter_add("sizing.steps", 1);
+                if lower >= target {
+                    pi_obs::counter_add("sizing.candidate_pass", 1);
+                    pi_obs::counter_add("sizing.accepted", 1);
+                    job.result = Some(Some(YieldSizing {
+                        plan: probe.plan,
+                        achieved_yield: est.yield_fraction,
+                        steps: job.steps,
+                    }));
+                } else {
+                    pi_obs::counter_add("sizing.candidate_fail", 1);
+                    job.steps += 1;
+                    job.idx += 1;
+                    if job.idx == job.candidates.len() {
+                        pi_obs::counter_add("sizing.exhausted", 1);
+                        job.result = Some(None);
+                    } else {
+                        job.screening = queries[j].config.surrogate_screen().is_some();
+                    }
+                }
+            }
+        }
+        jobs.into_iter()
+            .map(|j| j.result.expect("every job resolved"))
+            .collect()
+    }
+}
+
+/// One self-contained sizing query for
+/// [`LineEvaluator::size_for_yield_batch`]: everything
+/// [`LineEvaluator::size_for_yield_with`] takes, as plain data so queries
+/// can be queued, grouped and shipped between threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeQuery {
+    /// The line to size.
+    pub spec: LineSpec,
+    /// The starting buffering plan.
+    pub plan: BufferingPlan,
+    /// The variation budget.
+    pub variation: VariationModel,
+    /// The timing deadline.
+    pub deadline: Time,
+    /// Yield target in `(0, 1]`.
+    pub target_yield: f64,
+    /// Estimator configuration (method, seed, CI target, …).
+    pub config: EstimatorConfig,
 }
 
 #[cfg(test)]
@@ -865,6 +1015,107 @@ mod tests {
             mc.steps,
             fast.steps
         );
+    }
+
+    #[test]
+    fn batched_sizing_is_bit_identical_to_solo_runs() {
+        // Mixed jobs: different methods, seeds, lengths, screens on and
+        // off, one already-passing job and one exhausted ladder — so jobs
+        // retire in different rounds and the lock-step batching is
+        // genuinely exercised, not just a single shared sweep.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let v = VariationModel::nominal();
+        let unit = t.layout().unit_nmos_width;
+        let plan = |count: usize, mult: f64| BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count,
+            wn: unit * mult,
+            staggered: false,
+        };
+        let cfg = |method, seed: u64| {
+            EstimatorConfig::new(method)
+                .with_seed(seed)
+                .with_max_evals(256)
+                .with_target_half_width(0.01)
+        };
+        let spec8 = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        let spec5 = LineSpec::global(Length::mm(5.0), DesignStyle::SingleSpacing);
+        let nominal5 = ev.timing(&spec5, &plan(8, 8.0)).delay;
+        let queries = vec![
+            SizeQuery {
+                spec: spec8,
+                plan: plan(12, 8.0),
+                variation: v,
+                deadline: Time::ps(560.0),
+                target_yield: 0.95,
+                config: cfg(Method::SobolScrambled, 3),
+            },
+            // Surrogate screen active (control variate opted in).
+            SizeQuery {
+                spec: spec8,
+                plan: plan(12, 8.0),
+                variation: v,
+                deadline: Time::ps(560.0),
+                target_yield: 0.9,
+                config: cfg(Method::SobolScrambled, 4).with_control_variate(true),
+            },
+            SizeQuery {
+                spec: spec5,
+                plan: plan(8, 8.0),
+                variation: v,
+                deadline: nominal5 * 1.02,
+                target_yield: 0.85,
+                config: cfg(Method::Naive, 5),
+            },
+            // Already passing: accepted on the first rung with zero steps.
+            SizeQuery {
+                spec: spec5,
+                plan: plan(8, 24.0),
+                variation: v,
+                deadline: nominal5 * 1.5,
+                target_yield: 0.9,
+                config: cfg(Method::Naive, 6),
+            },
+            // Hopeless deadline (well under the wire RC alone): the whole
+            // ladder is walked and exhausted.
+            SizeQuery {
+                spec: spec5,
+                plan: plan(8, 8.0),
+                variation: v,
+                deadline: Time::ps(10.0),
+                target_yield: 0.9,
+                config: cfg(Method::Naive, 7),
+            },
+        ];
+        let batched = ev.size_for_yield_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        assert_eq!(batched[3].as_ref().map(|s| s.steps), Some(0));
+        assert!(batched[4].is_none(), "hopeless ladder exhausts");
+        for (i, (q, b)) in queries.iter().zip(&batched).enumerate() {
+            let solo = ev.size_for_yield_with(
+                &q.spec,
+                &q.plan,
+                &q.variation,
+                q.deadline,
+                q.target_yield,
+                &q.config,
+            );
+            match (&solo, b) {
+                (None, None) => {}
+                (Some(s), Some(b)) => {
+                    assert_eq!(s.plan, b.plan, "job {i} plan");
+                    assert_eq!(s.steps, b.steps, "job {i} steps");
+                    assert_eq!(
+                        s.achieved_yield.to_bits(),
+                        b.achieved_yield.to_bits(),
+                        "job {i} yield bits"
+                    );
+                }
+                _ => panic!("job {i}: solo {solo:?} vs batched {b:?}"),
+            }
+        }
+        assert!(ev.size_for_yield_batch(&[]).is_empty());
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub struct EvalRequest {
     pub count: Option<u64>,
     /// Repeater nMOS width override, micrometers.
     pub wn_um: Option<f64>,
+    /// Process-corner spelling (`"tt"`, `"ss"`, `"ff"`; omitted = typical).
+    pub corner: Option<String>,
 }
 
 /// Response to [`EvalRequest`].
@@ -64,6 +66,8 @@ pub struct YieldRequest {
     pub rho: Option<f64>,
     /// Number of equal correlation regions along the line (with `rho`).
     pub regions: Option<u64>,
+    /// Process-corner spelling (`"tt"`, `"ss"`, `"ff"`; omitted = typical).
+    pub corner: Option<String>,
 }
 
 /// Response to [`YieldRequest`].
@@ -99,6 +103,8 @@ pub struct SizeRequest {
     pub seed: u64,
     /// CI half-width target, percent yield.
     pub ci_pct: f64,
+    /// Process-corner spelling (`"tt"`, `"ss"`, `"ff"`; omitted = typical).
+    pub corner: Option<String>,
 }
 
 /// Response to [`SizeRequest`].
@@ -179,6 +185,8 @@ pub enum ApiResponse {
         status: u16,
         /// Human-readable cause.
         message: String,
+        /// `Retry-After` header value, seconds (shed/overload 503s only).
+        retry_after: Option<u64>,
     },
 }
 
@@ -221,6 +229,16 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+fn opt_str(v: &Json, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| format!("non-string field `{key}`")),
+    }
+}
+
 fn opt_bool(v: &Json, key: &str) -> Result<bool, String> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(false),
@@ -232,6 +250,10 @@ fn opt_bool(v: &Json, key: &str) -> Result<bool, String> {
 
 fn opt_member(key: &str, v: Option<f64>) -> Option<(String, Json)> {
     v.map(|x| (key.to_owned(), Json::Num(x)))
+}
+
+fn opt_str_member(key: &str, v: &Option<String>) -> Option<(String, Json)> {
+    v.as_ref().map(|s| (key.to_owned(), Json::Str(s.clone())))
 }
 
 impl EvalRequest {
@@ -246,6 +268,7 @@ impl EvalRequest {
             members.push(("count".to_owned(), Json::Int(i128::from(c))));
         }
         members.extend(opt_member("wn_um", self.wn_um));
+        members.extend(opt_str_member("corner", &self.corner));
         Json::Obj(members)
     }
 
@@ -260,6 +283,7 @@ impl EvalRequest {
             length_mm: need_f64(v, "length_mm")?,
             count: opt_u64(v, "count")?,
             wn_um: opt_f64(v, "wn_um")?,
+            corner: opt_str(v, "corner")?,
         })
     }
 }
@@ -308,6 +332,7 @@ impl YieldRequest {
         if let Some(r) = self.regions {
             members.push(("regions".to_owned(), Json::Int(i128::from(r))));
         }
+        members.extend(opt_str_member("corner", &self.corner));
         Json::Obj(members)
     }
 
@@ -327,6 +352,7 @@ impl YieldRequest {
             cv: opt_bool(v, "cv")?,
             rho: opt_f64(v, "rho")?,
             regions: opt_u64(v, "regions")?,
+            corner: opt_str(v, "corner")?,
         })
     }
 }
@@ -367,15 +393,17 @@ impl SizeRequest {
     /// Encodes to the wire JSON value.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        obj(vec![
-            ("tech", Json::Str(self.tech.clone())),
-            ("length_mm", Json::Num(self.length_mm)),
-            ("deadline_ps", Json::Num(self.deadline_ps)),
-            ("target_yield", Json::Num(self.target_yield)),
-            ("estimator", Json::Str(self.estimator.clone())),
-            ("seed", Json::Int(i128::from(self.seed))),
-            ("ci_pct", Json::Num(self.ci_pct)),
-        ])
+        let mut members = vec![
+            ("tech".to_owned(), Json::Str(self.tech.clone())),
+            ("length_mm".to_owned(), Json::Num(self.length_mm)),
+            ("deadline_ps".to_owned(), Json::Num(self.deadline_ps)),
+            ("target_yield".to_owned(), Json::Num(self.target_yield)),
+            ("estimator".to_owned(), Json::Str(self.estimator.clone())),
+            ("seed".to_owned(), Json::Int(i128::from(self.seed))),
+            ("ci_pct".to_owned(), Json::Num(self.ci_pct)),
+        ];
+        members.extend(opt_str_member("corner", &self.corner));
+        Json::Obj(members)
     }
 
     /// Decodes from the wire JSON value.
@@ -392,6 +420,7 @@ impl SizeRequest {
             estimator: need_str(v, "estimator")?,
             seed: need_u64(v, "seed")?,
             ci_pct: need_f64(v, "ci_pct")?,
+            corner: opt_str(v, "corner")?,
         })
     }
 }
@@ -550,10 +579,20 @@ impl ApiResponse {
             ApiResponse::Yield(r) => r.to_json(),
             ApiResponse::Size(r) => r.to_json(),
             ApiResponse::NetYield(r) => r.to_json(),
-            ApiResponse::Error { status, message } => obj(vec![
-                ("error", Json::Str(message.clone())),
-                ("status", Json::Int(i128::from(*status))),
-            ]),
+            ApiResponse::Error {
+                status,
+                message,
+                retry_after,
+            } => {
+                let mut members = vec![
+                    ("error".to_owned(), Json::Str(message.clone())),
+                    ("status".to_owned(), Json::Int(i128::from(*status))),
+                ];
+                if let Some(s) = retry_after {
+                    members.push(("retry_after_s".to_owned(), Json::Int(i128::from(*s))));
+                }
+                Json::Obj(members)
+            }
         }
     }
 
@@ -563,6 +602,26 @@ impl ApiResponse {
         ApiResponse::Error {
             status,
             message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// Shorthand for an overload shed: `503` carrying a `Retry-After`.
+    #[must_use]
+    pub fn overloaded(message: impl Into<String>, retry_after_s: u64) -> Self {
+        ApiResponse::Error {
+            status: 503,
+            message: message.into(),
+            retry_after: Some(retry_after_s),
+        }
+    }
+
+    /// `Retry-After` seconds to attach to the HTTP response, if any.
+    #[must_use]
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ApiResponse::Error { retry_after, .. } => *retry_after,
+            _ => None,
         }
     }
 }
@@ -582,6 +641,10 @@ mod tests {
         }
     }
 
+    fn arb_corner(rng: &mut Rng) -> Option<String> {
+        (rng.below(2) == 0).then(|| ["tt", "ss", "ff", "typical"][rng.below(4)].to_owned())
+    }
+
     fn arb_request(rng: &mut Rng) -> ApiRequest {
         let tech = ["65nm", "n45", "90", "130nm"][rng.below(4)].to_owned();
         let est = ["naive", "sobol-scrambled", "importance", "analytic"][rng.below(4)].to_owned();
@@ -591,6 +654,7 @@ mod tests {
                 length_mm: arb_f64(rng),
                 count: (rng.below(2) == 0).then(|| rng.next_u64() % 64),
                 wn_um: (rng.below(2) == 0).then(|| arb_f64(rng)),
+                corner: arb_corner(rng),
             }),
             1 => ApiRequest::Yield(YieldRequest {
                 tech,
@@ -602,6 +666,7 @@ mod tests {
                 cv: rng.below(2) == 0,
                 rho: (rng.below(2) == 0).then(|| rng.random_unit()),
                 regions: (rng.below(2) == 0).then(|| 1 + rng.next_u64() % 16),
+                corner: arb_corner(rng),
             }),
             2 => ApiRequest::Size(SizeRequest {
                 tech,
@@ -611,6 +676,7 @@ mod tests {
                 estimator: est,
                 seed: rng.next_u64(),
                 ci_pct: arb_f64(rng),
+                corner: arb_corner(rng),
             }),
             _ => ApiRequest::NetYield(NetYieldRequest {
                 design: ["dvopd", "vproc"][rng.below(2)].to_owned(),
@@ -701,9 +767,23 @@ mod tests {
             cv: false,
             rho: None,
             regions: None,
+            corner: None,
         };
         let v = parse(&req.to_json().render()).unwrap();
         assert_eq!(YieldRequest::from_json(&v).unwrap().seed, u64::MAX - 3);
+    }
+
+    #[test]
+    fn overload_errors_carry_retry_after() {
+        let shed = ApiResponse::overloaded("queue under pressure", 2);
+        assert_eq!(shed.status(), 503);
+        assert_eq!(shed.retry_after(), Some(2));
+        let text = shed.to_json().render();
+        assert!(text.contains("\"retry_after_s\":2"), "{text}");
+        // Plain errors stay bare: no header, no body field.
+        let plain = ApiResponse::error(400, "bad");
+        assert_eq!(plain.retry_after(), None);
+        assert!(!plain.to_json().render().contains("retry_after_s"));
     }
 
     #[test]

@@ -1,58 +1,83 @@
-//! Request batching: a bounded queue, a drain-and-coalesce batcher, and
-//! the executors that turn coalesced requests into answers.
+//! Request batching: a bounded queue with load-aware admission control,
+//! a drain-and-coalesce batcher, and the executors that turn coalesced
+//! requests into answers.
 //!
-//! The scaling idea: concurrent requests that share a technology node are
-//! drained together and dispatched as **one** structure-of-arrays sweep
-//! through the batch entry points of `pi-core`/`pi-cosi`
-//! (`timing_batch`, `timing_yield_estimate_batch`,
-//! `network_yield_estimates`), so N requests pay for one pass through the
-//! `pi_rt::par_map` workers instead of N thread-pool round trips — and
-//! net-yield requests sharing a `(design, clock)` pay for one network
-//! lowering instead of N.
+//! The scaling idea: concurrent requests that share a `(technology node,
+//! process corner)` pair are drained together and dispatched as **one**
+//! structure-of-arrays sweep through the batch entry points of
+//! `pi-core`/`pi-cosi` (`timing_batch`, `timing_yield_estimate_batch`,
+//! `size_for_yield_batch`, `network_yield_estimates`), so N requests pay
+//! for one pass through the `pi_rt::par_map` workers instead of N
+//! thread-pool round trips — and net-yield requests sharing a
+//! `(design, clock)` pay for one network lowering instead of N.
 //!
 //! Batching is **transparent**: each query keeps its own seed-derived RNG
 //! streams, the batch entry points run estimators in input order, and the
 //! executors only group — they never reorder work inside a group — so a
 //! batched response is bit-identical to the one-shot CLI equivalent. The
-//! determinism suite (section 10) pins this.
+//! determinism suite (sections 10 and 11) pins this, including batched
+//! sizing, whose bisection ladder advances in lock-step sweeps.
+//!
+//! Admission control is load-aware: once the queue passes the shed
+//! threshold, expensive queries (`/v1/yield`, `/v1/size`,
+//! `/v1/net-yield`) are answered `503` with a `Retry-After` hint while
+//! cheap evals keep flowing, and a full queue sheds everything. Shed
+//! counts surface as the `serve.shed` counter and in `/v1/stats`.
 //!
 //! Observability: `serve.queue_wait` spans cover a handler blocked on the
-//! batcher, `serve.batch` spans cover one coalesced execution, and the
-//! `serve.batch_size` histogram records how much coalescing actually
-//! happened.
+//! batcher, `serve.batch` spans cover one coalesced execution, the
+//! `serve.batch_size` and `serve.size_batch` histograms record how much
+//! coalescing actually happened, and `serve.queue_depth_hwm` gauges the
+//! high-water mark of the queue.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pi_core::line::{BufferingPlan, LineSpec};
-use pi_core::variation::{VariationModel, YieldQuery};
+use pi_core::variation::{SizeQuery, VariationModel, YieldQuery};
 use pi_core::YieldSizing;
 use pi_tech::units::{Freq, Length, Time};
-use pi_tech::DesignStyle;
+use pi_tech::{Corner, DesignStyle, TechNode};
 use pi_yield::{EstimatorConfig, Method, YieldEstimate};
 
 use crate::api::{
     ApiRequest, ApiResponse, EvalResponse, NetYieldRequest, NetYieldResponse, SizeRequest,
     SizeResponse, YieldRequest, YieldResponse,
 };
+use crate::server::ServerStats;
 use crate::store::{NodeContext, NodeStore};
 
-/// One queued request with its response channel.
-#[derive(Debug)]
+/// How a job's answer leaves the batcher: a boxed callback so both
+/// connection models plug in — thread mode sends on an mpsc channel the
+/// handler blocks on, the event loop pushes a completion and wakes the
+/// poll thread.
+pub type Responder = Box<dyn FnOnce(ApiResponse) + Send + 'static>;
+
+/// One queued request with its response path.
 pub struct Job {
     /// The decoded request.
     pub request: ApiRequest,
     /// When it entered the queue (for the queue-wait histogram).
     pub enqueued: Instant,
-    resp: mpsc::Sender<ApiResponse>,
+    resp: Responder,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("request", &self.request)
+            .field("enqueued", &self.enqueued)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Job {
-    /// Sends the response (ignoring a handler that already hung up).
+    /// Sends the response (a responder whose receiver hung up is a no-op).
     pub fn respond(self, response: ApiResponse) {
-        let _ = self.resp.send(response);
+        (self.resp)(response);
     }
 }
 
@@ -66,57 +91,118 @@ pub struct Batcher {
     state: Mutex<QueueState>,
     ready: Condvar,
     depth: usize,
+    shed_threshold: usize,
+    retry_after_s: u64,
+    shed: AtomicU64,
+    hwm: AtomicU64,
 }
 
 impl std::fmt::Debug for Batcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Batcher")
             .field("depth", &self.depth)
+            .field("shed_threshold", &self.shed_threshold)
             .finish()
     }
 }
 
+/// Whether a request is expensive enough to shed under load (an estimator
+/// run or a sizing search, versus a closed-form model eval).
+fn is_expensive(request: &ApiRequest) -> bool {
+    matches!(
+        request,
+        ApiRequest::Yield(_) | ApiRequest::Size(_) | ApiRequest::NetYield(_)
+    )
+}
+
 impl Batcher {
-    /// A queue bounded at `depth` outstanding jobs.
+    /// A queue bounded at `depth` outstanding jobs, shedding expensive
+    /// queries only when completely full.
     #[must_use]
     pub fn new(depth: usize) -> Arc<Self> {
+        Self::with_admission(depth, depth, 1)
+    }
+
+    /// A queue bounded at `depth`, shedding expensive queries once
+    /// `shed_threshold` jobs are outstanding, with `retry_after_s` as the
+    /// `Retry-After` hint on shed responses.
+    #[must_use]
+    pub fn with_admission(depth: usize, shed_threshold: usize, retry_after_s: u64) -> Arc<Self> {
+        let depth = depth.max(1);
         Arc::new(Batcher {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
-            depth: depth.max(1),
+            depth,
+            shed_threshold: shed_threshold.clamp(1, depth),
+            retry_after_s,
+            shed: AtomicU64::new(0),
+            hwm: AtomicU64::new(0),
         })
     }
 
     /// Enqueues a request. Returns the channel the response will arrive
-    /// on, or the `503` to answer immediately when the queue is full or
-    /// the server is draining.
+    /// on, or the `503` to answer immediately when admission control
+    /// rejects it.
     ///
     /// # Errors
     ///
     /// The ready-made `503` [`ApiResponse`] on overload/shutdown.
     pub fn submit(&self, request: ApiRequest) -> Result<mpsc::Receiver<ApiResponse>, ApiResponse> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(
+            request,
+            Box::new(move |resp| {
+                let _ = tx.send(resp);
+            }),
+        )?;
+        Ok(rx)
+    }
+
+    /// Enqueues a request with an explicit responder — the event-loop
+    /// entry point. On rejection the responder is **not** invoked; the
+    /// caller answers the returned `503` itself.
+    ///
+    /// # Errors
+    ///
+    /// The ready-made `503` [`ApiResponse`] on overload/shutdown.
+    pub fn submit_with(&self, request: ApiRequest, resp: Responder) -> Result<(), ApiResponse> {
         let mut st = self.state.lock().expect("batch queue poisoned");
         if st.closed {
             return Err(ApiResponse::error(503, "server is shutting down"));
         }
         if st.jobs.len() >= self.depth {
             pi_obs::counter_add("serve.queue_full", 1);
-            return Err(ApiResponse::error(
-                503,
+            return Err(ApiResponse::overloaded(
                 format!("request queue full ({} outstanding)", self.depth),
+                self.retry_after_s,
             ));
         }
-        let (tx, rx) = mpsc::channel();
+        if st.jobs.len() >= self.shed_threshold && is_expensive(&request) {
+            pi_obs::counter_add("serve.shed", 1);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ApiResponse::overloaded(
+                format!(
+                    "overloaded ({} of {} queued): shedding expensive queries",
+                    st.jobs.len(),
+                    self.depth
+                ),
+                self.retry_after_s,
+            ));
+        }
         st.jobs.push_back(Job {
             request,
             enqueued: Instant::now(),
-            resp: tx,
+            resp,
         });
+        let now = st.jobs.len() as u64;
+        if now > self.hwm.fetch_max(now, Ordering::Relaxed) {
+            pi_obs::gauge_set("serve.queue_depth_hwm", now as f64);
+        }
         self.ready.notify_all();
-        Ok(rx)
+        Ok(())
     }
 
     /// Blocks until at least one job is queued, then waits up to `window`
@@ -178,14 +264,31 @@ impl Batcher {
         self.len() == 0
     }
 
-    /// Closes the queue: pending jobs are dropped (their handlers see a
-    /// closed channel and answer 503), later submits fail fast, and the
-    /// batcher loop drains out.
+    /// Expensive queries shed by admission control so far.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has ever been.
+    #[must_use]
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.hwm.load(Ordering::Relaxed)
+    }
+
+    /// Closes the queue: pending jobs are answered `503`, later submits
+    /// fail fast, and the batcher loop drains out.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("batch queue poisoned");
-        st.closed = true;
-        st.jobs.clear();
-        self.ready.notify_all();
+        let pending: Vec<Job> = {
+            let mut st = self.state.lock().expect("batch queue poisoned");
+            st.closed = true;
+            self.ready.notify_all();
+            st.jobs.drain(..).collect()
+        };
+        // Answer outside the lock: a responder may re-enter the server.
+        for job in pending {
+            job.respond(ApiResponse::error(503, "server is shutting down"));
+        }
     }
 }
 
@@ -219,6 +322,35 @@ fn lower_yield(ctx: &NodeContext, r: &YieldRequest) -> Result<YieldQuery, String
         variation,
         deadline: Time::ps(r.deadline_ps),
         config: estimator_config(&r.estimator, r.seed, r.ci_pct, r.cv)?,
+    })
+}
+
+/// A lowered, validated size request: the exact `pi size` CLI recipe.
+fn lower_size(ctx: &NodeContext, r: &SizeRequest) -> Result<SizeQuery, String> {
+    let length = parse_length_mm(r.length_mm)?;
+    let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+    let plan = ctx
+        .plan_for(length)
+        .ok_or("empty buffering search space for this length")?;
+    if !(r.deadline_ps.is_finite() && r.deadline_ps > 0.0) {
+        return Err(format!(
+            "deadline_ps must be positive, got {}",
+            r.deadline_ps
+        ));
+    }
+    if !(r.target_yield > 0.0 && r.target_yield <= 1.0) {
+        return Err(format!(
+            "target_yield must be in (0, 1], got {}",
+            r.target_yield
+        ));
+    }
+    Ok(SizeQuery {
+        spec,
+        plan,
+        variation: VariationModel::nominal(),
+        deadline: Time::ps(r.deadline_ps),
+        target_yield: r.target_yield,
+        config: estimator_config(&r.estimator, r.seed, r.ci_pct, false)?,
     })
 }
 
@@ -265,41 +397,6 @@ fn size_response(sized: &YieldSizing) -> SizeResponse {
     }
 }
 
-/// Executes one size request (sizing is a sequential search — it cannot
-/// be coalesced, only share the warm store).
-fn execute_size(ctx: &NodeContext, r: &SizeRequest) -> Result<SizeResponse, String> {
-    let length = parse_length_mm(r.length_mm)?;
-    let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
-    let plan = ctx
-        .plan_for(length)
-        .ok_or("empty buffering search space for this length")?;
-    if !(r.deadline_ps.is_finite() && r.deadline_ps > 0.0) {
-        return Err(format!(
-            "deadline_ps must be positive, got {}",
-            r.deadline_ps
-        ));
-    }
-    if !(r.target_yield > 0.0 && r.target_yield <= 1.0) {
-        return Err(format!(
-            "target_yield must be in (0, 1], got {}",
-            r.target_yield
-        ));
-    }
-    let config = estimator_config(&r.estimator, r.seed, r.ci_pct, false)?;
-    let sized = ctx
-        .evaluator()
-        .size_for_yield_with(
-            &spec,
-            &plan,
-            &VariationModel::nominal(),
-            Time::ps(r.deadline_ps),
-            r.target_yield,
-            &config,
-        )
-        .ok_or("no plan in the search range reaches the target yield")?;
-    Ok(size_response(&sized))
-}
-
 /// Validated inputs of one net-yield request.
 fn lower_net_yield(r: &NetYieldRequest) -> Result<(Freq, EstimatorConfig), String> {
     if !(r.clock_ghz.is_finite() && r.clock_ghz > 0.0 && r.clock_ghz <= 20.0) {
@@ -311,12 +408,12 @@ fn lower_net_yield(r: &NetYieldRequest) -> Result<(Freq, EstimatorConfig), Strin
     ))
 }
 
-/// Executes one drained batch: requests are grouped by technology node
-/// (and, for net-yield, by `(design, clock)`), each group runs through
-/// the corresponding batch entry point, and every job is answered on its
-/// channel. Invalid requests are answered `400` without disturbing the
-/// rest of the batch.
-pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>) {
+/// Executes one drained batch: requests are grouped by `(technology
+/// node, corner)` (and, for net-yield, by `(design, clock)`), each group
+/// runs through the corresponding batch entry point, and every job is
+/// answered on its responder. Invalid requests are answered `400`
+/// without disturbing the rest of the batch.
+pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
     if jobs.is_empty() {
         return;
     }
@@ -327,25 +424,31 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>) {
     // Slots: response per job index; grouped work fills them in.
     let mut slots: Vec<Option<ApiResponse>> = Vec::with_capacity(jobs.len());
 
-    // Group keys carry the node so different technologies never share a
-    // sweep (their evaluators differ), per the store's sharding.
-    type Grouped<K, V> = HashMap<K, Vec<(usize, V)>>;
-    let mut eval_groups: Grouped<pi_tech::TechNode, (LineSpec, BufferingPlan)> = HashMap::new();
-    let mut yield_groups: Grouped<pi_tech::TechNode, YieldQuery> = HashMap::new();
-    let mut net_groups: Grouped<(pi_tech::TechNode, String, u64), EstimatorConfig> = HashMap::new();
+    // Group keys carry the node *and* corner so different technologies or
+    // corners never share a sweep (their evaluators differ), per the
+    // store's sharding.
+    type Key = (TechNode, Corner);
+    type NetKey = (TechNode, Corner, String, u64);
+    type Grouped<V> = HashMap<Key, Vec<(usize, V)>>;
+    let mut contexts: HashMap<Key, Arc<NodeContext>> = HashMap::new();
+    let mut eval_groups: Grouped<(LineSpec, BufferingPlan)> = HashMap::new();
+    let mut yield_groups: Grouped<YieldQuery> = HashMap::new();
+    let mut size_groups: Grouped<SizeQuery> = HashMap::new();
+    let mut net_groups: HashMap<NetKey, Vec<(usize, EstimatorConfig)>> = HashMap::new();
 
     for (i, job) in jobs.iter().enumerate() {
         let outcome: Result<(), ApiResponse> = (|| {
-            let tech_spelling = match &job.request {
-                ApiRequest::Eval(r) => &r.tech,
-                ApiRequest::Yield(r) => &r.tech,
-                ApiRequest::Size(r) => &r.tech,
-                ApiRequest::NetYield(r) => &r.tech,
+            let (tech_spelling, corner) = match &job.request {
+                ApiRequest::Eval(r) => (&r.tech, r.corner.as_deref()),
+                ApiRequest::Yield(r) => (&r.tech, r.corner.as_deref()),
+                ApiRequest::Size(r) => (&r.tech, r.corner.as_deref()),
+                ApiRequest::NetYield(r) => (&r.tech, None),
             };
             let ctx = store
-                .context_for(tech_spelling)
+                .context_for(tech_spelling, corner)
                 .map_err(|e| ApiResponse::error(400, e))?;
-            let node = ctx.tech.node();
+            let key = (ctx.tech.node(), ctx.corner());
+            contexts.entry(key).or_insert_with(|| Arc::clone(&ctx));
             match &job.request {
                 ApiRequest::Eval(r) => {
                     let length =
@@ -366,24 +469,21 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>) {
                         }
                         plan.wn = Length::um(wn);
                     }
-                    eval_groups.entry(node).or_default().push((i, (spec, plan)));
+                    eval_groups.entry(key).or_default().push((i, (spec, plan)));
                 }
                 ApiRequest::Yield(r) => {
                     let query = lower_yield(&ctx, r).map_err(|e| ApiResponse::error(400, e))?;
-                    yield_groups.entry(node).or_default().push((i, query));
+                    yield_groups.entry(key).or_default().push((i, query));
                 }
                 ApiRequest::Size(r) => {
-                    // Sized inline below (sequential search, no coalescing).
-                    let resp = execute_size(&ctx, r)
-                        .map(ApiResponse::Size)
-                        .unwrap_or_else(|e| ApiResponse::error(400, e));
-                    return Err(resp);
+                    let query = lower_size(&ctx, r).map_err(|e| ApiResponse::error(400, e))?;
+                    size_groups.entry(key).or_default().push((i, query));
                 }
                 ApiRequest::NetYield(r) => {
                     let (clock, config) =
                         lower_net_yield(r).map_err(|e| ApiResponse::error(400, e))?;
                     net_groups
-                        .entry((node, r.design.clone(), clock.si().to_bits()))
+                        .entry((key.0, key.1, r.design.clone(), clock.si().to_bits()))
                         .or_default()
                         .push((i, config));
                 }
@@ -393,9 +493,15 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>) {
         slots.push(outcome.err());
     }
 
-    // Coalesced model-eval sweeps, one per node.
-    for (node, group) in eval_groups {
-        let ctx = store.context(node);
+    let ctx_of = |key: &Key| -> &Arc<NodeContext> {
+        contexts
+            .get(key)
+            .expect("every grouped job resolved a context")
+    };
+
+    // Coalesced model-eval sweeps, one per (node, corner).
+    for (key, group) in eval_groups {
+        let ctx = ctx_of(&key);
         let ev = ctx.evaluator();
         let items: Vec<(LineSpec, BufferingPlan)> = group.iter().map(|(_, it)| *it).collect();
         let timings = ev.timing_batch(&items);
@@ -409,9 +515,9 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>) {
         }
     }
 
-    // Coalesced yield sweeps, one per node.
-    for (node, group) in yield_groups {
-        let ctx = store.context(node);
+    // Coalesced yield sweeps, one per (node, corner).
+    for (key, group) in yield_groups {
+        let ctx = ctx_of(&key);
         let ev = ctx.evaluator();
         let queries: Vec<YieldQuery> = group.iter().map(|(_, q)| *q).collect();
         let estimates = ev.timing_yield_estimate_batch(&queries);
@@ -420,9 +526,32 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>) {
         }
     }
 
-    // Net-yield: one network lowering per (node, design, clock) group.
-    for ((node, design, clock_bits), group) in net_groups {
-        let ctx = store.context(node);
+    // Coalesced sizing: every in-flight search advances its bisection
+    // ladder through shared `timing_yield_estimate_batch` sweeps instead
+    // of running a private estimator loop per job.
+    for (key, group) in size_groups {
+        let ctx = ctx_of(&key);
+        let ev = ctx.evaluator();
+        stats.size_sweeps.fetch_add(1, Ordering::Relaxed);
+        stats
+            .size_jobs
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+        pi_obs::hist_record("serve.size_batch", group.len() as f64);
+        let queries: Vec<SizeQuery> = group.iter().map(|(_, q)| *q).collect();
+        let results = ev.size_for_yield_batch(&queries);
+        for ((i, _), result) in group.into_iter().zip(results) {
+            slots[i] = Some(match result {
+                Some(sized) => ApiResponse::Size(size_response(&sized)),
+                None => {
+                    ApiResponse::error(400, "no plan in the search range reaches the target yield")
+                }
+            });
+        }
+    }
+
+    // Net-yield: one network lowering per (node, corner, design, clock).
+    for ((node, corner, design, clock_bits), group) in net_groups {
+        let ctx = ctx_of(&(node, corner));
         let clock = Freq::hz(f64::from_bits(clock_bits));
         match ctx.network_for(&design, clock) {
             Err(e) => {
@@ -488,6 +617,7 @@ mod tests {
             length_mm: mm,
             count: None,
             wn_um: None,
+            corner: None,
         })
     }
 
@@ -502,6 +632,20 @@ mod tests {
             cv: false,
             rho: None,
             regions: None,
+            corner: None,
+        })
+    }
+
+    fn size_request(seed: u64, est: &str, length_mm: f64, deadline_ps: f64) -> ApiRequest {
+        ApiRequest::Size(SizeRequest {
+            tech: "65nm".to_owned(),
+            length_mm,
+            deadline_ps,
+            target_yield: 0.9,
+            estimator: est.to_owned(),
+            seed,
+            ci_pct: 2.0,
+            corner: None,
         })
     }
 
@@ -513,12 +657,13 @@ mod tests {
             receivers.push(q.submit(eval_request(1.0 + i as f64)).expect("queued"));
         }
         assert_eq!(q.len(), 5);
+        assert_eq!(q.queue_depth_hwm(), 5);
         // Window 0: a deterministic drain of everything queued.
         let batch = q.take_batch(Duration::ZERO).expect("open queue");
         assert_eq!(batch.len(), 5, "all queued jobs drain as one batch");
         assert!(q.is_empty());
         let store = NodeStore::default();
-        execute_batch(&store, batch);
+        execute_batch(&store, batch, &ServerStats::default());
         for rx in receivers {
             let resp = rx.recv().expect("answered");
             assert_eq!(resp.status(), 200, "{resp:?}");
@@ -532,9 +677,31 @@ mod tests {
         let _b = q.submit(eval_request(2.0)).expect("fits");
         let err = q.submit(eval_request(3.0)).expect_err("full");
         assert_eq!(err.status(), 503);
+        assert!(err.retry_after().is_some(), "full queue hints Retry-After");
         // Draining frees the slots again.
         let _ = q.take_batch(Duration::ZERO);
         assert!(q.submit(eval_request(3.0)).is_ok());
+    }
+
+    #[test]
+    fn overload_sheds_expensive_queries_before_cheap_evals() {
+        let q = Batcher::with_admission(8, 2, 7);
+        let _a = q.submit(eval_request(1.0)).expect("fits");
+        let _b = q.submit(eval_request(2.0)).expect("fits");
+        // At the threshold: estimator queries shed, evals still flow.
+        let shed = q.submit(yield_request(1, "naive")).expect_err("shed");
+        assert_eq!(shed.status(), 503);
+        assert_eq!(shed.retry_after(), Some(7));
+        let shed = q
+            .submit(size_request(1, "naive", 5.0, 700.0))
+            .expect_err("shed");
+        assert_eq!(shed.status(), 503);
+        assert!(q.submit(eval_request(3.0)).is_ok(), "evals keep flowing");
+        assert_eq!(q.shed_count(), 2);
+        // Draining back below the threshold re-admits expensive queries.
+        let _ = q.take_batch(Duration::ZERO);
+        assert!(q.submit(yield_request(1, "naive")).is_ok());
+        assert_eq!(q.queue_depth_hwm(), 3);
     }
 
     #[test]
@@ -544,8 +711,8 @@ mod tests {
         q.close();
         assert_eq!(q.submit(eval_request(2.0)).unwrap_err().status(), 503);
         assert!(q.take_batch(Duration::ZERO).is_none(), "closed and empty");
-        // The pending job was dropped: its handler sees a dead channel.
-        assert!(rx.recv().is_err());
+        // The pending job was answered 503 on close, not dropped.
+        assert_eq!(rx.recv().expect("answered").status(), 503);
     }
 
     #[test]
@@ -560,7 +727,11 @@ mod tests {
             .map(|&(seed, est)| q.submit(yield_request(seed, est)).expect("queued"))
             .collect();
         let _extra = q.submit(eval_request(5.0)).expect("queued");
-        execute_batch(&store, q.take_batch(Duration::ZERO).expect("open"));
+        execute_batch(
+            &store,
+            q.take_batch(Duration::ZERO).expect("open"),
+            &ServerStats::default(),
+        );
 
         let ctx = store.context(pi_tech::TechNode::N65);
         let ev = ctx.evaluator();
@@ -590,6 +761,89 @@ mod tests {
     }
 
     #[test]
+    fn batched_sizes_are_bit_identical_to_direct_sizing() {
+        // Two size jobs plus a yield in one batch: sizing coalesces into
+        // lock-step sweeps yet answers exactly like the solo search.
+        let store = NodeStore::default();
+        let q = Batcher::new(16);
+        let specs = [
+            (3u64, "naive", 5.0, 650.0),
+            (4, "sobol-scrambled", 8.0, 1100.0),
+        ];
+        let receivers: Vec<_> = specs
+            .iter()
+            .map(|&(seed, est, mm, dl)| q.submit(size_request(seed, est, mm, dl)).expect("queued"))
+            .collect();
+        let _extra = q.submit(yield_request(9, "naive")).expect("queued");
+        let stats = ServerStats::default();
+        execute_batch(&store, q.take_batch(Duration::ZERO).expect("open"), &stats);
+        assert_eq!(stats.size_sweeps.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.size_jobs.load(Ordering::Relaxed), 2);
+
+        let ctx = store.context(pi_tech::TechNode::N65);
+        let ev = ctx.evaluator();
+        for (&(seed, est, mm, dl), rx) in specs.iter().zip(receivers) {
+            let ApiResponse::Size(got) = rx.recv().expect("answered") else {
+                panic!("expected a size response");
+            };
+            let length = Length::mm(mm);
+            let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+            let plan = ctx.plan_for(length).expect("plan");
+            let config = estimator_config(est, seed, 2.0, false).expect("config");
+            let direct = ev
+                .size_for_yield_with(
+                    &spec,
+                    &plan,
+                    &VariationModel::nominal(),
+                    Time::ps(dl),
+                    0.9,
+                    &config,
+                )
+                .expect("solo sizing succeeds");
+            assert_eq!(direct.plan.count as u64, got.count);
+            assert_eq!(direct.plan.wn.as_um().to_bits(), got.wn_um.to_bits());
+            assert_eq!(
+                direct.achieved_yield.to_bits(),
+                got.achieved_yield.to_bits()
+            );
+            assert_eq!(direct.steps as u64, got.steps);
+        }
+    }
+
+    #[test]
+    fn corner_requests_run_on_the_corner_model() {
+        let store = NodeStore::default();
+        let q = Batcher::new(16);
+        let mut tt = eval_request(5.0);
+        let mut ss = eval_request(5.0);
+        if let ApiRequest::Eval(r) = &mut tt {
+            r.corner = Some("tt".to_owned());
+        }
+        if let ApiRequest::Eval(r) = &mut ss {
+            r.corner = Some("ss".to_owned());
+        }
+        let rx_tt = q.submit(tt).expect("queued");
+        let rx_ss = q.submit(ss).expect("queued");
+        execute_batch(
+            &store,
+            q.take_batch(Duration::ZERO).expect("open"),
+            &ServerStats::default(),
+        );
+        let ApiResponse::Eval(tt) = rx_tt.recv().expect("answered") else {
+            panic!("expected an eval response");
+        };
+        let ApiResponse::Eval(ss) = rx_ss.recv().expect("answered") else {
+            panic!("expected an eval response");
+        };
+        assert!(
+            ss.delay_ps > tt.delay_ps,
+            "slow-slow must be slower than typical: {} vs {}",
+            ss.delay_ps,
+            tt.delay_ps
+        );
+    }
+
+    #[test]
     fn invalid_requests_fail_with_400_without_poisoning_the_batch() {
         let store = NodeStore::default();
         let q = Batcher::new(16);
@@ -599,13 +853,27 @@ mod tests {
                 length_mm: 5.0,
                 count: None,
                 wn_um: None,
+                corner: None,
             }))
             .expect("queued");
         let bad_len = q.submit(eval_request(-1.0)).expect("queued");
         let bad_est = q.submit(yield_request(1, "monte-zuma")).expect("queued");
+        let bad_corner = q
+            .submit(ApiRequest::Eval(EvalRequest {
+                tech: "65nm".to_owned(),
+                length_mm: 5.0,
+                count: None,
+                wn_um: None,
+                corner: Some("sf".to_owned()),
+            }))
+            .expect("queued");
         let good = q.submit(eval_request(5.0)).expect("queued");
-        execute_batch(&store, q.take_batch(Duration::ZERO).expect("open"));
-        for rx in [bad_tech, bad_len, bad_est] {
+        execute_batch(
+            &store,
+            q.take_batch(Duration::ZERO).expect("open"),
+            &ServerStats::default(),
+        );
+        for rx in [bad_tech, bad_len, bad_est, bad_corner] {
             assert_eq!(rx.recv().expect("answered").status(), 400);
         }
         assert_eq!(good.recv().expect("answered").status(), 200);

@@ -1,10 +1,13 @@
 //! `pi-load` — synthetic-traffic load generator for a running `pi serve`.
 //!
 //! ```text
-//! pi-load [--addr HOST:PORT] [--qps N] [--concurrency N] [--duration SECS]
-//!         [--yield-pct N] [--seed N] [--tech NODE] [--json]
+//! pi-load [--addr HOST:PORT] [--qps N] [--concurrency N] [--conns N]
+//!         [--duration SECS] [--yield-pct N] [--size-pct N] [--seed N]
+//!         [--tech NODE] [--json]
 //! ```
 //!
+//! `--conns` fans the run out over N persistent connections independent
+//! of the offered QPS; the report breaks responses down per status code.
 //! Exits nonzero when any request failed, so scripts can gate on a clean
 //! run.
 
@@ -13,7 +16,8 @@ use pi_serve::load::{run_load, LoadConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: pi-load [--addr HOST:PORT] [--qps N] [--concurrency N] \
-         [--duration SECS] [--yield-pct N] [--seed N] [--tech NODE] [--json]"
+         [--conns N] [--duration SECS] [--yield-pct N] [--size-pct N] \
+         [--seed N] [--tech NODE] [--json]"
     );
     std::process::exit(2);
 }
@@ -39,12 +43,20 @@ fn main() {
                 Ok(v) => config.concurrency = v,
                 Err(_) => usage(),
             },
+            "--conns" => match value("--conns").parse() {
+                Ok(v) => config.conns = v,
+                Err(_) => usage(),
+            },
             "--duration" => match value("--duration").parse() {
                 Ok(v) => config.duration_s = v,
                 Err(_) => usage(),
             },
             "--yield-pct" => match value("--yield-pct").parse() {
                 Ok(v) => config.yield_pct = v,
+                Err(_) => usage(),
+            },
+            "--size-pct" => match value("--size-pct").parse() {
+                Ok(v) => config.size_pct = v,
                 Err(_) => usage(),
             },
             "--seed" => match value("--seed").parse() {

@@ -1,10 +1,13 @@
 //! Server configuration from `PI_SERVE_*` environment variables.
 //!
-//! | variable          | meaning                              | default |
-//! |-------------------|--------------------------------------|---------|
-//! | `PI_SERVE_PORT`   | TCP port to bind (`0` = ephemeral)   | 7878    |
-//! | `PI_SERVE_BATCH_US` | batching window, microseconds      | 500     |
-//! | `PI_SERVE_QUEUE`  | bounded request-queue depth          | 1024    |
+//! | variable          | meaning                                | default |
+//! |-------------------|----------------------------------------|---------|
+//! | `PI_SERVE_PORT`   | TCP port to bind (`0` = ephemeral)     | 7878    |
+//! | `PI_SERVE_BATCH_US` | batching window, microseconds        | 500     |
+//! | `PI_SERVE_QUEUE`  | bounded request-queue depth            | 1024    |
+//! | `PI_SERVE_IO`     | connection handling: `poll` / `threads`| poll    |
+//! | `PI_SERVE_SHED_PCT` | queue fill (percent of depth) above which expensive requests shed | 75 |
+//! | `PI_SERVE_RETRY_AFTER_S` | `Retry-After` seconds on a shed/overload 503 | 1 |
 //!
 //! Near-miss values follow the `PI_THREADS` / `PI_CHAR_CACHE` discipline
 //! (see `pi_rt::thread_count` and `pi_core::char_cache`): a value that is
@@ -12,6 +15,32 @@
 //! naming the value actually used**, instead of silently becoming the
 //! default or crashing the server at startup. A parseable but out-of-range
 //! value is clamped, again with a warning carrying the effective value.
+//! The string-valued `PI_SERVE_IO` follows the same policy: an unknown
+//! spelling warns once and uses the default `poll` mode.
+
+/// How connections are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One `poll(2)`-driven I/O thread owns every connection (the
+    /// default): non-blocking sockets, per-connection buffers, keep-alive
+    /// and pipelining preserved.
+    #[default]
+    Poll,
+    /// One handler thread per connection — the pinned reference mode the
+    /// event loop is checked against (`PI_SERVE_IO=threads`).
+    Threads,
+}
+
+impl IoMode {
+    /// Stable spelling (`poll` / `threads`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Poll => "poll",
+            IoMode::Threads => "threads",
+        }
+    }
+}
 
 /// Resolved server configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +53,15 @@ pub struct ServeConfig {
     pub batch_window_us: u64,
     /// Bounded queue depth; requests beyond it are answered `503`.
     pub queue_depth: usize,
+    /// Connection-handling mode.
+    pub io: IoMode,
+    /// Queue fill percentage (of `queue_depth`) at which **expensive**
+    /// requests (yield / size / net-yield) are shed with `503` +
+    /// `Retry-After` while cheap evals still queue. `100` disables
+    /// shedding (it coincides with the queue-full bound).
+    pub shed_pct: u64,
+    /// `Retry-After` value, seconds, attached to shed/overload responses.
+    pub retry_after_s: u64,
 }
 
 impl Default for ServeConfig {
@@ -32,6 +70,9 @@ impl Default for ServeConfig {
             port: 7878,
             batch_window_us: 500,
             queue_depth: 1024,
+            io: IoMode::Poll,
+            shed_pct: 75,
+            retry_after_s: 1,
         }
     }
 }
@@ -51,7 +92,16 @@ impl ServeConfig {
             ) as u16,
             batch_window_us: env_u64("PI_SERVE_BATCH_US", default.batch_window_us, 0, 1_000_000),
             queue_depth: env_u64("PI_SERVE_QUEUE", default.queue_depth as u64, 1, 1 << 20) as usize,
+            io: env_io("PI_SERVE_IO", default.io),
+            shed_pct: env_u64("PI_SERVE_SHED_PCT", default.shed_pct, 1, 100),
+            retry_after_s: env_u64("PI_SERVE_RETRY_AFTER_S", default.retry_after_s, 1, 3600),
         }
+    }
+
+    /// Queued-job count at which expensive requests start shedding.
+    #[must_use]
+    pub fn shed_threshold(&self) -> usize {
+        ((self.queue_depth as u64 * self.shed_pct) / 100).max(1) as usize
     }
 }
 
@@ -82,9 +132,40 @@ fn env_u64(name: &'static str, default: u64, min: u64, max: u64) -> u64 {
     }
 }
 
+/// Parses `PI_SERVE_IO`: `poll` / `threads` (trimmed, case-insensitive);
+/// anything else warns once and uses the default mode.
+fn env_io(name: &'static str, default: IoMode) -> IoMode {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "poll" => IoMode::Poll,
+        "threads" => IoMode::Threads,
+        _ => {
+            pi_obs::warn_once(
+                name,
+                &format!(
+                    "{name}=`{raw}` is not `poll` or `threads`; using the default `{}`",
+                    default.name()
+                ),
+            );
+            default
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const KEYS: [&str; 6] = [
+        "PI_SERVE_PORT",
+        "PI_SERVE_BATCH_US",
+        "PI_SERVE_QUEUE",
+        "PI_SERVE_IO",
+        "PI_SERVE_SHED_PCT",
+        "PI_SERVE_RETRY_AFTER_S",
+    ];
 
     // Env-var mutation is process-global, so every case runs inside this
     // one test (cargo runs tests concurrently across a process's threads).
@@ -93,7 +174,7 @@ mod tests {
         let d = ServeConfig::default();
 
         // Unset → defaults.
-        for k in ["PI_SERVE_PORT", "PI_SERVE_BATCH_US", "PI_SERVE_QUEUE"] {
+        for k in KEYS {
             std::env::remove_var(k);
         }
         assert_eq!(ServeConfig::from_env(), d);
@@ -102,14 +183,27 @@ mod tests {
         std::env::set_var("PI_SERVE_PORT", "0");
         std::env::set_var("PI_SERVE_BATCH_US", "250");
         std::env::set_var("PI_SERVE_QUEUE", "64");
+        std::env::set_var("PI_SERVE_IO", "threads");
+        std::env::set_var("PI_SERVE_SHED_PCT", "50");
+        std::env::set_var("PI_SERVE_RETRY_AFTER_S", "5");
         let c = ServeConfig::from_env();
         assert_eq!((c.port, c.batch_window_us, c.queue_depth), (0, 250, 64));
+        assert_eq!(c.io, IoMode::Threads);
+        assert_eq!((c.shed_pct, c.retry_after_s), (50, 5));
+        assert_eq!(c.shed_threshold(), 32, "50% of a 64-deep queue");
+
+        // Case-insensitive mode spellings pass through too.
+        std::env::set_var("PI_SERVE_IO", " Poll ");
+        assert_eq!(ServeConfig::from_env().io, IoMode::Poll);
 
         // Near-miss spellings fall back to the defaults (with a warning,
         // exercised once per key per process by warn_once).
         std::env::set_var("PI_SERVE_PORT", "auto");
         std::env::set_var("PI_SERVE_BATCH_US", "0.5ms");
         std::env::set_var("PI_SERVE_QUEUE", "-1");
+        std::env::set_var("PI_SERVE_IO", "epoll");
+        std::env::set_var("PI_SERVE_SHED_PCT", "most");
+        std::env::set_var("PI_SERVE_RETRY_AFTER_S", "soon");
         let c = ServeConfig::from_env();
         assert_eq!(c, d);
 
@@ -117,12 +211,17 @@ mod tests {
         std::env::set_var("PI_SERVE_PORT", "70000");
         std::env::set_var("PI_SERVE_BATCH_US", "9999999");
         std::env::set_var("PI_SERVE_QUEUE", "0");
+        std::env::set_var("PI_SERVE_SHED_PCT", "200");
+        std::env::set_var("PI_SERVE_RETRY_AFTER_S", "0");
         let c = ServeConfig::from_env();
         assert_eq!(c.port, u16::MAX);
         assert_eq!(c.batch_window_us, 1_000_000);
         assert_eq!(c.queue_depth, 1);
+        assert_eq!(c.shed_pct, 100);
+        assert_eq!(c.retry_after_s, 1);
+        assert_eq!(c.shed_threshold(), 1, "threshold never reaches zero");
 
-        for k in ["PI_SERVE_PORT", "PI_SERVE_BATCH_US", "PI_SERVE_QUEUE"] {
+        for k in KEYS {
             std::env::remove_var(k);
         }
     }

@@ -381,12 +381,36 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    write_response_with(stream, status, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response`] with extra response headers (name, value) appended
+/// after the fixed head — how overload 503s carry `Retry-After`.
+///
+/// # Errors
+///
+/// Propagates stream write errors.
+pub fn write_response_with<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -529,6 +553,35 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body_str().unwrap(), "{\"ok\":true}");
         assert!(resp.keep_alive);
+    }
+
+    #[test]
+    fn extra_headers_render_and_survive_the_client_parse() {
+        let mut wire = Vec::new();
+        write_response_with(
+            &mut wire,
+            503,
+            "application/json",
+            b"{}",
+            true,
+            &[("Retry-After", "2".to_owned())],
+        )
+        .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let resp = read_response(&mut BufReader::new(text.as_bytes()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            resp.headers
+                .iter()
+                .find(|(k, _)| k == "retry-after")
+                .map(|(_, v)| v.as_str()),
+            Some("2")
+        );
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! Poll-driven connection handling: one I/O thread multiplexes every
+//! client socket through `poll(2)`.
+//!
+//! Thread-per-connection (the `PI_SERVE_IO=threads` reference mode) burns
+//! a stack and a scheduler slot per idle keep-alive connection; at 64+
+//! persistent connections the context-switch churn dominates the cheap
+//! requests it serves. This module replaces it with the classic readiness
+//! loop: non-blocking sockets, per-connection read/write buffers and
+//! parser state, and a self-pipe waker through which batcher completions
+//! re-enter the loop. Keep-alive and pipelining are preserved —
+//! pipelined responses flush strictly in request order even though the
+//! batcher answers out of order.
+//!
+//! The syscalls (`poll`, `pipe`, `read`, `write`, `close`) are declared
+//! `extern "C"` against the libc `std` already links — no new crates,
+//! matching the workspace's zero-dependency rule. Everything else
+//! (sockets, accept) stays on `std::net` in non-blocking mode.
+//!
+//! Observability: each wakeup that carries events runs under a
+//! `serve.io_wakeup` span, the `serve.io_ready_events` histogram records
+//! how many descriptors were ready per wakeup, and failed accepts count
+//! into `serve.accept_fail`.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::api::ApiResponse;
+use crate::batch::Batcher;
+use crate::http::{read_request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
+use crate::server::{route, Rendered, RouteOutcome, ServerStats};
+
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+#[cfg(target_os = "macos")]
+type NfdsT = u32;
+#[cfg(not(target_os = "macos"))]
+type NfdsT = u64;
+
+// std links libc on every Unix target, so these entry points are
+// available without any crate dependency (same trick as the signal
+// handler in `server`).
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+    fn pipe(fds: *mut i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+/// Poll timeout: the loop re-checks the shutdown flag at least this often.
+const POLL_TIMEOUT_MS: i32 = 50;
+
+/// After shutdown, how long in-flight responses get to flush before the
+/// loop exits regardless.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// A connection's buffered input may not exceed one maximal request plus
+/// slack; beyond it the peer gets `413` and the connection closes.
+const READ_CAP: usize = MAX_HEADER_BYTES + MAX_BODY_BYTES + 1024;
+
+/// Wakes the poll loop from another thread via the self-pipe, with an
+/// atomic suppressing redundant pipe writes (at most one byte is ever in
+/// flight between drains).
+#[derive(Debug)]
+pub(crate) struct Waker {
+    write_fd: i32,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// Makes the next (or current) `poll` call return promptly.
+    pub(crate) fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            let byte = 1u8;
+            let _ = unsafe { write(self.write_fd, &byte, 1) };
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        let _ = unsafe { close(self.write_fd) };
+    }
+}
+
+/// One answered job on its way back to the loop.
+struct Completion {
+    token: usize,
+    generation: u64,
+    seq: u64,
+    response: ApiResponse,
+}
+
+/// One response slot in a connection's pipeline: filled out of order by
+/// the batcher, flushed strictly in `seq` order.
+struct Slot {
+    seq: u64,
+    keep_alive: bool,
+    ready: Option<Rendered>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    generation: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    read_closed: bool,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, generation: u64) -> Conn {
+        Conn {
+            stream,
+            generation,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: VecDeque::new(),
+            next_seq: 0,
+            read_closed: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// Nothing left to write and nothing left to answer.
+    fn drained(&self) -> bool {
+        self.pending.is_empty() && self.write_pos == self.write_buf.len()
+    }
+}
+
+/// The running I/O thread plus the waker `Server::shutdown` pokes.
+#[derive(Debug)]
+pub(crate) struct IoHandle {
+    pub(crate) waker: Arc<Waker>,
+    pub(crate) thread: std::thread::JoinHandle<()>,
+}
+
+/// Spawns the `pi-serve-io` thread owning `listener` and every accepted
+/// connection.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<Batcher>,
+    stats: Arc<ServerStats>,
+) -> std::io::Result<IoHandle> {
+    let mut fds = [-1i32; 2];
+    if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        return Err(std::io::Error::other("pipe() failed for the waker"));
+    }
+    let (pipe_rd, pipe_wr) = (fds[0], fds[1]);
+    let waker = Arc::new(Waker {
+        write_fd: pipe_wr,
+        pending: AtomicBool::new(false),
+    });
+    let thread = {
+        let waker = Arc::clone(&waker);
+        std::thread::Builder::new()
+            .name("pi-serve-io".to_owned())
+            .spawn(move || {
+                run(&listener, pipe_rd, &waker, &shutdown, &queue, &stats);
+                let _ = unsafe { close(pipe_rd) };
+            })?
+    };
+    Ok(IoHandle { waker, thread })
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(
+    listener: &TcpListener,
+    pipe_rd: i32,
+    waker: &Arc<Waker>,
+    shutdown: &Arc<AtomicBool>,
+    queue: &Arc<Batcher>,
+    stats: &Arc<ServerStats>,
+) {
+    let (completion_tx, completions) = mpsc::channel::<Completion>();
+    // Token-indexed connection slab; generations guard against a token
+    // being reused while a completion for its previous tenant is in
+    // flight.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut next_generation: u64 = 0;
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut targets: Vec<usize> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let draining = shutdown.load(Ordering::SeqCst);
+        if draining {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+            let idle = conns.iter().flatten().all(Conn::drained);
+            if idle || Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        pollfds.clear();
+        targets.clear();
+        pollfds.push(PollFd {
+            fd: pipe_rd,
+            events: POLLIN,
+            revents: 0,
+        });
+        let listener_at = if draining {
+            None
+        } else {
+            pollfds.push(PollFd {
+                fd: listener.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            Some(pollfds.len() - 1)
+        };
+        let fixed = pollfds.len();
+        for (token, conn) in conns.iter().enumerate() {
+            let Some(c) = conn else { continue };
+            let mut events = 0i16;
+            if !c.read_closed && c.read_buf.len() <= READ_CAP {
+                events |= POLLIN;
+            }
+            if c.write_pos < c.write_buf.len() {
+                events |= POLLOUT;
+            }
+            pollfds.push(PollFd {
+                fd: c.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            targets.push(token);
+        }
+
+        let n = unsafe {
+            poll(
+                pollfds.as_mut_ptr(),
+                pollfds.len() as NfdsT,
+                POLL_TIMEOUT_MS,
+            )
+        };
+        if n <= 0 {
+            // Timeout or EINTR: loop back to the shutdown check.
+            continue;
+        }
+        let _span = pi_obs::span("serve.io_wakeup");
+        pi_obs::hist_record("serve.io_ready_events", f64::from(n));
+
+        // Self-pipe first: clear the suppression flag *before* draining
+        // completions, so a completion posted mid-drain re-arms the pipe
+        // instead of being lost until the next timeout.
+        if pollfds[0].revents != 0 {
+            waker.pending.store(false, Ordering::Release);
+            let mut sink = [0u8; 64];
+            let _ = unsafe { read(pipe_rd, sink.as_mut_ptr(), sink.len()) };
+        }
+        for done in completions.try_iter() {
+            let Some(conn) = conns.get_mut(done.token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.generation != done.generation {
+                continue; // the token was re-used; the old peer is gone
+            }
+            if let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == done.seq) {
+                slot.ready = Some(Rendered::of(&done.response, slot.keep_alive));
+            }
+            if flush(conn, shutdown) {
+                conns[done.token] = None;
+            }
+        }
+
+        if let Some(at) = listener_at {
+            if pollfds[at].revents != 0 {
+                accept_ready(listener, &mut conns, &mut next_generation, stats);
+            }
+        }
+
+        for (k, &token) in targets.iter().enumerate() {
+            let revents = pollfds[fixed + k].revents;
+            if revents == 0 {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+                read_ready(conn, token, shutdown, queue, stats, &completion_tx, waker);
+            }
+            let gone = flush(conn, shutdown)
+                || (conn.read_closed && conn.pending.is_empty() && conn.write_buf.is_empty());
+            if gone {
+                conns[token] = None;
+            }
+        }
+    }
+}
+
+/// Accepts until the listener would block.
+fn accept_ready(
+    listener: &TcpListener,
+    conns: &mut Vec<Option<Conn>>,
+    next_generation: &mut u64,
+    stats: &ServerStats,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                pi_obs::counter_add("serve.connections", 1);
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = conns.iter().position(Option::is_none).unwrap_or_else(|| {
+                    conns.push(None);
+                    conns.len() - 1
+                });
+                *next_generation += 1;
+                conns[token] = Some(Conn::new(stream, *next_generation));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                pi_obs::counter_add("serve.accept_fail", 1);
+                stats.accept_failures.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+/// Reads everything available, then parses and routes every complete
+/// request sitting in the buffer.
+#[allow(clippy::too_many_arguments)]
+fn read_ready(
+    conn: &mut Conn,
+    token: usize,
+    shutdown: &Arc<AtomicBool>,
+    queue: &Arc<Batcher>,
+    stats: &Arc<ServerStats>,
+    completion_tx: &mpsc::Sender<Completion>,
+    waker: &Arc<Waker>,
+) {
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&chunk[..n]);
+                if conn.read_buf.len() > READ_CAP {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.read_closed = true;
+                break;
+            }
+        }
+    }
+
+    while !conn.read_buf.is_empty() && !conn.close_after_flush {
+        // `&[u8]` is `BufRead`; on a slice, an `Io` parse error means
+        // "incomplete, wait for more bytes", and the advance of the
+        // slice head is exactly the bytes consumed.
+        let mut slice: &[u8] = &conn.read_buf;
+        match read_request(&mut slice) {
+            Ok(Some(request)) => {
+                let consumed = conn.read_buf.len() - slice.len();
+                conn.read_buf.drain(..consumed);
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                pi_obs::counter_add("serve.requests", 1);
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                match route(&request, shutdown, queue, stats) {
+                    RouteOutcome::Immediate(rendered) => {
+                        conn.pending.push_back(Slot {
+                            seq,
+                            keep_alive: rendered.keep_alive,
+                            ready: Some(rendered),
+                        });
+                    }
+                    RouteOutcome::Api(api) => {
+                        conn.pending.push_back(Slot {
+                            seq,
+                            keep_alive: request.keep_alive,
+                            ready: None,
+                        });
+                        let tx = completion_tx.clone();
+                        let waker = Arc::clone(waker);
+                        let generation = conn.generation;
+                        let submitted = queue.submit_with(
+                            api,
+                            Box::new(move |response| {
+                                let _ = tx.send(Completion {
+                                    token,
+                                    generation,
+                                    seq,
+                                    response,
+                                });
+                                waker.wake();
+                            }),
+                        );
+                        if let Err(response) = submitted {
+                            let slot = conn.pending.back_mut().expect("slot just pushed");
+                            slot.ready = Some(Rendered::of(&response, slot.keep_alive));
+                        }
+                    }
+                }
+            }
+            Ok(None) => {
+                conn.read_buf.clear();
+                break;
+            }
+            Err(e) if e.status() == 0 => {
+                // Incomplete request: wait for more bytes — unless the
+                // buffer already exceeds any legal request.
+                if conn.read_buf.len() > READ_CAP {
+                    push_parse_error(conn, 413, "buffered request exceeds the size limits");
+                }
+                break;
+            }
+            Err(e) => {
+                push_parse_error(conn, e.status(), &format!("{e:?}"));
+                break;
+            }
+        }
+    }
+}
+
+/// Answers a malformed/oversized request the same way the thread mode
+/// does — an error body and a forced close — then stops reading.
+fn push_parse_error(conn: &mut Conn, status: u16, message: &str) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let rendered = Rendered::of(&ApiResponse::error(status, message), false);
+    conn.pending.push_back(Slot {
+        seq,
+        keep_alive: false,
+        ready: Some(rendered),
+    });
+    conn.read_closed = true;
+}
+
+/// Moves every leading ready slot into the write buffer, then writes as
+/// much as the socket accepts. Returns `true` when the connection is
+/// finished and should be dropped.
+fn flush(conn: &mut Conn, shutdown: &AtomicBool) -> bool {
+    while conn.pending.front().is_some_and(|s| s.ready.is_some()) {
+        let slot = conn.pending.pop_front().expect("front checked");
+        let rendered = slot.ready.expect("readiness checked");
+        let keep = rendered.keep_alive && !shutdown.load(Ordering::SeqCst);
+        let before = conn.write_buf.len();
+        if rendered.write_to(&mut conn.write_buf, keep).is_err() {
+            conn.write_buf.truncate(before);
+            return true; // Vec writes are infallible; defensive only
+        }
+        if !keep {
+            conn.close_after_flush = true;
+            conn.read_closed = true;
+            break;
+        }
+    }
+
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return true,
+        }
+    }
+    if conn.write_pos == conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        if conn.close_after_flush {
+            return true;
+        }
+    }
+    false
+}

@@ -17,8 +17,13 @@
 //!   bounded queue and coalesce into single structure-of-arrays sweeps
 //!   through `pi-core`/`pi-cosi` batch entry points, bit-identical to
 //!   one-shot evaluation;
-//! - the serving loop ([`server`]) with cooperative shutdown and
-//!   `pi-obs` spans/counters on every request, batch and queue wait;
+//! - the serving loop ([`server`]): a single `poll(2)`-driven event
+//!   loop multiplexing every connection (thread-per-connection kept as
+//!   a reference mode behind `PI_SERVE_IO=threads`), load-aware
+//!   admission control that sheds expensive queries with 503 +
+//!   `Retry-After` before cheap evals, cooperative shutdown, and
+//!   `pi-obs` spans/counters on every wakeup, request, batch and queue
+//!   wait;
 //! - a load generator ([`load`]) replaying synthetic traffic whose wire
 //!   lengths follow the Davis stochastic wiring distribution
 //!   ([`traffic`]), reporting p50/p99 latency, achieved QPS, batch sizes
@@ -55,6 +60,8 @@ pub mod api;
 pub mod batch;
 pub mod config;
 pub mod http;
+#[cfg(unix)]
+mod io_loop;
 pub mod json;
 pub mod load;
 pub mod server;
@@ -63,7 +70,7 @@ pub mod traffic;
 
 pub use api::{ApiRequest, ApiResponse};
 pub use batch::{execute_batch, Batcher};
-pub use config::ServeConfig;
+pub use config::{IoMode, ServeConfig};
 pub use load::{run_load, Client, LoadConfig, LoadReport};
 pub use server::{install_shutdown_signals, signalled, Server, ServerStats};
 pub use store::{NodeContext, NodeStore};

@@ -1,17 +1,22 @@
 //! The synthetic-traffic load generator behind `pi load` / `pi-load`.
 //!
 //! Open-loop pacing: a run of `qps × duration` requests is scheduled on a
-//! fixed timetable (`start + i/qps`), striped across `concurrency` workers
-//! by request index (`i mod concurrency`). Workers never slow the
+//! fixed timetable (`start + i/qps`), striped across the client
+//! connections by request index (`i mod conns`). Workers never slow the
 //! timetable down — if the server falls behind, latency grows instead of
 //! the offered load shrinking, which is what makes the reported p99
-//! honest. Each worker holds one persistent keep-alive connection.
+//! honest. Each worker holds one persistent keep-alive connection, and
+//! the connection count (`--conns`) is independent of the offered QPS, so
+//! connection-handling cost can be measured separately from request cost.
 //!
 //! The report combines client-side measurements (achieved QPS, p50/p99
-//! latency) with server-side counters scraped from `GET /v1/stats` (mean
-//! batch size, plan-cache hit rate) — the four numbers the bench publishes
-//! as `serve_qps`, `serve_p50_us`, `serve_p99_us`, `serve_batch_mean`.
+//! latency, a per-status-code breakdown) with server-side counters
+//! scraped from `GET /v1/stats` (mean batch size, mean coalesced sizing
+//! batch, plan-cache hit rate) — the numbers the bench publishes as
+//! `serve_qps`, `serve_p50_us`, `serve_p99_us`, `serve_batch_mean`,
+//! `serve_qps_c64`, `serve_p99_us_c64` and `size_batch_mean`.
 
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -27,12 +32,19 @@ pub struct LoadConfig {
     pub addr: String,
     /// Offered load, requests per second (> 0).
     pub qps: f64,
-    /// Concurrent client connections (≥ 1).
+    /// Concurrent client connections (≥ 1) when [`LoadConfig::conns`] is
+    /// zero.
     pub concurrency: usize,
+    /// Persistent-connection fan-out, independent of QPS; `0` falls back
+    /// to [`LoadConfig::concurrency`].
+    pub conns: usize,
     /// Run length, seconds (> 0).
     pub duration_s: f64,
     /// Percent of requests that are yield queries (0–100).
     pub yield_pct: u32,
+    /// Percent of requests that are sizing queries (0–100, clamped so
+    /// yield + size ≤ 100).
+    pub size_pct: u32,
     /// Traffic seed — same seed, same request sequence.
     pub seed: u64,
     /// Technology node spelling for every request.
@@ -45,8 +57,10 @@ impl Default for LoadConfig {
             addr: "127.0.0.1:7878".to_owned(),
             qps: 2000.0,
             concurrency: 4,
+            conns: 0,
             duration_s: 3.0,
             yield_pct: 10,
+            size_pct: 0,
             seed: 1,
             tech: "65nm".to_owned(),
         }
@@ -62,6 +76,11 @@ pub struct LoadReport {
     pub ok: u64,
     /// Non-200 responses plus transport failures.
     pub errors: u64,
+    /// Responses shed by admission control (status 503).
+    pub shed: u64,
+    /// Response count per status code, sorted by status; `0` stands for
+    /// transport failures (no response at all).
+    pub by_status: Vec<(u16, u64)>,
     /// Wall-clock of the run, seconds.
     pub elapsed_s: f64,
     /// Achieved throughput, requests per second.
@@ -72,6 +91,9 @@ pub struct LoadReport {
     pub p99_us: f64,
     /// Server-side mean batch size (0 when stats were unreachable).
     pub batch_mean: f64,
+    /// Server-side mean coalesced sizing batch (0 when stats were
+    /// unreachable or no size queries ran).
+    pub size_batch_mean: f64,
     /// Server-side plan-cache hit rate (0 when stats were unreachable).
     pub cache_hit_rate: f64,
 }
@@ -80,18 +102,34 @@ impl LoadReport {
     /// Human-readable summary.
     #[must_use]
     pub fn render(&self) -> String {
+        let statuses = self
+            .by_status
+            .iter()
+            .map(|&(status, n)| {
+                if status == 0 {
+                    format!("transport:{n}")
+                } else {
+                    format!("{status}:{n}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ");
         format!(
-            "sent {} ok {} errors {} in {:.2}s\n\
+            "sent {} ok {} errors {} shed {} in {:.2}s\n\
+             status  {}\n\
              qps {:.0}  p50 {:.0}us  p99 {:.0}us\n\
-             batch mean {:.2}  plan-cache hit rate {:.1}%",
+             batch mean {:.2}  size batch mean {:.2}  plan-cache hit rate {:.1}%",
             self.sent,
             self.ok,
             self.errors,
+            self.shed,
             self.elapsed_s,
+            statuses,
             self.qps,
             self.p50_us,
             self.p99_us,
             self.batch_mean,
+            self.size_batch_mean,
             self.cache_hit_rate * 100.0,
         )
     }
@@ -99,15 +137,23 @@ impl LoadReport {
     /// Machine-readable summary.
     #[must_use]
     pub fn to_json(&self) -> Json {
+        let by_status = self
+            .by_status
+            .iter()
+            .map(|&(status, n)| (status.to_string(), Json::Int(i128::from(n))))
+            .collect::<Vec<_>>();
         obj(vec![
             ("sent", Json::Int(i128::from(self.sent))),
             ("ok", Json::Int(i128::from(self.ok))),
             ("errors", Json::Int(i128::from(self.errors))),
+            ("shed", Json::Int(i128::from(self.shed))),
+            ("by_status", Json::Obj(by_status)),
             ("elapsed_s", Json::Num(self.elapsed_s)),
             ("qps", Json::Num(self.qps)),
             ("p50_us", Json::Num(self.p50_us)),
             ("p99_us", Json::Num(self.p99_us)),
             ("batch_mean", Json::Num(self.batch_mean)),
+            ("size_batch_mean", Json::Num(self.size_batch_mean)),
             ("cache_hit_rate", Json::Num(self.cache_hit_rate)),
         ])
     }
@@ -168,9 +214,9 @@ impl Client {
     }
 }
 
-/// Scrapes `(batch_mean, cache_hit_rate)` from the server's stats
-/// endpoint; zeros when unreachable.
-fn scrape_stats(addr: &str) -> (f64, f64) {
+/// Scrapes `(batch_mean, size_batch_mean, cache_hit_rate)` from the
+/// server's stats endpoint; zeros when unreachable.
+fn scrape_stats(addr: &str) -> (f64, f64, f64) {
     let scraped = Client::connect(addr)
         .and_then(|mut c| c.roundtrip("GET", "/v1/stats", b""))
         .and_then(|resp| {
@@ -180,11 +226,14 @@ fn scrape_stats(addr: &str) -> (f64, f64) {
     match scraped {
         Ok(v) => (
             v.get("batch_mean").and_then(Json::as_f64).unwrap_or(0.0),
+            v.get("size_batch_mean")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             v.get("plan_cache_hit_rate")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
         ),
-        Err(_) => (0.0, 0.0),
+        Err(_) => (0.0, 0.0, 0.0),
     }
 }
 
@@ -212,12 +261,16 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
             config.duration_s
         ));
     }
-    let concurrency = config.concurrency.max(1);
+    let conns = if config.conns == 0 {
+        config.concurrency.max(1)
+    } else {
+        config.conns
+    };
     let total = (config.qps * config.duration_s).round() as u64;
     if total == 0 {
         return Err("qps × duration rounds to zero requests".to_owned());
     }
-    let gen = TrafficGen::new(config.seed, &config.tech, config.yield_pct);
+    let gen = TrafficGen::with_mix(config.seed, &config.tech, config.yield_pct, config.size_pct);
 
     // Fail fast (and warm the listener path) before spawning workers.
     Client::connect(&config.addr)?
@@ -227,13 +280,14 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
     struct WorkerResult {
         ok: u64,
         errors: u64,
+        by_status: HashMap<u16, u64>,
         latencies_us: Vec<f64>,
     }
 
     let start = Instant::now();
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(concurrency);
-        for w in 0..concurrency {
+        let mut handles = Vec::with_capacity(conns);
+        for w in 0..conns {
             let gen = &gen;
             let addr = config.addr.as_str();
             let qps = config.qps;
@@ -241,10 +295,13 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
                 let mut out = WorkerResult {
                     ok: 0,
                     errors: 0,
+                    by_status: HashMap::new(),
                     latencies_us: Vec::new(),
                 };
                 let Ok(mut client) = Client::connect(addr) else {
-                    out.errors = (w as u64..total).step_by(concurrency).count() as u64;
+                    let missed = (w as u64..total).step_by(conns).count() as u64;
+                    out.errors = missed;
+                    *out.by_status.entry(0).or_default() += missed;
                     return out;
                 };
                 let mut i = w as u64;
@@ -259,29 +316,33 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
                     match client.roundtrip("POST", request.path(), body.as_bytes()) {
                         Ok(resp) => {
                             out.latencies_us.push(sent_at.elapsed().as_secs_f64() * 1e6);
+                            *out.by_status.entry(resp.status).or_default() += 1;
                             if resp.status == 200 {
                                 out.ok += 1;
                             } else {
                                 out.errors += 1;
                             }
                             if !resp.keep_alive && client.reconnect().is_err() {
-                                out.errors += ((i + concurrency as u64)..total)
-                                    .step_by(concurrency)
-                                    .count() as u64;
+                                let missed =
+                                    ((i + conns as u64)..total).step_by(conns).count() as u64;
+                                out.errors += missed;
+                                *out.by_status.entry(0).or_default() += missed;
                                 break;
                             }
                         }
                         Err(_) => {
                             out.errors += 1;
+                            *out.by_status.entry(0).or_default() += 1;
                             if client.reconnect().is_err() {
-                                out.errors += ((i + concurrency as u64)..total)
-                                    .step_by(concurrency)
-                                    .count() as u64;
+                                let missed =
+                                    ((i + conns as u64)..total).step_by(conns).count() as u64;
+                                out.errors += missed;
+                                *out.by_status.entry(0).or_default() += missed;
                                 break;
                             }
                         }
                     }
-                    i += concurrency as u64;
+                    i += conns as u64;
                 }
                 out
             }));
@@ -300,17 +361,29 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
     latencies.sort_by(f64::total_cmp);
     let ok: u64 = results.iter().map(|r| r.ok).sum();
     let errors: u64 = results.iter().map(|r| r.errors).sum();
-    let (batch_mean, cache_hit_rate) = scrape_stats(&config.addr);
+    let mut by_status: HashMap<u16, u64> = HashMap::new();
+    for r in &results {
+        for (&status, &n) in &r.by_status {
+            *by_status.entry(status).or_default() += n;
+        }
+    }
+    let shed = by_status.get(&503).copied().unwrap_or(0);
+    let mut by_status: Vec<(u16, u64)> = by_status.into_iter().collect();
+    by_status.sort_unstable();
+    let (batch_mean, size_batch_mean, cache_hit_rate) = scrape_stats(&config.addr);
 
     Ok(LoadReport {
         sent: total,
         ok,
         errors,
+        shed,
+        by_status,
         elapsed_s,
         qps: ok as f64 / elapsed_s.max(1e-9),
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         batch_mean,
+        size_batch_mean,
         cache_hit_rate,
     })
 }
@@ -334,21 +407,30 @@ mod tests {
     fn report_renders_and_serializes() {
         let report = LoadReport {
             sent: 100,
-            ok: 99,
-            errors: 1,
+            ok: 97,
+            errors: 3,
+            shed: 2,
+            by_status: vec![(0, 1), (200, 97), (503, 2)],
             elapsed_s: 2.0,
-            qps: 49.5,
+            qps: 48.5,
             p50_us: 120.0,
             p99_us: 900.0,
             batch_mean: 3.5,
+            size_batch_mean: 2.25,
             cache_hit_rate: 0.93,
         };
         let text = report.render();
-        assert!(text.contains("sent 100 ok 99 errors 1"));
+        assert!(text.contains("sent 100 ok 97 errors 3 shed 2"));
+        assert!(text.contains("transport:1  200:97  503:2"));
+        assert!(text.contains("size batch mean 2.25"));
         assert!(text.contains("93.0%"));
         let v = report.to_json();
-        assert_eq!(v.get("ok").and_then(Json::as_u64), Some(99));
+        assert_eq!(v.get("ok").and_then(Json::as_u64), Some(97));
+        assert_eq!(v.get("shed").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("batch_mean").and_then(Json::as_f64), Some(3.5));
+        assert_eq!(v.get("size_batch_mean").and_then(Json::as_f64), Some(2.25));
+        let statuses = v.get("by_status").expect("breakdown present");
+        assert_eq!(statuses.get("503").and_then(Json::as_u64), Some(2));
     }
 
     #[test]
@@ -378,6 +460,7 @@ mod tests {
             port: 0,
             batch_window_us: 200,
             queue_depth: 256,
+            ..ServeConfig::default()
         })
         .expect("bind");
         let config = LoadConfig {
@@ -388,14 +471,49 @@ mod tests {
             yield_pct: 5,
             seed: 42,
             tech: "65nm".to_owned(),
+            ..LoadConfig::default()
         };
         let report = run_load(&config).expect("load run");
         assert_eq!(report.sent, 200);
         assert_eq!(report.errors, 0, "{report:?}");
         assert_eq!(report.ok, report.sent);
+        assert_eq!(report.by_status, vec![(200, 200)]);
         assert!(report.p50_us > 0.0);
         assert!(report.p99_us >= report.p50_us);
         assert!(report.cache_hit_rate > 0.5, "127 lengths repeat quickly");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_fanout_is_independent_of_qps() {
+        // 16 persistent connections at a modest QPS: every connection
+        // carries some of the striped load and all answers come back.
+        let mut server = Server::start(&ServeConfig {
+            port: 0,
+            batch_window_us: 200,
+            queue_depth: 256,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let config = LoadConfig {
+            addr: server.addr().to_string(),
+            qps: 320.0,
+            conns: 16,
+            duration_s: 0.5,
+            yield_pct: 0,
+            size_pct: 5,
+            seed: 7,
+            tech: "65nm".to_owned(),
+            ..LoadConfig::default()
+        };
+        let report = run_load(&config).expect("load run");
+        assert_eq!(report.sent, 160);
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.by_status, vec![(200, 160)]);
+        assert!(
+            report.size_batch_mean >= 1.0,
+            "size queries ran and were swept: {report:?}"
+        );
         server.shutdown();
     }
 }

@@ -1,23 +1,30 @@
-//! The serving loop: accept thread, per-connection handler threads, and
-//! the single batcher thread that drains the queue.
+//! The serving loop: connection handling (poll event loop or
+//! thread-per-connection), and the single batcher thread that drains the
+//! queue.
 //!
-//! Thread topology:
+//! Default topology (`PI_SERVE_IO=poll`):
 //!
 //! ```text
-//!  accept thread ──spawns──▶ handler thread (1 per connection)
-//!                              │  parse HTTP → ApiRequest
-//!                              │  Batcher::submit ──▶ bounded queue
-//!                              │  block on mpsc response channel
-//!  batcher thread ◀─────────── take_batch(window) drains the queue
-//!     └─ execute_batch: coalesced sweeps, answers every channel
+//!  pi-serve-io thread ── poll(2) over {waker pipe, listener, conns}
+//!     │  accept → non-blocking socket, per-connection buffers
+//!     │  parse HTTP → route → Batcher::submit_with ──▶ bounded queue
+//!     │  completions re-enter via the self-pipe waker, flush in order
+//!  pi-serve-batch thread ◀── take_batch(window) drains the queue
+//!     └─ execute_batch: coalesced sweeps, answers every responder
 //! ```
 //!
-//! Shutdown is cooperative: a flag checked by every loop (the accept and
-//! handler threads poll with short timeouts rather than blocking forever),
-//! the queue is closed so the batcher drains out, and `shutdown()` joins
-//! everything — no thread is detached or killed.
+//! The pinned reference mode (`PI_SERVE_IO=threads`) keeps the original
+//! shape — an accept thread spawning one handler thread per connection,
+//! each blocking on an mpsc channel for its answers. Both modes route and
+//! render identically, so their wire bytes are bit-identical (determinism
+//! suite, section 11).
+//!
+//! Shutdown is cooperative: a flag checked by every loop, the queue is
+//! closed so pending jobs are answered `503` and the batcher drains out,
+//! the event loop gets a waker poke, and `shutdown()` joins everything —
+//! no thread is detached or killed.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -26,8 +33,8 @@ use std::time::Duration;
 
 use crate::api::{ApiRequest, ApiResponse};
 use crate::batch::{execute_batch, Batcher};
-use crate::config::ServeConfig;
-use crate::http::{read_request, write_response, Request};
+use crate::config::{IoMode, ServeConfig};
+use crate::http::{read_request, write_response_with, Request};
 use crate::json::{obj, Json};
 use crate::store::{plan_cache_counts, plan_cache_hit_rate, NodeStore};
 
@@ -46,6 +53,13 @@ pub struct ServerStats {
     pub batches: AtomicU64,
     /// Jobs that went through batches (Σ batch sizes).
     pub batched_jobs: AtomicU64,
+    /// Coalesced sizing sweeps executed (one per `(node, corner)` group
+    /// per batch that carried size jobs).
+    pub size_sweeps: AtomicU64,
+    /// Size jobs that went through coalesced sweeps.
+    pub size_jobs: AtomicU64,
+    /// `accept(2)` failures (other than would-block) on the listener.
+    pub accept_failures: AtomicU64,
 }
 
 impl ServerStats {
@@ -60,7 +74,18 @@ impl ServerStats {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Mean size jobs per coalesced sizing sweep (`0` before the first).
+    #[must_use]
+    pub fn size_batch_mean(&self) -> f64 {
+        let sweeps = self.size_sweeps.load(Ordering::Relaxed);
+        if sweeps == 0 {
+            0.0
+        } else {
+            self.size_jobs.load(Ordering::Relaxed) as f64 / sweeps as f64
+        }
+    }
+
+    fn to_json(&self, queue: &Batcher) -> Json {
         let (hits, misses) = plan_cache_counts();
         obj(vec![
             (
@@ -76,6 +101,24 @@ impl ServerStats {
                 Json::Int(i128::from(self.batched_jobs.load(Ordering::Relaxed))),
             ),
             ("batch_mean", Json::Num(self.batch_mean())),
+            (
+                "size_sweeps",
+                Json::Int(i128::from(self.size_sweeps.load(Ordering::Relaxed))),
+            ),
+            (
+                "size_jobs",
+                Json::Int(i128::from(self.size_jobs.load(Ordering::Relaxed))),
+            ),
+            ("size_batch_mean", Json::Num(self.size_batch_mean())),
+            ("shed", Json::Int(i128::from(queue.shed_count()))),
+            (
+                "queue_depth_hwm",
+                Json::Int(i128::from(queue.queue_depth_hwm())),
+            ),
+            (
+                "accept_failures",
+                Json::Int(i128::from(self.accept_failures.load(Ordering::Relaxed))),
+            ),
             ("plan_cache_hits", Json::Int(i128::from(hits))),
             ("plan_cache_misses", Json::Int(i128::from(misses))),
             ("plan_cache_hit_rate", Json::Num(plan_cache_hit_rate())),
@@ -83,21 +126,137 @@ impl ServerStats {
     }
 }
 
+/// One response, rendered: what both connection modes write to the wire.
+#[derive(Debug)]
+pub(crate) struct Rendered {
+    pub(crate) status: u16,
+    pub(crate) body: String,
+    /// Whether the *request* asked to keep the connection open; the
+    /// writer still ANDs this with the shutdown flag.
+    pub(crate) keep_alive: bool,
+    pub(crate) retry_after: Option<u64>,
+}
+
+impl Rendered {
+    pub(crate) fn of(resp: &ApiResponse, keep_alive: bool) -> Rendered {
+        Rendered {
+            status: resp.status(),
+            body: resp.to_json().render(),
+            keep_alive,
+            retry_after: resp.retry_after(),
+        }
+    }
+
+    /// Serializes the full HTTP response (identically in both modes).
+    pub(crate) fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let extra: Vec<(&str, String)> = self
+            .retry_after
+            .map(|s| ("Retry-After", s.to_string()))
+            .into_iter()
+            .collect();
+        write_response_with(
+            w,
+            self.status,
+            "application/json",
+            self.body.as_bytes(),
+            keep_alive,
+            &extra,
+        )
+    }
+}
+
+/// What routing decided about one parsed request.
+pub(crate) enum RouteOutcome {
+    /// Answer now (health/stats/admin endpoints and all routing errors).
+    Immediate(Rendered),
+    /// A valid API request: submit it to the batcher.
+    Api(ApiRequest),
+}
+
+/// Routes one parsed request. Both connection modes share this, so any
+/// endpoint behaves identically under `poll` and `threads`.
+pub(crate) fn route(
+    request: &Request,
+    shutdown: &AtomicBool,
+    queue: &Batcher,
+    stats: &ServerStats,
+) -> RouteOutcome {
+    let answer =
+        |resp: ApiResponse| RouteOutcome::Immediate(Rendered::of(&resp, request.keep_alive));
+    let page = |status: u16, body: String, keep_alive: bool| {
+        RouteOutcome::Immediate(Rendered {
+            status,
+            body,
+            keep_alive,
+            retry_after: None,
+        })
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => page(
+            200,
+            obj(vec![("ok", Json::Bool(true))]).render(),
+            request.keep_alive,
+        ),
+        ("GET", "/v1/stats") => page(200, stats.to_json(queue).render(), request.keep_alive),
+        ("POST", "/admin/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            queue.close();
+            page(200, obj(vec![("ok", Json::Bool(true))]).render(), false)
+        }
+        ("POST", path) => match ApiRequest::from_path_body(path, &body_text(request)) {
+            Err(None) => answer(ApiResponse::error(
+                404,
+                format!("no such endpoint `{path}`"),
+            )),
+            Err(Some(msg)) => answer(ApiResponse::error(400, msg)),
+            Ok(api) => RouteOutcome::Api(api),
+        },
+        ("GET" | "HEAD", path @ ("/v1/eval" | "/v1/yield" | "/v1/size" | "/v1/net-yield")) => {
+            answer(ApiResponse::error(405, format!("`{path}` requires POST")))
+        }
+        (_, path) => answer(ApiResponse::error(
+            404,
+            format!("no such endpoint `{path}`"),
+        )),
+    }
+}
+
 /// A running serve instance. Dropping it shuts the server down.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
+    io: IoMode,
     shutdown: Arc<AtomicBool>,
     queue: Arc<Batcher>,
     stats: Arc<ServerStats>,
     accept: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    #[cfg(unix)]
+    waker: Option<Arc<crate::io_loop::Waker>>,
+}
+
+/// The connection-handling mode actually available on this platform.
+fn effective_io(requested: IoMode) -> IoMode {
+    #[cfg(unix)]
+    {
+        requested
+    }
+    #[cfg(not(unix))]
+    {
+        if requested == IoMode::Poll {
+            pi_obs::warn_once(
+                "serve.io",
+                "the poll event loop is Unix-only; using thread-per-connection",
+            );
+        }
+        IoMode::Threads
+    }
 }
 
 impl Server {
     /// Binds `127.0.0.1:{config.port}` (port 0 picks an ephemeral port —
-    /// read it back from [`Server::addr`]) and starts the accept and
-    /// batcher threads.
+    /// read it back from [`Server::addr`]) and starts the I/O and batcher
+    /// threads per `config.io`.
     ///
     /// # Errors
     ///
@@ -108,7 +267,11 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Batcher::new(config.queue_depth);
+        let queue = Batcher::with_admission(
+            config.queue_depth,
+            config.shed_threshold(),
+            config.retry_after_s,
+        );
         let stats = Arc::new(ServerStats::default());
         let window = Duration::from_micros(config.batch_window_us);
 
@@ -127,72 +290,46 @@ impl Server {
                         stats
                             .batched_jobs
                             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-                        execute_batch(store, jobs);
+                        execute_batch(store, jobs, &stats);
                     }
                 })?
         };
 
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let queue = Arc::clone(&queue);
-            let stats = Arc::clone(&stats);
-            std::thread::Builder::new()
-                .name("pi-serve-accept".to_owned())
-                .spawn(move || {
-                    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-                    while !shutdown.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _peer)) => {
-                                pi_obs::counter_add("serve.connections", 1);
-                                let shutdown = Arc::clone(&shutdown);
-                                let queue = Arc::clone(&queue);
-                                let stats = Arc::clone(&stats);
-                                let handle = std::thread::Builder::new()
-                                    .name("pi-serve-conn".to_owned())
-                                    .spawn(move || {
-                                        handle_connection(stream, &shutdown, &queue, &stats);
-                                    });
-                                match handle {
-                                    Ok(h) => handlers.lock().expect("handler list").push(h),
-                                    Err(e) => {
-                                        pi_obs::warn_once(
-                                            "serve.spawn",
-                                            &format!("could not spawn a handler thread: {e}"),
-                                        );
-                                    }
-                                }
-                            }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(POLL);
-                            }
-                            Err(_) => std::thread::sleep(POLL),
-                        }
-                        // Reap finished handlers so a long-lived server
-                        // does not accumulate dead join handles.
-                        let mut list = handlers.lock().expect("handler list");
-                        let mut live = Vec::with_capacity(list.len());
-                        for h in list.drain(..) {
-                            if h.is_finished() {
-                                let _ = h.join();
-                            } else {
-                                live.push(h);
-                            }
-                        }
-                        *list = live;
-                    }
-                    for h in handlers.into_inner().expect("handler list").drain(..) {
-                        let _ = h.join();
-                    }
-                })?
+        let io = effective_io(config.io);
+        #[cfg(unix)]
+        let mut waker = None;
+        let accept = match io {
+            #[cfg(unix)]
+            IoMode::Poll => {
+                let handle = crate::io_loop::spawn(
+                    listener,
+                    Arc::clone(&shutdown),
+                    Arc::clone(&queue),
+                    Arc::clone(&stats),
+                )?;
+                waker = Some(handle.waker);
+                handle.thread
+            }
+            #[cfg(not(unix))]
+            IoMode::Poll => unreachable!("effective_io never picks Poll off Unix"),
+            IoMode::Threads => spawn_thread_accept(
+                listener,
+                Arc::clone(&shutdown),
+                Arc::clone(&queue),
+                Arc::clone(&stats),
+            )?,
         };
 
         Ok(Server {
             addr,
+            io,
             shutdown,
             queue,
             stats,
             accept: Some(accept),
             batcher: Some(batcher),
+            #[cfg(unix)]
+            waker,
         })
     }
 
@@ -202,10 +339,22 @@ impl Server {
         self.addr
     }
 
+    /// The connection-handling mode actually running.
+    #[must_use]
+    pub fn io_mode(&self) -> IoMode {
+        self.io
+    }
+
     /// The serving counters.
     #[must_use]
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The request queue (shed counts, high-water mark).
+    #[must_use]
+    pub fn queue(&self) -> &Batcher {
+        &self.queue
     }
 
     /// Whether a shutdown has been requested (via [`Server::shutdown`],
@@ -220,6 +369,10 @@ impl Server {
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
+        #[cfg(unix)]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -233,6 +386,68 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// The `PI_SERVE_IO=threads` reference mode: an accept loop spawning one
+/// handler thread per connection.
+fn spawn_thread_accept(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<Batcher>,
+    stats: Arc<ServerStats>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("pi-serve-accept".to_owned())
+        .spawn(move || {
+            let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        pi_obs::counter_add("serve.connections", 1);
+                        let shutdown = Arc::clone(&shutdown);
+                        let queue = Arc::clone(&queue);
+                        let stats = Arc::clone(&stats);
+                        let handle = std::thread::Builder::new()
+                            .name("pi-serve-conn".to_owned())
+                            .spawn(move || {
+                                handle_connection(stream, &shutdown, &queue, &stats);
+                            });
+                        match handle {
+                            Ok(h) => handlers.lock().expect("handler list").push(h),
+                            Err(e) => {
+                                pi_obs::warn_once(
+                                    "serve.spawn",
+                                    &format!("could not spawn a handler thread: {e}"),
+                                );
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(_) => {
+                        pi_obs::counter_add("serve.accept_fail", 1);
+                        stats.accept_failures.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(POLL);
+                    }
+                }
+                // Reap finished handlers so a long-lived server does not
+                // accumulate dead join handles.
+                let mut list = handlers.lock().expect("handler list");
+                let mut live = Vec::with_capacity(list.len());
+                for h in list.drain(..) {
+                    if h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        live.push(h);
+                    }
+                }
+                *list = live;
+            }
+            for h in handlers.into_inner().expect("handler list").drain(..) {
+                let _ = h.join();
+            }
+        })
 }
 
 /// One connection: requests are read back-to-back (keep-alive and
@@ -281,16 +496,9 @@ fn handle_connection(
             Err(e) => {
                 let status = e.status();
                 if status != 0 {
-                    let body = ApiResponse::error(status, format!("{e:?}"))
-                        .to_json()
-                        .render();
-                    let _ = write_response(
-                        &mut writer,
-                        status,
-                        "application/json",
-                        body.as_bytes(),
-                        false,
-                    );
+                    let rendered =
+                        Rendered::of(&ApiResponse::error(status, format!("{e:?}")), false);
+                    let _ = rendered.write_to(&mut writer, false);
                 }
                 return;
             }
@@ -300,71 +508,41 @@ fn handle_connection(
         pi_obs::counter_add("serve.requests", 1);
         stats.requests.fetch_add(1, Ordering::Relaxed);
 
-        let (status, body, mut keep) = respond(&request, shutdown, queue, stats);
-        keep &= !shutdown.load(Ordering::SeqCst);
-        if write_response(
-            &mut writer,
-            status,
-            "application/json",
-            body.as_bytes(),
-            keep,
-        )
-        .is_err()
-            || !keep
-        {
+        let rendered = respond(&request, shutdown, queue, stats);
+        let keep = rendered.keep_alive && !shutdown.load(Ordering::SeqCst);
+        if rendered.write_to(&mut writer, keep).is_err() || !keep {
             return;
         }
     }
 }
 
-/// Routes one parsed request to its answer: `(status, body, keep_alive)`.
+/// Thread-mode answer for one request: route, submit, block on the
+/// response channel.
 fn respond(
     request: &Request,
     shutdown: &AtomicBool,
     queue: &Batcher,
     stats: &ServerStats,
-) -> (u16, String, bool) {
-    let answer = |resp: ApiResponse| (resp.status(), resp.to_json().render(), request.keep_alive);
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (
-            200,
-            obj(vec![("ok", Json::Bool(true))]).render(),
-            request.keep_alive,
-        ),
-        ("GET", "/v1/stats") => (200, stats.to_json().render(), request.keep_alive),
-        ("POST", "/admin/shutdown") => {
-            shutdown.store(true, Ordering::SeqCst);
-            queue.close();
-            (200, obj(vec![("ok", Json::Bool(true))]).render(), false)
-        }
-        ("POST", path) => match ApiRequest::from_path_body(path, &body_text(request)) {
-            Err(None) => answer(ApiResponse::error(
-                404,
-                format!("no such endpoint `{path}`"),
-            )),
-            Err(Some(msg)) => answer(ApiResponse::error(400, msg)),
-            Ok(api) => match queue.submit(api) {
-                Err(resp) => answer(resp),
-                Ok(rx) => {
-                    let received = {
-                        let _span = pi_obs::span("serve.queue_wait");
-                        rx.recv()
-                    };
-                    match received {
-                        Ok(resp) => answer(resp),
-                        // The queue was closed underneath us.
-                        Err(_) => answer(ApiResponse::error(503, "server is shutting down")),
-                    }
+) -> Rendered {
+    match route(request, shutdown, queue, stats) {
+        RouteOutcome::Immediate(rendered) => rendered,
+        RouteOutcome::Api(api) => match queue.submit(api) {
+            Err(resp) => Rendered::of(&resp, request.keep_alive),
+            Ok(rx) => {
+                let received = {
+                    let _span = pi_obs::span("serve.queue_wait");
+                    rx.recv()
+                };
+                match received {
+                    Ok(resp) => Rendered::of(&resp, request.keep_alive),
+                    // The queue was torn down underneath us.
+                    Err(_) => Rendered::of(
+                        &ApiResponse::error(503, "server is shutting down"),
+                        request.keep_alive,
+                    ),
                 }
-            },
+            }
         },
-        ("GET" | "HEAD", path @ ("/v1/eval" | "/v1/yield" | "/v1/size" | "/v1/net-yield")) => {
-            answer(ApiResponse::error(405, format!("`{path}` requires POST")))
-        }
-        (_, path) => answer(ApiResponse::error(
-            404,
-            format!("no such endpoint `{path}`"),
-        )),
     }
 }
 
@@ -411,13 +589,19 @@ mod tests {
     use crate::http::{read_response, write_request};
     use crate::json::parse;
 
-    fn test_server() -> Server {
+    fn start_with(io: IoMode) -> Server {
         let config = ServeConfig {
             port: 0,
             batch_window_us: 200,
             queue_depth: 64,
+            io,
+            ..ServeConfig::default()
         };
         Server::start(&config).expect("bind on an ephemeral port")
+    }
+
+    fn test_server() -> Server {
+        start_with(IoMode::Poll)
     }
 
     fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
@@ -429,10 +613,8 @@ mod tests {
         (stream, reader)
     }
 
-    #[test]
-    fn healthz_stats_and_errors_over_a_real_socket() {
-        let mut server = test_server();
-        let (mut stream, mut reader) = connect(&server);
+    fn battery(server: &mut Server) {
+        let (mut stream, mut reader) = connect(server);
 
         write_request(&mut stream, "GET", "/healthz", b"").unwrap();
         let resp = read_response(&mut reader).unwrap().unwrap();
@@ -453,8 +635,20 @@ mod tests {
         let stats = read_response(&mut reader).unwrap().unwrap();
         let v = parse(stats.body_str().unwrap()).unwrap();
         assert!(v.get("requests").and_then(Json::as_u64).unwrap() >= 4);
+        assert_eq!(v.get("shed").and_then(Json::as_u64), Some(0));
+        assert!(v.get("size_batch_mean").and_then(Json::as_f64).is_some());
 
         server.shutdown();
+    }
+
+    #[test]
+    fn healthz_stats_and_errors_over_a_real_socket() {
+        battery(&mut test_server());
+    }
+
+    #[test]
+    fn thread_mode_serves_the_same_battery() {
+        battery(&mut start_with(IoMode::Threads));
     }
 
     #[test]

@@ -1,15 +1,25 @@
-//! The warm store: per-technology-node contexts shared by every request.
+//! The warm store: per-(node, corner) contexts shared by every request.
 //!
 //! A one-shot CLI run pays for its technology tables, calibrated models,
 //! buffering-plan search and (for NoC queries) network synthesis on every
 //! invocation, then throws them away. The server keeps them: one
-//! [`NodeContext`] per technology node, built on first use and shared —
-//! the in-process half of the warm store, alongside the process-global
-//! `pi_core::char_cache` the calibration path already memoizes into.
+//! [`NodeContext`] per `(technology node, process corner)`, built on first
+//! use and shared — the in-process half of the warm store, alongside the
+//! process-global `pi_core::char_cache` the calibration path memoizes
+//! into. The char-cache fingerprint covers the corner (it hashes the full
+//! `Technology` debug form), so a slow-corner grid characterized for one
+//! request warms every later request at that corner, across connections.
 //!
-//! Sharding is by [`TechNode`]: each node's context carries its own plan
+//! Sharding is by `(TechNode, Corner)`: each context carries its own plan
 //! and network caches behind its own locks, so concurrent batches touching
-//! different nodes never contend.
+//! different nodes or corners never contend.
+//!
+//! Model provenance differs by corner, deliberately: the **typical**
+//! corner uses the builtin Table I coefficients — bit-identical to what
+//! every CLI flow uses — while SS/FF corners have no builtin tables and
+//! run a live `calibrate` over the standard grid on first touch (~tens of
+//! milliseconds, deterministic, cached for the process lifetime and
+//! journaled through the char cache like any calibration).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,18 +27,38 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use pi_core::coefficients::builtin;
 use pi_core::line::{BufferingPlan, LineEvaluator, LineSpec};
-use pi_core::{BufferingObjective, CalibratedModels, SearchSpace};
+use pi_core::{calibrate, BufferingObjective, CalibratedModels, CalibrationGrid, SearchSpace};
 use pi_cosi::synthesis::Network;
 use pi_cosi::{synthesize, ProposedLinkModel, SynthesisConfig};
 use pi_tech::units::{Freq, Length};
-use pi_tech::{DesignStyle, TechNode, Technology};
+use pi_tech::{Corner, DesignStyle, TechNode, Technology};
 
-/// Everything the executors need for one technology node.
+/// Parses an optional corner spelling from a request body: `None` means
+/// typical; `tt`/`ss`/`ff` and the longhand names are accepted
+/// case-insensitively.
+///
+/// # Errors
+///
+/// Names the unknown spelling and the accepted ones.
+pub fn parse_corner(spelling: Option<&str>) -> Result<Corner, String> {
+    let Some(raw) = spelling else {
+        return Ok(Corner::Typical);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "tt" | "typical" => Ok(Corner::Typical),
+        "ss" | "slow" | "slow-slow" => Ok(Corner::SlowSlow),
+        "ff" | "fast" | "fast-fast" => Ok(Corner::FastFast),
+        other => Err(format!("unknown corner `{other}` (expected tt, ss, or ff)")),
+    }
+}
+
+/// Everything the executors need for one `(technology node, corner)`.
 #[derive(Debug)]
 pub struct NodeContext {
-    /// The technology description.
+    /// The technology description (carries the corner).
     pub tech: Technology,
-    /// The calibrated predictive models (builtin Table I coefficients).
+    /// The calibrated predictive models: builtin Table I coefficients at
+    /// the typical corner, live-calibrated at SS/FF.
     pub models: CalibratedModels,
     /// Delay-optimal plans keyed by line-length bits — the plan derivation
     /// is deterministic, so caching it preserves bit-identity with the
@@ -39,13 +69,26 @@ pub struct NodeContext {
 }
 
 impl NodeContext {
-    fn new(node: TechNode) -> Self {
-        NodeContext {
-            tech: Technology::new(node),
-            models: builtin(node),
+    fn new(node: TechNode, corner: Corner) -> Result<Self, String> {
+        let tech = Technology::with_corner(node, corner);
+        let models = if corner == Corner::Typical {
+            builtin(node)
+        } else {
+            calibrate(&tech, &CalibrationGrid::standard())
+                .map_err(|e| format!("calibration failed at {node} {corner}: {e:?}"))?
+        };
+        Ok(NodeContext {
+            tech,
+            models,
             plans: Mutex::new(HashMap::new()),
             networks: Mutex::new(HashMap::new()),
-        }
+        })
+    }
+
+    /// The process corner this context was built for.
+    #[must_use]
+    pub fn corner(&self) -> Corner {
+        self.tech.corner()
     }
 
     /// A borrowing line evaluator over this context.
@@ -150,10 +193,10 @@ pub fn plan_cache_counts() -> (u64, u64) {
     )
 }
 
-/// The process-global node store, sharded by technology node.
+/// The process-global node store, sharded by `(technology node, corner)`.
 #[derive(Debug, Default)]
 pub struct NodeStore {
-    nodes: Mutex<HashMap<TechNode, Arc<NodeContext>>>,
+    nodes: Mutex<HashMap<(TechNode, Corner), Arc<NodeContext>>>,
 }
 
 impl NodeStore {
@@ -163,27 +206,46 @@ impl NodeStore {
         STORE.get_or_init(NodeStore::default)
     }
 
-    /// The context for `node`, built on first use.
+    /// The typical-corner context for `node`, built on first use. The
+    /// typical corner uses builtin models, so this path cannot fail.
     #[must_use]
     pub fn context(&self, node: TechNode) -> Arc<NodeContext> {
-        let mut nodes = self.nodes.lock().expect("node store poisoned");
-        if let Some(ctx) = nodes.get(&node) {
-            return Arc::clone(ctx);
-        }
-        let _span = pi_obs::span("serve.node_warmup");
-        let ctx = Arc::new(NodeContext::new(node));
-        nodes.insert(node, Arc::clone(&ctx));
-        ctx
+        self.context_at(node, Corner::Typical)
+            .expect("typical-corner models are builtin")
     }
 
-    /// Parses a node spelling and returns its context.
+    /// The context for `(node, corner)`, built (and for SS/FF, live
+    /// calibrated) on first use. The store lock is held across the build
+    /// so a corner is calibrated exactly once per process even under
+    /// concurrent first touches.
     ///
     /// # Errors
     ///
-    /// Propagates the node-name parse error as text.
-    pub fn context_for(&self, spelling: &str) -> Result<Arc<NodeContext>, String> {
+    /// Propagates a calibration failure at a non-typical corner as text.
+    pub fn context_at(&self, node: TechNode, corner: Corner) -> Result<Arc<NodeContext>, String> {
+        let mut nodes = self.nodes.lock().expect("node store poisoned");
+        if let Some(ctx) = nodes.get(&(node, corner)) {
+            return Ok(Arc::clone(ctx));
+        }
+        let _span = pi_obs::span("serve.node_warmup");
+        let ctx = Arc::new(NodeContext::new(node, corner)?);
+        nodes.insert((node, corner), Arc::clone(&ctx));
+        Ok(ctx)
+    }
+
+    /// Parses a node spelling plus an optional corner spelling and returns
+    /// the matching context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-name, corner-name and calibration errors as text.
+    pub fn context_for(
+        &self,
+        spelling: &str,
+        corner: Option<&str>,
+    ) -> Result<Arc<NodeContext>, String> {
         let node: TechNode = spelling.parse().map_err(|e| format!("{e}"))?;
-        Ok(self.context(node))
+        self.context_at(node, parse_corner(corner)?)
     }
 }
 
@@ -192,15 +254,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn contexts_are_shared_per_node() {
+    fn contexts_are_shared_per_node_and_corner() {
         let store = NodeStore::default();
         let a = store.context(TechNode::N65);
         let b = store.context(TechNode::N65);
         assert!(Arc::ptr_eq(&a, &b), "same node → same context");
         let c = store.context(TechNode::N45);
         assert!(!Arc::ptr_eq(&a, &c));
-        assert_eq!(store.context_for("n65").unwrap().tech.node(), TechNode::N65);
-        assert!(store.context_for("7nm").is_err());
+        let tt = store.context_for("n65", None).unwrap();
+        assert!(Arc::ptr_eq(&a, &tt), "no corner means typical");
+        assert_eq!(tt.tech.node(), TechNode::N65);
+        assert_eq!(tt.corner(), Corner::Typical);
+        assert!(store.context_for("7nm", None).is_err());
+        assert!(store.context_for("n65", Some("sf")).is_err());
+    }
+
+    #[test]
+    fn corner_contexts_calibrate_live_and_shift_timing() {
+        let store = NodeStore::default();
+        let tt = store.context(TechNode::N65);
+        let ss = store
+            .context_at(TechNode::N65, Corner::SlowSlow)
+            .expect("SS calibrates");
+        assert!(!Arc::ptr_eq(&tt, &ss), "corners get distinct contexts");
+        let again = store.context_at(TechNode::N65, Corner::SlowSlow).unwrap();
+        assert!(Arc::ptr_eq(&ss, &again), "calibration runs once");
+        assert_eq!(ss.corner(), Corner::SlowSlow);
+        // Physics check: a slow corner slows the same line down.
+        let length = Length::mm(5.0);
+        let plan = tt.plan_for(length).expect("plan exists");
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        let t_tt = tt.evaluator().timing(&spec, &plan).delay.as_ps();
+        let t_ss = ss.evaluator().timing(&spec, &plan).delay.as_ps();
+        assert!(
+            t_ss > t_tt * 1.02,
+            "SS delay {t_ss} ps should exceed TT delay {t_tt} ps"
+        );
+    }
+
+    #[test]
+    fn corner_spellings_parse_case_insensitively() {
+        assert_eq!(parse_corner(None).unwrap(), Corner::Typical);
+        for (s, c) in [
+            ("tt", Corner::Typical),
+            ("Typical", Corner::Typical),
+            ("SS", Corner::SlowSlow),
+            ("slow-slow", Corner::SlowSlow),
+            (" ff ", Corner::FastFast),
+            ("FAST", Corner::FastFast),
+        ] {
+            assert_eq!(parse_corner(Some(s)).unwrap(), c, "{s}");
+        }
+        assert!(parse_corner(Some("fs")).is_err());
     }
 
     #[test]

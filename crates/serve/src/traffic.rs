@@ -23,7 +23,7 @@
 
 use pi_rt::Rng;
 
-use crate::api::{ApiRequest, EvalRequest, YieldRequest};
+use crate::api::{ApiRequest, EvalRequest, SizeRequest, YieldRequest};
 
 /// Gate count of the synthetic die (`√N = 64`).
 pub const GATES: u64 = 4096;
@@ -71,18 +71,31 @@ pub struct TrafficGen {
     seed: u64,
     tech: String,
     yield_pct: u32,
+    size_pct: u32,
     cdf: Vec<f64>,
 }
 
 impl TrafficGen {
     /// A generator for `tech` where `yield_pct` percent of requests are
-    /// yield queries and the rest are model evals.
+    /// yield queries and the rest are model evals. Equivalent to
+    /// [`TrafficGen::with_mix`] with no sizing traffic — and bit-identical
+    /// to it request for request.
     #[must_use]
     pub fn new(seed: u64, tech: &str, yield_pct: u32) -> Self {
+        Self::with_mix(seed, tech, yield_pct, 0)
+    }
+
+    /// A generator mixing `yield_pct` percent yield queries and
+    /// `size_pct` percent sizing queries into the eval stream (both
+    /// clamped so the mix sums to at most 100).
+    #[must_use]
+    pub fn with_mix(seed: u64, tech: &str, yield_pct: u32, size_pct: u32) -> Self {
+        let yield_pct = yield_pct.min(100);
         TrafficGen {
             seed,
             tech: tech.to_owned(),
-            yield_pct: yield_pct.min(100),
+            yield_pct,
+            size_pct: size_pct.min(100 - yield_pct),
             cdf: wire_length_cdf(),
         }
     }
@@ -100,10 +113,11 @@ impl TrafficGen {
         let mut rng = Rng::stream(self.seed, i);
         let pitches = self.pitches_at(rng.random_unit());
         let length_mm = pitches as f64 * PITCH_MM;
-        if rng.below(100) < self.yield_pct as usize {
-            // A deadline a little above the typical delay of the length
-            // keeps the answers in the interesting mid-yield band.
-            let deadline_ps = 45.0 + 130.0 * length_mm;
+        // A deadline a little above the typical delay of the length keeps
+        // yield answers in the interesting mid-yield band.
+        let deadline_ps = 45.0 + 130.0 * length_mm;
+        let kind = rng.below(100);
+        if kind < self.yield_pct as usize {
             let estimator = if rng.below(2) == 0 {
                 "analytic"
             } else {
@@ -119,6 +133,25 @@ impl TrafficGen {
                 cv: false,
                 rho: None,
                 regions: None,
+                corner: None,
+            })
+        } else if kind < (self.yield_pct + self.size_pct) as usize {
+            // A 25% deadline margin leaves the sizing ladder headroom to
+            // reach the target yield at every length in the distribution.
+            let estimator = if rng.below(2) == 0 {
+                "analytic"
+            } else {
+                "sobol-scrambled"
+            };
+            ApiRequest::Size(SizeRequest {
+                tech: self.tech.clone(),
+                length_mm,
+                deadline_ps: deadline_ps * 1.25,
+                target_yield: 0.9,
+                estimator: estimator.to_owned(),
+                seed: rng.next_u64(),
+                ci_pct: 2.0,
+                corner: None,
             })
         } else {
             ApiRequest::Eval(EvalRequest {
@@ -126,6 +159,7 @@ impl TrafficGen {
                 length_mm,
                 count: None,
                 wn_um: None,
+                corner: None,
             })
         }
     }
@@ -213,5 +247,70 @@ mod tests {
             .filter(|&i| matches!(mixed.request(i), ApiRequest::Yield(_)))
             .count();
         assert!((150..450).contains(&yields), "~30% yields, got {yields}");
+    }
+
+    #[test]
+    fn size_mix_rides_along_without_perturbing_the_other_streams() {
+        // `new` (size_pct 0) and `with_mix` agree bit-for-bit, so adding
+        // sizing traffic to a config cannot shift eval/yield streams.
+        let plain = TrafficGen::new(11, "65nm", 40);
+        let mix0 = TrafficGen::with_mix(11, "65nm", 40, 0);
+        for i in 0..100 {
+            assert_eq!(plain.request(i), mix0.request(i));
+        }
+
+        let mixed = TrafficGen::with_mix(11, "65nm", 20, 30);
+        let mut sizes = 0usize;
+        for i in 0..1000 {
+            if let ApiRequest::Size(s) = mixed.request(i) {
+                sizes += 1;
+                assert!(s.deadline_ps > 45.0 * 1.25);
+                assert_eq!(s.target_yield, 0.9);
+                assert!(matches!(
+                    s.estimator.as_str(),
+                    "analytic" | "sobol-scrambled"
+                ));
+            }
+        }
+        assert!((150..450).contains(&sizes), "~30% sizes, got {sizes}");
+
+        // Over-full mixes clamp instead of starving evals into negatives.
+        let clamped = TrafficGen::with_mix(11, "65nm", 80, 50);
+        assert!((0..200).all(|i| !matches!(clamped.request(i), ApiRequest::Eval(_))));
+    }
+
+    #[test]
+    fn size_deadlines_are_reachable_across_the_length_range() {
+        // The 1.25× margin must leave the sizing ladder room to hit the
+        // 0.9 target at representative lengths from both Davis regions.
+        use pi_core::line::LineSpec;
+        use pi_core::variation::VariationModel;
+        use pi_tech::units::{Length, Time};
+        use pi_tech::DesignStyle;
+        use pi_yield::{EstimatorConfig, Method};
+
+        let store = crate::store::NodeStore::default();
+        let ctx = store.context(pi_tech::TechNode::N65);
+        let ev = ctx.evaluator();
+        for pitches in [1usize, 16, 64, 127] {
+            let length_mm = pitches as f64 * PITCH_MM;
+            let deadline = Time::ps((45.0 + 130.0 * length_mm) * 1.25);
+            let length = Length::mm(length_mm);
+            let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+            let plan = ctx.plan_for(length).expect("plan");
+            let config = EstimatorConfig::new(Method::Analytic).with_seed(1);
+            let sized = ev.size_for_yield_with(
+                &spec,
+                &plan,
+                &VariationModel::nominal(),
+                deadline,
+                0.9,
+                &config,
+            );
+            assert!(
+                sized.is_some(),
+                "no feasible sizing at {length_mm} mm under the mix deadline"
+            );
+        }
     }
 }

@@ -190,6 +190,21 @@ impl EstimatorConfig {
         self.disagreement_threshold = threshold;
         self
     }
+
+    /// The cheap screening configuration paired with this one by the
+    /// sizing loops: same knobs, method swapped to the surrogate
+    /// importance sampler. `None` when screening does not apply — the
+    /// caller has not opted into the control variate (opting in is what
+    /// declares the analytic surrogate trustworthy), or the configured
+    /// method *is* already the surrogate sampler.
+    #[must_use]
+    pub fn surrogate_screen(&self) -> Option<EstimatorConfig> {
+        (self.control_variate && self.method != Method::SurrogateIs).then(|| {
+            let mut cfg = *self;
+            cfg.method = Method::SurrogateIs;
+            cfg
+        })
+    }
 }
 
 /// An estimated yield with its uncertainty and cost.

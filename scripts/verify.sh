@@ -50,7 +50,8 @@ for key in host_cores calibration_threads calibration_serial_ns \
     yield_corr_evals \
     yield_corr_overestimate_pct probe_overhead_ns \
     newton_iters_per_solve step_reject_rate char_cache_hit_rate \
-    serve_p50_us serve_p99_us serve_qps serve_batch_mean; do
+    serve_p50_us serve_p99_us serve_qps serve_batch_mean \
+    serve_qps_c64 serve_p99_us_c64 size_batch_mean; do
     require_finite "$key"
 done
 # Legitimately "null" on an effectively-serial host, but must be present.
@@ -77,10 +78,22 @@ if ! awk -v r="$cv_ratio" 'BEGIN { exit !(r >= 1.0) }'; then
     exit 1
 fi
 # The serving path must sustain four-digit QPS on the committed mixed
-# traffic (the bench asserts zero errors before writing the keys).
+# traffic (the bench asserts zero errors before writing the keys), in
+# the default event-loop mode, and hold it at a 64-connection fan-out.
 serve_qps=$(json_value serve_qps)
 if ! awk -v q="$serve_qps" 'BEGIN { exit !(q >= 1000.0) }'; then
     echo "perf smoke: serve_qps $serve_qps below the 1000 QPS bound"
+    exit 1
+fi
+serve_qps_c64=$(json_value serve_qps_c64)
+if ! awk -v q="$serve_qps_c64" 'BEGIN { exit !(q >= 1000.0) }'; then
+    echo "perf smoke: serve_qps_c64 $serve_qps_c64 below the 1000 QPS bound"
+    exit 1
+fi
+# Coalesced sizing: the 20 ms-window burst must actually batch ladders.
+size_batch_mean=$(json_value size_batch_mean)
+if ! awk -v m="$size_batch_mean" 'BEGIN { exit !(m > 1.5) }'; then
+    echo "perf smoke: size_batch_mean $size_batch_mean does not clear the 1.5 coalescing bound"
     exit 1
 fi
 echo "perf smoke: OK (signoff_speedup $(json_value signoff_speedup)x, probe ${probe_ns} ns, surrogate tail ${sur_reduction}x, serve ${serve_qps} qps)"
@@ -153,6 +166,11 @@ if [ -z "$serve_addr" ]; then
 fi
 target/release/pi-load --addr "$serve_addr" --qps 500 --duration 1 \
     --concurrency 2 --yield-pct 10 --seed 7
+# 64-connection fan-out against the same (event-loop) server: every
+# response must still be 200 — connection count alone must never shed
+# or fail requests — with some sizing traffic coalescing along the way.
+target/release/pi-load --addr "$serve_addr" --qps 800 --duration 1 \
+    --conns 64 --yield-pct 5 --size-pct 5 --seed 11
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 if ! grep -q 'served .* requests in .* batches' "$serve_log"; then

@@ -11,8 +11,8 @@
 //!             [--estimator naive|sobol|sobol-scrambled|importance|surrogate-is|analytic]
 //!             [--cv] [--ci 0.5] [--seed 1] [--rho 0.5] [--regions 4]
 //! pi report   --tech 65nm --length 5mm --clock 2GHz [--bits 128] [--full]
-//! pi serve    [--port 7878] [--batch-window 500] [--queue-depth 1024]
-//! pi load     [--addr 127.0.0.1:7878] [--qps 2000] [--concurrency 4] [--duration 3]
+//! pi serve    [--port 7878] [--batch-window 500] [--queue-depth 1024] [--io poll|threads]
+//! pi load     [--addr 127.0.0.1:7878] [--qps 2000] [--conns 4] [--duration 3] [--size-pct 0]
 //!             [--yield-pct 10] [--seed 1] [--tech 65nm] [--json]
 //! pi scaling
 //! ```
@@ -509,7 +509,7 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     use predictive_interconnect::serve::{
-        install_shutdown_signals, signalled, ServeConfig, Server,
+        install_shutdown_signals, signalled, IoMode, ServeConfig, Server,
     };
     let mut config = ServeConfig::from_env();
     if let Some(v) = opts.get("port") {
@@ -523,9 +523,20 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     if let Some(v) = opts.get("queue-depth") {
         config.queue_depth = v.parse().map_err(|e| format!("bad --queue-depth: {e}"))?;
     }
+    if let Some(v) = opts.get("io") {
+        config.io = match v.to_ascii_lowercase().as_str() {
+            "poll" => IoMode::Poll,
+            "threads" => IoMode::Threads,
+            other => return Err(format!("bad --io `{other}` (poll or threads)")),
+        };
+    }
     install_shutdown_signals();
     let mut server = Server::start(&config).map_err(|e| format!("bind failed: {e}"))?;
-    println!("pi serve listening on {}", server.addr());
+    println!(
+        "pi serve listening on {} ({} mode)",
+        server.addr(),
+        server.io_mode().name()
+    );
     println!(
         "endpoints: POST /v1/eval /v1/yield /v1/size /v1/net-yield | \
          GET /healthz /v1/stats | POST /admin/shutdown (or ctrl-c / SIGTERM)"
@@ -556,6 +567,9 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
     if let Some(v) = opts.get("concurrency") {
         config.concurrency = v.parse().map_err(|e| format!("bad --concurrency: {e}"))?;
     }
+    if let Some(v) = opts.get("conns") {
+        config.conns = v.parse().map_err(|e| format!("bad --conns: {e}"))?;
+    }
     if let Some(v) = opts.get("duration") {
         config.duration_s = v
             .parse()
@@ -563,6 +577,9 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
     }
     if let Some(v) = opts.get("yield-pct") {
         config.yield_pct = v.parse().map_err(|e| format!("bad --yield-pct: {e}"))?;
+    }
+    if let Some(v) = opts.get("size-pct") {
+        config.size_pct = v.parse().map_err(|e| format!("bad --size-pct: {e}"))?;
     }
     if let Some(v) = opts.get("seed") {
         config.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;

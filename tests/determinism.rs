@@ -428,6 +428,7 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
                     port: 0,
                     batch_window_us: 2000,
                     queue_depth: 64,
+                    ..ServeConfig::default()
                 })
                 .expect("bind ephemeral");
                 let addr = server.addr().to_string();
@@ -448,6 +449,7 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
                                     cv: false,
                                     rho: None,
                                     regions: None,
+                                    corner: None,
                                 });
                                 let body = req.to_json().render();
                                 let resp = client
@@ -505,6 +507,175 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
         assert_eq!(
             served_runs[0], served_runs[1],
             "served answers: 1 vs 4 threads"
+        );
+    }
+
+    // 11. The poll(2) event loop: a single connection pipelining yield
+    //     AND sizing queries back-to-back over a real socket must get
+    //     answers bit-identical to in-process estimates (the sizes
+    //     coalescing into one batched ladder sweep), invariant across
+    //     PI_THREADS, and byte-identical on the wire to the
+    //     thread-per-connection reference mode.
+    {
+        use pi_serve::api::{ApiRequest, SizeRequest, SizeResponse, YieldRequest, YieldResponse};
+        use pi_serve::http::{read_response, write_request};
+        use pi_serve::{IoMode, ServeConfig, Server};
+
+        let length = Length::mm(5.0);
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        let cli_plan = evaluator
+            .optimize_buffering(
+                &spec,
+                &pi_core::BufferingObjective::balanced(Freq::ghz(1.0)),
+                &pi_core::SearchSpace::for_length(length),
+            )
+            .expect("plan exists")
+            .plan;
+        let deadline = pi_tech::units::Time::ps(600.0);
+        let yield_seeds = [7u64, 8, 9];
+        let size_jobs = [(3u64, "naive", 650.0), (4u64, "sobol-scrambled", 1100.0)];
+
+        // One pipelined burst: write all five requests before reading any
+        // response, so the wide batch window coalesces them server-side.
+        let run = |io: IoMode, threads: &str| -> Vec<String> {
+            with_threads(Some(threads), || {
+                let mut server = Server::start(&ServeConfig {
+                    port: 0,
+                    batch_window_us: 20_000,
+                    queue_depth: 64,
+                    io,
+                    ..ServeConfig::default()
+                })
+                .expect("bind ephemeral");
+                let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                    .expect("timeout");
+                let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
+                let mut requests: Vec<ApiRequest> = yield_seeds
+                    .iter()
+                    .map(|&seed| {
+                        ApiRequest::Yield(YieldRequest {
+                            tech: "65nm".to_owned(),
+                            length_mm: 5.0,
+                            deadline_ps: 600.0,
+                            estimator: "sobol-scrambled".to_owned(),
+                            seed,
+                            ci_pct: 2.0,
+                            cv: false,
+                            rho: None,
+                            regions: None,
+                            corner: None,
+                        })
+                    })
+                    .collect();
+                for &(seed, estimator, deadline_ps) in &size_jobs {
+                    requests.push(ApiRequest::Size(SizeRequest {
+                        tech: "65nm".to_owned(),
+                        length_mm: 5.0,
+                        deadline_ps,
+                        target_yield: 0.9,
+                        estimator: estimator.to_owned(),
+                        seed,
+                        ci_pct: 2.0,
+                        corner: None,
+                    }));
+                }
+                for req in &requests {
+                    let body = req.to_json().render();
+                    write_request(&mut stream, "POST", req.path(), body.as_bytes())
+                        .expect("pipelined write");
+                }
+                let bodies: Vec<String> = (0..requests.len())
+                    .map(|_| {
+                        let resp = read_response(&mut reader)
+                            .expect("parse response")
+                            .expect("connection stayed open");
+                        assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+                        resp.body_str().expect("utf-8 body").to_owned()
+                    })
+                    .collect();
+                server.shutdown();
+                bodies
+            })
+        };
+
+        let mut by_mode: Vec<Vec<String>> = Vec::new();
+        for io in [IoMode::Poll, IoMode::Threads] {
+            let runs: Vec<Vec<String>> = ["1", "4"].iter().map(|t| run(io, t)).collect();
+            assert_eq!(runs[0], runs[1], "{io:?}: served bytes, 1 vs 4 threads");
+
+            for (&seed, body) in yield_seeds.iter().zip(&runs[0]) {
+                let v = pi_serve::json::parse(body).expect("json");
+                let got = YieldResponse::from_json(&v).expect("yield body");
+                let config =
+                    EstimatorConfig::new("sobol-scrambled".parse::<Method>().expect("method"))
+                        .with_seed(seed)
+                        .with_target_half_width(2.0 / 100.0);
+                let direct = with_threads(Some("1"), || {
+                    evaluator.timing_yield_estimate(
+                        &spec,
+                        &cli_plan,
+                        &VariationModel::nominal(),
+                        deadline,
+                        &config,
+                    )
+                });
+                assert_eq!(
+                    direct.yield_fraction.to_bits(),
+                    got.yield_fraction.to_bits(),
+                    "{io:?}: pipelined yield vs in-process, seed {seed}"
+                );
+                assert_eq!(
+                    direct.half_width.to_bits(),
+                    got.half_width.to_bits(),
+                    "{io:?}: half-width, seed {seed}"
+                );
+                assert_eq!(direct.evals as u64, got.evals, "{io:?}: seed {seed}");
+            }
+            for (&(seed, estimator, deadline_ps), body) in
+                size_jobs.iter().zip(&runs[0][yield_seeds.len()..])
+            {
+                let v = pi_serve::json::parse(body).expect("json");
+                let got = SizeResponse::from_json(&v).expect("size body");
+                let config = EstimatorConfig::new(estimator.parse::<Method>().expect("method"))
+                    .with_seed(seed)
+                    .with_target_half_width(2.0 / 100.0);
+                let direct = with_threads(Some("1"), || {
+                    evaluator.size_for_yield_with(
+                        &spec,
+                        &cli_plan,
+                        &VariationModel::nominal(),
+                        pi_tech::units::Time::ps(deadline_ps),
+                        0.9,
+                        &config,
+                    )
+                })
+                .expect("solo sizing succeeds");
+                assert_eq!(
+                    direct.plan.count as u64, got.count,
+                    "{io:?}: batched size count, seed {seed}"
+                );
+                assert_eq!(
+                    direct.plan.wn.as_um().to_bits(),
+                    got.wn_um.to_bits(),
+                    "{io:?}: batched size width, seed {seed}"
+                );
+                assert_eq!(
+                    direct.achieved_yield.to_bits(),
+                    got.achieved_yield.to_bits(),
+                    "{io:?}: achieved yield, seed {seed}"
+                );
+                assert_eq!(
+                    direct.steps as u64, got.steps,
+                    "{io:?}: sizing steps, seed {seed}"
+                );
+            }
+            by_mode.push(runs.into_iter().next().expect("one run"));
+        }
+        assert_eq!(
+            by_mode[0], by_mode[1],
+            "poll event loop vs thread-per-connection: wire bodies differ"
         );
     }
 }
