@@ -9,7 +9,10 @@
 //! parser state, and a self-pipe waker through which batcher completions
 //! re-enter the loop. Keep-alive and pipelining are preserved —
 //! pipelined responses flush strictly in request order even though the
-//! batcher answers out of order.
+//! batcher answers out of order. A peer that pipelines requests without
+//! reading responses hits per-connection backlog caps
+//! ([`WRITE_BACKLOG_CAP`], [`PENDING_CAP`]) that pause reading until it
+//! drains, the moral equivalent of thread mode's blocking writes.
 //!
 //! The syscalls (`poll`, `pipe`, `read`, `write`, `close`) are declared
 //! `extern "C"` against the libc `std` already links — no new crates,
@@ -72,6 +75,18 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 /// A connection's buffered input may not exceed one maximal request plus
 /// slack; beyond it the peer gets `413` and the connection closes.
 const READ_CAP: usize = MAX_HEADER_BYTES + MAX_BODY_BYTES + 1024;
+
+/// Write-side backpressure: once a connection holds this many un-flushed
+/// response bytes, the loop stops reading and parsing its input until the
+/// peer drains some. Without this, a client pipelining cheap immediate
+/// requests (`GET /healthz`) while never reading responses grows
+/// `write_buf` without bound — the batcher queue caps API jobs but not
+/// immediate responses.
+const WRITE_BACKLOG_CAP: usize = 256 * 1024;
+
+/// Companion cap on un-answered pipeline slots, bounding the per-request
+/// bookkeeping the same way `WRITE_BACKLOG_CAP` bounds rendered bytes.
+const PENDING_CAP: usize = 128;
 
 /// Wakes the poll loop from another thread via the self-pipe, with an
 /// atomic suppressing redundant pipe writes (at most one byte is ever in
@@ -145,6 +160,15 @@ impl Conn {
     fn drained(&self) -> bool {
         self.pending.is_empty() && self.write_pos == self.write_buf.len()
     }
+
+    /// The peer is not consuming responses it already asked for: stop
+    /// reading and parsing until flushes bring the backlog back under
+    /// the caps (mirroring the natural blocking-write backpressure of
+    /// thread mode).
+    fn backpressured(&self) -> bool {
+        self.write_buf.len() - self.write_pos > WRITE_BACKLOG_CAP
+            || self.pending.len() > PENDING_CAP
+    }
 }
 
 /// The running I/O thread plus the waker `Server::shutdown` pokes.
@@ -171,16 +195,24 @@ pub(crate) fn spawn(
         write_fd: pipe_wr,
         pending: AtomicBool::new(false),
     });
-    let thread = {
+    let spawned = {
         let waker = Arc::clone(&waker);
         std::thread::Builder::new()
             .name("pi-serve-io".to_owned())
             .spawn(move || {
                 run(&listener, pipe_rd, &waker, &shutdown, &queue, &stats);
                 let _ = unsafe { close(pipe_rd) };
-            })?
+            })
     };
-    Ok(IoHandle { waker, thread })
+    match spawned {
+        Ok(thread) => Ok(IoHandle { waker, thread }),
+        Err(e) => {
+            // The closure that would close `pipe_rd` never ran (the
+            // write end is closed by `Waker`'s Drop).
+            let _ = unsafe { close(pipe_rd) };
+            Err(e)
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -233,7 +265,7 @@ fn run(
         for (token, conn) in conns.iter().enumerate() {
             let Some(c) = conn else { continue };
             let mut events = 0i16;
-            if !c.read_closed && c.read_buf.len() <= READ_CAP {
+            if !c.read_closed && c.read_buf.len() <= READ_CAP && !c.backpressured() {
                 events |= POLLIN;
             }
             if c.write_pos < c.write_buf.len() {
@@ -255,34 +287,43 @@ fn run(
             )
         };
         if n <= 0 {
-            // Timeout or EINTR: loop back to the shutdown check.
+            // Timeout or EINTR: deliver completions anyway — a wake that
+            // lost its pipe byte must not strand an answered job — then
+            // loop back to the shutdown check.
+            deliver_completions(
+                &completions,
+                &mut conns,
+                shutdown,
+                queue,
+                stats,
+                &completion_tx,
+                waker,
+            );
             continue;
         }
         let _span = pi_obs::span("serve.io_wakeup");
         pi_obs::hist_record("serve.io_ready_events", f64::from(n));
 
-        // Self-pipe first: clear the suppression flag *before* draining
-        // completions, so a completion posted mid-drain re-arms the pipe
-        // instead of being lost until the next timeout.
+        // Self-pipe first: drain the pipe *before* clearing the
+        // suppression flag. With the opposite order, a wake() landing
+        // between the store and the read has its byte swallowed by this
+        // same drain while `pending` stays true, muting every later
+        // wake(). This order suppresses that interleaved wake's byte
+        // instead, and its completion is picked up by the drain below.
         if pollfds[0].revents != 0 {
-            waker.pending.store(false, Ordering::Release);
             let mut sink = [0u8; 64];
             let _ = unsafe { read(pipe_rd, sink.as_mut_ptr(), sink.len()) };
+            waker.pending.store(false, Ordering::Release);
         }
-        for done in completions.try_iter() {
-            let Some(conn) = conns.get_mut(done.token).and_then(Option::as_mut) else {
-                continue;
-            };
-            if conn.generation != done.generation {
-                continue; // the token was re-used; the old peer is gone
-            }
-            if let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == done.seq) {
-                slot.ready = Some(Rendered::of(&done.response, slot.keep_alive));
-            }
-            if flush(conn, shutdown) {
-                conns[done.token] = None;
-            }
-        }
+        deliver_completions(
+            &completions,
+            &mut conns,
+            shutdown,
+            queue,
+            stats,
+            &completion_tx,
+            waker,
+        );
 
         if let Some(at) = listener_at {
             if pollfds[at].revents != 0 {
@@ -299,13 +340,89 @@ fn run(
                 continue;
             };
             if revents & (POLLIN | POLLERR | POLLHUP) != 0 {
-                read_ready(conn, token, shutdown, queue, stats, &completion_tx, waker);
+                read_socket(conn);
             }
-            let gone = flush(conn, shutdown)
-                || (conn.read_closed && conn.pending.is_empty() && conn.write_buf.is_empty());
-            if gone {
+            if service(conn, token, shutdown, queue, stats, &completion_tx, waker) {
                 conns[token] = None;
             }
+        }
+    }
+}
+
+/// Hands every queued batcher completion to its connection and services
+/// the result.
+#[allow(clippy::too_many_arguments)]
+fn deliver_completions(
+    completions: &mpsc::Receiver<Completion>,
+    conns: &mut [Option<Conn>],
+    shutdown: &Arc<AtomicBool>,
+    queue: &Arc<Batcher>,
+    stats: &Arc<ServerStats>,
+    completion_tx: &mpsc::Sender<Completion>,
+    waker: &Arc<Waker>,
+) {
+    for done in completions.try_iter() {
+        let Some(conn) = conns.get_mut(done.token).and_then(Option::as_mut) else {
+            continue;
+        };
+        if conn.generation != done.generation {
+            continue; // the token was re-used; the old peer is gone
+        }
+        if let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == done.seq) {
+            slot.ready = Some(Rendered::of(&done.response, slot.keep_alive));
+        }
+        if service(
+            conn,
+            done.token,
+            shutdown,
+            queue,
+            stats,
+            completion_tx,
+            waker,
+        ) {
+            conns[done.token] = None;
+        }
+    }
+}
+
+/// Alternates parsing and flushing until neither makes progress. The
+/// re-parse after a flush matters under backpressure: input buffered
+/// while the peer lagged gets no further `POLLIN` to announce it, so the
+/// flush that clears the backlog must also resume consuming it. Returns
+/// `true` when the connection is finished and should be dropped.
+fn service(
+    conn: &mut Conn,
+    token: usize,
+    shutdown: &Arc<AtomicBool>,
+    queue: &Arc<Batcher>,
+    stats: &Arc<ServerStats>,
+    completion_tx: &mpsc::Sender<Completion>,
+    waker: &Arc<Waker>,
+) -> bool {
+    loop {
+        let before = (
+            conn.read_buf.len(),
+            conn.next_seq,
+            conn.write_buf.len() - conn.write_pos,
+            conn.pending.len(),
+        );
+        if !conn.close_after_flush && !conn.backpressured() && !conn.read_buf.is_empty() {
+            parse_buffered(conn, token, shutdown, queue, stats, completion_tx, waker);
+        }
+        if flush(conn, shutdown) {
+            return true;
+        }
+        if conn.read_closed && conn.pending.is_empty() && conn.write_buf.is_empty() {
+            return true;
+        }
+        let after = (
+            conn.read_buf.len(),
+            conn.next_seq,
+            conn.write_buf.len() - conn.write_pos,
+            conn.pending.len(),
+        );
+        if after == before {
+            return false;
         }
     }
 }
@@ -343,18 +460,8 @@ fn accept_ready(
     }
 }
 
-/// Reads everything available, then parses and routes every complete
-/// request sitting in the buffer.
-#[allow(clippy::too_many_arguments)]
-fn read_ready(
-    conn: &mut Conn,
-    token: usize,
-    shutdown: &Arc<AtomicBool>,
-    queue: &Arc<Batcher>,
-    stats: &Arc<ServerStats>,
-    completion_tx: &mpsc::Sender<Completion>,
-    waker: &Arc<Waker>,
-) {
+/// Reads everything available on the socket into the connection buffer.
+fn read_socket(conn: &mut Conn) {
     let mut chunk = [0u8; 8 * 1024];
     loop {
         match conn.stream.read(&mut chunk) {
@@ -376,8 +483,22 @@ fn read_ready(
             }
         }
     }
+}
 
-    while !conn.read_buf.is_empty() && !conn.close_after_flush {
+/// Parses and routes every complete request sitting in the buffer,
+/// stopping early once the connection's response backlog hits the
+/// backpressure caps.
+#[allow(clippy::too_many_arguments)]
+fn parse_buffered(
+    conn: &mut Conn,
+    token: usize,
+    shutdown: &Arc<AtomicBool>,
+    queue: &Arc<Batcher>,
+    stats: &Arc<ServerStats>,
+    completion_tx: &mpsc::Sender<Completion>,
+    waker: &Arc<Waker>,
+) {
+    while !conn.read_buf.is_empty() && !conn.close_after_flush && !conn.backpressured() {
         // `&[u8]` is `BufRead`; on a slice, an `Io` parse error means
         // "incomplete, wait for more bytes", and the advance of the
         // slice head is exactly the bytes consumed.

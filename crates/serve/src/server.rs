@@ -681,6 +681,33 @@ mod tests {
     }
 
     #[test]
+    fn deep_pipeline_without_reading_hits_backpressure_then_drains() {
+        // 600 pipelined cheap requests, written in one burst before the
+        // client reads anything, push the connection past the event
+        // loop's pending-slot cap. The loop must pause parsing rather
+        // than buffer unboundedly, then resume from the already-buffered
+        // bytes (no further POLLIN announces them) once flushes drain
+        // the backlog — every request still gets its response, in order.
+        const BURST: usize = 600;
+        let mut server = test_server();
+        let (mut stream, mut reader) = connect(&server);
+
+        let mut burst = Vec::new();
+        for _ in 0..BURST {
+            write_request(&mut burst, "GET", "/healthz", b"").unwrap();
+        }
+        stream.write_all(&burst).unwrap();
+
+        for i in 0..BURST {
+            let resp = read_response(&mut reader).unwrap().unwrap();
+            assert_eq!(resp.status, 200, "response {i} of {BURST}");
+            assert_eq!(resp.body_str().unwrap(), "{\"ok\":true}");
+        }
+        assert!(server.stats().requests.load(Ordering::Relaxed) >= BURST as u64);
+        server.shutdown();
+    }
+
+    #[test]
     fn admin_shutdown_stops_the_server() {
         let mut server = test_server();
         let (mut stream, mut reader) = connect(&server);
