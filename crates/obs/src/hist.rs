@@ -11,10 +11,11 @@ use std::collections::BTreeMap;
 const UNDERFLOW: i32 = i32::MIN;
 
 /// A sparse log-bucketed histogram.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Hist {
     buckets: BTreeMap<i32, u64>,
     count: u64,
+    sum: f64,
 }
 
 /// A materialized histogram bucket: counts of values in `[lo, hi)`.
@@ -50,6 +51,9 @@ impl Hist {
     pub fn record(&mut self, v: f64) {
         *self.buckets.entry(exponent(v)).or_insert(0) += 1;
         self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
     }
 
     /// Adds all of `other`'s buckets into `self`.
@@ -58,12 +62,22 @@ impl Hist {
             *self.buckets.entry(*e).or_insert(0) += c;
         }
         self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// Total number of recorded values.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all finite recorded values. Bucket counts are exact and
+    /// merge-order independent; the sum is a float accumulated in merge
+    /// order, so treat it as observational (means, Prometheus `_sum`), not
+    /// as a bit-pinned result.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Occupied buckets in ascending value order.
@@ -141,6 +155,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.buckets()[0].count, 2);
+        assert!((a.sum() - 102.0).abs() < 1e-9);
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::time::Instant;
 pub mod hist;
 pub mod journal;
 pub mod report;
+pub mod window;
 
 pub use hist::Hist;
 
@@ -68,7 +69,7 @@ static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(0);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -77,7 +78,7 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -291,6 +292,7 @@ pub fn reinit_from_env() {
     });
     *lock(global()) = Agg::default();
     *lock(sink()) = None;
+    window::reset();
     MODE.store(MODE_UNINIT, Ordering::Relaxed);
 }
 

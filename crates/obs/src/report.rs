@@ -304,7 +304,19 @@ pub fn render(text: &str) -> Result<String, String> {
         let mut last = "";
         for (name, lo, hi, count) in &j.hist_buckets {
             if name != last {
-                let _ = writeln!(out, "  {name}:");
+                let group: Vec<(f64, f64, u64)> = j
+                    .hist_buckets
+                    .iter()
+                    .filter(|(n, _, _, _)| n == name)
+                    .map(|(_, lo, hi, c)| (*lo, *hi, *c))
+                    .collect();
+                let n: u64 = group.iter().map(|b| b.2).sum();
+                let _ = writeln!(
+                    out,
+                    "  {name}:  n {n}  p50 ~{:.3}  p99 ~{:.3}",
+                    bucket_quantile(&group, 0.50),
+                    bucket_quantile(&group, 0.99)
+                );
                 last = name;
             }
             let _ = writeln!(out, "    [{lo:>12.6}, {hi:>12.6})  {count:>10}");
@@ -334,6 +346,28 @@ pub fn render(text: &str) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// Approximate quantile over journaled `(lo, hi, count)` buckets (ascending
+/// value order, as the journal emits them): geometric midpoint of the bucket
+/// containing the q-th value, 0 for the underflow bucket or empty input.
+fn bucket_quantile(buckets: &[(f64, f64, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|b| b.2).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (lo, hi, c) in buckets {
+        seen += c;
+        if seen >= target {
+            if *hi <= 0.0 {
+                return 0.0;
+            }
+            return (lo * hi).sqrt();
+        }
+    }
+    0.0
 }
 
 /// Strict validation: every line checks against the schema, a `finish`

@@ -28,7 +28,11 @@
 //! batcher, `serve.batch` spans cover one coalesced execution, the
 //! `serve.batch_size` and `serve.size_batch` histograms record how much
 //! coalescing actually happened, and `serve.queue_depth_hwm` gauges the
-//! high-water mark of the queue.
+//! high-water mark of the queue. Each job additionally carries its phase
+//! accounting: `take_batch` stamps the queue wait, `respond` stamps the
+//! compute time (drain → answer), and both travel back to the connection
+//! layer as a [`PhaseTiming`] alongside the response, feeding the
+//! `serve.phase.*` windowed histograms and the access log.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,8 +57,18 @@ use crate::store::{NodeContext, NodeStore};
 /// How a job's answer leaves the batcher: a boxed callback so both
 /// connection models plug in — thread mode sends on an mpsc channel the
 /// handler blocks on, the event loop pushes a completion and wakes the
-/// poll thread.
-pub type Responder = Box<dyn FnOnce(ApiResponse) + Send + 'static>;
+/// poll thread. The callback also receives the job's [`PhaseTiming`] so
+/// the connection layer can finish the request's phase breakdown.
+pub type Responder = Box<dyn FnOnce(ApiResponse, PhaseTiming) + Send + 'static>;
+
+/// Batcher-side phase durations of one job, handed back with its answer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTiming {
+    /// Time spent queued: submit → batch drain, microseconds.
+    pub queue_us: f64,
+    /// Time spent in the batch executor: drain → answer, microseconds.
+    pub compute_us: f64,
+}
 
 /// One queued request with its response path.
 pub struct Job {
@@ -62,6 +76,10 @@ pub struct Job {
     pub request: ApiRequest,
     /// When it entered the queue (for the queue-wait histogram).
     pub enqueued: Instant,
+    /// Request id allocated by the connection layer at parse time.
+    pub id: u64,
+    queue_us: f64,
+    drained: Option<Instant>,
     resp: Responder,
 }
 
@@ -70,14 +88,30 @@ impl std::fmt::Debug for Job {
         f.debug_struct("Job")
             .field("request", &self.request)
             .field("enqueued", &self.enqueued)
+            .field("id", &self.id)
             .finish_non_exhaustive()
     }
 }
 
 impl Job {
-    /// Sends the response (a responder whose receiver hung up is a no-op).
+    /// Sends the response (a responder whose receiver hung up is a no-op),
+    /// stamping the compute phase (batch drain → this answer) and handing
+    /// the job's [`PhaseTiming`] to the responder. Jobs answered without
+    /// ever being drained (close-time 503s, shed) report zero compute.
     pub fn respond(self, response: ApiResponse) {
-        (self.resp)(response);
+        let compute_us = self
+            .drained
+            .map_or(0.0, |d| d.elapsed().as_secs_f64() * 1e6);
+        if self.drained.is_some() {
+            crate::telemetry::hist("serve.phase.compute_us", compute_us);
+        }
+        (self.resp)(
+            response,
+            PhaseTiming {
+                queue_us: self.queue_us,
+                compute_us,
+            },
+        );
     }
 }
 
@@ -143,45 +177,54 @@ impl Batcher {
         })
     }
 
-    /// Enqueues a request. Returns the channel the response will arrive
-    /// on, or the `503` to answer immediately when admission control
-    /// rejects it.
+    /// Enqueues a request. Returns the channel the response (and its
+    /// [`PhaseTiming`]) will arrive on, or the `503` to answer immediately
+    /// when admission control rejects it.
     ///
     /// # Errors
     ///
     /// The ready-made `503` [`ApiResponse`] on overload/shutdown.
-    pub fn submit(&self, request: ApiRequest) -> Result<mpsc::Receiver<ApiResponse>, ApiResponse> {
+    pub fn submit(
+        &self,
+        request: ApiRequest,
+    ) -> Result<mpsc::Receiver<(ApiResponse, PhaseTiming)>, ApiResponse> {
         let (tx, rx) = mpsc::channel();
         self.submit_with(
             request,
-            Box::new(move |resp| {
-                let _ = tx.send(resp);
+            crate::telemetry::next_request_id(),
+            Box::new(move |resp, timing| {
+                let _ = tx.send((resp, timing));
             }),
         )?;
         Ok(rx)
     }
 
-    /// Enqueues a request with an explicit responder — the event-loop
-    /// entry point. On rejection the responder is **not** invoked; the
-    /// caller answers the returned `503` itself.
+    /// Enqueues a request with an explicit id and responder — the
+    /// connection-layer entry point. On rejection the responder is **not**
+    /// invoked; the caller answers the returned `503` itself.
     ///
     /// # Errors
     ///
     /// The ready-made `503` [`ApiResponse`] on overload/shutdown.
-    pub fn submit_with(&self, request: ApiRequest, resp: Responder) -> Result<(), ApiResponse> {
+    pub fn submit_with(
+        &self,
+        request: ApiRequest,
+        id: u64,
+        resp: Responder,
+    ) -> Result<(), ApiResponse> {
         let mut st = self.state.lock().expect("batch queue poisoned");
         if st.closed {
             return Err(ApiResponse::error(503, "server is shutting down"));
         }
         if st.jobs.len() >= self.depth {
-            pi_obs::counter_add("serve.queue_full", 1);
+            crate::telemetry::counter("serve.queue_full", 1);
             return Err(ApiResponse::overloaded(
                 format!("request queue full ({} outstanding)", self.depth),
                 self.retry_after_s,
             ));
         }
         if st.jobs.len() >= self.shed_threshold && is_expensive(&request) {
-            pi_obs::counter_add("serve.shed", 1);
+            crate::telemetry::counter("serve.shed", 1);
             self.shed.fetch_add(1, Ordering::Relaxed);
             return Err(ApiResponse::overloaded(
                 format!(
@@ -195,11 +238,14 @@ impl Batcher {
         st.jobs.push_back(Job {
             request,
             enqueued: Instant::now(),
+            id,
+            queue_us: 0.0,
+            drained: None,
             resp,
         });
         let now = st.jobs.len() as u64;
         if now > self.hwm.fetch_max(now, Ordering::Relaxed) {
-            pi_obs::gauge_set("serve.queue_depth_hwm", now as f64);
+            crate::telemetry::gauge("serve.queue_depth_hwm", now as f64);
         }
         self.ready.notify_all();
         Ok(())
@@ -242,12 +288,20 @@ impl Batcher {
                 }
             }
         }
-        let batch: Vec<Job> = st.jobs.drain(..).collect();
-        for job in &batch {
-            pi_obs::hist_record(
-                "serve.queue_wait_us",
-                job.enqueued.elapsed().as_secs_f64() * 1e6,
-            );
+        let mut batch: Vec<Job> = st.jobs.drain(..).collect();
+        // Record outside the queue lock: probe sinks must never hold up a
+        // submitter.
+        drop(st);
+        let drained = Instant::now();
+        for job in &mut batch {
+            let wait_us = drained
+                .saturating_duration_since(job.enqueued)
+                .as_secs_f64()
+                * 1e6;
+            job.queue_us = wait_us;
+            job.drained = Some(drained);
+            pi_obs::hist_record("serve.queue_wait_us", wait_us);
+            crate::telemetry::hist("serve.phase.queue_us", wait_us);
         }
         Some(batch)
     }
@@ -268,6 +322,12 @@ impl Batcher {
     #[must_use]
     pub fn shed_count(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Queued-job count at which expensive queries start shedding.
+    #[must_use]
+    pub fn shed_threshold(&self) -> usize {
+        self.shed_threshold
     }
 
     /// Deepest the queue has ever been.
@@ -418,8 +478,8 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
         return;
     }
     let _span = pi_obs::span("serve.batch");
-    pi_obs::counter_add("serve.batches", 1);
-    pi_obs::hist_record("serve.batch_size", jobs.len() as f64);
+    crate::telemetry::counter("serve.batches", 1);
+    crate::telemetry::hist("serve.batch_size", jobs.len() as f64);
 
     // Slots: response per job index; grouped work fills them in.
     let mut slots: Vec<Option<ApiResponse>> = Vec::with_capacity(jobs.len());
@@ -536,7 +596,7 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
         stats
             .size_jobs
             .fetch_add(group.len() as u64, Ordering::Relaxed);
-        pi_obs::hist_record("serve.size_batch", group.len() as f64);
+        crate::telemetry::hist("serve.size_batch", group.len() as f64);
         let queries: Vec<SizeQuery> = group.iter().map(|(_, q)| *q).collect();
         let results = ev.size_for_yield_batch(&queries);
         for ((i, _), result) in group.into_iter().zip(results) {
@@ -594,7 +654,7 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
     for (job, slot) in jobs.into_iter().zip(slots) {
         let response =
             slot.unwrap_or_else(|| ApiResponse::error(500, "request fell through the batcher"));
-        pi_obs::counter_add(
+        crate::telemetry::counter(
             if response.status() == 200 {
                 "serve.responses_ok"
             } else {
@@ -665,8 +725,10 @@ mod tests {
         let store = NodeStore::default();
         execute_batch(&store, batch, &ServerStats::default());
         for rx in receivers {
-            let resp = rx.recv().expect("answered");
+            let (resp, timing) = rx.recv().expect("answered");
             assert_eq!(resp.status(), 200, "{resp:?}");
+            assert!(timing.queue_us >= 0.0);
+            assert!(timing.compute_us > 0.0, "drained jobs report compute time");
         }
     }
 
@@ -711,8 +773,11 @@ mod tests {
         q.close();
         assert_eq!(q.submit(eval_request(2.0)).unwrap_err().status(), 503);
         assert!(q.take_batch(Duration::ZERO).is_none(), "closed and empty");
-        // The pending job was answered 503 on close, not dropped.
-        assert_eq!(rx.recv().expect("answered").status(), 503);
+        // The pending job was answered 503 on close, not dropped. It was
+        // never drained, so its timing reports no compute.
+        let (resp, timing) = rx.recv().expect("answered");
+        assert_eq!(resp.status(), 503);
+        assert_eq!(timing.compute_us, 0.0);
     }
 
     #[test]
@@ -739,7 +804,7 @@ mod tests {
         let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
         let plan = ctx.plan_for(length).expect("plan");
         for (&(seed, est), rx) in specs.iter().zip(receivers) {
-            let ApiResponse::Yield(got) = rx.recv().expect("answered") else {
+            let ApiResponse::Yield(got) = rx.recv().expect("answered").0 else {
                 panic!("expected a yield response");
             };
             let config = estimator_config(est, seed, 2.0, false).expect("config");
@@ -783,7 +848,7 @@ mod tests {
         let ctx = store.context(pi_tech::TechNode::N65);
         let ev = ctx.evaluator();
         for (&(seed, est, mm, dl), rx) in specs.iter().zip(receivers) {
-            let ApiResponse::Size(got) = rx.recv().expect("answered") else {
+            let ApiResponse::Size(got) = rx.recv().expect("answered").0 else {
                 panic!("expected a size response");
             };
             let length = Length::mm(mm);
@@ -829,10 +894,10 @@ mod tests {
             q.take_batch(Duration::ZERO).expect("open"),
             &ServerStats::default(),
         );
-        let ApiResponse::Eval(tt) = rx_tt.recv().expect("answered") else {
+        let ApiResponse::Eval(tt) = rx_tt.recv().expect("answered").0 else {
             panic!("expected an eval response");
         };
-        let ApiResponse::Eval(ss) = rx_ss.recv().expect("answered") else {
+        let ApiResponse::Eval(ss) = rx_ss.recv().expect("answered").0 else {
             panic!("expected an eval response");
         };
         assert!(
@@ -874,8 +939,8 @@ mod tests {
             &ServerStats::default(),
         );
         for rx in [bad_tech, bad_len, bad_est, bad_corner] {
-            assert_eq!(rx.recv().expect("answered").status(), 400);
+            assert_eq!(rx.recv().expect("answered").0.status(), 400);
         }
-        assert_eq!(good.recv().expect("answered").status(), 200);
+        assert_eq!(good.recv().expect("answered").0.status(), 200);
     }
 }

@@ -8,6 +8,8 @@
 //! | `PI_SERVE_IO`     | connection handling: `poll` / `threads`| poll    |
 //! | `PI_SERVE_SHED_PCT` | queue fill (percent of depth) above which expensive requests shed | 75 |
 //! | `PI_SERVE_RETRY_AFTER_S` | `Retry-After` seconds on a shed/overload 503 | 1 |
+//! | `PI_SERVE_ACCESS_LOG` | path of the JSONL access log (unset = off) | unset |
+//! | `PI_SERVE_SLOW_US` | request duration, µs, beyond which the access log records the full phase breakdown | 100000 |
 //!
 //! Near-miss values follow the `PI_THREADS` / `PI_CHAR_CACHE` discipline
 //! (see `pi_rt::thread_count` and `pi_core::char_cache`): a value that is
@@ -43,7 +45,7 @@ impl IoMode {
 }
 
 /// Resolved server configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// TCP port to bind; `0` asks the OS for an ephemeral port.
     pub port: u16,
@@ -62,6 +64,11 @@ pub struct ServeConfig {
     pub shed_pct: u64,
     /// `Retry-After` value, seconds, attached to shed/overload responses.
     pub retry_after_s: u64,
+    /// Path of the structured JSONL access log; `None` disables it.
+    pub access_log: Option<String>,
+    /// Requests taking at least this many microseconds end-to-end get
+    /// their full per-phase breakdown in the access log.
+    pub slow_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +80,8 @@ impl Default for ServeConfig {
             io: IoMode::Poll,
             shed_pct: 75,
             retry_after_s: 1,
+            access_log: None,
+            slow_us: 100_000,
         }
     }
 }
@@ -95,6 +104,8 @@ impl ServeConfig {
             io: env_io("PI_SERVE_IO", default.io),
             shed_pct: env_u64("PI_SERVE_SHED_PCT", default.shed_pct, 1, 100),
             retry_after_s: env_u64("PI_SERVE_RETRY_AFTER_S", default.retry_after_s, 1, 3600),
+            access_log: env_path("PI_SERVE_ACCESS_LOG"),
+            slow_us: env_u64("PI_SERVE_SLOW_US", default.slow_us, 1, 3_600_000_000),
         }
     }
 
@@ -132,6 +143,19 @@ fn env_u64(name: &'static str, default: u64, min: u64, max: u64) -> u64 {
     }
 }
 
+/// Parses one `PI_SERVE_*` path. Unset → `None`; set but blank → `None`
+/// with a warn-once (a blank path is a near-miss, not a request for a
+/// file literally named "").
+fn env_path(name: &'static str) -> Option<String> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        pi_obs::warn_once(name, &format!("{name} is set but blank; ignoring it"));
+        return None;
+    }
+    Some(trimmed.to_owned())
+}
+
 /// Parses `PI_SERVE_IO`: `poll` / `threads` (trimmed, case-insensitive);
 /// anything else warns once and uses the default mode.
 fn env_io(name: &'static str, default: IoMode) -> IoMode {
@@ -158,13 +182,15 @@ fn env_io(name: &'static str, default: IoMode) -> IoMode {
 mod tests {
     use super::*;
 
-    const KEYS: [&str; 6] = [
+    const KEYS: [&str; 8] = [
         "PI_SERVE_PORT",
         "PI_SERVE_BATCH_US",
         "PI_SERVE_QUEUE",
         "PI_SERVE_IO",
         "PI_SERVE_SHED_PCT",
         "PI_SERVE_RETRY_AFTER_S",
+        "PI_SERVE_ACCESS_LOG",
+        "PI_SERVE_SLOW_US",
     ];
 
     // Env-var mutation is process-global, so every case runs inside this
@@ -186,11 +212,15 @@ mod tests {
         std::env::set_var("PI_SERVE_IO", "threads");
         std::env::set_var("PI_SERVE_SHED_PCT", "50");
         std::env::set_var("PI_SERVE_RETRY_AFTER_S", "5");
+        std::env::set_var("PI_SERVE_ACCESS_LOG", " /tmp/pi-access.jsonl ");
+        std::env::set_var("PI_SERVE_SLOW_US", "250000");
         let c = ServeConfig::from_env();
         assert_eq!((c.port, c.batch_window_us, c.queue_depth), (0, 250, 64));
         assert_eq!(c.io, IoMode::Threads);
         assert_eq!((c.shed_pct, c.retry_after_s), (50, 5));
         assert_eq!(c.shed_threshold(), 32, "50% of a 64-deep queue");
+        assert_eq!(c.access_log.as_deref(), Some("/tmp/pi-access.jsonl"));
+        assert_eq!(c.slow_us, 250_000);
 
         // Case-insensitive mode spellings pass through too.
         std::env::set_var("PI_SERVE_IO", " Poll ");
@@ -204,6 +234,8 @@ mod tests {
         std::env::set_var("PI_SERVE_IO", "epoll");
         std::env::set_var("PI_SERVE_SHED_PCT", "most");
         std::env::set_var("PI_SERVE_RETRY_AFTER_S", "soon");
+        std::env::set_var("PI_SERVE_ACCESS_LOG", "   ");
+        std::env::set_var("PI_SERVE_SLOW_US", "fast");
         let c = ServeConfig::from_env();
         assert_eq!(c, d);
 
@@ -213,12 +245,16 @@ mod tests {
         std::env::set_var("PI_SERVE_QUEUE", "0");
         std::env::set_var("PI_SERVE_SHED_PCT", "200");
         std::env::set_var("PI_SERVE_RETRY_AFTER_S", "0");
+        std::env::set_var("PI_SERVE_SLOW_US", "0");
+        std::env::remove_var("PI_SERVE_ACCESS_LOG");
         let c = ServeConfig::from_env();
         assert_eq!(c.port, u16::MAX);
         assert_eq!(c.batch_window_us, 1_000_000);
         assert_eq!(c.queue_depth, 1);
         assert_eq!(c.shed_pct, 100);
         assert_eq!(c.retry_after_s, 1);
+        assert_eq!(c.slow_us, 1);
+        assert_eq!(c.access_log, None);
         assert_eq!(c.shed_threshold(), 1, "threshold never reaches zero");
 
         for k in KEYS {

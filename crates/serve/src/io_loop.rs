@@ -33,9 +33,10 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use crate::api::ApiResponse;
-use crate::batch::Batcher;
+use crate::batch::{Batcher, PhaseTiming};
 use crate::http::{read_request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 use crate::server::{route, Rendered, RouteOutcome, ServerStats};
+use crate::telemetry::{AccessEntry, Telemetry};
 
 #[repr(C)]
 struct PollFd {
@@ -119,14 +120,36 @@ struct Completion {
     generation: u64,
     seq: u64,
     response: ApiResponse,
+    timing: PhaseTiming,
 }
 
 /// One response slot in a connection's pipeline: filled out of order by
-/// the batcher, flushed strictly in `seq` order.
+/// the batcher, flushed strictly in `seq` order. Carries the request's
+/// phase trace: id and parse time stamped at parse, batcher timing copied
+/// from the completion, render time stamped when the response body is
+/// serialized, and `t_ready` marking the start of the flush phase.
 struct Slot {
     seq: u64,
     keep_alive: bool,
     ready: Option<Rendered>,
+    id: u64,
+    endpoint: &'static str,
+    t_parsed: Instant,
+    parse_us: f64,
+    timing: PhaseTiming,
+    render_us: f64,
+    t_ready: Option<Instant>,
+}
+
+/// Everything the parse/deliver/flush helpers share, bundled so the loop
+/// threads one context instead of seven parameters.
+struct Ctx<'a> {
+    shutdown: &'a Arc<AtomicBool>,
+    queue: &'a Arc<Batcher>,
+    stats: &'a Arc<ServerStats>,
+    completion_tx: &'a mpsc::Sender<Completion>,
+    waker: &'a Arc<Waker>,
+    tel: &'a Telemetry,
 }
 
 struct Conn {
@@ -185,6 +208,7 @@ pub(crate) fn spawn(
     shutdown: Arc<AtomicBool>,
     queue: Arc<Batcher>,
     stats: Arc<ServerStats>,
+    tel: Arc<Telemetry>,
 ) -> std::io::Result<IoHandle> {
     let mut fds = [-1i32; 2];
     if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
@@ -200,7 +224,7 @@ pub(crate) fn spawn(
         std::thread::Builder::new()
             .name("pi-serve-io".to_owned())
             .spawn(move || {
-                run(&listener, pipe_rd, &waker, &shutdown, &queue, &stats);
+                run(&listener, pipe_rd, &waker, &shutdown, &queue, &stats, &tel);
                 let _ = unsafe { close(pipe_rd) };
             })
     };
@@ -215,7 +239,7 @@ pub(crate) fn spawn(
     }
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run(
     listener: &TcpListener,
     pipe_rd: i32,
@@ -223,8 +247,17 @@ fn run(
     shutdown: &Arc<AtomicBool>,
     queue: &Arc<Batcher>,
     stats: &Arc<ServerStats>,
+    tel: &Telemetry,
 ) {
     let (completion_tx, completions) = mpsc::channel::<Completion>();
+    let ctx = Ctx {
+        shutdown,
+        queue,
+        stats,
+        completion_tx: &completion_tx,
+        waker,
+        tel,
+    };
     // Token-indexed connection slab; generations guard against a token
     // being reused while a completion for its previous tenant is in
     // flight.
@@ -290,15 +323,7 @@ fn run(
             // Timeout or EINTR: deliver completions anyway — a wake that
             // lost its pipe byte must not strand an answered job — then
             // loop back to the shutdown check.
-            deliver_completions(
-                &completions,
-                &mut conns,
-                shutdown,
-                queue,
-                stats,
-                &completion_tx,
-                waker,
-            );
+            deliver_completions(&completions, &mut conns, &ctx);
             continue;
         }
         let _span = pi_obs::span("serve.io_wakeup");
@@ -315,15 +340,7 @@ fn run(
             let _ = unsafe { read(pipe_rd, sink.as_mut_ptr(), sink.len()) };
             waker.pending.store(false, Ordering::Release);
         }
-        deliver_completions(
-            &completions,
-            &mut conns,
-            shutdown,
-            queue,
-            stats,
-            &completion_tx,
-            waker,
-        );
+        deliver_completions(&completions, &mut conns, &ctx);
 
         if let Some(at) = listener_at {
             if pollfds[at].revents != 0 {
@@ -342,7 +359,7 @@ fn run(
             if revents & (POLLIN | POLLERR | POLLHUP) != 0 {
                 read_socket(conn);
             }
-            if service(conn, token, shutdown, queue, stats, &completion_tx, waker) {
+            if service(conn, token, &ctx) {
                 conns[token] = None;
             }
         }
@@ -351,15 +368,10 @@ fn run(
 
 /// Hands every queued batcher completion to its connection and services
 /// the result.
-#[allow(clippy::too_many_arguments)]
 fn deliver_completions(
     completions: &mpsc::Receiver<Completion>,
     conns: &mut [Option<Conn>],
-    shutdown: &Arc<AtomicBool>,
-    queue: &Arc<Batcher>,
-    stats: &Arc<ServerStats>,
-    completion_tx: &mpsc::Sender<Completion>,
-    waker: &Arc<Waker>,
+    ctx: &Ctx<'_>,
 ) {
     for done in completions.try_iter() {
         let Some(conn) = conns.get_mut(done.token).and_then(Option::as_mut) else {
@@ -369,17 +381,14 @@ fn deliver_completions(
             continue; // the token was re-used; the old peer is gone
         }
         if let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == done.seq) {
+            let t_render = Instant::now();
             slot.ready = Some(Rendered::of(&done.response, slot.keep_alive));
+            slot.render_us = t_render.elapsed().as_secs_f64() * 1e6;
+            crate::telemetry::hist("serve.phase.render_us", slot.render_us);
+            slot.timing = done.timing;
+            slot.t_ready = Some(Instant::now());
         }
-        if service(
-            conn,
-            done.token,
-            shutdown,
-            queue,
-            stats,
-            completion_tx,
-            waker,
-        ) {
+        if service(conn, done.token, ctx) {
             conns[done.token] = None;
         }
     }
@@ -390,15 +399,7 @@ fn deliver_completions(
 /// while the peer lagged gets no further `POLLIN` to announce it, so the
 /// flush that clears the backlog must also resume consuming it. Returns
 /// `true` when the connection is finished and should be dropped.
-fn service(
-    conn: &mut Conn,
-    token: usize,
-    shutdown: &Arc<AtomicBool>,
-    queue: &Arc<Batcher>,
-    stats: &Arc<ServerStats>,
-    completion_tx: &mpsc::Sender<Completion>,
-    waker: &Arc<Waker>,
-) -> bool {
+fn service(conn: &mut Conn, token: usize, ctx: &Ctx<'_>) -> bool {
     loop {
         let before = (
             conn.read_buf.len(),
@@ -407,9 +408,9 @@ fn service(
             conn.pending.len(),
         );
         if !conn.close_after_flush && !conn.backpressured() && !conn.read_buf.is_empty() {
-            parse_buffered(conn, token, shutdown, queue, stats, completion_tx, waker);
+            parse_buffered(conn, token, ctx);
         }
-        if flush(conn, shutdown) {
+        if flush(conn, ctx) {
             return true;
         }
         if conn.read_closed && conn.pending.is_empty() && conn.write_buf.is_empty() {
@@ -437,7 +438,7 @@ fn accept_ready(
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                pi_obs::counter_add("serve.connections", 1);
+                crate::telemetry::counter("serve.connections", 1);
                 let _ = stream.set_nodelay(true);
                 if stream.set_nonblocking(true).is_err() {
                     continue;
@@ -488,20 +489,12 @@ fn read_socket(conn: &mut Conn) {
 /// Parses and routes every complete request sitting in the buffer,
 /// stopping early once the connection's response backlog hits the
 /// backpressure caps.
-#[allow(clippy::too_many_arguments)]
-fn parse_buffered(
-    conn: &mut Conn,
-    token: usize,
-    shutdown: &Arc<AtomicBool>,
-    queue: &Arc<Batcher>,
-    stats: &Arc<ServerStats>,
-    completion_tx: &mpsc::Sender<Completion>,
-    waker: &Arc<Waker>,
-) {
+fn parse_buffered(conn: &mut Conn, token: usize, ctx: &Ctx<'_>) {
     while !conn.read_buf.is_empty() && !conn.close_after_flush && !conn.backpressured() {
         // `&[u8]` is `BufRead`; on a slice, an `Io` parse error means
         // "incomplete, wait for more bytes", and the advance of the
         // slice head is exactly the bytes consumed.
+        let t_parse = Instant::now();
         let mut slice: &[u8] = &conn.read_buf;
         match read_request(&mut slice) {
             Ok(Some(request)) => {
@@ -509,33 +502,44 @@ fn parse_buffered(
                 conn.read_buf.drain(..consumed);
                 let seq = conn.next_seq;
                 conn.next_seq += 1;
-                pi_obs::counter_add("serve.requests", 1);
-                stats.requests.fetch_add(1, Ordering::Relaxed);
-                match route(&request, shutdown, queue, stats) {
+                let parse_us = t_parse.elapsed().as_secs_f64() * 1e6;
+                crate::telemetry::hist("serve.phase.parse_us", parse_us);
+                let id = crate::telemetry::next_request_id();
+                let endpoint = crate::telemetry::endpoint_of(&request);
+                crate::telemetry::counter("serve.requests", 1);
+                ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let slot = |keep_alive, ready: Option<Rendered>| Slot {
+                    seq,
+                    keep_alive,
+                    t_ready: ready.as_ref().map(|_| Instant::now()),
+                    ready,
+                    id,
+                    endpoint,
+                    t_parsed: t_parse,
+                    parse_us,
+                    timing: PhaseTiming::default(),
+                    render_us: 0.0,
+                };
+                match route(&request, ctx.shutdown, ctx.queue, ctx.stats) {
                     RouteOutcome::Immediate(rendered) => {
-                        conn.pending.push_back(Slot {
-                            seq,
-                            keep_alive: rendered.keep_alive,
-                            ready: Some(rendered),
-                        });
+                        let keep_alive = rendered.keep_alive;
+                        conn.pending.push_back(slot(keep_alive, Some(rendered)));
                     }
                     RouteOutcome::Api(api) => {
-                        conn.pending.push_back(Slot {
-                            seq,
-                            keep_alive: request.keep_alive,
-                            ready: None,
-                        });
-                        let tx = completion_tx.clone();
-                        let waker = Arc::clone(waker);
+                        conn.pending.push_back(slot(request.keep_alive, None));
+                        let tx = ctx.completion_tx.clone();
+                        let waker = Arc::clone(ctx.waker);
                         let generation = conn.generation;
-                        let submitted = queue.submit_with(
+                        let submitted = ctx.queue.submit_with(
                             api,
-                            Box::new(move |response| {
+                            id,
+                            Box::new(move |response, timing| {
                                 let _ = tx.send(Completion {
                                     token,
                                     generation,
                                     seq,
                                     response,
+                                    timing,
                                 });
                                 waker.wake();
                             }),
@@ -543,6 +547,7 @@ fn parse_buffered(
                         if let Err(response) = submitted {
                             let slot = conn.pending.back_mut().expect("slot just pushed");
                             slot.ready = Some(Rendered::of(&response, slot.keep_alive));
+                            slot.t_ready = Some(Instant::now());
                         }
                     }
                 }
@@ -577,6 +582,13 @@ fn push_parse_error(conn: &mut Conn, status: u16, message: &str) {
         seq,
         keep_alive: false,
         ready: Some(rendered),
+        id: crate::telemetry::next_request_id(),
+        endpoint: "other",
+        t_parsed: Instant::now(),
+        parse_us: 0.0,
+        timing: PhaseTiming::default(),
+        render_us: 0.0,
+        t_ready: Some(Instant::now()),
     });
     conn.read_closed = true;
 }
@@ -584,16 +596,33 @@ fn push_parse_error(conn: &mut Conn, status: u16, message: &str) {
 /// Moves every leading ready slot into the write buffer, then writes as
 /// much as the socket accepts. Returns `true` when the connection is
 /// finished and should be dropped.
-fn flush(conn: &mut Conn, shutdown: &AtomicBool) -> bool {
+///
+/// A request is *finished* for tracing purposes when its bytes enter the
+/// write buffer — the flush phase ends here, not at the peer's ACK, so
+/// `serve.request_us` measures server-side latency only.
+fn flush(conn: &mut Conn, ctx: &Ctx<'_>) -> bool {
     while conn.pending.front().is_some_and(|s| s.ready.is_some()) {
         let slot = conn.pending.pop_front().expect("front checked");
         let rendered = slot.ready.expect("readiness checked");
-        let keep = rendered.keep_alive && !shutdown.load(Ordering::SeqCst);
+        let keep = rendered.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
         let before = conn.write_buf.len();
         if rendered.write_to(&mut conn.write_buf, keep).is_err() {
             conn.write_buf.truncate(before);
             return true; // Vec writes are infallible; defensive only
         }
+        ctx.tel.finish_request(&AccessEntry {
+            id: slot.id,
+            endpoint: slot.endpoint,
+            status: rendered.status,
+            total_us: slot.t_parsed.elapsed().as_secs_f64() * 1e6,
+            parse_us: slot.parse_us,
+            queue_us: slot.timing.queue_us,
+            compute_us: slot.timing.compute_us,
+            render_us: slot.render_us,
+            flush_us: slot
+                .t_ready
+                .map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e6),
+        });
         if !keep {
             conn.close_after_flush = true;
             conn.read_closed = true;

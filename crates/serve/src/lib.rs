@@ -24,6 +24,11 @@
 //!   `Retry-After` before cheap evals, cooperative shutdown, and
 //!   `pi-obs` spans/counters on every wakeup, request, batch and queue
 //!   wait;
+//! - live telemetry: rolling-window metrics behind a zero-dependency
+//!   Prometheus `GET /metrics` endpoint, per-request phase tracing
+//!   (parse → queue → compute → render → flush) into `serve.phase.*`
+//!   windowed histograms, and an optional JSONL access log
+//!   (`PI_SERVE_ACCESS_LOG`) with a slow-request phase breakdown;
 //! - a load generator ([`load`]) replaying synthetic traffic whose wire
 //!   lengths follow the Davis stochastic wiring distribution
 //!   ([`traffic`]), reporting p50/p99 latency, achieved QPS, batch sizes
@@ -66,12 +71,13 @@ pub mod json;
 pub mod load;
 pub mod server;
 pub mod store;
+mod telemetry;
 pub mod traffic;
 
 pub use api::{ApiRequest, ApiResponse};
-pub use batch::{execute_batch, Batcher};
+pub use batch::{execute_batch, Batcher, PhaseTiming};
 pub use config::{IoMode, ServeConfig};
-pub use load::{run_load, Client, LoadConfig, LoadReport};
+pub use load::{run_load, Client, LoadConfig, LoadReport, StatusLatency};
 pub use server::{install_shutdown_signals, signalled, Server, ServerStats};
 pub use store::{NodeContext, NodeStore};
 pub use traffic::TrafficGen;

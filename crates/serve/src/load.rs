@@ -9,8 +9,10 @@
 //! the connection count (`--conns`) is independent of the offered QPS, so
 //! connection-handling cost can be measured separately from request cost.
 //!
-//! The report combines client-side measurements (achieved QPS, p50/p99
-//! latency, a per-status-code breakdown) with server-side counters
+//! The report combines client-side measurements (achieved QPS,
+//! p50/p99/p99.9/max latency over the status-200 responses, a
+//! per-status-code latency split so fast 503 sheds cannot flatter the
+//! success percentiles) with server-side counters
 //! scraped from `GET /v1/stats` (mean batch size, mean coalesced sizing
 //! batch, plan-cache hit rate) — the numbers the bench publishes as
 //! `serve_qps`, `serve_p50_us`, `serve_p99_us`, `serve_batch_mean`,
@@ -67,6 +69,20 @@ impl Default for LoadConfig {
     }
 }
 
+/// Latency summary for one status code (`0` = transport failure; those
+/// carry no latency sample, so their summary stays at zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatusLatency {
+    /// HTTP status code, or `0` for transport failures.
+    pub status: u16,
+    /// Latency samples behind the percentiles below.
+    pub count: u64,
+    /// Median latency for this status, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency for this status, microseconds.
+    pub p99_us: f64,
+}
+
 /// What a load run measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -85,10 +101,20 @@ pub struct LoadReport {
     pub elapsed_s: f64,
     /// Achieved throughput, requests per second.
     pub qps: f64,
-    /// Median request latency, microseconds.
+    /// Median latency over status-200 responses, microseconds. Shed
+    /// responses answer much faster than served ones, so percentiles
+    /// are computed per status; see [`LoadReport::latency_by_status`]
+    /// for the non-200 codes.
     pub p50_us: f64,
-    /// 99th-percentile request latency, microseconds.
+    /// 99th-percentile latency over status-200 responses, microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile latency over status-200 responses,
+    /// microseconds.
+    pub p999_us: f64,
+    /// Slowest status-200 response, microseconds.
+    pub max_us: f64,
+    /// Per-status latency split, sorted by status code.
+    pub latency_by_status: Vec<StatusLatency>,
     /// Server-side mean batch size (0 when stats were unreachable).
     pub batch_mean: f64,
     /// Server-side mean coalesced sizing batch (0 when stats were
@@ -114,10 +140,24 @@ impl LoadReport {
             })
             .collect::<Vec<_>>()
             .join("  ");
+        // The non-200 split only earns a line when something non-200
+        // actually carried a latency sample.
+        let split = self
+            .latency_by_status
+            .iter()
+            .filter(|s| s.status != 200 && s.count > 0)
+            .map(|s| format!("{}: p50 {:.0}us p99 {:.0}us", s.status, s.p50_us, s.p99_us))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let split = if split.is_empty() {
+            String::new()
+        } else {
+            format!("\nnon-200 latency  {split}")
+        };
         format!(
             "sent {} ok {} errors {} shed {} in {:.2}s\n\
              status  {}\n\
-             qps {:.0}  p50 {:.0}us  p99 {:.0}us\n\
+             qps {:.0}  p50 {:.0}us  p99 {:.0}us  p99.9 {:.0}us  max {:.0}us{}\n\
              batch mean {:.2}  size batch mean {:.2}  plan-cache hit rate {:.1}%",
             self.sent,
             self.ok,
@@ -128,6 +168,9 @@ impl LoadReport {
             self.qps,
             self.p50_us,
             self.p99_us,
+            self.p999_us,
+            self.max_us,
+            split,
             self.batch_mean,
             self.size_batch_mean,
             self.cache_hit_rate * 100.0,
@@ -142,6 +185,20 @@ impl LoadReport {
             .iter()
             .map(|&(status, n)| (status.to_string(), Json::Int(i128::from(n))))
             .collect::<Vec<_>>();
+        let latency_by_status = self
+            .latency_by_status
+            .iter()
+            .map(|s| {
+                (
+                    s.status.to_string(),
+                    obj(vec![
+                        ("count", Json::Int(i128::from(s.count))),
+                        ("p50_us", Json::Num(s.p50_us)),
+                        ("p99_us", Json::Num(s.p99_us)),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
         obj(vec![
             ("sent", Json::Int(i128::from(self.sent))),
             ("ok", Json::Int(i128::from(self.ok))),
@@ -152,6 +209,9 @@ impl LoadReport {
             ("qps", Json::Num(self.qps)),
             ("p50_us", Json::Num(self.p50_us)),
             ("p99_us", Json::Num(self.p99_us)),
+            ("p999_us", Json::Num(self.p999_us)),
+            ("max_us", Json::Num(self.max_us)),
+            ("latency_by_status", Json::Obj(latency_by_status)),
             ("batch_mean", Json::Num(self.batch_mean)),
             ("size_batch_mean", Json::Num(self.size_batch_mean)),
             ("cache_hit_rate", Json::Num(self.cache_hit_rate)),
@@ -281,7 +341,9 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
         ok: u64,
         errors: u64,
         by_status: HashMap<u16, u64>,
-        latencies_us: Vec<f64>,
+        // `(status, latency_us)` per answered request; transport
+        // failures carry no latency sample.
+        latencies_us: Vec<(u16, f64)>,
     }
 
     let start = Instant::now();
@@ -315,7 +377,8 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
                     let sent_at = Instant::now();
                     match client.roundtrip("POST", request.path(), body.as_bytes()) {
                         Ok(resp) => {
-                            out.latencies_us.push(sent_at.elapsed().as_secs_f64() * 1e6);
+                            out.latencies_us
+                                .push((resp.status, sent_at.elapsed().as_secs_f64() * 1e6));
                             *out.by_status.entry(resp.status).or_default() += 1;
                             if resp.status == 200 {
                                 out.ok += 1;
@@ -354,11 +417,16 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
     });
     let elapsed_s = start.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<f64> = results
-        .iter()
-        .flat_map(|r| r.latencies_us.iter().copied())
-        .collect();
-    latencies.sort_by(f64::total_cmp);
+    let mut lat_by_status: HashMap<u16, Vec<f64>> = HashMap::new();
+    for r in &results {
+        for &(status, lat) in &r.latencies_us {
+            lat_by_status.entry(status).or_default().push(lat);
+        }
+    }
+    for lat in lat_by_status.values_mut() {
+        lat.sort_by(f64::total_cmp);
+    }
+    let ok_lat: &[f64] = lat_by_status.get(&200).map_or(&[], Vec::as_slice);
     let ok: u64 = results.iter().map(|r| r.ok).sum();
     let errors: u64 = results.iter().map(|r| r.errors).sum();
     let mut by_status: HashMap<u16, u64> = HashMap::new();
@@ -370,6 +438,16 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
     let shed = by_status.get(&503).copied().unwrap_or(0);
     let mut by_status: Vec<(u16, u64)> = by_status.into_iter().collect();
     by_status.sort_unstable();
+    let mut latency_by_status: Vec<StatusLatency> = lat_by_status
+        .iter()
+        .map(|(&status, lat)| StatusLatency {
+            status,
+            count: lat.len() as u64,
+            p50_us: percentile(lat, 0.50),
+            p99_us: percentile(lat, 0.99),
+        })
+        .collect();
+    latency_by_status.sort_unstable_by_key(|s| s.status);
     let (batch_mean, size_batch_mean, cache_hit_rate) = scrape_stats(&config.addr);
 
     Ok(LoadReport {
@@ -380,8 +458,11 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
         by_status,
         elapsed_s,
         qps: ok as f64 / elapsed_s.max(1e-9),
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
+        p50_us: percentile(ok_lat, 0.50),
+        p99_us: percentile(ok_lat, 0.99),
+        p999_us: percentile(ok_lat, 0.999),
+        max_us: ok_lat.last().copied().unwrap_or(0.0),
+        latency_by_status,
         batch_mean,
         size_batch_mean,
         cache_hit_rate,
@@ -401,6 +482,8 @@ mod tests {
         assert_eq!(percentile(&lat, 0.99), 99.0);
         assert_eq!(percentile(&lat, 1.0), 100.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+        let lat: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(percentile(&lat, 0.999), 999.0);
     }
 
     #[test]
@@ -415,6 +498,22 @@ mod tests {
             qps: 48.5,
             p50_us: 120.0,
             p99_us: 900.0,
+            p999_us: 1800.0,
+            max_us: 2100.0,
+            latency_by_status: vec![
+                StatusLatency {
+                    status: 200,
+                    count: 97,
+                    p50_us: 120.0,
+                    p99_us: 900.0,
+                },
+                StatusLatency {
+                    status: 503,
+                    count: 2,
+                    p50_us: 40.0,
+                    p99_us: 80.0,
+                },
+            ],
             batch_mean: 3.5,
             size_batch_mean: 2.25,
             cache_hit_rate: 0.93,
@@ -422,15 +521,23 @@ mod tests {
         let text = report.render();
         assert!(text.contains("sent 100 ok 97 errors 3 shed 2"));
         assert!(text.contains("transport:1  200:97  503:2"));
+        assert!(text.contains("p99.9 1800us  max 2100us"));
+        assert!(text.contains("non-200 latency  503: p50 40us p99 80us"));
         assert!(text.contains("size batch mean 2.25"));
         assert!(text.contains("93.0%"));
         let v = report.to_json();
         assert_eq!(v.get("ok").and_then(Json::as_u64), Some(97));
         assert_eq!(v.get("shed").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("p999_us").and_then(Json::as_f64), Some(1800.0));
+        assert_eq!(v.get("max_us").and_then(Json::as_f64), Some(2100.0));
         assert_eq!(v.get("batch_mean").and_then(Json::as_f64), Some(3.5));
         assert_eq!(v.get("size_batch_mean").and_then(Json::as_f64), Some(2.25));
         let statuses = v.get("by_status").expect("breakdown present");
         assert_eq!(statuses.get("503").and_then(Json::as_u64), Some(2));
+        let split = v.get("latency_by_status").expect("latency split present");
+        let shed_split = split.get("503").expect("503 latency summary");
+        assert_eq!(shed_split.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(shed_split.get("p99_us").and_then(Json::as_f64), Some(80.0));
     }
 
     #[test]
@@ -480,6 +587,11 @@ mod tests {
         assert_eq!(report.by_status, vec![(200, 200)]);
         assert!(report.p50_us > 0.0);
         assert!(report.p99_us >= report.p50_us);
+        assert!(report.p999_us >= report.p99_us);
+        assert!(report.max_us >= report.p999_us);
+        assert_eq!(report.latency_by_status.len(), 1, "all 200s");
+        assert_eq!(report.latency_by_status[0].status, 200);
+        assert_eq!(report.latency_by_status[0].count, 200);
         assert!(report.cache_hit_rate > 0.5, "127 lengths repeat quickly");
         server.shutdown();
     }

@@ -27,16 +27,17 @@
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::api::{ApiRequest, ApiResponse};
-use crate::batch::{execute_batch, Batcher};
+use crate::batch::{execute_batch, Batcher, PhaseTiming};
 use crate::config::{IoMode, ServeConfig};
 use crate::http::{read_request, write_response_with, Request};
 use crate::json::{obj, Json};
 use crate::store::{plan_cache_counts, plan_cache_hit_rate, NodeStore};
+use crate::telemetry::{AccessEntry, Telemetry};
 
 /// How often blocked loops wake to check the shutdown flag.
 const POLL: Duration = Duration::from_micros(500);
@@ -111,9 +112,14 @@ impl ServerStats {
             ),
             ("size_batch_mean", Json::Num(self.size_batch_mean())),
             ("shed", Json::Int(i128::from(queue.shed_count()))),
+            ("queue_depth", Json::Int(i128::from(queue.len() as u64))),
             (
                 "queue_depth_hwm",
                 Json::Int(i128::from(queue.queue_depth_hwm())),
+            ),
+            (
+                "shed_threshold",
+                Json::Int(i128::from(queue.shed_threshold() as u64)),
             ),
             (
                 "accept_failures",
@@ -135,6 +141,7 @@ pub(crate) struct Rendered {
     /// writer still ANDs this with the shutdown flag.
     pub(crate) keep_alive: bool,
     pub(crate) retry_after: Option<u64>,
+    pub(crate) content_type: &'static str,
 }
 
 impl Rendered {
@@ -144,6 +151,7 @@ impl Rendered {
             body: resp.to_json().render(),
             keep_alive,
             retry_after: resp.retry_after(),
+            content_type: "application/json",
         }
     }
 
@@ -157,7 +165,7 @@ impl Rendered {
         write_response_with(
             w,
             self.status,
-            "application/json",
+            self.content_type,
             self.body.as_bytes(),
             keep_alive,
             &extra,
@@ -189,6 +197,7 @@ pub(crate) fn route(
             body,
             keep_alive,
             retry_after: None,
+            content_type: "application/json",
         })
     };
     match (request.method.as_str(), request.path.as_str()) {
@@ -198,6 +207,13 @@ pub(crate) fn route(
             request.keep_alive,
         ),
         ("GET", "/v1/stats") => page(200, stats.to_json(queue).render(), request.keep_alive),
+        ("GET", "/metrics") => RouteOutcome::Immediate(Rendered {
+            status: 200,
+            body: crate::telemetry::render_prometheus(stats, queue),
+            keep_alive: request.keep_alive,
+            retry_after: None,
+            content_type: "text/plain; version=0.0.4",
+        }),
         ("POST", "/admin/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
             queue.close();
@@ -266,6 +282,10 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        // A long-running service keeps rolling windows so `GET /metrics`
+        // has live rates and quantiles even when journaling is off.
+        pi_obs::window::activate();
+        let tel = Arc::new(Telemetry::from_config(config));
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Batcher::with_admission(
             config.queue_depth,
@@ -306,6 +326,7 @@ impl Server {
                     Arc::clone(&shutdown),
                     Arc::clone(&queue),
                     Arc::clone(&stats),
+                    Arc::clone(&tel),
                 )?;
                 waker = Some(handle.waker);
                 handle.thread
@@ -317,6 +338,7 @@ impl Server {
                 Arc::clone(&shutdown),
                 Arc::clone(&queue),
                 Arc::clone(&stats),
+                Arc::clone(&tel),
             )?,
         };
 
@@ -395,6 +417,7 @@ fn spawn_thread_accept(
     shutdown: Arc<AtomicBool>,
     queue: Arc<Batcher>,
     stats: Arc<ServerStats>,
+    tel: Arc<Telemetry>,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name("pi-serve-accept".to_owned())
@@ -403,14 +426,15 @@ fn spawn_thread_accept(
             while !shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        pi_obs::counter_add("serve.connections", 1);
+                        crate::telemetry::counter("serve.connections", 1);
                         let shutdown = Arc::clone(&shutdown);
                         let queue = Arc::clone(&queue);
                         let stats = Arc::clone(&stats);
+                        let tel = Arc::clone(&tel);
                         let handle = std::thread::Builder::new()
                             .name("pi-serve-conn".to_owned())
                             .spawn(move || {
-                                handle_connection(stream, &shutdown, &queue, &stats);
+                                handle_connection(stream, &shutdown, &queue, &stats, &tel);
                             });
                         match handle {
                             Ok(h) => handlers.lock().expect("handler list").push(h),
@@ -458,6 +482,7 @@ fn handle_connection(
     shutdown: &AtomicBool,
     queue: &Batcher,
     stats: &ServerStats,
+    tel: &Telemetry,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -490,6 +515,7 @@ fn handle_connection(
             }
         }
 
+        let t_start = Instant::now();
         let request = match read_request(&mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => return,
@@ -503,46 +529,80 @@ fn handle_connection(
                 return;
             }
         };
+        let parse_us = t_start.elapsed().as_secs_f64() * 1e6;
+        crate::telemetry::hist("serve.phase.parse_us", parse_us);
+        let id = crate::telemetry::next_request_id();
+        let endpoint = crate::telemetry::endpoint_of(&request);
 
         let _span = pi_obs::span("serve.request");
-        pi_obs::counter_add("serve.requests", 1);
+        crate::telemetry::counter("serve.requests", 1);
         stats.requests.fetch_add(1, Ordering::Relaxed);
 
-        let rendered = respond(&request, shutdown, queue, stats);
+        let (rendered, timing, render_us) = respond(&request, shutdown, queue, stats, id);
         let keep = rendered.keep_alive && !shutdown.load(Ordering::SeqCst);
-        if rendered.write_to(&mut writer, keep).is_err() || !keep {
+        let t_ready = Instant::now();
+        let write_ok = rendered.write_to(&mut writer, keep).is_ok();
+        tel.finish_request(&AccessEntry {
+            id,
+            endpoint,
+            status: rendered.status,
+            total_us: t_start.elapsed().as_secs_f64() * 1e6,
+            parse_us,
+            queue_us: timing.queue_us,
+            compute_us: timing.compute_us,
+            render_us,
+            flush_us: t_ready.elapsed().as_secs_f64() * 1e6,
+        });
+        if !write_ok || !keep {
             return;
         }
     }
 }
 
 /// Thread-mode answer for one request: route, submit, block on the
-/// response channel.
+/// response channel. Returns the rendered response, the batcher-side
+/// [`PhaseTiming`], and the render-phase duration in microseconds.
 fn respond(
     request: &Request,
     shutdown: &AtomicBool,
     queue: &Batcher,
     stats: &ServerStats,
-) -> Rendered {
+    id: u64,
+) -> (Rendered, PhaseTiming, f64) {
+    let immediate = |rendered| (rendered, PhaseTiming::default(), 0.0);
     match route(request, shutdown, queue, stats) {
-        RouteOutcome::Immediate(rendered) => rendered,
-        RouteOutcome::Api(api) => match queue.submit(api) {
-            Err(resp) => Rendered::of(&resp, request.keep_alive),
-            Ok(rx) => {
-                let received = {
-                    let _span = pi_obs::span("serve.queue_wait");
-                    rx.recv()
-                };
-                match received {
-                    Ok(resp) => Rendered::of(&resp, request.keep_alive),
-                    // The queue was torn down underneath us.
-                    Err(_) => Rendered::of(
-                        &ApiResponse::error(503, "server is shutting down"),
-                        request.keep_alive,
-                    ),
-                }
+        RouteOutcome::Immediate(rendered) => immediate(rendered),
+        RouteOutcome::Api(api) => {
+            let (tx, rx) = mpsc::channel();
+            let submitted = queue.submit_with(
+                api,
+                id,
+                Box::new(move |resp, timing| {
+                    let _ = tx.send((resp, timing));
+                }),
+            );
+            if let Err(resp) = submitted {
+                return immediate(Rendered::of(&resp, request.keep_alive));
             }
-        },
+            let received = {
+                let _span = pi_obs::span("serve.queue_wait");
+                rx.recv()
+            };
+            match received {
+                Ok((resp, timing)) => {
+                    let t_render = Instant::now();
+                    let rendered = Rendered::of(&resp, request.keep_alive);
+                    let render_us = t_render.elapsed().as_secs_f64() * 1e6;
+                    crate::telemetry::hist("serve.phase.render_us", render_us);
+                    (rendered, timing, render_us)
+                }
+                // The queue was torn down underneath us.
+                Err(_) => immediate(Rendered::of(
+                    &ApiResponse::error(503, "server is shutting down"),
+                    request.keep_alive,
+                )),
+            }
+        }
     }
 }
 
@@ -637,6 +697,22 @@ mod tests {
         assert!(v.get("requests").and_then(Json::as_u64).unwrap() >= 4);
         assert_eq!(v.get("shed").and_then(Json::as_u64), Some(0));
         assert!(v.get("size_batch_mean").and_then(Json::as_f64).is_some());
+        assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            v.get("shed_threshold").and_then(Json::as_u64),
+            Some(48),
+            "75% of the 64-deep test queue"
+        );
+
+        write_request(&mut stream, "GET", "/metrics", b"").unwrap();
+        let metrics = read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(metrics.status, 200);
+        let text = metrics.body_str().unwrap().to_owned();
+        assert!(text.contains("serve_requests_total"), "{text}");
+        assert!(text.contains("serve_requests_rate{window=\"60s\"}"));
+        assert!(text.contains("serve_phase_parse_us_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("serve_queue_depth 0"));
+        assert!(text.contains("serve_shed_threshold 48"));
 
         server.shutdown();
     }

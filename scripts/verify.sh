@@ -164,13 +164,95 @@ if [ -z "$serve_addr" ]; then
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
-target/release/pi-load --addr "$serve_addr" --qps 500 --duration 1 \
-    --concurrency 2 --yield-pct 10 --seed 7
+load_json=target/verify-load.json
+metrics_post=target/verify-metrics-post.txt
+metrics_live=target/verify-metrics-live.txt
+rm -f "$load_json" "$metrics_post" "$metrics_live"
+target/release/pi-load --addr "$serve_addr" --qps 1000 --duration 2 \
+    --concurrency 4 --yield-pct 10 --seed 7 --json >"$load_json"
+# Live telemetry, gate 1: right after the burst the 60 s window holds
+# exactly that burst, so the served-side p99 from `GET /metrics` must
+# agree with the client-side p99 pi-load just measured within 15%
+# (histogram buckets are 16 per octave — ~4.4% worst-case quantization;
+# the ~2000 samples keep the p99 order statistic itself stable).
+target/release/pi obs-top "$serve_addr" --count 1 --raw >"$metrics_post"
+p99_load=$(sed -n 's/.*"p99_us":\([0-9.eE+-]*\).*/\1/p' "$load_json")
+p99_served=$(awk '$1 == "serve_request_us_p99{window=\"60s\"}" { print $2; exit }' "$metrics_post")
+if [ -z "$p99_load" ] || [ -z "$p99_served" ]; then
+    echo "serve smoke: missing p99 (client '$p99_load', served '$p99_served')"
+    exit 1
+fi
+if ! awk -v a="$p99_served" -v b="$p99_load" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(b > 0 && d / b <= 0.15) }'; then
+    echo "serve smoke: served 60s-window p99 ${p99_served}us disagrees with pi-load p99 ${p99_load}us by more than 15%"
+    exit 1
+fi
 # 64-connection fan-out against the same (event-loop) server: every
 # response must still be 200 — connection count alone must never shed
 # or fail requests — with some sizing traffic coalescing along the way.
-target/release/pi-load --addr "$serve_addr" --qps 800 --duration 1 \
-    --conns 64 --yield-pct 5 --size-pct 5 --seed 11
+# The burst runs in the background so `/metrics` can be scraped mid-load.
+target/release/pi-load --addr "$serve_addr" --qps 800 --duration 2 \
+    --conns 64 --yield-pct 5 --size-pct 5 --seed 11 &
+load_pid=$!
+sleep 1
+target/release/pi obs-top "$serve_addr" --count 1 --raw >"$metrics_live"
+wait "$load_pid"
+# Live telemetry, gate 2: the mid-load exposition must be well-formed
+# line by line — legal metric-name charset, numeric values, cumulative
+# histogram buckets monotone, and `_count` equal to the +Inf bucket.
+if ! awk '
+    /^#/ { next }
+    NF != 2 { print "serve smoke: malformed exposition line: " $0; bad = 1; next }
+    {
+        name = $1; sub(/\{.*/, "", name)
+        if (name !~ /^[A-Za-z_:][A-Za-z0-9_:]*$/) {
+            print "serve smoke: bad metric name: " $0; bad = 1
+        }
+        if ($2 !~ /^(NaN|[-+]?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?)$/) {
+            print "serve smoke: bad sample value: " $0; bad = 1
+        }
+    }
+    $1 ~ /_bucket\{le="/ {
+        metric = $1; sub(/_bucket\{.*/, "", metric)
+        if (metric != last_metric) { last_cum = -1; last_metric = metric }
+        if ($2 + 0 < last_cum + 0) {
+            print "serve smoke: non-monotone buckets: " $0; bad = 1
+        }
+        last_cum = $2
+        if (index($1, "le=\"+Inf\"")) inf[metric] = $2
+    }
+    $1 ~ /_count$/ {
+        metric = $1; sub(/_count$/, "", metric)
+        count[metric] = $2
+    }
+    END {
+        for (m in count) {
+            if (!(m in inf)) {
+                print "serve smoke: histogram " m " lacks a +Inf bucket"; bad = 1
+            } else if (count[m] != inf[m]) {
+                print "serve smoke: histogram " m ": _count " count[m] " != +Inf bucket " inf[m]; bad = 1
+            }
+        }
+        exit bad
+    }
+' "$metrics_live"; then
+    exit 1
+fi
+# Mid-load the 1 s request rate must be live (nonzero) and the per-phase
+# histograms must be present.
+rate_1s=$(awk '$1 == "serve_requests_rate{window=\"1s\"}" { print $2; exit }' "$metrics_live")
+if ! awk -v r="$rate_1s" 'BEGIN { exit !(r + 0 > 0) }'; then
+    echo "serve smoke: mid-load 1s request rate is not live: '$rate_1s'"
+    exit 1
+fi
+for metric in serve_phase_parse_us_bucket serve_phase_queue_us_bucket \
+    serve_phase_compute_us_bucket serve_request_us_p50 serve_endpoint_eval_us_p99; do
+    if ! grep -q "^$metric" "$metrics_live"; then
+        echo "serve smoke: exposition lacks $metric"
+        exit 1
+    fi
+done
+rm -f "$load_json" "$metrics_post" "$metrics_live"
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 if ! grep -q 'served .* requests in .* batches' "$serve_log"; then

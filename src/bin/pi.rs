@@ -14,6 +14,7 @@
 //! pi serve    [--port 7878] [--batch-window 500] [--queue-depth 1024] [--io poll|threads]
 //! pi load     [--addr 127.0.0.1:7878] [--qps 2000] [--conns 4] [--duration 3] [--size-pct 0]
 //!             [--yield-pct 10] [--seed 1] [--tech 65nm] [--json]
+//! pi obs-top  <host:port> [--interval 2] [--count N] [--raw]
 //! pi scaling
 //! ```
 //!
@@ -507,6 +508,179 @@ fn cmd_obs_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One parsed Prometheus-exposition sample: metric name, label pairs,
+/// value. Comment/`# TYPE` lines are dropped by the parser.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses Prometheus text exposition (the `GET /metrics` body) into flat
+/// samples. Lines that do not parse are skipped rather than fatal — a
+/// scrape mid-restart should degrade, not crash the console.
+fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((head, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = if let Some((name, rest)) = head.split_once('{') {
+            let body = rest.strip_suffix('}').unwrap_or(rest);
+            let labels = body
+                .split(',')
+                .filter_map(|kv| {
+                    let (k, v) = kv.split_once('=')?;
+                    Some((k.to_owned(), v.trim_matches('"').to_owned()))
+                })
+                .collect();
+            (name.to_owned(), labels)
+        } else {
+            (head.to_owned(), Vec::new())
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// Looks up a sample by name, optionally requiring a `window="..."` label.
+fn sample_value(samples: &[Sample], name: &str, window: Option<&str>) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && window.is_none_or(|w| s.labels.iter().any(|(k, v)| k == "window" && v == w))
+        })
+        .map(|s| s.value)
+}
+
+/// Renders one `pi obs-top` refresh from parsed exposition samples.
+fn render_top(addr: &str, tick: u64, samples: &[Sample]) -> String {
+    let v = |name: &str, w: Option<&str>| sample_value(samples, name, w).unwrap_or(0.0);
+    let mut out = format!("pi obs-top {addr}  tick {tick}\n");
+    out.push_str(&format!(
+        "qps {:.0}/{:.0}/{:.0} (1s/10s/60s)  shed/s {:.1}  err/s {:.1}\n",
+        v("serve_requests_rate", Some("1s")),
+        v("serve_requests_rate", Some("10s")),
+        v("serve_requests_rate", Some("60s")),
+        v("serve_shed_rate", Some("10s")),
+        v("serve_responses_err_rate", Some("10s")),
+    ));
+    out.push_str(&format!(
+        "queue {:.0} (hwm {:.0}, shed at {:.0})  batch mean {:.2}  \
+         size batch mean {:.2}  plan-cache hit {:.1}%\n",
+        v("serve_queue_depth", None),
+        v("serve_queue_depth_hwm_total", None),
+        v("serve_shed_threshold", None),
+        v("serve_batch_mean", None),
+        v("serve_size_batch_mean", None),
+        v("serve_plan_cache_hit_rate", None) * 100.0,
+    ));
+    out.push_str("endpoint     p50[10s]     p99[10s]     p50[60s]     p99[60s]\n");
+    for endpoint in ["request", "eval", "yield", "size", "net_yield", "other"] {
+        let base = if endpoint == "request" {
+            "serve_request_us".to_owned()
+        } else {
+            format!("serve_endpoint_{endpoint}_us")
+        };
+        // Endpoints that never saw traffic have no histogram yet.
+        if sample_value(samples, &format!("{base}_p50"), Some("10s")).is_none() {
+            continue;
+        }
+        out.push_str(&format!(
+            "{endpoint:<12} {:>9.0}us {:>9.0}us {:>9.0}us {:>9.0}us\n",
+            v(&format!("{base}_p50"), Some("10s")),
+            v(&format!("{base}_p99"), Some("10s")),
+            v(&format!("{base}_p50"), Some("60s")),
+            v(&format!("{base}_p99"), Some("60s")),
+        ));
+    }
+    out
+}
+
+/// `pi obs-top <host:port> [--interval S] [--count N] [--raw]` — polls the
+/// server's `GET /metrics` exposition and renders a one-screen live
+/// summary per tick: windowed QPS, shed and error rates, queue depth
+/// against the shed threshold, batch means, and per-endpoint p50/p99 over
+/// the 10 s and 60 s windows. `--count N` stops after N scrapes (default:
+/// until ctrl-c). With `--raw` each scrape prints the exposition text
+/// verbatim — `pi obs-top <addr> --count 1 --raw` is a zero-dependency
+/// stand-in for `curl <addr>/metrics`.
+fn cmd_obs_top(args: &[String]) -> Result<(), String> {
+    use predictive_interconnect::serve::{install_shutdown_signals, signalled, Client};
+    let mut addr: Option<&str> = None;
+    let mut interval_s = 2.0f64;
+    let mut count = 0u64; // 0 = poll until interrupted
+    let mut raw = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--raw" => raw = true,
+            "--interval" => {
+                i += 1;
+                let v = args.get(i).ok_or("--interval needs seconds")?;
+                interval_s = v.parse().map_err(|e| format!("bad --interval: {e}"))?;
+            }
+            "--count" => {
+                i += 1;
+                let v = args.get(i).ok_or("--count needs a number")?;
+                count = v.parse().map_err(|e| format!("bad --count: {e}"))?;
+            }
+            other if !other.starts_with("--") && addr.is_none() => addr = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("usage: pi obs-top <host:port> [--interval S] [--count N] [--raw]")?;
+    if !(interval_s.is_finite() && interval_s > 0.0) {
+        return Err(format!("--interval must be positive, got {interval_s}"));
+    }
+    install_shutdown_signals();
+    let mut tick = 0u64;
+    loop {
+        let body = Client::connect(addr)
+            .and_then(|mut c| c.roundtrip("GET", "/metrics", b""))
+            .and_then(|resp| {
+                if resp.status == 200 {
+                    Ok(resp.body_str()?.to_owned())
+                } else {
+                    Err(format!("GET /metrics returned status {}", resp.status))
+                }
+            })?;
+        tick += 1;
+        if raw {
+            print!("{body}");
+        } else {
+            print!("{}", render_top(addr, tick, &parse_exposition(&body)));
+        }
+        if count != 0 && tick >= count {
+            return Ok(());
+        }
+        // Sleep in short slices so ctrl-c lands promptly.
+        let wake = std::time::Instant::now() + std::time::Duration::from_secs_f64(interval_s);
+        while std::time::Instant::now() < wake {
+            if signalled() {
+                return Ok(());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        if signalled() {
+            return Ok(());
+        }
+    }
+}
+
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     use predictive_interconnect::serve::{
         install_shutdown_signals, signalled, IoMode, ServeConfig, Server,
@@ -620,7 +794,7 @@ fn cmd_scaling() -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: pi <delay|optimize|reach|noc|yield|report|serve|load|obs-report|scaling> [--options]
+    "usage: pi <delay|optimize|reach|noc|yield|report|serve|load|obs-report|obs-top|scaling> [--options]
 run `pi <command>` with missing options to see what it needs;
 see the crate README for the full option list.
 set PI_OBS=summary or PI_OBS=jsonl[:path] to trace any command (docs/OBSERVABILITY.md)";
@@ -651,6 +825,10 @@ fn main() -> ExitCode {
     let result = if cmd == "obs-report" {
         // Takes a positional journal path; not traced itself.
         cmd_obs_report(rest)
+    } else if cmd == "obs-top" {
+        // Takes a positional server address; a client-side poller, so
+        // tracing it would only add noise to the journal.
+        cmd_obs_top(rest)
     } else {
         let run = {
             let _root = predictive_interconnect::obs::span(root_span_name(cmd));
@@ -728,5 +906,61 @@ mod tests {
     fn opts_rejects_positional_arguments() {
         let args: Vec<String> = vec!["positional".to_owned()];
         assert!(Opts::parse(&args).is_err());
+    }
+
+    #[test]
+    fn exposition_parsing_handles_labels_and_skips_junk() {
+        let text = "# TYPE serve_requests_total counter\n\
+                    serve_requests_total 128\n\
+                    serve_requests_rate{window=\"1s\"} 42.5\n\
+                    serve_requests_rate{window=\"60s\"} 7.25\n\
+                    serve_request_us_bucket{le=\"+Inf\"} 128\n\
+                    not a metric line at all\n\
+                    serve_queue_depth 3\n";
+        let samples = parse_exposition(text);
+        assert_eq!(samples.len(), 5, "comment and junk lines dropped");
+        assert_eq!(
+            sample_value(&samples, "serve_requests_total", None),
+            Some(128.0)
+        );
+        assert_eq!(
+            sample_value(&samples, "serve_requests_rate", Some("1s")),
+            Some(42.5)
+        );
+        assert_eq!(
+            sample_value(&samples, "serve_requests_rate", Some("60s")),
+            Some(7.25)
+        );
+        assert_eq!(
+            sample_value(&samples, "serve_requests_rate", Some("10s")),
+            None
+        );
+        assert_eq!(sample_value(&samples, "serve_queue_depth", None), Some(3.0));
+        assert_eq!(sample_value(&samples, "missing", None), None);
+    }
+
+    #[test]
+    fn obs_top_renders_rates_and_endpoint_rows() {
+        let text = "serve_requests_rate{window=\"1s\"} 1000\n\
+                    serve_requests_rate{window=\"10s\"} 950\n\
+                    serve_requests_rate{window=\"60s\"} 900\n\
+                    serve_queue_depth 2\n\
+                    serve_shed_threshold 768\n\
+                    serve_batch_mean 7.5\n\
+                    serve_plan_cache_hit_rate 0.93\n\
+                    serve_request_us_p50{window=\"10s\"} 210\n\
+                    serve_request_us_p99{window=\"10s\"} 900\n\
+                    serve_request_us_p50{window=\"60s\"} 215\n\
+                    serve_request_us_p99{window=\"60s\"} 950\n\
+                    serve_endpoint_eval_us_p50{window=\"10s\"} 200\n\
+                    serve_endpoint_eval_us_p99{window=\"10s\"} 850\n";
+        let top = render_top("127.0.0.1:7878", 3, &parse_exposition(text));
+        assert!(top.contains("tick 3"));
+        assert!(top.contains("qps 1000/950/900 (1s/10s/60s)"));
+        assert!(top.contains("queue 2 (hwm 0, shed at 768)"));
+        assert!(top.contains("plan-cache hit 93.0%"));
+        assert!(top.contains("request"));
+        assert!(top.contains("eval"));
+        assert!(!top.contains("net_yield"), "traffic-free endpoints hidden");
     }
 }

@@ -678,4 +678,128 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
             "poll event loop vs thread-per-connection: wire bodies differ"
         );
     }
+
+    // 12. Live telemetry must be invisible on the wire: the same
+    //     pipelined burst served with the JSONL trace journal AND the
+    //     access log on must produce bytes identical to a run with every
+    //     sink off — per io mode, at 1 and 4 threads. While the sinks
+    //     are on, the access log itself must be well-formed JSONL with
+    //     one line per request.
+    {
+        use pi_serve::api::{ApiRequest, YieldRequest};
+        use pi_serve::http::{read_response, write_request};
+        use pi_serve::{IoMode, ServeConfig, Server};
+
+        let journal = std::env::temp_dir().join("pi_determinism_serve_obs.jsonl");
+        let access = std::env::temp_dir().join("pi_determinism_access.jsonl");
+        let requests: Vec<ApiRequest> = [7u64, 8]
+            .iter()
+            .map(|&seed| {
+                ApiRequest::Yield(YieldRequest {
+                    tech: "65nm".to_owned(),
+                    length_mm: 5.0,
+                    deadline_ps: 600.0,
+                    estimator: "sobol-scrambled".to_owned(),
+                    seed,
+                    ci_pct: 2.0,
+                    cv: false,
+                    rho: None,
+                    regions: None,
+                    corner: None,
+                })
+            })
+            .collect();
+
+        let run = |io: IoMode, threads: &str, sinks_on: bool| -> Vec<String> {
+            with_threads(Some(threads), || {
+                let mut server = Server::start(&ServeConfig {
+                    port: 0,
+                    batch_window_us: 20_000,
+                    queue_depth: 64,
+                    io,
+                    access_log: sinks_on.then(|| access.display().to_string()),
+                    ..ServeConfig::default()
+                })
+                .expect("bind ephemeral");
+                let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                    .expect("timeout");
+                let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
+                for req in &requests {
+                    let body = req.to_json().render();
+                    write_request(&mut stream, "POST", req.path(), body.as_bytes())
+                        .expect("pipelined write");
+                }
+                let bodies: Vec<String> = (0..requests.len())
+                    .map(|_| {
+                        let resp = read_response(&mut reader)
+                            .expect("parse response")
+                            .expect("connection stayed open");
+                        assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+                        resp.body_str().expect("utf-8 body").to_owned()
+                    })
+                    .collect();
+                server.shutdown();
+                bodies
+            })
+        };
+
+        let mut baseline: Option<Vec<String>> = None;
+        for io in [IoMode::Poll, IoMode::Threads] {
+            for threads in ["1", "4"] {
+                std::env::remove_var("PI_OBS");
+                pi_obs::reinit_from_env();
+                let quiet = run(io, threads, false);
+
+                let _ = std::fs::remove_file(&journal);
+                let _ = std::fs::remove_file(&access);
+                std::env::set_var("PI_OBS", format!("jsonl:{}", journal.display()));
+                pi_obs::reinit_from_env();
+                let traced = run(io, threads, true);
+                pi_obs::finish();
+                std::env::remove_var("PI_OBS");
+                pi_obs::reinit_from_env();
+
+                assert_eq!(
+                    quiet, traced,
+                    "{io:?} at {threads} thread(s): telemetry sinks changed served bytes"
+                );
+                match &baseline {
+                    None => baseline = Some(quiet),
+                    Some(b) => assert_eq!(
+                        b, &quiet,
+                        "{io:?} at {threads} thread(s): served bytes drifted across modes"
+                    ),
+                }
+
+                let log = std::fs::read_to_string(&access).expect("access log written");
+                let lines: Vec<&str> = log.lines().collect();
+                assert_eq!(
+                    lines.len(),
+                    requests.len(),
+                    "{io:?} at {threads} thread(s): one access-log line per request"
+                );
+                for line in lines {
+                    let v = pi_serve::json::parse(line).expect("access-log line is JSON");
+                    assert_eq!(
+                        v.get("endpoint").and_then(pi_serve::json::Json::as_str),
+                        Some("yield")
+                    );
+                    assert_eq!(
+                        v.get("status").and_then(pi_serve::json::Json::as_u64),
+                        Some(200)
+                    );
+                    assert!(v.get("id").and_then(pi_serve::json::Json::as_u64) >= Some(1));
+                    let total = v
+                        .get("total_us")
+                        .and_then(pi_serve::json::Json::as_f64)
+                        .expect("total_us present");
+                    assert!(total > 0.0, "request duration recorded");
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&access);
+    }
 }
