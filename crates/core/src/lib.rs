@@ -21,7 +21,10 @@
 //!   staggered insertion (§III-D), plus the max-feasible-length query used
 //!   by NoC synthesis;
 //! - [`variation`] — Monte-Carlo process-variation analysis (D2D + WID
-//!   drive variation) and parametric timing yield.
+//!   drive variation) and parametric timing yield;
+//! - [`gp`] — a small pure-Rust geometric-program solver plus the
+//!   posynomial link model behind jointly sized, yield-constrained,
+//!   estimator-verified buffering plans.
 //!
 //! # Examples
 //!
@@ -53,6 +56,7 @@ pub mod buffering;
 pub mod calibrate;
 pub mod char_cache;
 pub mod coefficients;
+pub mod gp;
 pub mod line;
 pub mod nldm;
 pub mod power;
@@ -62,6 +66,7 @@ pub mod variation;
 pub use area::AreaModel;
 pub use buffering::{BufferingObjective, BufferingResult, SearchSpace};
 pub use calibrate::{calibrate, CalibrateError, CalibratedModels, CalibrationGrid};
+pub use gp::{GpError, GpProblem, GpSolution, KktResidual, LinkGpModel, Monomial, Posynomial};
 pub use line::{BufferingPlan, LineEvaluator, LineSpec, LineTiming, StageTiming};
 pub use nldm::{NldmLibrary, Table2d};
 pub use power::{dynamic_power, energy_per_bit_mm, LeakageModel, PowerBreakdown};

@@ -175,6 +175,21 @@ pub fn dense_regions(raw: &[usize]) -> Vec<usize> {
         .collect()
 }
 
+/// The repeater-count ceiling the sizing ladder (and the GP search box)
+/// may grow a plan to: one past the starting count, or four repeaters
+/// per millimetre of line, whichever is larger. The length-derived term
+/// is guarded against NaN/negative lengths — a malformed spec must not
+/// collapse the cap to zero through the float→usize cast.
+pub(crate) fn ladder_count_cap(spec: &LineSpec, plan: &BufferingPlan) -> usize {
+    let per_length = spec.length.as_mm() * 4.0;
+    let per_length = if per_length.is_finite() && per_length > 0.0 {
+        per_length.ceil() as usize
+    } else {
+        0
+    };
+    (plan.count + 1).max(per_length)
+}
+
 /// Lowers per-stage timings to the `pi-yield` stage-delay vector (seconds).
 fn stage_delays(stages: &[StageTiming]) -> StageDelays {
     StageDelays::new(
@@ -521,22 +536,33 @@ impl LineEvaluator<'_> {
     /// repeaters at the largest drive up to the length-derived count cap.
     /// Shared by [`LineEvaluator::size_loop`] and
     /// [`LineEvaluator::size_for_yield_batch`] so the two cannot diverge.
+    ///
+    /// The ladder **never shrinks** the starting plan: every candidate's
+    /// width is `max(plan.wn, drive width)`, so a plan already wider than
+    /// the whole library keeps its width (and grows by repeater count
+    /// only) instead of being silently downsized to the largest drive.
     fn size_candidates(&self, spec: &LineSpec, plan: &BufferingPlan) -> Vec<BufferingPlan> {
         let unit = self.tech().layout().unit_nmos_width;
         let drives = pi_tech::library::STANDARD_DRIVES;
-        let start_idx = drives
-            .iter()
-            .position(|&d| unit * f64::from(d) >= plan.wn * 0.999)
-            .unwrap_or(drives.len() - 1);
         let mut current = *plan;
         let mut out = Vec::with_capacity(drives.len());
-        // Phase 1: upsize through the library.
-        for &d in &drives[start_idx..] {
-            current.wn = unit * f64::from(d);
+        // Phase 1: upsize through the library, starting at the smallest
+        // drive not below the plan's width (0.1% tolerance for float
+        // fuzz), clamped so no rung is narrower than the start.
+        for &d in &drives {
+            let w = unit * f64::from(d);
+            if w >= plan.wn * 0.999 {
+                current.wn = w.max(plan.wn);
+                out.push(current);
+            }
+        }
+        if out.is_empty() {
+            // The plan out-drives the entire library: the ladder starts
+            // (and stays) at the plan's own width.
             out.push(current);
         }
         // Phase 2: add repeaters at the maximum drive.
-        let max_count = (plan.count + 1).max((spec.length.as_mm() * 4.0).ceil() as usize);
+        let max_count = ladder_count_cap(spec, plan);
         for count in (current.count + 1)..=max_count {
             current.count = count;
             out.push(current);
@@ -1116,6 +1142,97 @@ mod tests {
             }
         }
         assert!(ev.size_for_yield_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn oversized_starting_plan_is_never_downsized() {
+        // Regression: a plan already wider than every library drive used
+        // to be silently *downsized* to the largest drive before the
+        // search began, so "greedy upsizing" could return a narrower
+        // plan. The ladder must keep the start width and grow by count.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let spec = LineSpec::global(Length::mm(8.0), DesignStyle::SingleSpacing);
+        let unit = t.layout().unit_nmos_width;
+        let largest = unit * f64::from(*pi_tech::library::STANDARD_DRIVES.last().unwrap());
+        let start = BufferingPlan {
+            kind: RepeaterKind::Inverter,
+            count: 12,
+            // Wider than every library drive.
+            wn: largest * 2.0,
+            staggered: false,
+        };
+        assert!(start.wn > largest);
+        for candidate in ev.size_candidates(&spec, &start) {
+            assert!(
+                candidate.wn >= start.wn,
+                "candidate {candidate:?} narrower than the start {start:?}"
+            );
+        }
+        // An in-range start still walks the classic drive ladder with no
+        // rung below the starting width.
+        let in_range = BufferingPlan {
+            wn: unit * 8.0,
+            ..start
+        };
+        let rungs = ev.size_candidates(&spec, &in_range);
+        assert!(rungs.iter().all(|c| c.wn >= in_range.wn));
+        assert!(
+            rungs.iter().any(|c| c.wn > in_range.wn),
+            "ladder still climbs"
+        );
+        // And the fix holds end to end: sizing from the oversized start
+        // returns a plan at least as wide, solo and batched bit-identically.
+        let v = VariationModel::nominal();
+        let deadline = ev.timing(&spec, &start).delay * 1.02;
+        let cfg = EstimatorConfig::new(Method::SobolScrambled)
+            .with_seed(21)
+            .with_max_evals(512);
+        let query = SizeQuery {
+            spec,
+            plan: start,
+            variation: v,
+            deadline,
+            target_yield: 0.9,
+            config: cfg,
+        };
+        let solo = ev.size_for_yield_with(&spec, &start, &v, deadline, 0.9, &cfg);
+        if let Some(sized) = &solo {
+            assert!(
+                sized.plan.wn >= start.wn,
+                "sizing shrank the plan: {:?}",
+                sized.plan
+            );
+        }
+        let batched = ev.size_for_yield_batch(&[query]);
+        match (&solo, &batched[0]) {
+            (None, None) => {}
+            (Some(s), Some(b)) => {
+                assert_eq!(s.plan, b.plan);
+                assert_eq!(s.steps, b.steps);
+                assert_eq!(s.achieved_yield.to_bits(), b.achieved_yield.to_bits());
+            }
+            _ => panic!("solo {solo:?} vs batched {:?}", batched[0]),
+        }
+    }
+
+    #[test]
+    fn malformed_lengths_do_not_zero_the_ladder_cap() {
+        // NaN or negative lengths must not collapse the count cap to
+        // zero through the float→usize cast; the ladder still offers the
+        // plan.count + 1 growth rung.
+        let (t, m) = setup();
+        let ev = LineEvaluator::new(&m, &t);
+        let (_, plan) = spec_plan();
+        for bad in [f64::NAN, -3.0, f64::NEG_INFINITY] {
+            let spec = LineSpec {
+                length: Length::from_si(bad),
+                ..LineSpec::global(Length::mm(1.0), DesignStyle::SingleSpacing)
+            };
+            assert_eq!(ladder_count_cap(&spec, &plan), plan.count + 1);
+            let candidates = ev.size_candidates(&spec, &plan);
+            assert!(candidates.iter().any(|c| c.count == plan.count + 1));
+        }
     }
 
     #[test]

@@ -88,6 +88,23 @@ pub trait LinkCostModel {
         let _ = length;
         None
     }
+
+    /// A jointly re-sized (GP-proposed, estimator-verified) buffering of
+    /// an `n_bits`-wide link of the given length whose timing yield under
+    /// `variation` reaches `per_link_target`, together with the resized
+    /// per-stage delays. This lets the yield filter *resize* a critical
+    /// link in place instead of re-segmenting the whole network. Models
+    /// without a sizing engine return `None`.
+    fn resize_for_yield(
+        &self,
+        length: Length,
+        n_bits: usize,
+        per_link_target: f64,
+        variation: &pi_core::variation::VariationModel,
+    ) -> Option<(LinkCost, pi_yield::StageDelays)> {
+        let _ = (length, n_bits, per_link_target, variation);
+        None
+    }
 }
 
 /// The proposed calibrated model (this paper), driving power-aware
@@ -217,6 +234,62 @@ impl LinkCostModel for ProposedLinkModel<'_> {
                 .map(|s| s.wire_delay.si())
                 .collect(),
         ))
+    }
+
+    fn resize_for_yield(
+        &self,
+        length: Length,
+        n_bits: usize,
+        per_link_target: f64,
+        variation: &pi_core::variation::VariationModel,
+    ) -> Option<(LinkCost, pi_yield::StageDelays)> {
+        let spec = LineSpec::global(length, self.style);
+        let mut space = SearchSpace::for_length(length);
+        space.staggered = self.staggered;
+        let start = self.evaluator.optimize_with_deadline(
+            &spec,
+            self.clock.period(),
+            &self.objective,
+            &space,
+        )?;
+        // The analytic closure certifies (zero-width CI, conservative
+        // lower bound) without sampling cost; the GP proposes, the
+        // greedy ladder backstops on infeasibility.
+        let config = pi_yield::EstimatorConfig::new(pi_yield::Method::Analytic);
+        let sized = self.evaluator.size_for_yield_gp(
+            &spec,
+            &start.plan,
+            variation,
+            self.clock.period(),
+            per_link_target,
+            &config,
+        )?;
+        let plan = sized.plan;
+        let timing = self.evaluator.timing(&spec, &plan);
+        let per_bit = self
+            .evaluator
+            .power(&spec, &plan, self.objective.activity, self.clock);
+        let tech = self.evaluator.tech();
+        let cost = LinkCost {
+            delay: timing.delay,
+            power: PowerBreakdown {
+                dynamic: per_bit.dynamic * n_bits as f64,
+                leakage: per_bit.leakage * n_bits as f64,
+            },
+            wire_area: bus_area(n_bits, length, tech.global_layer(), self.style),
+            repeater_area: self.evaluator.repeater_area(&plan) * n_bits as f64,
+            repeaters_per_bit: plan.count,
+            plan,
+        };
+        let stages = pi_yield::StageDelays::new(
+            timing
+                .stages
+                .iter()
+                .map(|s| s.repeater_delay.si())
+                .collect(),
+            timing.stages.iter().map(|s| s.wire_delay.si()).collect(),
+        );
+        Some((cost, stages))
     }
 }
 

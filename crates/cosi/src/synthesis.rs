@@ -458,6 +458,18 @@ fn analytic_filter_yield(
         .iter()
         .map(|c| model.stage_delays(c.length.max(crate::net_yield::CHANNEL_LENGTH_FLOOR)))
         .collect::<Option<_>>()?;
+    Some(network_yield_of_stages(channels, network, config, filter))
+}
+
+/// The analytic network yield of the given per-channel stage delays under
+/// the filter's variation budget — the computation half of
+/// [`analytic_filter_yield`], reusable with resized-channel overrides.
+fn network_yield_of_stages(
+    channels: Vec<StageDelays>,
+    network: &Network,
+    config: &SynthesisConfig,
+    filter: &YieldFilter,
+) -> f64 {
     let correlation = if filter.variation.rho_region > 0.0 {
         let counts: Vec<usize> = channels.iter().map(StageDelays::len).collect();
         SpatialCorrelation::regional(
@@ -474,7 +486,7 @@ fn analytic_filter_yield(
     )
     .with_correlation(correlation);
     let (yield_fraction, _) = pi_yield::network_yield(&problem);
-    Some(yield_fraction)
+    yield_fraction
 }
 
 /// The analytic timing yield of one link of the given length under the
@@ -487,13 +499,73 @@ fn single_link_yield(
     length: Length,
 ) -> Option<f64> {
     let stages = model.stage_delays(length)?;
+    Some(link_yield_of_stages(stages, config, filter, length))
+}
+
+/// The analytic timing yield of one link with the given stage delays —
+/// the computation half of [`single_link_yield`], reusable on resized
+/// stage timings.
+fn link_yield_of_stages(
+    stages: StageDelays,
+    config: &SynthesisConfig,
+    filter: &YieldFilter,
+    length: Length,
+) -> f64 {
     let problem = pi_yield::LineProblem {
         correlation: filter.variation.line_correlation(stages.len(), length),
         stages,
         variation: filter.variation.to_drive(),
         deadline_s: config.clock.period().si(),
     };
-    Some(pi_yield::line_yield(&problem))
+    pi_yield::line_yield(&problem)
+}
+
+/// Attempts to recover a failing network by **resizing** its sub-target
+/// channels in place (GP joint sizing via
+/// [`LinkCostModel::resize_for_yield`]) instead of re-segmenting the whole
+/// topology. Every channel whose single-link analytic yield misses the
+/// per-link share is offered to the model for resizing; if the network
+/// yield with the resized stage delays clears the filter target, the
+/// resized costs are committed and the passing yield is returned. `None`
+/// when the model cannot resize, nothing needed resizing, or the resized
+/// network still misses the target — the caller then re-segments.
+fn resize_critical_links(
+    network: &mut Network,
+    model: &dyn LinkCostModel,
+    config: &SynthesisConfig,
+    filter: &YieldFilter,
+    per_link_target: f64,
+) -> Option<f64> {
+    let mut channels: Vec<StageDelays> = network
+        .channels
+        .iter()
+        .map(|c| model.stage_delays(c.length.max(crate::net_yield::CHANNEL_LENGTH_FLOOR)))
+        .collect::<Option<_>>()?;
+    let mut resized: Vec<(usize, LinkCost)> = Vec::new();
+    for (i, channel) in network.channels.iter().enumerate() {
+        let length = channel.length.max(crate::net_yield::CHANNEL_LENGTH_FLOOR);
+        if link_yield_of_stages(channels[i].clone(), config, filter, length) >= per_link_target {
+            continue;
+        }
+        let Some((cost, stages)) =
+            model.resize_for_yield(length, channel.n_bits, per_link_target, &filter.variation)
+        else {
+            continue;
+        };
+        channels[i] = stages;
+        resized.push((i, cost));
+    }
+    if resized.is_empty() {
+        return None;
+    }
+    let y = network_yield_of_stages(channels, network, config, filter);
+    if y < filter.min_yield {
+        return None;
+    }
+    for (i, cost) in resized {
+        network.channels[i].cost = cost;
+    }
+    Some(y)
 }
 
 /// Bisects for the largest length-budget fraction whose single-link
@@ -542,6 +614,14 @@ fn apply_yield_filter(
     );
     assert!(filter.max_rounds > 0, "need at least one filter round");
     let _obs_span = pi_obs::span("cosi.yield_filter");
+    // A network with no channels carries no timing-critical wires: it
+    // passes trivially. (Guarding here also keeps the per-link target
+    // `min_yield^(1/channels)` below from dividing by zero.)
+    if network.channels.is_empty() {
+        pi_obs::counter_add("cosi.yield_filter_empty", 1);
+        pi_obs::counter_add("cosi.yield_filter_pass", 1);
+        return Ok(network);
+    }
     let mut margin = config.length_margin;
     let mut achieved = 0.0f64;
     for round in 0..filter.max_rounds {
@@ -569,6 +649,16 @@ fn apply_yield_filter(
         // margin (e.g. shared-region correlation across channels is what
         // drags the network below target).
         let per_link = filter.min_yield.powf(1.0 / network.channels.len() as f64);
+        // Cheapest recovery first: ask the model to jointly *resize* the
+        // channels that miss the per-link share, keeping the topology.
+        // Only when resizing cannot lift the network over the target do
+        // we pay for a re-segmentation round.
+        if resize_critical_links(&mut network, model, config, filter, per_link).is_some() {
+            pi_obs::counter_add("cosi.yield_filter_resize", 1);
+            pi_obs::counter_add("cosi.yield_filter_pass", 1);
+            return Ok(network);
+        }
+        pi_obs::counter_add("cosi.yield_filter_resize_miss", 1);
         margin = match yield_feasible_margin(model, config, filter, per_link) {
             Some(m) if m < margin => m,
             _ => margin * 0.85,
@@ -834,6 +924,86 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain.channels.len(), filtered.channels.len());
+    }
+
+    #[test]
+    fn empty_network_passes_the_yield_filter_trivially() {
+        // Regression: the per-link target `min_yield^(1/channels)` used
+        // to divide by zero on a channel-less network and spin a
+        // degenerate zero-target resegment loop.
+        let model = StubModel {
+            reach: Length::mm(5.0),
+        };
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(2.0));
+        let filter = YieldFilter::new(0.99, pi_core::variation::VariationModel::nominal());
+        let empty = Network {
+            model_name: model.name().into(),
+            nodes: Vec::new(),
+            channels: Vec::new(),
+            routes: Vec::new(),
+        };
+        let out = apply_yield_filter(&line_spec(2.0), &model, &cfg, &filter, empty)
+            .expect("empty network must pass the filter trivially");
+        assert!(out.channels.is_empty());
+    }
+
+    /// A stub whose links are timing-marginal until the model is asked to
+    /// resize them, for exercising the filter's resize-over-resegment
+    /// path deterministically.
+    #[derive(Debug)]
+    struct ResizableModel {
+        reach: Length,
+    }
+
+    impl LinkCostModel for ResizableModel {
+        fn name(&self) -> &str {
+            "resizable"
+        }
+        fn max_length(&self) -> Length {
+            self.reach
+        }
+        fn link_cost(&self, length: Length, n_bits: usize) -> Result<LinkCost, InfeasibleLink> {
+            StubModel { reach: self.reach }.link_cost(length, n_bits)
+        }
+        fn stage_delays(&self, _length: Length) -> Option<StageDelays> {
+            // One marginal stage: 95 % of a 1 ns period nominal.
+            Some(StageDelays::new(vec![0.95e-9], vec![0.0]))
+        }
+        fn resize_for_yield(
+            &self,
+            length: Length,
+            n_bits: usize,
+            _per_link_target: f64,
+            _variation: &VariationModel,
+        ) -> Option<(LinkCost, StageDelays)> {
+            let mut cost = self.link_cost(length, n_bits).ok()?;
+            cost.delay = Time::ps(500.0);
+            cost.plan.wn = Length::um(8.0);
+            Some((cost, StageDelays::new(vec![0.5e-9], vec![0.0])))
+        }
+    }
+
+    #[test]
+    fn yield_filter_resizes_critical_links_before_resegmenting() {
+        // At 1 GHz the marginal 0.95 ns stage misses a 0.99 yield target
+        // under nominal variation; the resized 0.5 ns stage clears it.
+        // The filter must accept via resize — same topology, updated
+        // channel cost — without any re-segmentation round.
+        let model = ResizableModel {
+            reach: Length::mm(5.0),
+        };
+        let cfg = SynthesisConfig::at_clock(Freq::ghz(1.0)).with_yield_filter(YieldFilter::new(
+            0.99,
+            pi_core::variation::VariationModel::nominal(),
+        ));
+        let net = synthesize(&line_spec(2.0), &model, &cfg).unwrap();
+        assert_eq!(net.channels.len(), 1, "topology must be kept");
+        assert_eq!(
+            net.channels[0].cost.delay,
+            Time::ps(500.0),
+            "resized cost must be committed"
+        );
+        assert_eq!(net.channels[0].cost.plan.wn, Length::um(8.0));
     }
 
     #[test]

@@ -103,6 +103,9 @@ pub struct SizeRequest {
     pub seed: u64,
     /// CI half-width target, percent yield.
     pub ci_pct: f64,
+    /// Use the GP joint-sizing engine (posynomial propose, estimator
+    /// verify, ladder fallback) instead of the greedy ladder alone.
+    pub gp: bool,
     /// Process-corner spelling (`"tt"`, `"ss"`, `"ff"`; omitted = typical).
     pub corner: Option<String>,
 }
@@ -401,6 +404,7 @@ impl SizeRequest {
             ("estimator".to_owned(), Json::Str(self.estimator.clone())),
             ("seed".to_owned(), Json::Int(i128::from(self.seed))),
             ("ci_pct".to_owned(), Json::Num(self.ci_pct)),
+            ("gp".to_owned(), Json::Bool(self.gp)),
         ];
         members.extend(opt_str_member("corner", &self.corner));
         Json::Obj(members)
@@ -420,6 +424,7 @@ impl SizeRequest {
             estimator: need_str(v, "estimator")?,
             seed: need_u64(v, "seed")?,
             ci_pct: need_f64(v, "ci_pct")?,
+            gp: opt_bool(v, "gp")?,
             corner: opt_str(v, "corner")?,
         })
     }
@@ -676,6 +681,7 @@ mod tests {
                 estimator: est,
                 seed: rng.next_u64(),
                 ci_pct: arb_f64(rng),
+                gp: rng.below(2) == 0,
                 corner: arb_corner(rng),
             }),
             _ => ApiRequest::NetYield(NetYieldRequest {

@@ -493,7 +493,8 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
     let mut contexts: HashMap<Key, Arc<NodeContext>> = HashMap::new();
     let mut eval_groups: Grouped<(LineSpec, BufferingPlan)> = HashMap::new();
     let mut yield_groups: Grouped<YieldQuery> = HashMap::new();
-    let mut size_groups: Grouped<SizeQuery> = HashMap::new();
+    // Size jobs carry their engine choice: ladder (false) or GP (true).
+    let mut size_groups: Grouped<(SizeQuery, bool)> = HashMap::new();
     let mut net_groups: HashMap<NetKey, Vec<(usize, EstimatorConfig)>> = HashMap::new();
 
     for (i, job) in jobs.iter().enumerate() {
@@ -537,7 +538,7 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
                 }
                 ApiRequest::Size(r) => {
                     let query = lower_size(&ctx, r).map_err(|e| ApiResponse::error(400, e))?;
-                    size_groups.entry(key).or_default().push((i, query));
+                    size_groups.entry(key).or_default().push((i, (query, r.gp)));
                 }
                 ApiRequest::NetYield(r) => {
                     let (clock, config) =
@@ -588,7 +589,24 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
 
     // Coalesced sizing: every in-flight search advances its bisection
     // ladder through shared `timing_yield_estimate_batch` sweeps instead
-    // of running a private estimator loop per job.
+    // of running a private estimator loop per job. GP jobs split into
+    // their own sub-batch through `size_for_yield_gp_batch`, which keeps
+    // the same lock-step verification sweeps (and ladder fallback) —
+    // either way every answer is bit-identical to its solo equivalent.
+    fn fill_size_slots(
+        slots: &mut [Option<ApiResponse>],
+        group: &[(usize, SizeQuery)],
+        results: Vec<Option<YieldSizing>>,
+    ) {
+        for (&(i, _), result) in group.iter().zip(results) {
+            slots[i] = Some(match result {
+                Some(sized) => ApiResponse::Size(size_response(&sized)),
+                None => {
+                    ApiResponse::error(400, "no plan in the search range reaches the target yield")
+                }
+            });
+        }
+    }
     for (key, group) in size_groups {
         let ctx = ctx_of(&key);
         let ev = ctx.evaluator();
@@ -597,15 +615,24 @@ pub fn execute_batch(store: &NodeStore, jobs: Vec<Job>, stats: &ServerStats) {
             .size_jobs
             .fetch_add(group.len() as u64, Ordering::Relaxed);
         crate::telemetry::hist("serve.size_batch", group.len() as f64);
-        let queries: Vec<SizeQuery> = group.iter().map(|(_, q)| *q).collect();
-        let results = ev.size_for_yield_batch(&queries);
-        for ((i, _), result) in group.into_iter().zip(results) {
-            slots[i] = Some(match result {
-                Some(sized) => ApiResponse::Size(size_response(&sized)),
-                None => {
-                    ApiResponse::error(400, "no plan in the search range reaches the target yield")
-                }
-            });
+        let ladder: Vec<(usize, SizeQuery)> = group
+            .iter()
+            .filter(|(_, (_, gp))| !gp)
+            .map(|(i, (q, _))| (*i, *q))
+            .collect();
+        let gp: Vec<(usize, SizeQuery)> = group
+            .iter()
+            .filter(|(_, (_, gp))| *gp)
+            .map(|(i, (q, _))| (*i, *q))
+            .collect();
+        if !ladder.is_empty() {
+            let queries: Vec<SizeQuery> = ladder.iter().map(|(_, q)| *q).collect();
+            fill_size_slots(&mut slots, &ladder, ev.size_for_yield_batch(&queries));
+        }
+        if !gp.is_empty() {
+            crate::telemetry::hist("serve.gp_size_batch", gp.len() as f64);
+            let queries: Vec<SizeQuery> = gp.iter().map(|(_, q)| *q).collect();
+            fill_size_slots(&mut slots, &gp, ev.size_for_yield_gp_batch(&queries));
         }
     }
 
@@ -705,8 +732,17 @@ mod tests {
             estimator: est.to_owned(),
             seed,
             ci_pct: 2.0,
+            gp: false,
             corner: None,
         })
+    }
+
+    fn gp_size_request(seed: u64, est: &str, length_mm: f64, deadline_ps: f64) -> ApiRequest {
+        let ApiRequest::Size(mut r) = size_request(seed, est, length_mm, deadline_ps) else {
+            unreachable!()
+        };
+        r.gp = true;
+        ApiRequest::Size(r)
     }
 
     #[test]
@@ -872,6 +908,99 @@ mod tests {
                 got.achieved_yield.to_bits()
             );
             assert_eq!(direct.steps as u64, got.steps);
+        }
+    }
+
+    #[test]
+    fn batched_gp_sizes_are_bit_identical_to_direct_gp_sizing() {
+        // A mixed group — one GP job, one ladder job — must split into
+        // the two engines yet answer each exactly like its solo path.
+        let store = NodeStore::default();
+        let q = Batcher::new(16);
+        let rx_gp = q
+            .submit(gp_size_request(5, "sobol-scrambled", 5.0, 650.0))
+            .expect("queued");
+        let rx_ladder = q
+            .submit(size_request(5, "sobol-scrambled", 5.0, 650.0))
+            .expect("queued");
+        let stats = ServerStats::default();
+        execute_batch(&store, q.take_batch(Duration::ZERO).expect("open"), &stats);
+        assert_eq!(stats.size_jobs.load(Ordering::Relaxed), 2);
+
+        let ctx = store.context(pi_tech::TechNode::N65);
+        let ev = ctx.evaluator();
+        let length = Length::mm(5.0);
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        let plan = ctx.plan_for(length).expect("plan");
+        let config = estimator_config("sobol-scrambled", 5, 2.0, false).expect("config");
+        let ApiResponse::Size(gp) = rx_gp.recv().expect("answered").0 else {
+            panic!("expected a size response");
+        };
+        let direct = ev
+            .size_for_yield_gp(
+                &spec,
+                &plan,
+                &VariationModel::nominal(),
+                Time::ps(650.0),
+                0.9,
+                &config,
+            )
+            .expect("solo GP sizing succeeds");
+        assert_eq!(direct.plan.count as u64, gp.count);
+        assert_eq!(direct.plan.wn.as_um().to_bits(), gp.wn_um.to_bits());
+        assert_eq!(direct.achieved_yield.to_bits(), gp.achieved_yield.to_bits());
+        assert_eq!(direct.steps as u64, gp.steps);
+        // The ladder companion is untouched by the split.
+        let ApiResponse::Size(ladder) = rx_ladder.recv().expect("answered").0 else {
+            panic!("expected a size response");
+        };
+        let direct = ev
+            .size_for_yield_with(
+                &spec,
+                &plan,
+                &VariationModel::nominal(),
+                Time::ps(650.0),
+                0.9,
+                &config,
+            )
+            .expect("solo ladder sizing succeeds");
+        assert_eq!(direct.plan.wn.as_um().to_bits(), ladder.wn_um.to_bits());
+        assert_eq!(
+            direct.achieved_yield.to_bits(),
+            ladder.achieved_yield.to_bits()
+        );
+    }
+
+    #[test]
+    fn malformed_size_lengths_answer_400_not_panic() {
+        // NaN can't travel through JSON, but negative, zero and absurd
+        // lengths can — all must be rejected at validation, on both the
+        // ladder and the GP engine.
+        let store = NodeStore::default();
+        let q = Batcher::new(16);
+        let mut receivers = Vec::new();
+        for mm in [-5.0, 0.0, 1e6] {
+            receivers.push(
+                q.submit(size_request(1, "naive", mm, 700.0))
+                    .expect("queued"),
+            );
+            receivers.push(
+                q.submit(gp_size_request(1, "naive", mm, 700.0))
+                    .expect("queued"),
+            );
+        }
+        execute_batch(
+            &store,
+            q.take_batch(Duration::ZERO).expect("open"),
+            &ServerStats::default(),
+        );
+        for rx in receivers {
+            let resp = rx.recv().expect("answered").0;
+            assert_eq!(resp.status(), 400, "{resp:?}");
+            let ApiResponse::Error { message, .. } = resp else {
+                panic!("expected an error response");
+            };
+            assert!(message.contains("length_mm"), "{message}");
         }
     }
 

@@ -151,6 +151,9 @@ impl TrafficGen {
                 estimator: estimator.to_owned(),
                 seed: rng.next_u64(),
                 ci_pct: 2.0,
+                // A quarter of the sizing traffic takes the GP engine, so
+                // load runs exercise both sizing paths.
+                gp: rng.below(4) == 0,
                 corner: None,
             })
         } else {

@@ -51,7 +51,8 @@ for key in host_cores calibration_threads calibration_serial_ns \
     yield_corr_overestimate_pct probe_overhead_ns \
     newton_iters_per_solve step_reject_rate char_cache_hit_rate \
     serve_p50_us serve_p99_us serve_qps serve_batch_mean \
-    serve_qps_c64 serve_p99_us_c64 size_batch_mean; do
+    serve_qps_c64 serve_p99_us_c64 size_batch_mean \
+    gp_size_ns gp_vs_ladder_delay_ratio gp_fallback_rate; do
     require_finite "$key"
 done
 # Legitimately "null" on an effectively-serial host, but must be present.
@@ -88,6 +89,20 @@ fi
 serve_qps_c64=$(json_value serve_qps_c64)
 if ! awk -v q="$serve_qps_c64" 'BEGIN { exit !(q >= 1000.0) }'; then
     echo "perf smoke: serve_qps_c64 $serve_qps_c64 below the 1000 QPS bound"
+    exit 1
+fi
+# GP sizing: the bench itself asserts every GP answer's CI lower bound
+# clears the 0.9 target (the keys only exist if certification held); the
+# committed ratio proves GP never ships a slower plan than the ladder,
+# and the sweep must have exercised the ladder fallback at least once.
+gp_ratio=$(json_value gp_vs_ladder_delay_ratio)
+if ! awk -v r="$gp_ratio" 'BEGIN { exit !(r <= 1.0) }'; then
+    echo "perf smoke: gp_vs_ladder_delay_ratio $gp_ratio exceeds 1.0 (GP shipped a slower plan)"
+    exit 1
+fi
+gp_fallback=$(json_value gp_fallback_rate)
+if ! awk -v f="$gp_fallback" 'BEGIN { exit !(f > 0.0 && f < 1.0) }'; then
+    echo "perf smoke: gp_fallback_rate $gp_fallback outside (0, 1) — fallback path not exercised, or GP never verified"
     exit 1
 fi
 # Coalesced sizing: the 20 ms-window burst must actually batch ladders.

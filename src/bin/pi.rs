@@ -10,6 +10,9 @@
 //! pi yield    --tech 65nm --length 8mm --deadline 560ps [--samples 2000]
 //!             [--estimator naive|sobol|sobol-scrambled|importance|surrogate-is|analytic]
 //!             [--cv] [--ci 0.5] [--seed 1] [--rho 0.5] [--regions 4]
+//! pi size     --tech 65nm --length 5mm --deadline 560ps [--target 0.9] [--gp]
+//!             [--estimator naive|sobol|sobol-scrambled|importance|surrogate-is|analytic]
+//!             [--seed 1] [--ci 0.5]
 //! pi report   --tech 65nm --length 5mm --clock 2GHz [--bits 128] [--full]
 //! pi serve    [--port 7878] [--batch-window 500] [--queue-depth 1024] [--io poll|threads]
 //! pi load     [--addr 127.0.0.1:7878] [--qps 2000] [--conns 4] [--duration 3] [--size-pct 0]
@@ -38,20 +41,21 @@ use predictive_interconnect::tech::{DesignStyle, RepeaterKind, TechNode, Technol
 
 fn parse_length(s: &str) -> Result<Length, String> {
     let s = s.trim().to_ascii_lowercase();
-    if let Some(v) = s.strip_suffix("mm") {
-        v.parse::<f64>()
-            .map(Length::mm)
-            .map_err(|e| format!("bad length `{s}`: {e}"))
+    let (value, unit): (Result<f64, _>, fn(f64) -> Length) = if let Some(v) = s.strip_suffix("mm") {
+        (v.parse(), Length::mm)
     } else if let Some(v) = s.strip_suffix("um") {
-        v.parse::<f64>()
-            .map(Length::um)
-            .map_err(|e| format!("bad length `{s}`: {e}"))
+        (v.parse(), Length::um)
     } else {
         // Bare numbers are millimeters.
-        s.parse::<f64>()
-            .map(Length::mm)
-            .map_err(|_| format!("bad length `{s}` (use e.g. 5mm or 350um)"))
+        (s.parse(), Length::mm)
+    };
+    let value = value.map_err(|_| format!("bad length `{s}` (use e.g. 5mm or 350um)"))?;
+    // `f64::parse` happily accepts "nan", "inf" and negatives — all of
+    // which would poison sizing and synthesis downstream.
+    if !(value.is_finite() && value > 0.0) {
+        return Err(format!("length must be positive and finite, got `{s}`"));
     }
+    Ok(unit(value))
 }
 
 fn parse_clock(s: &str) -> Result<Freq, String> {
@@ -436,6 +440,79 @@ fn cmd_yield(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_size(opts: &Opts) -> Result<(), String> {
+    use predictive_interconnect::stats::{EstimatorConfig, Method};
+
+    let node = opts.tech()?;
+    let tech = Technology::new(node);
+    let models = builtin(node);
+    let ev = LineEvaluator::new(&models, &tech);
+    let length = parse_length(opts.require("length")?)?;
+    let deadline = parse_time(opts.require("deadline")?)?;
+    let target: f64 = opts
+        .get("target")
+        .unwrap_or("0.9")
+        .parse()
+        .map_err(|e| format!("bad --target: {e}"))?;
+    if !(target > 0.0 && target <= 1.0) {
+        return Err("--target must be a yield in (0, 1]".to_owned());
+    }
+    let method: Method = opts.get("estimator").unwrap_or("sobol-scrambled").parse()?;
+    let seed: u64 = opts
+        .get("seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let ci_pct: f64 = opts
+        .get("ci")
+        .unwrap_or("0.5")
+        .parse()
+        .map_err(|e| format!("bad --ci: {e}"))?;
+    if ci_pct <= 0.0 {
+        return Err("--ci must be a positive half-width in percent".to_owned());
+    }
+    let config = EstimatorConfig::new(method)
+        .with_seed(seed)
+        .with_target_half_width(ci_pct / 100.0);
+    let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+    let obj = BufferingObjective::balanced(Freq::ghz(1.0));
+    let start = ev
+        .optimize_buffering(&spec, &obj, &SearchSpace::for_length(length))
+        .ok_or("empty search space")?
+        .plan;
+    let variation = VariationModel::nominal();
+    let engine = if opts.flag("gp") { "gp" } else { "ladder" };
+    let sized = if opts.flag("gp") {
+        ev.size_for_yield_gp(&spec, &start, &variation, deadline, target, &config)
+    } else {
+        ev.size_for_yield_with(&spec, &start, &variation, deadline, target, &config)
+    }
+    .ok_or("no plan in the search range reaches the target yield")?;
+    let timing = ev.timing(&spec, &sized.plan);
+    let power = ev.power(&spec, &sized.plan, 0.25, Freq::ghz(1.0));
+    println!(
+        "{node} {} mm, engine {engine}, start {} x wn {:.1} um",
+        length.as_mm(),
+        start.count,
+        start.wn.as_um()
+    );
+    println!(
+        "sized plan: {} x inverter wn {:.2} um ({} steps)",
+        sized.plan.count,
+        sized.plan.wn.as_um(),
+        sized.steps
+    );
+    println!(
+        "yield @ {:.0} ps: {:.2}% (target {:.2}%), nominal delay {:.0} ps, power {:.1} uW/bit",
+        deadline.as_ps(),
+        sized.achieved_yield * 100.0,
+        target * 100.0,
+        timing.delay.as_ps(),
+        power.total().as_uw()
+    );
+    Ok(())
+}
+
 fn cmd_report(opts: &Opts) -> Result<(), String> {
     use predictive_interconnect::report::{link_datasheet, DatasheetOptions};
     let node = opts.tech()?;
@@ -794,7 +871,7 @@ fn cmd_scaling() -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: pi <delay|optimize|reach|noc|yield|report|serve|load|obs-report|obs-top|scaling> [--options]
+    "usage: pi <delay|optimize|reach|noc|yield|size|report|serve|load|obs-report|obs-top|scaling> [--options]
 run `pi <command>` with missing options to see what it needs;
 see the crate README for the full option list.
 set PI_OBS=summary or PI_OBS=jsonl[:path] to trace any command (docs/OBSERVABILITY.md)";
@@ -808,6 +885,7 @@ fn root_span_name(cmd: &str) -> &'static str {
         "reach" => "pi.reach",
         "noc" => "pi.noc",
         "yield" => "pi.yield",
+        "size" => "pi.size",
         "report" => "pi.report",
         "serve" => "pi.serve",
         "load" => "pi.load",
@@ -838,6 +916,7 @@ fn main() -> ExitCode {
                 "reach" => cmd_reach(&opts),
                 "noc" => cmd_noc(&opts),
                 "yield" => cmd_yield(&opts),
+                "size" => cmd_size(&opts),
                 "report" => cmd_report(&opts),
                 "serve" => cmd_serve(&opts),
                 "load" => cmd_load(&opts),
@@ -867,6 +946,11 @@ mod tests {
         assert!((parse_length("350um").unwrap().as_um() - 350.0).abs() < 1e-12);
         assert!((parse_length("2.5").unwrap().as_mm() - 2.5).abs() < 1e-12);
         assert!(parse_length("five").is_err());
+        // Finite-positive validation: f64::parse accepts these spellings,
+        // so the guard has to reject them explicitly.
+        for bad in ["nan", "inf", "-inf", "-3mm", "0", "0um", "nanmm"] {
+            assert!(parse_length(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 
     #[test]

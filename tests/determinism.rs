@@ -578,6 +578,7 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
                         estimator: estimator.to_owned(),
                         seed,
                         ci_pct: 2.0,
+                        gp: false,
                         corner: None,
                     }));
                 }
@@ -801,5 +802,151 @@ fn parallel_results_are_bit_identical_across_thread_counts() {
         }
         let _ = std::fs::remove_file(&journal);
         let _ = std::fs::remove_file(&access);
+    }
+
+    // 13. GP sizing: the posynomial solver is serial scalar arithmetic,
+    //     so its answers must be bit-identical at any PI_THREADS — and a
+    //     pipelined burst of `gp: true` /v1/size requests must serve
+    //     bytes identical across thread counts AND io modes, parsing to
+    //     exactly the in-process `size_for_yield_gp` result.
+    {
+        use pi_serve::api::{ApiRequest, SizeRequest, SizeResponse};
+        use pi_serve::http::{read_response, write_request};
+        use pi_serve::{IoMode, ServeConfig, Server};
+
+        let length = Length::mm(5.0);
+        let spec = LineSpec::global(length, DesignStyle::SingleSpacing);
+        let cli_plan = evaluator
+            .optimize_buffering(
+                &spec,
+                &pi_core::BufferingObjective::balanced(Freq::ghz(1.0)),
+                &pi_core::SearchSpace::for_length(length),
+            )
+            .expect("plan exists")
+            .plan;
+        let size_jobs = [(13u64, "sobol-scrambled", 650.0), (14u64, "naive", 900.0)];
+        let config_for = |seed: u64, estimator: &str| {
+            EstimatorConfig::new(estimator.parse::<Method>().expect("method"))
+                .with_seed(seed)
+                .with_target_half_width(2.0 / 100.0)
+        };
+
+        // In-process thread invariance of the GP engine itself.
+        let gp_at = |threads: &str| {
+            with_threads(Some(threads), || {
+                evaluator
+                    .size_for_yield_gp(
+                        &spec,
+                        &cli_plan,
+                        &VariationModel::nominal(),
+                        pi_tech::units::Time::ps(650.0),
+                        0.9,
+                        &config_for(13, "sobol-scrambled"),
+                    )
+                    .expect("GP sizing succeeds")
+            })
+        };
+        let (gp_one, gp_four) = (gp_at("1"), gp_at("4"));
+        assert_eq!(gp_one.plan, gp_four.plan, "GP plan: 1 vs 4 threads");
+        assert_eq!(
+            gp_one.achieved_yield.to_bits(),
+            gp_four.achieved_yield.to_bits(),
+            "GP achieved yield: 1 vs 4 threads"
+        );
+        assert_eq!(gp_one.steps, gp_four.steps, "GP steps: 1 vs 4 threads");
+
+        let run = |io: IoMode, threads: &str| -> Vec<String> {
+            with_threads(Some(threads), || {
+                let mut server = Server::start(&ServeConfig {
+                    port: 0,
+                    batch_window_us: 20_000,
+                    queue_depth: 64,
+                    io,
+                    ..ServeConfig::default()
+                })
+                .expect("bind ephemeral");
+                let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                    .expect("timeout");
+                let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
+                let requests: Vec<ApiRequest> = size_jobs
+                    .iter()
+                    .map(|&(seed, estimator, deadline_ps)| {
+                        ApiRequest::Size(SizeRequest {
+                            tech: "65nm".to_owned(),
+                            length_mm: 5.0,
+                            deadline_ps,
+                            target_yield: 0.9,
+                            estimator: estimator.to_owned(),
+                            seed,
+                            ci_pct: 2.0,
+                            gp: true,
+                            corner: None,
+                        })
+                    })
+                    .collect();
+                for req in &requests {
+                    let body = req.to_json().render();
+                    write_request(&mut stream, "POST", req.path(), body.as_bytes())
+                        .expect("pipelined write");
+                }
+                let bodies: Vec<String> = (0..requests.len())
+                    .map(|_| {
+                        let resp = read_response(&mut reader)
+                            .expect("parse response")
+                            .expect("connection stayed open");
+                        assert_eq!(resp.status, 200, "{:?}", resp.body_str());
+                        resp.body_str().expect("utf-8 body").to_owned()
+                    })
+                    .collect();
+                server.shutdown();
+                bodies
+            })
+        };
+
+        let mut by_mode: Vec<Vec<String>> = Vec::new();
+        for io in [IoMode::Poll, IoMode::Threads] {
+            let runs: Vec<Vec<String>> = ["1", "4"].iter().map(|t| run(io, t)).collect();
+            assert_eq!(runs[0], runs[1], "{io:?}: served gp bytes, 1 vs 4 threads");
+            for (&(seed, estimator, deadline_ps), body) in size_jobs.iter().zip(&runs[0]) {
+                let v = pi_serve::json::parse(body).expect("json");
+                let got = SizeResponse::from_json(&v).expect("size body");
+                let direct = with_threads(Some("1"), || {
+                    evaluator.size_for_yield_gp(
+                        &spec,
+                        &cli_plan,
+                        &VariationModel::nominal(),
+                        pi_tech::units::Time::ps(deadline_ps),
+                        0.9,
+                        &config_for(seed, estimator),
+                    )
+                })
+                .expect("solo GP sizing succeeds");
+                assert_eq!(
+                    direct.plan.count as u64, got.count,
+                    "{io:?}: served gp count, seed {seed}"
+                );
+                assert_eq!(
+                    direct.plan.wn.as_um().to_bits(),
+                    got.wn_um.to_bits(),
+                    "{io:?}: served gp width, seed {seed}"
+                );
+                assert_eq!(
+                    direct.achieved_yield.to_bits(),
+                    got.achieved_yield.to_bits(),
+                    "{io:?}: served gp yield, seed {seed}"
+                );
+                assert_eq!(
+                    direct.steps as u64, got.steps,
+                    "{io:?}: served gp steps, seed {seed}"
+                );
+            }
+            by_mode.push(runs.into_iter().next().expect("one run"));
+        }
+        assert_eq!(
+            by_mode[0], by_mode[1],
+            "gp sizing: poll event loop vs thread-per-connection wire bodies differ"
+        );
     }
 }
